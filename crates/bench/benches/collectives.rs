@@ -1,0 +1,38 @@
+//! Microbenchmarks of the collective cost models and layout math — these
+//! run once per layer per micro-step inside the executors, so they must be
+//! cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mics_cluster::InstanceType;
+use mics_collectives::bandwidth::{effective_all_gather_bw, NetParams};
+use mics_collectives::cost::{all_gather_flat, all_gather_hierarchical, all_reduce};
+use mics_collectives::HierarchicalLayout;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let net = NetParams::from_instance(&InstanceType::p3dn_24xlarge());
+    let mut g = c.benchmark_group("collectives");
+
+    g.bench_function("cost/all_gather_flat", |b| {
+        b.iter(|| all_gather_flat(black_box(64), 8, black_box(128 << 20), &net))
+    });
+    g.bench_function("cost/all_gather_hierarchical", |b| {
+        b.iter(|| all_gather_hierarchical(black_box(64), 8, black_box(128 << 20), &net, true))
+    });
+    g.bench_function("cost/all_reduce_replication", |b| {
+        b.iter(|| all_reduce(black_box(16), 8, 8, black_box(32 << 20), &net))
+    });
+    g.bench_function("bandwidth/effective_all_gather", |b| {
+        b.iter(|| effective_all_gather_bw(black_box(256), 8, black_box(128 << 20), &net))
+    });
+    for p in [16usize, 64, 512] {
+        g.bench_with_input(BenchmarkId::new("layout/simulate", p), &p, |b, &p| {
+            let layout = HierarchicalLayout::new(p, 8).unwrap();
+            b.iter(|| layout.simulate(black_box(0)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

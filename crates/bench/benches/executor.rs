@@ -1,0 +1,48 @@
+//! End-to-end executor benchmarks: how long it takes to lower and simulate
+//! one full training iteration (this bounds the sweep sizes the figure
+//! binaries can afford).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mics_cluster::{ClusterSpec, InstanceType};
+use mics_core::{simulate, simulate_megatron, MegatronConfig, MicsConfig, Strategy, TrainingJob, ZeroStage};
+use mics_model::TransformerConfig;
+
+fn job(nodes: usize, strategy: Strategy) -> TrainingJob {
+    TrainingJob {
+        workload: TransformerConfig::bert_10b().workload(8),
+        cluster: ClusterSpec::new(InstanceType::p3dn_24xlarge(), nodes),
+        strategy,
+        accum_steps: 4,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor");
+    g.sample_size(10);
+
+    for nodes in [2usize, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("simulate_mics", nodes * 8),
+            &nodes,
+            |b, &nodes| {
+                b.iter(|| simulate(&job(nodes, Strategy::Mics(MicsConfig::paper_defaults(8)))))
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("simulate_zero3", nodes * 8),
+            &nodes,
+            |b, &nodes| b.iter(|| simulate(&job(nodes, Strategy::Zero(ZeroStage::Three)))),
+        );
+    }
+
+    g.bench_function("simulate_megatron/64gpus", |b| {
+        let model = TransformerConfig::megatron_comparison();
+        let cluster = ClusterSpec::new(InstanceType::p3dn_24xlarge(), 8);
+        let cfg = MegatronConfig::table2_config3(8, 4096);
+        b.iter(|| simulate_megatron(&model, &cluster, &cfg))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

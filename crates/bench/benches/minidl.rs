@@ -1,0 +1,48 @@
+//! Benchmarks of the mini-DL stack: per-sample backprop cost and one full
+//! data-parallel training iteration under each synchronization schedule.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mics_minidl::{train, Mlp, SyncSchedule, TrainSetup};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("minidl");
+    g.sample_size(20);
+
+    let model = Mlp::new(&[32, 64, 64, 8]);
+    let params = model.init_params(1);
+    let xs: Vec<f32> = (0..8 * 32).map(|i| (i as f32 * 0.01).sin()).collect();
+    let ys: Vec<f32> = (0..8 * 8).map(|i| (i as f32 * 0.02).cos()).collect();
+    g.bench_function("loss_and_grad/batch8", |b| {
+        b.iter(|| model.loss_and_grad(black_box(&params), &xs, &ys))
+    });
+
+    for schedule in
+        [SyncSchedule::Ddp, SyncSchedule::PerMicroStepAllReduce, SyncSchedule::TwoHop]
+    {
+        g.bench_with_input(
+            BenchmarkId::new("train_iteration", format!("{schedule:?}")),
+            &schedule,
+            |b, &schedule| {
+                let setup = TrainSetup {
+                    model: Mlp::new(&[8, 16, 2]),
+                    world: 4,
+                    partition_size: 2,
+                    micro_batch: 4,
+                    accum_steps: 2,
+                    iterations: 1,
+                    lr: 0.01,
+                    seed: 3,
+                    quantize: false,
+                    loss_scale: mics_minidl::LossScale::None,
+                    clip_grad_norm: None,
+                };
+                b.iter(|| train(&setup, schedule).losses.len())
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Microbenchmarks of the discrete-event engine: event throughput is what
+//! bounds how large a cluster/model we can simulate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mics_simnet::{Op, Sim, SimTime};
+
+/// A chain of dependent compute ops across two streams (ping-pong events).
+fn ping_pong(n: usize) -> SimTime {
+    let mut sim = Sim::new();
+    let a = sim.add_stream("a");
+    let b = sim.add_stream("b");
+    for _ in 0..n {
+        let ea = sim.add_event();
+        let eb = sim.add_event();
+        sim.push(a, Op::compute(SimTime::from_micros(1)));
+        sim.push(a, Op::RecordEvent(ea));
+        sim.push(b, Op::WaitEvent(ea));
+        sim.push(b, Op::compute(SimTime::from_micros(1)));
+        sim.push(b, Op::RecordEvent(eb));
+        sim.push(a, Op::WaitEvent(eb));
+    }
+    sim.run().unwrap().makespan
+}
+
+/// Many concurrent transfers churning one fluid-shared link.
+fn fluid_link(transfers: usize) -> SimTime {
+    let mut sim = Sim::new();
+    let link = sim.add_link("nic", 12.5e9);
+    for i in 0..transfers {
+        let s = sim.add_stream(format!("s{i}"));
+        // Staggered starts force repeated fair-share recomputation.
+        sim.push(s, Op::compute(SimTime::from_micros(i as u64 * 3)));
+        sim.push(s, Op::transfer(link, 1_000_000 + (i as u64 * 7919) % 500_000, SimTime::ZERO));
+    }
+    sim.run().unwrap().makespan
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simnet");
+    for n in [100usize, 1000] {
+        g.bench_with_input(BenchmarkId::new("ping_pong_events", n), &n, |b, &n| {
+            b.iter(|| ping_pong(n))
+        });
+    }
+    for n in [16usize, 128] {
+        g.bench_with_input(BenchmarkId::new("fluid_link_transfers", n), &n, |b, &n| {
+            b.iter(|| fluid_link(n))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

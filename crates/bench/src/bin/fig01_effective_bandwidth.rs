@@ -1,0 +1,43 @@
+//! Figure 1: effective bandwidths measured with all-gather.
+//!
+//! Reproduces the paper's observation that, for a fixed message size,
+//! effective (bus) bandwidth collapses as the node count grows — 128 MB
+//! messages get poor utilization on 16 and 32 nodes — while large messages
+//! saturate the NIC.
+
+use mics_bench::{f2, Table};
+use mics_cluster::InstanceType;
+use mics_collectives::bandwidth::{effective_all_gather_bw, NetParams};
+
+fn main() {
+    let inst = InstanceType::p3dn_24xlarge();
+    let net = NetParams::from_instance(&inst);
+    let sizes_mb: [u64; 6] = [8, 32, 128, 512, 1024, 4096];
+    let node_counts = [2usize, 4, 8, 16, 32];
+
+    let mut headers = vec!["message".to_string()];
+    headers.extend(node_counts.iter().map(|n| format!("{n} nodes (GB/s)")));
+    let mut t = Table::new(
+        "Figure 1 — effective all-gather bandwidth, p3dn.24xlarge (100 Gbps EFA)",
+        &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+    for mb in sizes_mb {
+        let mut row = vec![format!("{mb} MB")];
+        for &nodes in &node_counts {
+            let bw = effective_all_gather_bw(nodes * 8, 8, mb << 20, &net);
+            row.push(f2(bw / 1e9));
+        }
+        t.row(row);
+    }
+    t.finish("fig01_effective_bandwidth");
+
+    // The §3.2 calibration points.
+    let b_part = effective_all_gather_bw(8, 8, 512 << 20, &net);
+    let b_all = effective_all_gather_bw(64, 8, 512 << 20, &net);
+    println!(
+        "\nB_part (one node)      = {:.1} GB/s   (paper: ≈128 GB/s)",
+        b_part / 1e9
+    );
+    println!("B_all  (64 GPUs/8 nodes) = {:.1} GB/s   (paper: ≈11 GB/s)", b_all / 1e9);
+    println!("cost ratio bound B_part/B_all = {:.1} (paper: up to 11.6)", b_part / b_all);
+}

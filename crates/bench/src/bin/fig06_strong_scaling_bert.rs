@@ -1,0 +1,71 @@
+//! Figure 6: strong scaling with different BERT sizes on V100 / 100 Gbps.
+//!
+//! MiCS vs DeepSpeed ZeRO-3 vs ZeRO-2 for BERT 10B/15B/20B/50B on 16–128
+//! GPUs. MiCS partition group sizes follow §5.1.1 (smallest group that
+//! fits): 1 node for 10B, 2 nodes for 15B/20B, 8 nodes for 50B. Micro-batch
+//! 8 (ZeRO-2: 4 — it keeps full parameter replicas), global batch 8192.
+//! `×` marks out-of-memory, the "linear" column is the linear-scaling
+//! reference from the smallest runnable cluster.
+
+use mics_bench::{accum_steps, cell, f1, run, v100, Table};
+use mics_core::{MicsConfig, Strategy, ZeroStage};
+use mics_model::TransformerConfig;
+
+fn main() {
+    let cases = [
+        (TransformerConfig::bert_10b(), 1usize),
+        (TransformerConfig::bert_15b(), 2),
+        (TransformerConfig::bert_20b(), 2),
+        (TransformerConfig::bert_50b(), 8),
+    ];
+    let node_counts = [2usize, 4, 8, 16];
+
+    for (model, group_nodes) in cases {
+        let p = group_nodes * 8;
+        let w8 = model.workload(8);
+        let w4 = model.workload(4);
+        let mut t = Table::new(
+            format!(
+                "Figure 6 — strong scaling, {} (MiCS partition group = {} node(s)), samples/sec",
+                model.name, group_nodes
+            ),
+            &["GPUs", "MiCS", "ZeRO-3", "ZeRO-2 (mb=4)", "linear", "MiCS/ZeRO-3"],
+        );
+        let mut base: Option<(usize, f64)> = None;
+        for nodes in node_counts {
+            if nodes < group_nodes {
+                continue;
+            }
+            let n = nodes * 8;
+            let s8 = accum_steps(n, 8, 8192);
+            let s4 = accum_steps(n, 4, 8192);
+            let cluster = v100(nodes);
+            let mics = run(&w8, &cluster, Strategy::Mics(MicsConfig::paper_defaults(p)), s8)
+                .map(|r| r.samples_per_sec);
+            let z3 = run(&w8, &cluster, Strategy::Zero(ZeroStage::Three), s8)
+                .map(|r| r.samples_per_sec);
+            let z2 = run(&w4, &cluster, Strategy::Zero(ZeroStage::Two), s4)
+                .map(|r| r.samples_per_sec);
+            if let (None, Ok(m)) = (&base, &mics) {
+                base = Some((n, *m));
+            }
+            let linear = base.map(|(n0, t0)| t0 * n as f64 / n0 as f64).unwrap_or(0.0);
+            let ratio = match (&mics, &z3) {
+                (Ok(a), Ok(b)) => format!("{:.2}×", a / b),
+                _ => "-".into(),
+            };
+            t.row(vec![
+                n.to_string(),
+                cell(&mics.map(f1)),
+                cell(&z3.map(f1)),
+                cell(&z2.map(f1)),
+                f1(linear),
+                ratio,
+            ]);
+        }
+        t.finish(&format!(
+            "fig06_{}",
+            model.name.to_lowercase().replace(' ', "_")
+        ));
+    }
+}

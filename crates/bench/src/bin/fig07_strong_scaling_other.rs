@@ -1,0 +1,51 @@
+//! Figure 7: strong scaling with other language models (RoBERTa 20B and
+//! GPT-2 20B), MiCS vs DeepSpeed ZeRO-2/3, 100 Gbps V100 clusters.
+
+use mics_bench::{accum_steps, cell, f1, run, v100, Table};
+use mics_core::{MicsConfig, Strategy, ZeroStage};
+use mics_model::TransformerConfig;
+
+fn main() {
+    for model in [TransformerConfig::roberta_20b(), TransformerConfig::gpt2_20b()] {
+        let p = 16; // two nodes, same as BERT 20B (§5.1.1 heuristic)
+        let w8 = model.workload(8);
+        let w4 = model.workload(4);
+        let mut t = Table::new(
+            format!("Figure 7 — strong scaling, {}, samples/sec", model.name),
+            &["GPUs", "MiCS", "ZeRO-3", "ZeRO-2 (mb=4)", "linear", "MiCS/ZeRO-3"],
+        );
+        let mut base: Option<(usize, f64)> = None;
+        for nodes in [2usize, 4, 8, 16] {
+            let n = nodes * 8;
+            let cluster = v100(nodes);
+            let mics = run(
+                &w8,
+                &cluster,
+                Strategy::Mics(MicsConfig::paper_defaults(p)),
+                accum_steps(n, 8, 8192),
+            )
+            .map(|r| r.samples_per_sec);
+            let z3 = run(&w8, &cluster, Strategy::Zero(ZeroStage::Three), accum_steps(n, 8, 8192))
+                .map(|r| r.samples_per_sec);
+            let z2 = run(&w4, &cluster, Strategy::Zero(ZeroStage::Two), accum_steps(n, 4, 8192))
+                .map(|r| r.samples_per_sec);
+            if let (None, Ok(m)) = (&base, &mics) {
+                base = Some((n, *m));
+            }
+            let linear = base.map(|(n0, t0)| t0 * n as f64 / n0 as f64).unwrap_or(0.0);
+            let ratio = match (&mics, &z3) {
+                (Ok(a), Ok(b)) => format!("{:.2}×", a / b),
+                _ => "-".into(),
+            };
+            t.row(vec![
+                n.to_string(),
+                cell(&mics.map(f1)),
+                cell(&z3.map(f1)),
+                cell(&z2.map(f1)),
+                f1(linear),
+                ratio,
+            ]);
+        }
+        t.finish(&format!("fig07_{}", model.name.to_lowercase().replace(' ', "_")));
+    }
+}

@@ -1,0 +1,48 @@
+//! Figure 8: per-GPU TFLOPS for the Figure 6 runs, computed with the
+//! Megatron FLOPs formula (§5.1.1). The paper reports ≈42% of V100 peak for
+//! BERT 10B under MiCS, with ZeRO-3 far behind.
+
+use mics_bench::{accum_steps, cell, run, v100, Table};
+use mics_core::{MicsConfig, Strategy, ZeroStage};
+use mics_model::{flops::per_gpu_tflops, TransformerConfig};
+
+fn main() {
+    let cases = [
+        (TransformerConfig::bert_10b(), 8usize),
+        (TransformerConfig::bert_15b(), 16),
+        (TransformerConfig::bert_20b(), 16),
+        (TransformerConfig::bert_50b(), 64),
+    ];
+    const V100_PEAK_TFLOPS: f64 = 125.0;
+    for (model, p) in cases {
+        let w = model.workload(8);
+        let mut t = Table::new(
+            format!("Figure 8 — TFLOPS per GPU, {} (V100 peak = 125)", model.name),
+            &["GPUs", "MiCS", "MiCS %peak", "ZeRO-3", "ZeRO-3 %peak"],
+        );
+        for nodes in [2usize, 4, 8, 16] {
+            if nodes * 8 < p {
+                continue;
+            }
+            let n = nodes * 8;
+            let s = accum_steps(n, 8, 8192);
+            let cluster = v100(nodes);
+            let mics = run(&w, &cluster, Strategy::Mics(MicsConfig::paper_defaults(p)), s)
+                .map(|r| per_gpu_tflops(&model, r.samples_per_sec, n, true));
+            let z3 = run(&w, &cluster, Strategy::Zero(ZeroStage::Three), s)
+                .map(|r| per_gpu_tflops(&model, r.samples_per_sec, n, true));
+            let pct = |x: &Result<f64, String>| match x {
+                Ok(v) => format!("{:.0}%", v / V100_PEAK_TFLOPS * 100.0),
+                Err(_) => "×".into(),
+            };
+            t.row(vec![
+                n.to_string(),
+                cell(&mics.clone().map(|v| format!("{v:.1}"))),
+                pct(&mics),
+                cell(&z3.clone().map(|v| format!("{v:.1}"))),
+                pct(&z3),
+            ]);
+        }
+        t.finish(&format!("fig08_{}", model.name.to_lowercase().replace(' ', "_")));
+    }
+}

@@ -1,0 +1,36 @@
+//! Figure 11: throughput vs partition group size (§5.2.1).
+//!
+//! BERT 10B, 64 V100 GPUs, micro-batch 8, global batch 8192. Growing the
+//! partition group from 8 to 64 GPUs (at which point MiCS degenerates to
+//! ZeRO-3 partitioning) trends throughput down — the paper measures 1.6×
+//! between the extremes — so the smallest group that fits is best.
+
+use mics_bench::{accum_steps, f1, f2, run, v100, Table};
+use mics_core::{MicsConfig, Strategy};
+use mics_model::TransformerConfig;
+
+fn main() {
+    let model = TransformerConfig::bert_10b();
+    let w = model.workload(8);
+    let nodes = 8;
+    let n = nodes * 8;
+    let s = accum_steps(n, 8, 8192);
+    let cluster = v100(nodes);
+
+    let mut t = Table::new(
+        "Figure 11 — throughput vs partition group size (BERT 10B, 64 GPUs)",
+        &["group size", "samples/sec", "vs p=8"],
+    );
+    let mut first = None;
+    for p in [8usize, 16, 32, 64] {
+        let r = run(&w, &cluster, Strategy::Mics(MicsConfig::paper_defaults(p)), s)
+            .expect("all group sizes fit for 10B");
+        let thr = r.samples_per_sec;
+        if first.is_none() {
+            first = Some(thr);
+        }
+        t.row(vec![p.to_string(), f1(thr), f2(thr / first.unwrap())]);
+    }
+    t.finish("fig11_partition_group_size");
+    println!("\n(paper: throughput at p=8 is 1.6× that at p=64)");
+}

@@ -1,0 +1,120 @@
+//! Figure 15: fidelity of the implementation (§5.4).
+//!
+//! The paper trains a 1.5B model under MiCS and DeepSpeed and shows the
+//! loss curves coincide. Here the *real* training stack runs: 8 thread-rank
+//! workers with fp32 master weights, Adam, gradient accumulation and real
+//! collectives over the shared-memory data plane, under all three
+//! synchronization schedules. The model is scaled down (the schedules'
+//! algebra — what the experiment validates — is size-independent).
+
+use mics_bench::{write_json, Table};
+use mics_minidl::{train, train_lm, LmSetup, Mlp, SyncSchedule, TinyTransformer, TrainSetup};
+
+fn main() {
+    let setup = TrainSetup {
+        model: Mlp::new(&[16, 32, 32, 4]),
+        world: 8,
+        partition_size: 2,
+        micro_batch: 8,
+        accum_steps: 4, // the paper's fidelity run: global 512 = 8 ranks × mb 8 × s 4 × …
+        iterations: 40,
+        lr: 0.01,
+        seed: 20220615,
+        quantize: true, // mixed-precision emulation, as in the paper
+        loss_scale: mics_minidl::LossScale::Dynamic { init: 65536.0, growth_interval: 2000 },
+        clip_grad_norm: Some(1.0),
+    };
+    println!(
+        "training {} params on {} thread-ranks (p={}, s={}, mixed precision)",
+        setup.model.num_params(),
+        setup.world,
+        setup.partition_size,
+        setup.accum_steps
+    );
+
+    let ddp = train(&setup, SyncSchedule::Ddp);
+    let zero3 = train(&setup, SyncSchedule::PerMicroStepAllReduce);
+    let mics = train(&setup, SyncSchedule::TwoHop);
+
+    let mut t = Table::new(
+        "Figure 15 — training loss: DeepSpeed-style vs MiCS 2-hop vs DDP",
+        &["iteration", "DDP", "ZeRO-3 schedule", "MiCS 2-hop", "|MiCS − DDP|"],
+    );
+    for i in (0..ddp.losses.len()).step_by(4).chain([ddp.losses.len() - 1]) {
+        t.row(vec![
+            i.to_string(),
+            format!("{:.6}", ddp.losses[i]),
+            format!("{:.6}", zero3.losses[i]),
+            format!("{:.6}", mics.losses[i]),
+            format!("{:.2e}", (mics.losses[i] - ddp.losses[i]).abs()),
+        ]);
+    }
+    t.finish("fig15_fidelity");
+
+    let max_dev = ddp
+        .losses
+        .iter()
+        .zip(mics.losses.iter())
+        .map(|(a, b)| (a - b).abs() / a.abs().max(1e-9))
+        .fold(0.0f32, f32::max);
+    println!("\nmax relative loss deviation MiCS vs DDP: {max_dev:.2e}");
+    println!(
+        "loss decreased {:.1}× over {} iterations under MiCS 2-hop",
+        mics.losses[0] / mics.losses.last().unwrap(),
+        mics.losses.len()
+    );
+    assert!(max_dev < 1e-2, "convergence behaviours must coincide");
+    write_json(
+        "fig15_losses",
+        &serde_json::json!({
+            "ddp": ddp.losses,
+            "zero3_schedule": zero3.losses,
+            "mics_two_hop": mics.losses,
+        }),
+    );
+
+    // The paper's fidelity model is a *transformer* LM; repeat the check
+    // with the miniature causal transformer (hand-written backprop) on the
+    // synthetic token chain.
+    let lm = LmSetup {
+        model: TinyTransformer::new(9, 6, 8, 2, 16, 2),
+        world: 8,
+        partition_size: 2,
+        micro_batch: 8,
+        accum_steps: 4,
+        iterations: 30,
+        lr: 0.015,
+        seed: 20220615,
+        quantize: true,
+        loss_scale: mics_minidl::LossScale::Dynamic { init: 65536.0, growth_interval: 2000 },
+        clip_grad_norm: Some(1.0),
+    };
+    println!(
+        "
+transformer LM: {} params, vocab {}, seq {}, {} layers",
+        lm.model.num_params(),
+        lm.model.vocab,
+        lm.model.seq_len,
+        lm.model.layers
+    );
+    let t_ddp = train_lm(&lm, SyncSchedule::Ddp);
+    let t_mics = train_lm(&lm, SyncSchedule::TwoHop);
+    let mut t = Table::new(
+        "Figure 15 (transformer LM) — cross-entropy under DDP vs MiCS 2-hop",
+        &["iteration", "DDP", "MiCS 2-hop", "|Δ|"],
+    );
+    for i in (0..t_ddp.losses.len()).step_by(5).chain([t_ddp.losses.len() - 1]) {
+        t.row(vec![
+            i.to_string(),
+            format!("{:.6}", t_ddp.losses[i]),
+            format!("{:.6}", t_mics.losses[i]),
+            format!("{:.2e}", (t_mics.losses[i] - t_ddp.losses[i]).abs()),
+        ]);
+    }
+    t.finish("fig15_transformer_lm");
+    println!(
+        "transformer cross-entropy {:.3} → {:.3}; schedules coincide",
+        t_mics.losses[0],
+        t_mics.losses.last().unwrap()
+    );
+}

@@ -1,0 +1,42 @@
+//! Table 1: structure of the language models, plus derived parameter counts
+//! and FLOPs per sequence (which the paper's Table 1 implies).
+
+use mics_bench::Table;
+use mics_model::{megatron_flops_per_sample, TransformerConfig};
+
+fn main() {
+    let models = [
+        TransformerConfig::bert_10b(),
+        TransformerConfig::bert_15b(),
+        TransformerConfig::bert_20b(),
+        TransformerConfig::bert_50b(),
+        TransformerConfig::roberta_20b(),
+        TransformerConfig::gpt2_20b(),
+    ];
+    let mut t = Table::new(
+        "Table 1 — model structures (sequence length 512 for all models)",
+        &[
+            "Model",
+            "Hidden",
+            "Intermediate",
+            "#Layers",
+            "#Heads",
+            "Vocab",
+            "Params",
+            "TFLOPs/seq",
+        ],
+    );
+    for m in &models {
+        t.row(vec![
+            m.name.clone(),
+            m.hidden.to_string(),
+            m.intermediate.to_string(),
+            m.layers.to_string(),
+            m.heads.to_string(),
+            m.vocab.to_string(),
+            format!("{:.2}B", m.total_params() as f64 / 1e9),
+            format!("{:.1}", megatron_flops_per_sample(m, true) / 1e12),
+        ]);
+    }
+    t.finish("table1_models");
+}

@@ -1,0 +1,426 @@
+//! Implementation of the `mics-sim` command-line tool.
+//!
+//! ```text
+//! mics-sim models
+//! mics-sim estimate bert-10b --nodes 4 --strategy mics:8
+//! mics-sim simulate bert-15b --nodes 8 --instance p4d --strategy zero3 --accum 16
+//! mics-sim tune bert-50b --nodes 8
+//! ```
+
+#![warn(missing_docs)]
+
+use mics_cluster::{ClusterSpec, InstanceType};
+use mics_core::memory::check_memory;
+use mics_core::{simulate, tune, MicsConfig, Strategy, TrainingJob, ZeroStage};
+use mics_model::{TransformerConfig, WideResNetConfig, WorkloadSpec};
+use std::fmt;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List available model presets.
+    Models,
+    /// Per-device memory estimate for a job.
+    Estimate(JobArgs),
+    /// Simulate one training iteration.
+    Simulate(JobArgs),
+    /// Search for the best MiCS configuration.
+    Tune(JobArgs),
+}
+
+/// Shared job arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobArgs {
+    /// Model preset name (see [`model_names`]).
+    pub model: String,
+    /// Cluster nodes.
+    pub nodes: usize,
+    /// Instance preset: `p3dn` (default), `p4d`, or `dgx`.
+    pub instance: String,
+    /// Strategy spec: `mics:<p>`, `zero1`, `zero2`, `zero3`, `ddp`.
+    pub strategy: String,
+    /// Micro-batch size per device.
+    pub micro_batch: usize,
+    /// Gradient-accumulation depth.
+    pub accum: usize,
+}
+
+impl Default for JobArgs {
+    fn default() -> Self {
+        JobArgs {
+            model: String::new(),
+            nodes: 2,
+            instance: "p3dn".into(),
+            strategy: "mics:8".into(),
+            micro_batch: 8,
+            accum: 4,
+        }
+    }
+}
+
+/// CLI errors, printable as user-facing messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// The usage banner.
+pub const USAGE: &str = "\
+mics-sim — simulate MiCS / ZeRO / DDP training on cloud GPU clusters
+
+USAGE:
+  mics-sim models
+  mics-sim estimate <model> [--nodes N] [--instance p3dn|p4d|dgx]
+                    [--strategy mics:<p>|zero1|zero2|zero3|ddp]
+                    [--micro-batch B]
+  mics-sim simulate <model> [same options] [--accum S]
+  mics-sim tune     <model> [--nodes N] [--instance ...] [--micro-batch B] [--accum S]
+
+MODELS: run `mics-sim models` for the list.";
+
+/// Names of the model presets `mics-sim` knows.
+pub fn model_names() -> Vec<&'static str> {
+    vec![
+        "bert-1.5b",
+        "bert-10b",
+        "bert-15b",
+        "bert-20b",
+        "bert-50b",
+        "roberta-20b",
+        "gpt2-20b",
+        "bert-128l",
+        "52b",
+        "100b",
+        "wideresnet-3b",
+    ]
+}
+
+/// Resolve a model preset to its workload.
+pub fn lookup_model(name: &str, micro_batch: usize) -> Result<WorkloadSpec, CliError> {
+    let cfg = match name {
+        "bert-1.5b" => TransformerConfig::bert_1_5b(),
+        "bert-10b" => TransformerConfig::bert_10b(),
+        "bert-15b" => TransformerConfig::bert_15b(),
+        "bert-20b" => TransformerConfig::bert_20b(),
+        "bert-50b" => TransformerConfig::bert_50b(),
+        "roberta-20b" => TransformerConfig::roberta_20b(),
+        "gpt2-20b" => TransformerConfig::gpt2_20b(),
+        "bert-128l" => TransformerConfig::megatron_comparison(),
+        "52b" => TransformerConfig::proprietary_52b(),
+        "100b" => TransformerConfig::proprietary_100b(),
+        "wideresnet-3b" => return Ok(WideResNetConfig::wrn_3b().workload(micro_batch)),
+        other => {
+            return Err(err(format!(
+                "unknown model '{other}'; run `mics-sim models` for the list"
+            )))
+        }
+    };
+    Ok(cfg.workload(micro_batch))
+}
+
+/// Resolve an instance preset.
+pub fn lookup_instance(name: &str) -> Result<InstanceType, CliError> {
+    match name {
+        "p3dn" => Ok(InstanceType::p3dn_24xlarge()),
+        "p4d" => Ok(InstanceType::p4d_24xlarge()),
+        "dgx" => Ok(InstanceType::dgx_a100()),
+        other => Err(err(format!("unknown instance '{other}' (expected p3dn, p4d, or dgx)"))),
+    }
+}
+
+/// Parse a strategy spec.
+pub fn parse_strategy(spec: &str) -> Result<Strategy, CliError> {
+    match spec {
+        "ddp" => Ok(Strategy::Ddp),
+        "zero1" => Ok(Strategy::Zero(ZeroStage::One)),
+        "zero2" => Ok(Strategy::Zero(ZeroStage::Two)),
+        "zero3" => Ok(Strategy::Zero(ZeroStage::Three)),
+        s if s.starts_with("mics:") => {
+            let p: usize = s["mics:".len()..]
+                .parse()
+                .map_err(|_| err(format!("bad partition size in '{s}'")))?;
+            Ok(Strategy::Mics(MicsConfig::paper_defaults(p)))
+        }
+        other => Err(err(format!(
+            "unknown strategy '{other}' (expected mics:<p>, zero1, zero2, zero3, or ddp)"
+        ))),
+    }
+}
+
+/// Parse argv (excluding the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let sub = it.next().ok_or_else(|| err(USAGE))?;
+    if sub == "models" {
+        return Ok(Command::Models);
+    }
+    if !matches!(sub.as_str(), "estimate" | "simulate" | "tune") {
+        return Err(err(format!("unknown subcommand '{sub}'\n\n{USAGE}")));
+    }
+    let mut job = JobArgs {
+        model: it.next().ok_or_else(|| err(format!("{sub}: missing <model>")))?.clone(),
+        ..JobArgs::default()
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, CliError> {
+            it.next().ok_or_else(|| err(format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--nodes" => {
+                job.nodes = value("--nodes")?
+                    .parse()
+                    .map_err(|_| err("--nodes must be a positive integer"))?
+            }
+            "--instance" => job.instance = value("--instance")?.clone(),
+            "--strategy" => job.strategy = value("--strategy")?.clone(),
+            "--micro-batch" => {
+                job.micro_batch = value("--micro-batch")?
+                    .parse()
+                    .map_err(|_| err("--micro-batch must be a positive integer"))?
+            }
+            "--accum" => {
+                job.accum = value("--accum")?
+                    .parse()
+                    .map_err(|_| err("--accum must be a positive integer"))?
+            }
+            other => return Err(err(format!("unknown flag '{other}'\n\n{USAGE}"))),
+        }
+    }
+    Ok(match sub.as_str() {
+        "estimate" => Command::Estimate(job),
+        "simulate" => Command::Simulate(job),
+        _ => Command::Tune(job),
+    })
+}
+
+fn gib(x: u64) -> f64 {
+    x as f64 / (1u64 << 30) as f64
+}
+
+/// Execute a parsed command, returning the text to print.
+pub fn execute(cmd: &Command) -> Result<String, CliError> {
+    match cmd {
+        Command::Models => {
+            let mut out = String::from("available models:\n");
+            for name in model_names() {
+                let w = lookup_model(name, 1).unwrap();
+                out.push_str(&format!(
+                    "  {name:<14} {:>7.2}B params, {} layers\n",
+                    w.total_params() as f64 / 1e9,
+                    w.layers.len()
+                ));
+            }
+            Ok(out)
+        }
+        Command::Estimate(job) => {
+            let (workload, cluster, strategy) = resolve(job)?;
+            let plan = strategy.plan(cluster.total_devices());
+            match check_memory(&workload, &cluster, &plan, &strategy.label()) {
+                Ok(est) => Ok(format!(
+                    "{} on {}×{} ({} GPUs), {}:\n\
+                     params     {:>8.2} GiB\n\
+                     grads      {:>8.2} GiB\n\
+                     optimizer  {:>8.2} GiB\n\
+                     activations{:>8.2} GiB\n\
+                     transient  {:>8.2} GiB\n\
+                     total      {:>8.2} GiB per device (usable: {:.2} GiB) — fits{}",
+                    workload.name,
+                    cluster.nodes,
+                    cluster.instance.name,
+                    cluster.total_devices(),
+                    strategy.label(),
+                    gib(est.params),
+                    gib(est.grads),
+                    gib(est.optimizer),
+                    gib(est.activations),
+                    gib(est.transient),
+                    gib(est.total()),
+                    gib(mics_core::memory::usable_bytes(&cluster)),
+                    if est.hierarchical_buffers { "" } else { " (hierarchical staging disabled)" },
+                )),
+                Err(e) => Ok(format!("{e}")),
+            }
+        }
+        Command::Simulate(job) => {
+            let (workload, cluster, strategy) = resolve(job)?;
+            let t = TrainingJob {
+                workload,
+                cluster: cluster.clone(),
+                strategy,
+                accum_steps: job.accum,
+            };
+            match simulate(&t) {
+                Ok(r) => Ok(format!(
+                    "{}: {:.1} samples/sec | iteration {} | {:.1} TFLOPS/GPU | \
+                     compute {:.0}% / comm {:.0}% | {:.1} GiB/device{}",
+                    r.label,
+                    r.samples_per_sec,
+                    r.iter_time,
+                    r.tflops_per_gpu(),
+                    r.compute_fraction * 100.0,
+                    r.comm_fraction * 100.0,
+                    gib(r.memory.total()),
+                    if r.hierarchical_used { " | hierarchical all-gather" } else { "" },
+                )),
+                Err(e) => Ok(format!("{e}")),
+            }
+        }
+        Command::Tune(job) => {
+            let (workload, cluster, _) = resolve(job)?;
+            match tune(&workload, &cluster, job.accum) {
+                Ok(result) => {
+                    let mut out = format!(
+                        "best: MiCS p={} (hierarchical: {}) at {:.1} samples/sec\nexplored:\n",
+                        result.best.partition_size,
+                        result.best.hierarchical_allgather,
+                        result.report.samples_per_sec
+                    );
+                    for c in &result.explored {
+                        out.push_str(&format!(
+                            "  p={:<4} hier={:<5} {}\n",
+                            c.config.partition_size,
+                            c.config.hierarchical_allgather,
+                            match &c.outcome {
+                                Ok(r) => format!("{:.1} samples/sec", r.samples_per_sec),
+                                Err(_) => "OOM".into(),
+                            }
+                        ));
+                    }
+                    Ok(out)
+                }
+                Err(e) => Ok(format!("nothing fits: {e}")),
+            }
+        }
+    }
+}
+
+fn resolve(job: &JobArgs) -> Result<(WorkloadSpec, ClusterSpec, Strategy), CliError> {
+    if job.nodes == 0 {
+        return Err(err("--nodes must be at least 1"));
+    }
+    let workload = lookup_model(&job.model, job.micro_batch)?;
+    let instance = lookup_instance(&job.instance)?;
+    let cluster = ClusterSpec::new(instance, job.nodes);
+    let strategy = parse_strategy(&job.strategy)?;
+    if let Strategy::Mics(cfg) = &strategy {
+        let n = cluster.total_devices();
+        if cfg.partition_size == 0 || !n.is_multiple_of(cfg.partition_size) {
+            return Err(err(format!(
+                "partition size {} does not divide the cluster size {n}",
+                cfg.partition_size
+            )));
+        }
+    }
+    Ok((workload, cluster, strategy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_models_subcommand() {
+        assert_eq!(parse_args(&argv("models")).unwrap(), Command::Models);
+    }
+
+    #[test]
+    fn parse_simulate_with_flags() {
+        let cmd = parse_args(&argv(
+            "simulate bert-15b --nodes 8 --instance p4d --strategy zero3 \
+             --micro-batch 4 --accum 16",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Simulate(j) => {
+                assert_eq!(j.model, "bert-15b");
+                assert_eq!(j.nodes, 8);
+                assert_eq!(j.instance, "p4d");
+                assert_eq!(j.strategy, "zero3");
+                assert_eq!(j.micro_batch, 4);
+                assert_eq!(j.accum, 16);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown_flag_and_subcommand() {
+        assert!(parse_args(&argv("simulate bert-10b --bogus 3")).is_err());
+        assert!(parse_args(&argv("frobnicate")).is_err());
+        assert!(parse_args(&argv("estimate")).is_err(), "missing model");
+        assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn strategy_parsing() {
+        assert_eq!(parse_strategy("ddp").unwrap(), Strategy::Ddp);
+        assert_eq!(parse_strategy("zero3").unwrap(), Strategy::Zero(ZeroStage::Three));
+        match parse_strategy("mics:16").unwrap() {
+            Strategy::Mics(c) => assert_eq!(c.partition_size, 16),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_strategy("mics:x").is_err());
+        assert!(parse_strategy("zero9").is_err());
+    }
+
+    #[test]
+    fn every_listed_model_resolves() {
+        for name in model_names() {
+            assert!(lookup_model(name, 2).is_ok(), "{name}");
+        }
+        assert!(lookup_model("bert-9000b", 2).is_err());
+    }
+
+    #[test]
+    fn execute_models_lists_all() {
+        let out = execute(&Command::Models).unwrap();
+        for name in model_names() {
+            assert!(out.contains(name), "{name} missing from:\n{out}");
+        }
+    }
+
+    #[test]
+    fn execute_estimate_reports_fit_and_oom() {
+        let fit = execute(&parse_args(&argv(
+            "estimate bert-10b --nodes 2 --strategy mics:8",
+        )).unwrap())
+        .unwrap();
+        assert!(fit.contains("fits"), "{fit}");
+        let oom = execute(&parse_args(&argv(
+            "estimate bert-50b --nodes 2 --strategy mics:16",
+        )).unwrap())
+        .unwrap();
+        assert!(oom.contains("out of memory"), "{oom}");
+    }
+
+    #[test]
+    fn execute_simulate_end_to_end() {
+        let out = execute(&parse_args(&argv(
+            "simulate bert-10b --nodes 2 --strategy mics:8 --accum 2",
+        )).unwrap())
+        .unwrap();
+        assert!(out.contains("samples/sec"), "{out}");
+        assert!(out.contains("TFLOPS/GPU"));
+    }
+
+    #[test]
+    fn invalid_partition_size_is_a_cli_error_not_a_panic() {
+        let cmd = parse_args(&argv("simulate bert-10b --nodes 2 --strategy mics:5")).unwrap();
+        let e = execute(&cmd).unwrap_err();
+        assert!(e.0.contains("does not divide"), "{e}");
+    }
+}

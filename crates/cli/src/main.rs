@@ -1,0 +1,12 @@
+//! `mics-sim` entry point: thin shell over [`mics_cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match mics_cli::parse_args(&args).and_then(|cmd| mics_cli::execute(&cmd)) {
+        Ok(output) => println!("{output}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

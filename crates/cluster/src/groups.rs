@@ -1,0 +1,280 @@
+//! Partition groups and replication groups (paper §3.2, Figure 2).
+//!
+//! MiCS divides the `n` devices of a cluster into `n / p` *partition groups*
+//! of `p` consecutive ranks. Each partition group holds one complete replica
+//! of the model states, sharded across its members. Devices with the same
+//! *local group rank* across partition groups form a *replication group* of
+//! `n / p` members that hold identical shards; the 2-hop gradient
+//! synchronization (§3.4) all-reduces across replication groups at the
+//! gradient-accumulation boundary.
+
+use crate::{ClusterSpec, Rank};
+use std::fmt;
+
+/// The group geometry of a MiCS deployment: `n` devices, `k` per node,
+/// partition group size `p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupLayout {
+    n: usize,
+    k: usize,
+    p: usize,
+}
+
+/// Rejected group geometries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupLayoutError {
+    /// `p` must be at least 1 and at most `n`.
+    SizeOutOfRange {
+        /// Requested partition group size.
+        p: usize,
+        /// Cluster size.
+        n: usize,
+    },
+    /// `p` must divide `n` so every group has the same size (paper §3.2:
+    /// "Every group has the same number of devices").
+    NotDivisor {
+        /// Requested partition group size.
+        p: usize,
+        /// Cluster size.
+        n: usize,
+    },
+    /// Partition groups must align with node boundaries: either `p` divides
+    /// `k` (several groups inside one node) or `k` divides `p` (a group spans
+    /// whole nodes). Misaligned groups would mix partial nodes and break the
+    /// hierarchical communication channel construction (§3.3).
+    NodeMisaligned {
+        /// Requested partition group size.
+        p: usize,
+        /// Devices per node.
+        k: usize,
+    },
+}
+
+impl fmt::Display for GroupLayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupLayoutError::SizeOutOfRange { p, n } => {
+                write!(f, "partition group size {p} out of range 1..={n}")
+            }
+            GroupLayoutError::NotDivisor { p, n } => {
+                write!(f, "partition group size {p} does not divide cluster size {n}")
+            }
+            GroupLayoutError::NodeMisaligned { p, k } => {
+                write!(f, "partition group size {p} not aligned with {k} devices per node")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GroupLayoutError {}
+
+impl GroupLayout {
+    /// Build a layout for a cluster with `n` total devices, `k` per node, and
+    /// partition groups of `p` devices.
+    pub fn new(n: usize, k: usize, p: usize) -> Result<Self, GroupLayoutError> {
+        if p == 0 || p > n {
+            return Err(GroupLayoutError::SizeOutOfRange { p, n });
+        }
+        if !n.is_multiple_of(p) {
+            return Err(GroupLayoutError::NotDivisor { p, n });
+        }
+        if !p.is_multiple_of(k) && !k.is_multiple_of(p) {
+            return Err(GroupLayoutError::NodeMisaligned { p, k });
+        }
+        Ok(GroupLayout { n, k, p })
+    }
+
+    /// Layout derived from a [`ClusterSpec`] and a partition group size.
+    pub fn for_cluster(spec: &ClusterSpec, p: usize) -> Result<Self, GroupLayoutError> {
+        GroupLayout::new(spec.total_devices(), spec.devices_per_node(), p)
+    }
+
+    /// The ZeRO-3 degenerate case: one partition group spanning the cluster.
+    pub fn zero3(spec: &ClusterSpec) -> Self {
+        GroupLayout { n: spec.total_devices(), k: spec.devices_per_node(), p: spec.total_devices() }
+    }
+
+    /// Total devices (`n`).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Devices per node (`k`).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Partition group size (`p`): how many devices shard one model replica.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Number of partition groups (= replication group size).
+    pub fn num_partition_groups(&self) -> usize {
+        self.n / self.p
+    }
+
+    /// Number of nodes one partition group spans (1 if it fits in a node).
+    pub fn nodes_per_partition_group(&self) -> usize {
+        self.p.div_ceil(self.k)
+    }
+
+    /// Does a partition group fit within a single node (so parameter
+    /// gathering needs only NVLink)?
+    pub fn partition_group_is_intra_node(&self) -> bool {
+        self.p <= self.k
+    }
+
+    /// Index of the partition group containing `rank`.
+    pub fn partition_group_index(&self, rank: Rank) -> usize {
+        debug_assert!(rank.0 < self.n);
+        rank.0 / self.p
+    }
+
+    /// Rank's position within its partition group (the "local group rank").
+    pub fn local_group_rank(&self, rank: Rank) -> usize {
+        rank.0 % self.p
+    }
+
+    /// Members of the partition group containing `rank`, in rank order.
+    pub fn partition_group(&self, rank: Rank) -> impl Iterator<Item = Rank> {
+        let start = (rank.0 / self.p) * self.p;
+        (start..start + self.p).map(Rank)
+    }
+
+    /// Members of the replication group containing `rank` (all devices that
+    /// hold the same shard of the model states), in rank order.
+    pub fn replication_group(&self, rank: Rank) -> impl Iterator<Item = Rank> + '_ {
+        let local = self.local_group_rank(rank);
+        (0..self.num_partition_groups()).map(move |g| Rank(g * self.p + local))
+    }
+
+    /// The inter-node communication channel of `rank` for hierarchical
+    /// all-gather (§3.3): members of the partition group with the same
+    /// local rank *within their node*, one per node of the group.
+    ///
+    /// Returns an empty iterator if the partition group is intra-node
+    /// (hierarchical communication does not apply).
+    pub fn inter_node_channel(&self, rank: Rank) -> Vec<Rank> {
+        if self.partition_group_is_intra_node() {
+            return Vec::new();
+        }
+        let group_start = (rank.0 / self.p) * self.p;
+        let local_in_node = rank.0 % self.k;
+        (0..self.nodes_per_partition_group())
+            .map(|node| Rank(group_start + node * self.k + local_in_node))
+            .collect()
+    }
+
+    /// All partition groups, each as a (start rank, size `p`) pair.
+    pub fn partition_groups(&self) -> impl Iterator<Item = (Rank, usize)> + '_ {
+        (0..self.num_partition_groups()).map(move |g| (Rank(g * self.p), self.p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_example_two_device_groups() {
+        // Figure 2: every 2 consecutive devices form a partition group;
+        // odd/even ranks form two replication groups.
+        let l = GroupLayout::new(8, 2, 2).unwrap();
+        assert_eq!(l.num_partition_groups(), 4);
+        let g: Vec<_> = l.partition_group(Rank(5)).collect();
+        assert_eq!(g, vec![Rank(4), Rank(5)]);
+        let r: Vec<_> = l.replication_group(Rank(5)).collect();
+        assert_eq!(r, vec![Rank(1), Rank(3), Rank(5), Rank(7)]);
+        let r0: Vec<_> = l.replication_group(Rank(2)).collect();
+        assert_eq!(r0, vec![Rank(0), Rank(2), Rank(4), Rank(6)]);
+    }
+
+    #[test]
+    fn zero3_layout_is_single_group() {
+        let spec = ClusterSpec::new(crate::InstanceType::p3dn_24xlarge(), 4);
+        let l = GroupLayout::zero3(&spec);
+        assert_eq!(l.p(), 32);
+        assert_eq!(l.num_partition_groups(), 1);
+        assert_eq!(l.replication_group(Rank(3)).count(), 1);
+    }
+
+    #[test]
+    fn validation_rejects_bad_sizes() {
+        assert!(matches!(
+            GroupLayout::new(16, 8, 0),
+            Err(GroupLayoutError::SizeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            GroupLayout::new(16, 8, 32),
+            Err(GroupLayoutError::SizeOutOfRange { .. })
+        ));
+        assert!(matches!(GroupLayout::new(16, 8, 3), Err(GroupLayoutError::NotDivisor { .. })));
+        // p=6 divides n=24 ranks? 24 % 6 == 0, but 6 vs k=8: misaligned.
+        assert!(matches!(
+            GroupLayout::new(24, 8, 6),
+            Err(GroupLayoutError::NodeMisaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn group_spanning_two_nodes() {
+        // 4 nodes × 8 GPUs, partition groups of 16 = 2 nodes each.
+        let l = GroupLayout::new(32, 8, 16).unwrap();
+        assert_eq!(l.num_partition_groups(), 2);
+        assert_eq!(l.nodes_per_partition_group(), 2);
+        assert!(!l.partition_group_is_intra_node());
+        // Rank 19 = group 1 (ranks 16..32), local-in-node 3.
+        let ch = l.inter_node_channel(Rank(19));
+        assert_eq!(ch, vec![Rank(19), Rank(27)]);
+        // Rank 3 = group 0, channel spans nodes 0 and 1.
+        let ch = l.inter_node_channel(Rank(3));
+        assert_eq!(ch, vec![Rank(3), Rank(11)]);
+    }
+
+    #[test]
+    fn intra_node_group_has_no_inter_channel() {
+        let l = GroupLayout::new(64, 8, 8).unwrap();
+        assert!(l.partition_group_is_intra_node());
+        assert!(l.inter_node_channel(Rank(12)).is_empty());
+    }
+
+    #[test]
+    fn sub_node_groups_allowed() {
+        // Two partition groups per node (p=4, k=8).
+        let l = GroupLayout::new(16, 8, 4).unwrap();
+        assert!(l.partition_group_is_intra_node());
+        assert_eq!(l.num_partition_groups(), 4);
+        let g: Vec<_> = l.partition_group(Rank(6)).collect();
+        assert_eq!(g, vec![Rank(4), Rank(5), Rank(6), Rank(7)]);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn partition_and_replication_groups_tile_the_cluster() {
+        let l = GroupLayout::new(64, 8, 16).unwrap();
+        // Every rank appears in exactly one partition group.
+        let mut seen = [false; 64];
+        for (start, size) in l.partition_groups() {
+            for r in start.0..start.0 + size {
+                assert!(!seen[r], "rank {r} in two groups");
+                seen[r] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+        // Replication groups of any two ranks with equal local rank coincide.
+        let a: Vec<_> = l.replication_group(Rank(5)).collect();
+        let b: Vec<_> = l.replication_group(Rank(21)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn local_group_rank_consistent_with_partition_group() {
+        let l = GroupLayout::new(32, 8, 8).unwrap();
+        for r in 0..32 {
+            let rank = Rank(r);
+            let members: Vec<_> = l.partition_group(rank).collect();
+            assert_eq!(members[l.local_group_rank(rank)], rank);
+        }
+    }
+}

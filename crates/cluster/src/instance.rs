@@ -1,0 +1,164 @@
+//! Instance (node) hardware descriptions.
+
+use mics_simnet::SimTime;
+
+/// Hardware description of one cloud instance / node.
+///
+/// Bandwidths are *effective* sustained rates in bytes per second, slightly
+/// below theoretical peaks, calibrated so that the collective micro-benchmarks
+/// reproduce the effective bandwidths the paper reports in §3.2
+/// (B_part ≈ 128 GB/s over NVLink, B_all ≈ 11 GB/s over 100 Gbps EFA).
+#[derive(Debug, Clone)]
+pub struct InstanceType {
+    /// Marketing name, e.g. `"p3dn.24xlarge"`.
+    pub name: &'static str,
+    /// GPUs per node (`k`).
+    pub gpus_per_node: usize,
+    /// Device memory per GPU in bytes.
+    pub gpu_mem_bytes: u64,
+    /// Peak half-precision (tensor-core) FLOP/s per GPU.
+    pub peak_fp16_flops: f64,
+    /// Peak single-precision FLOP/s per GPU.
+    pub peak_fp32_flops: f64,
+    /// Fraction of peak FLOP/s a well-tuned transformer GEMM sustains.
+    /// Calibrated so compute-only utilization matches the paper's TFLOPS
+    /// numbers (§5.1.1: BERT 10B reaches ~42% of V100 peak end-to-end).
+    pub gemm_efficiency: f64,
+    /// Aggregate intra-node NVLink fabric bandwidth (bytes/s) usable by a
+    /// node-wide collective (sum over GPUs of per-GPU NVLink bandwidth).
+    pub nvlink_fabric_bw: f64,
+    /// Inter-node NIC bandwidth per node (bytes/s).
+    pub nic_bw: f64,
+    /// Device-local copy-engine bandwidth (bytes/s), used for chunk
+    /// re-arrangement in hierarchical all-gather.
+    pub memcpy_bw: f64,
+    /// Effective cost of one intra-node (NVLink) ring hop, including NCCL
+    /// protocol latency — calibrated so small-message intra-node
+    /// collectives land at measured NCCL latencies while large messages
+    /// still reach B_part ≈ 128 GB/s.
+    pub alpha_intra: SimTime,
+    /// Effective cost of one inter-node ring hop: wire latency plus the
+    /// per-step tail-latency (jitter) of the cloud network. This is the α
+    /// of the α–β model and the quantity that makes effective bandwidth
+    /// collapse at scale for fixed message sizes (Figure 1): a ring over p
+    /// ranks pays it p−1 times. Calibrated jointly against the paper's
+    /// B_all ≈ 11 GB/s (64 ranks, large messages) and the poor 128 MB
+    /// utilization on 16–32 nodes.
+    pub alpha_inter: SimTime,
+    /// Fixed per-collective host-side launch overhead (NCCL/framework).
+    pub launch_overhead: SimTime,
+}
+
+impl InstanceType {
+    /// Amazon EC2 p3dn.24xlarge: 8 × V100 (32 GB), NVLink, 100 Gbps EFA.
+    ///
+    /// The primary evaluation platform of the paper (§5 Setups).
+    pub fn p3dn_24xlarge() -> Self {
+        InstanceType {
+            name: "p3dn.24xlarge",
+            gpus_per_node: 8,
+            gpu_mem_bytes: 32 * (1 << 30),
+            peak_fp16_flops: 125e12, // V100 tensor cores
+            peak_fp32_flops: 15.7e12,
+            gemm_efficiency: 0.52,
+            // Per-GPU NVLink ~150 GB/s effective ≈ 135 GB/s → ×8 GPUs.
+            nvlink_fabric_bw: 8.0 * 135e9,
+            nic_bw: 12.5e9, // 100 Gbps
+            memcpy_bw: 700e9,
+            alpha_intra: SimTime::from_micros(25),
+            alpha_inter: SimTime::from_micros(90),
+            launch_overhead: SimTime::from_micros(12),
+        }
+    }
+
+    /// Amazon EC2 p4d.24xlarge: 8 × A100 (40 GB), NVSwitch, 400 Gbps EFA.
+    ///
+    /// The second evaluation platform (§5.1.2 and the §5.1.5 case study).
+    pub fn p4d_24xlarge() -> Self {
+        InstanceType {
+            name: "p4d.24xlarge",
+            gpus_per_node: 8,
+            gpu_mem_bytes: 40 * (1 << 30),
+            peak_fp16_flops: 312e12, // A100 tensor cores
+            peak_fp32_flops: 19.5e12,
+            gemm_efficiency: 0.62,
+            // Per-GPU NVSwitch ~300 GB/s effective ≈ 250 GB/s → ×8 GPUs.
+            nvlink_fabric_bw: 8.0 * 250e9,
+            // 400 Gbps marketing = 4 aggregated 100 Gbps EFA devices; a
+            // well-tuned collective sustains ≈ 40 GB/s of the 50 GB/s line
+            // rate (NCCL/libfabric-era measurements).
+            nic_bw: 40e9,
+            memcpy_bw: 1300e9,
+            alpha_intra: SimTime::from_micros(20),
+            alpha_inter: SimTime::from_micros(70),
+            launch_overhead: SimTime::from_micros(10),
+        }
+    }
+
+    /// NVIDIA DGX-A100 node with 8 InfiniBand HCAs (1.6 Tb/s = 200 GB/s per
+    /// node), the "balanced network" reference the paper contrasts with
+    /// (§1, §5.1.5).
+    pub fn dgx_a100() -> Self {
+        InstanceType {
+            name: "dgx-a100",
+            gpus_per_node: 8,
+            gpu_mem_bytes: 80 * (1 << 30),
+            peak_fp16_flops: 312e12,
+            peak_fp32_flops: 19.5e12,
+            gemm_efficiency: 0.62,
+            nvlink_fabric_bw: 8.0 * 250e9,
+            nic_bw: 200e9, // 8 × 200 Gbps IB
+            memcpy_bw: 1300e9,
+            alpha_intra: SimTime::from_micros(20),
+            alpha_inter: SimTime::from_micros(25),
+            launch_overhead: SimTime::from_micros(10),
+        }
+    }
+
+    /// Effective FLOP/s a GEMM-heavy kernel sustains in half precision.
+    pub fn sustained_fp16_flops(&self) -> f64 {
+        self.peak_fp16_flops * self.gemm_efficiency
+    }
+
+    /// Effective FLOP/s a GEMM-heavy kernel sustains in single precision.
+    pub fn sustained_fp32_flops(&self) -> f64 {
+        self.peak_fp32_flops * self.gemm_efficiency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        for inst in
+            [InstanceType::p3dn_24xlarge(), InstanceType::p4d_24xlarge(), InstanceType::dgx_a100()]
+        {
+            assert_eq!(inst.gpus_per_node, 8);
+            assert!(inst.gpu_mem_bytes >= 32 * (1 << 30));
+            assert!(inst.peak_fp16_flops > inst.peak_fp32_flops);
+            assert!(inst.gemm_efficiency > 0.0 && inst.gemm_efficiency <= 1.0);
+            assert!(inst.nvlink_fabric_bw > inst.nic_bw);
+            assert!(inst.alpha_inter > inst.alpha_intra);
+        }
+    }
+
+    #[test]
+    fn p4d_has_faster_everything_than_p3dn() {
+        let v100 = InstanceType::p3dn_24xlarge();
+        let a100 = InstanceType::p4d_24xlarge();
+        assert!(a100.peak_fp16_flops > v100.peak_fp16_flops);
+        assert!(a100.nic_bw > v100.nic_bw);
+        assert!(a100.gpu_mem_bytes > v100.gpu_mem_bytes);
+    }
+
+    #[test]
+    fn nic_values_track_effective_collective_rates() {
+        // p3dn: a single 100 Gbps EFA is saturated by one collective.
+        assert_eq!(InstanceType::p3dn_24xlarge().nic_bw, 12.5e9);
+        // p4d: 4 × 100 Gbps EFA devices; one collective sustains ~80% of
+        // the 50 GB/s line rate.
+        assert_eq!(InstanceType::p4d_24xlarge().nic_bw, 40e9);
+    }
+}

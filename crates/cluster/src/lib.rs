@@ -1,0 +1,228 @@
+//! Cluster topology model for public-cloud GPU training.
+//!
+//! MiCS's whole premise (§2.3 of the paper) is that cloud clusters have
+//! *heterogeneous* networks: GPUs inside a node talk over NVLink at hundreds
+//! of GB/s while nodes talk over a NIC at 12.5–50 GB/s — a 12×–24× gap,
+//! compared to only ~3× on DGX clusters. This crate describes that hardware
+//! (instance types, node/device layout) and the rank geometry MiCS builds on
+//! it (partition groups and replication groups), and can materialize the
+//! shared network resources inside a [`mics_simnet::Sim`].
+
+#![warn(missing_docs)]
+
+use mics_simnet::{LinkId, Sim, SimTime};
+
+mod groups;
+mod instance;
+
+pub use groups::{GroupLayout, GroupLayoutError};
+pub use instance::InstanceType;
+
+/// A device's global rank in the cluster (HPC convention, 0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rank(pub usize);
+
+/// A node (instance) index in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// A homogeneous cluster: `nodes` instances of one [`InstanceType`],
+/// optionally with per-node network degradation (cloud stragglers).
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// The instance type of every node.
+    pub instance: InstanceType,
+    /// Number of nodes (instances).
+    pub nodes: usize,
+    /// Per-node NIC bandwidth multipliers in `(0, 1]`; empty = all 1.0.
+    /// Models a degraded/straggler instance — common on shared cloud
+    /// networks (§6 discusses Varuna targeting exactly this).
+    nic_derates: Vec<f64>,
+}
+
+impl ClusterSpec {
+    /// Build a cluster of `nodes` instances.
+    ///
+    /// # Panics
+    /// Panics if `nodes == 0`.
+    pub fn new(instance: InstanceType, nodes: usize) -> Self {
+        assert!(nodes > 0, "cluster must have at least one node");
+        ClusterSpec { instance, nodes, nic_derates: Vec::new() }
+    }
+
+    /// Mark `node`'s NIC as degraded to `factor` × its normal bandwidth
+    /// (a straggler instance). `factor` must be in `(0, 1]`.
+    pub fn with_slow_node(mut self, node: NodeId, factor: f64) -> Self {
+        assert!(node.0 < self.nodes, "node out of range");
+        assert!(factor > 0.0 && factor <= 1.0, "factor must be in (0, 1]");
+        if self.nic_derates.is_empty() {
+            self.nic_derates = vec![1.0; self.nodes];
+        }
+        self.nic_derates[node.0] = factor;
+        self
+    }
+
+    /// The NIC bandwidth multiplier of `node` (1.0 unless degraded).
+    pub fn nic_derate(&self, node: NodeId) -> f64 {
+        self.nic_derates.get(node.0).copied().unwrap_or(1.0)
+    }
+
+    /// Devices per node (`k` in the paper's notation).
+    pub fn devices_per_node(&self) -> usize {
+        self.instance.gpus_per_node
+    }
+
+    /// Total devices in the cluster (`n` in the paper's notation).
+    pub fn total_devices(&self) -> usize {
+        self.nodes * self.instance.gpus_per_node
+    }
+
+    /// Node hosting a global rank.
+    pub fn node_of(&self, rank: Rank) -> NodeId {
+        debug_assert!(rank.0 < self.total_devices());
+        NodeId(rank.0 / self.instance.gpus_per_node)
+    }
+
+    /// Rank within its node (0..k).
+    pub fn local_rank(&self, rank: Rank) -> usize {
+        rank.0 % self.instance.gpus_per_node
+    }
+
+    /// Iterate all global ranks.
+    pub fn ranks(&self) -> impl Iterator<Item = Rank> {
+        (0..self.total_devices()).map(Rank)
+    }
+
+    /// Global ranks hosted on `node`.
+    pub fn ranks_on_node(&self, node: NodeId) -> impl Iterator<Item = Rank> {
+        let k = self.instance.gpus_per_node;
+        (node.0 * k..(node.0 + 1) * k).map(Rank)
+    }
+
+    /// Do two ranks share a node (and can thus talk over NVLink)?
+    pub fn same_node(&self, a: Rank, b: Rank) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Materialize the shared network resources of this cluster into `sim`.
+    pub fn build_fabric(&self, sim: &mut Sim) -> Fabric {
+        let mut nic = Vec::with_capacity(self.nodes);
+        let mut nvlink = Vec::with_capacity(self.nodes);
+        for node in 0..self.nodes {
+            let bw = self.instance.nic_bw * self.nic_derate(NodeId(node));
+            nic.push(sim.add_link(format!("nic[{node}]"), bw));
+            nvlink.push(sim.add_link(format!("nvlink[{node}]"), self.instance.nvlink_fabric_bw));
+        }
+        let mut memcpy = Vec::with_capacity(self.total_devices());
+        for rank in 0..self.total_devices() {
+            memcpy.push(sim.add_link(format!("memcpy[{rank}]"), self.instance.memcpy_bw));
+        }
+        Fabric { nic, nvlink, memcpy }
+    }
+
+    /// The hop latencies of this cluster's instance type, used by the α–β
+    /// collective cost models.
+    pub fn latencies(&self) -> Latencies {
+        Latencies { intra: self.instance.alpha_intra, inter: self.instance.alpha_inter }
+    }
+}
+
+/// Handles to the per-node / per-device shared links of a materialized
+/// cluster, as registered in a [`Sim`].
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    /// One NIC link per node (inter-node bandwidth, shared by its k GPUs).
+    pub nic: Vec<LinkId>,
+    /// One NVLink-fabric link per node (aggregate intra-node bandwidth).
+    pub nvlink: Vec<LinkId>,
+    /// One local copy engine per device (used for chunk re-arrangement).
+    pub memcpy: Vec<LinkId>,
+}
+
+impl Fabric {
+    /// The NIC link of the node hosting `rank`.
+    pub fn nic_of(&self, spec: &ClusterSpec, rank: Rank) -> LinkId {
+        self.nic[spec.node_of(rank).0]
+    }
+
+    /// The NVLink fabric of the node hosting `rank`.
+    pub fn nvlink_of(&self, spec: &ClusterSpec, rank: Rank) -> LinkId {
+        self.nvlink[spec.node_of(rank).0]
+    }
+
+    /// The copy engine of `rank`.
+    pub fn memcpy_of(&self, rank: Rank) -> LinkId {
+        self.memcpy[rank.0]
+    }
+}
+
+/// Per-hop startup latencies of a cluster, used by the α–β collective cost
+/// models.
+#[derive(Debug, Clone, Copy)]
+pub struct Latencies {
+    /// Startup latency of one intra-node (NVLink) hop.
+    pub intra: SimTime,
+    /// Startup latency of one inter-node (NIC) hop.
+    pub inter: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_geometry() {
+        let spec = ClusterSpec::new(InstanceType::p3dn_24xlarge(), 4);
+        assert_eq!(spec.total_devices(), 32);
+        assert_eq!(spec.devices_per_node(), 8);
+        assert_eq!(spec.node_of(Rank(0)), NodeId(0));
+        assert_eq!(spec.node_of(Rank(7)), NodeId(0));
+        assert_eq!(spec.node_of(Rank(8)), NodeId(1));
+        assert_eq!(spec.node_of(Rank(31)), NodeId(3));
+        assert_eq!(spec.local_rank(Rank(13)), 5);
+        assert!(spec.same_node(Rank(8), Rank(15)));
+        assert!(!spec.same_node(Rank(7), Rank(8)));
+    }
+
+    #[test]
+    fn ranks_on_node_enumerates_k_ranks() {
+        let spec = ClusterSpec::new(InstanceType::p3dn_24xlarge(), 2);
+        let on1: Vec<_> = spec.ranks_on_node(NodeId(1)).collect();
+        assert_eq!(on1, (8..16).map(Rank).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fabric_has_expected_links() {
+        let spec = ClusterSpec::new(InstanceType::p4d_24xlarge(), 3);
+        let mut sim = Sim::new();
+        let fabric = spec.build_fabric(&mut sim);
+        assert_eq!(fabric.nic.len(), 3);
+        assert_eq!(fabric.nvlink.len(), 3);
+        assert_eq!(fabric.memcpy.len(), 24);
+        assert_eq!(fabric.nic_of(&spec, Rank(9)), fabric.nic[1]);
+        assert_eq!(fabric.nvlink_of(&spec, Rank(23)), fabric.nvlink[2]);
+    }
+
+    #[test]
+    fn instance_bandwidth_hierarchy_matches_paper() {
+        // §1: intra-node is 12–24× faster than inter-node on the cloud.
+        for inst in [InstanceType::p3dn_24xlarge(), InstanceType::p4d_24xlarge()] {
+            let ratio = inst.nvlink_fabric_bw / inst.nic_bw;
+            assert!(
+                (8.0..=100.0).contains(&ratio),
+                "{}: intra/inter ratio {ratio} out of plausible cloud range",
+                inst.name
+            );
+        }
+        // DGX-A100-like clusters are much more balanced (§1: ~3×).
+        let dgx = InstanceType::dgx_a100();
+        let ratio = dgx.nvlink_fabric_bw / dgx.nic_bw;
+        assert!(ratio < 12.0, "DGX ratio {ratio} should be small");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = ClusterSpec::new(InstanceType::p3dn_24xlarge(), 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Chunk-layout math for the 3-stage hierarchical all-gather (paper §3.3,
+//! Figure 4).
+//!
+//! A message of `p` equal chunks is sharded so that group-local rank `i`
+//! holds chunk `i`. The hierarchical algorithm on a group spanning
+//! `N = p / k` nodes (with `k` devices per node) runs:
+//!
+//! 1. **Inter-node all-gather**, one per *channel* (devices with the same
+//!    local rank on each node), executed in parallel over the NICs. After
+//!    this stage, the device at node `j`, local rank `c` holds chunks
+//!    `[c, k + c, 2k + c, …]` — note they are *not* consecutive.
+//! 2. **Re-arrangement**: each device copies its stage-1 slots into the
+//!    positions the final buffer needs. Skipping this stage and naively
+//!    concatenating per-device buffers yields the wrong order the paper uses
+//!    as its running example (`[C0, C2, C1, C3]` instead of
+//!    `[C0, C1, C2, C3]`).
+//! 3. **Batched intra-node all-gathers** (`N` of them) over NVLink, each
+//!    filling one `k`-chunk span of the output on every device of the node.
+
+/// The chunk geometry of one hierarchical all-gather: `p` participants,
+/// `k` per node.
+///
+/// ```
+/// use mics_collectives::HierarchicalLayout;
+/// // The paper's Figure 4 example: 4 participants on 2 nodes.
+/// let l = HierarchicalLayout::new(4, 2).unwrap();
+/// assert_eq!(l.stage1_holdings(0), vec![0, 2]);       // interleaved!
+/// assert_eq!(l.naive_concat_order(0), vec![0, 2, 1, 3]); // the bug
+/// assert_eq!(l.simulate(0), vec![0, 1, 2, 3]);        // stage 2+3 fix it
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchicalLayout {
+    p: usize,
+    k: usize,
+}
+
+impl HierarchicalLayout {
+    /// Create a layout. Requires `k` to divide `p` and the group to span at
+    /// least two nodes (`p > k`), otherwise hierarchical communication does
+    /// not apply (§3.3).
+    pub fn new(p: usize, k: usize) -> Option<Self> {
+        if k == 0 || p <= k || !p.is_multiple_of(k) {
+            return None;
+        }
+        Some(HierarchicalLayout { p, k })
+    }
+
+    /// Number of participants (`p`).
+    pub fn participants(&self) -> usize {
+        self.p
+    }
+
+    /// Devices per node (`k`).
+    pub fn per_node(&self) -> usize {
+        self.k
+    }
+
+    /// Nodes spanned (`p / k`).
+    pub fn nodes(&self) -> usize {
+        self.p / self.k
+    }
+
+    /// The node index of a group-local rank.
+    pub fn node_of(&self, rank: usize) -> usize {
+        rank / self.k
+    }
+
+    /// The within-node index of a group-local rank.
+    pub fn local_of(&self, rank: usize) -> usize {
+        rank % self.k
+    }
+
+    /// Members of `rank`'s inter-node channel (stage 1): one rank per node,
+    /// all with the same within-node index, in node order.
+    pub fn channel(&self, rank: usize) -> Vec<usize> {
+        let c = self.local_of(rank);
+        (0..self.nodes()).map(|j| j * self.k + c).collect()
+    }
+
+    /// Chunk ids held by `rank` after stage 1, in memory order.
+    ///
+    /// Slot `j` of the stage-1 buffer holds the chunk contributed by the
+    /// channel member on node `j`, i.e. chunk `j·k + local(rank)`.
+    pub fn stage1_holdings(&self, rank: usize) -> Vec<usize> {
+        let c = self.local_of(rank);
+        (0..self.nodes()).map(|j| j * self.k + c).collect()
+    }
+
+    /// Where stage 2 must place the chunk sitting in stage-1 slot `slot`:
+    /// its index in the final `p`-chunk output buffer.
+    pub fn stage2_destination(&self, rank: usize, slot: usize) -> usize {
+        debug_assert!(slot < self.nodes());
+        slot * self.k + self.local_of(rank)
+    }
+
+    /// The output order produced by *naively* concatenating the stage-1
+    /// buffers of the node's devices (what you would get by launching one
+    /// ordinary all-gather on the stage-1 output, i.e. skipping stages 2–3).
+    ///
+    /// This is the paper's wrong-layout example: for `p = 4, k = 2` it
+    /// returns `[0, 2, 1, 3]`.
+    pub fn naive_concat_order(&self, rank: usize) -> Vec<usize> {
+        let node = self.node_of(rank);
+        let mut order = Vec::with_capacity(self.p);
+        for dev in 0..self.k {
+            order.extend(self.stage1_holdings(node * self.k + dev));
+        }
+        order
+    }
+
+    /// Simulate all three stages symbolically and return the chunk ids each
+    /// device of `rank`'s node ends up with, in memory order. A correct
+    /// implementation returns `[0, 1, …, p-1]`.
+    ///
+    /// Stage 3 is modelled exactly as §3.3 describes: `p / k` batched
+    /// intra-node all-gathers, where call `j` gathers — from each device of
+    /// the node — the chunk that belongs at output position `j·k + local`.
+    pub fn simulate(&self, rank: usize) -> Vec<usize> {
+        let node = self.node_of(rank);
+        let mut out = vec![usize::MAX; self.p];
+        // After stages 1+2, device (node, c) holds chunk j*k + c at output
+        // position j*k + c, for every j.
+        // Stage 3, call j: intra-node all-gather among the k devices; device
+        // with local rank c contributes its chunk at position j*k + c; every
+        // device receives all k contributions into positions j*k .. j*k + k.
+        for j in 0..self.nodes() {
+            for c in 0..self.k {
+                // Contribution of device (node, c): it must own this chunk
+                // after stages 1+2 — assert the handoff is consistent.
+                let contributing_rank = node * self.k + c;
+                let holdings = self.stage1_holdings(contributing_rank);
+                let chunk = holdings[j];
+                let dest = self.stage2_destination(contributing_rank, j);
+                out[dest] = chunk;
+            }
+        }
+        out
+    }
+}
+
+/// Chunk order of a flat (single-stage) all-gather: rank `i` contributes
+/// chunk `i`, concatenated in rank order — the reference layout every other
+/// algorithm must match.
+pub fn flat_order(p: usize) -> Vec<usize> {
+    (0..p).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_degenerate_geometries() {
+        assert!(HierarchicalLayout::new(8, 8).is_none(), "single node");
+        assert!(HierarchicalLayout::new(4, 8).is_none(), "sub-node group");
+        assert!(HierarchicalLayout::new(12, 8).is_none(), "k does not divide p");
+        assert!(HierarchicalLayout::new(16, 0).is_none(), "zero k");
+        assert!(HierarchicalLayout::new(16, 8).is_some());
+    }
+
+    #[test]
+    fn paper_figure4_example() {
+        // p = 4 participants, k = 2 per node (two nodes).
+        let l = HierarchicalLayout::new(4, 2).unwrap();
+        // Node 0, device 0 gathers C0 and C2 in stage 1.
+        assert_eq!(l.stage1_holdings(0), vec![0, 2]);
+        assert_eq!(l.stage1_holdings(1), vec![1, 3]);
+        // The naive concatenation is the paper's wrong layout.
+        assert_eq!(l.naive_concat_order(0), vec![0, 2, 1, 3]);
+        // The full 3-stage algorithm produces the correct layout.
+        assert_eq!(l.simulate(0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn channels_partition_group_one_rank_per_node() {
+        let l = HierarchicalLayout::new(32, 8).unwrap();
+        let ch = l.channel(11); // node 1, local 3
+        assert_eq!(ch, vec![3, 11, 19, 27]);
+        assert_eq!(l.nodes(), 4);
+    }
+
+    #[test]
+    fn stage3_batched_call_count_is_p_over_k() {
+        // §3.3: "the number of batched all-gather calls is p/k".
+        let l = HierarchicalLayout::new(64, 8).unwrap();
+        assert_eq!(l.nodes(), 8);
+    }
+
+    #[test]
+    fn naive_order_only_correct_for_trivial_channel() {
+        // With k = 1 hierarchical never applies; for any valid layout the
+        // naive order must differ from flat whenever k > 1 and N > 1.
+        for (p, k) in [(4, 2), (16, 8), (32, 8), (64, 16)] {
+            let l = HierarchicalLayout::new(p, k).unwrap();
+            assert_ne!(l.naive_concat_order(0), flat_order(p), "p={p} k={k}");
+        }
+    }
+
+    proptest! {
+        /// The headline invariant: for every valid geometry, the 3-stage
+        /// hierarchical all-gather produces exactly the flat order.
+        #[test]
+        fn hierarchical_equals_flat(nodes in 2usize..10, k in 1usize..9) {
+            let p = nodes * k;
+            prop_assume!(p > k);
+            let l = HierarchicalLayout::new(p, k).unwrap();
+            for rank in 0..p {
+                prop_assert_eq!(l.simulate(rank), flat_order(p));
+            }
+        }
+
+        /// Stage-1 holdings cover each channel's chunks exactly once, and the
+        /// union over a node's devices covers all chunks.
+        #[test]
+        fn stage1_holdings_partition_chunks(nodes in 2usize..8, k in 1usize..9) {
+            let p = nodes * k;
+            let l = HierarchicalLayout::new(p, k).unwrap();
+            let mut seen = vec![false; p];
+            for c in 0..k {
+                for chunk in l.stage1_holdings(c) {
+                    prop_assert!(!seen[chunk]);
+                    seen[chunk] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&b| b));
+        }
+
+        /// Stage-2 destinations are a bijection onto the output positions
+        /// that the device's chunks must occupy.
+        #[test]
+        fn stage2_destinations_unique(nodes in 2usize..8, k in 1usize..9) {
+            let p = nodes * k;
+            let l = HierarchicalLayout::new(p, k).unwrap();
+            for rank in 0..p {
+                let mut dests: Vec<_> =
+                    (0..l.nodes()).map(|s| l.stage2_destination(rank, s)).collect();
+                dests.sort_unstable();
+                dests.dedup();
+                prop_assert_eq!(dests.len(), l.nodes());
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Collective-communication algorithms for MiCS: chunk-layout math, α–β cost
+//! models, and effective-bandwidth estimation.
+//!
+//! This crate is the shared brain behind both halves of the reproduction:
+//!
+//! * the **data plane** (`mics-dataplane`) executes the chunk layouts from
+//!   [`layout`] on real buffers — including the 3-stage hierarchical
+//!   all-gather of paper §3.3 with its stage-2 re-arrangement;
+//! * the **simulator executors** (`mics-core`) turn the [`cost`] models into
+//!   timed transfer operations on shared NIC/NVLink links.
+//!
+//! Keeping one source of truth for "which chunk goes where" lets property
+//! tests prove the hierarchical algorithm equivalent to a flat all-gather
+//! for every valid `(p, k)` geometry, which is exactly the correctness bug
+//! class the paper calls out (the `[C0, C2, C1, C3]` wrong layout).
+
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+pub mod cost;
+pub mod layout;
+
+pub use bandwidth::{algorithm_bandwidth, bus_bandwidth, NetParams};
+pub use cost::{CollectiveCost, LinkClass, Phase};
+pub use layout::HierarchicalLayout;

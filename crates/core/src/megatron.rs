@@ -1,0 +1,269 @@
+//! Megatron-LM-3D comparator (paper §5.1.3, Table 2, Figure 10a).
+//!
+//! Megatron-LM-3D combines tensor parallelism (TP), pipeline parallelism
+//! (PP) and data parallelism (DP). Following the paper's tuning rules, TP
+//! stays within a node (≤ 8) and the 1F1B pipeline schedule is used. The
+//! model here is analytic rather than event-driven — pipeline timing has a
+//! well-known closed form — but draws its communication terms from the same
+//! α–β cost models as the DP executors:
+//!
+//! * per-layer TP communication: 2 all-reduces of the activation tensor in
+//!   forward and 2 in backward, over the TP group (NVLink);
+//! * inter-stage p2p of activations (and gradients on the way back);
+//! * pipeline bubble: with `m` micro-batches and `pp` stages, the 1F1B
+//!   schedule idles for `(pp − 1)` micro-batch slots —
+//!   `bubble = (pp − 1) / (m + pp − 1)`, the §2.2 / §6 criticism;
+//! * boundary DP all-reduce of each stage's parameters and the optimizer.
+
+use crate::memory::{OomError, RUNTIME_RESERVED};
+use mics_cluster::ClusterSpec;
+use mics_collectives::cost::{all_reduce, p2p};
+use mics_collectives::NetParams;
+use mics_model::TransformerConfig;
+use mics_simnet::SimTime;
+
+/// A Megatron-LM-3D parallelization configuration (Table 2 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MegatronConfig {
+    /// Tensor-parallel group size (≤ devices per node, per the paper).
+    pub tensor_parallel: usize,
+    /// Pipeline-parallel stage count.
+    pub pipeline_parallel: usize,
+    /// Micro-batch size per model replica.
+    pub micro_batch: usize,
+    /// Global batch size in sequences.
+    pub global_batch: usize,
+}
+
+impl MegatronConfig {
+    /// Table 2, configuration (1): TP = 8, PP = 1.
+    pub fn table2_config1(micro_batch: usize, global_batch: usize) -> Self {
+        MegatronConfig { tensor_parallel: 8, pipeline_parallel: 1, micro_batch, global_batch }
+    }
+
+    /// Table 2, configuration (2): TP = 4, PP = 4.
+    pub fn table2_config2(micro_batch: usize, global_batch: usize) -> Self {
+        MegatronConfig { tensor_parallel: 4, pipeline_parallel: 4, micro_batch, global_batch }
+    }
+
+    /// Table 2, configuration (3): TP = 2, PP = 8.
+    pub fn table2_config3(micro_batch: usize, global_batch: usize) -> Self {
+        MegatronConfig { tensor_parallel: 2, pipeline_parallel: 8, micro_batch, global_batch }
+    }
+}
+
+/// Outcome of a Megatron-LM-3D simulation.
+#[derive(Debug, Clone)]
+pub struct MegatronReport {
+    /// Configuration label, e.g. `"Megatron(TP=2,PP=8)"`.
+    pub label: String,
+    /// One optimizer-step (iteration) time.
+    pub iter_time: SimTime,
+    /// Sequences per second across the cluster.
+    pub samples_per_sec: f64,
+    /// Fraction of pipeline slots lost to the 1F1B bubble.
+    pub bubble_fraction: f64,
+    /// Data-parallel replica count implied by the cluster size.
+    pub data_parallel: usize,
+    /// Peak memory per device.
+    pub peak_mem_bytes: u64,
+}
+
+/// Simulate one iteration of Megatron-LM-3D training for `cfg` on
+/// `cluster`.
+///
+/// Returns an error when the configuration does not tile the cluster, when
+/// the layer count is not divisible by the pipeline size (a real
+/// Megatron-LM constraint the paper works around by padding to 128 layers),
+/// or when a stage does not fit in device memory.
+pub fn simulate_megatron(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    cfg: &MegatronConfig,
+) -> Result<MegatronReport, OomError> {
+    let label = format!("Megatron(TP={},PP={})", cfg.tensor_parallel, cfg.pipeline_parallel);
+    let n = cluster.total_devices();
+    let k = cluster.devices_per_node();
+    let t = cfg.tensor_parallel;
+    let pp = cfg.pipeline_parallel;
+    assert!(t >= 1 && t <= k, "tensor parallelism must stay within a node (paper §5.1.3)");
+    assert!(model.layers.is_multiple_of(pp), "layer count must divide pipeline size");
+    assert!(
+        n.is_multiple_of(t * pp),
+        "cluster size {n} not divisible by TP×PP = {}",
+        t * pp
+    );
+    let d = n / (t * pp); // data-parallel replicas
+    let m = cfg.global_batch / (d * cfg.micro_batch); // micro-batches per pipeline
+    assert!(m >= 1, "global batch too small for this parallelization");
+
+    let net = NetParams::from_instance(&cluster.instance);
+    let sustained = cluster.instance.sustained_fp16_flops();
+    let layers_per_stage = model.layers / pp;
+    let b = cfg.micro_batch;
+
+    // --- per-micro-batch stage times ---
+    let layer_fwd = model.layer_fwd_flops(b) / t as f64 / sustained;
+    // TP communication: 2 all-reduces of the activation (b × l × h fp16)
+    // per layer forward, 2 per layer backward, within the node.
+    let act_bytes = (b * model.seq_len * model.hidden) as u64 * 2;
+    let tp_ar = if t > 1 {
+        all_reduce(t, k, 1, act_bytes, &net).serial_time(&net).as_secs_f64()
+    } else {
+        0.0
+    };
+    let stage_fwd = layers_per_stage as f64 * (layer_fwd + 2.0 * tp_ar);
+    // Backward: 2× compute + recompute (activation checkpointing) + 2 TP
+    // all-reduces per layer.
+    let stage_bwd = layers_per_stage as f64 * (3.0 * layer_fwd + 2.0 * tp_ar);
+    // Head/embedding compute on the last/first stages — amortize over all
+    // stages (small relative term).
+    let head = model.head_fwd_flops(b) / t as f64 / sustained;
+
+    // Inter-stage p2p. Consecutive stages land on different nodes whenever
+    // t × (stage index change) crosses the node boundary; with TP packed
+    // first, a stage occupies t consecutive devices, so stages are
+    // inter-node when t × pp > k.
+    let inter_node_stages = t * pp > k;
+    let p2p_time = if pp > 1 {
+        p2p(act_bytes, inter_node_stages, &net).serial_time(&net).as_secs_f64()
+    } else {
+        0.0
+    };
+
+    // --- 1F1B schedule ---
+    let slot = stage_fwd + stage_bwd + 2.0 * p2p_time;
+    let steady = m as f64 * slot;
+    let ramp = (pp as f64 - 1.0) * slot;
+    let bubble_fraction = ramp / (steady + ramp);
+    let pipeline_time = steady + ramp + (head + 2.0 * head) / pp as f64;
+
+    // --- boundary: DP all-reduce of each stage's parameters + optimizer ---
+    let stage_param_bytes = model.params_per_layer() * layers_per_stage as u64 * 2 / t as u64;
+    let dp_sync = if d > 1 {
+        // DP replicas of the same stage are strided t×pp apart → inter-node
+        // for every realistic configuration.
+        all_reduce(d, k, t * pp, stage_param_bytes, &net).serial_time(&net).as_secs_f64()
+    } else {
+        0.0
+    };
+    let opt_bytes = model.params_per_layer() * layers_per_stage as u64 / t as u64 * 24;
+    let opt_time = opt_bytes as f64 / cluster.instance.memcpy_bw;
+
+    let iter_secs = pipeline_time + dp_sync + opt_time;
+
+    // --- memory ---
+    // Model states of one stage, split over TP: 16 B/param. 1F1B keeps up
+    // to min(pp, m) micro-batches of checkpointed activations alive.
+    let stage_states = model.params_per_layer() * layers_per_stage as u64 * 16 / t as u64;
+    let live_micro = pp.min(m) as u64;
+    let acts = model.checkpoint_bytes(b) / t as u64 * layers_per_stage as u64 * live_micro
+        + model.working_bytes(b) / t as u64;
+    let peak = stage_states + acts + 2 * (1 << 30);
+    let usable = cluster.instance.gpu_mem_bytes.saturating_sub(RUNTIME_RESERVED);
+    if peak > usable {
+        return Err(OomError { required: peak, available: usable, strategy: label });
+    }
+
+    Ok(MegatronReport {
+        label,
+        iter_time: SimTime::from_secs_f64(iter_secs),
+        samples_per_sec: cfg.global_batch as f64 / iter_secs,
+        bubble_fraction,
+        data_parallel: d,
+        peak_mem_bytes: peak,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mics_cluster::InstanceType;
+
+    fn cluster(nodes: usize) -> ClusterSpec {
+        ClusterSpec::new(InstanceType::p3dn_24xlarge(), nodes)
+    }
+
+    fn model() -> TransformerConfig {
+        TransformerConfig::megatron_comparison()
+    }
+
+    #[test]
+    fn table2_configs_run_on_64_gpus() {
+        let c = cluster(8);
+        for cfg in [
+            MegatronConfig::table2_config1(8, 4096),
+            MegatronConfig::table2_config2(8, 4096),
+            MegatronConfig::table2_config3(8, 4096),
+        ] {
+            let r = simulate_megatron(&model(), &c, &cfg).unwrap();
+            assert!(r.samples_per_sec > 0.0, "{}", r.label);
+        }
+    }
+
+    #[test]
+    fn config3_beats_config1() {
+        // §5.1.3: configuration (3) is ~38% better than configuration (1):
+        // TP=8 pays heavy per-layer all-reduce cost, deep pipeline with
+        // many micro-batches keeps the bubble small.
+        let c = cluster(8);
+        let r1 = simulate_megatron(&model(), &c, &MegatronConfig::table2_config1(8, 4096))
+            .unwrap();
+        let r3 = simulate_megatron(&model(), &c, &MegatronConfig::table2_config3(8, 4096))
+            .unwrap();
+        let gain = r3.samples_per_sec / r1.samples_per_sec;
+        assert!(gain > 1.1, "config3/config1 = {gain:.2}");
+    }
+
+    #[test]
+    fn bubble_shrinks_with_more_micro_batches() {
+        let c = cluster(8);
+        let few = MegatronConfig { global_batch: 512, ..MegatronConfig::table2_config3(8, 512) };
+        let many = MegatronConfig::table2_config3(8, 4096);
+        let rf = simulate_megatron(&model(), &c, &few).unwrap();
+        let rm = simulate_megatron(&model(), &c, &many).unwrap();
+        assert!(rf.bubble_fraction > rm.bubble_fraction);
+        assert!(rm.bubble_fraction > 0.0);
+    }
+
+    #[test]
+    fn pp1_has_no_bubble() {
+        let c = cluster(8);
+        let r = simulate_megatron(&model(), &c, &MegatronConfig::table2_config1(8, 4096))
+            .unwrap();
+        assert_eq!(r.bubble_fraction, 0.0);
+    }
+
+    #[test]
+    fn dp_replicas_computed_from_cluster() {
+        let c = cluster(8); // 64 GPUs
+        let r = simulate_megatron(&model(), &c, &MegatronConfig::table2_config2(8, 4096))
+            .unwrap();
+        assert_eq!(r.data_parallel, 64 / 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide pipeline size")]
+    fn indivisible_layers_rejected() {
+        // BERT 10B has 127 layers — precisely why the paper pads to 128.
+        let c = cluster(8);
+        let _ = simulate_megatron(
+            &TransformerConfig::bert_10b(),
+            &c,
+            &MegatronConfig::table2_config3(8, 4096),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "within a node")]
+    fn tensor_parallelism_beyond_node_rejected() {
+        let c = cluster(8);
+        let cfg = MegatronConfig {
+            tensor_parallel: 16,
+            pipeline_parallel: 1,
+            micro_batch: 8,
+            global_batch: 4096,
+        };
+        let _ = simulate_megatron(&model(), &c, &cfg);
+    }
+}

@@ -1,0 +1,372 @@
+//! Lowering collectives and compute onto the discrete-event simulator.
+//!
+//! Each device owns three streams, mirroring the CUDA-stream structure of
+//! DeepSpeed/MiCS: a **compute** stream, a **gather** lane (parameter
+//! all-gathers) and a **reduce** lane (gradient reduce-scatter/all-reduce).
+//! A collective is emitted once per *group*: on every participating node,
+//! the lowest-ranked member (the node leader) executes the timed phases on
+//! that node's shared links; the node's other members wait on the leader's
+//! completion event. Devices in symmetric SPMD programs reach collectives at
+//! identical virtual times, so this compact encoding preserves timing while
+//! letting *cross-collective* contention (e.g. `k` replication-group
+//! all-reduces sharing one NIC) emerge from the fluid link model.
+
+use mics_cluster::{ClusterSpec, Fabric, Rank};
+use mics_collectives::{CollectiveCost, LinkClass, NetParams};
+use mics_simnet::{EventId, Op, Sim, SimTime, StreamId};
+
+/// Which communication stream a collective runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lane {
+    /// Parameter gathering (forward/backward all-gathers).
+    Gather,
+    /// Gradient synchronization (reduce-scatter / all-reduce).
+    Reduce,
+}
+
+/// A materialized cluster: simulator + fabric + per-device streams.
+#[derive(Debug)]
+pub struct SimCluster {
+    /// The event-driven simulator being programmed.
+    pub sim: Sim,
+    /// Cluster geometry.
+    pub spec: ClusterSpec,
+    /// Shared links (NICs, NVLink fabrics, copy engines).
+    pub fabric: Fabric,
+    /// Network parameters for the cost models.
+    pub net: NetParams,
+    compute: Vec<StreamId>,
+    gather: Vec<StreamId>,
+    reduce: Vec<StreamId>,
+}
+
+/// Fraction of the NIC's clean-network bandwidth that inter-node collectives
+/// sustain *while training*: host/PCIe/copy-engine contention with busy
+/// compute kernels and bidirectional traffic derate the wire. Calibrated
+/// against §2.3's own measurement that ZeRO-3 parameter gathering takes
+/// 2.85× the computation time for BERT 10B — the microbenchmarks
+/// (`mics-collectives::bandwidth`, Fig. 1 / Fig. 12a) run at the full
+/// clean-network rate.
+pub const NIC_TRAINING_DERATE: f64 = 0.7;
+
+impl SimCluster {
+    /// Materialize `spec` into a fresh simulator.
+    pub fn new(spec: ClusterSpec) -> Self {
+        let mut sim = Sim::new();
+        let mut fabric = spec.build_fabric(&mut sim);
+        // Replace the NIC links with training-derated ones.
+        fabric.nic = (0..spec.nodes)
+            .map(|node| {
+                let per_node = spec.nic_derate(mics_cluster::NodeId(node));
+                sim.add_link(
+                    format!("nic-training[{node}]"),
+                    spec.instance.nic_bw * NIC_TRAINING_DERATE * per_node,
+                )
+            })
+            .collect();
+        let net = NetParams::from_instance(&spec.instance);
+        let n = spec.total_devices();
+        let mut compute = Vec::with_capacity(n);
+        let mut gather = Vec::with_capacity(n);
+        let mut reduce = Vec::with_capacity(n);
+        for r in 0..n {
+            compute.push(sim.add_stream(format!("compute[{r}]")));
+            gather.push(sim.add_stream(format!("gather[{r}]")));
+            reduce.push(sim.add_stream(format!("reduce[{r}]")));
+        }
+        SimCluster { sim, spec, fabric, net, compute, gather, reduce }
+    }
+
+    fn lane_stream(&self, lane: Lane, rank: Rank) -> StreamId {
+        match lane {
+            Lane::Gather => self.gather[rank.0],
+            Lane::Reduce => self.reduce[rank.0],
+        }
+    }
+
+    /// Push a compute kernel of `flops` at `sustained_flops` onto the
+    /// device's compute stream.
+    pub fn compute_kernel(&mut self, rank: Rank, flops: f64, sustained_flops: f64) {
+        let duration = SimTime::from_secs_f64(flops / sustained_flops);
+        if duration > SimTime::ZERO {
+            self.sim.push(self.compute[rank.0], Op::compute(duration));
+        }
+    }
+
+    /// Push a fixed-duration operation onto the compute stream (optimizer
+    /// step, host-side work attributed to the device timeline).
+    pub fn compute_for(&mut self, rank: Rank, duration: SimTime) {
+        if duration > SimTime::ZERO {
+            self.sim.push(self.compute[rank.0], Op::compute(duration));
+        }
+    }
+
+    /// Make the compute stream wait for `event`.
+    pub fn compute_wait(&mut self, rank: Rank, event: EventId) {
+        self.sim.push(self.compute[rank.0], Op::WaitEvent(event));
+    }
+
+    /// Record a fresh event at the current tail of the compute stream.
+    pub fn compute_record(&mut self, rank: Rank) -> EventId {
+        let e = self.sim.add_event();
+        self.sim.push(self.compute[rank.0], Op::RecordEvent(e));
+        e
+    }
+
+    /// Record a pre-allocated event at the current tail of the compute
+    /// stream (lets callers create the full event table up front).
+    pub fn compute_record_into(&mut self, rank: Rank, event: EventId) {
+        self.sim.push(self.compute[rank.0], Op::RecordEvent(event));
+    }
+
+    /// Allocate an event without attaching it anywhere yet.
+    pub fn new_event(&mut self) -> EventId {
+        self.sim.add_event()
+    }
+
+    /// Make a communication lane wait for `event` (used for prefetch
+    /// backpressure and for gating gradient reduction on backward compute).
+    pub fn lane_wait(&mut self, lane: Lane, rank: Rank, event: EventId) {
+        self.sim.push(self.lane_stream(lane, rank), Op::WaitEvent(event));
+    }
+
+    /// Emit one collective over `members` (global ranks, ascending) on
+    /// `lane`, paying `host_overhead` of launch/decision time on each node
+    /// leader's lane before the wire phases.
+    ///
+    /// Returns the per-member completion events, parallel to `members`.
+    pub fn collective(
+        &mut self,
+        members: &[Rank],
+        lane: Lane,
+        cost: &CollectiveCost,
+        host_overhead: SimTime,
+    ) -> Vec<EventId> {
+        debug_assert!(!members.is_empty());
+        debug_assert!(members.windows(2).all(|w| w[0] < w[1]), "members must ascend");
+
+        // Trivial collective (single member or empty phase list): complete
+        // immediately in stream order.
+        if members.len() == 1 || cost.phases.is_empty() {
+            return members
+                .iter()
+                .map(|&m| {
+                    let e = self.sim.add_event();
+                    self.sim.push(self.lane_stream(lane, m), Op::RecordEvent(e));
+                    e
+                })
+                .collect();
+        }
+
+        // Group members by node; the first member on each node leads and
+        // executes the timed phases on that node's shared links.
+        let mut node_done: Vec<(usize, EventId)> = Vec::new(); // (node, event)
+        for &m in members {
+            let node = self.spec.node_of(m).0;
+            if node_done.iter().any(|&(nd, _)| nd == node) {
+                continue;
+            }
+            let stream = self.lane_stream(lane, m);
+            let done = self.sim.add_event();
+            node_done.push((node, done));
+            if host_overhead > SimTime::ZERO {
+                self.sim.push(stream, Op::compute(host_overhead));
+            }
+            for ph in &cost.phases {
+                let link = match ph.link {
+                    LinkClass::Nic => self.fabric.nic[node],
+                    LinkClass::NvLink => self.fabric.nvlink[node],
+                    LinkClass::Memcpy => self.fabric.memcpy[m.0],
+                };
+                self.sim.push(stream, Op::transfer(link, ph.bytes, ph.latency));
+            }
+            self.sim.push(stream, Op::RecordEvent(done));
+        }
+        // A collective completes only when its *slowest* node finishes —
+        // essential once nodes are heterogeneous (stragglers). The first
+        // member joins all node completions into one group event.
+        let group_done = if node_done.len() == 1 {
+            node_done[0].1
+        } else {
+            let leader_stream = self.lane_stream(lane, members[0]);
+            for &(_, e) in &node_done {
+                self.sim.push(leader_stream, Op::WaitEvent(e));
+            }
+            let e = self.sim.add_event();
+            self.sim.push(leader_stream, Op::RecordEvent(e));
+            e
+        };
+        let mut events = Vec::with_capacity(members.len());
+        for (i, &m) in members.iter().enumerate() {
+            if i == 0 {
+                events.push(group_done);
+                continue;
+            }
+            let stream = self.lane_stream(lane, m);
+            self.sim.push(stream, Op::WaitEvent(group_done));
+            let mine = self.sim.add_event();
+            self.sim.push(stream, Op::RecordEvent(mine));
+            events.push(mine);
+        }
+        events
+    }
+
+    /// Record execution spans for chrome-trace export.
+    pub fn enable_tracing(&mut self) {
+        self.sim.enable_tracing();
+    }
+
+    /// Run the programmed iteration and return `(makespan, compute-busy,
+    /// comm-busy)` where the busy numbers are summed across devices.
+    pub fn run(self) -> (SimTime, SimTime, SimTime) {
+        let (makespan, compute, comm, _) = self.run_traced();
+        (makespan, compute, comm)
+    }
+
+    /// Like [`SimCluster::run`], but also returns the chrome-trace JSON of
+    /// the timeline (empty spans unless [`SimCluster::enable_tracing`] was
+    /// called).
+    pub fn run_traced(mut self) -> (SimTime, SimTime, SimTime, String) {
+        let stats = self.sim.run().expect("iteration program must not deadlock");
+        let compute_busy: SimTime = self.compute.iter().map(|s| stats.stream_busy[s.0]).sum();
+        let comm_busy: SimTime = self
+            .gather
+            .iter()
+            .chain(self.reduce.iter())
+            .map(|s| stats.stream_busy[s.0])
+            .sum();
+        let json = mics_simnet::chrome_trace_json(&stats.trace, &stats.stream_names);
+        (stats.makespan, compute_busy, comm_busy, json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mics_cluster::InstanceType;
+    use mics_collectives::cost;
+
+    fn cluster(nodes: usize) -> SimCluster {
+        SimCluster::new(ClusterSpec::new(InstanceType::p3dn_24xlarge(), nodes))
+    }
+
+    #[test]
+    fn single_member_collective_is_free() {
+        let mut sc = cluster(1);
+        let c = cost::all_gather_flat(1, 8, 1 << 20, &sc.net);
+        let evs = sc.collective(&[Rank(0)], Lane::Gather, &c, SimTime::ZERO);
+        assert_eq!(evs.len(), 1);
+        let (makespan, _, _) = sc.run();
+        assert_eq!(makespan, SimTime::ZERO);
+    }
+
+    #[test]
+    fn intra_node_collective_takes_cost_model_time() {
+        let mut sc = cluster(1);
+        let m = 256u64 << 20;
+        let c = cost::all_gather_flat(8, 8, m, &sc.net);
+        let expect = c.serial_time(&sc.net);
+        let members: Vec<Rank> = (0..8).map(Rank).collect();
+        sc.collective(&members, Lane::Gather, &c, SimTime::ZERO);
+        let (makespan, _, _) = sc.run();
+        // The fluid link model rounds completion up to whole nanoseconds.
+        assert!(makespan.saturating_sub(expect) <= SimTime::from_nanos(2));
+        assert!(expect.saturating_sub(makespan) <= SimTime::from_nanos(2));
+    }
+
+    #[test]
+    fn two_groups_on_one_node_contend_on_nvlink() {
+        // Two partition groups of 4 GPUs inside one node gather at once:
+        // the shared NVLink fabric halves each one's bandwidth.
+        let m = 256u64 << 20;
+        let solo = {
+            let mut sc = cluster(1);
+            let c = cost::all_gather_flat(4, 8, m, &sc.net);
+            sc.collective(&(0..4).map(Rank).collect::<Vec<_>>(), Lane::Gather, &c, SimTime::ZERO);
+            sc.run().0
+        };
+        let contended = {
+            let mut sc = cluster(1);
+            let c = cost::all_gather_flat(4, 8, m, &sc.net);
+            sc.collective(&(0..4).map(Rank).collect::<Vec<_>>(), Lane::Gather, &c, SimTime::ZERO);
+            sc.collective(&(4..8).map(Rank).collect::<Vec<_>>(), Lane::Gather, &c, SimTime::ZERO);
+            sc.run().0
+        };
+        assert!(contended.as_secs_f64() > 1.8 * solo.as_secs_f64());
+    }
+
+    #[test]
+    fn inter_node_collective_pays_training_derated_nic() {
+        let mut sc = cluster(2);
+        let m = 128u64 << 20;
+        let c = cost::all_gather_flat(16, 8, m, &sc.net);
+        let members: Vec<Rank> = (0..16).map(Rank).collect();
+        let bytes = c.phases[0].bytes;
+        let expect = c.phases[0].latency
+            + SimTime::from_secs_f64(bytes as f64 / (sc.net.nic_bw * NIC_TRAINING_DERATE));
+        let clean = c.serial_time(&sc.net);
+        sc.collective(&members, Lane::Gather, &c, SimTime::ZERO);
+        let (makespan, _, _) = sc.run();
+        assert!(makespan.saturating_sub(expect) <= SimTime::from_nanos(2));
+        assert!(expect.saturating_sub(makespan) <= SimTime::from_nanos(2));
+        // Derated below the clean-network serial time.
+        assert!(makespan > clean);
+    }
+
+    #[test]
+    fn host_overhead_delays_completion() {
+        let m = 16u64 << 20;
+        let members: Vec<Rank> = (0..8).map(Rank).collect();
+        let mut sc = cluster(1);
+        let c = cost::all_gather_flat(8, 8, m, &sc.net);
+        sc.collective(&members, Lane::Gather, &c, SimTime::from_micros(500));
+        let (with_overhead, _, _) = sc.run();
+        let mut sc = cluster(1);
+        let c = cost::all_gather_flat(8, 8, m, &sc.net);
+        sc.collective(&members, Lane::Gather, &c, SimTime::ZERO);
+        let (without, _, _) = sc.run();
+        assert_eq!(with_overhead, without + SimTime::from_micros(500));
+    }
+
+    #[test]
+    fn compute_and_comm_overlap_via_events() {
+        let mut sc = cluster(1);
+        let m = 128u64 << 20;
+        let c = cost::all_gather_flat(8, 8, m, &sc.net);
+        let members: Vec<Rank> = (0..8).map(Rank).collect();
+        let gather_time = c.serial_time(&sc.net);
+        let evs = sc.collective(&members, Lane::Gather, &c, SimTime::ZERO);
+        // Every device computes 2× the gather time concurrently, then a
+        // dependent kernel.
+        for (i, &r) in members.iter().enumerate() {
+            sc.compute_for(r, gather_time * 2);
+            sc.compute_wait(r, evs[i]);
+            sc.compute_for(r, SimTime::from_millis(1));
+        }
+        let (makespan, _, _) = sc.run();
+        assert_eq!(makespan, gather_time * 2 + SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn replication_style_collectives_share_nic() {
+        // k=8 per-device all-reduces with stride 8 (one per local rank)
+        // across 2 nodes share each node's NIC: total time ≈ 8× one alone.
+        let m = 32u64 << 20;
+        let one = {
+            let mut sc = cluster(2);
+            let c = cost::all_reduce(2, 8, 8, m, &sc.net);
+            sc.collective(&[Rank(0), Rank(8)], Lane::Reduce, &c, SimTime::ZERO);
+            sc.run().0
+        };
+        let eight = {
+            let mut sc = cluster(2);
+            let c = cost::all_reduce(2, 8, 8, m, &sc.net);
+            for local in 0..8 {
+                sc.collective(&[Rank(local), Rank(8 + local)], Lane::Reduce, &c, SimTime::ZERO);
+            }
+            sc.run().0
+        };
+        let ratio = eight.as_secs_f64() / one.as_secs_f64();
+        assert!((6.0..9.0).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,71 @@
+//! Results of a simulated training run.
+
+use crate::memory::MemoryEstimate;
+use mics_simnet::SimTime;
+
+/// What one simulated iteration of a [`crate::TrainingJob`] produced.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Strategy label (e.g. `"MiCS(p=16)"`).
+    pub label: String,
+    /// Wall-clock time of one full iteration (s micro-steps + boundary).
+    pub iter_time: SimTime,
+    /// System throughput: samples (sequences/images) per second across the
+    /// cluster — the paper's primary metric.
+    pub samples_per_sec: f64,
+    /// Model FLOP/s actually achieved per GPU, from the workload's own
+    /// FLOPs accounting (`total_flops × s / iter_time`).
+    pub achieved_flops_per_gpu: f64,
+    /// The per-device memory estimate the run was admitted under.
+    pub memory: MemoryEstimate,
+    /// Whether the hierarchical all-gather was active (it is automatically
+    /// disabled when its staging buffers do not fit, §5.1.1).
+    pub hierarchical_used: bool,
+    /// Fraction of the iteration each device's compute stream was busy.
+    pub compute_fraction: f64,
+    /// Fraction of the iteration each device's communication lanes were
+    /// busy (can exceed 1.0 in aggregate when lanes overlap; normalized per
+    /// device here).
+    pub comm_fraction: f64,
+}
+
+impl RunReport {
+    /// Throughput in samples/sec normalized per device.
+    pub fn samples_per_sec_per_gpu(&self, devices: usize) -> f64 {
+        self.samples_per_sec / devices as f64
+    }
+
+    /// Achieved TFLOPS per GPU.
+    pub fn tflops_per_gpu(&self) -> f64 {
+        self.achieved_flops_per_gpu / 1e12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryEstimate;
+
+    #[test]
+    fn helpers() {
+        let r = RunReport {
+            label: "x".into(),
+            iter_time: SimTime::from_secs(1),
+            samples_per_sec: 64.0,
+            achieved_flops_per_gpu: 50e12,
+            memory: MemoryEstimate {
+                params: 0,
+                grads: 0,
+                optimizer: 0,
+                activations: 0,
+                transient: 0,
+                hierarchical_buffers: false,
+            },
+            hierarchical_used: false,
+            compute_fraction: 0.5,
+            comm_fraction: 0.4,
+        };
+        assert_eq!(r.samples_per_sec_per_gpu(16), 4.0);
+        assert_eq!(r.tflops_per_gpu(), 50.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Automatic configuration search (paper §7: "We leave the configuration
+//! search for the best performance as our future work").
+//!
+//! The search space is small and structured: partition group sizes are
+//! node-aligned powers of two between one node's worth of devices and the
+//! cluster, times the hierarchical-communication toggle. The tuner prunes
+//! with the memory model first (OOM candidates cost nothing) and then ranks
+//! the survivors by simulated throughput — a few dozen deterministic
+//! simulations at most.
+
+use crate::config::{MicsConfig, Strategy};
+use crate::dp::simulate_dp;
+use crate::memory::{check_memory, OomError};
+use crate::report::RunReport;
+use crate::TrainingJob;
+use mics_cluster::ClusterSpec;
+use mics_model::WorkloadSpec;
+
+/// One evaluated candidate configuration.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The configuration tried.
+    pub config: MicsConfig,
+    /// Its simulation result (`Err` = did not fit).
+    pub outcome: Result<RunReport, OomError>,
+}
+
+impl Candidate {
+    /// Samples/sec, or 0 for OOM candidates.
+    pub fn throughput(&self) -> f64 {
+        self.outcome.as_ref().map(|r| r.samples_per_sec).unwrap_or(0.0)
+    }
+}
+
+/// Result of a tuning run: the winner plus the full exploration record.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// The best feasible configuration.
+    pub best: MicsConfig,
+    /// Its report.
+    pub report: RunReport,
+    /// Every candidate evaluated, in exploration order.
+    pub explored: Vec<Candidate>,
+}
+
+/// Node-aligned candidate partition sizes for a cluster: `k, 2k, 4k, …, n`,
+/// plus the sub-node powers of two (`k/2, k/4, …, 1`) that still divide
+/// the cluster size.
+pub fn candidate_partition_sizes(cluster: &ClusterSpec) -> Vec<usize> {
+    let n = cluster.total_devices();
+    let k = cluster.devices_per_node();
+    let mut sizes = Vec::new();
+    let mut p = 1;
+    while p <= n {
+        let aligned = p % k == 0 || k.is_multiple_of(p);
+        if aligned && n.is_multiple_of(p) {
+            sizes.push(p);
+        }
+        p *= 2;
+    }
+    // The whole cluster (ZeRO-3 degenerate case) is always a candidate,
+    // even when n is not a power of two.
+    if sizes.last() != Some(&n) {
+        sizes.push(n);
+    }
+    sizes
+}
+
+/// Find the fastest feasible MiCS configuration for `workload` on
+/// `cluster` with `accum_steps` gradient accumulation.
+///
+/// Returns `Err` with the smallest candidate's OOM record when *nothing*
+/// fits (the model is simply too large for the cluster).
+///
+/// ```
+/// use mics_cluster::{ClusterSpec, InstanceType};
+/// use mics_model::TransformerConfig;
+/// let cluster = ClusterSpec::new(InstanceType::p3dn_24xlarge(), 4);
+/// let result =
+///     mics_core::tune(&TransformerConfig::bert_10b().workload(8), &cluster, 4).unwrap();
+/// // Recovers the paper's heuristic: smallest group that fits (one node).
+/// assert_eq!(result.best.partition_size, 8);
+/// ```
+pub fn tune(
+    workload: &WorkloadSpec,
+    cluster: &ClusterSpec,
+    accum_steps: usize,
+) -> Result<TuneResult, OomError> {
+    let mut explored = Vec::new();
+    let mut best: Option<(MicsConfig, RunReport)> = None;
+    let mut first_oom: Option<OomError> = None;
+
+    for p in candidate_partition_sizes(cluster) {
+        for hierarchical in [true, false] {
+            let spans_nodes = p > cluster.devices_per_node();
+            if hierarchical && !spans_nodes {
+                continue; // hierarchical comm is a no-op for intra-node groups
+            }
+            let mut config = MicsConfig::paper_defaults(p);
+            config.hierarchical_allgather = hierarchical;
+            // Cheap memory pre-check before paying for a simulation.
+            let plan = Strategy::Mics(config.clone()).plan(cluster.total_devices());
+            if let Err(e) = check_memory(workload, cluster, &plan, "tuner") {
+                if first_oom.is_none() {
+                    first_oom = Some(e.clone());
+                }
+                explored.push(Candidate { config, outcome: Err(e) });
+                continue;
+            }
+            let job = TrainingJob {
+                workload: workload.clone(),
+                cluster: cluster.clone(),
+                strategy: Strategy::Mics(config.clone()),
+                accum_steps,
+            };
+            let outcome = simulate_dp(&job);
+            if let Ok(r) = &outcome {
+                let better = best.as_ref().is_none_or(|(_, b)| {
+                    r.samples_per_sec > b.samples_per_sec
+                });
+                if better {
+                    best = Some((config.clone(), r.clone()));
+                }
+            }
+            explored.push(Candidate { config, outcome });
+        }
+    }
+
+    match best {
+        Some((best, report)) => Ok(TuneResult { best, report, explored }),
+        None => Err(first_oom.expect("no candidates at all implies an OOM record")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mics_cluster::InstanceType;
+    use mics_model::TransformerConfig;
+
+    fn v100(nodes: usize) -> ClusterSpec {
+        ClusterSpec::new(InstanceType::p3dn_24xlarge(), nodes)
+    }
+
+    #[test]
+    fn candidate_sizes_are_aligned_divisors() {
+        let sizes = candidate_partition_sizes(&v100(4));
+        assert_eq!(sizes, vec![1, 2, 4, 8, 16, 32]);
+        let sizes = candidate_partition_sizes(&v100(3));
+        // n = 24: powers of two dividing 24 with node alignment, plus the
+        // whole cluster.
+        assert_eq!(sizes, vec![1, 2, 4, 8, 24]);
+    }
+
+    #[test]
+    fn tuner_picks_smallest_fitting_group_for_bert10b() {
+        // §5.1.1's heuristic should fall out of the search: BERT 10B on
+        // 64 GPUs is fastest with 8-GPU (single-node) partition groups.
+        let result = tune(&TransformerConfig::bert_10b().workload(8), &v100(8), 4).unwrap();
+        assert_eq!(result.best.partition_size, 8);
+        assert!(result.report.samples_per_sec > 0.0);
+        // The exploration record contains both feasible and (for p too
+        // small) infeasible candidates.
+        assert!(result.explored.iter().any(|c| c.outcome.is_err()));
+        assert!(result.explored.len() >= 6);
+    }
+
+    #[test]
+    fn tuner_respects_memory_for_bert50b() {
+        // 50B needs 8 nodes; the tuner must not pick anything smaller.
+        let result = tune(&TransformerConfig::bert_50b().workload(8), &v100(8), 4).unwrap();
+        assert_eq!(result.best.partition_size, 64);
+    }
+
+    #[test]
+    fn tuner_reports_oom_when_nothing_fits() {
+        // 100B cannot fit on two V100 nodes no matter the configuration.
+        let err = tune(&TransformerConfig::proprietary_100b().workload(8), &v100(2), 4)
+            .unwrap_err();
+        assert!(err.required > err.available);
+    }
+
+    #[test]
+    fn tuner_prefers_hierarchical_for_multi_node_groups() {
+        // BERT 15B (min group = 2 nodes): the winner must have the
+        // hierarchical all-gather enabled.
+        let result = tune(&TransformerConfig::bert_15b().workload(8), &v100(4), 4).unwrap();
+        assert_eq!(result.best.partition_size, 16);
+        assert!(result.best.hierarchical_allgather);
+        // And the explored set contains the non-hierarchical variant with
+        // strictly lower throughput.
+        let without = result
+            .explored
+            .iter()
+            .find(|c| c.config.partition_size == 16 && !c.config.hierarchical_allgather)
+            .expect("variant must have been explored");
+        assert!(without.throughput() < result.report.samples_per_sec);
+    }
+}

@@ -1,0 +1,327 @@
+//! The real 3-stage hierarchical all-gather of paper §3.3 / Figure 4,
+//! executed on actual buffers.
+//!
+//! The caller provides two sub-communicators of the partition group,
+//! obtained with [`Communicator::split`]:
+//!
+//! * `channel`: this rank's **inter-node channel** — the ranks with the same
+//!   within-node index on each node of the group (`p/k` members, one per
+//!   node, ordered by node).
+//! * `node`: this rank's **intra-node group** — the `k` ranks of its node,
+//!   ordered by within-node index.
+//!
+//! Stage 1 all-gathers shards over `channel` (in a real cluster these `k`
+//! channels run in parallel over the NICs). Stage 2 re-arranges the gathered
+//! chunks into their final positions, fixing the memory-discontiguity the
+//! paper illustrates with the `[C0, C2, C1, C3]` example. Stage 3 launches
+//! `p/k` intra-node all-gathers *as one coalesced batch* to fill in the
+//! chunks owned by node peers.
+
+use crate::Communicator;
+use mics_collectives::HierarchicalLayout;
+
+/// Gather the partition group's `p` shards into the full buffer using the
+/// 3-stage hierarchical algorithm.
+///
+/// * `shard` — this rank's chunk (all ranks must pass equal lengths).
+/// * `layout` — the `(p, k)` geometry; `channel.world()` must equal
+///   `layout.nodes()` and `node.world()` must equal `layout.per_node()`.
+///
+/// Returns the `p × shard.len()` gathered buffer in flat rank order — the
+/// same result a flat `all_gather` over the whole partition group produces.
+pub fn hierarchical_all_gather(
+    channel: &Communicator,
+    node: &Communicator,
+    layout: &HierarchicalLayout,
+    shard: &[f32],
+) -> Vec<f32> {
+    assert_eq!(channel.world(), layout.nodes(), "channel size must equal node count");
+    assert_eq!(node.world(), layout.per_node(), "node group size must equal k");
+    let chunk = shard.len();
+    let p = layout.participants();
+    let local = node.rank();
+    let group_rank = channel.rank() * layout.per_node() + local;
+
+    // Stage 1: inter-node all-gather along the channel. Afterwards this
+    // rank holds chunks [local, k + local, 2k + local, …] in node order.
+    let stage1 = channel.all_gather(shard);
+    debug_assert_eq!(stage1.len(), layout.nodes() * chunk);
+
+    // Stage 2: re-arrange into the final buffer. Chunk in stage-1 slot `j`
+    // belongs at output chunk index `j·k + local`.
+    let mut out = vec![0.0f32; p * chunk];
+    for slot in 0..layout.nodes() {
+        let dest = layout.stage2_destination(group_rank, slot);
+        out[dest * chunk..(dest + 1) * chunk]
+            .copy_from_slice(&stage1[slot * chunk..(slot + 1) * chunk]);
+    }
+
+    // Stage 3: p/k batched intra-node all-gathers. Call `j` exchanges the
+    // node's chunks for output span [j·k, (j+1)·k).
+    let parts: Vec<Vec<f32>> = (0..layout.nodes())
+        .map(|j| {
+            let idx = j * layout.per_node() + local;
+            out[idx * chunk..(idx + 1) * chunk].to_vec()
+        })
+        .collect();
+    let part_refs: Vec<&[f32]> = parts.iter().map(|p| p.as_slice()).collect();
+    let gathered = node.all_gather_coalesced(&part_refs);
+    for (j, span) in gathered.iter().enumerate() {
+        debug_assert_eq!(span.len(), layout.per_node() * chunk);
+        let base = j * layout.per_node() * chunk;
+        out[base..base + span.len()].copy_from_slice(span);
+    }
+    out
+}
+
+/// The *incorrect* two-stage variant the paper warns about: gather along the
+/// channel, then directly all-gather the stage-1 buffers within the node,
+/// skipping the re-arrangement. Produces the wrong chunk order
+/// (`[C0, C2, C1, C3]` for `p = 4, k = 2`). Kept as an executable
+/// counter-example.
+pub fn naive_two_stage_all_gather(
+    channel: &Communicator,
+    node: &Communicator,
+    layout: &HierarchicalLayout,
+    shard: &[f32],
+) -> Vec<f32> {
+    assert_eq!(channel.world(), layout.nodes());
+    assert_eq!(node.world(), layout.per_node());
+    let stage1 = channel.all_gather(shard);
+    node.all_gather(&stage1)
+}
+
+/// The gradient-direction dual of [`hierarchical_all_gather`]: reduce each
+/// rank's full `p × chunk` gradient buffer so that every rank ends with its
+/// own chunk summed over the whole partition group, using two stages:
+///
+/// 1. **Batched intra-node reduce-scatters** (one per `k`-chunk span of the
+///    output, issued through the §4 coalesced API): after this stage, the
+///    rank at node `j`, local `c` holds the node-partial sums of chunks
+///    `[c, k + c, 2k + c, …]` — the same interleaved layout stage 1 of the
+///    all-gather produces, which is already channel order.
+/// 2. **Inter-node reduce-scatter** along the channel: member `j` of the
+///    channel receives the fully reduced chunk `j·k + c`, which is exactly
+///    this rank's shard.
+///
+/// The summation order (intra-node first, then across nodes) is a
+/// re-association of the flat reduce-scatter's rank-order fold, so results
+/// agree exactly for exactly-representable data and to fp-rounding
+/// tolerance otherwise.
+pub fn hierarchical_reduce_scatter(
+    channel: &Communicator,
+    node: &Communicator,
+    layout: &HierarchicalLayout,
+    full: &[f32],
+) -> Vec<f32> {
+    assert_eq!(channel.world(), layout.nodes(), "channel size must equal node count");
+    assert_eq!(node.world(), layout.per_node(), "node group size must equal k");
+    let p = layout.participants();
+    assert!(full.len().is_multiple_of(p), "input must be p equal chunks");
+    let chunk = full.len() / p;
+    let k = layout.per_node();
+
+    // Stage 1: one intra-node reduce-scatter per k-chunk span, batched.
+    let spans: Vec<&[f32]> = (0..layout.nodes())
+        .map(|j| &full[j * k * chunk..(j + 1) * k * chunk])
+        .collect();
+    let partials = node.reduce_scatter_coalesced(&spans);
+    // partials[j] = node-partial sum of chunk j·k + local — already in
+    // channel (node) order; concatenate and reduce across nodes.
+    let mut stage1 = Vec::with_capacity(layout.nodes() * chunk);
+    for part in &partials {
+        debug_assert_eq!(part.len(), chunk);
+        stage1.extend_from_slice(part);
+    }
+
+    // Stage 2: inter-node reduce-scatter along the channel.
+    channel.reduce_scatter(&stage1)
+}
+
+/// Convenience: split a partition-group communicator of `p = nodes × k`
+/// ranks into the `(channel, node)` pair [`hierarchical_all_gather`] needs.
+/// Collective over `group`.
+pub fn split_hierarchical(
+    group: &mut Communicator,
+    layout: &HierarchicalLayout,
+) -> (Communicator, Communicator) {
+    assert_eq!(group.world(), layout.participants(), "group size must equal p");
+    let rank = group.rank();
+    let channel = group.split(layout.local_of(rank) as i64, layout.node_of(rank) as i64);
+    let node = group.split(layout.node_of(rank) as i64, layout.local_of(rank) as i64);
+    (channel, node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_ranks;
+    use proptest::prelude::*;
+
+    /// Run hierarchical all-gather on `nodes × k` thread-ranks where rank r
+    /// contributes `chunk` elements encoding (rank, element index).
+    fn run_hier(nodes: usize, k: usize, chunk: usize, naive: bool) -> Vec<Vec<f32>> {
+        let p = nodes * k;
+        let layout = HierarchicalLayout::new(p, k).unwrap();
+        run_ranks(p, move |mut comm| {
+            let rank = comm.rank();
+            let (channel, node) = split_hierarchical(&mut comm, &layout);
+            let shard: Vec<f32> =
+                (0..chunk).map(|i| (rank * 1000 + i) as f32).collect();
+            if naive {
+                naive_two_stage_all_gather(&channel, &node, &layout, &shard)
+            } else {
+                hierarchical_all_gather(&channel, &node, &layout, &shard)
+            }
+        })
+    }
+
+    fn flat_reference(p: usize, chunk: usize) -> Vec<f32> {
+        (0..p).flat_map(|r| (0..chunk).map(move |i| (r * 1000 + i) as f32)).collect()
+    }
+
+    #[test]
+    fn paper_example_two_nodes_two_gpus() {
+        let out = run_hier(2, 2, 3, false);
+        let expect = flat_reference(4, 3);
+        for r in &out {
+            assert_eq!(r, &expect);
+        }
+    }
+
+    #[test]
+    fn naive_variant_reproduces_papers_wrong_layout() {
+        // p = 4, k = 2, chunk = 1: naive concatenation gives [C0, C2, C1, C3].
+        let out = run_hier(2, 2, 1, true);
+        assert_eq!(out[0], vec![0.0, 2000.0, 1000.0, 3000.0]);
+    }
+
+    #[test]
+    fn four_nodes_eight_gpus() {
+        let out = run_hier(4, 8, 2, false);
+        let expect = flat_reference(32, 2);
+        for r in &out {
+            assert_eq!(r, &expect);
+        }
+    }
+
+    #[test]
+    fn matches_flat_all_gather_bitwise() {
+        let nodes = 3;
+        let k = 4;
+        let p = nodes * k;
+        let layout = HierarchicalLayout::new(p, k).unwrap();
+        let chunk = 7;
+        let hier = run_ranks(p, |mut comm| {
+            let rank = comm.rank();
+            let (channel, node) = split_hierarchical(&mut comm, &layout);
+            let shard: Vec<f32> =
+                (0..chunk).map(|i| ((rank * 31 + i) as f32).sin()).collect();
+            hierarchical_all_gather(&channel, &node, &layout, &shard)
+        });
+        let flat = run_ranks(p, |comm| {
+            let rank = comm.rank();
+            let shard: Vec<f32> =
+                (0..chunk).map(|i| ((rank * 31 + i) as f32).sin()).collect();
+            comm.all_gather(&shard)
+        });
+        assert_eq!(hier, flat);
+    }
+
+    #[test]
+    fn hierarchical_reduce_scatter_matches_flat_on_integers() {
+        // Integer-valued data sums exactly regardless of association order,
+        // so the two algorithms must agree bitwise.
+        for (nodes, k) in [(2usize, 2usize), (2, 4), (3, 2), (2, 8)] {
+            let p = nodes * k;
+            let layout = HierarchicalLayout::new(p, k).unwrap();
+            let chunk = 3;
+            let input = move |rank: usize| -> Vec<f32> {
+                (0..p * chunk).map(|i| ((rank * 7 + i * 3) % 23) as f32).collect()
+            };
+            let hier = run_ranks(p, move |mut comm| {
+                let rank = comm.rank();
+                let (channel, node) = split_hierarchical(&mut comm, &layout);
+                hierarchical_reduce_scatter(&channel, &node, &layout, &input(rank))
+            });
+            let flat = run_ranks(p, move |comm| {
+                let rank = comm.rank();
+                comm.reduce_scatter(&input(rank))
+            });
+            assert_eq!(hier, flat, "p={p} k={k}");
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_then_gather_is_hierarchical_all_reduce() {
+        // Composing the two hierarchical primitives reproduces all-reduce.
+        let (nodes, k) = (2usize, 4usize);
+        let p = nodes * k;
+        let layout = HierarchicalLayout::new(p, k).unwrap();
+        let chunk = 5;
+        let input = move |rank: usize| -> Vec<f32> {
+            (0..p * chunk).map(|i| ((rank * 13 + i) % 17) as f32).collect()
+        };
+        let composed = run_ranks(p, move |mut comm| {
+            let rank = comm.rank();
+            let (channel, node) = split_hierarchical(&mut comm, &layout);
+            let mine = hierarchical_reduce_scatter(&channel, &node, &layout, &input(rank));
+            hierarchical_all_gather(&channel, &node, &layout, &mine)
+        });
+        let reference = run_ranks(p, move |comm| {
+            let rank = comm.rank();
+            comm.all_reduce(&input(rank))
+        });
+        assert_eq!(composed, reference);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        /// Property: for every geometry the hierarchical gather equals the
+        /// flat reference layout.
+        #[test]
+        fn hierarchical_correct_for_all_geometries(
+            nodes in 2usize..5,
+            k in 1usize..5,
+            chunk in 1usize..9,
+        ) {
+            let p = nodes * k;
+            prop_assume!(p > k);
+            let out = run_hier(nodes, k, chunk, false);
+            let expect = flat_reference(p, chunk);
+            for r in &out {
+                prop_assert_eq!(r, &expect);
+            }
+        }
+
+        /// Property: hierarchical reduce-scatter agrees with the flat one to
+        /// fp-rounding tolerance for arbitrary float data.
+        #[test]
+        fn hierarchical_reduce_scatter_close_for_floats(
+            nodes in 2usize..4,
+            k in 1usize..5,
+            chunk in 1usize..5,
+        ) {
+            let p = nodes * k;
+            prop_assume!(p > k);
+            let layout = HierarchicalLayout::new(p, k).unwrap();
+            let input = move |rank: usize| -> Vec<f32> {
+                (0..p * chunk).map(|i| ((rank * 131 + i * 29) as f32 * 0.01).sin()).collect()
+            };
+            let hier = run_ranks(p, move |mut comm| {
+                let rank = comm.rank();
+                let (channel, node) = split_hierarchical(&mut comm, &layout);
+                hierarchical_reduce_scatter(&channel, &node, &layout, &input(rank))
+            });
+            let flat = run_ranks(p, move |comm| {
+                let rank = comm.rank();
+                comm.reduce_scatter(&input(rank))
+            });
+            for (h, f) in hier.iter().zip(flat.iter()) {
+                for (a, b) in h.iter().zip(f.iter()) {
+                    prop_assert!((a - b).abs() <= 1e-5 * a.abs().max(1.0));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,565 @@
+//! An in-process, shared-memory data plane that stands in for NCCL.
+//!
+//! Each simulated device is an OS thread holding a [`Communicator`] handle.
+//! Collectives are rendezvous operations over real `f32` buffers, so the
+//! *data-layout contracts* of the paper's algorithms — most importantly the
+//! 3-stage hierarchical all-gather of §3.3 and the coalesced communication
+//! APIs of §4 — are executed and tested for real, not merely cost-modelled.
+//!
+//! Determinism: reductions fold contributions in fixed rank order, so every
+//! rank computes bit-identical results, and repeated runs are bit-identical
+//! regardless of thread scheduling. This is what lets the fidelity
+//! experiment (paper §5.4, Figure 15) compare loss curves between
+//! synchronization schedules down to floating-point equality.
+//!
+//! # Example
+//!
+//! ```
+//! use mics_dataplane::run_ranks;
+//!
+//! let results = run_ranks(4, |comm| {
+//!     let contribution = vec![comm.rank() as f32];
+//!     comm.all_gather(&contribution)
+//! });
+//! for r in &results {
+//!     assert_eq!(r, &[0.0, 1.0, 2.0, 3.0]);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+pub mod hierarchical;
+
+pub use hierarchical::{
+    hierarchical_all_gather, hierarchical_reduce_scatter, naive_two_stage_all_gather,
+};
+
+/// Sense-reversing rendezvous barrier.
+#[derive(Debug)]
+struct Barrier {
+    lock: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+}
+
+impl Barrier {
+    fn new() -> Self {
+        Barrier { lock: Mutex::new(BarrierState { arrived: 0, generation: 0 }), cv: Condvar::new() }
+    }
+
+    fn wait(&self, world: usize) {
+        let mut st = self.lock.lock();
+        st.arrived += 1;
+        if st.arrived == world {
+            st.arrived = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.cv.notify_all();
+        } else {
+            let gen = st.generation;
+            while st.generation == gen {
+                self.cv.wait(&mut st);
+            }
+        }
+    }
+}
+
+/// Shared state of one communicator group.
+#[derive(Debug)]
+struct Inner {
+    world: usize,
+    barrier: Barrier,
+    /// Single-buffer deposit slots, one per rank.
+    slots: Mutex<Vec<Option<Vec<f32>>>>,
+    /// Multi-buffer deposit slots for the coalesced APIs.
+    multi_slots: Mutex<Vec<Vec<Vec<f32>>>>,
+    /// Metadata slots used by `split`.
+    meta: Mutex<Vec<Option<(i64, i64)>>>,
+    /// Sub-communicators created by `split`, keyed by (call index, color).
+    children: Mutex<HashMap<(u64, i64), Arc<Inner>>>,
+}
+
+impl Inner {
+    fn new(world: usize) -> Self {
+        Inner {
+            world,
+            barrier: Barrier::new(),
+            slots: Mutex::new(vec![None; world]),
+            multi_slots: Mutex::new(vec![Vec::new(); world]),
+            meta: Mutex::new(vec![None; world]),
+            children: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// A rank's handle to a communicator group (analogous to an MPI
+/// communicator / NCCL communicator).
+///
+/// All collective methods must be called by **every** rank of the group, in
+/// the same program order — the usual SPMD contract. Violations deadlock
+/// (caught by the test harness timeouts) or panic on shape mismatch.
+#[derive(Debug)]
+pub struct Communicator {
+    rank: usize,
+    inner: Arc<Inner>,
+    /// Number of `split` calls made so far (local mirror of a value that is
+    /// identical across ranks by the SPMD contract).
+    split_calls: u64,
+}
+
+impl Communicator {
+    /// Create the world group: one handle per rank.
+    pub fn create_world(world: usize) -> Vec<Communicator> {
+        assert!(world > 0, "world must be non-empty");
+        let inner = Arc::new(Inner::new(world));
+        (0..world)
+            .map(|rank| Communicator { rank, inner: Arc::clone(&inner), split_calls: 0 })
+            .collect()
+    }
+
+    /// This handle's rank within the group.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the group.
+    pub fn world(&self) -> usize {
+        self.inner.world
+    }
+
+    /// Block until every rank of the group arrives.
+    pub fn barrier(&self) {
+        self.inner.barrier.wait(self.inner.world);
+    }
+
+    fn deposit(&self, data: Vec<f32>) {
+        self.inner.slots.lock()[self.rank] = Some(data);
+    }
+
+    /// Gather equal-length contributions from all ranks, concatenated in
+    /// rank order. Returns `world × len` elements on every rank.
+    pub fn all_gather(&self, contribution: &[f32]) -> Vec<f32> {
+        self.deposit(contribution.to_vec());
+        self.barrier();
+        let out = {
+            let slots = self.inner.slots.lock();
+            let len0 = slots[0].as_ref().expect("missing contribution").len();
+            let mut out = Vec::with_capacity(len0 * self.inner.world);
+            for (r, s) in slots.iter().enumerate() {
+                let s = s.as_ref().expect("missing contribution");
+                assert_eq!(s.len(), len0, "rank {r} contributed a different length");
+                out.extend_from_slice(s);
+            }
+            out
+        };
+        self.barrier();
+        out
+    }
+
+    /// Reduce (sum) equal-length contributions of `world × shard` elements
+    /// and scatter: rank `r` receives the reduced shard `r`.
+    ///
+    /// The fold is in fixed rank order, so results are deterministic and
+    /// identical across ranks.
+    pub fn reduce_scatter(&self, contribution: &[f32]) -> Vec<f32> {
+        let world = self.inner.world;
+        assert!(
+            contribution.len().is_multiple_of(world),
+            "reduce_scatter input length {} not divisible by world {world}",
+            contribution.len()
+        );
+        let shard = contribution.len() / world;
+        self.deposit(contribution.to_vec());
+        self.barrier();
+        let out = {
+            let slots = self.inner.slots.lock();
+            let mut out = vec![0.0f32; shard];
+            let base = self.rank * shard;
+            for s in slots.iter() {
+                let s = s.as_ref().expect("missing contribution");
+                assert_eq!(s.len(), contribution.len(), "mismatched lengths");
+                for i in 0..shard {
+                    out[i] += s[base + i];
+                }
+            }
+            out
+        };
+        self.barrier();
+        out
+    }
+
+    /// Sum equal-length contributions across all ranks; every rank receives
+    /// the full reduced buffer (deterministic rank-order fold).
+    pub fn all_reduce(&self, contribution: &[f32]) -> Vec<f32> {
+        self.deposit(contribution.to_vec());
+        self.barrier();
+        let out = {
+            let slots = self.inner.slots.lock();
+            let mut out = vec![0.0f32; contribution.len()];
+            for s in slots.iter() {
+                let s = s.as_ref().expect("missing contribution");
+                assert_eq!(s.len(), out.len(), "mismatched lengths");
+                for (o, x) in out.iter_mut().zip(s.iter()) {
+                    *o += *x;
+                }
+            }
+            out
+        };
+        self.barrier();
+        out
+    }
+
+    /// Broadcast `data` from `root` to every rank. Non-root ranks pass their
+    /// (ignored) local buffer for shape symmetry.
+    pub fn broadcast(&self, root: usize, data: &[f32]) -> Vec<f32> {
+        assert!(root < self.inner.world, "root out of range");
+        if self.rank == root {
+            self.deposit(data.to_vec());
+        }
+        self.barrier();
+        let out = {
+            let slots = self.inner.slots.lock();
+            slots[root].as_ref().expect("root did not deposit").clone()
+        };
+        self.barrier();
+        out
+    }
+
+    /// The `all_gather_coalesced` API of paper §4: gather a *batch* of
+    /// buffers with one rendezvous instead of one per buffer, avoiding the
+    /// per-call overhead and interleaving copies of the naive approach.
+    /// Entry `i` of the result is the rank-order concatenation of every
+    /// rank's `i`-th buffer.
+    pub fn all_gather_coalesced(&self, parts: &[&[f32]]) -> Vec<Vec<f32>> {
+        self.inner.multi_slots.lock()[self.rank] = parts.iter().map(|p| p.to_vec()).collect();
+        self.barrier();
+        let out = {
+            let slots = self.inner.multi_slots.lock();
+            let nparts = slots[0].len();
+            let mut out = Vec::with_capacity(nparts);
+            for part in 0..nparts {
+                let len0 = slots[0][part].len();
+                let mut buf = Vec::with_capacity(len0 * self.inner.world);
+                for (r, s) in slots.iter().enumerate() {
+                    assert_eq!(
+                        s.len(),
+                        nparts,
+                        "rank {r} batched a different number of buffers"
+                    );
+                    assert_eq!(s[part].len(), len0, "rank {r} part {part} length mismatch");
+                    buf.extend_from_slice(&s[part]);
+                }
+                out.push(buf);
+            }
+            out
+        };
+        self.barrier();
+        out
+    }
+
+    /// The `reduce_scatter_coalesced` API of paper §4: batch of independent
+    /// reduce-scatters with a single rendezvous. Entry `i` of the result is
+    /// this rank's reduced shard of batch element `i`.
+    pub fn reduce_scatter_coalesced(&self, parts: &[&[f32]]) -> Vec<Vec<f32>> {
+        let world = self.inner.world;
+        for (i, p) in parts.iter().enumerate() {
+            assert!(
+                p.len() % world == 0,
+                "reduce_scatter_coalesced part {i} length {} not divisible by {world}",
+                p.len()
+            );
+        }
+        self.inner.multi_slots.lock()[self.rank] = parts.iter().map(|p| p.to_vec()).collect();
+        self.barrier();
+        let out = {
+            let slots = self.inner.multi_slots.lock();
+            let nparts = slots[0].len();
+            let mut out = Vec::with_capacity(nparts);
+            for part in 0..nparts {
+                let full = slots[0][part].len();
+                let shard = full / world;
+                let base = self.rank * shard;
+                let mut buf = vec![0.0f32; shard];
+                for s in slots.iter() {
+                    assert_eq!(s[part].len(), full, "part {part} length mismatch");
+                    for i in 0..shard {
+                        buf[i] += s[part][base + i];
+                    }
+                }
+                out.push(buf);
+            }
+            out
+        };
+        self.barrier();
+        out
+    }
+
+    /// Split the group into disjoint sub-groups, MPI `comm_split` style:
+    /// ranks passing the same `color` join one sub-group; `key` orders ranks
+    /// within it (ties broken by parent rank). Every rank of the parent must
+    /// call `split` collectively.
+    ///
+    /// ```
+    /// use mics_dataplane::run_ranks;
+    /// // Figure 2: partition groups of 2 consecutive ranks.
+    /// let out = run_ranks(4, |mut comm| {
+    ///     let group = comm.split((comm.rank() / 2) as i64, comm.rank() as i64);
+    ///     group.all_gather(&[comm.rank() as f32])
+    /// });
+    /// assert_eq!(out[0], vec![0.0, 1.0]);
+    /// assert_eq!(out[3], vec![2.0, 3.0]);
+    /// ```
+    pub fn split(&mut self, color: i64, key: i64) -> Communicator {
+        let call = self.split_calls;
+        self.split_calls += 1;
+        // Exchange (color, key) via the metadata slots.
+        self.inner.meta.lock()[self.rank] = Some((color, key));
+        self.barrier();
+        let (new_rank, group_size) = {
+            let meta = self.inner.meta.lock();
+            let mut members: Vec<(i64, usize)> = meta
+                .iter()
+                .enumerate()
+                .filter_map(|(r, m)| {
+                    let (c, k) = m.expect("missing split metadata");
+                    (c == color).then_some((k, r))
+                })
+                .collect();
+            members.sort_unstable();
+            let new_rank =
+                members.iter().position(|&(_, r)| r == self.rank).expect("rank not in own group");
+            (new_rank, members.len())
+        };
+        // First member to arrive creates the child group's shared state.
+        let child_inner = {
+            let mut children = self.inner.children.lock();
+            Arc::clone(
+                children
+                    .entry((call, color))
+                    .or_insert_with(|| Arc::new(Inner::new(group_size))),
+            )
+        };
+        // Everyone must have fetched their child before meta is reused.
+        self.barrier();
+        Communicator { rank: new_rank, inner: child_inner, split_calls: 0 }
+    }
+}
+
+/// Spawn `world` scoped threads, give thread `r` the rank-`r` communicator,
+/// and collect the per-rank results in rank order.
+pub fn run_ranks<F, R>(world: usize, f: F) -> Vec<R>
+where
+    F: Fn(Communicator) -> R + Sync,
+    R: Send,
+{
+    let comms = Communicator::create_world(world);
+    let mut results: Vec<Option<R>> = (0..world).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for comm in comms {
+            let f = &f;
+            handles.push(scope.spawn(move || f(comm)));
+        }
+        for (slot, h) in results.iter_mut().zip(handles) {
+            *slot = Some(h.join().expect("rank thread panicked"));
+        }
+    });
+    results.into_iter().map(|r| r.unwrap()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_gather_concatenates_in_rank_order() {
+        let out = run_ranks(4, |c| c.all_gather(&[c.rank() as f32 * 10.0, 1.0]));
+        for r in &out {
+            assert_eq!(r, &[0.0, 1.0, 10.0, 1.0, 20.0, 1.0, 30.0, 1.0]);
+        }
+    }
+
+    #[test]
+    fn all_gather_single_rank_is_identity() {
+        let out = run_ranks(1, |c| c.all_gather(&[1.0, 2.0]));
+        assert_eq!(out[0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn all_reduce_sums_identically_on_every_rank() {
+        let out = run_ranks(8, |c| c.all_reduce(&[c.rank() as f32, 1.0]));
+        let expect = vec![28.0, 8.0];
+        for r in &out {
+            assert_eq!(r, &expect);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_gives_each_rank_its_shard() {
+        let out = run_ranks(4, |c| {
+            // Every rank contributes [r, r, r, r, r, r, r, r] (2 per shard).
+            let v = vec![c.rank() as f32; 8];
+            c.reduce_scatter(&v)
+        });
+        // Sum over ranks = 0+1+2+3 = 6 in every position.
+        for r in &out {
+            assert_eq!(r, &[6.0, 6.0]);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_then_all_gather_equals_all_reduce() {
+        let world = 8;
+        let data: Vec<Vec<f32>> =
+            (0..world).map(|r| (0..16).map(|i| (r * 31 + i) as f32 * 0.25).collect()).collect();
+        let via_ar = run_ranks(world, |c| c.all_reduce(&data[c.rank()]));
+        let via_rs_ag = run_ranks(world, |c| {
+            let mine = c.reduce_scatter(&data[c.rank()]);
+            c.all_gather(&mine)
+        });
+        assert_eq!(via_ar, via_rs_ag);
+    }
+
+    #[test]
+    fn broadcast_distributes_roots_buffer() {
+        let out = run_ranks(4, |c| {
+            let local = vec![c.rank() as f32; 3];
+            c.broadcast(2, &local)
+        });
+        for r in &out {
+            assert_eq!(r, &[2.0, 2.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn coalesced_all_gather_matches_sequential_calls() {
+        let world = 4;
+        let mk = |r: usize| (vec![r as f32], vec![r as f32 + 0.5, r as f32 - 0.5]);
+        let coalesced = run_ranks(world, |c| {
+            let (a, b) = mk(c.rank());
+            c.all_gather_coalesced(&[&a, &b])
+        });
+        let sequential = run_ranks(world, |c| {
+            let (a, b) = mk(c.rank());
+            vec![c.all_gather(&a), c.all_gather(&b)]
+        });
+        assert_eq!(coalesced, sequential);
+    }
+
+    #[test]
+    fn coalesced_reduce_scatter_matches_sequential_calls() {
+        let world = 4;
+        let mk = |r: usize| {
+            let a: Vec<f32> = (0..8).map(|i| (r + i) as f32).collect();
+            let b: Vec<f32> = (0..4).map(|i| (r * i) as f32).collect();
+            (a, b)
+        };
+        let coalesced = run_ranks(world, |c| {
+            let (a, b) = mk(c.rank());
+            c.reduce_scatter_coalesced(&[&a, &b])
+        });
+        let sequential = run_ranks(world, |c| {
+            let (a, b) = mk(c.rank());
+            vec![c.reduce_scatter(&a), c.reduce_scatter(&b)]
+        });
+        assert_eq!(coalesced, sequential);
+    }
+
+    #[test]
+    fn split_partitions_ranks_by_color() {
+        // 8 ranks → partition groups of 2 consecutive ranks (Figure 2).
+        let out = run_ranks(8, |mut c| {
+            let color = (c.rank() / 2) as i64;
+            let sub = c.split(color, c.rank() as i64);
+            let gathered = sub.all_gather(&[c.rank() as f32]);
+            (sub.rank(), sub.world(), gathered)
+        });
+        for (r, (sub_rank, sub_world, gathered)) in out.iter().enumerate() {
+            assert_eq!(*sub_world, 2);
+            assert_eq!(*sub_rank, r % 2);
+            let base = (r / 2 * 2) as f32;
+            assert_eq!(gathered, &vec![base, base + 1.0]);
+        }
+    }
+
+    #[test]
+    fn split_replication_groups_stride() {
+        // Replication groups: ranks with equal (rank % 2), as in Figure 2.
+        let out = run_ranks(8, |mut c| {
+            let color = (c.rank() % 2) as i64;
+            let sub = c.split(color, c.rank() as i64);
+            sub.all_gather(&[c.rank() as f32])
+        });
+        assert_eq!(out[0], vec![0.0, 2.0, 4.0, 6.0]);
+        assert_eq!(out[1], vec![1.0, 3.0, 5.0, 7.0]);
+        assert_eq!(out[5], vec![1.0, 3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn consecutive_splits_are_independent() {
+        let out = run_ranks(4, |mut c| {
+            let pairs = c.split((c.rank() / 2) as i64, 0);
+            let stripes = c.split((c.rank() % 2) as i64, 0);
+            (pairs.all_gather(&[c.rank() as f32]), stripes.all_gather(&[c.rank() as f32]))
+        });
+        assert_eq!(out[0].0, vec![0.0, 1.0]);
+        assert_eq!(out[0].1, vec![0.0, 2.0]);
+        assert_eq!(out[3].0, vec![2.0, 3.0]);
+        assert_eq!(out[3].1, vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            run_ranks(8, |c| {
+                let v: Vec<f32> = (0..64).map(|i| ((c.rank() * 997 + i) as f32).sin()).collect();
+                let r = c.all_reduce(&v);
+                let s = c.reduce_scatter(&r);
+                c.all_gather(&s)
+            })
+        };
+        let a = run();
+        let b = run();
+        // Bitwise identical, every rank, every run.
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x, y);
+        }
+        for r in &a[1..] {
+            assert_eq!(r, &a[0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rank thread panicked")]
+    fn mismatched_all_gather_lengths_panic() {
+        run_ranks(2, |c| {
+            let v = vec![0.0; c.rank() + 1];
+            c.all_gather(&v)
+        });
+    }
+
+    #[test]
+    fn repeated_collectives_reuse_slots_safely() {
+        let out = run_ranks(4, |c| {
+            let mut acc = 0.0;
+            for round in 0..50 {
+                let v = vec![(c.rank() + round) as f32];
+                acc += c.all_reduce(&v)[0];
+            }
+            acc
+        });
+        // Each round sums to 4*round + 6.
+        let expect: f32 = (0..50).map(|r| (4 * r + 6) as f32).sum();
+        for r in out {
+            assert_eq!(r, expect);
+        }
+    }
+}

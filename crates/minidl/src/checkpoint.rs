@@ -1,0 +1,327 @@
+//! ZeRO/MiCS-style training checkpoints: sharded save, lossless restore,
+//! and **resharding** — loading a checkpoint taken at one partition-group
+//! size into a different one, the operation that lets a MiCS job move
+//! between cluster shapes.
+//!
+//! Format: little-endian binary with a magic header, explicit lengths, and
+//! an XOR-fold checksum; each rank serializes its own shard (parameters +
+//! Adam moments + step counter), and a full state is just the `p = 1` case.
+
+use crate::adam::Adam;
+use mics_tensor::ShardSpec;
+use std::fmt;
+
+/// Complete (unsharded) training state of one model.
+///
+/// ```
+/// use mics_minidl::checkpoint::{load, save, TrainState};
+/// let state = TrainState { params: vec![1.0, 2.0, 3.0], m: vec![0.0; 3], v: vec![0.0; 3], step: 7 };
+/// // Serialize, reshard to 2 ranks, reassemble — all lossless.
+/// let restored = load(&save(&state)).unwrap();
+/// assert_eq!(restored, state);
+/// let shards = state.shard(2);
+/// assert_eq!(TrainState::unshard(&shards, 3), state);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainState {
+    /// fp32 master parameters.
+    pub params: Vec<f32>,
+    /// Adam first moments.
+    pub m: Vec<f32>,
+    /// Adam second moments.
+    pub v: Vec<f32>,
+    /// Optimizer step counter.
+    pub step: u32,
+}
+
+impl TrainState {
+    /// Capture the full state from parameters and their optimizer.
+    pub fn capture(params: &[f32], opt: &Adam) -> Self {
+        let (m, v, step) = opt.state();
+        assert_eq!(params.len(), m.len(), "optimizer does not match parameters");
+        TrainState { params: params.to_vec(), m: m.to_vec(), v: v.to_vec(), step }
+    }
+
+    /// Rebuild `(params, optimizer)` from this state.
+    pub fn restore(&self, lr: f32) -> (Vec<f32>, Adam) {
+        (self.params.clone(), Adam::from_state(self.m.clone(), self.v.clone(), self.step, lr))
+    }
+
+    /// Split into `p` per-rank shards (padded, ZeRO layout).
+    pub fn shard(&self, p: usize) -> Vec<TrainState> {
+        let spec = ShardSpec::new(self.params.len(), p);
+        (0..p)
+            .map(|r| TrainState {
+                params: spec.extract_padded(&self.params, r),
+                m: spec.extract_padded(&self.m, r),
+                v: spec.extract_padded(&self.v, r),
+                step: self.step,
+            })
+            .collect()
+    }
+
+    /// Reassemble a full state from per-rank shards produced by
+    /// [`TrainState::shard`] for a model of `numel` parameters.
+    ///
+    /// # Panics
+    /// Panics on inconsistent shard shapes or step counters.
+    pub fn unshard(shards: &[TrainState], numel: usize) -> TrainState {
+        assert!(!shards.is_empty());
+        let spec = ShardSpec::new(numel, shards.len());
+        let step = shards[0].step;
+        for (i, s) in shards.iter().enumerate() {
+            assert_eq!(s.step, step, "shard {i} has a different step counter");
+            assert_eq!(s.params.len(), spec.shard_len(), "shard {i} has wrong length");
+        }
+        let collect = |f: fn(&TrainState) -> &Vec<f32>| {
+            let pieces: Vec<Vec<f32>> = shards.iter().map(|s| f(s).clone()).collect();
+            spec.assemble(&pieces)
+        };
+        TrainState {
+            params: collect(|s| &s.params),
+            m: collect(|s| &s.m),
+            v: collect(|s| &s.v),
+            step,
+        }
+    }
+
+    /// Re-shard a checkpoint taken with `from` ranks into `to` ranks:
+    /// `unshard` then `shard` (the paper-relevant operation when the
+    /// partition group size changes between runs).
+    pub fn reshard(shards: &[TrainState], numel: usize, to: usize) -> Vec<TrainState> {
+        Self::unshard(shards, numel).shard(to)
+    }
+}
+
+/// Checkpoint decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CkptError {
+    /// Wrong magic bytes / not a checkpoint.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Truncated or oversized payload.
+    BadLength,
+    /// Checksum mismatch (corruption).
+    BadChecksum,
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::BadMagic => write!(f, "not a MiCS checkpoint (bad magic)"),
+            CkptError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CkptError::BadLength => write!(f, "checkpoint truncated or malformed"),
+            CkptError::BadChecksum => write!(f, "checkpoint checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+const MAGIC: &[u8; 8] = b"MICSCKP1";
+const VERSION: u32 = 1;
+
+fn fold_checksum(data: &[u8]) -> u64 {
+    // FNV-1a — cheap, deterministic, good enough for corruption detection.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn push_f32s(out: &mut Vec<u8>, xs: &[f32]) {
+    out.extend_from_slice(&(xs.len() as u64).to_le_bytes());
+    for x in xs {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+        let end = self.at.checked_add(n).ok_or(CkptError::BadLength)?;
+        if end > self.data.len() {
+            return Err(CkptError::BadLength);
+        }
+        let s = &self.data[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, CkptError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CkptError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn f32s(&mut self) -> Result<Vec<f32>, CkptError> {
+        let n = self.u64()? as usize;
+        let raw = self.bytes(n.checked_mul(4).ok_or(CkptError::BadLength)?)?;
+        Ok(raw.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect())
+    }
+}
+
+/// Serialize a (possibly sharded) training state.
+pub fn save(state: &TrainState) -> Vec<u8> {
+    let mut body = Vec::new();
+    body.extend_from_slice(&state.step.to_le_bytes());
+    push_f32s(&mut body, &state.params);
+    push_f32s(&mut body, &state.m);
+    push_f32s(&mut body, &state.v);
+    let mut out = Vec::with_capacity(body.len() + 24);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&fold_checksum(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Deserialize a checkpoint produced by [`save`].
+pub fn load(data: &[u8]) -> Result<TrainState, CkptError> {
+    let mut r = Reader { data, at: 0 };
+    if r.bytes(8)? != MAGIC {
+        return Err(CkptError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(CkptError::BadVersion(version));
+    }
+    let checksum = r.u64()?;
+    let body = &data[r.at..];
+    if fold_checksum(body) != checksum {
+        return Err(CkptError::BadChecksum);
+    }
+    let step = r.u32()?;
+    let params = r.f32s()?;
+    let m = r.f32s()?;
+    let v = r.f32s()?;
+    if m.len() != params.len() || v.len() != params.len() {
+        return Err(CkptError::BadLength);
+    }
+    if r.at != data.len() {
+        return Err(CkptError::BadLength);
+    }
+    Ok(TrainState { params, m, v, step })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn state(numel: usize) -> TrainState {
+        TrainState {
+            params: (0..numel).map(|i| (i as f32 * 0.31).sin()).collect(),
+            m: (0..numel).map(|i| (i as f32 * 0.17).cos()).collect(),
+            v: (0..numel).map(|i| (i as f32 * 0.07).abs()).collect(),
+            step: 42,
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let s = state(37);
+        assert_eq!(load(&save(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut bytes = save(&state(10));
+        assert_eq!(load(&bytes).unwrap().step, 42);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        assert_eq!(load(&bytes).unwrap_err(), CkptError::BadChecksum);
+    }
+
+    #[test]
+    fn wrong_magic_and_version_detected() {
+        let mut bytes = save(&state(3));
+        bytes[0] = b'X';
+        assert_eq!(load(&bytes).unwrap_err(), CkptError::BadMagic);
+        let mut bytes = save(&state(3));
+        bytes[8] = 99;
+        assert!(matches!(load(&bytes).unwrap_err(), CkptError::BadVersion(_)));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = save(&state(8));
+        for cut in [5usize, 15, bytes.len() - 3] {
+            assert!(load(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage also rejected.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert_eq!(load(&extended).unwrap_err(), CkptError::BadChecksum);
+    }
+
+    #[test]
+    fn resume_after_resharding_is_exact() {
+        // 10 Adam steps unsharded, checkpoint, reshard 1 → 4, continue
+        // sharded for 10 more steps; must equal 20 unsharded steps exactly.
+        let numel = 23;
+        let grads = |t: usize| -> Vec<f32> {
+            (0..numel).map(|i| ((t * numel + i) as f32 * 0.11).sin()).collect()
+        };
+        // Reference: 20 full steps.
+        let mut ref_p: Vec<f32> = (0..numel).map(|i| i as f32 * 0.05).collect();
+        let mut ref_opt = Adam::new(numel, 0.01);
+        for t in 0..20 {
+            ref_opt.step(&mut ref_p, &grads(t));
+        }
+        // 10 full steps → checkpoint → reshard to 4 → 10 sharded steps.
+        let mut p: Vec<f32> = (0..numel).map(|i| i as f32 * 0.05).collect();
+        let mut opt = Adam::new(numel, 0.01);
+        for t in 0..10 {
+            opt.step(&mut p, &grads(t));
+        }
+        let full = TrainState::capture(&p, &opt);
+        let blobs: Vec<Vec<u8>> = full.shard(4).iter().map(save).collect();
+        let shards: Vec<TrainState> = blobs.iter().map(|b| load(b).unwrap()).collect();
+        let spec = mics_tensor::ShardSpec::new(numel, 4);
+        let mut done: Vec<TrainState> = Vec::new();
+        for (r, shard) in shards.into_iter().enumerate() {
+            let (mut sp, mut sopt) = shard.restore(0.01);
+            for t in 10..20 {
+                let g = spec.extract_padded(&grads(t), r);
+                sopt.step(&mut sp, &g);
+            }
+            done.push(TrainState::capture(&sp, &sopt));
+        }
+        let merged = TrainState::unshard(&done, numel);
+        assert_eq!(merged.params, ref_p);
+        assert_eq!(merged.step, 20);
+    }
+
+    proptest! {
+        #[test]
+        fn shard_unshard_roundtrip(numel in 1usize..200, p in 1usize..9) {
+            let s = state(numel);
+            let shards = s.shard(p);
+            prop_assert_eq!(TrainState::unshard(&shards, numel), s);
+        }
+
+        #[test]
+        fn reshard_preserves_state(numel in 1usize..120, from in 1usize..7, to in 1usize..7) {
+            let s = state(numel);
+            let resharded = TrainState::reshard(&s.shard(from), numel, to);
+            prop_assert_eq!(TrainState::unshard(&resharded, numel), s);
+        }
+
+        #[test]
+        fn save_load_roundtrip_prop(numel in 0usize..64, step in 0u32..1000) {
+            let mut s = state(numel);
+            s.step = step;
+            prop_assert_eq!(load(&save(&s)).unwrap(), s);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! A minimal, fully deterministic deep-learning stack used to validate the
+//! *fidelity* of MiCS's synchronization schedules (paper §5.4, Figure 15).
+//!
+//! The paper's fidelity experiment trains the same model under DeepSpeed and
+//! MiCS and shows matching loss curves. What that experiment actually
+//! stresses is the **gradient synchronization algebra**: per-micro-step
+//! reduce-scatter inside the partition group plus boundary all-reduce across
+//! replication groups (2-hop) must accumulate the same gradient sums as a
+//! global all-reduce. That algebra needs a real optimizer, real gradients,
+//! and real sharded state — not a GPU. This crate provides:
+//!
+//! * [`Mlp`] — a configurable multi-layer perceptron with hand-written
+//!   forward/backward (no autograd dependency);
+//! * [`Adam`] — the optimizer used throughout the paper's experiments,
+//!   operating on an arbitrary shard of the parameter space;
+//! * mixed-precision emulation (fp32 master weights, f16-quantized forward
+//!   copies) via `mics_tensor`'s converters;
+//! * [`train::train`] — data-parallel training loops over the real
+//!   `mics-dataplane` communicator under three schedules:
+//!   [`train::SyncSchedule::Ddp`] (classic data parallelism),
+//!   [`train::SyncSchedule::PerMicroStepAllReduce`] (DeepSpeed ZeRO-3's
+//!   default, the "alternative schedule" of §3.4), and
+//!   [`train::SyncSchedule::TwoHop`] (MiCS).
+
+#![warn(missing_docs)]
+
+pub mod adam;
+pub mod checkpoint;
+pub mod data;
+pub mod nn;
+pub mod scaler;
+pub mod train;
+pub mod transformer;
+pub mod lm;
+
+pub use adam::Adam;
+pub use checkpoint::{load as load_checkpoint, save as save_checkpoint, TrainState};
+pub use nn::Mlp;
+pub use scaler::LossScale;
+pub use lm::{train_lm, LmSetup};
+pub use transformer::TinyTransformer;
+pub use train::{train, SyncSchedule, TrainOutcome, TrainSetup};

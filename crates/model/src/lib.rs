@@ -1,0 +1,28 @@
+//! Workload descriptions: the models the MiCS paper evaluates, their
+//! parameter counts, FLOPs, and activation footprints.
+//!
+//! Two model families appear in the paper:
+//!
+//! * **Transformer language models** (Table 1): BERT variants from 10B to
+//!   50B parameters, RoBERTa 20B, GPT-2 20B, plus the 1.5B fidelity model of
+//!   §5.4 and the 128-layer variant used for the Megatron-LM-3D comparison
+//!   (§5.1.3) and the 52B/100B proprietary-scale case study (§5.1.5).
+//! * **WideResNet** (§5.1.4): a 3B-parameter convolutional network that
+//!   demonstrates generality beyond transformers.
+//!
+//! Every model lowers to a [`WorkloadSpec`] — an ordered list of
+//! [`LayerSpec`]s with parameter bytes, forward/backward/recompute FLOPs and
+//! activation footprints — which is the only interface the simulator
+//! executors consume.
+
+#![warn(missing_docs)]
+
+pub mod flops;
+pub mod transformer;
+pub mod wideresnet;
+pub mod workload;
+
+pub use flops::megatron_flops_per_sample;
+pub use transformer::TransformerConfig;
+pub use wideresnet::WideResNetConfig;
+pub use workload::{LayerSpec, WorkloadSpec};

@@ -1,0 +1,286 @@
+//! Transformer language-model configurations (paper Table 1).
+
+use crate::workload::{LayerSpec, WorkloadSpec};
+
+/// A BERT/RoBERTa/GPT-2-style transformer encoder configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransformerConfig {
+    /// Display name.
+    pub name: String,
+    /// Hidden size `h`.
+    pub hidden: usize,
+    /// Feed-forward intermediate size (4·h in all paper configs).
+    pub intermediate: usize,
+    /// Number of transformer layers `L`.
+    pub layers: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Vocabulary size `V`.
+    pub vocab: usize,
+    /// Sequence length `l` (512 throughout the paper).
+    pub seq_len: usize,
+}
+
+impl TransformerConfig {
+    fn new(
+        name: &str,
+        hidden: usize,
+        intermediate: usize,
+        layers: usize,
+        heads: usize,
+        vocab: usize,
+    ) -> Self {
+        TransformerConfig {
+            name: name.to_string(),
+            hidden,
+            intermediate,
+            layers,
+            heads,
+            vocab,
+            seq_len: 512,
+        }
+    }
+
+    /// BERT 10B (Table 1).
+    pub fn bert_10b() -> Self {
+        Self::new("BERT 10B", 2560, 10240, 127, 40, 32008)
+    }
+
+    /// BERT 15B (Table 1).
+    pub fn bert_15b() -> Self {
+        Self::new("BERT 15B", 2560, 10240, 190, 40, 32008)
+    }
+
+    /// BERT 20B (Table 1).
+    pub fn bert_20b() -> Self {
+        Self::new("BERT 20B", 5120, 20480, 64, 40, 32008)
+    }
+
+    /// BERT 50B (Table 1).
+    pub fn bert_50b() -> Self {
+        Self::new("BERT 50B", 8192, 32768, 62, 40, 32008)
+    }
+
+    /// RoBERTa 20B (Table 1).
+    pub fn roberta_20b() -> Self {
+        Self::new("RoBERTa 20B", 5120, 20480, 62, 40, 50265)
+    }
+
+    /// GPT-2 20B (Table 1).
+    pub fn gpt2_20b() -> Self {
+        Self::new("GPT2 20B", 5120, 20480, 62, 40, 50265)
+    }
+
+    /// The 1.5B fidelity model of §5.4: 48 layers, hidden 1600,
+    /// intermediate 6400.
+    pub fn bert_1_5b() -> Self {
+        Self::new("BERT 1.5B", 1600, 6400, 48, 25, 32008)
+    }
+
+    /// The Megatron-LM-3D comparison model of §5.1.3: BERT 10B widths with
+    /// 128 layers (divisible by every pipeline size in Table 2).
+    pub fn megatron_comparison() -> Self {
+        Self::new("BERT 128L", 2560, 10240, 128, 40, 32008)
+    }
+
+    /// The 52B proprietary model stand-in of §5.1.5 (structure not
+    /// disclosed; sized like a scaled GPT with h = 8192).
+    pub fn proprietary_52b() -> Self {
+        Self::new("Proprietary 52B", 8192, 32768, 64, 64, 50265)
+    }
+
+    /// The 100B proprietary model stand-in of §5.1.5 (h = 11264 gives
+    /// ≈ 100B at 65 layers).
+    pub fn proprietary_100b() -> Self {
+        Self::new("Proprietary 100B", 11264, 45056, 65, 64, 50265)
+    }
+
+    /// Parameters in one transformer layer: QKV + attention output
+    /// projections (4·h²) plus the two feed-forward matrices (2·h·i), plus
+    /// biases and the two layer norms.
+    pub fn params_per_layer(&self) -> u64 {
+        let h = self.hidden as u64;
+        let i = self.intermediate as u64;
+        4 * h * h + 2 * h * i // matrices
+            + 4 * h + i + h // biases (qkv+out, ffn up, ffn down)
+            + 4 * h // two layer norms (γ, β)
+    }
+
+    /// Embedding parameters: token + position embeddings and the final
+    /// layer norm. The LM head is tied to the token embedding.
+    pub fn embedding_params(&self) -> u64 {
+        let h = self.hidden as u64;
+        (self.vocab as u64) * h + (self.seq_len as u64) * h + 2 * h
+    }
+
+    /// Total trainable parameters.
+    pub fn total_params(&self) -> u64 {
+        self.embedding_params() + self.params_per_layer() * self.layers as u64
+    }
+
+    /// Forward FLOPs of one transformer layer for `micro_batch` sequences:
+    /// `24·b·l·h² + 4·b·l²·h` (GEMMs count 2 FLOPs per multiply-add; the
+    /// second term is attention score/context computation).
+    pub fn layer_fwd_flops(&self, micro_batch: usize) -> f64 {
+        let b = micro_batch as f64;
+        let l = self.seq_len as f64;
+        let h = self.hidden as f64;
+        let i = self.intermediate as f64;
+        // QKV + output projection: 8·b·l·h²; FFN: 4·b·l·h·i (= 16·b·l·h² at
+        // i = 4h); attention scores + weighted sum: 4·b·l²·h.
+        8.0 * b * l * h * h + 4.0 * b * l * h * i + 4.0 * b * l * l * h
+    }
+
+    /// Forward FLOPs of the LM head (logits GEMM) for `micro_batch`
+    /// sequences: `2·b·l·h·V`.
+    pub fn head_fwd_flops(&self, micro_batch: usize) -> f64 {
+        2.0 * micro_batch as f64 * self.seq_len as f64 * self.hidden as f64 * self.vocab as f64
+    }
+
+    /// Bytes of checkpointed activation per layer per micro-batch
+    /// (the layer input, fp16): `b·l·h·2`.
+    pub fn checkpoint_bytes(&self, micro_batch: usize) -> u64 {
+        (micro_batch * self.seq_len * self.hidden) as u64 * 2
+    }
+
+    /// Peak transient activation bytes while one layer executes: the
+    /// intermediate FFN activation plus attention score matrices, fp16.
+    pub fn working_bytes(&self, micro_batch: usize) -> u64 {
+        let b = micro_batch as u64;
+        let l = self.seq_len as u64;
+        let act = b * l * (2 * self.hidden as u64 + 2 * self.intermediate as u64);
+        let scores = b * self.heads as u64 * l * l;
+        (act + scores) * 2
+    }
+
+    /// Lower to the executor-facing [`WorkloadSpec`] (mixed precision,
+    /// activation checkpointing on — the paper's default training setup).
+    pub fn workload(&self, micro_batch: usize) -> WorkloadSpec {
+        let mut layers = Vec::with_capacity(self.layers + 2);
+        // Embedding layer: parameters but negligible FLOPs (lookups).
+        layers.push(LayerSpec {
+            params: self.embedding_params(),
+            fwd_flops: 0.0,
+            bwd_flops: 0.0,
+            recompute_flops: 0.0,
+            checkpoint_bytes: self.checkpoint_bytes(micro_batch),
+            working_bytes: 0,
+        });
+        let fwd = self.layer_fwd_flops(micro_batch);
+        for _ in 0..self.layers {
+            layers.push(LayerSpec {
+                params: self.params_per_layer(),
+                fwd_flops: fwd,
+                bwd_flops: 2.0 * fwd,
+                recompute_flops: fwd, // full activation checkpointing
+                checkpoint_bytes: self.checkpoint_bytes(micro_batch),
+                working_bytes: self.working_bytes(micro_batch),
+            });
+        }
+        // LM head (tied weights → no extra parameters).
+        let head = self.head_fwd_flops(micro_batch);
+        layers.push(LayerSpec {
+            params: 0,
+            fwd_flops: head,
+            bwd_flops: 2.0 * head,
+            recompute_flops: 0.0,
+            checkpoint_bytes: 0,
+            working_bytes: (micro_batch * self.seq_len) as u64 * self.vocab as u64 * 2,
+        });
+        WorkloadSpec {
+            name: self.name.clone(),
+            layers,
+            param_dtype_bytes: 2,
+            activation_checkpointing: true,
+            micro_batch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Each Table-1 config must land near its nominal size.
+    #[test]
+    fn table1_param_counts() {
+        let cases = [
+            (TransformerConfig::bert_10b(), 10.0e9),
+            (TransformerConfig::bert_15b(), 15.0e9),
+            (TransformerConfig::bert_20b(), 20.0e9),
+            (TransformerConfig::bert_50b(), 50.0e9),
+            (TransformerConfig::roberta_20b(), 20.0e9),
+            (TransformerConfig::gpt2_20b(), 20.0e9),
+        ];
+        for (cfg, nominal) in cases {
+            let total = cfg.total_params() as f64;
+            let err = (total - nominal).abs() / nominal;
+            assert!(err < 0.06, "{}: {total:.3e} vs nominal {nominal:.1e}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn fidelity_model_is_one_and_a_half_billion() {
+        let cfg = TransformerConfig::bert_1_5b();
+        let total = cfg.total_params() as f64;
+        assert!((1.3e9..1.7e9).contains(&total), "{total:.3e}");
+    }
+
+    #[test]
+    fn case_study_models_match_headline_sizes() {
+        let p52 = TransformerConfig::proprietary_52b().total_params() as f64;
+        assert!((49e9..56e9).contains(&p52), "{p52:.3e}");
+        let p100 = TransformerConfig::proprietary_100b().total_params() as f64;
+        assert!((95e9..106e9).contains(&p100), "{p100:.3e}");
+    }
+
+    #[test]
+    fn megatron_model_layer_count_divisible_by_pipeline_sizes() {
+        let cfg = TransformerConfig::megatron_comparison();
+        for pp in [1usize, 4, 8] {
+            assert_eq!(cfg.layers % pp, 0, "128 layers must divide PP={pp}");
+        }
+    }
+
+    #[test]
+    fn bert_15b_is_narrow_and_deep_vs_20b() {
+        // §5.1.1 attributes MiCS's larger win on 15B to narrower layers.
+        let b15 = TransformerConfig::bert_15b();
+        let b20 = TransformerConfig::bert_20b();
+        assert!(b15.hidden < b20.hidden);
+        assert!(b15.layers > b20.layers);
+        assert!(b15.params_per_layer() < b20.params_per_layer());
+    }
+
+    #[test]
+    fn workload_lowering_consistent() {
+        let cfg = TransformerConfig::bert_10b();
+        let w = cfg.workload(8);
+        assert_eq!(w.layers.len(), cfg.layers + 2);
+        assert_eq!(w.total_params(), cfg.total_params());
+        assert_eq!(w.micro_batch, 8);
+        assert!(w.activation_checkpointing);
+        // Backward is 2× forward; recompute equals forward for the
+        // checkpointed transformer layers.
+        let l = &w.layers[1];
+        assert_eq!(l.bwd_flops, 2.0 * l.fwd_flops);
+        assert_eq!(l.recompute_flops, l.fwd_flops);
+    }
+
+    #[test]
+    fn flops_scale_linearly_with_micro_batch() {
+        let cfg = TransformerConfig::bert_10b();
+        let f1 = cfg.workload(1).total_flops();
+        let f8 = cfg.workload(8).total_flops();
+        assert!((f8 / f1 - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn activation_memory_example_plausible() {
+        // BERT 10B at micro-batch 8: checkpoints ≈ 127 × 21 MB ≈ 2.7 GB.
+        let cfg = TransformerConfig::bert_10b();
+        let w = cfg.workload(8);
+        let ckpt = w.checkpoint_bytes() as f64 / (1 << 30) as f64;
+        assert!((2.0..3.5).contains(&ckpt), "checkpoint GB = {ckpt}");
+    }
+}

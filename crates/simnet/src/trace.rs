@@ -1,0 +1,130 @@
+//! Chrome-trace export of simulated timelines.
+//!
+//! With tracing enabled, [`crate::Sim::run`] records one span per executed
+//! `Compute`/`Transfer` op. [`chrome_trace_json`] renders the spans in the
+//! Trace Event Format, loadable in `chrome://tracing` / Perfetto — handy for
+//! eyeballing how well an executor overlaps gathers with compute.
+
+use crate::{SimTime, StreamId};
+
+/// One executed operation's occupancy of a stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// The stream the op ran on.
+    pub stream: StreamId,
+    /// `"compute"` or `"transfer"`.
+    pub label: &'static str,
+    /// Virtual start time.
+    pub start: SimTime,
+    /// Virtual end time.
+    pub end: SimTime,
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render spans as Chrome Trace Event Format JSON (complete "X" events,
+/// microsecond timestamps, one `tid` per stream). `stream_names[i]` labels
+/// stream `i`.
+pub fn chrome_trace_json(spans: &[Span], stream_names: &[String]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    // Thread-name metadata so the viewer shows stream names.
+    for (i, name) in stream_names.iter().enumerate() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            i,
+            escape(name)
+        ));
+    }
+    for s in spans {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let ts = s.start.as_nanos() as f64 / 1e3;
+        let dur = (s.end.as_nanos() - s.start.as_nanos()) as f64 / 1e3;
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{ts},\"dur\":{dur}}}",
+            s.label, s.stream.0
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Op, Sim};
+
+    #[test]
+    fn spans_recorded_when_tracing_enabled() {
+        let mut sim = Sim::new();
+        sim.enable_tracing();
+        let link = sim.add_link("nic", 1e9);
+        let a = sim.add_stream("compute[0]");
+        let b = sim.add_stream("comm[0]");
+        sim.push(a, Op::compute(SimTime::from_millis(2)));
+        sim.push(b, Op::transfer(link, 1_000_000, SimTime::ZERO));
+        let stats = sim.run().unwrap();
+        assert_eq!(stats.trace.len(), 2);
+        let compute = stats.trace.iter().find(|s| s.label == "compute").unwrap();
+        assert_eq!(compute.stream, a);
+        assert_eq!(compute.start, SimTime::ZERO);
+        assert_eq!(compute.end, SimTime::from_millis(2));
+        let transfer = stats.trace.iter().find(|s| s.label == "transfer").unwrap();
+        assert_eq!(transfer.stream, b);
+        assert_eq!(transfer.end, SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn no_spans_without_tracing() {
+        let mut sim = Sim::new();
+        let a = sim.add_stream("a");
+        sim.push(a, Op::compute(SimTime::from_millis(1)));
+        let stats = sim.run().unwrap();
+        assert!(stats.trace.is_empty());
+    }
+
+    #[test]
+    fn json_shape() {
+        let spans = vec![Span {
+            stream: StreamId(1),
+            label: "compute",
+            start: SimTime::from_micros(5),
+            end: SimTime::from_micros(9),
+        }];
+        let json = chrome_trace_json(&spans, &["c0".into(), "c\"1".into()]);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":5"));
+        assert!(json.contains("\"dur\":4"));
+        assert!(json.contains("c\\\"1"), "names must be escaped");
+    }
+
+    #[test]
+    fn blocked_time_not_attributed_to_spans() {
+        // A stream waiting on an event records only its execution span.
+        let mut sim = Sim::new();
+        sim.enable_tracing();
+        let a = sim.add_stream("a");
+        let b = sim.add_stream("b");
+        let e = sim.add_event();
+        sim.push(a, Op::compute(SimTime::from_millis(5)));
+        sim.push(a, Op::RecordEvent(e));
+        sim.push(b, Op::WaitEvent(e));
+        sim.push(b, Op::compute(SimTime::from_millis(1)));
+        let stats = sim.run().unwrap();
+        let on_b = stats.trace.iter().find(|s| s.stream == b).unwrap();
+        assert_eq!(on_b.start, SimTime::from_millis(5));
+        assert_eq!(on_b.end, SimTime::from_millis(6));
+    }
+}

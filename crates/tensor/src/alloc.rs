@@ -1,0 +1,415 @@
+//! Device-memory allocators: a fragmenting dynamic allocator (the baseline's
+//! failure mode) and a pre-allocated arena (MiCS's fix). Paper §4, "Memory
+//! defragmentation".
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Handle to a live allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockId(u64);
+
+/// Why an allocation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// Not enough total free memory.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes free in total.
+        free: u64,
+    },
+    /// Enough total memory is free, but no contiguous block fits — the
+    /// fragmentation OOM the paper describes.
+    Fragmented {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes free in total.
+        free: u64,
+        /// Largest contiguous free block.
+        largest: u64,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::OutOfMemory { requested, free } => {
+                write!(f, "out of memory: requested {requested} B, {free} B free")
+            }
+            AllocError::Fragmented { requested, free, largest } => write!(
+                f,
+                "fragmentation OOM: requested {requested} B, {free} B free but \
+                 largest contiguous block is {largest} B"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Usage statistics of an allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocStats {
+    /// Bytes currently allocated.
+    pub in_use: u64,
+    /// Bytes free.
+    pub free: u64,
+    /// Largest contiguous free block.
+    pub largest_free: u64,
+    /// High-water mark of `in_use`.
+    pub peak_in_use: u64,
+}
+
+impl AllocStats {
+    /// External fragmentation in `[0, 1]`: the fraction of free memory that
+    /// is unusable for a single maximal request.
+    pub fn fragmentation(&self) -> f64 {
+        if self.free == 0 {
+            0.0
+        } else {
+            1.0 - self.largest_free as f64 / self.free as f64
+        }
+    }
+}
+
+/// A first-fit free-list allocator over a flat `capacity`-byte address
+/// space, emulating a generic caching allocator. Interleaving long-lived
+/// shard buffers with short-lived gathered-parameter buffers fragments it.
+#[derive(Debug)]
+pub struct DynamicAllocator {
+    capacity: u64,
+    /// Free extents: start → length, non-adjacent (merged on free).
+    free: BTreeMap<u64, u64>,
+    /// Live blocks: id → (start, length).
+    live: BTreeMap<u64, (u64, u64)>,
+    next_id: u64,
+    in_use: u64,
+    peak: u64,
+}
+
+impl DynamicAllocator {
+    /// Create an allocator managing `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        let mut free = BTreeMap::new();
+        if capacity > 0 {
+            free.insert(0, capacity);
+        }
+        DynamicAllocator { capacity, free, live: BTreeMap::new(), next_id: 0, in_use: 0, peak: 0 }
+    }
+
+    /// Total managed bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Allocate `bytes` contiguously (first fit). Zero-byte requests succeed
+    /// and occupy nothing.
+    pub fn alloc(&mut self, bytes: u64) -> Result<BlockId, AllocError> {
+        let id = BlockId(self.next_id);
+        if bytes == 0 {
+            self.next_id += 1;
+            self.live.insert(id.0, (u64::MAX, 0));
+            return Ok(id);
+        }
+        let slot = self.free.iter().find(|(_, &len)| len >= bytes).map(|(&s, &l)| (s, l));
+        match slot {
+            Some((start, len)) => {
+                self.free.remove(&start);
+                if len > bytes {
+                    self.free.insert(start + bytes, len - bytes);
+                }
+                self.next_id += 1;
+                self.live.insert(id.0, (start, bytes));
+                self.in_use += bytes;
+                self.peak = self.peak.max(self.in_use);
+                Ok(id)
+            }
+            None => {
+                let stats = self.stats();
+                if stats.free >= bytes {
+                    Err(AllocError::Fragmented {
+                        requested: bytes,
+                        free: stats.free,
+                        largest: stats.largest_free,
+                    })
+                } else {
+                    Err(AllocError::OutOfMemory { requested: bytes, free: stats.free })
+                }
+            }
+        }
+    }
+
+    /// Release a block, merging adjacent free extents.
+    ///
+    /// # Panics
+    /// Panics on double free / unknown id.
+    pub fn free(&mut self, id: BlockId) {
+        let (start, len) = self.live.remove(&id.0).expect("free of unknown block");
+        if len == 0 {
+            return;
+        }
+        self.in_use -= len;
+        // Merge with predecessor.
+        let mut start = start;
+        let mut len = len;
+        if let Some((&ps, &pl)) = self.free.range(..start).next_back() {
+            if ps + pl == start {
+                self.free.remove(&ps);
+                start = ps;
+                len += pl;
+            }
+        }
+        // Merge with successor.
+        if let Some(&sl) = self.free.get(&(start + len)) {
+            self.free.remove(&(start + len));
+            len += sl;
+        }
+        self.free.insert(start, len);
+    }
+
+    /// Snapshot usage statistics.
+    pub fn stats(&self) -> AllocStats {
+        let free: u64 = self.free.values().sum();
+        let largest = self.free.values().copied().max().unwrap_or(0);
+        AllocStats { in_use: self.in_use, free, largest_free: largest, peak_in_use: self.peak }
+    }
+}
+
+/// Named pool inside an [`ArenaAllocator`].
+#[derive(Debug)]
+struct Pool {
+    name: String,
+    capacity: u64,
+    used: u64,
+}
+
+/// MiCS-style memory management (§4): large contiguous buffers for
+/// partitioned parameters, partitioned gradients, and temporaries are
+/// reserved ahead of training and reused proactively. Allocation within a
+/// pool is a bump pointer; `reset_pool` recycles a whole pool between
+/// iterations. By construction there is no external fragmentation.
+#[derive(Debug)]
+pub struct ArenaAllocator {
+    capacity: u64,
+    reserved: u64,
+    pools: Vec<Pool>,
+    peak: u64,
+}
+
+impl ArenaAllocator {
+    /// Create an arena managing `capacity` bytes of device memory.
+    pub fn new(capacity: u64) -> Self {
+        ArenaAllocator { capacity, reserved: 0, pools: Vec::new(), peak: 0 }
+    }
+
+    /// Reserve a named contiguous pool of `bytes`. Fails with
+    /// [`AllocError::OutOfMemory`] if the reservations would exceed device
+    /// memory — never with `Fragmented`.
+    pub fn reserve_pool(&mut self, name: impl Into<String>, bytes: u64) -> Result<usize, AllocError> {
+        if self.reserved + bytes > self.capacity {
+            return Err(AllocError::OutOfMemory {
+                requested: bytes,
+                free: self.capacity - self.reserved,
+            });
+        }
+        self.reserved += bytes;
+        self.peak = self.peak.max(self.reserved);
+        self.pools.push(Pool { name: name.into(), capacity: bytes, used: 0 });
+        Ok(self.pools.len() - 1)
+    }
+
+    /// Bump-allocate `bytes` from pool `pool`.
+    pub fn alloc_from(&mut self, pool: usize, bytes: u64) -> Result<u64, AllocError> {
+        let p = &mut self.pools[pool];
+        if p.used + bytes > p.capacity {
+            return Err(AllocError::OutOfMemory { requested: bytes, free: p.capacity - p.used });
+        }
+        let offset = p.used;
+        p.used += bytes;
+        Ok(offset)
+    }
+
+    /// Recycle everything in a pool (between micro-steps / iterations).
+    pub fn reset_pool(&mut self, pool: usize) {
+        self.pools[pool].used = 0;
+    }
+
+    /// Name of a pool (diagnostics).
+    pub fn pool_name(&self, pool: usize) -> &str {
+        &self.pools[pool].name
+    }
+
+    /// Total bytes reserved across pools.
+    pub fn reserved(&self) -> u64 {
+        self.reserved
+    }
+
+    /// Unreserved headroom.
+    pub fn headroom(&self) -> u64 {
+        self.capacity - self.reserved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KB: u64 = 1 << 10;
+
+    #[test]
+    fn dynamic_alloc_free_roundtrip() {
+        let mut a = DynamicAllocator::new(10 * KB);
+        let b1 = a.alloc(4 * KB).unwrap();
+        let b2 = a.alloc(4 * KB).unwrap();
+        assert_eq!(a.stats().in_use, 8 * KB);
+        a.free(b1);
+        a.free(b2);
+        let s = a.stats();
+        assert_eq!(s.in_use, 0);
+        assert_eq!(s.free, 10 * KB);
+        assert_eq!(s.largest_free, 10 * KB, "adjacent extents must merge");
+    }
+
+    #[test]
+    fn dynamic_out_of_memory() {
+        let mut a = DynamicAllocator::new(KB);
+        assert!(matches!(a.alloc(2 * KB), Err(AllocError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn fragmentation_oom_reproduced() {
+        // The §4 failure mode: free total is sufficient but not contiguous.
+        let mut a = DynamicAllocator::new(10 * KB);
+        let blocks: Vec<_> = (0..10).map(|_| a.alloc(KB).unwrap()).collect();
+        // Free every other block: 5 KB free in 1 KB islands.
+        for (i, b) in blocks.into_iter().enumerate() {
+            if i % 2 == 0 {
+                a.free(b);
+            }
+        }
+        let s = a.stats();
+        assert_eq!(s.free, 5 * KB);
+        assert_eq!(s.largest_free, KB);
+        assert!(s.fragmentation() > 0.7);
+        match a.alloc(3 * KB) {
+            Err(AllocError::Fragmented { requested, free, largest }) => {
+                assert_eq!(requested, 3 * KB);
+                assert_eq!(free, 5 * KB);
+                assert_eq!(largest, KB);
+            }
+            other => panic!("expected Fragmented, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_merges_both_neighbours() {
+        let mut a = DynamicAllocator::new(3 * KB);
+        let b1 = a.alloc(KB).unwrap();
+        let b2 = a.alloc(KB).unwrap();
+        let b3 = a.alloc(KB).unwrap();
+        a.free(b1);
+        a.free(b3);
+        a.free(b2); // middle: must merge with both sides
+        assert_eq!(a.stats().largest_free, 3 * KB);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut a = DynamicAllocator::new(10 * KB);
+        let b = a.alloc(8 * KB).unwrap();
+        a.free(b);
+        let _ = a.alloc(KB).unwrap();
+        assert_eq!(a.stats().peak_in_use, 8 * KB);
+    }
+
+    #[test]
+    fn zero_byte_alloc_is_fine() {
+        let mut a = DynamicAllocator::new(KB);
+        let b = a.alloc(0).unwrap();
+        a.free(b);
+        assert_eq!(a.stats().free, KB);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown block")]
+    fn double_free_panics() {
+        let mut a = DynamicAllocator::new(KB);
+        let b = a.alloc(KB).unwrap();
+        a.free(b);
+        a.free(b);
+    }
+
+    #[test]
+    fn arena_never_fragments() {
+        let mut a = ArenaAllocator::new(10 * KB);
+        let params = a.reserve_pool("params", 4 * KB).unwrap();
+        let grads = a.reserve_pool("grads", 4 * KB).unwrap();
+        assert_eq!(a.pool_name(grads), "grads");
+        // Churn the params pool hard; reuse never fails.
+        for _ in 0..100 {
+            for _ in 0..4 {
+                a.alloc_from(params, KB).unwrap();
+            }
+            assert!(a.alloc_from(params, 1).is_err(), "pool exhausted as expected");
+            a.reset_pool(params);
+        }
+        assert_eq!(a.headroom(), 2 * KB);
+    }
+
+    #[test]
+    fn arena_rejects_over_reservation() {
+        let mut a = ArenaAllocator::new(4 * KB);
+        a.reserve_pool("big", 3 * KB).unwrap();
+        assert!(matches!(
+            a.reserve_pool("more", 2 * KB),
+            Err(AllocError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn same_workload_fragments_dynamic_but_not_arena() {
+        // A miniature gather/partition loop: persistent shard buffers stay
+        // live while variable-size gathered-parameter buffers come and go
+        // (layer sizes differ). Under first fit the persistent blocks strand
+        // small holes, until a gather request fails with *Fragmented* —
+        // free memory is sufficient but not contiguous. The arena, which
+        // sized its pools up front, serves the identical workload forever.
+        let capacity = 64 * KB;
+        let mut dynamic = DynamicAllocator::new(capacity);
+        let mut arena = ArenaAllocator::new(capacity);
+
+        let gather_pool = arena.reserve_pool("gather", 28 * KB).unwrap();
+        let shard_pool = arena.reserve_pool("shards", 36 * KB).unwrap();
+
+        let mut failure = None;
+        for round in 1..=20u64 {
+            let gather_bytes = (7 + round) * KB; // growing transient
+            match dynamic.alloc(gather_bytes) {
+                Ok(g) => {
+                    let _persistent = dynamic.alloc(8 * KB).unwrap();
+                    dynamic.free(g);
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+            // Arena: same logical workload (bounded by its pool sizes).
+            if gather_bytes <= 28 * KB {
+                arena.alloc_from(gather_pool, gather_bytes).unwrap();
+                arena.reset_pool(gather_pool);
+            }
+            if (round * 8) * KB <= 36 * KB {
+                arena.alloc_from(shard_pool, 8 * KB).unwrap();
+            }
+        }
+        match failure {
+            Some(AllocError::Fragmented { requested, free, largest }) => {
+                assert!(free >= requested, "must be a fragmentation OOM, not capacity");
+                assert!(largest < requested);
+            }
+            other => panic!("expected a Fragmented failure, got {other:?}"),
+        }
+    }
+}

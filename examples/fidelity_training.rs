@@ -1,0 +1,49 @@
+//! Real sharded training over the shared-memory data plane (the §5.4
+//! fidelity experiment, scaled down): eight thread-rank workers train the
+//! same model under MiCS's 2-hop schedule and classic DDP; the loss curves
+//! must coincide.
+//!
+//! ```text
+//! cargo run --release --example fidelity_training
+//! ```
+
+use mics::minidl::{train, Mlp, SyncSchedule, TrainSetup};
+
+fn main() {
+    let setup = TrainSetup {
+        model: Mlp::new(&[12, 24, 24, 3]),
+        world: 8,
+        partition_size: 2, // four partition groups of two ranks (Figure 2)
+        micro_batch: 8,
+        accum_steps: 4,
+        iterations: 25,
+        lr: 0.01,
+        seed: 7,
+        quantize: true, // fp16 forward copies, fp32 master weights
+        loss_scale: mics::minidl::LossScale::Dynamic { init: 65536.0, growth_interval: 100 },
+        clip_grad_norm: Some(1.0),
+    };
+    println!(
+        "training a {}-parameter model on {} thread-ranks, partition groups of {}\n",
+        setup.model.num_params(),
+        setup.world,
+        setup.partition_size
+    );
+
+    let mics = train(&setup, SyncSchedule::TwoHop);
+    let ddp = train(&setup, SyncSchedule::Ddp);
+
+    println!("{:>5}  {:>12}  {:>12}  {:>10}", "iter", "MiCS 2-hop", "DDP", "|Δ|");
+    for i in 0..mics.losses.len() {
+        println!(
+            "{:>5}  {:>12.6}  {:>12.6}  {:>10.2e}",
+            i,
+            mics.losses[i],
+            ddp.losses[i],
+            (mics.losses[i] - ddp.losses[i]).abs()
+        );
+    }
+    let improvement = mics.losses[0] / mics.losses.last().unwrap();
+    println!("\nloss improved {improvement:.1}× — and the two schedules' curves coincide,");
+    println!("validating that 2-hop synchronization accumulates the same gradient sums.");
+}

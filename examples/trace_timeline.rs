@@ -1,0 +1,41 @@
+//! Export a chrome-trace timeline of one simulated MiCS iteration.
+//!
+//! Writes `results/mics_timeline.json` (and a ZeRO-3 counterpart); open
+//! them in `chrome://tracing` or https://ui.perfetto.dev to *see* how MiCS
+//! overlaps parameter gathers with compute while the baseline serializes.
+//!
+//! ```text
+//! cargo run --release --example trace_timeline
+//! ```
+
+use mics::cluster::{ClusterSpec, InstanceType};
+use mics::core::{simulate_dp_traced, MicsConfig, Strategy, TrainingJob, ZeroStage};
+use mics::model::TransformerConfig;
+
+fn main() {
+    std::fs::create_dir_all("results").expect("create results dir");
+    let cluster = ClusterSpec::new(InstanceType::p3dn_24xlarge(), 2);
+    for (name, strategy) in [
+        ("mics_timeline", Strategy::Mics(MicsConfig::paper_defaults(8))),
+        ("zero3_timeline", Strategy::Zero(ZeroStage::Three)),
+    ] {
+        let job = TrainingJob {
+            workload: TransformerConfig::bert_10b().workload(8),
+            cluster: cluster.clone(),
+            strategy,
+            accum_steps: 2,
+        };
+        let (report, trace) = simulate_dp_traced(&job).expect("fits");
+        let path = format!("results/{name}.json");
+        std::fs::write(&path, &trace).expect("write trace");
+        println!(
+            "{}: iteration {} ({:.1} samples/sec) → {} ({} bytes of trace)",
+            report.label,
+            report.iter_time,
+            report.samples_per_sec,
+            path,
+            trace.len()
+        );
+    }
+    println!("\nopen the JSON files in chrome://tracing or ui.perfetto.dev");
+}

@@ -1,0 +1,54 @@
+//! # MiCS — Minimizing Communication Scale, reproduced in Rust
+//!
+//! A full-system reproduction of *"MiCS: Near-linear Scaling for Training
+//! Gigantic Model on Public Cloud"* (VLDB 2022). MiCS trains
+//! multi-billion-parameter models with pure data parallelism by sharding
+//! model states inside small **partition groups** instead of across the
+//! whole cluster, gathering parameters **hierarchically** across the
+//! cloud's heterogeneous network, and synchronizing gradients with a
+//! **2-hop** schedule that amortizes global synchronization over the
+//! gradient-accumulation window.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`simnet`] | deterministic discrete-event simulator (streams, events, fluid-shared links) |
+//! | [`cluster`] | cloud instance types, node/device topology, partition & replication groups |
+//! | [`collectives`] | chunk-layout math, α–β cost models, effective-bandwidth estimation |
+//! | [`tensor`] | dtypes, sharding arithmetic, fragmenting vs arena allocators |
+//! | [`dataplane`] | real shared-memory collectives incl. the 3-stage hierarchical all-gather |
+//! | [`minidl`] | deterministic DL stack for the fidelity experiment (real training) |
+//! | [`model`] | the paper's workloads: BERT/RoBERTa/GPT-2 variants, WideResNet |
+//! | [`core`] | the MiCS executor + DDP/ZeRO-1/2/3/Megatron-LM-3D baselines |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mics::core::{simulate, MicsConfig, Strategy, TrainingJob};
+//! use mics::cluster::{ClusterSpec, InstanceType};
+//! use mics::model::TransformerConfig;
+//!
+//! // Two p3dn.24xlarge nodes (16 × V100, 100 Gbps EFA).
+//! let cluster = ClusterSpec::new(InstanceType::p3dn_24xlarge(), 2);
+//! // BERT 10B fits in a single-node partition group.
+//! let job = TrainingJob {
+//!     workload: TransformerConfig::bert_10b().workload(8),
+//!     cluster,
+//!     strategy: Strategy::Mics(MicsConfig::paper_defaults(8)),
+//!     accum_steps: 4,
+//! };
+//! let report = simulate(&job).unwrap();
+//! println!("{}: {:.1} samples/sec", report.label, report.samples_per_sec);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use mics_cluster as cluster;
+pub use mics_collectives as collectives;
+pub use mics_core as core;
+pub use mics_dataplane as dataplane;
+pub use mics_minidl as minidl;
+pub use mics_model as model;
+pub use mics_simnet as simnet;
+pub use mics_tensor as tensor;

@@ -1,0 +1,113 @@
+//! Cross-crate consistency: the chunk-layout math (`mics-collectives`), the
+//! real data plane (`mics-dataplane`), and the sharding arithmetic
+//! (`mics-tensor`) must agree with each other.
+
+use mics::collectives::layout::flat_order;
+use mics::collectives::HierarchicalLayout;
+use mics::dataplane::hierarchical::split_hierarchical;
+use mics::dataplane::{hierarchical_all_gather, naive_two_stage_all_gather, run_ranks};
+use mics::tensor::ShardSpec;
+use proptest::prelude::*;
+
+/// The symbolic layout simulation and the real data plane must produce the
+/// same chunk order for every geometry.
+#[test]
+fn symbolic_simulation_matches_real_dataplane() {
+    for (nodes, k) in [(2usize, 2usize), (2, 4), (3, 2), (4, 4), (2, 8)] {
+        let p = nodes * k;
+        let layout = HierarchicalLayout::new(p, k).unwrap();
+        // Symbolic.
+        for rank in 0..p {
+            assert_eq!(layout.simulate(rank), flat_order(p), "symbolic p={p} k={k}");
+        }
+        // Real buffers: rank r contributes chunk [r*2, r*2+1].
+        let out = run_ranks(p, |mut comm| {
+            let rank = comm.rank();
+            let (channel, node) = split_hierarchical(&mut comm, &layout);
+            hierarchical_all_gather(&channel, &node, &layout, &[rank as f32 * 2.0, rank as f32 * 2.0 + 1.0])
+        });
+        let expect: Vec<f32> = (0..2 * p).map(|x| x as f32).collect();
+        for (r, o) in out.iter().enumerate() {
+            assert_eq!(o, &expect, "dataplane p={p} k={k} rank={r}");
+        }
+    }
+}
+
+/// The naive (no re-arrangement) variant reproduces exactly the wrong order
+/// the symbolic layout predicts — a bug and its model agreeing.
+#[test]
+fn naive_bug_matches_symbolic_prediction() {
+    for (nodes, k) in [(2usize, 2usize), (2, 4), (4, 2)] {
+        let p = nodes * k;
+        let layout = HierarchicalLayout::new(p, k).unwrap();
+        let out = run_ranks(p, |mut comm| {
+            let rank = comm.rank();
+            let (channel, node) = split_hierarchical(&mut comm, &layout);
+            naive_two_stage_all_gather(&channel, &node, &layout, &[rank as f32])
+        });
+        for (rank, got) in out.iter().enumerate() {
+            let predicted: Vec<f32> =
+                layout.naive_concat_order(rank).iter().map(|&c| c as f32).collect();
+            assert_eq!(got, &predicted, "p={p} k={k} rank={rank}");
+        }
+    }
+}
+
+/// ShardSpec's extract/assemble agrees with what a real all-gather of
+/// per-rank shards produces.
+#[test]
+fn shard_spec_matches_all_gather_layout() {
+    let numel = 37;
+    let world = 5;
+    let spec = ShardSpec::new(numel, world);
+    let data: Vec<f32> = (0..numel).map(|i| (i as f32).cos()).collect();
+    let data_ref = data.clone();
+    let gathered = run_ranks(world, move |comm| {
+        let shard = spec.extract_padded(&data_ref, comm.rank());
+        comm.all_gather(&shard)
+    });
+    for g in gathered {
+        assert_eq!(&g[..numel], &data[..], "padded all-gather must reassemble the buffer");
+        assert!(g[numel..].iter().all(|&x| x == 0.0), "tail must be padding");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// reduce_scatter ∘ all_gather == all_reduce on real data, any world.
+    #[test]
+    fn reduce_scatter_all_gather_equals_all_reduce(world in 2usize..9, len in 1usize..6) {
+        let n = world * len; // per-rank contribution divisible by world
+        let via_pair = run_ranks(world, move |comm| {
+            let v: Vec<f32> = (0..n).map(|i| ((comm.rank() * 83 + i) as f32).sin()).collect();
+            let mine = comm.reduce_scatter(&v);
+            comm.all_gather(&mine)
+        });
+        let via_ar = run_ranks(world, move |comm| {
+            let v: Vec<f32> = (0..n).map(|i| ((comm.rank() * 83 + i) as f32).sin()).collect();
+            comm.all_reduce(&v)
+        });
+        prop_assert_eq!(via_pair, via_ar);
+    }
+
+    /// Coalesced APIs are observationally equivalent to per-buffer calls for
+    /// arbitrary batch shapes.
+    #[test]
+    fn coalesced_equivalence(world in 2usize..7, parts in 1usize..5, len in 1usize..5) {
+        let coalesced = run_ranks(world, move |comm| {
+            let bufs: Vec<Vec<f32>> = (0..parts)
+                .map(|p| (0..len * world).map(|i| ((comm.rank() + p * 31 + i) as f32).cos()).collect())
+                .collect();
+            let refs: Vec<&[f32]> = bufs.iter().map(|b| b.as_slice()).collect();
+            comm.reduce_scatter_coalesced(&refs)
+        });
+        let sequential = run_ranks(world, move |comm| {
+            let bufs: Vec<Vec<f32>> = (0..parts)
+                .map(|p| (0..len * world).map(|i| ((comm.rank() + p * 31 + i) as f32).cos()).collect())
+                .collect();
+            bufs.iter().map(|b| comm.reduce_scatter(b)).collect::<Vec<_>>()
+        });
+        prop_assert_eq!(coalesced, sequential);
+    }
+}

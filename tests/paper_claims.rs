@@ -1,0 +1,201 @@
+//! Integration tests pinning the paper's quantitative claims, section by
+//! section, against the full simulation stack.
+
+use mics::cluster::{ClusterSpec, InstanceType};
+use mics::collectives::bandwidth::{effective_all_gather_bw, NetParams};
+use mics::collectives::cost::{all_gather_flat, all_gather_hierarchical};
+use mics::core::{simulate, MicsConfig, Strategy, TrainingJob, ZeroStage};
+use mics::model::TransformerConfig;
+
+fn v100(nodes: usize) -> ClusterSpec {
+    ClusterSpec::new(InstanceType::p3dn_24xlarge(), nodes)
+}
+
+fn job(model: &TransformerConfig, nodes: usize, strategy: Strategy, s: usize) -> TrainingJob {
+    TrainingJob {
+        workload: model.workload(8),
+        cluster: v100(nodes),
+        strategy,
+        accum_steps: s,
+    }
+}
+
+fn throughput(model: &TransformerConfig, nodes: usize, strategy: Strategy, s: usize) -> f64 {
+    simulate(&job(model, nodes, strategy, s)).expect("must fit").samples_per_sec
+}
+
+/// §1 / §5.1.1: on 100 Gbps V100 clusters the system throughput of MiCS is
+/// a large multiple of DeepSpeed ZeRO-3's (paper: up to 2.82×).
+#[test]
+fn headline_mics_vs_zero3_speedup() {
+    let model = TransformerConfig::bert_10b();
+    let mics = throughput(&model, 16, Strategy::Mics(MicsConfig::paper_defaults(8)), 8);
+    let zero3 = throughput(&model, 16, Strategy::Zero(ZeroStage::Three), 8);
+    let ratio = mics / zero3;
+    assert!((1.7..3.5).contains(&ratio), "MiCS/ZeRO-3 = {ratio:.2}, paper ≈ 2.2–2.9");
+}
+
+/// §5.1.1: MiCS achieves near-linear strong scaling — efficiency vs the
+/// smallest runnable cluster stays above 90% out to 128 GPUs.
+#[test]
+fn near_linear_strong_scaling() {
+    let model = TransformerConfig::bert_10b();
+    let strategy = || Strategy::Mics(MicsConfig::paper_defaults(8));
+    let t16 = throughput(&model, 2, strategy(), 64);
+    let t128 = throughput(&model, 16, strategy(), 8);
+    let eff = (t128 / 8.0) / t16;
+    assert!(eff > 0.90, "scaling efficiency 16→128 GPUs = {eff:.3}");
+}
+
+/// §2.3 / Figure 1: for a fixed 128 MB message, effective bandwidth decays
+/// monotonically with node count; large messages approach line rate.
+#[test]
+fn figure1_effective_bandwidth_shape() {
+    let net = NetParams::from_instance(&InstanceType::p3dn_24xlarge());
+    let mut prev = f64::INFINITY;
+    for nodes in [2usize, 4, 8, 16, 32] {
+        let bw = effective_all_gather_bw(nodes * 8, 8, 128 << 20, &net);
+        assert!(bw < prev, "{nodes} nodes: {bw:.2e}");
+        prev = bw;
+    }
+    let big = effective_all_gather_bw(16, 8, 4096 << 20, &net);
+    assert!(big > 0.95 * net.nic_bw, "4 GiB messages should saturate: {big:.2e}");
+}
+
+/// §3.2: B_part/B_all cost-ratio bound — gathering within one node can be
+/// an order of magnitude cheaper than across 8 nodes (paper: up to 11.6×).
+#[test]
+fn partition_cost_ratio_bound() {
+    let net = NetParams::from_instance(&InstanceType::p3dn_24xlarge());
+    let b_part = effective_all_gather_bw(8, 8, 512 << 20, &net);
+    let b_all = effective_all_gather_bw(64, 8, 512 << 20, &net);
+    let ratio = b_part / b_all;
+    assert!((8.0..16.0).contains(&ratio), "B_part/B_all = {ratio:.1}");
+}
+
+/// §3.3: hierarchical communication reduces inter-node volume by
+/// (p−1)/(p−k); for k = 8 and 8 ≤ p ≤ 64 that's an 11.1%–46.6% reduction.
+#[test]
+fn hierarchical_volume_reduction_range() {
+    let net = NetParams::from_instance(&InstanceType::p3dn_24xlarge());
+    let m = 256u64 << 20;
+    let reduction = |p: usize| {
+        let flat = all_gather_flat(p, 8, m, &net).nic_bytes() as f64;
+        let hier = all_gather_hierarchical(p, 8, m, &net, true).unwrap().nic_bytes() as f64;
+        1.0 - hier / flat
+    };
+    assert!((reduction(16) - 0.466).abs() < 0.01);
+    assert!((reduction(64) - 0.111).abs() < 0.01);
+}
+
+/// §5.1.1: ZeRO-2's replicated parameters make it OOM where MiCS runs.
+#[test]
+fn zero2_oom_where_mics_fits() {
+    let model = TransformerConfig::bert_15b();
+    let j = TrainingJob {
+        workload: model.workload(4),
+        cluster: v100(4),
+        strategy: Strategy::Zero(ZeroStage::Two),
+        accum_steps: 4,
+    };
+    assert!(simulate(&j).is_err(), "ZeRO-2 must OOM for 15B");
+    let t = throughput(&model, 4, Strategy::Mics(MicsConfig::paper_defaults(16)), 4);
+    assert!(t > 0.0);
+}
+
+/// §5.1.1: BERT 20B on a 16-GPU partition group must automatically disable
+/// the hierarchical all-gather's staging buffers (memory constraint) and
+/// still run — this is the paper's super-linear-scaling anecdote.
+#[test]
+fn bert20b_hierarchical_fallback() {
+    let model = TransformerConfig::bert_20b();
+    let j = job(&model, 2, Strategy::Mics(MicsConfig::paper_defaults(16)), 4);
+    let r = simulate(&j).unwrap();
+    assert!(!r.hierarchical_used, "staging buffers must not fit at 16 GPUs");
+    // On 4+ nodes the same configuration re-enables it (same memory — the
+    // buffers are cluster-size independent — but the paper's point is that
+    // the *group* memory margin governs, which our model reproduces at the
+    // group level, so it stays disabled for p=16 everywhere on V100).
+    let model15 = TransformerConfig::bert_15b();
+    let r15 = simulate(&job(&model15, 2, Strategy::Mics(MicsConfig::paper_defaults(16)), 4))
+        .unwrap();
+    assert!(r15.hierarchical_used, "15B keeps hierarchical staging");
+}
+
+/// §5.2.1 / Figure 11: throughput trends down as the partition group grows.
+#[test]
+fn partition_group_size_trend() {
+    let model = TransformerConfig::bert_10b();
+    let thr: Vec<f64> = [8usize, 16, 32, 64]
+        .iter()
+        .map(|&p| throughput(&model, 8, Strategy::Mics(MicsConfig::paper_defaults(p)), 16))
+        .collect();
+    // Non-increasing within 1% slack, with a real drop from first to last.
+    for w in thr.windows(2) {
+        assert!(w[1] <= w[0] * 1.01, "trend violated: {thr:?}");
+    }
+    assert!(thr[0] / thr[3] > 1.15, "p=8 vs p=64 ratio {:.2}", thr[0] / thr[3]);
+}
+
+/// §5.2.3 / Figure 13: the 2-hop gain grows with cluster size (paper: 11%
+/// at 16 GPUs → 24.9% at 128 GPUs).
+#[test]
+fn two_hop_gain_grows_with_scale() {
+    let model = TransformerConfig::bert_10b();
+    let gain = |nodes: usize, s: usize| {
+        let on = throughput(&model, nodes, Strategy::Mics(MicsConfig::paper_defaults(8)), s);
+        let mut cfg = MicsConfig::paper_defaults(8);
+        cfg.two_hop_sync = false;
+        let off = throughput(&model, nodes, Strategy::Mics(cfg), s);
+        on / off - 1.0
+    };
+    let g16 = gain(2, 64);
+    let g128 = gain(16, 8);
+    assert!(g16 > 0.05, "gain at 16 GPUs = {g16:.3}");
+    assert!(g128 > g16, "gain must grow with scale: {g128:.3} vs {g16:.3}");
+    assert!((0.08..0.45).contains(&g128), "gain at 128 GPUs = {g128:.3}, paper 24.9%");
+}
+
+/// §5.3 / Figure 14: implementation optimizations alone (MiCS(ZeRO-3)) beat
+/// DeepSpeed ZeRO-3 by roughly the paper's 54% at 128 GPUs, and full MiCS
+/// adds a further communication-scale gain on top.
+#[test]
+fn figure14_ordering() {
+    let model = TransformerConfig::bert_10b();
+    let ds = throughput(&model, 16, Strategy::Zero(ZeroStage::Three), 8);
+    let z3opt =
+        throughput(&model, 16, Strategy::Mics(MicsConfig::zero3_with_impl_opts(128)), 8);
+    let full = throughput(&model, 16, Strategy::Mics(MicsConfig::paper_defaults(8)), 8);
+    let impl_gain = z3opt / ds - 1.0;
+    assert!((0.15..0.95).contains(&impl_gain), "impl gain {impl_gain:.2}, paper 0.54");
+    assert!(full > z3opt * 1.15, "scale reduction must add further gain");
+}
+
+/// §5.1.2 / Figure 9: on 400 Gbps A100 clusters MiCS still wins but by less
+/// than on 100 Gbps (faster networks mitigate communication overheads).
+#[test]
+fn faster_network_shrinks_the_gap() {
+    let model = TransformerConfig::bert_15b();
+    let a100 = ClusterSpec::new(InstanceType::p4d_24xlarge(), 4);
+    // Paper defaults: global batch 8192 → s = 32 at 32 GPUs.
+    let gap_a100 = {
+        let mk = |s: Strategy| TrainingJob {
+            workload: model.workload(8),
+            cluster: a100.clone(),
+            strategy: s,
+            accum_steps: 32,
+        };
+        // Same partition group size as the V100 run below, isolating the
+        // network-speed effect (on A100 the model would also fit p = 8,
+        // which is a *memory* advantage, not a network one).
+        simulate(&mk(Strategy::Mics(MicsConfig::paper_defaults(16)))).unwrap().samples_per_sec
+            / simulate(&mk(Strategy::Zero(ZeroStage::Three))).unwrap().samples_per_sec
+    };
+    let gap_v100 = {
+        let mics = throughput(&model, 4, Strategy::Mics(MicsConfig::paper_defaults(16)), 32);
+        let z3 = throughput(&model, 4, Strategy::Zero(ZeroStage::Three), 32);
+        mics / z3
+    };
+    assert!(gap_a100 > 1.35, "A100 gap {gap_a100:.2}, paper up to 2.21×");
+    assert!(gap_v100 > gap_a100, "100 Gbps gap {gap_v100:.2} must exceed {gap_a100:.2}");
+}
