@@ -7,7 +7,7 @@
 //! synchronization schedules. The model is scaled down (the schedules'
 //! algebra — what the experiment validates — is size-independent).
 
-use mics_bench::{write_json, Table};
+use mics_bench::{write_json, Json, Table};
 use mics_minidl::{train, train_lm, LmSetup, Mlp, SyncSchedule, TinyTransformer, TrainSetup};
 
 fn main() {
@@ -66,11 +66,11 @@ fn main() {
     assert!(max_dev < 1e-2, "convergence behaviours must coincide");
     write_json(
         "fig15_losses",
-        &serde_json::json!({
-            "ddp": ddp.losses,
-            "zero3_schedule": zero3.losses,
-            "mics_two_hop": mics.losses,
-        }),
+        &Json::obj([
+            ("ddp", Json::from(ddp.losses.clone())),
+            ("zero3_schedule", Json::from(zero3.losses.clone())),
+            ("mics_two_hop", Json::from(mics.losses.clone())),
+        ]),
     );
 
     // The paper's fidelity model is a *transformer* LM; repeat the check

@@ -1,0 +1,212 @@
+//! A tiny JSON document model with a pretty serializer.
+//!
+//! The bench harness used to derive `serde::Serialize` for its result
+//! tables; the offline build environment can't fetch serde, and the needs
+//! here are small (string/number/array/object, pretty-printed), so this
+//! hand-rolled writer replaces it. See `vendor/README.md`.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// JSON string.
+    Str(String),
+    /// JSON number (non-finite values serialize as `null`).
+    Num(f64),
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON array.
+    Arr(Vec<Json>),
+    /// JSON object (insertion-ordered).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Build an array from anything convertible to values.
+    pub fn arr<V: Into<Json>>(items: impl IntoIterator<Item = V>) -> Json {
+        Json::Arr(items.into_iter().map(Into::into).collect())
+    }
+
+    /// Pretty-print with two-space indentation.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, 0);
+        out
+    }
+
+    fn render(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Str(s) => render_string(out, s),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    // Integral values print without a trailing ".0", matching
+                    // the serde_json output the results files used to have.
+                    if *x == x.trunc() && x.abs() < 1e15 {
+                        let _ = write!(out, "{}", *x as i64);
+                    } else {
+                        let _ = write!(out, "{x}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    v.render(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    render_string(out, k);
+                    out.push_str(": ");
+                    v.render(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn render_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+impl From<f32> for Json {
+    fn from(x: f32) -> Json {
+        Json::Num(x as f64)
+    }
+}
+impl From<usize> for Json {
+    fn from(x: usize) -> Json {
+        Json::Num(x as f64)
+    }
+}
+impl From<u64> for Json {
+    fn from(x: u64) -> Json {
+        Json::Num(x as f64)
+    }
+}
+impl From<i64> for Json {
+    fn from(x: i64) -> Json {
+        Json::Num(x as f64)
+    }
+}
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+impl<V: Into<Json> + Clone> From<&[V]> for Json {
+    fn from(xs: &[V]) -> Json {
+        Json::arr(xs.iter().cloned())
+    }
+}
+impl<V: Into<Json>> From<Vec<V>> for Json {
+    fn from(xs: Vec<V>) -> Json {
+        Json::arr(xs)
+    }
+}
+
+/// Types that can report themselves as a [`Json`] document.
+pub trait ToJson {
+    /// Convert to a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_output_shape() {
+        let doc = Json::obj([
+            ("title", Json::from("t")),
+            ("rows", Json::arr([1.0f64, 2.5])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let s = doc.pretty();
+        assert!(s.starts_with("{\n  \"title\": \"t\""), "{s}");
+        assert!(s.contains("\"rows\": [\n    1,\n    2.5\n  ]"), "{s}");
+        assert!(s.contains("\"empty\": []"), "{s}");
+        assert!(s.ends_with('}'), "{s}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = Json::Str("a\"b\\c\nd".into()).pretty();
+        assert_eq!(s, r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Json::Num(f64::NAN).pretty(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).pretty(), "null");
+    }
+}

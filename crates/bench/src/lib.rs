@@ -10,12 +10,14 @@
 use mics_cluster::{ClusterSpec, InstanceType};
 use mics_core::{simulate, RunReport, Strategy, TrainingJob};
 use mics_model::WorkloadSpec;
-use serde::Serialize;
 use std::fmt::Display;
 use std::path::PathBuf;
 
+pub mod json;
+pub use json::{Json, ToJson};
+
 /// A printable result table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Table/figure title.
     pub title: String,
@@ -71,24 +73,37 @@ impl Table {
     }
 }
 
-/// Persist any serializable value as `results/<name>.json` (best effort —
+impl ToJson for Table {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("title", Json::from(self.title.as_str())),
+            ("headers", Json::arr(self.headers.iter().map(String::as_str))),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| Json::arr(r.iter().map(String::as_str)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Persist any JSON-convertible value as `results/<name>.json` (best effort —
 /// failures are reported, not fatal, so benches still work read-only).
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
+pub fn write_json<T: ToJson>(name: &str, value: &T) {
     let dir = PathBuf::from("results");
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("note: cannot create results dir: {e}");
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(s) => {
-            if let Err(e) = std::fs::write(&path, s) {
-                eprintln!("note: cannot write {}: {e}", path.display());
-            } else {
-                println!("[results written to {}]", path.display());
-            }
-        }
-        Err(e) => eprintln!("note: cannot serialize {name}: {e}"),
+    if let Err(e) = std::fs::write(&path, value.to_json().pretty()) {
+        eprintln!("note: cannot write {}: {e}", path.display());
+    } else {
+        println!("[results written to {}]", path.display());
     }
 }
 

@@ -49,6 +49,7 @@ pub mod dp;
 pub mod megatron;
 pub mod memory;
 pub mod ops;
+pub mod recovery;
 pub mod report;
 pub mod tuner;
 
@@ -56,6 +57,10 @@ pub use config::{MicsConfig, Strategy, ZeroStage};
 pub use megatron::{simulate_megatron, MegatronConfig, MegatronReport};
 pub use memory::{MemoryEstimate, OomError};
 pub use dp::simulate_dp_traced;
+pub use recovery::{
+    policy_for, poisson_failures, recovery_time, simulate_with_failures, RecoveryConfig,
+    RecoveryPolicy, RecoveryReport, RecoveryTime,
+};
 pub use report::RunReport;
 pub use tuner::{tune, TuneResult};
 

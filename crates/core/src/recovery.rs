@@ -1,0 +1,439 @@
+//! Recovery from node loss — the fault-tolerance dividend of MiCS's
+//! replication topology (extension beyond the paper).
+//!
+//! MiCS partitions model states over a partition group of `p` devices and
+//! *replicates* them across the `n/p` partition groups (§3.2). That
+//! replication is introduced for communication efficiency, but it also
+//! changes what a node loss means:
+//!
+//! * **MiCS (`p_opt < n`)**: the dead node's shards still exist on its
+//!   replication-group peers in other partition groups. Recovery is a
+//!   provision-and-copy: spin up a replacement instance and pull each lost
+//!   rank's shard P2P from an off-node peer, cost-modeled on the same
+//!   simulated NIC resources training uses ([`recovery_time`]). No training
+//!   state is lost beyond the interrupted iteration.
+//! * **ZeRO-3 (`p_opt = n`)**: every shard exists exactly once, so a node
+//!   loss destroys state that exists nowhere else. The whole cluster must
+//!   reload the latest checkpoint and redo the work since it was written.
+//!
+//! [`simulate_with_failures`] walks a seeded [`FaultPlan`] crash timeline
+//! and reports per-failure recovery time and goodput for either policy;
+//! because the plan is seeded and the cost models are deterministic, the
+//! same seed always yields the identical report.
+
+use crate::memory::OomError;
+use crate::TrainingJob;
+use mics_cluster::{NodeId, Rank};
+use mics_simnet::{FaultPlan, Op, Sim, SimTime};
+
+/// Knobs of the failure/recovery environment (cloud-side constants, not
+/// strategy-dependent).
+#[derive(Debug, Clone)]
+pub struct RecoveryConfig {
+    /// Time to obtain and boot a replacement instance (spot/on-demand
+    /// provisioning plus image boot and NCCL re-initialization).
+    pub node_provision: SimTime,
+    /// Per-node sustained read bandwidth from the checkpoint store
+    /// (object storage through the host), bytes/s.
+    pub checkpoint_read_bw: f64,
+    /// Per-node sustained write bandwidth to the checkpoint store, bytes/s.
+    pub checkpoint_write_bw: f64,
+    /// How often a checkpoint-dependent policy writes one.
+    pub checkpoint_interval: SimTime,
+    /// Replication-protected policies still checkpoint (to survive losing a
+    /// whole replication set), but this many times less often.
+    pub peer_copy_ckpt_dilation: u32,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            node_provision: SimTime::from_secs(90),
+            checkpoint_read_bw: 1.0e9,
+            checkpoint_write_bw: 0.8e9,
+            checkpoint_interval: SimTime::from_secs(20 * 60),
+            peer_copy_ckpt_dilation: 8,
+        }
+    }
+}
+
+/// How a strategy can restore the model states a dead node held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Lost shards survive on replication-group peers on other nodes; copy
+    /// them P2P to the replacement node.
+    PeerCopy {
+        /// Number of full model-state replicas in the cluster (`n / p_opt`).
+        replication: usize,
+    },
+    /// No off-node replica exists; the whole cluster reloads the latest
+    /// checkpoint and redoes the work since it was written.
+    CheckpointReload,
+}
+
+impl RecoveryPolicy {
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecoveryPolicy::PeerCopy { .. } => "peer-copy",
+            RecoveryPolicy::CheckpointReload => "checkpoint-reload",
+        }
+    }
+}
+
+/// Breakdown of restoring training after a single node loss.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryTime {
+    /// Policy this breakdown was computed under.
+    pub policy: RecoveryPolicy,
+    /// Replacement-instance provisioning time (both policies pay it).
+    pub provision: SimTime,
+    /// Time to restore the lost model states: P2P shard copy (peer-copy)
+    /// or parallel checkpoint read (checkpoint-reload).
+    pub state_restore: SimTime,
+    /// Expected redone work per failure: the interrupted iteration
+    /// (peer-copy) or half a checkpoint interval of training
+    /// (checkpoint-reload).
+    pub lost_work: SimTime,
+}
+
+impl RecoveryTime {
+    /// Total time from the failure until training is back to the point it
+    /// had reached when the node died.
+    pub fn total(&self) -> SimTime {
+        self.provision + self.state_restore + self.lost_work
+    }
+}
+
+/// Goodput accounting of a training run over a failure timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Strategy label (e.g. `"MiCS(p=8)"`).
+    pub label: String,
+    /// Recovery policy the strategy resolves to.
+    pub policy: RecoveryPolicy,
+    /// Failure-free iteration time.
+    pub iter_time: SimTime,
+    /// Recovery breakdown of one node loss.
+    pub per_failure: SimTime,
+    /// Node losses within the horizon.
+    pub failures: usize,
+    /// Total time spent provisioning + restoring state.
+    pub downtime: SimTime,
+    /// Total redone training time.
+    pub lost_work: SimTime,
+    /// Total time stalled writing periodic checkpoints.
+    pub checkpoint_overhead: SimTime,
+    /// Wall-clock window the timeline covers.
+    pub horizon: SimTime,
+    /// Fraction of the horizon spent making forward progress.
+    pub goodput_fraction: f64,
+    /// Failure-free throughput × goodput fraction.
+    pub effective_samples_per_sec: f64,
+    /// Fingerprint of the fault timeline the report was computed from
+    /// (equal seeds ⇒ equal fingerprints ⇒ equal reports).
+    pub fault_fingerprint: u64,
+}
+
+fn model_state_bytes(job: &TrainingJob) -> u64 {
+    // Per replica: params + grads in the training dtype, plus fp32 master
+    // weights and two Adam moments (12 B/param) — ZeRO's 16ψ for fp16.
+    let dtype = job.workload.param_dtype_bytes;
+    job.workload.total_params() * (2 * dtype + 12)
+}
+
+fn checkpoint_bytes(job: &TrainingJob) -> u64 {
+    // Checkpoints persist params + optimizer states; gradients are not
+    // checkpointed.
+    let dtype = job.workload.param_dtype_bytes;
+    job.workload.total_params() * (dtype + 12)
+}
+
+/// An off-node replication-group peer holding `lost`'s shard, if any.
+/// Peers of rank `r` are the ranks `g·p + (r mod p)` of the other partition
+/// groups; the donor load is spread over groups by the lost rank's local
+/// index so one donor node does not serve every copy.
+fn off_node_donor(job: &TrainingJob, lost: Rank) -> Option<Rank> {
+    let n = job.cluster.total_devices();
+    let p = job.strategy.plan(n).p_opt;
+    let groups = n / p;
+    let local = lost.0 % p;
+    let own = lost.0 / p;
+    let dead = job.cluster.node_of(lost);
+    // Try every other group, starting at a local-index-dependent rotation
+    // so the k concurrent copies spread over distinct donor nodes.
+    (0..groups.saturating_sub(1))
+        .map(|i| {
+            let offset = 1 + (i + local) % (groups - 1);
+            Rank(((own + offset) % groups) * p + local)
+        })
+        .find(|&peer| job.cluster.node_of(peer) != dead)
+}
+
+/// Resolve the recovery policy of a job: peer-copy when every rank of a
+/// lost node has an off-node replica, checkpoint-reload otherwise.
+pub fn policy_for(job: &TrainingJob) -> RecoveryPolicy {
+    let n = job.cluster.total_devices();
+    let p_opt = job.strategy.plan(n).p_opt;
+    let all_have_donors = job
+        .cluster
+        .ranks_on_node(NodeId(0))
+        .all(|r| off_node_donor(job, r).is_some());
+    if p_opt < n && all_have_donors {
+        RecoveryPolicy::PeerCopy { replication: n / p_opt }
+    } else {
+        RecoveryPolicy::CheckpointReload
+    }
+}
+
+/// Cost of restoring training after losing one node (node 0 WLOG — the
+/// topology is symmetric), under `job`'s resolved policy.
+pub fn recovery_time(job: &TrainingJob, cfg: &RecoveryConfig, iter_time: SimTime) -> RecoveryTime {
+    let policy = policy_for(job);
+    match policy {
+        RecoveryPolicy::PeerCopy { .. } => RecoveryTime {
+            policy,
+            provision: cfg.node_provision,
+            state_restore: peer_copy_time(job),
+            lost_work: iter_time,
+        },
+        RecoveryPolicy::CheckpointReload => {
+            let per_node = checkpoint_bytes(job) as f64 / job.cluster.nodes as f64;
+            let read = SimTime::from_secs_f64(per_node / cfg.checkpoint_read_bw);
+            RecoveryTime {
+                policy,
+                provision: cfg.node_provision,
+                state_restore: read,
+                // Failures are uniform within a checkpoint interval, so half
+                // of one is redone on average; the seeded timeline walk in
+                // `simulate_with_failures` uses each failure's exact phase.
+                lost_work: SimTime::from_nanos(cfg.checkpoint_interval.as_nanos() / 2),
+            }
+        }
+    }
+}
+
+/// Simulate the P2P shard copies that rebuild a replacement for node 0 on
+/// the cluster's own fabric: each lost rank's shard leaves its donor's NIC
+/// and enters the replacement node's NIC, so the k concurrent pulls share
+/// (and are bottlenecked by) the replacement's ingress bandwidth exactly as
+/// real restore traffic would be.
+fn peer_copy_time(job: &TrainingJob) -> SimTime {
+    let n = job.cluster.total_devices();
+    let p_opt = job.strategy.plan(n).p_opt;
+    let shard = model_state_bytes(job) / p_opt as u64;
+    let alpha = job.cluster.latencies().inter;
+    let mut sim = Sim::new();
+    let fabric = job.cluster.build_fabric(&mut sim);
+    for lost in job.cluster.ranks_on_node(NodeId(0)) {
+        let donor = off_node_donor(job, lost).expect("policy_for guarantees donors");
+        let s = sim.add_stream(format!("restore[{}]", lost.0));
+        sim.push(s, Op::transfer(fabric.nic_of(&job.cluster, donor), shard, alpha));
+        sim.push(s, Op::transfer(fabric.nic[0], shard, alpha));
+    }
+    sim.run().expect("restore program cannot deadlock").makespan
+}
+
+/// Walk a seeded failure timeline and account goodput.
+///
+/// Crashes of `failures` that land inside `horizon` each cost one
+/// [`recovery_time`] (provision + restore + redone work, with the
+/// checkpoint-reload policy's redone work computed from the failure's exact
+/// phase within the checkpoint cadence); checkpoint-dependent policies also
+/// pay periodic write stalls. Everything is deterministic in the plan's
+/// seed.
+pub fn simulate_with_failures(
+    job: &TrainingJob,
+    cfg: &RecoveryConfig,
+    failures: &FaultPlan,
+    horizon: SimTime,
+) -> Result<RecoveryReport, OomError> {
+    let report = crate::simulate(job)?;
+    let iter_time = report.iter_time;
+    let rec = recovery_time(job, cfg, iter_time);
+
+    let mut downtime = SimTime::ZERO;
+    let mut lost_work = SimTime::ZERO;
+    let mut count = 0usize;
+    for (at, _node) in failures.crashes() {
+        if at >= horizon {
+            continue;
+        }
+        count += 1;
+        downtime += rec.provision + rec.state_restore;
+        lost_work += match rec.policy {
+            RecoveryPolicy::PeerCopy { .. } => iter_time,
+            RecoveryPolicy::CheckpointReload => {
+                // Work since the last periodic checkpoint at this failure's
+                // wall-clock phase.
+                SimTime::from_nanos(at.as_nanos() % cfg.checkpoint_interval.as_nanos().max(1))
+            }
+        };
+    }
+
+    let interval = match rec.policy {
+        RecoveryPolicy::PeerCopy { .. } => {
+            SimTime::from_nanos(
+                cfg.checkpoint_interval.as_nanos() * cfg.peer_copy_ckpt_dilation.max(1) as u64,
+            )
+        }
+        RecoveryPolicy::CheckpointReload => cfg.checkpoint_interval,
+    };
+    let write = SimTime::from_secs_f64(
+        checkpoint_bytes(job) as f64 / job.cluster.nodes as f64 / cfg.checkpoint_write_bw,
+    );
+    let writes = horizon.as_nanos() / interval.as_nanos().max(1);
+    let checkpoint_overhead = SimTime::from_nanos(write.as_nanos() * writes);
+
+    let stalled = downtime + lost_work + checkpoint_overhead;
+    let goodput_fraction = if stalled >= horizon {
+        0.0
+    } else {
+        (horizon - stalled).as_secs_f64() / horizon.as_secs_f64()
+    };
+    Ok(RecoveryReport {
+        label: report.label,
+        policy: rec.policy,
+        iter_time,
+        per_failure: rec.total(),
+        failures: count,
+        downtime,
+        lost_work,
+        checkpoint_overhead,
+        horizon,
+        goodput_fraction,
+        effective_samples_per_sec: report.samples_per_sec * goodput_fraction,
+        fault_fingerprint: failures.fingerprint(),
+    })
+}
+
+/// Convenience: the Poisson node-loss trace `simulate_with_failures`
+/// expects, seeded and sized for `job`'s cluster. Failed nodes are assumed
+/// replaced, so the process keeps its rate for the whole horizon.
+pub fn poisson_failures(
+    job: &TrainingJob,
+    seed: u64,
+    mean_between: SimTime,
+    horizon: SimTime,
+) -> FaultPlan {
+    FaultPlan::new(seed).with_replaced_poisson_crashes(job.cluster.nodes, mean_between, horizon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MicsConfig, Strategy, ZeroStage};
+    use mics_cluster::{ClusterSpec, InstanceType};
+    use mics_model::TransformerConfig;
+
+    fn job(nodes: usize, strategy: Strategy) -> TrainingJob {
+        TrainingJob {
+            workload: TransformerConfig::bert_10b().workload(8),
+            cluster: ClusterSpec::new(InstanceType::p3dn_24xlarge(), nodes),
+            strategy,
+            accum_steps: 4,
+        }
+    }
+
+    #[test]
+    fn policies_follow_replication_topology() {
+        let mics = job(8, Strategy::Mics(MicsConfig::paper_defaults(8)));
+        assert_eq!(policy_for(&mics), RecoveryPolicy::PeerCopy { replication: 8 });
+        let z3 = job(8, Strategy::Zero(ZeroStage::Three));
+        assert_eq!(policy_for(&z3), RecoveryPolicy::CheckpointReload);
+        // MiCS degenerates to ZeRO-3's policy when p = n (no replicas).
+        let mics_pn = job(8, Strategy::Mics(MicsConfig::paper_defaults(64)));
+        assert_eq!(policy_for(&mics_pn), RecoveryPolicy::CheckpointReload);
+        // DDP replicates everything: peer copy with n replicas.
+        let ddp = job(8, Strategy::Ddp);
+        assert_eq!(policy_for(&ddp), RecoveryPolicy::PeerCopy { replication: 64 });
+        // Single node: replicas die with the node, regardless of p.
+        let single = job(1, Strategy::Mics(MicsConfig::paper_defaults(1)));
+        assert_eq!(policy_for(&single), RecoveryPolicy::CheckpointReload);
+    }
+
+    #[test]
+    fn donors_are_off_node_replication_peers() {
+        let j = job(8, Strategy::Mics(MicsConfig::paper_defaults(8)));
+        for lost in j.cluster.ranks_on_node(NodeId(0)) {
+            let donor = off_node_donor(&j, lost).unwrap();
+            assert_ne!(j.cluster.node_of(donor), NodeId(0));
+            assert_eq!(donor.0 % 8, lost.0 % 8, "donor must hold the same shard");
+        }
+    }
+
+    #[test]
+    fn mics_recovers_strictly_faster_than_zero3() {
+        // The acceptance bar: BERT 10B on 64 GPUs — restoring a lost node
+        // from replication-group peers beats a cluster-wide checkpoint
+        // reload plus redone work.
+        let cfg = RecoveryConfig::default();
+        let iter = SimTime::from_secs(2);
+        let mics = recovery_time(&job(8, Strategy::Mics(MicsConfig::paper_defaults(8))), &cfg, iter);
+        let z3 = recovery_time(&job(8, Strategy::Zero(ZeroStage::Three)), &cfg, iter);
+        assert!(
+            mics.total() < z3.total(),
+            "MiCS {:?} not faster than ZeRO-3 {:?}",
+            mics.total(),
+            z3.total()
+        );
+        // The structural reason: MiCS redoes one iteration, ZeRO-3 redoes
+        // half a checkpoint interval.
+        assert!(mics.lost_work < z3.lost_work);
+    }
+
+    #[test]
+    fn peer_copy_is_ingress_bound() {
+        // k ranks × (16ψ/p) bytes through one 12.5 GB/s NIC: 8 × 20 GB at
+        // 12.5 GB/s ≈ 12.8 s. Provisioning dominates; the copy must land in
+        // the right decade and scale down with p.
+        let cfg = RecoveryConfig::default();
+        let iter = SimTime::from_secs(2);
+        let p8 = recovery_time(&job(8, Strategy::Mics(MicsConfig::paper_defaults(8))), &cfg, iter);
+        let p16 =
+            recovery_time(&job(8, Strategy::Mics(MicsConfig::paper_defaults(16))), &cfg, iter);
+        assert!(p8.state_restore > SimTime::from_secs(10));
+        assert!(p8.state_restore < SimTime::from_secs(20));
+        assert!(
+            p16.state_restore < p8.state_restore,
+            "larger partition groups leave smaller per-rank shards to copy"
+        );
+    }
+
+    #[test]
+    fn failure_timeline_is_deterministic() {
+        let j = job(2, Strategy::Mics(MicsConfig::paper_defaults(8)));
+        let cfg = RecoveryConfig::default();
+        let horizon = SimTime::from_secs(6 * 3600);
+        let run = || {
+            let plan = poisson_failures(&j, 77, SimTime::from_secs(3600), horizon);
+            simulate_with_failures(&j, &cfg, &plan, horizon).unwrap()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(a.failures > 0, "6 h horizon at 1 h MTBF should fail at least once");
+        let other = {
+            let plan = poisson_failures(&j, 78, SimTime::from_secs(3600), horizon);
+            simulate_with_failures(&j, &cfg, &plan, horizon).unwrap()
+        };
+        assert_ne!(a.fault_fingerprint, other.fault_fingerprint);
+    }
+
+    #[test]
+    fn goodput_degrades_with_failure_rate_and_mics_holds_more() {
+        let mics = job(2, Strategy::Mics(MicsConfig::paper_defaults(8)));
+        let z3 = job(2, Strategy::Zero(ZeroStage::Three));
+        let cfg = RecoveryConfig::default();
+        let horizon = SimTime::from_secs(24 * 3600);
+        let good = |j: &TrainingJob, mtbf_secs: u64| {
+            let plan = poisson_failures(j, 7, SimTime::from_secs(mtbf_secs), horizon);
+            simulate_with_failures(j, &cfg, &plan, horizon).unwrap().goodput_fraction
+        };
+        let mics_rare = good(&mics, 12 * 3600);
+        let mics_often = good(&mics, 3600);
+        assert!(mics_rare > mics_often, "{mics_rare} vs {mics_often}");
+        // Same seeded timeline: MiCS keeps more goodput than ZeRO-3.
+        let z3_often = good(&z3, 3600);
+        assert!(mics_often > z3_often, "{mics_often} vs {z3_often}");
+    }
+}

@@ -12,6 +12,30 @@
 //! experiment (paper §5.4, Figure 15) compare loss curves between
 //! synchronization schedules down to floating-point equality.
 //!
+//! # Failure semantics
+//!
+//! MiCS targets the public cloud, where ranks die mid-run. A rendezvous
+//! collective must therefore be *abortable*: when a rank fails, every peer's
+//! in-flight collective returns [`CommError::RankFailed`] within a bounded
+//! time instead of hanging. Two detection paths feed the same poison state:
+//!
+//! - **Explicit failure:** a rank thread that panics (see [`try_run_ranks`])
+//!   marks its communicator — and, transitively, every sub-communicator
+//!   created from it — as failed. Peers blocked in a rendezvous are woken
+//!   immediately.
+//! - **Timeout:** every rendezvous wait carries a deadline (configured with
+//!   [`Communicator::set_timeout`]). A rank that never shows up is detected
+//!   when the wait expires, which breaks the group's current epoch and
+//!   returns [`CommError::Timeout`] to all waiters.
+//!
+//! A poisoned group never recovers; survivors rebuild a smaller group with
+//! [`Communicator::remove_rank`] and continue there (the data plane analogue
+//! of re-initializing NCCL communicators after shrink).
+//!
+//! The `try_*` collectives surface failures as `Result`; the plain methods
+//! keep the original infallible signatures and panic on abort, which in a
+//! [`run_ranks`] harness cascades into an orderly whole-world teardown.
+//!
 //! # Example
 //!
 //! ```
@@ -28,9 +52,11 @@
 
 #![warn(missing_docs)]
 
-use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::RecvTimeoutError;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 pub mod hierarchical;
 
@@ -38,7 +64,57 @@ pub use hierarchical::{
     hierarchical_all_gather, hierarchical_reduce_scatter, naive_two_stage_all_gather,
 };
 
-/// Sense-reversing rendezvous barrier.
+/// Rendezvous waits detect an absent rank after this long unless
+/// [`Communicator::set_timeout`] overrides it. Generous compared to the
+/// microseconds a healthy rendezvous takes, so only a genuinely dead or
+/// deadlocked peer trips it.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Why a collective aborted instead of completing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommError {
+    /// A peer was reported dead (panicked rank thread). The id is the rank
+    /// as known to the communicator where the failure was first observed —
+    /// for failures propagated from a parent group, its world rank.
+    RankFailed {
+        /// Failed rank id.
+        rank: usize,
+    },
+    /// A peer never arrived at the rendezvous within the configured bound.
+    Timeout {
+        /// How long this rank waited before giving up.
+        waited: Duration,
+    },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::RankFailed { rank } => write!(f, "rank {rank} failed"),
+            CommError::Timeout { waited } => {
+                write!(f, "rendezvous timed out after {waited:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Lock that survives a peer thread having panicked while holding the
+/// guard: the protected state is plain data (deposit slots, counters) that
+/// is always left consistent at the end of each statement, so the std
+/// poison flag carries no information the barrier's own poison state
+/// doesn't already capture.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Sense-reversing rendezvous barrier with failure detection.
+///
+/// `generation` is the failure-detection epoch: it advances only when all
+/// `world` ranks arrive. A failure (explicit or timeout) permanently breaks
+/// the epoch: `broken` is set, every current waiter is woken, and every
+/// later wait fails fast.
 #[derive(Debug)]
 struct Barrier {
     lock: Mutex<BarrierState>,
@@ -49,26 +125,61 @@ struct Barrier {
 struct BarrierState {
     arrived: usize,
     generation: u64,
+    broken: Option<CommError>,
 }
 
 impl Barrier {
     fn new() -> Self {
-        Barrier { lock: Mutex::new(BarrierState { arrived: 0, generation: 0 }), cv: Condvar::new() }
+        Barrier {
+            lock: Mutex::new(BarrierState { arrived: 0, generation: 0, broken: None }),
+            cv: Condvar::new(),
+        }
     }
 
-    fn wait(&self, world: usize) {
-        let mut st = self.lock.lock();
+    fn wait(&self, world: usize, timeout: Duration) -> Result<(), CommError> {
+        let mut st = lock(&self.lock);
+        if let Some(e) = st.broken {
+            return Err(e);
+        }
         st.arrived += 1;
         if st.arrived == world {
             st.arrived = 0;
             st.generation = st.generation.wrapping_add(1);
             self.cv.notify_all();
-        } else {
-            let gen = st.generation;
-            while st.generation == gen {
-                self.cv.wait(&mut st);
-            }
+            return Ok(());
         }
+        let gen = st.generation;
+        let deadline = Instant::now() + timeout;
+        while st.generation == gen {
+            if let Some(e) = st.broken {
+                return Err(e);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                let e = CommError::Timeout { waited: timeout };
+                st.broken = Some(e);
+                self.cv.notify_all();
+                return Err(e);
+            }
+            let (g, _) = self
+                .cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st = g;
+        }
+        Ok(())
+    }
+
+    fn poison(&self, error: CommError) {
+        let mut st = lock(&self.lock);
+        if st.broken.is_none() {
+            st.broken = Some(error);
+        }
+        self.cv.notify_all();
+    }
+
+    fn broken(&self) -> Option<CommError> {
+        lock(&self.lock).broken
     }
 }
 
@@ -85,10 +196,15 @@ struct Inner {
     meta: Mutex<Vec<Option<(i64, i64)>>>,
     /// Sub-communicators created by `split`, keyed by (call index, color).
     children: Mutex<HashMap<(u64, i64), Arc<Inner>>>,
+    /// Shrunk groups created by `remove_rank`, keyed by (rebuild epoch,
+    /// removed rank).
+    rebuilds: Mutex<HashMap<(u64, usize), Arc<Inner>>>,
+    /// Rendezvous deadline in nanoseconds, shared by the whole group.
+    timeout_nanos: AtomicU64,
 }
 
 impl Inner {
-    fn new(world: usize) -> Self {
+    fn new(world: usize, timeout: Duration) -> Self {
         Inner {
             world,
             barrier: Barrier::new(),
@@ -96,6 +212,27 @@ impl Inner {
             multi_slots: Mutex::new(vec![Vec::new(); world]),
             meta: Mutex::new(vec![None; world]),
             children: Mutex::new(HashMap::new()),
+            rebuilds: Mutex::new(HashMap::new()),
+            timeout_nanos: AtomicU64::new(timeout.as_nanos() as u64),
+        }
+    }
+
+    fn timeout(&self) -> Duration {
+        Duration::from_nanos(self.timeout_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Poison this group and every descendant (splits and rebuilds) so no
+    /// surviving rank can block on a rendezvous the failed rank will never
+    /// join. `rank` is this group's id for the failed rank; descendants
+    /// report the same id (their members may not even contain it — the
+    /// poison is conservative by design).
+    fn mark_failed(&self, rank: usize) {
+        self.barrier.poison(CommError::RankFailed { rank });
+        for child in lock(&self.children).values() {
+            child.mark_failed(rank);
+        }
+        for rebuilt in lock(&self.rebuilds).values() {
+            rebuilt.mark_failed(rank);
         }
     }
 }
@@ -104,8 +241,9 @@ impl Inner {
 /// communicator / NCCL communicator).
 ///
 /// All collective methods must be called by **every** rank of the group, in
-/// the same program order — the usual SPMD contract. Violations deadlock
-/// (caught by the test harness timeouts) or panic on shape mismatch.
+/// the same program order — the usual SPMD contract. Violations of the
+/// contract surface as [`CommError::Timeout`] (a rank at a different
+/// rendezvous never arrives at this one) or panic on shape mismatch.
 #[derive(Debug)]
 pub struct Communicator {
     rank: usize,
@@ -113,15 +251,22 @@ pub struct Communicator {
     /// Number of `split` calls made so far (local mirror of a value that is
     /// identical across ranks by the SPMD contract).
     split_calls: u64,
+    /// Number of `remove_rank` calls made so far (same SPMD mirror).
+    rebuild_epoch: u64,
 }
 
 impl Communicator {
     /// Create the world group: one handle per rank.
     pub fn create_world(world: usize) -> Vec<Communicator> {
         assert!(world > 0, "world must be non-empty");
-        let inner = Arc::new(Inner::new(world));
+        let inner = Arc::new(Inner::new(world, DEFAULT_TIMEOUT));
         (0..world)
-            .map(|rank| Communicator { rank, inner: Arc::clone(&inner), split_calls: 0 })
+            .map(|rank| Communicator {
+                rank,
+                inner: Arc::clone(&inner),
+                split_calls: 0,
+                rebuild_epoch: 0,
+            })
             .collect()
     }
 
@@ -135,22 +280,49 @@ impl Communicator {
         self.inner.world
     }
 
+    /// Set the failure-detection bound for rendezvous waits, group-wide
+    /// (shared state; any rank's call applies to all, and sub-groups created
+    /// afterwards inherit it).
+    pub fn set_timeout(&self, timeout: Duration) {
+        self.inner.timeout_nanos.store(timeout.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// The failure that poisoned this group, if any — without blocking.
+    pub fn failure(&self) -> Option<CommError> {
+        self.inner.barrier.broken()
+    }
+
+    /// Report this rank as failed to the whole group, waking every peer
+    /// blocked in a rendezvous. Called automatically by [`try_run_ranks`]
+    /// when a rank thread panics.
+    pub fn mark_failed(&self) {
+        self.inner.mark_failed(self.rank);
+    }
+
+    /// Block until every rank of the group arrives, or the group fails.
+    pub fn try_barrier(&self) -> Result<(), CommError> {
+        self.inner.barrier.wait(self.inner.world, self.inner.timeout())
+    }
+
     /// Block until every rank of the group arrives.
+    ///
+    /// # Panics
+    /// Panics if the group fails while waiting (see [`Self::try_barrier`]).
     pub fn barrier(&self) {
-        self.inner.barrier.wait(self.inner.world);
+        self.try_barrier().unwrap_or_else(|e| panic!("collective aborted: {e}"));
     }
 
     fn deposit(&self, data: Vec<f32>) {
-        self.inner.slots.lock()[self.rank] = Some(data);
+        lock(&self.inner.slots)[self.rank] = Some(data);
     }
 
-    /// Gather equal-length contributions from all ranks, concatenated in
-    /// rank order. Returns `world × len` elements on every rank.
-    pub fn all_gather(&self, contribution: &[f32]) -> Vec<f32> {
+    /// Fallible [`Self::all_gather`]: aborts with the failure instead of
+    /// completing when a peer dies or never arrives.
+    pub fn try_all_gather(&self, contribution: &[f32]) -> Result<Vec<f32>, CommError> {
         self.deposit(contribution.to_vec());
-        self.barrier();
+        self.try_barrier()?;
         let out = {
-            let slots = self.inner.slots.lock();
+            let slots = lock(&self.inner.slots);
             let len0 = slots[0].as_ref().expect("missing contribution").len();
             let mut out = Vec::with_capacity(len0 * self.inner.world);
             for (r, s) in slots.iter().enumerate() {
@@ -160,16 +332,18 @@ impl Communicator {
             }
             out
         };
-        self.barrier();
-        out
+        self.try_barrier()?;
+        Ok(out)
     }
 
-    /// Reduce (sum) equal-length contributions of `world × shard` elements
-    /// and scatter: rank `r` receives the reduced shard `r`.
-    ///
-    /// The fold is in fixed rank order, so results are deterministic and
-    /// identical across ranks.
-    pub fn reduce_scatter(&self, contribution: &[f32]) -> Vec<f32> {
+    /// Gather equal-length contributions from all ranks, concatenated in
+    /// rank order. Returns `world × len` elements on every rank.
+    pub fn all_gather(&self, contribution: &[f32]) -> Vec<f32> {
+        self.try_all_gather(contribution).unwrap_or_else(|e| panic!("collective aborted: {e}"))
+    }
+
+    /// Fallible [`Self::reduce_scatter`].
+    pub fn try_reduce_scatter(&self, contribution: &[f32]) -> Result<Vec<f32>, CommError> {
         let world = self.inner.world;
         assert!(
             contribution.len().is_multiple_of(world),
@@ -178,9 +352,9 @@ impl Communicator {
         );
         let shard = contribution.len() / world;
         self.deposit(contribution.to_vec());
-        self.barrier();
+        self.try_barrier()?;
         let out = {
-            let slots = self.inner.slots.lock();
+            let slots = lock(&self.inner.slots);
             let mut out = vec![0.0f32; shard];
             let base = self.rank * shard;
             for s in slots.iter() {
@@ -192,17 +366,25 @@ impl Communicator {
             }
             out
         };
-        self.barrier();
-        out
+        self.try_barrier()?;
+        Ok(out)
     }
 
-    /// Sum equal-length contributions across all ranks; every rank receives
-    /// the full reduced buffer (deterministic rank-order fold).
-    pub fn all_reduce(&self, contribution: &[f32]) -> Vec<f32> {
+    /// Reduce (sum) equal-length contributions of `world × shard` elements
+    /// and scatter: rank `r` receives the reduced shard `r`.
+    ///
+    /// The fold is in fixed rank order, so results are deterministic and
+    /// identical across ranks.
+    pub fn reduce_scatter(&self, contribution: &[f32]) -> Vec<f32> {
+        self.try_reduce_scatter(contribution).unwrap_or_else(|e| panic!("collective aborted: {e}"))
+    }
+
+    /// Fallible [`Self::all_reduce`].
+    pub fn try_all_reduce(&self, contribution: &[f32]) -> Result<Vec<f32>, CommError> {
         self.deposit(contribution.to_vec());
-        self.barrier();
+        self.try_barrier()?;
         let out = {
-            let slots = self.inner.slots.lock();
+            let slots = lock(&self.inner.slots);
             let mut out = vec![0.0f32; contribution.len()];
             for s in slots.iter() {
                 let s = s.as_ref().expect("missing contribution");
@@ -213,36 +395,43 @@ impl Communicator {
             }
             out
         };
-        self.barrier();
-        out
+        self.try_barrier()?;
+        Ok(out)
+    }
+
+    /// Sum equal-length contributions across all ranks; every rank receives
+    /// the full reduced buffer (deterministic rank-order fold).
+    pub fn all_reduce(&self, contribution: &[f32]) -> Vec<f32> {
+        self.try_all_reduce(contribution).unwrap_or_else(|e| panic!("collective aborted: {e}"))
+    }
+
+    /// Fallible [`Self::broadcast`].
+    pub fn try_broadcast(&self, root: usize, data: &[f32]) -> Result<Vec<f32>, CommError> {
+        assert!(root < self.inner.world, "root out of range");
+        if self.rank == root {
+            self.deposit(data.to_vec());
+        }
+        self.try_barrier()?;
+        let out = {
+            let slots = lock(&self.inner.slots);
+            slots[root].as_ref().expect("root did not deposit").clone()
+        };
+        self.try_barrier()?;
+        Ok(out)
     }
 
     /// Broadcast `data` from `root` to every rank. Non-root ranks pass their
     /// (ignored) local buffer for shape symmetry.
     pub fn broadcast(&self, root: usize, data: &[f32]) -> Vec<f32> {
-        assert!(root < self.inner.world, "root out of range");
-        if self.rank == root {
-            self.deposit(data.to_vec());
-        }
-        self.barrier();
-        let out = {
-            let slots = self.inner.slots.lock();
-            slots[root].as_ref().expect("root did not deposit").clone()
-        };
-        self.barrier();
-        out
+        self.try_broadcast(root, data).unwrap_or_else(|e| panic!("collective aborted: {e}"))
     }
 
-    /// The `all_gather_coalesced` API of paper §4: gather a *batch* of
-    /// buffers with one rendezvous instead of one per buffer, avoiding the
-    /// per-call overhead and interleaving copies of the naive approach.
-    /// Entry `i` of the result is the rank-order concatenation of every
-    /// rank's `i`-th buffer.
-    pub fn all_gather_coalesced(&self, parts: &[&[f32]]) -> Vec<Vec<f32>> {
-        self.inner.multi_slots.lock()[self.rank] = parts.iter().map(|p| p.to_vec()).collect();
-        self.barrier();
+    /// Fallible [`Self::all_gather_coalesced`].
+    pub fn try_all_gather_coalesced(&self, parts: &[&[f32]]) -> Result<Vec<Vec<f32>>, CommError> {
+        lock(&self.inner.multi_slots)[self.rank] = parts.iter().map(|p| p.to_vec()).collect();
+        self.try_barrier()?;
         let out = {
-            let slots = self.inner.multi_slots.lock();
+            let slots = lock(&self.inner.multi_slots);
             let nparts = slots[0].len();
             let mut out = Vec::with_capacity(nparts);
             for part in 0..nparts {
@@ -261,26 +450,36 @@ impl Communicator {
             }
             out
         };
-        self.barrier();
-        out
+        self.try_barrier()?;
+        Ok(out)
     }
 
-    /// The `reduce_scatter_coalesced` API of paper §4: batch of independent
-    /// reduce-scatters with a single rendezvous. Entry `i` of the result is
-    /// this rank's reduced shard of batch element `i`.
-    pub fn reduce_scatter_coalesced(&self, parts: &[&[f32]]) -> Vec<Vec<f32>> {
+    /// The `all_gather_coalesced` API of paper §4: gather a *batch* of
+    /// buffers with one rendezvous instead of one per buffer, avoiding the
+    /// per-call overhead and interleaving copies of the naive approach.
+    /// Entry `i` of the result is the rank-order concatenation of every
+    /// rank's `i`-th buffer.
+    pub fn all_gather_coalesced(&self, parts: &[&[f32]]) -> Vec<Vec<f32>> {
+        self.try_all_gather_coalesced(parts).unwrap_or_else(|e| panic!("collective aborted: {e}"))
+    }
+
+    /// Fallible [`Self::reduce_scatter_coalesced`].
+    pub fn try_reduce_scatter_coalesced(
+        &self,
+        parts: &[&[f32]],
+    ) -> Result<Vec<Vec<f32>>, CommError> {
         let world = self.inner.world;
         for (i, p) in parts.iter().enumerate() {
             assert!(
-                p.len() % world == 0,
+                p.len().is_multiple_of(world),
                 "reduce_scatter_coalesced part {i} length {} not divisible by {world}",
                 p.len()
             );
         }
-        self.inner.multi_slots.lock()[self.rank] = parts.iter().map(|p| p.to_vec()).collect();
-        self.barrier();
+        lock(&self.inner.multi_slots)[self.rank] = parts.iter().map(|p| p.to_vec()).collect();
+        self.try_barrier()?;
         let out = {
-            let slots = self.inner.multi_slots.lock();
+            let slots = lock(&self.inner.multi_slots);
             let nparts = slots[0].len();
             let mut out = Vec::with_capacity(nparts);
             for part in 0..nparts {
@@ -298,8 +497,52 @@ impl Communicator {
             }
             out
         };
-        self.barrier();
-        out
+        self.try_barrier()?;
+        Ok(out)
+    }
+
+    /// The `reduce_scatter_coalesced` API of paper §4: batch of independent
+    /// reduce-scatters with a single rendezvous. Entry `i` of the result is
+    /// this rank's reduced shard of batch element `i`.
+    pub fn reduce_scatter_coalesced(&self, parts: &[&[f32]]) -> Vec<Vec<f32>> {
+        self.try_reduce_scatter_coalesced(parts)
+            .unwrap_or_else(|e| panic!("collective aborted: {e}"))
+    }
+
+    /// Fallible [`Self::split`].
+    pub fn try_split(&mut self, color: i64, key: i64) -> Result<Communicator, CommError> {
+        let call = self.split_calls;
+        self.split_calls += 1;
+        // Exchange (color, key) via the metadata slots.
+        lock(&self.inner.meta)[self.rank] = Some((color, key));
+        self.try_barrier()?;
+        let (new_rank, group_size) = {
+            let meta = lock(&self.inner.meta);
+            let mut members: Vec<(i64, usize)> = meta
+                .iter()
+                .enumerate()
+                .filter_map(|(r, m)| {
+                    let (c, k) = m.expect("missing split metadata");
+                    (c == color).then_some((k, r))
+                })
+                .collect();
+            members.sort_unstable();
+            let new_rank =
+                members.iter().position(|&(_, r)| r == self.rank).expect("rank not in own group");
+            (new_rank, members.len())
+        };
+        // First member to arrive creates the child group's shared state.
+        let child_inner = {
+            let mut children = lock(&self.inner.children);
+            Arc::clone(
+                children
+                    .entry((call, color))
+                    .or_insert_with(|| Arc::new(Inner::new(group_size, self.inner.timeout()))),
+            )
+        };
+        // Everyone must have fetched their child before meta is reused.
+        self.try_barrier()?;
+        Ok(Communicator { rank: new_rank, inner: child_inner, split_calls: 0, rebuild_epoch: 0 })
     }
 
     /// Split the group into disjoint sub-groups, MPI `comm_split` style:
@@ -318,61 +561,149 @@ impl Communicator {
     /// assert_eq!(out[3], vec![2.0, 3.0]);
     /// ```
     pub fn split(&mut self, color: i64, key: i64) -> Communicator {
-        let call = self.split_calls;
-        self.split_calls += 1;
-        // Exchange (color, key) via the metadata slots.
-        self.inner.meta.lock()[self.rank] = Some((color, key));
-        self.barrier();
-        let (new_rank, group_size) = {
-            let meta = self.inner.meta.lock();
-            let mut members: Vec<(i64, usize)> = meta
-                .iter()
-                .enumerate()
-                .filter_map(|(r, m)| {
-                    let (c, k) = m.expect("missing split metadata");
-                    (c == color).then_some((k, r))
-                })
-                .collect();
-            members.sort_unstable();
-            let new_rank =
-                members.iter().position(|&(_, r)| r == self.rank).expect("rank not in own group");
-            (new_rank, members.len())
-        };
-        // First member to arrive creates the child group's shared state.
-        let child_inner = {
-            let mut children = self.inner.children.lock();
+        self.try_split(color, key).unwrap_or_else(|e| panic!("collective aborted: {e}"))
+    }
+
+    /// Rebuild the group without rank `removed`, after that rank failed:
+    /// the shrink/rebuild step of recovery. Every *surviving* rank must call
+    /// this collectively with the same `removed` id; each receives a handle
+    /// to a fresh group of `world() - 1` ranks in which surviving ranks keep
+    /// their relative order (`rank' = rank - (rank > removed)`).
+    ///
+    /// The old group stays poisoned; only the new handles are usable. If a
+    /// further rank dies before reaching this rendezvous, the rebuild itself
+    /// fails with [`CommError::Timeout`] and can be retried with the next
+    /// casualty removed as well.
+    pub fn remove_rank(&mut self, removed: usize) -> Result<Communicator, CommError> {
+        assert!(removed < self.inner.world, "removed rank out of range");
+        assert_ne!(self.rank, removed, "a removed rank cannot join the rebuilt group");
+        let epoch = self.rebuild_epoch;
+        self.rebuild_epoch += 1;
+        let new_world = self.inner.world - 1;
+        let new_rank = self.rank - usize::from(self.rank > removed);
+        let rebuilt = {
+            let mut rebuilds = lock(&self.inner.rebuilds);
             Arc::clone(
-                children
-                    .entry((call, color))
-                    .or_insert_with(|| Arc::new(Inner::new(group_size))),
+                rebuilds
+                    .entry((epoch, removed))
+                    .or_insert_with(|| Arc::new(Inner::new(new_world, self.inner.timeout()))),
             )
         };
-        // Everyone must have fetched their child before meta is reused.
-        self.barrier();
-        Communicator { rank: new_rank, inner: child_inner, split_calls: 0 }
+        // Rendezvous on the *new* barrier — the old one is poisoned. This is
+        // also the liveness check that all survivors made it here.
+        rebuilt.barrier.wait(new_world, rebuilt.timeout())?;
+        Ok(Communicator { rank: new_rank, inner: rebuilt, split_calls: 0, rebuild_epoch: 0 })
     }
 }
 
-/// Spawn `world` scoped threads, give thread `r` the rank-`r` communicator,
-/// and collect the per-rank results in rank order.
-pub fn run_ranks<F, R>(world: usize, f: F) -> Vec<R>
+/// One rank's panic, as reported by [`try_run_ranks`].
+#[derive(Debug)]
+pub struct RankPanic {
+    /// The world rank whose closure panicked.
+    pub rank: usize,
+    /// The panic payload rendered as a string.
+    pub message: String,
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Like [`run_ranks`], but a panicking rank becomes an `Err` entry instead
+/// of tearing down the harness — the panic is caught, the world group (and
+/// every sub-group) is poisoned so surviving ranks abort their collectives
+/// within the configured timeout, and survivors' return values are kept.
+pub fn try_run_ranks<F, R>(world: usize, f: F) -> Vec<Result<R, RankPanic>>
 where
     F: Fn(Communicator) -> R + Sync,
     R: Send,
 {
     let comms = Communicator::create_world(world);
-    let mut results: Vec<Option<R>> = (0..world).map(|_| None).collect();
+    let world_inner = Arc::clone(&comms[0].inner);
     std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for comm in comms {
-            let f = &f;
-            handles.push(scope.spawn(move || f(comm)));
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| {
+                let f = &f;
+                let inner = Arc::clone(&world_inner);
+                scope.spawn(move || {
+                    let rank = comm.rank();
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm))).map_err(
+                        |payload| {
+                            inner.mark_failed(rank);
+                            RankPanic { rank, message: panic_message(payload.as_ref()) }
+                        },
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread died outside catch_unwind"))
+            .collect()
+    })
+}
+
+/// Spawn `world` scoped threads, give thread `r` the rank-`r` communicator,
+/// and collect the per-rank results in rank order.
+///
+/// # Panics
+/// If any rank's closure panics, every rank's failure is reported with its
+/// rank id and payload (surviving ranks abort their in-flight collectives
+/// rather than hanging).
+pub fn run_ranks<F, R>(world: usize, f: F) -> Vec<R>
+where
+    F: Fn(Communicator) -> R + Sync,
+    R: Send,
+{
+    let results = try_run_ranks(world, f);
+    let mut out = Vec::with_capacity(results.len());
+    let mut failures = Vec::new();
+    for r in results {
+        match r {
+            Ok(v) => out.push(v),
+            Err(p) => failures.push(format!("rank {}: {}", p.rank, p.message)),
         }
-        for (slot, h) in results.iter_mut().zip(handles) {
-            *slot = Some(h.join().expect("rank thread panicked"));
+    }
+    assert!(failures.is_empty(), "rank thread panicked — {}", failures.join("; "));
+    out
+}
+
+/// Run `f` on a watchdog thread and panic if it exceeds `limit`: the guard
+/// that turns an accidental rendezvous deadlock into a fast test failure
+/// instead of a hung `cargo test`. Panics from `f` propagate unchanged.
+pub fn with_deadline<R, F>(limit: Duration, f: F) -> R
+where
+    R: Send + 'static,
+    F: FnOnce() -> R + Send + 'static,
+{
+    let (tx, rx) = std::sync::mpsc::channel();
+    let guard = std::thread::Builder::new()
+        .name("deadline-guard".into())
+        .spawn(move || {
+            let _ = tx.send(f());
+        })
+        .expect("cannot spawn deadline-guard thread");
+    match rx.recv_timeout(limit) {
+        Ok(r) => {
+            let _ = guard.join();
+            r
         }
-    });
-    results.into_iter().map(|r| r.unwrap()).collect()
+        Err(RecvTimeoutError::Disconnected) => match guard.join() {
+            Err(payload) => std::panic::resume_unwind(payload),
+            Ok(()) => unreachable!("guarded closure neither sent a result nor panicked"),
+        },
+        Err(RecvTimeoutError::Timeout) => {
+            // The stuck worker thread is leaked; the process will reap it.
+            panic!("test exceeded its {limit:?} deadline — likely a rendezvous deadlock")
+        }
+    }
 }
 
 #[cfg(test)]
@@ -561,5 +892,202 @@ mod tests {
         for r in out {
             assert_eq!(r, expect);
         }
+    }
+
+    // ---- failure semantics -------------------------------------------------
+
+    #[test]
+    fn killed_rank_aborts_every_surviving_collective() {
+        // The acceptance-criteria scenario: rank 2 of 4 dies mid-collective;
+        // every survivor's all_gather returns Err(RankFailed) within the
+        // configured bound instead of hanging.
+        with_deadline(Duration::from_secs(20), || {
+            let started = Instant::now();
+            let results = try_run_ranks(4, |c| {
+                c.set_timeout(Duration::from_secs(5));
+                if c.rank() == 2 {
+                    panic!("injected fault: rank 2 dies mid-collective");
+                }
+                c.try_all_gather(&[c.rank() as f32])
+            });
+            let elapsed = started.elapsed();
+            assert!(
+                elapsed < Duration::from_secs(5),
+                "survivors must abort well before the rendezvous timeout, took {elapsed:?}"
+            );
+            for (rank, r) in results.iter().enumerate() {
+                match (rank, r) {
+                    (2, Err(p)) => {
+                        assert_eq!(p.rank, 2);
+                        assert!(p.message.contains("injected fault"), "{}", p.message);
+                    }
+                    (2, Ok(_)) => panic!("rank 2 must be reported as panicked"),
+                    (_, Ok(collective)) => {
+                        assert_eq!(
+                            collective,
+                            &Err(CommError::RankFailed { rank: 2 }),
+                            "survivor {rank} must observe the failure"
+                        );
+                    }
+                    (_, Err(p)) => panic!("survivor {rank} must not panic: {}", p.message),
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn absent_rank_is_detected_by_timeout() {
+        // A rank that silently walks away (no panic) is caught by the
+        // rendezvous deadline instead of hanging the group.
+        with_deadline(Duration::from_secs(20), || {
+            let results = try_run_ranks(3, |c| {
+                c.set_timeout(Duration::from_millis(200));
+                if c.rank() == 1 {
+                    return Ok(Vec::new()); // never joins the collective
+                }
+                c.try_all_reduce(&[1.0])
+            });
+            for (rank, r) in results.into_iter().enumerate() {
+                let collective = r.expect("no thread panics in this scenario");
+                if rank == 1 {
+                    assert_eq!(collective, Ok(Vec::new()));
+                } else {
+                    assert!(
+                        matches!(collective, Err(CommError::Timeout { .. })),
+                        "rank {rank} must time out, got {collective:?}"
+                    );
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn poisoned_group_fails_fast_afterwards() {
+        with_deadline(Duration::from_secs(20), || {
+            let results = try_run_ranks(2, |c| {
+                c.set_timeout(Duration::from_secs(5));
+                if c.rank() == 0 {
+                    panic!("boom");
+                }
+                let first = c.try_all_gather(&[1.0]);
+                // Once poisoned, later collectives fail immediately (no new
+                // timeout wait) with the same error.
+                let started = Instant::now();
+                let second = c.try_all_gather(&[2.0]);
+                (first, second, started.elapsed())
+            });
+            let (first, second, elapsed) =
+                results[1].as_ref().expect("rank 1 must not panic").clone();
+            assert_eq!(first, Err(CommError::RankFailed { rank: 0 }));
+            assert_eq!(second, Err(CommError::RankFailed { rank: 0 }));
+            assert!(elapsed < Duration::from_secs(1), "fail-fast, not a fresh wait");
+        });
+    }
+
+    #[test]
+    fn failure_poisons_sub_communicators() {
+        // A failure on the world group must unblock ranks waiting inside a
+        // *sub*-communicator created by split.
+        with_deadline(Duration::from_secs(20), || {
+            let results = try_run_ranks(4, |mut c| {
+                c.set_timeout(Duration::from_secs(5));
+                let pair = c.split((c.rank() / 2) as i64, c.rank() as i64);
+                if c.rank() == 3 {
+                    panic!("dies after split");
+                }
+                // Ranks 2 is in the same pair as the casualty and would hang
+                // forever without poison propagation; ranks 0/1 complete.
+                pair.try_all_gather(&[c.rank() as f32])
+            });
+            match &results[2] {
+                Ok(Err(CommError::RankFailed { rank: 3 })) => {}
+                other => panic!("rank 2 must observe rank 3's failure, got {other:?}"),
+            }
+        });
+    }
+
+    #[test]
+    fn remove_rank_rebuilds_a_working_group() {
+        with_deadline(Duration::from_secs(20), || {
+            let results = try_run_ranks(4, |mut c| {
+                c.set_timeout(Duration::from_secs(5));
+                if c.rank() == 1 {
+                    panic!("casualty");
+                }
+                // Survivors: observe the failure, then shrink and continue.
+                let err = c.try_all_reduce(&[1.0]).expect_err("must abort");
+                let failed = match err {
+                    CommError::RankFailed { rank } => rank,
+                    other => panic!("expected RankFailed, got {other}"),
+                };
+                let shrunk = c.remove_rank(failed).expect("rebuild must succeed");
+                let gathered = shrunk.try_all_gather(&[c.rank() as f32]).expect("shrunk group works");
+                (shrunk.rank(), shrunk.world(), gathered)
+            });
+            for (rank, r) in results.into_iter().enumerate() {
+                if rank == 1 {
+                    assert!(r.is_err());
+                    continue;
+                }
+                let (new_rank, new_world, gathered) = r.expect("survivors must not panic");
+                assert_eq!(new_world, 3);
+                assert_eq!(new_rank, rank - usize::from(rank > 1));
+                // Old-world ranks 0, 2, 3 in order.
+                assert_eq!(gathered, vec![0.0, 2.0, 3.0]);
+            }
+        });
+    }
+
+    #[test]
+    fn remove_rank_world_of_two_leaves_singleton() {
+        with_deadline(Duration::from_secs(20), || {
+            let results = try_run_ranks(2, |mut c| {
+                c.set_timeout(Duration::from_millis(500));
+                if c.rank() == 0 {
+                    panic!("casualty");
+                }
+                let _ = c.try_all_reduce(&[1.0]).expect_err("must abort");
+                let solo = c.remove_rank(0).expect("rebuild to singleton");
+                solo.try_all_gather(&[7.0]).expect("singleton collective is local")
+            });
+            assert_eq!(results[1].as_ref().expect("survivor ok"), &vec![7.0]);
+        });
+    }
+
+    #[test]
+    fn run_ranks_reports_rank_id_and_payload() {
+        let err = std::panic::catch_unwind(|| {
+            run_ranks(3, |c| {
+                if c.rank() == 1 {
+                    panic!("specific payload {}", 41 + 1);
+                }
+                c.try_barrier()
+            })
+        })
+        .expect_err("harness must propagate the panic");
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("rank 1"), "{msg}");
+        assert!(msg.contains("specific payload 42"), "{msg}");
+    }
+
+    #[test]
+    fn with_deadline_passes_results_and_panics_through() {
+        assert_eq!(with_deadline(Duration::from_secs(5), || 7usize), 7);
+        let err = std::panic::catch_unwind(|| {
+            with_deadline(Duration::from_secs(5), || panic!("inner failure"))
+        })
+        .expect_err("panic must propagate");
+        assert_eq!(panic_message(err.as_ref()), "inner failure");
+    }
+
+    #[test]
+    fn with_deadline_trips_on_hang() {
+        let err = std::panic::catch_unwind(|| {
+            with_deadline(Duration::from_millis(100), || {
+                std::thread::sleep(Duration::from_secs(600));
+            })
+        })
+        .expect_err("deadline must trip");
+        assert!(panic_message(err.as_ref()).contains("deadline"), "wrong panic");
     }
 }

@@ -36,7 +36,10 @@ pub mod lm;
 pub use adam::Adam;
 pub use checkpoint::{load as load_checkpoint, save as save_checkpoint, TrainState};
 pub use nn::Mlp;
-pub use scaler::LossScale;
+pub use scaler::{LossScale, ScalerSnapshot};
 pub use lm::{train_lm, LmSetup};
 pub use transformer::TinyTransformer;
-pub use train::{train, SyncSchedule, TrainOutcome, TrainSetup};
+pub use train::{
+    resume_from, train, train_resumable, CheckpointSink, SyncSchedule, TrainCheckpoint,
+    TrainOutcome, TrainSetup,
+};

@@ -2,12 +2,14 @@
 //! gradient-synchronization schedules the paper compares (§3.4, §5.4).
 
 use crate::adam::Adam;
-use crate::scaler::{has_overflow, LossScale, ScalerState};
+use crate::checkpoint::TrainState;
+use crate::scaler::{has_overflow, LossScale, ScalerSnapshot, ScalerState};
 use crate::data::TeacherDataset;
 use crate::nn::Mlp;
 use mics_dataplane::run_ranks;
 use mics_tensor::dtype::quantize_f16;
 use mics_tensor::ShardSpec;
+use std::sync::Mutex;
 
 /// Which gradient-synchronization schedule to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +67,82 @@ pub struct TrainOutcome {
     pub skipped_steps: u32,
     /// The loss scale at the end of training.
     pub final_loss_scale: f32,
+}
+
+/// A point-in-time snapshot of a whole training job — the unsharded
+/// model/optimizer state plus the loss scaler — sufficient to resume a run
+/// bit-exactly from the iteration where the snapshot was taken, under any
+/// partition-group size (the state is full; [`resume_from`] re-shards it
+/// for the resuming world).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainCheckpoint {
+    /// Full (unsharded) parameters and Adam state.
+    pub state: TrainState,
+    /// Iterations completed at the snapshot; a resumed run starts here.
+    pub iterations_done: usize,
+    /// Loss-scaler state at the snapshot.
+    pub scaler: ScalerSnapshot,
+}
+
+/// Landing zone for a mid-run checkpoint, shared between the training ranks
+/// and the caller. The ranks of partition group 0 deposit their state
+/// shards as the snapshot iteration begins; the caller assembles them with
+/// [`CheckpointSink::take`] — even after the run itself has died, which is
+/// the point: a checkpoint that only exists in the return value of a killed
+/// run is no checkpoint at all.
+#[derive(Debug, Default)]
+pub struct CheckpointSink {
+    inner: Mutex<SinkSlots>,
+}
+
+#[derive(Debug, Default)]
+struct SinkSlots {
+    shards: Vec<Option<TrainState>>,
+    numel: usize,
+    iterations_done: usize,
+    scaler: Option<ScalerSnapshot>,
+}
+
+impl CheckpointSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn deposit(
+        &self,
+        local: usize,
+        p: usize,
+        numel: usize,
+        shard: TrainState,
+        iterations_done: usize,
+        scaler: ScalerSnapshot,
+    ) {
+        let mut slots = self.inner.lock().unwrap();
+        if slots.shards.len() != p {
+            slots.shards = vec![None; p];
+        }
+        slots.numel = numel;
+        slots.iterations_done = iterations_done;
+        slots.scaler = Some(scaler);
+        slots.shards[local] = Some(shard);
+    }
+
+    /// Assemble the checkpoint if every shard landed; `None` if the run died
+    /// before reaching the snapshot iteration.
+    pub fn take(&self) -> Option<TrainCheckpoint> {
+        let slots = self.inner.lock().unwrap();
+        if slots.shards.is_empty() || slots.shards.iter().any(|s| s.is_none()) {
+            return None;
+        }
+        let shards: Vec<TrainState> =
+            slots.shards.iter().map(|s| s.clone().unwrap()).collect();
+        Some(TrainCheckpoint {
+            state: TrainState::unshard(&shards, slots.numel),
+            iterations_done: slots.iterations_done,
+            scaler: slots.scaler.unwrap(),
+        })
+    }
 }
 
 fn add_into(acc: &mut [f32], x: &[f32]) {
@@ -143,8 +221,86 @@ pub fn train_generic<F>(
 where
     F: Fn(&[f32], usize, usize, usize) -> (f32, Vec<f32>) + Sync,
 {
+    run_engine(hp, schedule, Start::Fresh(init), grad_fn, None)
+}
+
+/// Like [`train_generic`], but deposits a [`TrainCheckpoint`] into `sink` as
+/// iteration `checkpoint_at` begins (state after `checkpoint_at` completed
+/// iterations). The sink outlives the run, so the snapshot survives even if
+/// a rank later dies mid-training.
+pub fn train_resumable<F>(
+    hp: &ScheduleHyper,
+    schedule: SyncSchedule,
+    init: Vec<f32>,
+    grad_fn: F,
+    checkpoint_at: usize,
+    sink: &CheckpointSink,
+) -> TrainOutcome
+where
+    F: Fn(&[f32], usize, usize, usize) -> (f32, Vec<f32>) + Sync,
+{
+    run_engine(hp, schedule, Start::Fresh(init), grad_fn, Some((checkpoint_at, sink)))
+}
+
+/// Resume a run from a [`TrainCheckpoint`]: iterations
+/// `ckpt.iterations_done .. hp.iterations` are (re)executed and the returned
+/// [`TrainOutcome::losses`] covers exactly that tail. The checkpoint holds
+/// full state, so `hp.partition_size` (and even `hp.world`) may differ from
+/// the run that took the snapshot — resuming re-shards on the fly.
+pub fn resume_from<F>(
+    hp: &ScheduleHyper,
+    schedule: SyncSchedule,
+    ckpt: &TrainCheckpoint,
+    grad_fn: F,
+) -> TrainOutcome
+where
+    F: Fn(&[f32], usize, usize, usize) -> (f32, Vec<f32>) + Sync,
+{
+    run_engine(hp, schedule, Start::Resume(ckpt), grad_fn, None)
+}
+
+/// Where a run begins: from scratch, or from a snapshot.
+enum Start<'a> {
+    Fresh(Vec<f32>),
+    Resume(&'a TrainCheckpoint),
+}
+
+fn run_engine<F>(
+    hp: &ScheduleHyper,
+    schedule: SyncSchedule,
+    start: Start<'_>,
+    grad_fn: F,
+    checkpoint: Option<(usize, &CheckpointSink)>,
+) -> TrainOutcome
+where
+    F: Fn(&[f32], usize, usize, usize) -> (f32, Vec<f32>) + Sync,
+{
     let setup = hp;
     assert!(setup.world > 0 && setup.accum_steps > 0);
+    let (init, start_iter, resume): (Vec<f32>, usize, Option<&TrainCheckpoint>) = match start {
+        Start::Fresh(init) => (init, 0, None),
+        Start::Resume(ckpt) => {
+            assert!(
+                ckpt.iterations_done <= setup.iterations,
+                "checkpoint at iteration {} is beyond the configured {} iterations",
+                ckpt.iterations_done,
+                setup.iterations
+            );
+            assert_eq!(
+                ckpt.state.params.len(),
+                ckpt.state.m.len(),
+                "corrupt checkpoint: optimizer does not match parameters"
+            );
+            (ckpt.state.params.clone(), ckpt.iterations_done, Some(ckpt))
+        }
+    };
+    if let Some((at, _)) = checkpoint {
+        assert!(
+            (start_iter..=setup.iterations).contains(&at),
+            "checkpoint iteration {at} outside the run's [{start_iter}, {}] range",
+            setup.iterations
+        );
+    }
     let p = match schedule {
         SyncSchedule::Ddp => setup.world, // unused, but keeps ShardSpec happy
         _ => {
@@ -172,17 +328,58 @@ where
         let repl = comm.split((rank % p) as i64, rank as i64);
         let local = part.rank();
 
-        // Per-schedule parameter/optimizer state.
+        // Per-schedule parameter/optimizer state: fresh, or rebuilt (and
+        // re-sharded to this run's shape) from the checkpoint.
         let mut master_full = init.clone(); // used by DDP only
         let mut master_shard = spec.extract_padded(&init, local); // sharded schedules
-        let mut opt = match schedule {
-            SyncSchedule::Ddp => Adam::new(numel, setup.lr),
-            _ => Adam::new(spec.shard_len(), setup.lr),
+        let mut opt = match (schedule, resume) {
+            (SyncSchedule::Ddp, None) => Adam::new(numel, setup.lr),
+            (SyncSchedule::Ddp, Some(c)) => {
+                Adam::from_state(c.state.m.clone(), c.state.v.clone(), c.state.step, setup.lr)
+            }
+            (_, None) => Adam::new(spec.shard_len(), setup.lr),
+            (_, Some(c)) => Adam::from_state(
+                spec.extract_padded(&c.state.m, local),
+                spec.extract_padded(&c.state.v, local),
+                c.state.step,
+                setup.lr,
+            ),
         };
 
-        let mut scaler = ScalerState::new(setup.loss_scale);
-        let mut losses = Vec::with_capacity(setup.iterations);
-        for iter in 0..setup.iterations {
+        let mut scaler = match resume {
+            None => ScalerState::new(setup.loss_scale),
+            Some(c) => ScalerState::resume(setup.loss_scale, c.scaler),
+        };
+
+        // Deposit this rank's shard of a snapshot: partition group 0 holds
+        // one full replica between its ranks (rank 0 alone, for DDP).
+        let capture = |iter: usize, full: &[f32], shard: &[f32], opt: &Adam, sc: &ScalerState| {
+            let (at, sink) = match checkpoint {
+                Some((at, sink)) if at == iter => (at, sink),
+                _ => return,
+            };
+            match schedule {
+                SyncSchedule::Ddp if rank == 0 => {
+                    sink.deposit(0, 1, numel, TrainState::capture(full, opt), at, sc.snapshot());
+                }
+                SyncSchedule::Ddp => {}
+                _ if rank < p => {
+                    sink.deposit(
+                        local,
+                        p,
+                        numel,
+                        TrainState::capture(shard, opt),
+                        at,
+                        sc.snapshot(),
+                    );
+                }
+                _ => {}
+            }
+        };
+
+        let mut losses = Vec::with_capacity(setup.iterations - start_iter);
+        for iter in start_iter..setup.iterations {
+            capture(iter, &master_full, &master_shard, &opt, &scaler);
             // Parameter materialization for this iteration's compute.
             let fwd: Vec<f32> = match schedule {
                 SyncSchedule::Ddp => {
@@ -287,6 +484,8 @@ where
             let mean = comm.all_reduce(&[loss_acc])[0] * global_scale;
             losses.push(mean);
         }
+        // A snapshot may also be requested at the very end of the run.
+        capture(setup.iterations, &master_full, &master_shard, &opt, &scaler);
 
         // Materialize final full parameters.
         let final_params = match schedule {
@@ -494,5 +693,111 @@ mod tests {
     fn bad_partition_size_rejected() {
         let cfg = setup(4, 3, 2);
         let _ = train(&cfg, SyncSchedule::TwoHop);
+    }
+
+    type GradFn = dyn Fn(&[f32], usize, usize, usize) -> (f32, Vec<f32>) + Sync;
+
+    /// Shared scaffolding for the resume tests: an Mlp + teacher dataset
+    /// grad_fn equivalent to what [`train`] builds internally.
+    fn resume_rig() -> (ScheduleHyper, Vec<f32>, Box<GradFn>) {
+        let cfg = setup(4, 2, 2);
+        let model = Mlp::new(&[6, 12, 2]);
+        let dataset =
+            TeacherDataset::new(&[6, 8, 2], cfg.seed ^ 0x51ab_0c1d_22ee_9f73);
+        let init = model.init_params(cfg.seed);
+        let hp = ScheduleHyper {
+            world: cfg.world,
+            partition_size: cfg.partition_size,
+            accum_steps: cfg.accum_steps,
+            iterations: cfg.iterations,
+            lr: cfg.lr,
+            quantize: false,
+            loss_scale: LossScale::None,
+            clip_grad_norm: None,
+        };
+        let micro_batch = cfg.micro_batch;
+        let grad = move |params: &[f32], iter: usize, micro: usize, rank: usize| {
+            let (xs, ys) = dataset.micro_batch(iter, micro, rank, micro_batch);
+            model.loss_and_grad(params, &xs, &ys)
+        };
+        (hp, init, Box::new(grad))
+    }
+
+    #[test]
+    fn resume_mid_run_is_bit_exact() {
+        let (hp, init, grad) = resume_rig();
+        for schedule in
+            [SyncSchedule::Ddp, SyncSchedule::PerMicroStepAllReduce, SyncSchedule::TwoHop]
+        {
+            let sink = CheckpointSink::new();
+            let full = train_resumable(&hp, schedule, init.clone(), &grad, 7, &sink);
+            let ckpt = sink.take().expect("snapshot must be deposited");
+            assert_eq!(ckpt.iterations_done, 7);
+            let resumed = resume_from(&hp, schedule, &ckpt, &grad);
+            assert_eq!(resumed.losses, full.losses[7..], "{schedule:?} loss tail");
+            assert_eq!(resumed.final_params, full.final_params, "{schedule:?} params");
+            assert_eq!(resumed.final_loss_scale, full.final_loss_scale);
+        }
+    }
+
+    #[test]
+    fn checkpoint_at_start_reproduces_whole_run() {
+        let (hp, init, grad) = resume_rig();
+        let sink = CheckpointSink::new();
+        let full = train_resumable(&hp, SyncSchedule::TwoHop, init.clone(), &grad, 0, &sink);
+        let ckpt = sink.take().unwrap();
+        // The iteration-0 snapshot is the init state with a zero optimizer.
+        assert_eq!(ckpt.state.params, init);
+        assert_eq!(ckpt.state.step, 0);
+        let replay = resume_from(&hp, SyncSchedule::TwoHop, &ckpt, &grad);
+        assert_eq!(replay, full);
+    }
+
+    #[test]
+    fn checkpoint_at_end_captures_final_state() {
+        let (hp, init, grad) = resume_rig();
+        let sink = CheckpointSink::new();
+        let full =
+            train_resumable(&hp, SyncSchedule::TwoHop, init, &grad, hp.iterations, &sink);
+        let ckpt = sink.take().unwrap();
+        assert_eq!(ckpt.iterations_done, hp.iterations);
+        assert_eq!(ckpt.state.params, full.final_params);
+        // Resuming at the end runs zero iterations.
+        let tail = resume_from(&hp, SyncSchedule::TwoHop, &ckpt, &grad);
+        assert!(tail.losses.is_empty());
+        assert_eq!(tail.final_params, full.final_params);
+    }
+
+    #[test]
+    fn dynamic_loss_scale_survives_resume() {
+        let (mut hp, init, grad) = resume_rig();
+        hp.loss_scale = LossScale::Dynamic { init: 256.0, growth_interval: 4 };
+        let sink = CheckpointSink::new();
+        let full = train_resumable(&hp, SyncSchedule::TwoHop, init, &grad, 6, &sink);
+        let ckpt = sink.take().unwrap();
+        // 6 clean iterations → one doubling already happened; the growth
+        // window is mid-flight and must be restored, not reset.
+        assert_eq!(ckpt.scaler.scale, 512.0);
+        assert_eq!(ckpt.scaler.good_steps, 2);
+        let resumed = resume_from(&hp, SyncSchedule::TwoHop, &ckpt, &grad);
+        assert_eq!(resumed.losses, full.losses[6..]);
+        assert_eq!(resumed.final_loss_scale, full.final_loss_scale);
+    }
+
+    #[test]
+    fn sink_is_empty_until_the_snapshot_iteration() {
+        let sink = CheckpointSink::new();
+        assert!(sink.take().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the configured")]
+    fn resume_past_the_horizon_rejected() {
+        let (mut hp, init, grad) = resume_rig();
+        let sink = CheckpointSink::new();
+        let _ = train_resumable(&hp, SyncSchedule::TwoHop, init, &grad, 7, &sink);
+        let ckpt = sink.take().unwrap();
+        hp.iterations = 3; // shorter than the snapshot's 7 completed iterations
+        let _ = resume_from(&hp, SyncSchedule::TwoHop, &ckpt, &grad);
     }
 }

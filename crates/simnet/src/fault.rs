@@ -1,0 +1,324 @@
+//! Seeded, deterministic fault plans: the "unreliable public cloud" input to
+//! a simulation.
+//!
+//! MiCS's setting is the public cloud, where NICs degrade, bandwidth
+//! jitters, and spot instances vanish mid-run. A [`FaultPlan`] is a
+//! schedule of such faults against abstract *node* indices, generated from
+//! an explicit seed so that every run of the same plan produces the same
+//! fault timeline (and therefore identical recovery statistics — an
+//! acceptance requirement for the recovery experiments).
+//!
+//! The plan itself is topology-agnostic: it speaks of node indices and
+//! relative NIC capacity factors. `mics-cluster` maps a plan onto concrete
+//! [`crate::LinkId`]s / [`crate::StreamId`]s of a built fabric, and
+//! `mics-core` interprets crashes against executor state.
+
+use crate::SimTime;
+
+/// One scheduled fault against a node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Virtual time at which the fault takes effect.
+    pub at: SimTime,
+    /// Index of the affected node.
+    pub node: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// The kinds of injectable faults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The node is permanently lost (spot preemption, hardware death).
+    Crash,
+    /// The node's NIC drops to `factor` × its healthy bandwidth (transient
+    /// congestion, flapping link, noisy neighbour).
+    NicDegrade {
+        /// Multiplier in `(0, 1]` applied to the healthy NIC rate.
+        factor: f64,
+    },
+    /// The node's NIC returns to its healthy bandwidth.
+    NicRestore,
+}
+
+/// A deterministic, seeded schedule of faults. Builders may be chained; the
+/// event list is kept sorted by time (ties keep insertion order).
+///
+/// ```
+/// use mics_simnet::{FaultPlan, SimTime};
+///
+/// let plan = FaultPlan::new(42)
+///     .with_degradation(1, SimTime::from_millis(10), SimTime::from_millis(5), 0.25)
+///     .with_crash(3, SimTime::from_millis(40));
+/// assert_eq!(plan.events().len(), 3); // degrade + restore + crash
+/// assert_eq!(plan, FaultPlan::new(42)
+///     .with_degradation(1, SimTime::from_millis(10), SimTime::from_millis(5), 0.25)
+///     .with_crash(3, SimTime::from_millis(40)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Consumed by the seeded builders so that chaining two generators on
+    /// one plan yields independent (but still deterministic) draws.
+    rng_state: u64,
+    events: Vec<FaultEvent>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in `(0, 1]` — safe as an argument to `ln`.
+fn unit_open(state: &mut u64) -> f64 {
+    ((splitmix64(state) >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+}
+
+impl FaultPlan {
+    /// An empty plan whose seeded generators derive from `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, rng_state: seed ^ 0xA076_1D64_78BD_642F, events: Vec::new() }
+    }
+
+    /// The seed this plan was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn push(&mut self, ev: FaultEvent) {
+        self.events.push(ev);
+        // Stable: equal-time events keep insertion order.
+        self.events.sort_by_key(|e| e.at);
+    }
+
+    /// Schedule a permanent node loss at `at`.
+    pub fn with_crash(mut self, node: usize, at: SimTime) -> Self {
+        self.push(FaultEvent { at, node, kind: FaultKind::Crash });
+        self
+    }
+
+    /// Schedule a transient NIC-degradation window: from `start` for
+    /// `duration`, the node's NIC runs at `factor` × healthy bandwidth.
+    pub fn with_degradation(
+        mut self,
+        node: usize,
+        start: SimTime,
+        duration: SimTime,
+        factor: f64,
+    ) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0, "degradation factor must be in (0, 1]");
+        assert!(duration > SimTime::ZERO, "degradation window must have positive duration");
+        self.push(FaultEvent { at: start, node, kind: FaultKind::NicDegrade { factor } });
+        self.push(FaultEvent { at: start + duration, node, kind: FaultKind::NicRestore });
+        self
+    }
+
+    /// Seeded bandwidth jitter: every `period` until `horizon`, the node's
+    /// NIC capacity is redrawn uniformly from `[min_factor, 1]`, with a
+    /// restore at `horizon`. Models the noisy-neighbour variability of
+    /// shared cloud networks.
+    pub fn with_jitter(
+        mut self,
+        node: usize,
+        period: SimTime,
+        horizon: SimTime,
+        min_factor: f64,
+    ) -> Self {
+        assert!(period > SimTime::ZERO, "jitter period must be positive");
+        assert!((0.0..=1.0).contains(&min_factor), "min_factor must be in [0, 1]");
+        let mut at = SimTime::ZERO;
+        while at < horizon {
+            let factor = min_factor + unit_open(&mut self.rng_state) * (1.0 - min_factor);
+            let factor = factor.max(f64::MIN_POSITIVE);
+            self.push(FaultEvent { at, node, kind: FaultKind::NicDegrade { factor } });
+            at += period;
+        }
+        self.push(FaultEvent { at: horizon, node, kind: FaultKind::NicRestore });
+        self
+    }
+
+    /// Seeded Poisson crash process over `nodes` nodes: crash inter-arrival
+    /// times are exponential with mean `mean_between`, victims are drawn
+    /// uniformly among still-alive nodes, until `horizon` or until every
+    /// node is dead.
+    pub fn with_poisson_crashes(
+        mut self,
+        nodes: usize,
+        mean_between: SimTime,
+        horizon: SimTime,
+    ) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        assert!(mean_between > SimTime::ZERO, "mean inter-arrival must be positive");
+        let mut alive: Vec<usize> = (0..nodes).collect();
+        let mut at = SimTime::ZERO;
+        loop {
+            let gap = -unit_open(&mut self.rng_state).ln() * mean_between.as_nanos() as f64;
+            at += SimTime::from_nanos(gap.ceil() as u64);
+            if at >= horizon || alive.is_empty() {
+                break;
+            }
+            let victim = alive.remove(splitmix64(&mut self.rng_state) as usize % alive.len());
+            self.push(FaultEvent { at, node: victim, kind: FaultKind::Crash });
+        }
+        self
+    }
+
+    /// Like [`FaultPlan::with_poisson_crashes`], but assumes every failed
+    /// node is replaced by a fresh instance, so the same node *slot* can
+    /// fail again — the right trace for recovery experiments, where the
+    /// process never exhausts.
+    pub fn with_replaced_poisson_crashes(
+        mut self,
+        nodes: usize,
+        mean_between: SimTime,
+        horizon: SimTime,
+    ) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        assert!(mean_between > SimTime::ZERO, "mean inter-arrival must be positive");
+        let mut at = SimTime::ZERO;
+        loop {
+            let gap = -unit_open(&mut self.rng_state).ln() * mean_between.as_nanos() as f64;
+            at += SimTime::from_nanos(gap.ceil() as u64);
+            if at >= horizon {
+                break;
+            }
+            let victim = (splitmix64(&mut self.rng_state) as usize) % nodes;
+            self.push(FaultEvent { at, node: victim, kind: FaultKind::Crash });
+        }
+        self
+    }
+
+    /// Merge every event of `other` into this plan (time order preserved).
+    /// Lets callers compose independently seeded concerns — e.g. a jitter
+    /// profile and a spot-preemption trace built from different seeds.
+    pub fn with_plan(mut self, other: &FaultPlan) -> Self {
+        for ev in other.events() {
+            self.push(*ev);
+        }
+        self
+    }
+
+    /// The schedule, sorted by time (equal times in insertion order).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Crash events only, as `(time, node)` pairs in schedule order.
+    pub fn crashes(&self) -> Vec<(SimTime, usize)> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::Crash))
+            .map(|e| (e.at, e.node))
+            .collect()
+    }
+
+    /// A stable 64-bit digest of the full timeline, for asserting that two
+    /// runs produced identical fault schedules.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for e in &self.events {
+            mix(e.at.as_nanos());
+            mix(e.node as u64);
+            match e.kind {
+                FaultKind::Crash => mix(1),
+                FaultKind::NicDegrade { factor } => {
+                    mix(2);
+                    mix(factor.to_bits());
+                }
+                FaultKind::NicRestore => mix(3),
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_stay_sorted_by_time() {
+        let plan = FaultPlan::new(1)
+            .with_crash(2, SimTime::from_millis(30))
+            .with_degradation(0, SimTime::from_millis(5), SimTime::from_millis(10), 0.5);
+        let times: Vec<u64> = plan.events().iter().map(|e| e.at.as_nanos()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn same_seed_same_timeline() {
+        let build = |seed| {
+            FaultPlan::new(seed)
+                .with_jitter(0, SimTime::from_millis(10), SimTime::from_millis(100), 0.3)
+                .with_poisson_crashes(8, SimTime::from_millis(200), SimTime::from_secs(2))
+        };
+        let a = build(7);
+        let b = build(7);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = build(8);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn jitter_factors_are_bounded_and_restored() {
+        let plan = FaultPlan::new(3).with_jitter(
+            1,
+            SimTime::from_millis(10),
+            SimTime::from_millis(50),
+            0.4,
+        );
+        let mut degrades = 0;
+        for e in plan.events() {
+            assert_eq!(e.node, 1);
+            match e.kind {
+                FaultKind::NicDegrade { factor } => {
+                    degrades += 1;
+                    assert!((0.4..=1.0).contains(&factor), "factor {factor}");
+                }
+                FaultKind::NicRestore => assert_eq!(e.at, SimTime::from_millis(50)),
+                FaultKind::Crash => panic!("jitter must not crash nodes"),
+            }
+        }
+        assert_eq!(degrades, 5);
+    }
+
+    #[test]
+    fn poisson_crashes_each_node_at_most_once() {
+        let plan = FaultPlan::new(11).with_poisson_crashes(
+            4,
+            SimTime::from_millis(1),
+            SimTime::from_secs(10),
+        );
+        let crashes = plan.crashes();
+        assert!(crashes.len() <= 4);
+        let mut nodes: Vec<usize> = crashes.iter().map(|&(_, n)| n).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert_eq!(nodes.len(), crashes.len(), "no node crashes twice");
+        // With mean 1 ms over 10 s, all four nodes die almost surely.
+        assert_eq!(crashes.len(), 4);
+    }
+
+    #[test]
+    fn poisson_rate_scales_with_mean() {
+        let count = |mean_ms: u64| {
+            FaultPlan::new(5)
+                .with_poisson_crashes(1000, SimTime::from_millis(mean_ms), SimTime::from_secs(1))
+                .crashes()
+                .len()
+        };
+        let fast = count(10); // ~100 expected
+        let slow = count(100); // ~10 expected
+        assert!(fast > slow * 3, "fast {fast} vs slow {slow}");
+    }
+}

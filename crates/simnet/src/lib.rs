@@ -51,8 +51,10 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
 
+pub mod fault;
 mod time;
 pub mod trace;
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use time::SimTime;
 pub use trace::{chrome_trace_json, Span};
 
@@ -122,6 +124,16 @@ pub enum SimError {
     /// One or more streams are blocked waiting on events that will never be
     /// recorded. Contains `(stream, event)` pairs for diagnosis.
     Deadlock(Vec<(StreamId, EventId)>),
+    /// Streams are blocked on events that can no longer be recorded because
+    /// the recording stream was killed by an injected fault. This is the
+    /// simulation-level analogue of a collective hanging on a dead rank;
+    /// recovery layers are expected to detect it and re-plan.
+    OrphanedByFault {
+        /// Streams removed by [`Sim::kill_stream_at`].
+        killed: Vec<StreamId>,
+        /// `(stream, event)` pairs still blocked when the queue drained.
+        blocked: Vec<(StreamId, EventId)>,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -134,11 +146,50 @@ impl fmt::Display for SimError {
                 }
                 Ok(())
             }
+            SimError::OrphanedByFault { killed, blocked } => {
+                write!(f, "streams orphaned by injected faults; killed: ")?;
+                for s in killed {
+                    write!(f, "stream {}; ", s.0)?;
+                }
+                write!(f, "blocked: ")?;
+                for (s, e) in blocked {
+                    write!(f, "stream {} on event {}; ", s.0, e.0)?;
+                }
+                Ok(())
+            }
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+/// One fault that actually fired during a run, in firing order. Together
+/// these form the run's fault timeline, which is deterministic for a given
+/// program + [`FaultPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRecord {
+    /// Virtual time at which the fault took effect.
+    pub at: SimTime,
+    /// What the fault did.
+    pub kind: FaultRecordKind,
+}
+
+/// The effect of a fired fault, referencing concrete simulator entities.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultRecordKind {
+    /// A link's capacity changed to `factor` × its healthy rate.
+    LinkRate {
+        /// The affected link.
+        link: LinkId,
+        /// Multiplier relative to the link's base rate.
+        factor: f64,
+    },
+    /// A stream was permanently removed mid-run.
+    StreamKilled {
+        /// The killed stream.
+        stream: StreamId,
+    },
+}
 
 /// Aggregate results of a completed simulation.
 #[derive(Debug, Clone, Default)]
@@ -155,6 +206,10 @@ pub struct RunStats {
     pub trace: Vec<trace::Span>,
     /// Stream names, parallel to stream indices (populated with tracing).
     pub stream_names: Vec<String>,
+    /// Timeline of injected faults that fired, in firing order.
+    pub faults: Vec<FaultRecord>,
+    /// Streams killed by [`Sim::kill_stream_at`] before they finished.
+    pub killed_streams: Vec<StreamId>,
 }
 
 impl RunStats {
@@ -174,6 +229,8 @@ enum StreamStatus {
     Blocked(EventId),
     /// Program exhausted.
     Finished,
+    /// Removed mid-run by an injected fault; never resumes.
+    Killed,
 }
 
 #[derive(Debug)]
@@ -205,8 +262,11 @@ struct ActiveTransfer {
 struct LinkState {
     #[allow(dead_code)]
     name: String,
-    /// Bytes per nanosecond.
+    /// Current bytes per nanosecond (may differ from `base_rate` while a
+    /// degradation fault is in effect).
     rate: f64,
+    /// Healthy bytes per nanosecond, as configured by [`Sim::add_link`].
+    base_rate: f64,
     active: Vec<ActiveTransfer>,
     last_update: SimTime,
     /// Invalidates stale completion-check events after membership changes.
@@ -250,6 +310,10 @@ enum Pending {
     OpComplete { stream: StreamId },
     TransferLatencyDone { stream: StreamId, link: LinkId, bytes: u64, tag_bits: i128 },
     LinkCheck { link: LinkId, generation: u64 },
+    /// Injected fault: set `link`'s rate to `base_rate * f64::from_bits(factor_bits)`.
+    SetLinkRate { link: LinkId, factor_bits: u64 },
+    /// Injected fault: permanently remove `stream`.
+    KillStream { stream: StreamId },
 }
 
 #[derive(Debug, PartialEq, Eq)]
@@ -281,6 +345,9 @@ pub struct Sim {
     links: Vec<LinkState>,
     stats: RunStats,
     tracing: bool,
+    /// Time of the last op completion / effective kill; fault events that
+    /// fire after all work is done must not inflate the makespan.
+    last_progress: SimTime,
 }
 
 /// Tolerance (in bytes) below which a fluid transfer counts as complete.
@@ -320,15 +387,40 @@ impl Sim {
     /// Register a shared link with `bytes_per_sec` capacity.
     pub fn add_link(&mut self, name: impl Into<String>, bytes_per_sec: f64) -> LinkId {
         assert!(bytes_per_sec > 0.0, "link bandwidth must be positive");
+        let rate = bytes_per_sec / 1e9; // bytes per nanosecond
         self.links.push(LinkState {
             name: name.into(),
-            rate: bytes_per_sec / 1e9, // bytes per nanosecond
+            rate,
+            base_rate: rate,
             active: Vec::new(),
             last_update: SimTime::ZERO,
             generation: 0,
             total_bytes: 0,
         });
         LinkId(self.links.len() - 1)
+    }
+
+    /// Schedule an injected fault: at virtual time `at`, `link` runs at
+    /// `factor` × its healthy bandwidth (1.0 restores it). In-flight
+    /// transfers are settled at the old rate up to `at` and drain at the new
+    /// rate afterwards, so a degradation window slows a transfer piecewise.
+    ///
+    /// Factors below `1e-9` are clamped up to it: a fully dead NIC is
+    /// modelled by killing the streams using it, not by a zero rate.
+    pub fn set_link_rate_at(&mut self, link: LinkId, at: SimTime, factor: f64) {
+        assert!(factor.is_finite() && factor > 0.0, "rate factor must be positive");
+        let factor = factor.max(1e-9);
+        self.schedule(at, Pending::SetLinkRate { link, factor_bits: factor.to_bits() });
+    }
+
+    /// Schedule an injected fault: at virtual time `at`, `stream` is
+    /// permanently removed (node crash / spot preemption). Its in-flight
+    /// transfer is dropped from the link (surviving transfers speed up), its
+    /// remaining program never runs, and events it would have recorded stay
+    /// unrecorded — streams blocked on those surface as
+    /// [`SimError::OrphanedByFault`].
+    pub fn kill_stream_at(&mut self, stream: StreamId, at: SimTime) {
+        self.schedule(at, Pending::KillStream { stream });
     }
 
     /// Append an operation to a stream's program. Programs may only be
@@ -439,6 +531,7 @@ impl Sim {
     }
 
     fn finish_op(&mut self, stream: StreamId, tag: Option<Tag>) {
+        self.last_progress = self.now;
         let s = &mut self.streams[stream.0];
         s.busy += self.now - s.op_started;
         if self.tracing {
@@ -464,12 +557,79 @@ impl Sim {
         self.kick(stream);
     }
 
+    /// Apply a kill fault at the current virtual time.
+    fn kill_now(&mut self, stream: StreamId) {
+        let prior = std::mem::replace(&mut self.streams[stream.0].status, StreamStatus::Killed);
+        match prior {
+            StreamStatus::Finished => {
+                // Killing a completed stream is a no-op.
+                self.streams[stream.0].status = StreamStatus::Finished;
+                return;
+            }
+            StreamStatus::Killed => return,
+            StreamStatus::Running => {
+                let now = self.now;
+                let s = &mut self.streams[stream.0];
+                s.busy += now - s.op_started;
+                // Drop any in-flight transfer; survivors re-share the link.
+                let mut touched = Vec::new();
+                for (li, l) in self.links.iter_mut().enumerate() {
+                    if l.active.iter().any(|t| t.stream == stream) {
+                        l.settle(now);
+                        let mut undelivered = 0.0;
+                        l.active.retain(|t| {
+                            if t.stream == stream {
+                                undelivered += t.remaining.max(0.0);
+                                false
+                            } else {
+                                true
+                            }
+                        });
+                        l.total_bytes = l.total_bytes.saturating_sub(undelivered.round() as u64);
+                        l.generation += 1;
+                        touched.push(LinkId(li));
+                    }
+                }
+                for li in touched {
+                    self.reschedule_link(li);
+                }
+            }
+            StreamStatus::Idle | StreamStatus::Blocked(_) => {}
+        }
+        self.last_progress = self.now;
+        self.stats.killed_streams.push(stream);
+        self.stats
+            .faults
+            .push(FaultRecord { at: self.now, kind: FaultRecordKind::StreamKilled { stream } });
+    }
+
     fn handle(&mut self, what: Pending) {
         match what {
-            Pending::OpComplete { stream } => self.finish_op(stream, None),
+            Pending::OpComplete { stream } => {
+                if matches!(self.streams[stream.0].status, StreamStatus::Killed) {
+                    return; // op belonged to a stream that has since been killed
+                }
+                self.finish_op(stream, None);
+            }
             Pending::TransferLatencyDone { stream, link, bytes, tag_bits } => {
+                if matches!(self.streams[stream.0].status, StreamStatus::Killed) {
+                    return;
+                }
                 self.join_link(stream, link, bytes, tag_bits);
             }
+            Pending::SetLinkRate { link, factor_bits } => {
+                let factor = f64::from_bits(factor_bits);
+                let now = self.now;
+                let l = &mut self.links[link.0];
+                l.settle(now);
+                l.rate = l.base_rate * factor;
+                l.generation += 1;
+                self.reschedule_link(link);
+                self.stats
+                    .faults
+                    .push(FaultRecord { at: now, kind: FaultRecordKind::LinkRate { link, factor } });
+            }
+            Pending::KillStream { stream } => self.kill_now(stream),
             Pending::LinkCheck { link, generation } => {
                 if self.links[link.0].generation != generation {
                     return; // stale
@@ -511,20 +671,27 @@ impl Sim {
             self.now = q.at;
             self.handle(q.what);
         }
-        // All queue drained: check every stream finished.
+        // All queue drained: check every stream finished (or was killed by an
+        // injected fault, which counts as terminal for the stream itself).
         let mut blocked = Vec::new();
+        let mut killed = Vec::new();
         for (i, s) in self.streams.iter().enumerate() {
             match s.status {
                 StreamStatus::Finished => {}
+                StreamStatus::Killed => killed.push(StreamId(i)),
                 StreamStatus::Blocked(e) => blocked.push((StreamId(i), e)),
                 _ => blocked.push((StreamId(i), EventId(usize::MAX))),
             }
         }
         if !blocked.is_empty() {
-            return Err(SimError::Deadlock(blocked));
+            return Err(if killed.is_empty() {
+                SimError::Deadlock(blocked)
+            } else {
+                SimError::OrphanedByFault { killed, blocked }
+            });
         }
         let mut stats = std::mem::take(&mut self.stats);
-        stats.makespan = self.now;
+        stats.makespan = self.last_progress;
         stats.stream_busy = self.streams.iter().map(|s| s.busy).collect();
         stats.link_bytes = self.links.iter().map(|l| l.total_bytes).collect();
         if self.tracing {
@@ -676,11 +843,7 @@ mod tests {
         let e = sim.add_event();
         sim.push(a, Op::WaitEvent(e));
         let err = sim.run().unwrap_err();
-        match err {
-            SimError::Deadlock(v) => {
-                assert_eq!(v, vec![(StreamId(0), EventId(0))]);
-            }
-        }
+        assert_eq!(err, SimError::Deadlock(vec![(StreamId(0), EventId(0))]));
     }
 
     #[test]
@@ -748,6 +911,124 @@ mod tests {
             let stats = sim.run().unwrap();
             assert_eq!(stats.makespan, SimTime::from_millis(10 * n as u64), "n = {n}");
         }
+    }
+
+    #[test]
+    fn link_degradation_slows_transfer_piecewise() {
+        let mut sim = Sim::new();
+        let l = sim.add_link("nic", bw(10.0));
+        let s = sim.add_stream("comm");
+        sim.push(s, Op::transfer(l, 1_000_000_000, SimTime::ZERO));
+        sim.set_link_rate_at(l, SimTime::from_millis(50), 0.5);
+        let stats = sim.run().unwrap();
+        // 0.5 GB done at full rate by t=50ms; remaining 0.5 GB at 5 GB/s
+        // takes another 100 ms.
+        assert_eq!(stats.makespan, SimTime::from_millis(150));
+        assert_eq!(
+            stats.faults,
+            vec![FaultRecord {
+                at: SimTime::from_millis(50),
+                kind: FaultRecordKind::LinkRate { link: l, factor: 0.5 },
+            }]
+        );
+    }
+
+    #[test]
+    fn link_restore_ends_degradation_window() {
+        let mut sim = Sim::new();
+        let l = sim.add_link("nic", bw(10.0));
+        let s = sim.add_stream("comm");
+        sim.push(s, Op::transfer(l, 1_000_000_000, SimTime::ZERO));
+        sim.set_link_rate_at(l, SimTime::from_millis(50), 0.5);
+        sim.set_link_rate_at(l, SimTime::from_millis(100), 1.0);
+        let stats = sim.run().unwrap();
+        // 0.5 GB by 50ms, +0.25 GB during the slow window, remaining
+        // 0.25 GB at 10 GB/s → 125 ms.
+        assert_eq!(stats.makespan, SimTime::from_millis(125));
+        assert_eq!(stats.faults.len(), 2);
+    }
+
+    #[test]
+    fn killed_stream_releases_its_link_share() {
+        let mut sim = Sim::new();
+        let l = sim.add_link("nic", bw(10.0));
+        let a = sim.add_stream("a");
+        let b = sim.add_stream("b");
+        sim.push(a, Op::transfer(l, 1_000_000_000, SimTime::ZERO));
+        sim.push(b, Op::transfer(l, 1_000_000_000, SimTime::ZERO));
+        sim.kill_stream_at(b, SimTime::from_millis(50));
+        let stats = sim.run().unwrap();
+        // Shared until 50ms (0.25 GB each); A then alone with 0.75 GB left
+        // at 10 GB/s → 125 ms total.
+        assert_eq!(stats.makespan, SimTime::from_millis(125));
+        assert_eq!(stats.killed_streams, vec![b]);
+        // Link accounting only counts bytes actually delivered: A's full
+        // 1 GB plus the 0.25 GB B moved before dying.
+        assert_eq!(stats.link_bytes[0], 1_250_000_000);
+    }
+
+    #[test]
+    fn kill_orphans_event_waiters() {
+        let mut sim = Sim::new();
+        let a = sim.add_stream("a");
+        let b = sim.add_stream("b");
+        let e = sim.add_event();
+        sim.push(a, Op::compute(SimTime::from_millis(10)));
+        sim.push(a, Op::RecordEvent(e));
+        sim.push(b, Op::WaitEvent(e));
+        sim.push(b, Op::compute(SimTime::from_millis(1)));
+        sim.kill_stream_at(a, SimTime::from_millis(5));
+        let err = sim.run().unwrap_err();
+        assert_eq!(
+            err,
+            SimError::OrphanedByFault { killed: vec![a], blocked: vec![(b, e)] }
+        );
+    }
+
+    #[test]
+    fn faults_after_completion_do_not_inflate_makespan() {
+        let mut sim = Sim::new();
+        let l = sim.add_link("nic", bw(10.0));
+        let s = sim.add_stream("comm");
+        sim.push(s, Op::transfer(l, 1_000_000_000, SimTime::ZERO));
+        sim.set_link_rate_at(l, SimTime::from_millis(500), 0.1);
+        sim.kill_stream_at(s, SimTime::from_millis(600));
+        let stats = sim.run().unwrap();
+        assert_eq!(stats.makespan, SimTime::from_millis(100));
+        assert!(stats.killed_streams.is_empty(), "finished streams cannot be killed");
+    }
+
+    #[test]
+    fn fault_plan_driven_run_is_deterministic() {
+        let build = || {
+            let plan = FaultPlan::new(1234)
+                .with_jitter(0, SimTime::from_millis(20), SimTime::from_millis(200), 0.3)
+                .with_crash(1, SimTime::from_millis(60));
+            let mut sim = Sim::new();
+            let l = sim.add_link("nic", bw(10.0));
+            let mut streams = Vec::new();
+            for i in 0..4 {
+                let s = sim.add_stream(format!("s{i}"));
+                sim.push(s, Op::transfer(l, 400_000_000, SimTime::from_micros(10)));
+                streams.push(s);
+            }
+            for ev in plan.events() {
+                match ev.kind {
+                    FaultKind::Crash => sim.kill_stream_at(streams[ev.node + 1], ev.at),
+                    FaultKind::NicDegrade { factor } => sim.set_link_rate_at(l, ev.at, factor),
+                    FaultKind::NicRestore => sim.set_link_rate_at(l, ev.at, 1.0),
+                }
+            }
+            sim.run().unwrap()
+        };
+        let s1 = build();
+        let s2 = build();
+        assert_eq!(s1.makespan, s2.makespan);
+        assert_eq!(s1.faults, s2.faults);
+        assert_eq!(s1.killed_streams, s2.killed_streams);
+        assert_eq!(s1.stream_busy, s2.stream_busy);
+        assert!(!s1.faults.is_empty());
+        assert_eq!(s1.killed_streams.len(), 1);
     }
 
     #[test]

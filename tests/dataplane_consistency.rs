@@ -91,6 +91,93 @@ proptest! {
         prop_assert_eq!(via_pair, via_ar);
     }
 
+    /// `split` under adversarial shapes: arbitrary color assignments
+    /// (all-same, all-distinct, or anything between), worlds down to 1, and
+    /// a second split nested inside the first. Membership and rank order
+    /// must match the host-side computation every time.
+    #[test]
+    fn repeated_splits_agree_with_host_side_membership(
+        world in 1usize..8,
+        colors in prop::collection::vec(0u8..4, 8usize),
+        colors2 in prop::collection::vec(0u8..3, 8usize),
+    ) {
+        let c1 = colors[..world].to_vec();
+        let c2 = colors2[..world].to_vec();
+        let (k1, k2) = (c1.clone(), c2.clone());
+        let out = run_ranks(world, move |mut comm| {
+            let rank = comm.rank();
+            let mut g1 = comm.split(k1[rank] as i64, rank as i64);
+            let first = g1.all_gather(&[rank as f32]);
+            let g2 = g1.split(k2[rank] as i64, g1.rank() as i64);
+            let second = g2.all_gather(&[rank as f32]);
+            (first, second)
+        });
+        for rank in 0..world {
+            let g1: Vec<usize> = (0..world).filter(|&r| c1[r] == c1[rank]).collect();
+            let g2: Vec<usize> = g1.iter().copied().filter(|&r| c2[r] == c2[rank]).collect();
+            let (first, second) = &out[rank];
+            let want = |g: &[usize]| g.iter().map(|&r| r as f32).collect::<Vec<f32>>();
+            prop_assert_eq!(first, &want(&g1), "first split, rank {}", rank);
+            prop_assert_eq!(second, &want(&g2), "second split, rank {}", rank);
+        }
+    }
+
+    /// Coalesced all-gather under adversarial batch shapes — empty batches,
+    /// zero-length parts, uneven part sizes, world = 1 — always equals the
+    /// per-buffer calls.
+    #[test]
+    fn coalesced_all_gather_adversarial_shapes(
+        world in 1usize..7,
+        lens in prop::collection::vec(0usize..5, 0usize..5),
+    ) {
+        let fill = |rank: usize, p: usize, len: usize| -> Vec<f32> {
+            (0..len).map(|i| (rank * 101 + p * 13 + i) as f32).collect()
+        };
+        let l1 = lens.clone();
+        let coalesced = run_ranks(world, move |comm| {
+            let bufs: Vec<Vec<f32>> =
+                l1.iter().enumerate().map(|(p, &len)| fill(comm.rank(), p, len)).collect();
+            let refs: Vec<&[f32]> = bufs.iter().map(|b| b.as_slice()).collect();
+            comm.all_gather_coalesced(&refs)
+        });
+        let l2 = lens.clone();
+        let sequential = run_ranks(world, move |comm| {
+            l2.iter()
+                .enumerate()
+                .map(|(p, &len)| comm.all_gather(&fill(comm.rank(), p, len)))
+                .collect::<Vec<_>>()
+        });
+        prop_assert_eq!(coalesced, sequential);
+    }
+
+    /// Coalesced reduce-scatter with empty and uneven parts (lengths are
+    /// arbitrary multiples of the world size, including zero), at any world
+    /// size including 1.
+    #[test]
+    fn coalesced_reduce_scatter_adversarial_shapes(
+        world in 1usize..7,
+        ks in prop::collection::vec(0usize..4, 0usize..5),
+    ) {
+        let fill = |rank: usize, p: usize, len: usize| -> Vec<f32> {
+            (0..len).map(|i| ((rank * 97 + p * 7 + i) as f32).sin()).collect()
+        };
+        let k1 = ks.clone();
+        let coalesced = run_ranks(world, move |comm| {
+            let bufs: Vec<Vec<f32>> =
+                k1.iter().enumerate().map(|(p, &k)| fill(comm.rank(), p, k * world)).collect();
+            let refs: Vec<&[f32]> = bufs.iter().map(|b| b.as_slice()).collect();
+            comm.reduce_scatter_coalesced(&refs)
+        });
+        let k2 = ks.clone();
+        let sequential = run_ranks(world, move |comm| {
+            k2.iter()
+                .enumerate()
+                .map(|(p, &k)| comm.reduce_scatter(&fill(comm.rank(), p, k * world)))
+                .collect::<Vec<_>>()
+        });
+        prop_assert_eq!(coalesced, sequential);
+    }
+
     /// Coalesced APIs are observationally equivalent to per-buffer calls for
     /// arbitrary batch shapes.
     #[test]

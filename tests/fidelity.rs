@@ -1,8 +1,16 @@
 //! End-to-end fidelity (paper §5.4): real sharded training under every
 //! synchronization schedule converges identically — the integration-level
-//! version of Figure 15.
+//! version of Figure 15 — and kill-and-resume through the resharding
+//! checkpoint is bit-exact, the training-loop half of the recovery story
+//! (`mics-core::recovery` costs it; this proves it loses nothing).
 
-use mics::minidl::{train, Mlp, SyncSchedule, TrainSetup};
+use mics::minidl::checkpoint::{load, save, TrainState};
+use mics::minidl::data::TeacherDataset;
+use mics::minidl::train::ScheduleHyper;
+use mics::minidl::{
+    resume_from, train, train_resumable, CheckpointSink, LossScale, Mlp, SyncSchedule,
+    TrainCheckpoint, TrainSetup,
+};
 
 fn setup(world: usize, p: usize, s: usize, iters: usize) -> TrainSetup {
     TrainSetup {
@@ -84,6 +92,150 @@ fn accumulation_depths_all_converge() {
             (out.losses[0], out.losses.last())
         );
     }
+}
+
+/// Scaffolding for the kill-and-resume tests: a model + dataset grad_fn
+/// equivalent to what [`train`] builds internally, but visible to the test
+/// so a fault can be injected into it.
+struct Rig {
+    hp: ScheduleHyper,
+    init: Vec<f32>,
+    model: Mlp,
+    dataset: TeacherDataset,
+    micro_batch: usize,
+}
+
+fn rig(world: usize, p: usize, iters: usize) -> Rig {
+    let model = Mlp::new(&[10, 20, 4]);
+    let seed = 4242u64;
+    Rig {
+        hp: ScheduleHyper {
+            world,
+            partition_size: p,
+            accum_steps: 2,
+            iterations: iters,
+            lr: 0.015,
+            quantize: false,
+            loss_scale: LossScale::None,
+            clip_grad_norm: None,
+        },
+        init: model.init_params(seed),
+        dataset: TeacherDataset::new(&[10, 8, 4], seed ^ 0x51ab_0c1d_22ee_9f73),
+        model,
+        micro_batch: 6,
+    }
+}
+
+impl Rig {
+    fn grad(&self) -> impl Fn(&[f32], usize, usize, usize) -> (f32, Vec<f32>) + Sync + '_ {
+        move |params, iter, micro, rank| {
+            let (xs, ys) = self.dataset.micro_batch(iter, micro, rank, self.micro_batch);
+            self.model.loss_and_grad(params, &xs, &ys)
+        }
+    }
+}
+
+/// Round-trip a checkpoint through the sharded binary format: serialize as
+/// `p` per-rank shard blobs, decode, reassemble — what a real job writes at
+/// one cluster shape and reads back at another.
+fn through_shard_blobs(ckpt: &TrainCheckpoint, p: usize) -> TrainCheckpoint {
+    let numel = ckpt.state.params.len();
+    let blobs: Vec<Vec<u8>> = ckpt.state.shard(p).iter().map(save).collect();
+    let decoded: Vec<TrainState> =
+        blobs.iter().map(|b| load(b).expect("blob must decode")).collect();
+    TrainCheckpoint {
+        state: TrainState::unshard(&decoded, numel),
+        iterations_done: ckpt.iterations_done,
+        scaler: ckpt.scaler,
+    }
+}
+
+/// The tentpole robustness claim, training-loop half: kill a rank mid-run
+/// (after a checkpoint was taken), resume from the checkpoint, and the
+/// resumed losses and final parameters are **bit-exact** equal to an
+/// uninterrupted run. The checkpoint travels through the sharded binary
+/// format on the way back in.
+#[test]
+fn killed_run_resumes_bit_exact_from_checkpoint() {
+    let r = rig(4, 2, 12);
+    let uninterrupted = mics::minidl::train::train_generic(
+        &r.hp,
+        SyncSchedule::TwoHop,
+        r.init.clone(),
+        r.grad(),
+    );
+
+    // Same run, but rank 1 dies at iteration 8 — after the iteration-5
+    // snapshot, losing the work since. The surviving ranks abort their
+    // collectives instead of hanging (dataplane failure detection), so the
+    // whole run fails fast.
+    let sink = CheckpointSink::new();
+    let grad = r.grad();
+    let killer = |params: &[f32], iter: usize, micro: usize, rank: usize| {
+        assert!(iter < 8 || rank != 1, "rank 1 must be dead by iteration 8");
+        if iter == 8 && rank == 1 {
+            panic!("injected node loss at iteration {iter}");
+        }
+        grad(params, iter, micro, rank)
+    };
+    let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        train_resumable(&r.hp, SyncSchedule::TwoHop, r.init.clone(), killer, 5, &sink)
+    }));
+    assert!(died.is_err(), "the killed run must not complete");
+
+    // The snapshot survived the crash; resume and compare the tail.
+    let ckpt = sink.take().expect("checkpoint must survive the kill");
+    assert_eq!(ckpt.iterations_done, 5);
+    let ckpt = through_shard_blobs(&ckpt, 2);
+    let resumed = resume_from(&r.hp, SyncSchedule::TwoHop, &ckpt, r.grad());
+    assert_eq!(resumed.losses, uninterrupted.losses[5..], "loss tail must be bit-exact");
+    assert_eq!(resumed.final_params, uninterrupted.final_params, "params must be bit-exact");
+}
+
+/// MiCS moving between cluster shapes: a checkpoint taken at partition size
+/// 4 resumes at partition size 2 through [`TrainState::reshard`]. Under the
+/// per-micro-step all-reduce schedule the partition size only changes how
+/// state is laid out — never what is computed — so the resumed run is
+/// bit-exact against the uninterrupted p=4 run.
+#[test]
+fn resharded_resume_is_bit_exact() {
+    let r4 = rig(4, 4, 10);
+    let uninterrupted = mics::minidl::train::train_generic(
+        &r4.hp,
+        SyncSchedule::PerMicroStepAllReduce,
+        r4.init.clone(),
+        r4.grad(),
+    );
+
+    let sink = CheckpointSink::new();
+    let full = train_resumable(
+        &r4.hp,
+        SyncSchedule::PerMicroStepAllReduce,
+        r4.init.clone(),
+        r4.grad(),
+        4,
+        &sink,
+    );
+    assert_eq!(full, uninterrupted, "taking a snapshot must not perturb training");
+
+    // 4-way shard blobs from the old shape, resharded to the new one.
+    let ckpt = sink.take().unwrap();
+    let numel = ckpt.state.params.len();
+    let old_blobs: Vec<Vec<u8>> = ckpt.state.shard(4).iter().map(save).collect();
+    let old_shards: Vec<TrainState> =
+        old_blobs.iter().map(|b| load(b).unwrap()).collect();
+    let new_shards = TrainState::reshard(&old_shards, numel, 2);
+    let ckpt2 = TrainCheckpoint {
+        state: TrainState::unshard(&new_shards, numel),
+        iterations_done: ckpt.iterations_done,
+        scaler: ckpt.scaler,
+    };
+
+    let mut r2 = rig(4, 2, 10);
+    r2.hp.partition_size = 2;
+    let resumed = resume_from(&r2.hp, SyncSchedule::PerMicroStepAllReduce, &ckpt2, r2.grad());
+    assert_eq!(resumed.losses, uninterrupted.losses[4..]);
+    assert_eq!(resumed.final_params, uninterrupted.final_params);
 }
 
 /// Mixed precision (f16 parameter casts) degrades losses only slightly and

@@ -1,0 +1,293 @@
+//! Offline stand-in for the slice of the `proptest` API this workspace uses.
+//!
+//! The build environment has no network access and no registry cache, so the
+//! real crate cannot be fetched (see `vendor/README.md`). This shim supports
+//! exactly the patterns that appear in the workspace's tests:
+//!
+//! ```text
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(10))]   // optional
+//!
+//!     /// doc comments
+//!     #[test]
+//!     fn prop_name(a in 1usize..100, b in 2u32..9) { ... }
+//! }
+//! ```
+//!
+//! plus `prop_assert!`, `prop_assert_eq!` and `prop_assume!` inside bodies.
+//! There is no shrinking: a failing case panics with the sampled inputs in
+//! the message, which is enough to reproduce (sampling is deterministic per
+//! test name).
+
+#![warn(missing_docs)]
+
+/// Per-block configuration (subset of the real `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` accepted cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; tests here spawn real threads per case,
+        // so keep the default modest. Blocks that care set it explicitly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single sampled case did not complete normally.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — resample, don't count the case.
+    Reject,
+}
+
+/// Deterministic per-test generator used by the `proptest!` runner.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from the property function's name (FNV-1a), so every run of the
+    /// same test samples the same sequence.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// One raw 64-bit draw (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A value source for one property argument (subset of `proptest::Strategy`).
+pub trait Strategy {
+    /// The type of the values produced.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128) - (self.start as i128);
+                (self.start as i128 + (rng.next_u64() as i128).rem_euclid(span)) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128) - (lo as i128) + 1;
+                (lo as i128 + (rng.next_u64() as i128).rem_euclid(span)) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A bare `usize` is a constant length strategy — the shim's stand-in for
+/// the real crate's `SizeRange: From<usize>`, so
+/// `prop::collection::vec(strategy, 8)` works.
+impl Strategy for usize {
+    type Value = usize;
+    fn sample(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+/// Strategies over collections (subset of `proptest::collection`).
+pub mod collection {
+    use crate::{Strategy, TestRng};
+
+    /// Strategy for `Vec`s: length drawn from `len`, elements from
+    /// `element`. Built by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// `proptest::collection::vec`: vectors whose length comes from `len`
+    /// (a `usize` range, or a bare `usize` for a fixed length) and whose
+    /// elements come from `element`.
+    pub fn vec<S, L>(element: S, len: L) -> VecStrategy<S, L>
+    where
+        S: Strategy,
+        L: Strategy<Value = usize>,
+    {
+        VecStrategy { element, len }
+    }
+
+    impl<S, L> Strategy for VecStrategy<S, L>
+    where
+        S: Strategy,
+        L: Strategy<Value = usize>,
+    {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a test module needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+    /// The crate under its conventional `prop::` alias, so
+    /// `prop::collection::vec(...)` resolves as it does upstream.
+    pub use crate as prop;
+}
+
+/// Assert inside a property body (panics with context; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond); };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*); };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*); };
+}
+
+/// Skip (resample) the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Define property tests. See the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    // Config-carrying form.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    // Expansion: one generated #[test] fn per property.
+    (@run ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::TestRng::for_test(stringify!($name));
+                let mut __accepted: u32 = 0;
+                let mut __attempts: u32 = 0;
+                while __accepted < __cfg.cases {
+                    __attempts += 1;
+                    assert!(
+                        __attempts <= __cfg.cases.saturating_mul(20).max(100),
+                        "proptest {}: too many prop_assume! rejections",
+                        stringify!($name),
+                    );
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                    let __case = ::std::panic::AssertUnwindSafe(
+                        || -> ::core::result::Result<(), $crate::TestCaseError> {
+                            { $body }
+                            ::core::result::Result::Ok(())
+                        },
+                    );
+                    match ::std::panic::catch_unwind(__case) {
+                        Ok(Ok(())) => __accepted += 1,
+                        Ok(Err($crate::TestCaseError::Reject)) => continue,
+                        Err(payload) => {
+                            eprintln!(
+                                "proptest {} failed with inputs: {}",
+                                stringify!($name),
+                                [$(format!("{} = {:?}", stringify!($arg), $arg)),*].join(", "),
+                            );
+                            ::std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    // Config-less form.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges respect their bounds.
+        #[test]
+        fn in_bounds(a in 3usize..17, b in -4i64..9) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-4..9).contains(&b));
+        }
+
+        #[test]
+        fn assume_skips(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn vec_strategy_respects_len_and_bounds(
+            xs in prop::collection::vec(2u8..7, 0usize..5),
+            fixed in prop::collection::vec(0i32..3, 4usize),
+        ) {
+            prop_assert!(xs.len() < 5);
+            prop_assert!(xs.iter().all(|&x| (2..7).contains(&x)));
+            prop_assert_eq!(fixed.len(), 4);
+        }
+    }
+
+    proptest! {
+        /// Config-less blocks use the default case count.
+        #[test]
+        fn default_config_works(x in 1u32..5) {
+            prop_assert!((1..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_name() {
+        let mut a = TestRng::for_test("some_prop");
+        let mut b = TestRng::for_test("some_prop");
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}
