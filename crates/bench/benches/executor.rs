@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mics_cluster::{ClusterSpec, InstanceType};
-use mics_core::{simulate, simulate_megatron, MegatronConfig, MicsConfig, Strategy, TrainingJob, ZeroStage};
+use mics_core::{
+    simulate, simulate_megatron, MegatronConfig, MicsConfig, Strategy, TrainingJob, ZeroStage,
+};
 use mics_model::TransformerConfig;
 
 fn job(nodes: usize, strategy: Strategy) -> TrainingJob {
@@ -21,18 +23,12 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
 
     for nodes in [2usize, 8] {
-        g.bench_with_input(
-            BenchmarkId::new("simulate_mics", nodes * 8),
-            &nodes,
-            |b, &nodes| {
-                b.iter(|| simulate(&job(nodes, Strategy::Mics(MicsConfig::paper_defaults(8)))))
-            },
-        );
-        g.bench_with_input(
-            BenchmarkId::new("simulate_zero3", nodes * 8),
-            &nodes,
-            |b, &nodes| b.iter(|| simulate(&job(nodes, Strategy::Zero(ZeroStage::Three)))),
-        );
+        g.bench_with_input(BenchmarkId::new("simulate_mics", nodes * 8), &nodes, |b, &nodes| {
+            b.iter(|| simulate(&job(nodes, Strategy::Mics(MicsConfig::paper_defaults(8)))))
+        });
+        g.bench_with_input(BenchmarkId::new("simulate_zero3", nodes * 8), &nodes, |b, &nodes| {
+            b.iter(|| simulate(&job(nodes, Strategy::Zero(ZeroStage::Three))))
+        });
     }
 
     g.bench_function("simulate_megatron/64gpus", |b| {

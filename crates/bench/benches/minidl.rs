@@ -17,9 +17,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| model.loss_and_grad(black_box(&params), &xs, &ys))
     });
 
-    for schedule in
-        [SyncSchedule::Ddp, SyncSchedule::PerMicroStepAllReduce, SyncSchedule::TwoHop]
-    {
+    for schedule in [SyncSchedule::Ddp, SyncSchedule::PerMicroStepAllReduce, SyncSchedule::TwoHop] {
         g.bench_with_input(
             BenchmarkId::new("train_iteration", format!("{schedule:?}")),
             &schedule,
@@ -36,6 +34,7 @@ fn bench(c: &mut Criterion) {
                     quantize: false,
                     loss_scale: mics_minidl::LossScale::None,
                     clip_grad_norm: None,
+                    comm_quant: None,
                 };
                 b.iter(|| train(&setup, schedule).losses.len())
             },

@@ -21,13 +21,9 @@ fn main() {
         &["Model", "TFLOPS/GPU", "% of peak"],
     );
     for model in [TransformerConfig::proprietary_52b(), TransformerConfig::proprietary_100b()] {
-        let r = run(
-            &model.workload(mb),
-            &a100(16),
-            Strategy::Mics(MicsConfig::paper_defaults(128)),
-            s,
-        )
-        .expect("fits");
+        let r =
+            run(&model.workload(mb), &a100(16), Strategy::Mics(MicsConfig::paper_defaults(128)), s)
+                .expect("fits");
         let tf = per_gpu_tflops(&model, r.samples_per_sec, 128, true);
         t.row(vec![model.name.clone(), f1(tf), format!("{:.0}%", tf / A100_PEAK * 100.0)]);
     }
@@ -38,15 +34,22 @@ fn main() {
     let w = model.workload(mb);
     let mut t = Table::new(
         "Case study — 100B weak scaling, MiCS (p=128) vs DeepSpeed ZeRO-3",
-        &["GPUs", "MiCS TFLOPS/GPU", "MiCS weak eff.", "ZeRO-3 TFLOPS/GPU", "ZeRO-3 weak eff.", "MiCS/ZeRO-3"],
+        &[
+            "GPUs",
+            "MiCS TFLOPS/GPU",
+            "MiCS weak eff.",
+            "ZeRO-3 TFLOPS/GPU",
+            "ZeRO-3 weak eff.",
+            "MiCS/ZeRO-3",
+        ],
     );
     let mut mics_base = None;
     let mut z3_base = None;
     for nodes in [16usize, 32, 64] {
         let n = nodes * 8;
         let cluster = a100(nodes);
-        let mics = run(&w, &cluster, Strategy::Mics(MicsConfig::paper_defaults(128)), s)
-            .expect("fits");
+        let mics =
+            run(&w, &cluster, Strategy::Mics(MicsConfig::paper_defaults(128)), s).expect("fits");
         let z3 = run(&w, &cluster, Strategy::Zero(ZeroStage::Three), s).expect("fits");
         let mtf = per_gpu_tflops(&model, mics.samples_per_sec, n, true);
         let ztf = per_gpu_tflops(&model, z3.samples_per_sec, n, true);

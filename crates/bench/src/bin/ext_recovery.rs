@@ -51,8 +51,7 @@ fn main() {
         ],
     );
     for mtbf_hours in [24u64, 8, 2] {
-        let plan_m =
-            poisson_failures(&mics, seed, SimTime::from_secs(mtbf_hours * 3600), horizon);
+        let plan_m = poisson_failures(&mics, seed, SimTime::from_secs(mtbf_hours * 3600), horizon);
         let plan_z = poisson_failures(&z3, seed, SimTime::from_secs(mtbf_hours * 3600), horizon);
         assert_eq!(
             plan_m.fingerprint(),

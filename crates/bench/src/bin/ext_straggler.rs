@@ -11,8 +11,8 @@
 //! {100%, 50%, 25%}; we report throughput relative to the clean cluster.
 
 use mics_bench::{accum_steps, f1, run, v100, Table};
-use mics_core::{MicsConfig, Strategy, ZeroStage};
 use mics_cluster::NodeId;
+use mics_core::{MicsConfig, Strategy, ZeroStage};
 use mics_model::TransformerConfig;
 
 fn main() {
@@ -33,9 +33,8 @@ fn main() {
         let mics = run(&w, &cluster, Strategy::Mics(MicsConfig::paper_defaults(8)), s)
             .expect("fits")
             .samples_per_sec;
-        let z3 = run(&w, &cluster, Strategy::Zero(ZeroStage::Three), s)
-            .expect("fits")
-            .samples_per_sec;
+        let z3 =
+            run(&w, &cluster, Strategy::Zero(ZeroStage::Three), s).expect("fits").samples_per_sec;
         mics_base.get_or_insert(mics);
         z3_base.get_or_insert(z3);
         t.row(vec![

@@ -34,10 +34,7 @@ fn main() {
     // The §3.2 calibration points.
     let b_part = effective_all_gather_bw(8, 8, 512 << 20, &net);
     let b_all = effective_all_gather_bw(64, 8, 512 << 20, &net);
-    println!(
-        "\nB_part (one node)      = {:.1} GB/s   (paper: ≈128 GB/s)",
-        b_part / 1e9
-    );
+    println!("\nB_part (one node)      = {:.1} GB/s   (paper: ≈128 GB/s)", b_part / 1e9);
     println!("B_all  (64 GPUs/8 nodes) = {:.1} GB/s   (paper: ≈11 GB/s)", b_all / 1e9);
     println!("cost ratio bound B_part/B_all = {:.1} (paper: up to 11.6)", b_part / b_all);
 }

@@ -42,10 +42,10 @@ fn main() {
             let cluster = v100(nodes);
             let mics = run(&w8, &cluster, Strategy::Mics(MicsConfig::paper_defaults(p)), s8)
                 .map(|r| r.samples_per_sec);
-            let z3 = run(&w8, &cluster, Strategy::Zero(ZeroStage::Three), s8)
-                .map(|r| r.samples_per_sec);
-            let z2 = run(&w4, &cluster, Strategy::Zero(ZeroStage::Two), s4)
-                .map(|r| r.samples_per_sec);
+            let z3 =
+                run(&w8, &cluster, Strategy::Zero(ZeroStage::Three), s8).map(|r| r.samples_per_sec);
+            let z2 =
+                run(&w4, &cluster, Strategy::Zero(ZeroStage::Two), s4).map(|r| r.samples_per_sec);
             if let (None, Ok(m)) = (&base, &mics) {
                 base = Some((n, *m));
             }
@@ -63,9 +63,6 @@ fn main() {
                 ratio,
             ]);
         }
-        t.finish(&format!(
-            "fig06_{}",
-            model.name.to_lowercase().replace(' ', "_")
-        ));
+        t.finish(&format!("fig06_{}", model.name.to_lowercase().replace(' ', "_")));
     }
 }

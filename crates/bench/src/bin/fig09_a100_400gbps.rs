@@ -5,7 +5,7 @@
 //! 100 Gbps cluster (faster networks mitigate communication overheads), and
 //! 96.7% scaling efficiency from 16 → 64 GPUs for BERT 15B.
 
-use mics_bench::{accum_steps, cell, f1, run, a100, Table};
+use mics_bench::{a100, accum_steps, cell, f1, run, Table};
 use mics_core::{MicsConfig, Strategy, ZeroStage};
 use mics_model::TransformerConfig;
 
@@ -27,8 +27,8 @@ fn main() {
             let cluster = a100(nodes);
             let mics = run(&w, &cluster, Strategy::Mics(MicsConfig::paper_defaults(p)), s)
                 .map(|r| r.samples_per_sec);
-            let z3 = run(&w, &cluster, Strategy::Zero(ZeroStage::Three), s)
-                .map(|r| r.samples_per_sec);
+            let z3 =
+                run(&w, &cluster, Strategy::Zero(ZeroStage::Three), s).map(|r| r.samples_per_sec);
             if base.is_none() {
                 if let Ok(m) = mics {
                     base = Some(m / n as f64);

@@ -30,8 +30,7 @@ fn main() {
         // Per-GPU batch fixed at 8; one step per batch (s = 1).
         let mics = run(&w, &cluster, Strategy::Mics(MicsConfig::paper_defaults(8)), 1)
             .map(|r| r.samples_per_sec);
-        let z3 =
-            run(&w, &cluster, Strategy::Zero(ZeroStage::Three), 1).map(|r| r.samples_per_sec);
+        let z3 = run(&w, &cluster, Strategy::Zero(ZeroStage::Three), 1).map(|r| r.samples_per_sec);
         let z2 = run(&w, &cluster, Strategy::Zero(ZeroStage::Two), 1).map(|r| r.samples_per_sec);
         let ratio = match (&mics, &z3) {
             (Ok(a), Ok(b)) => format!("{:.2}×", a / b),

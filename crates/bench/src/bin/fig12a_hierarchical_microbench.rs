@@ -11,8 +11,8 @@ use mics_cluster::InstanceType;
 use mics_collectives::bandwidth::NetParams;
 use mics_collectives::cost::{all_gather_flat, all_gather_hierarchical};
 use mics_collectives::HierarchicalLayout;
-use mics_dataplane::{hierarchical_all_gather, run_ranks};
 use mics_dataplane::hierarchical::split_hierarchical;
+use mics_dataplane::{hierarchical_all_gather, run_ranks};
 
 fn main() {
     let net = NetParams::from_instance(&InstanceType::p3dn_24xlarge());

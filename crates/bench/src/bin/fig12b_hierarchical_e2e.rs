@@ -25,9 +25,8 @@ fn main() {
             .samples_per_sec;
         let mut no_hier_cfg = MicsConfig::paper_defaults(16);
         no_hier_cfg.hierarchical_allgather = false;
-        let without = run(&w, &cluster, Strategy::Mics(no_hier_cfg), s)
-            .expect("fits")
-            .samples_per_sec;
+        let without =
+            run(&w, &cluster, Strategy::Mics(no_hier_cfg), s).expect("fits").samples_per_sec;
         let with = run(&w, &cluster, Strategy::Mics(MicsConfig::paper_defaults(16)), s)
             .expect("fits")
             .samples_per_sec;

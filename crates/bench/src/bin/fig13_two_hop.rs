@@ -27,12 +27,7 @@ fn main() {
         let mut cfg = MicsConfig::paper_defaults(8);
         cfg.two_hop_sync = false;
         let off = run(&w, &cluster, Strategy::Mics(cfg), s).expect("fits").samples_per_sec;
-        t.row(vec![
-            n.to_string(),
-            f1(on),
-            f1(off),
-            format!("{:+.1}%", (on / off - 1.0) * 100.0),
-        ]);
+        t.row(vec![n.to_string(), f1(on), f1(off), format!("{:+.1}%", (on / off - 1.0) * 100.0)]);
     }
     t.finish("fig13_two_hop");
     println!("\n(paper: 11% to 24.9% improvement, growing with cluster size)");

@@ -22,9 +22,8 @@ fn main() {
         let n = nodes * 8;
         let s = accum_steps(n, 8, 8192);
         let cluster = v100(nodes);
-        let ds = run(&w, &cluster, Strategy::Zero(ZeroStage::Three), s)
-            .expect("fits")
-            .samples_per_sec;
+        let ds =
+            run(&w, &cluster, Strategy::Zero(ZeroStage::Three), s).expect("fits").samples_per_sec;
         let mics_z3 = run(&w, &cluster, Strategy::Mics(MicsConfig::zero3_with_impl_opts(n)), s)
             .expect("fits")
             .samples_per_sec;

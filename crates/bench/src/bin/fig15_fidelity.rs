@@ -23,6 +23,7 @@ fn main() {
         quantize: true, // mixed-precision emulation, as in the paper
         loss_scale: mics_minidl::LossScale::Dynamic { init: 65536.0, growth_interval: 2000 },
         clip_grad_norm: Some(1.0),
+        comm_quant: None,
     };
     println!(
         "training {} params on {} thread-ranks (p={}, s={}, mixed precision)",
@@ -88,6 +89,7 @@ fn main() {
         quantize: true,
         loss_scale: mics_minidl::LossScale::Dynamic { init: 65536.0, growth_interval: 2000 },
         clip_grad_norm: Some(1.0),
+        comm_quant: None,
     };
     println!(
         "

@@ -15,16 +15,7 @@ fn main() {
     ];
     let mut t = Table::new(
         "Table 1 — model structures (sequence length 512 for all models)",
-        &[
-            "Model",
-            "Hidden",
-            "Intermediate",
-            "#Layers",
-            "#Heads",
-            "Vocab",
-            "Params",
-            "TFLOPs/seq",
-        ],
+        &["Model", "Hidden", "Intermediate", "#Layers", "#Heads", "Vocab", "Params", "TFLOPs/seq"],
     );
     for m in &models {
         t.row(vec![

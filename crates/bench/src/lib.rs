@@ -81,10 +81,7 @@ impl ToJson for Table {
             (
                 "rows",
                 Json::Arr(
-                    self.rows
-                        .iter()
-                        .map(|r| Json::arr(r.iter().map(String::as_str)))
-                        .collect(),
+                    self.rows.iter().map(|r| Json::arr(r.iter().map(String::as_str))).collect(),
                 ),
             ),
         ])

@@ -120,9 +120,7 @@ pub fn lookup_model(name: &str, micro_batch: usize) -> Result<WorkloadSpec, CliE
         "100b" => TransformerConfig::proprietary_100b(),
         "wideresnet-3b" => return Ok(WideResNetConfig::wrn_3b().workload(micro_batch)),
         other => {
-            return Err(err(format!(
-                "unknown model '{other}'; run `mics-sim models` for the list"
-            )))
+            return Err(err(format!("unknown model '{other}'; run `mics-sim models` for the list")))
         }
     };
     Ok(cfg.workload(micro_batch))
@@ -395,23 +393,21 @@ mod tests {
 
     #[test]
     fn execute_estimate_reports_fit_and_oom() {
-        let fit = execute(&parse_args(&argv(
-            "estimate bert-10b --nodes 2 --strategy mics:8",
-        )).unwrap())
-        .unwrap();
+        let fit =
+            execute(&parse_args(&argv("estimate bert-10b --nodes 2 --strategy mics:8")).unwrap())
+                .unwrap();
         assert!(fit.contains("fits"), "{fit}");
-        let oom = execute(&parse_args(&argv(
-            "estimate bert-50b --nodes 2 --strategy mics:16",
-        )).unwrap())
-        .unwrap();
+        let oom =
+            execute(&parse_args(&argv("estimate bert-50b --nodes 2 --strategy mics:16")).unwrap())
+                .unwrap();
         assert!(oom.contains("out of memory"), "{oom}");
     }
 
     #[test]
     fn execute_simulate_end_to_end() {
-        let out = execute(&parse_args(&argv(
-            "simulate bert-10b --nodes 2 --strategy mics:8 --accum 2",
-        )).unwrap())
+        let out = execute(
+            &parse_args(&argv("simulate bert-10b --nodes 2 --strategy mics:8 --accum 2")).unwrap(),
+        )
         .unwrap();
         assert!(out.contains("samples/sec"), "{out}");
         assert!(out.contains("TFLOPS/GPU"));

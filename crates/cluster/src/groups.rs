@@ -201,20 +201,14 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_sizes() {
-        assert!(matches!(
-            GroupLayout::new(16, 8, 0),
-            Err(GroupLayoutError::SizeOutOfRange { .. })
-        ));
+        assert!(matches!(GroupLayout::new(16, 8, 0), Err(GroupLayoutError::SizeOutOfRange { .. })));
         assert!(matches!(
             GroupLayout::new(16, 8, 32),
             Err(GroupLayoutError::SizeOutOfRange { .. })
         ));
         assert!(matches!(GroupLayout::new(16, 8, 3), Err(GroupLayoutError::NotDivisor { .. })));
         // p=6 divides n=24 ranks? 24 % 6 == 0, but 6 vs k=8: misaligned.
-        assert!(matches!(
-            GroupLayout::new(24, 8, 6),
-            Err(GroupLayoutError::NodeMisaligned { .. })
-        ));
+        assert!(matches!(GroupLayout::new(24, 8, 6), Err(GroupLayoutError::NodeMisaligned { .. })));
     }
 
     #[test]

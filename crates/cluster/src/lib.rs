@@ -332,13 +332,12 @@ mod tests {
     fn degradation_window_slows_inter_node_transfer() {
         // p3dn NIC = 12.5 GB/s. Send 2.5 GB: healthy time is 200 ms.
         let healthy = ClusterSpec::new(InstanceType::p3dn_24xlarge(), 2);
-        let degraded = ClusterSpec::new(InstanceType::p3dn_24xlarge(), 2)
-            .with_degradation_window(
-                NodeId(0),
-                SimTime::from_millis(100),
-                SimTime::from_millis(100),
-                0.25,
-            );
+        let degraded = ClusterSpec::new(InstanceType::p3dn_24xlarge(), 2).with_degradation_window(
+            NodeId(0),
+            SimTime::from_millis(100),
+            SimTime::from_millis(100),
+            0.25,
+        );
         let run = |spec: &ClusterSpec| {
             let mut sim = Sim::new();
             let fabric = spec.build_fabric_with_faults(&mut sim);

@@ -118,11 +118,7 @@ mod tests {
         let net = p3dn_net();
         // B_all ≈ 11 GB/s measured across 8 nodes (§3.2). Accept 9–12.5.
         let b_all = effective_all_gather_bw(64, 8, 512 * MB, &net);
-        assert!(
-            (9e9..=12.5e9).contains(&b_all),
-            "B_all calibration off: {:.2} GB/s",
-            b_all / 1e9
-        );
+        assert!((9e9..=12.5e9).contains(&b_all), "B_all calibration off: {:.2} GB/s", b_all / 1e9);
         // B_part ≈ 128 GB/s within one node. Accept 100–160.
         let b_part = effective_all_gather_bw(8, 8, 512 * MB, &net);
         assert!(

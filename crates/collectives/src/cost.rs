@@ -361,8 +361,7 @@ mod tests {
         let n = net();
         for m in [2 * MB, 16 * MB, 64 * MB, 128 * MB, 256 * MB] {
             let flat = all_gather_flat(16, 8, m, &n).serial_time(&n);
-            let hier =
-                all_gather_hierarchical(16, 8, m, &n, true).unwrap().serial_time(&n);
+            let hier = all_gather_hierarchical(16, 8, m, &n, true).unwrap().serial_time(&n);
             assert!(hier < flat, "m = {m}: hier {hier} vs flat {flat}");
         }
     }

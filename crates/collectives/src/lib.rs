@@ -17,9 +17,11 @@
 #![warn(missing_docs)]
 
 pub mod bandwidth;
+pub mod compress;
 pub mod cost;
 pub mod layout;
 
 pub use bandwidth::{algorithm_bandwidth, bus_bandwidth, NetParams};
+pub use compress::CompressionModel;
 pub use cost::{CollectiveCost, LinkClass, Phase};
 pub use layout::HierarchicalLayout;

@@ -1,5 +1,6 @@
 //! Strategy configuration: MiCS knobs and the baseline zoo.
 
+use mics_compress::CompressionConfig;
 use mics_simnet::SimTime;
 
 /// Which data-parallel system to emulate.
@@ -12,6 +13,10 @@ pub enum Strategy {
     /// (coarse-grained stream synchronization, on-the-fly fetch decisions,
     /// dynamic allocator — the §4 baseline).
     Zero(ZeroStage),
+    /// ZeRO-3 with ZeRO++-style quantized collectives (qwZ/qgZ): identical
+    /// execution plan to [`Strategy::Zero`] at stage 3, but parameter
+    /// gathers and/or gradient reductions travel compressed.
+    ZeroCompressed(CompressionConfig),
     /// MiCS (this paper).
     Mics(MicsConfig),
 }
@@ -50,6 +55,9 @@ pub struct MicsConfig {
     /// §4 pre-allocated contiguous memory pools (off = dynamic allocator
     /// with fragmentation overhead).
     pub arena_memory: bool,
+    /// ZeRO++-style quantized collectives (`None` = full-precision wire, the
+    /// paper's configuration).
+    pub compression: Option<CompressionConfig>,
 }
 
 impl MicsConfig {
@@ -64,7 +72,13 @@ impl MicsConfig {
             cached_decisions: true,
             coalesced_comm: true,
             arena_memory: true,
+            compression: None,
         }
+    }
+
+    /// The full MiCS system with quantized collectives layered on top.
+    pub fn compressed(partition_size: usize, compression: CompressionConfig) -> Self {
+        MicsConfig { compression: Some(compression), ..Self::paper_defaults(partition_size) }
     }
 
     /// "MiCS (ZeRO-3)" from §5.3 / Figure 14: partition over all `n`
@@ -73,11 +87,7 @@ impl MicsConfig {
     /// p = n) but keep the §4 implementation optimizations — isolating
     /// §4 from §3.
     pub fn zero3_with_impl_opts(n: usize) -> Self {
-        MicsConfig {
-            partition_size: n,
-            hierarchical_allgather: false,
-            ..Self::paper_defaults(n)
-        }
+        MicsConfig { partition_size: n, hierarchical_allgather: false, ..Self::paper_defaults(n) }
     }
 }
 
@@ -104,6 +114,8 @@ pub struct DpPlan {
     pub coalesced: bool,
     /// Arena memory (affects the fragmentation factor of the memory model).
     pub arena_memory: bool,
+    /// Quantized-collective configuration (`None` = fp32/fp16 wire).
+    pub compression: Option<CompressionConfig>,
 }
 
 /// Gradient synchronization performed inside each micro-step.
@@ -144,6 +156,7 @@ impl Strategy {
                 decision_overhead: fast_host,
                 coalesced: false,
                 arena_memory: false,
+                compression: None,
             },
             Strategy::Zero(stage) => {
                 let (p_params, p_grads, p_opt, micro) = match stage {
@@ -163,7 +176,13 @@ impl Strategy {
                     decision_overhead: slow_host,
                     coalesced: false,
                     arena_memory: false,
+                    compression: None,
                 }
+            }
+            Strategy::ZeroCompressed(c) => {
+                let mut plan = Strategy::Zero(ZeroStage::Three).plan(n);
+                plan.compression = Some(*c);
+                plan
             }
             Strategy::Mics(cfg) => {
                 assert!(
@@ -185,6 +204,7 @@ impl Strategy {
                     decision_overhead: if cfg.cached_decisions { fast_host } else { slow_host },
                     coalesced: cfg.coalesced_comm,
                     arena_memory: cfg.arena_memory,
+                    compression: cfg.compression,
                 }
             }
         }
@@ -197,7 +217,11 @@ impl Strategy {
             Strategy::Zero(ZeroStage::One) => "ZeRO-1".into(),
             Strategy::Zero(ZeroStage::Two) => "ZeRO-2".into(),
             Strategy::Zero(ZeroStage::Three) => "ZeRO-3".into(),
-            Strategy::Mics(c) => format!("MiCS(p={})", c.partition_size),
+            Strategy::ZeroCompressed(c) => format!("ZeRO-3+{}", c.label()),
+            Strategy::Mics(c) => match &c.compression {
+                Some(q) => format!("MiCS(p={})+{}", c.partition_size, q.label()),
+                None => format!("MiCS(p={})", c.partition_size),
+            },
         }
     }
 }
@@ -259,5 +283,25 @@ mod tests {
         assert_eq!(Strategy::Ddp.label(), "DDP");
         assert_eq!(Strategy::Zero(ZeroStage::Three).label(), "ZeRO-3");
         assert_eq!(Strategy::Mics(MicsConfig::paper_defaults(16)).label(), "MiCS(p=16)");
+    }
+
+    #[test]
+    fn compression_knobs_flow_into_plan_and_label() {
+        use mics_compress::{CompressionConfig, QuantScheme};
+        let c = CompressionConfig::both(QuantScheme::int8());
+        let zq = Strategy::ZeroCompressed(c);
+        assert_eq!(zq.label(), "ZeRO-3+int8/128·wg");
+        let plan = zq.plan(16);
+        // Identical plan to ZeRO-3 except for the compressed wire.
+        let z3 = Strategy::Zero(ZeroStage::Three).plan(16);
+        assert_eq!((plan.p_params, plan.p_grads, plan.p_opt), (16, 16, 16));
+        assert_eq!(plan.micro_sync, z3.micro_sync);
+        assert_eq!(plan.compression, Some(c));
+        assert_eq!(z3.compression, None);
+
+        let mics = Strategy::Mics(MicsConfig::compressed(8, c));
+        assert_eq!(mics.label(), "MiCS(p=8)+int8/128·wg");
+        assert_eq!(mics.plan(64).compression, Some(c));
+        assert_eq!(Strategy::Mics(MicsConfig::paper_defaults(8)).plan(64).compression, None);
     }
 }

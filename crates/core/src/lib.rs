@@ -54,15 +54,16 @@ pub mod report;
 pub mod tuner;
 
 pub use config::{MicsConfig, Strategy, ZeroStage};
+pub use dp::simulate_dp_traced;
 pub use megatron::{simulate_megatron, MegatronConfig, MegatronReport};
 pub use memory::{MemoryEstimate, OomError};
-pub use dp::simulate_dp_traced;
+pub use mics_compress::{CompressionConfig, CompressionScope, QuantScheme};
 pub use recovery::{
-    policy_for, poisson_failures, recovery_time, simulate_with_failures, RecoveryConfig,
+    poisson_failures, policy_for, recovery_time, simulate_with_failures, RecoveryConfig,
     RecoveryPolicy, RecoveryReport, RecoveryTime,
 };
 pub use report::RunReport;
-pub use tuner::{tune, TuneResult};
+pub use tuner::{tune, tune_with_compression, TuneResult};
 
 use mics_cluster::ClusterSpec;
 use mics_model::WorkloadSpec;

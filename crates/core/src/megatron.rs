@@ -88,11 +88,7 @@ pub fn simulate_megatron(
     let pp = cfg.pipeline_parallel;
     assert!(t >= 1 && t <= k, "tensor parallelism must stay within a node (paper §5.1.3)");
     assert!(model.layers.is_multiple_of(pp), "layer count must divide pipeline size");
-    assert!(
-        n.is_multiple_of(t * pp),
-        "cluster size {n} not divisible by TP×PP = {}",
-        t * pp
-    );
+    assert!(n.is_multiple_of(t * pp), "cluster size {n} not divisible by TP×PP = {}", t * pp);
     let d = n / (t * pp); // data-parallel replicas
     let m = cfg.global_batch / (d * cfg.micro_batch); // micro-batches per pipeline
     assert!(m >= 1, "global batch too small for this parallelization");
@@ -207,10 +203,8 @@ mod tests {
         // TP=8 pays heavy per-layer all-reduce cost, deep pipeline with
         // many micro-batches keeps the bubble small.
         let c = cluster(8);
-        let r1 = simulate_megatron(&model(), &c, &MegatronConfig::table2_config1(8, 4096))
-            .unwrap();
-        let r3 = simulate_megatron(&model(), &c, &MegatronConfig::table2_config3(8, 4096))
-            .unwrap();
+        let r1 = simulate_megatron(&model(), &c, &MegatronConfig::table2_config1(8, 4096)).unwrap();
+        let r3 = simulate_megatron(&model(), &c, &MegatronConfig::table2_config3(8, 4096)).unwrap();
         let gain = r3.samples_per_sec / r1.samples_per_sec;
         assert!(gain > 1.1, "config3/config1 = {gain:.2}");
     }
@@ -229,16 +223,14 @@ mod tests {
     #[test]
     fn pp1_has_no_bubble() {
         let c = cluster(8);
-        let r = simulate_megatron(&model(), &c, &MegatronConfig::table2_config1(8, 4096))
-            .unwrap();
+        let r = simulate_megatron(&model(), &c, &MegatronConfig::table2_config1(8, 4096)).unwrap();
         assert_eq!(r.bubble_fraction, 0.0);
     }
 
     #[test]
     fn dp_replicas_computed_from_cluster() {
         let c = cluster(8); // 64 GPUs
-        let r = simulate_megatron(&model(), &c, &MegatronConfig::table2_config2(8, 4096))
-            .unwrap();
+        let r = simulate_megatron(&model(), &c, &MegatronConfig::table2_config2(8, 4096)).unwrap();
         assert_eq!(r.data_parallel, 64 / 16);
     }
 

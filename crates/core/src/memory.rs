@@ -179,8 +179,7 @@ mod tests {
         let fits = |cfg: &TransformerConfig, nodes_in_group: usize| {
             let cluster = v100_cluster(16);
             let p = nodes_in_group * 8;
-            let plan = Strategy::Mics(MicsConfig::paper_defaults(p))
-                .plan(cluster.total_devices());
+            let plan = Strategy::Mics(MicsConfig::paper_defaults(p)).plan(cluster.total_devices());
             check_memory(&cfg.workload(8), &cluster, &plan, "MiCS").is_ok()
         };
         assert!(fits(&TransformerConfig::bert_10b(), 1));
@@ -282,4 +281,3 @@ mod tests {
         assert!(check_memory(&w, &v100, &plan, "MiCS").is_err());
     }
 }
-

@@ -229,12 +229,8 @@ impl SimCluster {
     pub fn run_traced(mut self) -> (SimTime, SimTime, SimTime, String) {
         let stats = self.sim.run().expect("iteration program must not deadlock");
         let compute_busy: SimTime = self.compute.iter().map(|s| stats.stream_busy[s.0]).sum();
-        let comm_busy: SimTime = self
-            .gather
-            .iter()
-            .chain(self.reduce.iter())
-            .map(|s| stats.stream_busy[s.0])
-            .sum();
+        let comm_busy: SimTime =
+            self.gather.iter().chain(self.reduce.iter()).map(|s| stats.stream_busy[s.0]).sum();
         let json = mics_simnet::chrome_trace_json(&stats.trace, &stats.stream_names);
         (stats.makespan, compute_busy, comm_busy, json)
     }

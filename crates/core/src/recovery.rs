@@ -175,10 +175,8 @@ fn off_node_donor(job: &TrainingJob, lost: Rank) -> Option<Rank> {
 pub fn policy_for(job: &TrainingJob) -> RecoveryPolicy {
     let n = job.cluster.total_devices();
     let p_opt = job.strategy.plan(n).p_opt;
-    let all_have_donors = job
-        .cluster
-        .ranks_on_node(NodeId(0))
-        .all(|r| off_node_donor(job, r).is_some());
+    let all_have_donors =
+        job.cluster.ranks_on_node(NodeId(0)).all(|r| off_node_donor(job, r).is_some());
     if p_opt < n && all_have_donors {
         RecoveryPolicy::PeerCopy { replication: n / p_opt }
     } else {
@@ -272,11 +270,9 @@ pub fn simulate_with_failures(
     }
 
     let interval = match rec.policy {
-        RecoveryPolicy::PeerCopy { .. } => {
-            SimTime::from_nanos(
-                cfg.checkpoint_interval.as_nanos() * cfg.peer_copy_ckpt_dilation.max(1) as u64,
-            )
-        }
+        RecoveryPolicy::PeerCopy { .. } => SimTime::from_nanos(
+            cfg.checkpoint_interval.as_nanos() * cfg.peer_copy_ckpt_dilation.max(1) as u64,
+        ),
         RecoveryPolicy::CheckpointReload => cfg.checkpoint_interval,
     };
     let write = SimTime::from_secs_f64(
@@ -369,7 +365,8 @@ mod tests {
         // reload plus redone work.
         let cfg = RecoveryConfig::default();
         let iter = SimTime::from_secs(2);
-        let mics = recovery_time(&job(8, Strategy::Mics(MicsConfig::paper_defaults(8))), &cfg, iter);
+        let mics =
+            recovery_time(&job(8, Strategy::Mics(MicsConfig::paper_defaults(8))), &cfg, iter);
         let z3 = recovery_time(&job(8, Strategy::Zero(ZeroStage::Three)), &cfg, iter);
         assert!(
             mics.total() < z3.total(),

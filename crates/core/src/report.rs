@@ -27,6 +27,9 @@ pub struct RunReport {
     /// busy (can exceed 1.0 in aggregate when lanes overlap; normalized per
     /// device here).
     pub comm_fraction: f64,
+    /// Inter-node wire volume per node for one iteration — the quantity
+    /// hierarchical communication (§3.3) and quantized collectives shrink.
+    pub nic_bytes_per_node: u64,
 }
 
 impl RunReport {
@@ -64,6 +67,7 @@ mod tests {
             hierarchical_used: false,
             compute_fraction: 0.5,
             comm_fraction: 0.4,
+            nic_bytes_per_node: 0,
         };
         assert_eq!(r.samples_per_sec_per_gpu(16), 4.0);
         assert_eq!(r.tflops_per_gpu(), 50.0);

@@ -14,6 +14,7 @@ use crate::memory::{check_memory, OomError};
 use crate::report::RunReport;
 use crate::TrainingJob;
 use mics_cluster::ClusterSpec;
+use mics_compress::CompressionConfig;
 use mics_model::WorkloadSpec;
 
 /// One evaluated candidate configuration.
@@ -86,6 +87,19 @@ pub fn tune(
     cluster: &ClusterSpec,
     accum_steps: usize,
 ) -> Result<TuneResult, OomError> {
+    tune_with_compression(workload, cluster, accum_steps, &[None])
+}
+
+/// Like [`tune`], additionally sweeping the given quantized-collective
+/// options (use `&[None]` for the full-precision search, or e.g.
+/// `&[None, Some(CompressionConfig::both(QuantScheme::int8()))]` to let the
+/// tuner decide whether compression pays off on this cluster).
+pub fn tune_with_compression(
+    workload: &WorkloadSpec,
+    cluster: &ClusterSpec,
+    accum_steps: usize,
+    compression_options: &[Option<CompressionConfig>],
+) -> Result<TuneResult, OomError> {
     let mut explored = Vec::new();
     let mut best: Option<(MicsConfig, RunReport)> = None;
     let mut first_oom: Option<OomError> = None;
@@ -96,33 +110,35 @@ pub fn tune(
             if hierarchical && !spans_nodes {
                 continue; // hierarchical comm is a no-op for intra-node groups
             }
-            let mut config = MicsConfig::paper_defaults(p);
-            config.hierarchical_allgather = hierarchical;
-            // Cheap memory pre-check before paying for a simulation.
-            let plan = Strategy::Mics(config.clone()).plan(cluster.total_devices());
-            if let Err(e) = check_memory(workload, cluster, &plan, "tuner") {
-                if first_oom.is_none() {
-                    first_oom = Some(e.clone());
+            for &compression in compression_options {
+                let mut config = MicsConfig::paper_defaults(p);
+                config.hierarchical_allgather = hierarchical;
+                config.compression = compression;
+                // Cheap memory pre-check before paying for a simulation.
+                let plan = Strategy::Mics(config.clone()).plan(cluster.total_devices());
+                if let Err(e) = check_memory(workload, cluster, &plan, "tuner") {
+                    if first_oom.is_none() {
+                        first_oom = Some(e.clone());
+                    }
+                    explored.push(Candidate { config, outcome: Err(e) });
+                    continue;
                 }
-                explored.push(Candidate { config, outcome: Err(e) });
-                continue;
-            }
-            let job = TrainingJob {
-                workload: workload.clone(),
-                cluster: cluster.clone(),
-                strategy: Strategy::Mics(config.clone()),
-                accum_steps,
-            };
-            let outcome = simulate_dp(&job);
-            if let Ok(r) = &outcome {
-                let better = best.as_ref().is_none_or(|(_, b)| {
-                    r.samples_per_sec > b.samples_per_sec
-                });
-                if better {
-                    best = Some((config.clone(), r.clone()));
+                let job = TrainingJob {
+                    workload: workload.clone(),
+                    cluster: cluster.clone(),
+                    strategy: Strategy::Mics(config.clone()),
+                    accum_steps,
+                };
+                let outcome = simulate_dp(&job);
+                if let Ok(r) = &outcome {
+                    let better =
+                        best.as_ref().is_none_or(|(_, b)| r.samples_per_sec > b.samples_per_sec);
+                    if better {
+                        best = Some((config.clone(), r.clone()));
+                    }
                 }
+                explored.push(Candidate { config, outcome });
             }
-            explored.push(Candidate { config, outcome });
         }
     }
 
@@ -175,9 +191,31 @@ mod tests {
     #[test]
     fn tuner_reports_oom_when_nothing_fits() {
         // 100B cannot fit on two V100 nodes no matter the configuration.
-        let err = tune(&TransformerConfig::proprietary_100b().workload(8), &v100(2), 4)
-            .unwrap_err();
+        let err =
+            tune(&TransformerConfig::proprietary_100b().workload(8), &v100(2), 4).unwrap_err();
         assert!(err.required > err.available);
+    }
+
+    #[test]
+    fn tuner_adopts_compression_when_it_wins() {
+        use mics_compress::{CompressionConfig, QuantScheme};
+        // BERT 15B forces 2-node partition groups: inter-node gathers
+        // dominate and int8 wires win, so a compression-aware search must
+        // pick the quantized candidate (and explore both).
+        let options = [None, Some(CompressionConfig::both(QuantScheme::int8()))];
+        let result = tune_with_compression(
+            &TransformerConfig::bert_15b().workload(8),
+            &v100(4),
+            4,
+            &options,
+        )
+        .unwrap();
+        assert!(result.best.compression.is_some(), "winner: {:?}", result.best);
+        assert!(result.explored.iter().any(|c| c.config.compression.is_none()));
+        // And plain tune() is exactly the None-only search.
+        let plain = tune(&TransformerConfig::bert_15b().workload(8), &v100(4), 4).unwrap();
+        assert!(plain.best.compression.is_none());
+        assert!(result.report.samples_per_sec >= plain.report.samples_per_sec);
     }
 
     #[test]

@@ -122,9 +122,8 @@ pub fn hierarchical_reduce_scatter(
     let k = layout.per_node();
 
     // Stage 1: one intra-node reduce-scatter per k-chunk span, batched.
-    let spans: Vec<&[f32]> = (0..layout.nodes())
-        .map(|j| &full[j * k * chunk..(j + 1) * k * chunk])
-        .collect();
+    let spans: Vec<&[f32]> =
+        (0..layout.nodes()).map(|j| &full[j * k * chunk..(j + 1) * k * chunk]).collect();
     let partials = node.reduce_scatter_coalesced(&spans);
     // partials[j] = node-partial sum of chunk j·k + local — already in
     // channel (node) order; concatenate and reduce across nodes.
@@ -166,8 +165,7 @@ mod tests {
         run_ranks(p, move |mut comm| {
             let rank = comm.rank();
             let (channel, node) = split_hierarchical(&mut comm, &layout);
-            let shard: Vec<f32> =
-                (0..chunk).map(|i| (rank * 1000 + i) as f32).collect();
+            let shard: Vec<f32> = (0..chunk).map(|i| (rank * 1000 + i) as f32).collect();
             if naive {
                 naive_two_stage_all_gather(&channel, &node, &layout, &shard)
             } else {
@@ -215,14 +213,12 @@ mod tests {
         let hier = run_ranks(p, |mut comm| {
             let rank = comm.rank();
             let (channel, node) = split_hierarchical(&mut comm, &layout);
-            let shard: Vec<f32> =
-                (0..chunk).map(|i| ((rank * 31 + i) as f32).sin()).collect();
+            let shard: Vec<f32> = (0..chunk).map(|i| ((rank * 31 + i) as f32).sin()).collect();
             hierarchical_all_gather(&channel, &node, &layout, &shard)
         });
         let flat = run_ranks(p, |comm| {
             let rank = comm.rank();
-            let shard: Vec<f32> =
-                (0..chunk).map(|i| ((rank * 31 + i) as f32).sin()).collect();
+            let shard: Vec<f32> = (0..chunk).map(|i| ((rank * 31 + i) as f32).sin()).collect();
             comm.all_gather(&shard)
         });
         assert_eq!(hier, flat);

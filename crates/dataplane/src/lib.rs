@@ -59,9 +59,14 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 pub mod hierarchical;
+pub mod quantized;
 
 pub use hierarchical::{
     hierarchical_all_gather, hierarchical_reduce_scatter, naive_two_stage_all_gather,
+};
+pub use quantized::{
+    quantized_all_gather, quantized_all_reduce, quantized_hierarchical_all_gather,
+    quantized_hierarchical_reduce_scatter, quantized_reduce_scatter,
 };
 
 /// Rendezvous waits detect an absent rank after this long unless
@@ -438,11 +443,7 @@ impl Communicator {
                 let len0 = slots[0][part].len();
                 let mut buf = Vec::with_capacity(len0 * self.inner.world);
                 for (r, s) in slots.iter().enumerate() {
-                    assert_eq!(
-                        s.len(),
-                        nparts,
-                        "rank {r} batched a different number of buffers"
-                    );
+                    assert_eq!(s.len(), nparts, "rank {r} batched a different number of buffers");
                     assert_eq!(s[part].len(), len0, "rank {r} part {part} length mismatch");
                     buf.extend_from_slice(&s[part]);
                 }
@@ -1021,7 +1022,8 @@ mod tests {
                     other => panic!("expected RankFailed, got {other}"),
                 };
                 let shrunk = c.remove_rank(failed).expect("rebuild must succeed");
-                let gathered = shrunk.try_all_gather(&[c.rank() as f32]).expect("shrunk group works");
+                let gathered =
+                    shrunk.try_all_gather(&[c.rank() as f32]).expect("shrunk group works");
                 (shrunk.rank(), shrunk.world(), gathered)
             });
             for (rank, r) in results.into_iter().enumerate() {

@@ -27,19 +27,20 @@
 pub mod adam;
 pub mod checkpoint;
 pub mod data;
+pub mod lm;
 pub mod nn;
 pub mod scaler;
 pub mod train;
 pub mod transformer;
-pub mod lm;
 
 pub use adam::Adam;
 pub use checkpoint::{load as load_checkpoint, save as save_checkpoint, TrainState};
+pub use lm::{train_lm, LmSetup};
+pub use mics_compress::{CompressionConfig, CompressionScope, QuantScheme};
 pub use nn::Mlp;
 pub use scaler::{LossScale, ScalerSnapshot};
-pub use lm::{train_lm, LmSetup};
-pub use transformer::TinyTransformer;
 pub use train::{
     resume_from, train, train_resumable, CheckpointSink, SyncSchedule, TrainCheckpoint,
     TrainOutcome, TrainSetup,
 };
+pub use transformer::TinyTransformer;

@@ -38,6 +38,8 @@ pub struct LmSetup {
     pub loss_scale: LossScale,
     /// Optional global-norm gradient clip.
     pub clip_grad_norm: Option<f32>,
+    /// Quantized-communication configuration (`None` = exact wire).
+    pub comm_quant: Option<mics_compress::CompressionConfig>,
 }
 
 /// Deterministic micro-batch of token sequences for
@@ -88,6 +90,7 @@ pub fn train_lm(setup: &LmSetup, schedule: SyncSchedule) -> TrainOutcome {
         quantize: setup.quantize,
         loss_scale: setup.loss_scale,
         clip_grad_norm: setup.clip_grad_norm,
+        comm_quant: setup.comm_quant,
     };
     train_generic(&hp, schedule, init, move |params, iter, micro, rank| {
         let toks = token_batch(&model, seed, iter, micro, rank, micro_batch);
@@ -112,6 +115,7 @@ mod tests {
             quantize: false,
             loss_scale: LossScale::None,
             clip_grad_norm: None,
+            comm_quant: None,
         }
     }
 

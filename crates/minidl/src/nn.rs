@@ -49,10 +49,7 @@ impl Mlp {
 
     /// Flat offset of layer `l`'s weights (biases follow immediately).
     fn layer_offset(&self, l: usize) -> usize {
-        self.dims[..l + 1]
-            .windows(2)
-            .map(|w| w[1] * w[0] + w[1])
-            .sum()
+        self.dims[..l + 1].windows(2).map(|w| w[1] * w[0] + w[1]).sum()
     }
 
     /// Deterministic Xavier-style initialization.
@@ -105,13 +102,7 @@ impl Mlp {
     /// Backward pass for one sample given its forward activations and the
     /// loss gradient w.r.t. the output. Accumulates parameter gradients into
     /// `grad` (same layout as `params`) and returns nothing.
-    pub fn backward(
-        &self,
-        params: &[f32],
-        acts: &[Vec<f32>],
-        dout: &[f32],
-        grad: &mut [f32],
-    ) {
+    pub fn backward(&self, params: &[f32], acts: &[Vec<f32>], dout: &[f32], grad: &mut [f32]) {
         assert_eq!(grad.len(), self.num_params(), "gradient length mismatch");
         assert_eq!(dout.len(), self.output_dim(), "output gradient length mismatch");
         let mut delta = dout.to_vec();
@@ -128,8 +119,8 @@ impl Mlp {
                 }
             }
             // dW = delta ⊗ h, db = delta.
-            let (gw, gb) = grad[off..off + fan_out * fan_in + fan_out]
-                .split_at_mut(fan_out * fan_in);
+            let (gw, gb) =
+                grad[off..off + fan_out * fan_in + fan_out].split_at_mut(fan_out * fan_in);
             for o in 0..fan_out {
                 let row = &mut gw[o * fan_in..(o + 1) * fan_in];
                 for (gi, hi) in row.iter_mut().zip(h.iter()) {

@@ -3,10 +3,12 @@
 
 use crate::adam::Adam;
 use crate::checkpoint::TrainState;
-use crate::scaler::{has_overflow, LossScale, ScalerSnapshot, ScalerState};
 use crate::data::TeacherDataset;
 use crate::nn::Mlp;
-use mics_dataplane::run_ranks;
+use crate::scaler::{has_overflow, LossScale, ScalerSnapshot, ScalerState};
+use mics_compress::{CompressionConfig, CompressionScope};
+use mics_dataplane::quantized::{quantized_all_reduce, quantized_reduce_scatter};
+use mics_dataplane::{quantized_all_gather, run_ranks};
 use mics_tensor::dtype::quantize_f16;
 use mics_tensor::ShardSpec;
 use std::sync::Mutex;
@@ -54,6 +56,11 @@ pub struct TrainSetup {
     pub loss_scale: LossScale,
     /// Clip gradients to this global L2 norm before the optimizer step.
     pub clip_grad_norm: Option<f32>,
+    /// ZeRO++-style quantized communication: weight gathers and/or gradient
+    /// reductions travel block-quantized (`None` = full-precision wire).
+    /// Control-plane collectives (overflow flag, loss, clip norm) and the
+    /// final parameter gather always stay exact.
+    pub comm_quant: Option<CompressionConfig>,
 }
 
 /// Result of a training run (identical on every rank; returned from rank 0).
@@ -135,8 +142,7 @@ impl CheckpointSink {
         if slots.shards.is_empty() || slots.shards.iter().any(|s| s.is_none()) {
             return None;
         }
-        let shards: Vec<TrainState> =
-            slots.shards.iter().map(|s| s.clone().unwrap()).collect();
+        let shards: Vec<TrainState> = slots.shards.iter().map(|s| s.clone().unwrap()).collect();
         Some(TrainCheckpoint {
             state: TrainState::unshard(&shards, slots.numel),
             iterations_done: slots.iterations_done,
@@ -181,6 +187,7 @@ pub fn train(setup: &TrainSetup, schedule: SyncSchedule) -> TrainOutcome {
         quantize: setup.quantize,
         loss_scale: setup.loss_scale,
         clip_grad_norm: setup.clip_grad_norm,
+        comm_quant: setup.comm_quant,
     };
     train_generic(&hp, schedule, init, move |params, iter, micro, rank| {
         let (xs, ys) = dataset.micro_batch(iter, micro, rank, micro_batch);
@@ -207,6 +214,8 @@ pub struct ScheduleHyper {
     pub loss_scale: LossScale,
     /// Optional global-norm gradient clip.
     pub clip_grad_norm: Option<f32>,
+    /// Quantized communication configuration (`None` = exact wire).
+    pub comm_quant: Option<CompressionConfig>,
 }
 
 /// The schedule engine behind [`train`] (and the language-model trainer in
@@ -320,6 +329,23 @@ where
     let global_scale = 1.0 / (s as f32 * world as f32);
     let grad_fn = &grad_fn;
 
+    // Quantized-communication schemes for the two data-plane directions.
+    // Weight gathers and hop-1 reduce-scatters live inside the partition
+    // group; hop-2 (and DDP's or ZeRO-3's cluster-wide reductions when the
+    // group is smaller than the cluster) leave it and compress only under
+    // [`CompressionScope::Everywhere`].
+    // A single-rank group moves nothing over the wire, so it must not pay
+    // quantization error either — hence the `group_size > 1` guards.
+    let weight_q = setup.comm_quant.filter(|_| p > 1).filter(|c| c.weights).map(|c| c.scheme);
+    let grad_q = |group_size: usize, beyond_group: bool| {
+        setup
+            .comm_quant
+            .filter(|_| group_size > 1)
+            .filter(|c| c.grads)
+            .filter(|c| !beyond_group || c.scope == CompressionScope::Everywhere)
+            .map(|c| c.scheme)
+    };
+
     let mut results = run_ranks(world, |mut comm| {
         let rank = comm.rank();
         // Partition group: p consecutive ranks. Replication group: ranks
@@ -398,7 +424,10 @@ where
                     } else {
                         master_shard.clone()
                     };
-                    let mut full = part.all_gather(&cast);
+                    let mut full = match weight_q {
+                        Some(scheme) => quantized_all_gather(&part, &cast, scheme),
+                        None => part.all_gather(&cast),
+                    };
                     full.truncate(numel);
                     full
                 }
@@ -426,15 +455,24 @@ where
                     SyncSchedule::Ddp => add_into(&mut accum, &grad),
                     SyncSchedule::PerMicroStepAllReduce => {
                         // Global synchronization barrier every micro-step —
-                        // the cost §3.4 calls redundant.
-                        let g = comm.all_reduce(&grad);
+                        // the cost §3.4 calls redundant. Spans the whole
+                        // cluster, so it only compresses intra-group when
+                        // the partition group *is* the cluster.
+                        let g = match grad_q(world, p < world) {
+                            Some(scheme) => quantized_all_reduce(&comm, &grad, scheme),
+                            None => comm.all_reduce(&grad),
+                        };
                         let mine = spec.extract_padded(&g, local);
                         add_into(&mut accum, &mine);
                     }
                     SyncSchedule::TwoHop => {
-                        // Hop 1: reduce-scatter within the partition group.
+                        // Hop 1: reduce-scatter within the partition group
+                        // (the qgZ direction when quantized).
                         let padded = pad_to(grad, spec.padded_len());
-                        let mine = part.reduce_scatter(&padded);
+                        let mine = match grad_q(p, false) {
+                            Some(scheme) => quantized_reduce_scatter(&part, &padded, scheme),
+                            None => part.reduce_scatter(&padded),
+                        };
                         add_into(&mut accum, &mine);
                     }
                 }
@@ -442,10 +480,18 @@ where
 
             // Boundary synchronization.
             let total: Vec<f32> = match schedule {
-                SyncSchedule::Ddp => comm.all_reduce(&accum),
+                SyncSchedule::Ddp => match grad_q(world, true) {
+                    Some(scheme) => quantized_all_reduce(&comm, &accum, scheme),
+                    None => comm.all_reduce(&accum),
+                },
                 SyncSchedule::PerMicroStepAllReduce => accum,
-                // Hop 2: all-reduce across the replication group.
-                SyncSchedule::TwoHop => repl.all_reduce(&accum),
+                // Hop 2: all-reduce across the replication group — beyond
+                // the partition group, so intra-group-only compression
+                // keeps it exact.
+                SyncSchedule::TwoHop => match grad_q(world / p, true) {
+                    Some(scheme) => quantized_all_reduce(&repl, &accum, scheme),
+                    None => repl.all_reduce(&accum),
+                },
             };
             // Overflow agreement: every rank checks its portion; a
             // max-style all-reduce makes the decision global, so all ranks
@@ -529,6 +575,7 @@ mod tests {
             quantize: false,
             loss_scale: LossScale::None,
             clip_grad_norm: None,
+            comm_quant: None,
         }
     }
 
@@ -540,10 +587,7 @@ mod tests {
             let out = train(&setup(4, 2, 2), schedule);
             let first = out.losses[0];
             let last = *out.losses.last().unwrap();
-            assert!(
-                last < first * 0.7,
-                "{schedule:?}: loss {first} → {last} did not converge"
-            );
+            assert!(last < first * 0.7, "{schedule:?}: loss {first} → {last} did not converge");
         }
     }
 
@@ -567,10 +611,7 @@ mod tests {
         let mics = train(&s, SyncSchedule::TwoHop);
         for (i, (a, b)) in ddp.losses.iter().zip(mics.losses.iter()).enumerate() {
             let denom = a.abs().max(1e-6);
-            assert!(
-                (a - b).abs() / denom < 1e-3,
-                "iteration {i}: DDP {a} vs MiCS {b}"
-            );
+            assert!((a - b).abs() / denom < 1e-3, "iteration {i}: DDP {a} vs MiCS {b}");
         }
     }
 
@@ -614,6 +655,52 @@ mod tests {
     }
 
     #[test]
+    fn int8_comm_training_tracks_exact_training() {
+        use mics_compress::{CompressionConfig, QuantScheme};
+        let exact = train(&setup(4, 2, 2), SyncSchedule::TwoHop);
+        let mut cfg = setup(4, 2, 2);
+        cfg.comm_quant = Some(CompressionConfig::both(QuantScheme::int8()));
+        let q = train(&cfg, SyncSchedule::TwoHop);
+        // The quantized wire is real (trajectories differ) ...
+        assert_ne!(q.losses, exact.losses);
+        // ... but stays within a few percent of the exact loss curve ...
+        for (i, (a, b)) in exact.losses.iter().zip(q.losses.iter()).enumerate() {
+            assert!((a - b).abs() / a.abs().max(1e-6) < 0.05, "iter {i}: {a} vs {b}");
+        }
+        // ... and still converges.
+        assert!(*q.losses.last().unwrap() < q.losses[0] * 0.8);
+    }
+
+    #[test]
+    fn f16_weight_wire_is_lossless_for_f16_casts() {
+        use mics_compress::{CompressionConfig, QuantScheme};
+        // quantize=true casts shards to f16 *before* the gather, so an f16
+        // wire carries them bit-exactly: weights-only f16 compression must
+        // reproduce the uncompressed run exactly.
+        let mut base = setup(4, 2, 2);
+        base.quantize = true;
+        let exact = train(&base, SyncSchedule::TwoHop);
+        let mut cfg = base.clone();
+        cfg.comm_quant = Some(CompressionConfig::weights_only(QuantScheme::F16));
+        let q = train(&cfg, SyncSchedule::TwoHop);
+        assert_eq!(q, exact);
+    }
+
+    #[test]
+    fn intra_group_scope_keeps_hop2_exact() {
+        use mics_compress::{CompressionConfig, CompressionScope, QuantScheme};
+        // With intra-group-only scope and p = 1 every collective that could
+        // compress is trivial or out of scope, so training is bit-exact.
+        let mut cfg = setup(4, 1, 2);
+        let mut cq = CompressionConfig::both(QuantScheme::int4());
+        cq.scope = CompressionScope::IntraGroupOnly;
+        cfg.comm_quant = Some(cq);
+        let q = train(&cfg, SyncSchedule::TwoHop);
+        let exact = train(&setup(4, 1, 2), SyncSchedule::TwoHop);
+        assert_eq!(q, exact);
+    }
+
+    #[test]
     fn accumulation_depth_changes_only_comm_pattern_not_data_consumed() {
         // s=1 vs s=4 consume different batches per optimizer step, but both
         // must converge under the 2-hop schedule (the s=1 case the paper
@@ -621,10 +708,7 @@ mod tests {
         for s in [1usize, 4] {
             let cfg = setup(4, 2, s);
             let out = train(&cfg, SyncSchedule::TwoHop);
-            assert!(
-                *out.losses.last().unwrap() < out.losses[0],
-                "s={s} failed to improve"
-            );
+            assert!(*out.losses.last().unwrap() < out.losses[0], "s={s} failed to improve");
         }
     }
 
@@ -702,8 +786,7 @@ mod tests {
     fn resume_rig() -> (ScheduleHyper, Vec<f32>, Box<GradFn>) {
         let cfg = setup(4, 2, 2);
         let model = Mlp::new(&[6, 12, 2]);
-        let dataset =
-            TeacherDataset::new(&[6, 8, 2], cfg.seed ^ 0x51ab_0c1d_22ee_9f73);
+        let dataset = TeacherDataset::new(&[6, 8, 2], cfg.seed ^ 0x51ab_0c1d_22ee_9f73);
         let init = model.init_params(cfg.seed);
         let hp = ScheduleHyper {
             world: cfg.world,
@@ -714,6 +797,7 @@ mod tests {
             quantize: false,
             loss_scale: LossScale::None,
             clip_grad_norm: None,
+            comm_quant: None,
         };
         let micro_batch = cfg.micro_batch;
         let grad = move |params: &[f32], iter: usize, micro: usize, rank: usize| {
@@ -757,8 +841,7 @@ mod tests {
     fn checkpoint_at_end_captures_final_state() {
         let (hp, init, grad) = resume_rig();
         let sink = CheckpointSink::new();
-        let full =
-            train_resumable(&hp, SyncSchedule::TwoHop, init, &grad, hp.iterations, &sink);
+        let full = train_resumable(&hp, SyncSchedule::TwoHop, init, &grad, hp.iterations, &sink);
         let ckpt = sink.take().unwrap();
         assert_eq!(ckpt.iterations_done, hp.iterations);
         assert_eq!(ckpt.state.params, full.final_params);

@@ -273,8 +273,7 @@ impl TinyTransformer {
             loss += (denom.ln() + mx - row[target]) * scale;
             for j in 0..v {
                 let prob = (row[j] - mx).exp() / denom;
-                dlogits[pos * v + j] =
-                    (prob - if j == target { 1.0 } else { 0.0 }) * scale;
+                dlogits[pos * v + j] = (prob - if j == target { 1.0 } else { 0.0 }) * scale;
             }
         }
 
@@ -356,8 +355,7 @@ impl TinyTransformer {
                         }
                         // dV from d_ctx via att.
                         for cc in 0..dk {
-                            d_v[j * d + base + cc] +=
-                                row[j] * d_ctx[i * d + base + cc];
+                            d_v[j * d + base + cc] += row[j] * d_ctx[i * d + base + cc];
                         }
                     }
                 }
@@ -527,8 +525,7 @@ fn layer_norm_backward(
         let inv = cache.inv_std[pos];
         let nd = d as f32;
         for i in 0..d {
-            dx[pos * d + i] =
-                (gamma[i] * dyr[i] - sum_g / nd - xh[i] * sum_gx / nd) * inv;
+            dx[pos * d + i] = (gamma[i] * dyr[i] - sum_g / nd - xh[i] * sum_gx / nd) * inv;
         }
     }
     dx

@@ -48,8 +48,7 @@ mod tests {
         let h = 2560.0;
         let big_l = 127.0;
         let v = 32008.0;
-        let expect =
-            96.0 * l * big_l * h * h * (1.0 + l / (6.0 * h) + v / (16.0 * big_l * h));
+        let expect = 96.0 * l * big_l * h * h * (1.0 + l / (6.0 * h) + v / (16.0 * big_l * h));
         assert_eq!(megatron_flops_per_sample(&cfg, true), expect);
     }
 

@@ -190,8 +190,7 @@ mod tests {
         let w = cfg.workload(1);
         let total = w.total_params() as f64;
         let stage2_start = 1 + 6 + 8;
-        let stage2: u64 =
-            w.layers[stage2_start..stage2_start + 46].iter().map(|l| l.params).sum();
+        let stage2: u64 = w.layers[stage2_start..stage2_start + 46].iter().map(|l| l.params).sum();
         assert!(stage2 as f64 / total > 0.5, "stage2 share {}", stage2 as f64 / total);
     }
 }

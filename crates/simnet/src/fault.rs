@@ -245,9 +245,12 @@ mod tests {
 
     #[test]
     fn events_stay_sorted_by_time() {
-        let plan = FaultPlan::new(1)
-            .with_crash(2, SimTime::from_millis(30))
-            .with_degradation(0, SimTime::from_millis(5), SimTime::from_millis(10), 0.5);
+        let plan = FaultPlan::new(1).with_crash(2, SimTime::from_millis(30)).with_degradation(
+            0,
+            SimTime::from_millis(5),
+            SimTime::from_millis(10),
+            0.5,
+        );
         let times: Vec<u64> = plan.events().iter().map(|e| e.at.as_nanos()).collect();
         let mut sorted = times.clone();
         sorted.sort_unstable();

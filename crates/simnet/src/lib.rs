@@ -307,13 +307,28 @@ impl LinkState {
 
 #[derive(Debug, PartialEq, Eq)]
 enum Pending {
-    OpComplete { stream: StreamId },
-    TransferLatencyDone { stream: StreamId, link: LinkId, bytes: u64, tag_bits: i128 },
-    LinkCheck { link: LinkId, generation: u64 },
+    OpComplete {
+        stream: StreamId,
+    },
+    TransferLatencyDone {
+        stream: StreamId,
+        link: LinkId,
+        bytes: u64,
+        tag_bits: i128,
+    },
+    LinkCheck {
+        link: LinkId,
+        generation: u64,
+    },
     /// Injected fault: set `link`'s rate to `base_rate * f64::from_bits(factor_bits)`.
-    SetLinkRate { link: LinkId, factor_bits: u64 },
+    SetLinkRate {
+        link: LinkId,
+        factor_bits: u64,
+    },
     /// Injected fault: permanently remove `stream`.
-    KillStream { stream: StreamId },
+    KillStream {
+        stream: StreamId,
+    },
 }
 
 #[derive(Debug, PartialEq, Eq)]
@@ -462,7 +477,10 @@ impl Sim {
                     let tag_bits = tag.map_or(-1i128, |t| t.0 as i128);
                     if latency > SimTime::ZERO {
                         let at = self.now + latency;
-                        self.schedule(at, Pending::TransferLatencyDone { stream, link, bytes, tag_bits });
+                        self.schedule(
+                            at,
+                            Pending::TransferLatencyDone { stream, link, bytes, tag_bits },
+                        );
                     } else {
                         self.join_link(stream, link, bytes, tag_bits);
                     }
@@ -625,9 +643,10 @@ impl Sim {
                 l.rate = l.base_rate * factor;
                 l.generation += 1;
                 self.reschedule_link(link);
-                self.stats
-                    .faults
-                    .push(FaultRecord { at: now, kind: FaultRecordKind::LinkRate { link, factor } });
+                self.stats.faults.push(FaultRecord {
+                    at: now,
+                    kind: FaultRecordKind::LinkRate { link, factor },
+                });
             }
             Pending::KillStream { stream } => self.kill_now(stream),
             Pending::LinkCheck { link, generation } => {
@@ -979,10 +998,7 @@ mod tests {
         sim.push(b, Op::compute(SimTime::from_millis(1)));
         sim.kill_stream_at(a, SimTime::from_millis(5));
         let err = sim.run().unwrap_err();
-        assert_eq!(
-            err,
-            SimError::OrphanedByFault { killed: vec![a], blocked: vec![(b, e)] }
-        );
+        assert_eq!(err, SimError::OrphanedByFault { killed: vec![a], blocked: vec![(b, e)] });
     }
 
     #[test]

@@ -206,7 +206,11 @@ impl ArenaAllocator {
     /// Reserve a named contiguous pool of `bytes`. Fails with
     /// [`AllocError::OutOfMemory`] if the reservations would exceed device
     /// memory — never with `Fragmented`.
-    pub fn reserve_pool(&mut self, name: impl Into<String>, bytes: u64) -> Result<usize, AllocError> {
+    pub fn reserve_pool(
+        &mut self,
+        name: impl Into<String>,
+        bytes: u64,
+    ) -> Result<usize, AllocError> {
         if self.reserved + bytes > self.capacity {
             return Err(AllocError::OutOfMemory {
                 requested: bytes,
@@ -361,10 +365,7 @@ mod tests {
     fn arena_rejects_over_reservation() {
         let mut a = ArenaAllocator::new(4 * KB);
         a.reserve_pool("big", 3 * KB).unwrap();
-        assert!(matches!(
-            a.reserve_pool("more", 2 * KB),
-            Err(AllocError::OutOfMemory { .. })
-        ));
+        assert!(matches!(a.reserve_pool("more", 2 * KB), Err(AllocError::OutOfMemory { .. })));
     }
 
     #[test]

@@ -22,6 +22,7 @@ fn main() {
         quantize: true, // fp16 forward copies, fp32 master weights
         loss_scale: mics::minidl::LossScale::Dynamic { init: 65536.0, growth_interval: 100 },
         clip_grad_norm: Some(1.0),
+        comm_quant: None,
     };
     println!(
         "training a {}-parameter model on {} thread-ranks, partition groups of {}\n",

@@ -31,9 +31,8 @@ fn main() {
         naive_two_stage_all_gather(&channel, &node, &layout, &[rank as f32])
     });
 
-    let fmt = |v: &[f32]| {
-        v.iter().map(|x| format!("C{}", *x as usize)).collect::<Vec<_>>().join(", ")
-    };
+    let fmt =
+        |v: &[f32]| v.iter().map(|x| format!("C{}", *x as usize)).collect::<Vec<_>>().join(", ");
     println!("stage-1 holdings of rank 0 (node 0, local 0): {:?}", layout.stage1_holdings(0));
     println!("naive two-stage result (no re-arrangement):  [{}]  ← WRONG", fmt(&naive[0]));
     println!("3-stage hierarchical result:                 [{}]  ← correct", fmt(&correct[0]));

@@ -18,10 +18,7 @@ fn main() {
     let cluster = ClusterSpec::new(InstanceType::p3dn_24xlarge(), 8); // 64 GPUs
     let model = TransformerConfig::bert_15b();
     let n = cluster.total_devices();
-    println!(
-        "sweeping partition group sizes for {} on {} GPUs\n",
-        model.name, n
-    );
+    println!("sweeping partition group sizes for {} on {} GPUs\n", model.name, n);
     println!("{:>6}  {:>12}  {:>12}  {:>10}", "p", "samples/sec", "GiB/device", "verdict");
 
     let mut best: Option<(usize, f64)> = None;

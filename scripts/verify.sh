@@ -4,6 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -12,5 +15,14 @@ cargo test -q --workspace
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Smoke-run the extension benches: they carry their own assertions (the
+# ablation's knob deltas, the compression bench's ~4× wire claim and the
+# int8 fidelity envelope) and regenerate their results/ artifacts.
+echo "==> ext_ablation (smoke)"
+cargo run --release -q -p mics-bench --bin ext_ablation >/dev/null
+
+echo "==> ext_compress (smoke)"
+cargo run --release -q -p mics-bench --bin ext_compress >/dev/null
 
 echo "verify: all green"

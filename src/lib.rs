@@ -16,6 +16,7 @@
 //! | [`simnet`] | deterministic discrete-event simulator (streams, events, fluid-shared links) |
 //! | [`cluster`] | cloud instance types, node/device topology, partition & replication groups |
 //! | [`collectives`] | chunk-layout math, α–β cost models, effective-bandwidth estimation |
+//! | [`compress`] | block-wise quantization kernels for compressed (ZeRO++-style) collectives |
 //! | [`tensor`] | dtypes, sharding arithmetic, fragmenting vs arena allocators |
 //! | [`dataplane`] | real shared-memory collectives incl. the 3-stage hierarchical all-gather |
 //! | [`minidl`] | deterministic DL stack for the fidelity experiment (real training) |
@@ -46,6 +47,7 @@
 
 pub use mics_cluster as cluster;
 pub use mics_collectives as collectives;
+pub use mics_compress as compress;
 pub use mics_core as core;
 pub use mics_dataplane as dataplane;
 pub use mics_minidl as minidl;

@@ -24,7 +24,12 @@ fn symbolic_simulation_matches_real_dataplane() {
         let out = run_ranks(p, |mut comm| {
             let rank = comm.rank();
             let (channel, node) = split_hierarchical(&mut comm, &layout);
-            hierarchical_all_gather(&channel, &node, &layout, &[rank as f32 * 2.0, rank as f32 * 2.0 + 1.0])
+            hierarchical_all_gather(
+                &channel,
+                &node,
+                &layout,
+                &[rank as f32 * 2.0, rank as f32 * 2.0 + 1.0],
+            )
         });
         let expect: Vec<f32> = (0..2 * p).map(|x| x as f32).collect();
         for (r, o) in out.iter().enumerate() {

@@ -3,7 +3,9 @@
 //! simulation, and the transformer-LM fidelity path.
 
 use mics::cluster::{ClusterSpec, InstanceType, NodeId};
-use mics::core::{simulate, simulate_dp_traced, tune, MicsConfig, Strategy, TrainingJob, ZeroStage};
+use mics::core::{
+    simulate, simulate_dp_traced, tune, MicsConfig, Strategy, TrainingJob, ZeroStage,
+};
 use mics::minidl::{train_lm, LmSetup, LossScale, SyncSchedule, TinyTransformer};
 use mics::model::TransformerConfig;
 
@@ -108,6 +110,7 @@ fn transformer_lm_fidelity_end_to_end() {
         quantize: true,
         loss_scale: LossScale::Dynamic { init: 1024.0, growth_interval: 6 },
         clip_grad_norm: Some(5.0),
+        comm_quant: None,
     };
     let mics = train_lm(&cfg, SyncSchedule::TwoHop);
     let ddp = train_lm(&cfg, SyncSchedule::Ddp);

@@ -25,6 +25,7 @@ fn setup(world: usize, p: usize, s: usize, iters: usize) -> TrainSetup {
         quantize: false,
         loss_scale: mics::minidl::LossScale::None,
         clip_grad_norm: None,
+        comm_quant: None,
     }
 }
 
@@ -56,10 +57,7 @@ fn partition_size_is_numerically_transparent() {
     for p in [2usize, 4, 8] {
         let other = train(&setup(8, p, 2, 12), SyncSchedule::TwoHop);
         for (i, (a, b)) in base.losses.iter().zip(other.losses.iter()).enumerate() {
-            assert!(
-                (a - b).abs() / a.abs().max(1e-9) < 5e-3,
-                "p={p} iteration {i}: {a} vs {b}"
-            );
+            assert!((a - b).abs() / a.abs().max(1e-9) < 5e-3, "p={p} iteration {i}: {a} vs {b}");
         }
     }
 }
@@ -72,10 +70,7 @@ fn two_hop_converges_at_every_world_size() {
     for world in [1usize, 2, 4, 8] {
         let p = world.min(2);
         let out = train(&setup(world, p, 2, 15), SyncSchedule::TwoHop);
-        assert!(
-            *out.losses.last().unwrap() < out.losses[0],
-            "world={world} did not improve"
-        );
+        assert!(*out.losses.last().unwrap() < out.losses[0], "world={world} did not improve");
     }
 }
 
@@ -118,6 +113,7 @@ fn rig(world: usize, p: usize, iters: usize) -> Rig {
             quantize: false,
             loss_scale: LossScale::None,
             clip_grad_norm: None,
+            comm_quant: None,
         },
         init: model.init_params(seed),
         dataset: TeacherDataset::new(&[10, 8, 4], seed ^ 0x51ab_0c1d_22ee_9f73),
@@ -158,12 +154,8 @@ fn through_shard_blobs(ckpt: &TrainCheckpoint, p: usize) -> TrainCheckpoint {
 #[test]
 fn killed_run_resumes_bit_exact_from_checkpoint() {
     let r = rig(4, 2, 12);
-    let uninterrupted = mics::minidl::train::train_generic(
-        &r.hp,
-        SyncSchedule::TwoHop,
-        r.init.clone(),
-        r.grad(),
-    );
+    let uninterrupted =
+        mics::minidl::train::train_generic(&r.hp, SyncSchedule::TwoHop, r.init.clone(), r.grad());
 
     // Same run, but rank 1 dies at iteration 8 — after the iteration-5
     // snapshot, losing the work since. The surviving ranks abort their
@@ -222,8 +214,7 @@ fn resharded_resume_is_bit_exact() {
     let ckpt = sink.take().unwrap();
     let numel = ckpt.state.params.len();
     let old_blobs: Vec<Vec<u8>> = ckpt.state.shard(4).iter().map(save).collect();
-    let old_shards: Vec<TrainState> =
-        old_blobs.iter().map(|b| load(b).unwrap()).collect();
+    let old_shards: Vec<TrainState> = old_blobs.iter().map(|b| load(b).unwrap()).collect();
     let new_shards = TrainState::reshard(&old_shards, numel, 2);
     let ckpt2 = TrainCheckpoint {
         state: TrainState::unshard(&new_shards, numel),
@@ -236,6 +227,44 @@ fn resharded_resume_is_bit_exact() {
     let resumed = resume_from(&r2.hp, SyncSchedule::PerMicroStepAllReduce, &ckpt2, r2.grad());
     assert_eq!(resumed.losses, uninterrupted.losses[4..]);
     assert_eq!(resumed.final_params, uninterrupted.final_params);
+}
+
+/// Quantized communication (PR 2 tentpole, §5.4 analogue): int8 block
+/// quantization on both the weight gathers and the 2-hop gradient sync
+/// perturbs each iteration's loss only within a small relative tolerance of
+/// the exact-wire baseline — and the run still converges.
+#[test]
+fn int8_quantized_two_hop_tracks_exact_baseline() {
+    use mics::minidl::{CompressionConfig, QuantScheme};
+    let cfg = setup(4, 2, 2, 15);
+    let exact = train(&cfg, SyncSchedule::TwoHop);
+    let mut q = setup(4, 2, 2, 15);
+    q.comm_quant = Some(CompressionConfig::both(QuantScheme::int8()));
+    let quantized = train(&q, SyncSchedule::TwoHop);
+    for (i, (a, b)) in exact.losses.iter().zip(quantized.losses.iter()).enumerate() {
+        assert!((a - b).abs() / a.abs().max(1e-9) < 0.05, "iteration {i}: exact {a} vs int8 {b}");
+    }
+    assert!(
+        *quantized.losses.last().unwrap() < quantized.losses[0] * 0.8,
+        "int8 comm must still converge: {:?}",
+        (quantized.losses[0], quantized.losses.last())
+    );
+}
+
+/// The f16 passthrough scheme is bit-exact on wires that already carry f16
+/// casts: with mixed precision on, compressing the weight gathers to f16
+/// changes nothing at all.
+#[test]
+fn f16_passthrough_weight_gather_is_bit_exact() {
+    use mics::minidl::{CompressionConfig, QuantScheme};
+    let mut cfg = setup(4, 2, 2, 10);
+    cfg.quantize = true;
+    let exact = train(&cfg, SyncSchedule::TwoHop);
+    let mut f16 = cfg.clone();
+    f16.comm_quant = Some(CompressionConfig::weights_only(QuantScheme::F16));
+    let compressed = train(&f16, SyncSchedule::TwoHop);
+    assert_eq!(compressed.losses, exact.losses, "f16 wire must be lossless here");
+    assert_eq!(compressed.final_params, exact.final_params);
 }
 
 /// Mixed precision (f16 parameter casts) degrades losses only slightly and

@@ -12,12 +12,7 @@ fn v100(nodes: usize) -> ClusterSpec {
 }
 
 fn job(model: &TransformerConfig, nodes: usize, strategy: Strategy, s: usize) -> TrainingJob {
-    TrainingJob {
-        workload: model.workload(8),
-        cluster: v100(nodes),
-        strategy,
-        accum_steps: s,
-    }
+    TrainingJob { workload: model.workload(8), cluster: v100(nodes), strategy, accum_steps: s }
 }
 
 fn throughput(model: &TransformerConfig, nodes: usize, strategy: Strategy, s: usize) -> f64 {
@@ -117,8 +112,8 @@ fn bert20b_hierarchical_fallback() {
     // the *group* memory margin governs, which our model reproduces at the
     // group level, so it stays disabled for p=16 everywhere on V100).
     let model15 = TransformerConfig::bert_15b();
-    let r15 = simulate(&job(&model15, 2, Strategy::Mics(MicsConfig::paper_defaults(16)), 4))
-        .unwrap();
+    let r15 =
+        simulate(&job(&model15, 2, Strategy::Mics(MicsConfig::paper_defaults(16)), 4)).unwrap();
     assert!(r15.hierarchical_used, "15B keeps hierarchical staging");
 }
 
@@ -163,8 +158,7 @@ fn two_hop_gain_grows_with_scale() {
 fn figure14_ordering() {
     let model = TransformerConfig::bert_10b();
     let ds = throughput(&model, 16, Strategy::Zero(ZeroStage::Three), 8);
-    let z3opt =
-        throughput(&model, 16, Strategy::Mics(MicsConfig::zero3_with_impl_opts(128)), 8);
+    let z3opt = throughput(&model, 16, Strategy::Mics(MicsConfig::zero3_with_impl_opts(128)), 8);
     let full = throughput(&model, 16, Strategy::Mics(MicsConfig::paper_defaults(8)), 8);
     let impl_gain = z3opt / ds - 1.0;
     assert!((0.15..0.95).contains(&impl_gain), "impl gain {impl_gain:.2}, paper 0.54");

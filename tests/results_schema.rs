@@ -1,0 +1,109 @@
+//! Every artifact under `results/` must parse as JSON through the bench
+//! harness's own document model ([`mics_bench::Json`]) and obey the schema
+//! its producer promises — tables keep rows as wide as their headers, and
+//! the extension benches' headline numbers stay inside their claimed
+//! envelopes. This is the read-side counterpart of `write_json`: the
+//! serializer and parser must agree on every file the repo ships.
+
+use mics_bench::Json;
+use std::path::{Path, PathBuf};
+
+fn results_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("results")
+}
+
+fn parse(path: &Path) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    Json::parse(&text).unwrap_or_else(|e| panic!("{} is not valid JSON: {e}", path.display()))
+}
+
+fn result_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(results_dir())
+        .expect("results/ must exist")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    assert!(files.len() >= 20, "expected the full result set, found {}", files.len());
+    files
+}
+
+/// Every results file parses, and parsing is a fixpoint: re-serializing the
+/// parsed document and parsing again yields the same value.
+#[test]
+fn every_results_file_parses_and_round_trips() {
+    for path in result_files() {
+        let doc = parse(&path);
+        let again = Json::parse(&doc.pretty())
+            .unwrap_or_else(|e| panic!("{} does not round-trip: {e}", path.display()));
+        assert_eq!(again, doc, "{} round-trip changed the document", path.display());
+    }
+}
+
+/// Table-shaped documents (title/headers/rows) keep every row exactly as
+/// wide as the header, with string cells — what `Table::to_json` writes.
+#[test]
+fn table_documents_obey_the_table_schema() {
+    let mut tables = 0;
+    for path in result_files() {
+        let doc = parse(&path);
+        for table in table_views(&doc) {
+            let headers = table.get("headers").and_then(Json::as_arr).unwrap();
+            let rows = table.get("rows").and_then(Json::as_arr).unwrap();
+            assert!(table.get("title").and_then(Json::as_str).is_some());
+            assert!(!headers.is_empty() && !rows.is_empty(), "{}", path.display());
+            for row in rows {
+                let cells = row.as_arr().unwrap_or_else(|| panic!("{}", path.display()));
+                assert_eq!(cells.len(), headers.len(), "{}: ragged row", path.display());
+                assert!(cells.iter().all(|c| c.as_str().is_some()));
+            }
+            tables += 1;
+        }
+    }
+    assert!(tables >= 20, "expected many table documents, found {tables}");
+}
+
+/// A document is a table view if it carries the title/headers/rows triple;
+/// composite documents (like ext_compress.json) nest them one level down.
+fn table_views(doc: &Json) -> Vec<&Json> {
+    let is_table = |d: &Json| {
+        d.get("title").is_some() && d.get("headers").is_some() && d.get("rows").is_some()
+    };
+    if is_table(doc) {
+        return vec![doc];
+    }
+    match doc {
+        Json::Obj(pairs) => pairs.iter().map(|(_, v)| v).filter(|v| is_table(v)).collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// The quantized-collective extension's artifact carries both sweeps and a
+/// fidelity record whose loss deviation stays inside the claimed bound.
+#[test]
+fn ext_compress_artifact_matches_its_claims() {
+    let doc = parse(&results_dir().join("ext_compress.json"));
+    let sweep = doc.get("bit_width_sweep").expect("bit-width sweep present");
+    let headers = sweep.get("headers").and_then(Json::as_arr).unwrap();
+    assert!(headers.iter().any(|h| h.as_str() == Some("vs fp32")));
+    // The int8 row's fp32 wire ratio is the ~4× headline claim.
+    let rows = sweep.get("rows").and_then(Json::as_arr).unwrap();
+    let int8 = rows
+        .iter()
+        .filter_map(Json::as_arr)
+        .find(|r| r[0].as_str() == Some("int8/128, both"))
+        .expect("int8 row present");
+    let vs_fp32: f64 =
+        int8.last().unwrap().as_str().unwrap().trim_end_matches('×').parse().unwrap();
+    assert!((3.2..4.2).contains(&vs_fp32), "claimed ~4×, artifact says {vs_fp32}×");
+
+    assert!(doc.get("cluster_sweep").is_some());
+    let fidelity = doc.get("fidelity").expect("fidelity record present");
+    let dev = fidelity.get("max_relative_loss_deviation").and_then(Json::as_num).unwrap();
+    assert!(dev < 0.05, "int8 training strayed {dev} from the exact run");
+    let exact = fidelity.get("exact_losses").and_then(Json::as_arr).unwrap();
+    let int8 = fidelity.get("int8_losses").and_then(Json::as_arr).unwrap();
+    assert_eq!(exact.len(), int8.len());
+    assert_eq!(exact.len() as f64, fidelity.get("iterations").and_then(Json::as_num).unwrap());
+}

@@ -157,13 +157,12 @@ pub mod collection {
 
 /// Everything a test module needs: `use proptest::prelude::*;`.
 pub mod prelude {
-    pub use crate::{
-        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
-        TestCaseError,
-    };
     /// The crate under its conventional `prop::` alias, so
     /// `prop::collection::vec(...)` resolves as it does upstream.
     pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy, TestCaseError,
+    };
 }
 
 /// Assert inside a property body (panics with context; no shrinking).
