@@ -11,7 +11,7 @@
 
 use mics_cluster::{ClusterSpec, InstanceType};
 use mics_core::memory::check_memory;
-use mics_core::{simulate, tune, MicsConfig, Strategy, TrainingJob, ZeroStage};
+use mics_core::{simulate, simulate_dp_traced, tune, MicsConfig, Strategy, TrainingJob, ZeroStage};
 use mics_model::{TransformerConfig, WideResNetConfig, WorkloadSpec};
 use std::fmt;
 
@@ -43,6 +43,9 @@ pub struct JobArgs {
     pub micro_batch: usize,
     /// Gradient-accumulation depth.
     pub accum: usize,
+    /// Write a chrome-trace JSON of the simulated iteration here
+    /// (`simulate` only).
+    pub trace: Option<String>,
 }
 
 impl Default for JobArgs {
@@ -54,6 +57,7 @@ impl Default for JobArgs {
             strategy: "mics:8".into(),
             micro_batch: 8,
             accum: 4,
+            trace: None,
         }
     }
 }
@@ -83,7 +87,7 @@ USAGE:
   mics-sim estimate <model> [--nodes N] [--instance p3dn|p4d|dgx]
                     [--strategy mics:<p>|zero1|zero2|zero3|ddp]
                     [--micro-batch B]
-  mics-sim simulate <model> [same options] [--accum S]
+  mics-sim simulate <model> [same options] [--accum S] [--trace out.json]
   mics-sim tune     <model> [--nodes N] [--instance ...] [--micro-batch B] [--accum S]
 
 MODELS: run `mics-sim models` for the list.";
@@ -191,6 +195,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .parse()
                     .map_err(|_| err("--accum must be a positive integer"))?
             }
+            "--trace" => job.trace = Some(value("--trace")?.clone()),
             other => return Err(err(format!("unknown flag '{other}'\n\n{USAGE}"))),
         }
     }
@@ -257,19 +262,33 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 strategy,
                 accum_steps: job.accum,
             };
-            match simulate(&t) {
-                Ok(r) => Ok(format!(
-                    "{}: {:.1} samples/sec | iteration {} | {:.1} TFLOPS/GPU | \
-                     compute {:.0}% / comm {:.0}% | {:.1} GiB/device{}",
-                    r.label,
-                    r.samples_per_sec,
-                    r.iter_time,
-                    r.tflops_per_gpu(),
-                    r.compute_fraction * 100.0,
-                    r.comm_fraction * 100.0,
-                    gib(r.memory.total()),
-                    if r.hierarchical_used { " | hierarchical all-gather" } else { "" },
-                )),
+            // With --trace, the same run also lowers to a chrome-trace
+            // timeline (load it at chrome://tracing or ui.perfetto.dev).
+            let outcome = match &job.trace {
+                Some(path) => simulate_dp_traced(&t).map(|(r, json)| (r, Some((path, json)))),
+                None => simulate(&t).map(|r| (r, None)),
+            };
+            match outcome {
+                Ok((r, trace)) => {
+                    let mut out = format!(
+                        "{}: {:.1} samples/sec | iteration {} | {:.1} TFLOPS/GPU | \
+                         compute {:.0}% / comm {:.0}% | {:.1} GiB/device{}",
+                        r.label,
+                        r.samples_per_sec,
+                        r.iter_time,
+                        r.tflops_per_gpu(),
+                        r.compute_fraction * 100.0,
+                        r.comm_fraction * 100.0,
+                        gib(r.memory.total()),
+                        if r.hierarchical_used { " | hierarchical all-gather" } else { "" },
+                    );
+                    if let Some((path, json)) = trace {
+                        std::fs::write(path, json)
+                            .map_err(|e| err(format!("cannot write trace to '{path}': {e}")))?;
+                        out.push_str(&format!(" | trace written to {path}"));
+                    }
+                    Ok(out)
+                }
                 Err(e) => Ok(format!("{e}")),
             }
         }
@@ -411,6 +430,21 @@ mod tests {
         .unwrap();
         assert!(out.contains("samples/sec"), "{out}");
         assert!(out.contains("TFLOPS/GPU"));
+    }
+
+    #[test]
+    fn trace_flag_writes_chrome_trace_json() {
+        let path = std::env::temp_dir().join("mics_sim_cli_trace_test.json");
+        let path = path.to_str().unwrap().to_string();
+        let cmd = parse_args(&argv(&format!(
+            "simulate bert-10b --nodes 2 --strategy mics:8 --accum 2 --trace {path}"
+        )))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("trace written to"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"traceEvents\""), "not chrome-trace shaped: {json:.80}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -26,6 +26,26 @@ pub struct Rank(pub usize);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub usize);
 
+/// Node hosting a global rank on a cluster with `k` devices per node.
+///
+/// The single source of truth for the `rank / k` mapping — every layer
+/// (executors, NIC accounting, fault recovery) goes through here or
+/// [`ClusterSpec::node_of`] rather than re-deriving it.
+pub fn node_of_rank(rank: Rank, k: usize) -> NodeId {
+    debug_assert!(k > 0, "devices per node must be positive");
+    NodeId(rank.0 / k)
+}
+
+/// Number of distinct nodes a rank group touches on a cluster with `k`
+/// devices per node. Used for NIC-volume accounting, where per-node wire
+/// bytes must be multiplied by the nodes a collective actually spans.
+pub fn nodes_spanned(group: &[Rank], k: usize) -> u64 {
+    let mut nodes: Vec<usize> = group.iter().map(|&r| node_of_rank(r, k).0).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    nodes.len() as u64
+}
+
 /// A homogeneous cluster: `nodes` instances of one [`InstanceType`],
 /// optionally with per-node network degradation (cloud stragglers).
 #[derive(Debug, Clone)]
@@ -154,7 +174,7 @@ impl ClusterSpec {
     /// Node hosting a global rank.
     pub fn node_of(&self, rank: Rank) -> NodeId {
         debug_assert!(rank.0 < self.total_devices());
-        NodeId(rank.0 / self.instance.gpus_per_node)
+        node_of_rank(rank, self.instance.gpus_per_node)
     }
 
     /// Rank within its node (0..k).
@@ -284,6 +304,23 @@ mod tests {
         assert_eq!(spec.local_rank(Rank(13)), 5);
         assert!(spec.same_node(Rank(8), Rank(15)));
         assert!(!spec.same_node(Rank(7), Rank(8)));
+    }
+
+    #[test]
+    fn free_node_mapping_helpers_agree_with_spec() {
+        let spec = ClusterSpec::new(InstanceType::p3dn_24xlarge(), 4);
+        for rank in spec.ranks() {
+            assert_eq!(node_of_rank(rank, spec.devices_per_node()), spec.node_of(rank));
+        }
+        // A partition group of 16 consecutive ranks spans 2 nodes of 8.
+        let group: Vec<Rank> = (0..16).map(Rank).collect();
+        assert_eq!(nodes_spanned(&group, 8), 2);
+        // A replication group strided by 8 touches one node per member.
+        let repl: Vec<Rank> = (0..4).map(|g| Rank(g * 8)).collect();
+        assert_eq!(nodes_spanned(&repl, 8), 4);
+        // Duplicate nodes are counted once.
+        assert_eq!(nodes_spanned(&[Rank(0), Rank(1), Rank(7)], 8), 1);
+        assert_eq!(nodes_spanned(&[], 8), 0);
     }
 
     #[test]

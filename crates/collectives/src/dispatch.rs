@@ -1,0 +1,181 @@
+//! Per-op cost dispatch: a wire-level collective descriptor.
+//!
+//! The schedule IR in `mics-core` annotates every communication op with a
+//! [`WireCollective`] — *what* moves (kind, participants, payload bytes,
+//! optional codec) without *when* or *on which stream*. This module turns
+//! such a descriptor into a [`CollectiveCost`] by dispatching to the α–β
+//! models of [`crate::cost`] / [`crate::compress`], so the simulator backend
+//! and any analytic consumer (the Megatron comparator, wire accounting)
+//! price an op through one code path.
+
+use crate::bandwidth::NetParams;
+use crate::compress::{
+    quantized_all_gather_flat, quantized_all_gather_hierarchical, quantized_all_reduce,
+    quantized_reduce_scatter, CompressionModel,
+};
+use crate::cost::{
+    all_gather_flat, all_gather_hierarchical, all_reduce, p2p, reduce_scatter, CollectiveCost,
+};
+
+/// Which collective algorithm an op runs on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireKind {
+    /// Ring (or, when `hierarchical`, the §3.3 3-stage) all-gather over a
+    /// contiguous group.
+    AllGather {
+        /// Use the 3-stage hierarchical algorithm (requires the group to
+        /// span nodes: `participants > devices_per_node`).
+        hierarchical: bool,
+        /// Batch the stage-3 intra-node calls through the coalesced API.
+        coalesced: bool,
+    },
+    /// Ring reduce-scatter over a contiguous group.
+    ReduceScatter,
+    /// Ring all-reduce over a group whose members are laid out with this
+    /// stride (1 = contiguous partition group, `p` = replication group).
+    AllReduce {
+        /// Rank stride between consecutive members.
+        stride: usize,
+    },
+    /// Point-to-point transfer (pipeline-parallel activations).
+    P2p {
+        /// Whether the endpoints sit on different nodes.
+        inter_node: bool,
+    },
+}
+
+/// A priced communication op: everything the α–β models need, nothing the
+/// executors add (streams, events, host overhead).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireCollective {
+    /// The algorithm and its layout parameters.
+    pub kind: WireKind,
+    /// Number of participating ranks.
+    pub participants: usize,
+    /// Devices per node (`k`), which decides NVLink vs NIC.
+    pub devices_per_node: usize,
+    /// Uncompressed payload bytes (`m` in the cost-model signatures).
+    pub bytes: u64,
+    /// Quantized-wire codec (`None` = full-precision wire).
+    pub codec: Option<CompressionModel>,
+}
+
+impl WireCollective {
+    /// Price this op with the α–β cost models.
+    ///
+    /// # Panics
+    /// Panics when `kind` asks for the hierarchical all-gather on a
+    /// geometry that does not span nodes — callers are expected to have
+    /// validated the geometry (the executors do so via `check_memory`).
+    pub fn cost(&self, net: &NetParams) -> CollectiveCost {
+        let (p, k, m) = (self.participants, self.devices_per_node, self.bytes);
+        match (self.kind, &self.codec) {
+            (WireKind::AllGather { hierarchical: true, coalesced }, Some(cm)) => {
+                quantized_all_gather_hierarchical(p, k, m, net, coalesced, cm)
+                    .expect("geometry validated by check_memory")
+            }
+            (WireKind::AllGather { hierarchical: true, coalesced }, None) => {
+                all_gather_hierarchical(p, k, m, net, coalesced)
+                    .expect("geometry validated by check_memory")
+            }
+            (WireKind::AllGather { hierarchical: false, .. }, Some(cm)) => {
+                quantized_all_gather_flat(p, k, m, net, cm)
+            }
+            (WireKind::AllGather { hierarchical: false, .. }, None) => {
+                all_gather_flat(p, k, m, net)
+            }
+            (WireKind::ReduceScatter, Some(cm)) => quantized_reduce_scatter(p, k, m, net, cm),
+            (WireKind::ReduceScatter, None) => reduce_scatter(p, k, m, net),
+            (WireKind::AllReduce { stride }, Some(cm)) => {
+                quantized_all_reduce(p, k, stride, m, net, cm)
+            }
+            (WireKind::AllReduce { stride }, None) => all_reduce(p, k, stride, m, net),
+            (WireKind::P2p { inter_node }, _) => p2p(m, inter_node, net),
+        }
+    }
+
+    /// Per-node NIC bytes of this op (the wire volume the IR's accounting
+    /// aggregates), via [`CollectiveCost::nic_bytes`].
+    pub fn nic_bytes(&self, net: &NetParams) -> u64 {
+        self.cost(net).nic_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mics_simnet::SimTime;
+
+    fn net() -> NetParams {
+        NetParams {
+            nic_bw: 12.5e9,
+            nvlink_bw: 8.0 * 135e9,
+            memcpy_bw: 700e9,
+            alpha_intra: SimTime::from_micros(4),
+            alpha_inter: SimTime::from_micros(22),
+            launch: SimTime::from_micros(12),
+            coalesced_call: SimTime::from_micros(2),
+        }
+    }
+
+    const MB: u64 = 1 << 20;
+
+    fn wc(kind: WireKind, p: usize, m: u64, codec: Option<CompressionModel>) -> WireCollective {
+        WireCollective { kind, participants: p, devices_per_node: 8, bytes: m, codec }
+    }
+
+    #[test]
+    fn dispatch_matches_direct_calls_exactly() {
+        let n = net();
+        let cm = CompressionModel::int8(128);
+        let cases = [
+            (
+                wc(
+                    WireKind::AllGather { hierarchical: false, coalesced: false },
+                    16,
+                    64 * MB,
+                    None,
+                ),
+                all_gather_flat(16, 8, 64 * MB, &n),
+            ),
+            (
+                wc(WireKind::AllGather { hierarchical: true, coalesced: true }, 16, 64 * MB, None),
+                all_gather_hierarchical(16, 8, 64 * MB, &n, true).unwrap(),
+            ),
+            (
+                wc(
+                    WireKind::AllGather { hierarchical: true, coalesced: true },
+                    16,
+                    64 * MB,
+                    Some(cm),
+                ),
+                quantized_all_gather_hierarchical(16, 8, 64 * MB, &n, true, &cm).unwrap(),
+            ),
+            (wc(WireKind::ReduceScatter, 16, 32 * MB, None), reduce_scatter(16, 8, 32 * MB, &n)),
+            (
+                wc(WireKind::ReduceScatter, 16, 32 * MB, Some(cm)),
+                quantized_reduce_scatter(16, 8, 32 * MB, &n, &cm),
+            ),
+            (
+                wc(WireKind::AllReduce { stride: 8 }, 4, 8 * MB, None),
+                all_reduce(4, 8, 8, 8 * MB, &n),
+            ),
+            (
+                wc(WireKind::AllReduce { stride: 8 }, 4, 8 * MB, Some(cm)),
+                quantized_all_reduce(4, 8, 8, 8 * MB, &n, &cm),
+            ),
+            (wc(WireKind::P2p { inter_node: true }, 2, 16 * MB, None), p2p(16 * MB, true, &n)),
+        ];
+        for (desc, expect) in cases {
+            assert_eq!(desc.cost(&n), expect, "{desc:?}");
+            assert_eq!(desc.nic_bytes(&n), expect.nic_bytes(), "{desc:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry validated")]
+    fn hierarchical_on_intra_node_geometry_panics() {
+        let desc = wc(WireKind::AllGather { hierarchical: true, coalesced: true }, 8, MB, None);
+        let _ = desc.cost(&net());
+    }
+}

@@ -19,9 +19,11 @@
 pub mod bandwidth;
 pub mod compress;
 pub mod cost;
+pub mod dispatch;
 pub mod layout;
 
 pub use bandwidth::{algorithm_bandwidth, bus_bandwidth, NetParams};
 pub use compress::CompressionModel;
 pub use cost::{CollectiveCost, LinkClass, Phase};
+pub use dispatch::{WireCollective, WireKind};
 pub use layout::HierarchicalLayout;

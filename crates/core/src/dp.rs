@@ -1,7 +1,12 @@
 //! The data-parallel executors: MiCS, DeepSpeed ZeRO-1/2/3 and DDP.
 //!
-//! One training iteration (`s` micro-steps plus the gradient-accumulation
-//! boundary) is lowered layer-by-layer onto the simulator:
+//! Since the schedule-IR refactor this module is a thin pipeline: a
+//! [`TrainingJob`] is turned into a [`ScheduleSpec`] (one pure emitter per
+//! strategy family, parameterized by [`crate::config::DpPlan`]), lowered to
+//! a [`StepProgram`] — `s` micro-steps of gathers, computes and gradient
+//! synchronization plus the accumulation boundary — and replayed onto the
+//! simulator by [`execute_on_sim`]. See [`crate::schedule`] for the op
+//! grammar; the schedule semantics are unchanged:
 //!
 //! * **forward**: for sharded-parameter strategies, each layer's parameters
 //!   are all-gathered within the partition group on the gather lane —
@@ -20,31 +25,11 @@
 //!   replication groups (hop 2); the optimizer updates its shard; ZeRO-1/2
 //!   re-broadcast updated parameters with a cluster-wide all-gather.
 
-use crate::config::MicroSync;
-use crate::memory::{check_memory, OomError};
-use crate::ops::{Lane, SimCluster};
+use crate::memory::{check_memory, MemoryEstimate, OomError, BUCKET_BYTES};
+use crate::ops::SimCluster;
 use crate::report::RunReport;
+use crate::schedule::{execute_on_sim, LayerSchedule, ScheduleSpec, StepProgram};
 use crate::TrainingJob;
-use mics_cluster::Rank;
-use mics_collectives::compress::{
-    quantized_all_gather_flat, quantized_all_gather_hierarchical, quantized_all_reduce,
-    quantized_reduce_scatter,
-};
-use mics_collectives::cost::{
-    all_gather_flat, all_gather_hierarchical, all_reduce, reduce_scatter,
-};
-use mics_collectives::CollectiveCost;
-use mics_compress::CompressionScope;
-use mics_simnet::{EventId, SimTime};
-
-/// Number of distinct nodes a rank group touches (for NIC-volume
-/// accounting: [`CollectiveCost::nic_bytes`] is *per participating node*).
-fn nodes_spanned(group: &[Rank], k: usize) -> u64 {
-    let mut nodes: Vec<usize> = group.iter().map(|r| r.0 / k).collect();
-    nodes.sort_unstable();
-    nodes.dedup();
-    nodes.len() as u64
-}
 
 /// Simulate one iteration of a DP job (all strategies except Megatron).
 pub fn simulate_dp(job: &TrainingJob) -> Result<RunReport, OomError> {
@@ -57,357 +42,90 @@ pub fn simulate_dp_traced(job: &TrainingJob) -> Result<(RunReport, String), OomE
     simulate_dp_inner(job, true)
 }
 
-fn simulate_dp_inner(job: &TrainingJob, trace: bool) -> Result<(RunReport, String), OomError> {
+/// Build the [`ScheduleSpec`] for a DP job: the strategy's plan plus the
+/// workload's per-layer bytes/FLOPs, validated against the memory model
+/// (which also decides whether hierarchical gathers are active).
+fn dp_spec(job: &TrainingJob) -> Result<(ScheduleSpec, MemoryEstimate), OomError> {
     let n = job.cluster.total_devices();
     let k = job.cluster.devices_per_node();
     let plan = job.strategy.plan(n);
-    let label = job.strategy.label();
-    let est = check_memory(&job.workload, &job.cluster, &plan, &label)?;
-    let hier_active = est.hierarchical_buffers;
+    let est = check_memory(&job.workload, &job.cluster, &plan, &job.strategy.label())?;
+    let dtype = job.workload.param_dtype_bytes;
+    let layers = job
+        .workload
+        .layers
+        .iter()
+        .map(|l| LayerSchedule {
+            param_bytes: l.params * dtype,
+            fwd_flops: l.fwd_flops,
+            // Activation checkpointing: backward recomputes the forward.
+            bwd_flops: l.recompute_flops + l.bwd_flops,
+        })
+        .collect();
+    let spec = ScheduleSpec {
+        n,
+        k,
+        p_params: plan.p_params,
+        p_grads: plan.p_grads,
+        p_opt: plan.p_opt,
+        micro_sync: plan.micro_sync,
+        accum_steps: job.accum_steps,
+        hierarchical: est.hierarchical_buffers,
+        coalesced: plan.coalesced,
+        prefetch_depth: plan.prefetch_depth,
+        decision_overhead: plan.decision_overhead,
+        layers,
+        bucket_bytes: BUCKET_BYTES,
+        total_param_bytes: job.workload.total_params() * dtype,
+        // Bandwidth-bound fp32 Adam update over this device's shard:
+        // read/write master weights, two moments, gradient, fp16 param
+        // ≈ 24 B/parameter.
+        optimizer_bytes: job.workload.total_params() * 24 / plan.p_opt as u64,
+        compression: plan.compression,
+        elem_bytes: dtype,
+    };
+    Ok((spec, est))
+}
+
+/// Lower `job` to its [`StepProgram`] — the exact op sequence both the
+/// simulator backend and the minidl interpreter execute. Fails with
+/// [`OomError`] when the memory model rejects the job, like [`simulate_dp`].
+pub fn dp_program(job: &TrainingJob) -> Result<StepProgram, OomError> {
+    dp_spec(job).map(|(spec, _)| spec.program())
+}
+
+fn simulate_dp_inner(job: &TrainingJob, trace: bool) -> Result<(RunReport, String), OomError> {
+    let (spec, est) = dp_spec(job)?;
+    let prog = spec.program();
+    let n = spec.n;
+    let k = spec.k;
+    let s = job.accum_steps;
 
     let mut sc = SimCluster::new(job.cluster.clone());
     if trace {
         sc.enable_tracing();
     }
-    let dtype = job.workload.param_dtype_bytes;
-    let sustained = if dtype == 2 {
+    let sustained = if job.workload.param_dtype_bytes == 2 {
         job.cluster.instance.sustained_fp16_flops()
     } else {
         job.cluster.instance.sustained_fp32_flops()
     };
-    let layers = &job.workload.layers;
-    let num_layers = layers.len();
-    let p = plan.p_params;
-    let s = job.accum_steps;
-    let total_param_bytes = job.workload.total_params() * dtype;
-
-    // Group tables.
-    let partition_groups: Vec<Vec<Rank>> =
-        (0..n / p).map(|g| (g * p..(g + 1) * p).map(Rank).collect()).collect();
-    let all_ranks: Vec<Rank> = (0..n).map(Rank).collect();
-
-    // Quantized-collective configuration (ZeRO++-style). Parameter gathers
-    // and hop-1 reductions stay inside the partition group, so both scopes
-    // compress them; collectives that leave the group (hop 2, the global
-    // all-reduce when it spans more than the partition group) compress only
-    // under [`CompressionScope::Everywhere`].
-    let comp = plan.compression;
-    // The workload dictates the uncompressed wire width (fp16 for the
-    // paper's language models, fp32 for WideResNet); the cost model needs
-    // it to count elements, not bytes.
-    let cost_model = |c: &mics_compress::CompressionConfig| {
-        let mut cm = c.scheme.cost_model();
-        cm.elem_bytes = dtype;
-        cm
-    };
-    let weight_cm = comp.filter(|c| c.weights).map(|c| cost_model(&c));
-    let grad_cm = |beyond_group: bool| {
-        comp.filter(|c| c.grads)
-            .filter(|c| !beyond_group || c.scope == CompressionScope::Everywhere)
-            .map(|c| cost_model(&c))
-    };
-
-    // Per-layer collective costs (identical for every group by symmetry).
-    let gather_costs: Vec<Option<CollectiveCost>> = layers
-        .iter()
-        .map(|l| {
-            let m = l.params * dtype;
-            if p == 1 || m == 0 {
-                return None;
-            }
-            if hier_active && p > k {
-                Some(match &weight_cm {
-                    Some(cm) => {
-                        quantized_all_gather_hierarchical(p, k, m, &sc.net, plan.coalesced, cm)
-                            .expect("geometry validated by check_memory")
-                    }
-                    None => all_gather_hierarchical(p, k, m, &sc.net, plan.coalesced)
-                        .expect("geometry validated by check_memory"),
-                })
-            } else {
-                Some(match &weight_cm {
-                    Some(cm) => quantized_all_gather_flat(p, k, m, &sc.net, cm),
-                    None => all_gather_flat(p, k, m, &sc.net),
-                })
-            }
-        })
-        .collect();
-    // Gradient reductions run at *bucket* granularity (DeepSpeed's
-    // `reduce_bucket_size`): consecutive layers (in backward order) are
-    // fused until the bucket reaches `BUCKET_BYTES`, amortizing collective
-    // latency over several layers. Each bucket is a list of layer indices
-    // in backward order plus its fused byte count.
-    let buckets: Vec<(Vec<usize>, u64)> = {
-        let mut out: Vec<(Vec<usize>, u64)> = Vec::new();
-        let mut cur: Vec<usize> = Vec::new();
-        let mut bytes = 0u64;
-        for idx in 0..num_layers {
-            let l = num_layers - 1 - idx;
-            let b = layers[l].params * dtype;
-            if b == 0 {
-                continue;
-            }
-            if !cur.is_empty() && bytes + b > crate::memory::BUCKET_BYTES {
-                out.push((std::mem::take(&mut cur), bytes));
-                bytes = 0;
-            }
-            cur.push(l);
-            bytes += b;
-        }
-        if !cur.is_empty() {
-            out.push((cur, bytes));
-        }
-        out
-    };
-    let bucket_costs: Vec<Option<CollectiveCost>> = buckets
-        .iter()
-        .map(|(_, m)| {
-            let m = *m;
-            match plan.micro_sync {
-                MicroSync::PartitionReduceScatter => (p > 1).then(|| match grad_cm(false) {
-                    Some(cm) => quantized_reduce_scatter(p, k, m, &sc.net, &cm),
-                    None => reduce_scatter(p, k, m, &sc.net),
-                }),
-                // The global all-reduce leaves the partition group unless the
-                // group *is* the cluster (ZeRO-3 / MiCS with p = n).
-                MicroSync::GlobalAllReduce => (n > 1).then(|| match grad_cm(p < n) {
-                    Some(cm) => quantized_all_reduce(n, k, 1, m, &sc.net, &cm),
-                    None => all_reduce(n, k, 1, m, &sc.net),
-                }),
-                MicroSync::LocalAccumulate => {
-                    if n == 1 {
-                        None
-                    } else if plan.p_grads > 1 {
-                        // ZeRO-2: reduce-scatter over the whole cluster.
-                        Some(reduce_scatter(n, k, m, &sc.net))
-                    } else {
-                        // DDP / ZeRO-1: bucketed all-reduce over the cluster.
-                        Some(all_reduce(n, k, 1, m, &sc.net))
-                    }
-                }
-            }
-        })
-        .collect();
-
-    // Cluster-wide NIC wire volume for one iteration, accumulated at every
-    // collective emission ([`CollectiveCost::nic_bytes`] is per node, so
-    // each emission contributes bytes × nodes-the-group-touches). This is
-    // the quantity compressed collectives shrink.
-    let mut nic_total: u64 = 0;
-
-    let mut last_reduce_done: Vec<Option<EventId>> = vec![None; n];
-    // Per-layer gradient-reduction events of the previous micro-step: the
-    // gradient accumulation buffer of layer l cannot be rewritten by the
-    // next micro-step's backward until its previous reduction has read it
-    // (write-after-read hazard) — the structural reason per-micro-step
-    // global synchronization hurts (§3.4).
-    let mut reduce_done: Vec<Vec<Option<EventId>>> = vec![vec![None; num_layers]; n];
-
-    // Under the "alternative schedule" (per-micro-step global all-reduce
-    // then partition, §3.4), every partitioning step is "a global
-    // synchronization barrier among all devices" (§2.3): the next
-    // micro-step cannot begin until the previous one's gradient
-    // synchronization has fully completed.
-    let mut micro_barrier: Vec<Option<EventId>> = vec![None; n];
-
-    for micro in 0..s {
-        // ---------- forward ----------
-        if plan.micro_sync == MicroSync::GlobalAllReduce {
-            for (r, barrier) in micro_barrier.iter().enumerate() {
-                if let Some(e) = *barrier {
-                    sc.compute_wait(Rank(r), e);
-                    sc.lane_wait(Lane::Gather, Rank(r), e);
-                }
-            }
-        }
-        let cd_fwd: Vec<Vec<EventId>> =
-            (0..n).map(|_| (0..num_layers).map(|_| sc.new_event()).collect()).collect();
-        let mut gd_fwd: Vec<Vec<Option<EventId>>> = vec![vec![None; num_layers]; n];
-        for (l, cost) in gather_costs.iter().enumerate() {
-            let Some(cost) = cost else { continue };
-            for group in &partition_groups {
-                // Prefetch backpressure: gather for layer l may start once
-                // layer l - depth - 1 has computed.
-                if l > plan.prefetch_depth {
-                    let dep = l - plan.prefetch_depth - 1;
-                    for &m in group {
-                        sc.lane_wait(Lane::Gather, m, cd_fwd[m.0][dep]);
-                    }
-                }
-                nic_total += cost.nic_bytes() * nodes_spanned(group, k);
-                let evs = sc.collective(group, Lane::Gather, cost, plan.decision_overhead);
-                for (i, &m) in group.iter().enumerate() {
-                    gd_fwd[m.0][l] = Some(evs[i]);
-                }
-            }
-        }
-        for r in 0..n {
-            for (l, layer) in layers.iter().enumerate() {
-                if let Some(e) = gd_fwd[r][l] {
-                    sc.compute_wait(Rank(r), e);
-                }
-                sc.compute_kernel(Rank(r), layer.fwd_flops, sustained);
-                sc.compute_record_into(Rank(r), cd_fwd[r][l]);
-            }
-        }
-
-        // ---------- backward (reverse layer order) ----------
-        let cd_bwd: Vec<Vec<EventId>> =
-            (0..n).map(|_| (0..num_layers).map(|_| sc.new_event()).collect()).collect();
-        let mut gd_bwd: Vec<Vec<Option<EventId>>> = vec![vec![None; num_layers]; n];
-        for idx in 0..num_layers {
-            let l = num_layers - 1 - idx;
-            let Some(cost) = &gather_costs[l] else { continue };
-            for group in &partition_groups {
-                if idx > plan.prefetch_depth {
-                    let dep_layer = num_layers - 1 - (idx - plan.prefetch_depth - 1);
-                    for &m in group {
-                        sc.lane_wait(Lane::Gather, m, cd_bwd[m.0][dep_layer]);
-                    }
-                }
-                nic_total += cost.nic_bytes() * nodes_spanned(group, k);
-                let evs = sc.collective(group, Lane::Gather, cost, plan.decision_overhead);
-                for (i, &m) in group.iter().enumerate() {
-                    gd_bwd[m.0][l] = Some(evs[i]);
-                }
-            }
-        }
-        for r in 0..n {
-            for idx in 0..num_layers {
-                let l = num_layers - 1 - idx;
-                if let Some(e) = gd_bwd[r][l] {
-                    sc.compute_wait(Rank(r), e);
-                }
-                if let Some(e) = reduce_done[r][l] {
-                    // Gradient-buffer write-after-read hazard against the
-                    // previous micro-step's reduction of this layer.
-                    sc.compute_wait(Rank(r), e);
-                }
-                let layer = &layers[l];
-                sc.compute_kernel(Rank(r), layer.recompute_flops + layer.bwd_flops, sustained);
-                sc.compute_record_into(Rank(r), cd_bwd[r][l]);
-            }
-        }
-
-        // ---------- per-micro-step gradient synchronization ----------
-        let sync_this_micro = match plan.micro_sync {
-            MicroSync::LocalAccumulate => micro == s - 1,
-            _ => true,
-        };
-        let boundary = micro == s - 1;
-        if sync_this_micro {
-            for (bi, (bucket_layers, bucket_bytes)) in buckets.iter().enumerate() {
-                // A bucket is ready when its last-computed layer (the lowest
-                // index — backward runs in decreasing layer order on one
-                // stream) has finished.
-                let ready_layer = *bucket_layers.last().unwrap();
-                let mut hop1_emitted = false;
-                if let Some(cost) = &bucket_costs[bi] {
-                    let groups: &[Vec<Rank>] =
-                        if plan.micro_sync == MicroSync::PartitionReduceScatter {
-                            &partition_groups
-                        } else {
-                            std::slice::from_ref(&all_ranks)
-                        };
-                    for group in groups {
-                        for &m in group {
-                            sc.lane_wait(Lane::Reduce, m, cd_bwd[m.0][ready_layer]);
-                        }
-                        nic_total += cost.nic_bytes() * nodes_spanned(group, k);
-                        let evs = sc.collective(group, Lane::Reduce, cost, plan.decision_overhead);
-                        for (i, &m) in group.iter().enumerate() {
-                            last_reduce_done[m.0] = Some(evs[i]);
-                            for &l in bucket_layers {
-                                reduce_done[m.0][l] = Some(evs[i]);
-                            }
-                            if plan.micro_sync == MicroSync::GlobalAllReduce {
-                                // The final bucket's reduction is the last
-                                // to finish and forms the micro-step barrier.
-                                micro_barrier[m.0] = Some(evs[i]);
-                            }
-                        }
-                    }
-                    hop1_emitted = true;
-                }
-                // 2-hop second hop (§3.4): at the accumulation boundary,
-                // all-reduce this bucket's accumulated gradient shard across
-                // the replication group — bucketed so it overlaps with the
-                // remaining backward compute, just like hop 1.
-                if boundary && plan.micro_sync == MicroSync::PartitionReduceScatter && n > p {
-                    let shard_bytes = bucket_bytes / p as u64;
-                    if shard_bytes > 0 {
-                        let repl_size = n / p;
-                        // Hop 2 crosses replication groups — beyond the
-                        // partition group, so intra-group-only compression
-                        // keeps it at full precision.
-                        let cost = match grad_cm(true) {
-                            Some(cm) => {
-                                quantized_all_reduce(repl_size, k, p, shard_bytes, &sc.net, &cm)
-                            }
-                            None => all_reduce(repl_size, k, p, shard_bytes, &sc.net),
-                        };
-                        for local in 0..p {
-                            let members: Vec<Rank> =
-                                (0..repl_size).map(|g| Rank(g * p + local)).collect();
-                            if !hop1_emitted {
-                                for &m in &members {
-                                    sc.lane_wait(Lane::Reduce, m, cd_bwd[m.0][ready_layer]);
-                                }
-                            }
-                            nic_total += cost.nic_bytes() * nodes_spanned(&members, k);
-                            let evs = sc.collective(&members, Lane::Reduce, &cost, SimTime::ZERO);
-                            for (i, &m) in members.iter().enumerate() {
-                                last_reduce_done[m.0] = Some(evs[i]);
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    // ---------- optimizer step ----------
-    // Bandwidth-bound fp32 Adam update over this device's shard: read/write
-    // master weights, two moments, gradient, fp16 param ≈ 24 B/parameter.
-    let opt_bytes = job.workload.total_params() * 24 / plan.p_opt as u64;
-    let opt_time = SimTime::from_secs_f64(opt_bytes as f64 / job.cluster.instance.memcpy_bw);
-    let mut opt_done: Vec<Option<EventId>> = vec![None; n];
-    for r in 0..n {
-        if let Some(e) = last_reduce_done[r] {
-            sc.compute_wait(Rank(r), e);
-        }
-        sc.compute_for(Rank(r), opt_time);
-        if plan.p_opt > 1 && plan.p_params == 1 {
-            opt_done[r] = Some(sc.compute_record(Rank(r)));
-        }
-    }
-
-    // ---------- ZeRO-1/2: refresh the full parameter replicas ----------
-    if plan.p_opt > 1 && plan.p_params == 1 && n > 1 {
-        let cost = all_gather_flat(n, k, total_param_bytes, &sc.net);
-        for &m in &all_ranks {
-            if let Some(e) = opt_done[m.0] {
-                sc.lane_wait(Lane::Gather, m, e);
-            }
-        }
-        nic_total += cost.nic_bytes() * nodes_spanned(&all_ranks, k);
-        sc.collective(&all_ranks, Lane::Gather, &cost, plan.decision_overhead);
-    }
+    let exec = execute_on_sim(&prog, &mut sc, sustained);
 
     let (iter_time, compute_busy, comm_busy, trace_json) = sc.run_traced();
     let samples = job.samples_per_iteration() as f64;
     let secs = iter_time.as_secs_f64();
     Ok((
         RunReport {
-            label,
+            label: job.strategy.label(),
             iter_time,
             samples_per_sec: samples / secs,
             achieved_flops_per_gpu: job.workload.total_flops() * s as f64 / secs,
             memory: est,
-            hierarchical_used: hier_active,
+            hierarchical_used: spec.hierarchical,
             compute_fraction: compute_busy.as_secs_f64() / (n as f64 * secs),
             comm_fraction: comm_busy.as_secs_f64() / (n as f64 * secs),
-            nic_bytes_per_node: nic_total / (n / k).max(1) as u64,
+            nic_bytes_per_node: exec.nic_bytes_total / (n / k).max(1) as u64,
         },
         trace_json,
     ))
@@ -629,5 +347,18 @@ mod tests {
         j.workload = TransformerConfig::bert_1_5b().workload(8);
         let r = simulate_dp(&j).unwrap();
         assert!(r.comm_fraction > 0.0);
+    }
+
+    #[test]
+    fn program_nic_accounting_matches_report() {
+        // The IR-derived wire volume and the executor's accumulation are the
+        // same number: nic_bytes_per_node is a pure function of the program.
+        let j = job(4, Strategy::Mics(MicsConfig::paper_defaults(16)));
+        let prog = dp_program(&j).unwrap();
+        let sc = SimCluster::new(j.cluster.clone());
+        let per_node =
+            prog.total_nic_bytes(&sc.net) / (j.cluster.total_devices() / 8).max(1) as u64;
+        let report = simulate_dp(&j).unwrap();
+        assert_eq!(per_node, report.nic_bytes_per_node);
     }
 }

@@ -51,10 +51,11 @@ pub mod memory;
 pub mod ops;
 pub mod recovery;
 pub mod report;
+pub mod schedule;
 pub mod tuner;
 
 pub use config::{MicsConfig, Strategy, ZeroStage};
-pub use dp::simulate_dp_traced;
+pub use dp::{dp_program, simulate_dp_traced};
 pub use megatron::{simulate_megatron, MegatronConfig, MegatronReport};
 pub use memory::{MemoryEstimate, OomError};
 pub use mics_compress::{CompressionConfig, CompressionScope, QuantScheme};
@@ -63,6 +64,10 @@ pub use recovery::{
     RecoveryPolicy, RecoveryReport, RecoveryTime,
 };
 pub use report::RunReport;
+pub use schedule::{
+    apply_prefetch, emit_step, execute_on_sim, GroupRef, OpKind, Pass, ScheduleOp, ScheduleSpec,
+    StepProgram, WireOp,
+};
 pub use tuner::{tune, tune_with_compression, TuneResult};
 
 use mics_cluster::ClusterSpec;

@@ -17,8 +17,7 @@
 
 use crate::memory::{OomError, RUNTIME_RESERVED};
 use mics_cluster::ClusterSpec;
-use mics_collectives::cost::{all_reduce, p2p};
-use mics_collectives::NetParams;
+use mics_collectives::{NetParams, WireCollective, WireKind};
 use mics_model::TransformerConfig;
 use mics_simnet::SimTime;
 
@@ -103,8 +102,18 @@ pub fn simulate_megatron(
     // TP communication: 2 all-reduces of the activation (b × l × h fp16)
     // per layer forward, 2 per layer backward, within the node.
     let act_bytes = (b * model.seq_len * model.hidden) as u64 * 2;
+    let wire = |kind, participants, bytes| WireCollective {
+        kind,
+        participants,
+        devices_per_node: k,
+        bytes,
+        codec: None,
+    };
     let tp_ar = if t > 1 {
-        all_reduce(t, k, 1, act_bytes, &net).serial_time(&net).as_secs_f64()
+        wire(WireKind::AllReduce { stride: 1 }, t, act_bytes)
+            .cost(&net)
+            .serial_time(&net)
+            .as_secs_f64()
     } else {
         0.0
     };
@@ -122,7 +131,10 @@ pub fn simulate_megatron(
     // inter-node when t × pp > k.
     let inter_node_stages = t * pp > k;
     let p2p_time = if pp > 1 {
-        p2p(act_bytes, inter_node_stages, &net).serial_time(&net).as_secs_f64()
+        wire(WireKind::P2p { inter_node: inter_node_stages }, 2, act_bytes)
+            .cost(&net)
+            .serial_time(&net)
+            .as_secs_f64()
     } else {
         0.0
     };
@@ -139,7 +151,10 @@ pub fn simulate_megatron(
     let dp_sync = if d > 1 {
         // DP replicas of the same stage are strided t×pp apart → inter-node
         // for every realistic configuration.
-        all_reduce(d, k, t * pp, stage_param_bytes, &net).serial_time(&net).as_secs_f64()
+        wire(WireKind::AllReduce { stride: t * pp }, d, stage_param_bytes)
+            .cost(&net)
+            .serial_time(&net)
+            .as_secs_f64()
     } else {
         0.0
     };

@@ -1,0 +1,1154 @@
+//! The schedule IR: one typed lowering of the MiCS training step, consumed
+//! by both the simulator and the real dataplane.
+//!
+//! MiCS's contributions (§3.3 hierarchical gather, §3.4 2-hop sync, §4
+//! prefetch/overlap) are all *schedule* properties. This module makes the
+//! schedule a first-class value: a [`StepProgram`] — a flat list of
+//! [`ScheduleOp`]s with explicit op-to-op dependencies and per-op wire
+//! annotations ([`WireOp`]) — emitted once per strategy by [`emit_step`]
+//! from a [`ScheduleSpec`], then consumed by two backends:
+//!
+//! * [`execute_on_sim`] replays the program onto a [`SimCluster`] — the
+//!   analytic cost backend behind [`crate::simulate`]. The replay is
+//!   push-for-push identical to the historical inline lowering in
+//!   `dp.rs`, so every simulated number is bit-identical to what that
+//!   lowering produced.
+//! * the `mics-minidl` interpreter walks the same program and drives the
+//!   real `mics-dataplane` communicators, making the fidelity claim
+//!   structural: the dataplane executes the *same program* the simulator
+//!   costs.
+//!
+//! Prefetch depth is not baked into emission: [`emit_step`] produces
+//! gathers with no lookahead constraint and [`apply_prefetch`] is a
+//! schedule *transform* that adds the backpressure dependencies, so tuner
+//! passes can re-run it at different depths without re-emitting.
+
+use crate::config::MicroSync;
+use crate::ops::{Lane, SimCluster};
+use mics_cluster::{nodes_spanned, Rank};
+use mics_collectives::dispatch::{WireCollective, WireKind};
+use mics_collectives::NetParams;
+use mics_compress::{CompressionConfig, CompressionScope, QuantScheme};
+use mics_simnet::{EventId, SimTime};
+
+/// Index of an op inside [`StepProgram::ops`]; dependencies are expressed
+/// as these indices.
+pub type OpId = usize;
+
+/// Which half of the micro-step a gather or compute belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pass {
+    /// Forward propagation (ascending layer order).
+    Forward,
+    /// Backward propagation (descending layer order, with recompute).
+    Backward,
+}
+
+/// A rank group, by construction rather than by member list (§3.2's
+/// partition/replication group structure, Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupRef {
+    /// Partition group `g`: the `p` consecutive ranks `g·p .. (g+1)·p`.
+    Partition(usize),
+    /// Every rank in the cluster.
+    All,
+    /// Replication group `local`: the `n/p` ranks `{g·p + local}` (stride
+    /// `p`).
+    Replication(usize),
+}
+
+impl GroupRef {
+    /// Materialize the member ranks (ascending) on a cluster of `n` devices
+    /// with partition size `p`.
+    pub fn members(&self, n: usize, p: usize) -> Vec<Rank> {
+        match *self {
+            GroupRef::Partition(g) => (g * p..(g + 1) * p).map(Rank).collect(),
+            GroupRef::All => (0..n).map(Rank).collect(),
+            GroupRef::Replication(local) => (0..n / p).map(|g| Rank(g * p + local)).collect(),
+        }
+    }
+
+    /// This rank's index within the group's member list, or `None` if it
+    /// does not participate.
+    pub fn member_index(&self, rank: Rank, n: usize, p: usize) -> Option<usize> {
+        match *self {
+            GroupRef::Partition(g) => {
+                (g * p <= rank.0 && rank.0 < (g + 1) * p).then(|| rank.0 - g * p)
+            }
+            GroupRef::All => (rank.0 < n).then_some(rank.0),
+            GroupRef::Replication(local) => (rank.0 % p == local).then(|| rank.0 / p),
+        }
+    }
+
+    /// Whether `rank` participates in this group.
+    pub fn contains(&self, rank: Rank, n: usize, p: usize) -> bool {
+        self.member_index(rank, n, p).is_some()
+    }
+}
+
+/// Which buffer a gradient reduction consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GradSource {
+    /// The current micro-step's freshly computed gradient (per-micro-step
+    /// synchronization: MiCS hop 1, ZeRO-3's global all-reduce).
+    MicroGrad,
+    /// The locally accumulated gradient (boundary synchronization: DDP and
+    /// ZeRO-1/2's bucketed reduction over the whole iteration).
+    Accum,
+}
+
+/// The wire-level annotation of a communication op: who talks, on which
+/// lane, what algorithm moves how many bytes, and under which codec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireOp {
+    /// Participating ranks.
+    pub group: GroupRef,
+    /// The communication stream the op occupies.
+    pub lane: Lane,
+    /// Algorithm + payload for the α–β cost dispatch
+    /// ([`WireCollective::cost`]).
+    pub wire: WireCollective,
+    /// Quantized-wire scheme for the real dataplane (`None` = exact wire).
+    /// The wire-byte model of the same codec lives in `wire.codec`.
+    pub scheme: Option<QuantScheme>,
+    /// Whether the op pays the plan's host-side decision overhead before
+    /// launching (the 2-hop boundary all-reduce does not: its schedule is
+    /// fully precomputed, §3.4/§4).
+    pub overhead: bool,
+}
+
+/// One operation of the step program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpKind {
+    /// The global synchronization barrier the "alternative schedule" pays
+    /// at every micro-step boundary (§2.3/§3.4): both the compute stream
+    /// and the gather lane wait for the previous micro-step's last
+    /// gradient reduction.
+    MicroBarrier,
+    /// All-gather one layer's parameter shards within a partition group.
+    GatherShards {
+        /// Layer being materialized.
+        layer: usize,
+        /// Forward or backward re-gather.
+        pass: Pass,
+        /// Wire annotation.
+        wire: WireOp,
+    },
+    /// One layer's compute: forward, or recompute + backward.
+    Compute {
+        /// Layer index.
+        layer: usize,
+        /// Which pass.
+        pass: Pass,
+        /// FLOPs of the kernel (0 for layers with no compute).
+        flops: f64,
+    },
+    /// Fold the current micro-step's gradient into the local accumulation
+    /// buffer — no wire traffic (DDP/ZeRO-1/2 between boundaries, and the
+    /// degenerate single-member groups of the sharded schedules).
+    AccumGrads {
+        /// Gradient bucket index.
+        bucket: usize,
+    },
+    /// Reduce-scatter one gradient bucket (MiCS hop 1 within the partition
+    /// group; ZeRO-2 over the cluster at the boundary).
+    ReduceScatterGrads {
+        /// Gradient bucket index.
+        bucket: usize,
+        /// Which gradient buffer is reduced.
+        source: GradSource,
+        /// Wire annotation.
+        wire: WireOp,
+    },
+    /// All-reduce one gradient bucket (ZeRO-3's per-micro-step global
+    /// all-reduce; DDP/ZeRO-1's boundary all-reduce).
+    AllReduceGrads {
+        /// Gradient bucket index.
+        bucket: usize,
+        /// Which gradient buffer is reduced.
+        source: GradSource,
+        /// Wire annotation.
+        wire: WireOp,
+    },
+    /// MiCS hop 2 (§3.4): all-reduce one bucket's accumulated gradient
+    /// shard across a replication group at the accumulation boundary.
+    CrossGroupAllReduce {
+        /// Gradient bucket index.
+        bucket: usize,
+        /// Local rank within the partition group whose shards this op
+        /// reduces (one op per `local` in `0..p`).
+        local: usize,
+        /// Wire annotation.
+        wire: WireOp,
+    },
+    /// The optimizer step: a bandwidth-bound fp32 Adam update over each
+    /// device's shard, gated on the last gradient reduction.
+    OptimizerUpdate {
+        /// Bytes read+written per device (≈ 24 B/parameter over the shard).
+        bytes: u64,
+        /// Record a completion event (needed when a parameter refresh
+        /// follows).
+        record: bool,
+    },
+    /// ZeRO-1/2's boundary parameter refresh: a cluster-wide all-gather of
+    /// the updated replicas.
+    ParamRefresh {
+        /// Wire annotation.
+        wire: WireOp,
+    },
+}
+
+/// One scheduled operation: kind + position + explicit dependencies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleOp {
+    /// Micro-step this op belongs to (boundary/optimizer ops carry the
+    /// last micro-step's index).
+    pub micro: usize,
+    /// What the op does.
+    pub kind: OpKind,
+    /// Ops that must complete (for the participating rank) before this op
+    /// may run. The wait kind follows from this op's kind: compute ops
+    /// wait on their compute stream, wire ops on their lane.
+    pub deps: Vec<OpId>,
+}
+
+/// A fully lowered training step: the single schedule both backends
+/// consume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepProgram {
+    /// Total devices.
+    pub n: usize,
+    /// Devices per node.
+    pub k: usize,
+    /// Partition group size (`p_params`).
+    pub p: usize,
+    /// Number of model layers.
+    pub num_layers: usize,
+    /// Micro-steps per iteration.
+    pub accum_steps: usize,
+    /// Host-side think time charged by ops with `overhead = true`.
+    pub decision_overhead: SimTime,
+    /// The ops, in emission (and execution) order.
+    pub ops: Vec<ScheduleOp>,
+}
+
+/// Per-layer workload numbers the emitter consumes.
+#[derive(Debug, Clone, Copy)]
+pub struct LayerSchedule {
+    /// Parameter bytes of the layer (at the wire dtype).
+    pub param_bytes: u64,
+    /// Forward FLOPs.
+    pub fwd_flops: f64,
+    /// Backward FLOPs including activation recompute.
+    pub bwd_flops: f64,
+}
+
+/// Everything [`emit_step`] needs to lower one strategy's iteration.
+#[derive(Debug, Clone)]
+pub struct ScheduleSpec {
+    /// Total devices.
+    pub n: usize,
+    /// Devices per node.
+    pub k: usize,
+    /// Partition group size for parameters.
+    pub p_params: usize,
+    /// Shard count for gradients (ZeRO-2 reduces by scatter when > 1).
+    pub p_grads: usize,
+    /// Shard count for optimizer states.
+    pub p_opt: usize,
+    /// Per-micro-step gradient handling.
+    pub micro_sync: MicroSync,
+    /// Micro-steps per iteration.
+    pub accum_steps: usize,
+    /// Use the §3.3 hierarchical all-gather when the partition group spans
+    /// nodes (callers pass the memory-validated decision).
+    pub hierarchical: bool,
+    /// Batch the hierarchical stage-3 calls through the coalesced API.
+    pub coalesced: bool,
+    /// Gather-lane lookahead in layers, applied by [`apply_prefetch`].
+    pub prefetch_depth: usize,
+    /// Host-side think time before each scheduled collective.
+    pub decision_overhead: SimTime,
+    /// The layers, in forward order.
+    pub layers: Vec<LayerSchedule>,
+    /// Gradient-bucket fusion threshold (DeepSpeed's `reduce_bucket_size`).
+    pub bucket_bytes: u64,
+    /// Total parameter bytes (for the ZeRO-1/2 refresh gather).
+    pub total_param_bytes: u64,
+    /// Optimizer bytes read+written per device (already divided by
+    /// `p_opt`).
+    pub optimizer_bytes: u64,
+    /// Quantized-collective configuration (`None` = full-precision wire).
+    pub compression: Option<CompressionConfig>,
+    /// Uncompressed element width in bytes (the wire dtype).
+    pub elem_bytes: u64,
+}
+
+impl ScheduleSpec {
+    /// Emit and apply the spec's own prefetch depth: the program both
+    /// backends should run.
+    pub fn program(&self) -> StepProgram {
+        let mut prog = emit_step(self);
+        apply_prefetch(&mut prog, self.prefetch_depth);
+        prog
+    }
+}
+
+/// Gradient buckets: consecutive layers in backward order fused until the
+/// bucket reaches `bucket_bytes` (zero-parameter layers are skipped).
+/// Returns `(layer indices in backward order, fused bytes)` per bucket.
+fn bucketize(layers: &[LayerSchedule], bucket_bytes: u64) -> Vec<(Vec<usize>, u64)> {
+    let mut out: Vec<(Vec<usize>, u64)> = Vec::new();
+    let mut cur: Vec<usize> = Vec::new();
+    let mut bytes = 0u64;
+    for idx in 0..layers.len() {
+        let l = layers.len() - 1 - idx;
+        let b = layers[l].param_bytes;
+        if b == 0 {
+            continue;
+        }
+        if !cur.is_empty() && bytes + b > bucket_bytes {
+            out.push((std::mem::take(&mut cur), bytes));
+            bytes = 0;
+        }
+        cur.push(l);
+        bytes += b;
+    }
+    if !cur.is_empty() {
+        out.push((cur, bytes));
+    }
+    out
+}
+
+/// Lower one iteration of `spec` to a [`StepProgram`].
+///
+/// The emission order is the contract both backends rely on: forward
+/// gathers (layer-ascending, group-ascending), forward computes, backward
+/// gathers (layer-descending), backward computes, then per-bucket gradient
+/// synchronization, and after the last micro-step the optimizer update and
+/// the ZeRO-1/2 parameter refresh. Prefetch dependencies are *not* added
+/// here — see [`apply_prefetch`].
+///
+/// # Panics
+/// Panics if `p_params` does not divide `n` or any dimension is zero.
+pub fn emit_step(spec: &ScheduleSpec) -> StepProgram {
+    let (n, k, p) = (spec.n, spec.k, spec.p_params);
+    assert!(n >= 1 && k >= 1 && p >= 1 && n.is_multiple_of(p), "invalid geometry n={n} p={p}");
+    let num_layers = spec.layers.len();
+    let s = spec.accum_steps;
+    let groups = n / p;
+
+    // Codec resolution, mirroring the scope rules of the quantized
+    // collectives: gathers and hop-1 reductions stay inside the partition
+    // group; collectives that leave it compress only under
+    // [`CompressionScope::Everywhere`].
+    let cost_model = |c: &CompressionConfig| {
+        let mut cm = c.scheme.cost_model();
+        cm.elem_bytes = spec.elem_bytes;
+        cm
+    };
+    let weight_codec = spec.compression.filter(|c| c.weights).map(|c| (c.scheme, cost_model(&c)));
+    let grad_codec = |beyond_group: bool| {
+        spec.compression
+            .filter(|c| c.grads)
+            .filter(|c| !beyond_group || c.scope == CompressionScope::Everywhere)
+            .map(|c| (c.scheme, cost_model(&c)))
+    };
+
+    let hier = spec.hierarchical && p > k;
+    let gather_wire = |layer: usize, g: usize| WireOp {
+        group: GroupRef::Partition(g),
+        lane: Lane::Gather,
+        wire: WireCollective {
+            kind: WireKind::AllGather { hierarchical: hier, coalesced: spec.coalesced },
+            participants: p,
+            devices_per_node: k,
+            bytes: spec.layers[layer].param_bytes,
+            codec: weight_codec.map(|(_, cm)| cm),
+        },
+        scheme: weight_codec.map(|(sch, _)| sch),
+        overhead: true,
+    };
+
+    let buckets = bucketize(&spec.layers, spec.bucket_bytes);
+    // Per-bucket synchronization op template: `(kind, source, wire)` or
+    // `None` when the group is trivial and the bucket folds locally.
+    enum SyncKind {
+        Rs,
+        Ar,
+    }
+    let bucket_sync = |bytes: u64| -> Option<(SyncKind, GradSource, WireOp)> {
+        let mk = |kind, source, wk, participants, codec: Option<(QuantScheme, _)>| {
+            (
+                kind,
+                source,
+                WireOp {
+                    group: if matches!(spec.micro_sync, MicroSync::PartitionReduceScatter) {
+                        GroupRef::Partition(0) // placeholder; rewritten per group below
+                    } else {
+                        GroupRef::All
+                    },
+                    lane: Lane::Reduce,
+                    wire: WireCollective {
+                        kind: wk,
+                        participants,
+                        devices_per_node: k,
+                        bytes,
+                        codec: codec.map(|(_, cm)| cm),
+                    },
+                    scheme: codec.map(|(sch, _)| sch),
+                    overhead: true,
+                },
+            )
+        };
+        match spec.micro_sync {
+            MicroSync::PartitionReduceScatter => (p > 1).then(|| {
+                mk(
+                    SyncKind::Rs,
+                    GradSource::MicroGrad,
+                    WireKind::ReduceScatter,
+                    p,
+                    grad_codec(false),
+                )
+            }),
+            // The global all-reduce leaves the partition group unless the
+            // group *is* the cluster (ZeRO-3 / MiCS with p = n).
+            MicroSync::GlobalAllReduce => (n > 1).then(|| {
+                mk(
+                    SyncKind::Ar,
+                    GradSource::MicroGrad,
+                    WireKind::AllReduce { stride: 1 },
+                    n,
+                    grad_codec(p < n),
+                )
+            }),
+            MicroSync::LocalAccumulate => (n > 1).then(|| {
+                // The boundary reduction leaves the (trivial) partition
+                // group, so only `Everywhere`-scoped compression applies.
+                if spec.p_grads > 1 {
+                    // ZeRO-2: reduce-scatter over the whole cluster.
+                    mk(
+                        SyncKind::Rs,
+                        GradSource::Accum,
+                        WireKind::ReduceScatter,
+                        n,
+                        grad_codec(true),
+                    )
+                } else {
+                    // DDP / ZeRO-1: bucketed all-reduce over the cluster.
+                    mk(
+                        SyncKind::Ar,
+                        GradSource::Accum,
+                        WireKind::AllReduce { stride: 1 },
+                        n,
+                        grad_codec(true),
+                    )
+                }
+            }),
+        }
+    };
+
+    let mut ops: Vec<ScheduleOp> = Vec::new();
+    // Previous synchronization's reduction ops per layer (the
+    // write-after-read hazard on the gradient buffer, §3.4) and per rank
+    // cover (for the optimizer's gate).
+    let mut war: Vec<Vec<OpId>> = vec![Vec::new(); num_layers];
+    let mut last_reduce: Vec<OpId> = Vec::new();
+    let mut barrier: Option<OpId> = None;
+
+    for micro in 0..s {
+        // ---------- forward ----------
+        if spec.micro_sync == MicroSync::GlobalAllReduce {
+            if let Some(b) = barrier {
+                ops.push(ScheduleOp { micro, kind: OpKind::MicroBarrier, deps: vec![b] });
+            }
+        }
+        let mut fwd_gathers: Vec<Vec<OpId>> = vec![Vec::new(); num_layers];
+        for (l, layer) in spec.layers.iter().enumerate() {
+            if p == 1 || layer.param_bytes == 0 {
+                continue;
+            }
+            for g in 0..groups {
+                fwd_gathers[l].push(ops.len());
+                ops.push(ScheduleOp {
+                    micro,
+                    kind: OpKind::GatherShards {
+                        layer: l,
+                        pass: Pass::Forward,
+                        wire: gather_wire(l, g),
+                    },
+                    deps: Vec::new(),
+                });
+            }
+        }
+        let mut fwd_computes: Vec<OpId> = Vec::with_capacity(num_layers);
+        for (l, layer) in spec.layers.iter().enumerate() {
+            fwd_computes.push(ops.len());
+            ops.push(ScheduleOp {
+                micro,
+                kind: OpKind::Compute { layer: l, pass: Pass::Forward, flops: layer.fwd_flops },
+                deps: fwd_gathers[l].clone(),
+            });
+        }
+
+        // ---------- backward (reverse layer order) ----------
+        let mut bwd_gathers: Vec<Vec<OpId>> = vec![Vec::new(); num_layers];
+        for idx in 0..num_layers {
+            let l = num_layers - 1 - idx;
+            if p == 1 || spec.layers[l].param_bytes == 0 {
+                continue;
+            }
+            for g in 0..groups {
+                bwd_gathers[l].push(ops.len());
+                ops.push(ScheduleOp {
+                    micro,
+                    kind: OpKind::GatherShards {
+                        layer: l,
+                        pass: Pass::Backward,
+                        wire: gather_wire(l, g),
+                    },
+                    deps: Vec::new(),
+                });
+            }
+        }
+        let mut bwd_computes: Vec<OpId> = vec![0; num_layers];
+        for idx in 0..num_layers {
+            let l = num_layers - 1 - idx;
+            let mut deps = bwd_gathers[l].clone();
+            // Gradient-buffer write-after-read hazard against the previous
+            // micro-step's reduction of this layer.
+            deps.extend(war[l].iter().copied());
+            bwd_computes[l] = ops.len();
+            ops.push(ScheduleOp {
+                micro,
+                kind: OpKind::Compute {
+                    layer: l,
+                    pass: Pass::Backward,
+                    flops: spec.layers[l].bwd_flops,
+                },
+                deps,
+            });
+        }
+
+        // ---------- per-micro-step gradient synchronization ----------
+        let sync_this_micro = match spec.micro_sync {
+            MicroSync::LocalAccumulate => micro == s - 1,
+            _ => true,
+        };
+        let boundary = micro == s - 1;
+        for (bi, (bucket_layers, bucket_bytes)) in buckets.iter().enumerate() {
+            // A bucket is ready when its last-computed layer (the lowest
+            // index — backward runs in decreasing layer order) finishes.
+            let ready = bwd_computes[*bucket_layers.last().unwrap()];
+            if spec.micro_sync == MicroSync::LocalAccumulate {
+                // Local fold every micro-step; the wire only carries the
+                // accumulated buffer at the boundary.
+                ops.push(ScheduleOp {
+                    micro,
+                    kind: OpKind::AccumGrads { bucket: bi },
+                    deps: vec![ready],
+                });
+            }
+            if !sync_this_micro {
+                continue;
+            }
+            let mut hop1_emitted = false;
+            if let Some((kind, source, wire_tpl)) = bucket_sync(*bucket_bytes) {
+                let group_list: Vec<GroupRef> =
+                    if spec.micro_sync == MicroSync::PartitionReduceScatter {
+                        (0..groups).map(GroupRef::Partition).collect()
+                    } else {
+                        vec![GroupRef::All]
+                    };
+                let mut batch: Vec<OpId> = Vec::with_capacity(group_list.len());
+                for group in group_list {
+                    let wire = WireOp { group, ..wire_tpl };
+                    batch.push(ops.len());
+                    ops.push(ScheduleOp {
+                        micro,
+                        kind: match kind {
+                            SyncKind::Rs => OpKind::ReduceScatterGrads { bucket: bi, source, wire },
+                            SyncKind::Ar => OpKind::AllReduceGrads { bucket: bi, source, wire },
+                        },
+                        deps: vec![ready],
+                    });
+                }
+                for &l in bucket_layers {
+                    war[l] = batch.clone();
+                }
+                last_reduce = batch.clone();
+                if spec.micro_sync == MicroSync::GlobalAllReduce {
+                    // The final bucket's reduction is the last to finish
+                    // and forms the next micro-step's barrier.
+                    barrier = batch.last().copied();
+                }
+                hop1_emitted = true;
+            } else if spec.micro_sync != MicroSync::LocalAccumulate {
+                // Trivial synchronization group (p = 1 hop 1, n = 1 global
+                // all-reduce): the micro-gradient folds locally.
+                ops.push(ScheduleOp {
+                    micro,
+                    kind: OpKind::AccumGrads { bucket: bi },
+                    deps: vec![ready],
+                });
+            }
+            // 2-hop second hop (§3.4): at the accumulation boundary,
+            // all-reduce this bucket's accumulated gradient shard across
+            // the replication group — bucketed so it overlaps with the
+            // remaining backward compute, just like hop 1.
+            if boundary && spec.micro_sync == MicroSync::PartitionReduceScatter && n > p {
+                let shard_bytes = bucket_bytes / p as u64;
+                if shard_bytes > 0 {
+                    // Hop 2 crosses replication groups — beyond the
+                    // partition group, so intra-group-only compression
+                    // keeps it at full precision.
+                    let codec = grad_codec(true);
+                    let mut ids: Vec<OpId> = Vec::with_capacity(p);
+                    for local in 0..p {
+                        let deps = if hop1_emitted { Vec::new() } else { vec![ready] };
+                        ids.push(ops.len());
+                        ops.push(ScheduleOp {
+                            micro,
+                            kind: OpKind::CrossGroupAllReduce {
+                                bucket: bi,
+                                local,
+                                wire: WireOp {
+                                    group: GroupRef::Replication(local),
+                                    lane: Lane::Reduce,
+                                    wire: WireCollective {
+                                        kind: WireKind::AllReduce { stride: p },
+                                        participants: n / p,
+                                        devices_per_node: k,
+                                        bytes: shard_bytes,
+                                        codec: codec.map(|(_, cm)| cm),
+                                    },
+                                    scheme: codec.map(|(sch, _)| sch),
+                                    overhead: false,
+                                },
+                            },
+                            deps,
+                        });
+                    }
+                    last_reduce = ids;
+                }
+            }
+        }
+    }
+
+    // ---------- optimizer step + ZeRO-1/2 parameter refresh ----------
+    let record = spec.p_opt > 1 && spec.p_params == 1;
+    let opt_id = ops.len();
+    ops.push(ScheduleOp {
+        micro: s - 1,
+        kind: OpKind::OptimizerUpdate { bytes: spec.optimizer_bytes, record },
+        deps: last_reduce,
+    });
+    if record && n > 1 {
+        ops.push(ScheduleOp {
+            micro: s - 1,
+            kind: OpKind::ParamRefresh {
+                wire: WireOp {
+                    group: GroupRef::All,
+                    lane: Lane::Gather,
+                    wire: WireCollective {
+                        kind: WireKind::AllGather { hierarchical: false, coalesced: false },
+                        participants: n,
+                        devices_per_node: k,
+                        bytes: spec.total_param_bytes,
+                        codec: None,
+                    },
+                    scheme: None,
+                    overhead: true,
+                },
+            },
+            deps: vec![opt_id],
+        });
+    }
+
+    StepProgram {
+        n,
+        k,
+        p,
+        num_layers,
+        accum_steps: s,
+        decision_overhead: spec.decision_overhead,
+        ops,
+    }
+}
+
+/// Add prefetch-backpressure dependencies to every gather: the gather for
+/// layer `l` may start once layer `l - depth - 1` (forward) or its mirror
+/// (backward) has computed in the same micro-step. This is the §4 overlap
+/// window as a schedule transform — call it once per program.
+pub fn apply_prefetch(prog: &mut StepProgram, depth: usize) {
+    let nl = prog.num_layers;
+    // (micro, pass, layer) → compute op.
+    let slot = |micro: usize, pass: Pass, layer: usize| {
+        micro * 2 * nl + if pass == Pass::Forward { layer } else { nl + layer }
+    };
+    let mut computes: Vec<OpId> = vec![usize::MAX; prog.accum_steps * 2 * nl];
+    for (i, op) in prog.ops.iter().enumerate() {
+        if let OpKind::Compute { layer, pass, .. } = op.kind {
+            computes[slot(op.micro, pass, layer)] = i;
+        }
+    }
+    for i in 0..prog.ops.len() {
+        let (micro, layer, pass) = match prog.ops[i].kind {
+            OpKind::GatherShards { layer, pass, .. } => (prog.ops[i].micro, layer, pass),
+            _ => continue,
+        };
+        let dep_layer = match pass {
+            Pass::Forward => {
+                if layer > depth {
+                    layer - depth - 1
+                } else {
+                    continue;
+                }
+            }
+            Pass::Backward => {
+                let idx = nl - 1 - layer;
+                if idx > depth {
+                    nl - 1 - (idx - depth - 1)
+                } else {
+                    continue;
+                }
+            }
+        };
+        let dep = computes[slot(micro, pass, dep_layer)];
+        debug_assert_ne!(dep, usize::MAX, "compute op missing for prefetch dep");
+        prog.ops[i].deps.push(dep);
+    }
+}
+
+impl StepProgram {
+    /// The wire annotation of an op, if it is a communication op.
+    pub fn wire_of(&self, id: OpId) -> Option<&WireOp> {
+        match &self.ops[id].kind {
+            OpKind::GatherShards { wire, .. }
+            | OpKind::ReduceScatterGrads { wire, .. }
+            | OpKind::AllReduceGrads { wire, .. }
+            | OpKind::CrossGroupAllReduce { wire, .. }
+            | OpKind::ParamRefresh { wire } => Some(wire),
+            _ => None,
+        }
+    }
+
+    /// Op ids of every communication op, in program order.
+    pub fn wire_ops(&self) -> Vec<OpId> {
+        (0..self.ops.len()).filter(|&i| self.wire_of(i).is_some()).collect()
+    }
+
+    /// Cluster-wide NIC wire volume of one iteration derived from the IR:
+    /// each op contributes its per-node NIC bytes × the nodes its group
+    /// touches. This is what the report's `nic_bytes_per_node` divides.
+    pub fn total_nic_bytes(&self, net: &NetParams) -> u64 {
+        self.wire_ops()
+            .iter()
+            .map(|&i| {
+                let w = self.wire_of(i).unwrap();
+                w.wire.cost(net).nic_bytes()
+                    * nodes_spanned(&w.group.members(self.n, self.p), self.k)
+            })
+            .sum()
+    }
+
+    /// A stable, human-diffable rendering of the program, used by the
+    /// golden-schedule snapshot tests to pin the emitters' output.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "schedule n={} k={} p={} layers={} accum={} overhead_us={}",
+            self.n,
+            self.k,
+            self.p,
+            self.num_layers,
+            self.accum_steps,
+            self.decision_overhead.as_secs_f64() * 1e6,
+        );
+        let group = |g: &GroupRef| match g {
+            GroupRef::Partition(i) => format!("part{i}"),
+            GroupRef::All => "all".into(),
+            GroupRef::Replication(i) => format!("repl{i}"),
+        };
+        let wire = |w: &WireOp| {
+            let alg = match w.wire.kind {
+                WireKind::AllGather { hierarchical: true, .. } => "ag-hier",
+                WireKind::AllGather { hierarchical: false, .. } => "ag",
+                WireKind::ReduceScatter => "rs",
+                WireKind::AllReduce { .. } => "ar",
+                WireKind::P2p { .. } => "p2p",
+            };
+            let codec = match w.scheme {
+                Some(s) => format!("+{}", s.label()),
+                None => String::new(),
+            };
+            format!("{} {} {}B{}", group(&w.group), alg, w.wire.bytes, codec)
+        };
+        for (i, op) in self.ops.iter().enumerate() {
+            let body = match &op.kind {
+                OpKind::MicroBarrier => "barrier".to_string(),
+                OpKind::GatherShards { layer, pass, wire: w } => {
+                    let p = if *pass == Pass::Forward { "fwd" } else { "bwd" };
+                    format!("gather.{p} l{layer} {}", wire(w))
+                }
+                OpKind::Compute { layer, pass, flops } => {
+                    let p = if *pass == Pass::Forward { "fwd" } else { "bwd" };
+                    format!("compute.{p} l{layer} {flops:.3e}fl")
+                }
+                OpKind::AccumGrads { bucket } => format!("accum b{bucket}"),
+                OpKind::ReduceScatterGrads { bucket, source, wire: w } => {
+                    format!("reduce-scatter b{bucket} {source:?} {}", wire(w))
+                }
+                OpKind::AllReduceGrads { bucket, source, wire: w } => {
+                    format!("all-reduce b{bucket} {source:?} {}", wire(w))
+                }
+                OpKind::CrossGroupAllReduce { bucket, local, wire: w } => {
+                    format!("hop2 b{bucket} local{local} {}", wire(w))
+                }
+                OpKind::OptimizerUpdate { bytes, record } => {
+                    format!("optimizer {bytes}B record={record}")
+                }
+                OpKind::ParamRefresh { wire: w } => format!("param-refresh {}", wire(w)),
+            };
+            let _ = writeln!(out, "[{i:03}] u{} {body} deps={:?}", op.micro, op.deps);
+        }
+        out
+    }
+}
+
+/// What pushing a program onto the simulator produced.
+#[derive(Debug, Clone)]
+pub struct SimExecution {
+    /// Cluster-wide NIC wire bytes accumulated over every emitted
+    /// collective (per-node bytes × nodes spanned).
+    pub nic_bytes_total: u64,
+    /// Op ids of the wire collectives in the order they were costed.
+    pub wire_ops: Vec<OpId>,
+}
+
+/// The simulator backend: replay `prog` push-for-push onto `sc`.
+///
+/// The replay reproduces the historical inline lowering exactly — same
+/// per-stream op sequences, same event-allocation order — so a program
+/// emitted from a strategy produces bit-identical simulation results to
+/// the pre-IR code. Call [`SimCluster::run`]/[`SimCluster::run_traced`]
+/// afterwards.
+pub fn execute_on_sim(
+    prog: &StepProgram,
+    sc: &mut SimCluster,
+    sustained_flops: f64,
+) -> SimExecution {
+    let (n, k, p) = (prog.n, prog.k, prog.p);
+    let nl = prog.num_layers;
+    let memcpy_bw = sc.spec.instance.memcpy_bw;
+    // Per-op completion events, parallel to `prog.ops` (wire ops: one per
+    // member; optimizer: one per rank when recorded).
+    let mut op_events: Vec<Option<Vec<EventId>>> = vec![None; prog.ops.len()];
+    // Compute-done event tables of the current (micro, pass) segment,
+    // pre-allocated rank-major like the historical lowering so gathers can
+    // reference compute events that have not been pushed yet.
+    let mut fwd_tbl: Vec<Vec<EventId>> = Vec::new();
+    let mut bwd_tbl: Vec<Vec<EventId>> = Vec::new();
+    let mut segment: Option<(usize, Pass)> = None;
+    let mut nic_total: u64 = 0;
+    let mut wire_log: Vec<OpId> = Vec::new();
+
+    // Resolve `dep` to the completion event `rank` must wait on, or `None`
+    // when the rank does not participate in the dep op.
+    let resolve = |ops: &[ScheduleOp],
+                   op_events: &[Option<Vec<EventId>>],
+                   fwd_tbl: &[Vec<EventId>],
+                   bwd_tbl: &[Vec<EventId>],
+                   dep: OpId,
+                   rank: Rank|
+     -> Option<EventId> {
+        match &ops[dep].kind {
+            OpKind::Compute { layer, pass, .. } => {
+                let tbl = if *pass == Pass::Forward { fwd_tbl } else { bwd_tbl };
+                Some(tbl[rank.0][*layer])
+            }
+            OpKind::GatherShards { wire, .. }
+            | OpKind::ReduceScatterGrads { wire, .. }
+            | OpKind::AllReduceGrads { wire, .. }
+            | OpKind::CrossGroupAllReduce { wire, .. }
+            | OpKind::ParamRefresh { wire } => wire
+                .group
+                .member_index(rank, n, p)
+                .map(|ix| op_events[dep].as_ref().expect("dep op not yet executed")[ix]),
+            OpKind::OptimizerUpdate { .. } => op_events[dep].as_ref().map(|v| v[rank.0]),
+            OpKind::MicroBarrier | OpKind::AccumGrads { .. } => None,
+        }
+    };
+
+    for (i, op) in prog.ops.iter().enumerate() {
+        // A new (micro, pass) segment pre-allocates its compute-done event
+        // table before any of the segment's ops push work.
+        if let OpKind::GatherShards { pass, .. } | OpKind::Compute { pass, .. } = op.kind {
+            if segment != Some((op.micro, pass)) {
+                let tbl = if pass == Pass::Forward { &mut fwd_tbl } else { &mut bwd_tbl };
+                *tbl = (0..n).map(|_| (0..nl).map(|_| sc.new_event()).collect()).collect();
+                segment = Some((op.micro, pass));
+            }
+        }
+        match &op.kind {
+            OpKind::MicroBarrier => {
+                for r in 0..n {
+                    for &d in &op.deps {
+                        if let Some(e) =
+                            resolve(&prog.ops, &op_events, &fwd_tbl, &bwd_tbl, d, Rank(r))
+                        {
+                            sc.compute_wait(Rank(r), e);
+                            sc.lane_wait(Lane::Gather, Rank(r), e);
+                        }
+                    }
+                }
+            }
+            OpKind::Compute { layer, pass, flops } => {
+                let tbl = if *pass == Pass::Forward { &fwd_tbl } else { &bwd_tbl };
+                for (r, row) in tbl.iter().enumerate() {
+                    for &d in &op.deps {
+                        if let Some(e) =
+                            resolve(&prog.ops, &op_events, &fwd_tbl, &bwd_tbl, d, Rank(r))
+                        {
+                            sc.compute_wait(Rank(r), e);
+                        }
+                    }
+                    sc.compute_kernel(Rank(r), *flops, sustained_flops);
+                    sc.compute_record_into(Rank(r), row[*layer]);
+                }
+            }
+            OpKind::AccumGrads { .. } => {} // local fold: no simulated work
+            OpKind::GatherShards { wire, .. }
+            | OpKind::ReduceScatterGrads { wire, .. }
+            | OpKind::AllReduceGrads { wire, .. }
+            | OpKind::CrossGroupAllReduce { wire, .. }
+            | OpKind::ParamRefresh { wire } => {
+                let members = wire.group.members(n, p);
+                for &d in &op.deps {
+                    for &m in &members {
+                        if let Some(e) = resolve(&prog.ops, &op_events, &fwd_tbl, &bwd_tbl, d, m) {
+                            sc.lane_wait(wire.lane, m, e);
+                        }
+                    }
+                }
+                let cost = wire.wire.cost(&sc.net);
+                nic_total += cost.nic_bytes() * nodes_spanned(&members, k);
+                let overhead = if wire.overhead { prog.decision_overhead } else { SimTime::ZERO };
+                let evs = sc.collective(&members, wire.lane, &cost, overhead);
+                op_events[i] = Some(evs);
+                wire_log.push(i);
+            }
+            OpKind::OptimizerUpdate { bytes, record } => {
+                let opt_time = SimTime::from_secs_f64(*bytes as f64 / memcpy_bw);
+                let mut evs = Vec::with_capacity(if *record { n } else { 0 });
+                for r in 0..n {
+                    for &d in &op.deps {
+                        if let Some(e) =
+                            resolve(&prog.ops, &op_events, &fwd_tbl, &bwd_tbl, d, Rank(r))
+                        {
+                            sc.compute_wait(Rank(r), e);
+                        }
+                    }
+                    sc.compute_for(Rank(r), opt_time);
+                    if *record {
+                        evs.push(sc.compute_record(Rank(r)));
+                    }
+                }
+                if *record {
+                    op_events[i] = Some(evs);
+                }
+            }
+        }
+    }
+    SimExecution { nic_bytes_total: nic_total, wire_ops: wire_log }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(n: usize, p: usize, micro_sync: MicroSync, s: usize) -> ScheduleSpec {
+        let layers = vec![
+            LayerSchedule { param_bytes: 4096, fwd_flops: 1e9, bwd_flops: 2e9 },
+            LayerSchedule { param_bytes: 0, fwd_flops: 5e8, bwd_flops: 1e9 },
+            LayerSchedule { param_bytes: 8192, fwd_flops: 1e9, bwd_flops: 2e9 },
+        ];
+        ScheduleSpec {
+            n,
+            k: 2,
+            p_params: p,
+            p_grads: p,
+            p_opt: p,
+            micro_sync,
+            accum_steps: s,
+            hierarchical: false,
+            coalesced: false,
+            prefetch_depth: 1,
+            decision_overhead: SimTime::from_micros(15),
+            layers,
+            bucket_bytes: 1 << 30,
+            total_param_bytes: 4096 + 8192,
+            optimizer_bytes: (4096 + 8192) * 6 / p as u64,
+            compression: None,
+            elem_bytes: 4,
+        }
+    }
+
+    #[test]
+    fn group_membership_math() {
+        let (n, p) = (8, 2);
+        assert_eq!(GroupRef::Partition(1).members(n, p), vec![Rank(2), Rank(3)]);
+        assert_eq!(GroupRef::Partition(1).member_index(Rank(3), n, p), Some(1));
+        assert_eq!(GroupRef::Partition(1).member_index(Rank(4), n, p), None);
+        assert_eq!(
+            GroupRef::Replication(1).members(n, p),
+            vec![Rank(1), Rank(3), Rank(5), Rank(7)]
+        );
+        assert_eq!(GroupRef::Replication(1).member_index(Rank(5), n, p), Some(2));
+        assert_eq!(GroupRef::Replication(0).member_index(Rank(5), n, p), None);
+        assert_eq!(GroupRef::All.members(n, p).len(), 8);
+        assert_eq!(GroupRef::All.member_index(Rank(6), n, p), Some(6));
+    }
+
+    #[test]
+    fn two_hop_program_shape() {
+        // 2 micro-steps, n=4, p=2: hop 1 every micro, hop 2 at the boundary.
+        let prog = spec(4, 2, MicroSync::PartitionReduceScatter, 2).program();
+        let hop1 =
+            prog.ops.iter().filter(|o| matches!(o.kind, OpKind::ReduceScatterGrads { .. })).count();
+        let hop2 = prog
+            .ops
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::CrossGroupAllReduce { .. }))
+            .count();
+        // 1 bucket × 2 partition groups × 2 micros; hop 2: 1 bucket × p=2.
+        assert_eq!(hop1, 4);
+        assert_eq!(hop2, 2);
+        // Hop 2 pays no decision overhead; hop 1 does.
+        for op in &prog.ops {
+            if let OpKind::CrossGroupAllReduce { wire, .. } = &op.kind {
+                assert!(!wire.overhead);
+            }
+            if let OpKind::ReduceScatterGrads { wire, .. } = &op.kind {
+                assert!(wire.overhead);
+            }
+        }
+    }
+
+    #[test]
+    fn zero3_program_has_barriers_between_micros() {
+        let prog = spec(4, 4, MicroSync::GlobalAllReduce, 3).program();
+        let barriers = prog.ops.iter().filter(|o| matches!(o.kind, OpKind::MicroBarrier)).count();
+        // No barrier before the first micro-step.
+        assert_eq!(barriers, 2);
+        // Every barrier waits on the previous micro's last all-reduce.
+        for (i, op) in prog.ops.iter().enumerate() {
+            if matches!(op.kind, OpKind::MicroBarrier) {
+                assert_eq!(op.deps.len(), 1);
+                let d = op.deps[0];
+                assert!(d < i);
+                assert!(matches!(prog.ops[d].kind, OpKind::AllReduceGrads { .. }));
+                assert_eq!(prog.ops[d].micro + 1, op.micro);
+            }
+        }
+    }
+
+    #[test]
+    fn ddp_program_accumulates_then_reduces_once() {
+        let prog = spec(4, 1, MicroSync::LocalAccumulate, 3).program();
+        let accums =
+            prog.ops.iter().filter(|o| matches!(o.kind, OpKind::AccumGrads { .. })).count();
+        let ars = prog
+            .ops
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::AllReduceGrads { source: GradSource::Accum, .. }))
+            .count();
+        assert_eq!(accums, 3); // one per micro-step (single bucket)
+        assert_eq!(ars, 1); // boundary only
+        assert!(prog.ops.iter().all(|o| !matches!(o.kind, OpKind::GatherShards { .. })));
+    }
+
+    #[test]
+    fn prefetch_is_a_transform() {
+        let mut bare = emit_step(&spec(4, 2, MicroSync::PartitionReduceScatter, 1));
+        for op in &bare.ops {
+            if matches!(op.kind, OpKind::GatherShards { .. }) {
+                assert!(op.deps.is_empty());
+            }
+        }
+        apply_prefetch(&mut bare, 0);
+        // depth 0: the gather for layer 2 (fwd) waits on layer 1's compute;
+        // layer 0's gather (first with params) stays unconstrained.
+        for (i, op) in bare.ops.iter().enumerate() {
+            if let OpKind::GatherShards { layer, pass: Pass::Forward, .. } = op.kind {
+                if layer == 0 {
+                    assert!(op.deps.is_empty(), "op {i}");
+                } else {
+                    assert_eq!(op.deps.len(), 1, "op {i}");
+                    assert!(matches!(
+                        bare.ops[op.deps[0]].kind,
+                        OpKind::Compute { layer: dl, pass: Pass::Forward, .. } if dl == layer - 1
+                    ));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimizer_waits_on_final_reduction() {
+        let prog = spec(4, 2, MicroSync::PartitionReduceScatter, 2).program();
+        let opt = prog
+            .ops
+            .iter()
+            .find(|o| matches!(o.kind, OpKind::OptimizerUpdate { .. }))
+            .expect("program must end with the optimizer");
+        // n > p: the final reducers are the p hop-2 ops.
+        assert_eq!(opt.deps.len(), 2);
+        for &d in &opt.deps {
+            assert!(matches!(prog.ops[d].kind, OpKind::CrossGroupAllReduce { .. }));
+        }
+    }
+
+    #[test]
+    fn zero1_emits_param_refresh_after_optimizer() {
+        let mut sp = spec(4, 1, MicroSync::LocalAccumulate, 2);
+        sp.p_opt = 4; // ZeRO-1: optimizer sharded, params replicated
+        let prog = sp.program();
+        let last = prog.ops.last().unwrap();
+        let OpKind::ParamRefresh { wire } = &last.kind else {
+            panic!("ZeRO-1 must end with a parameter refresh");
+        };
+        assert_eq!(wire.group, GroupRef::All);
+        assert_eq!(last.deps.len(), 1);
+        assert!(matches!(
+            prog.ops[last.deps[0]].kind,
+            OpKind::OptimizerUpdate { record: true, .. }
+        ));
+    }
+
+    #[test]
+    fn dump_is_stable_and_complete() {
+        let prog = spec(4, 2, MicroSync::PartitionReduceScatter, 1).program();
+        let d = prog.dump();
+        assert!(d.starts_with("schedule n=4 k=2 p=2 layers=3 accum=1"));
+        assert_eq!(d.lines().count(), 1 + prog.ops.len());
+        assert_eq!(d, prog.dump(), "dump must be deterministic");
+        assert!(d.contains("hop2"));
+        assert!(d.contains("reduce-scatter"));
+    }
+
+    #[test]
+    fn executor_nic_accounting_matches_program_derivation() {
+        use mics_cluster::{ClusterSpec, InstanceType};
+        let sp = ScheduleSpec { k: 8, ..spec(16, 8, MicroSync::PartitionReduceScatter, 2) };
+        let prog = sp.program();
+        let mut sc = SimCluster::new(ClusterSpec::new(InstanceType::p3dn_24xlarge(), 2));
+        let exec = execute_on_sim(&prog, &mut sc, 1e12);
+        assert_eq!(exec.nic_bytes_total, prog.total_nic_bytes(&sc.net));
+        assert_eq!(exec.wire_ops, prog.wire_ops());
+        let (makespan, _, _) = sc.run();
+        assert!(makespan > SimTime::ZERO);
+    }
+}

@@ -40,7 +40,7 @@ pub use mics_compress::{CompressionConfig, CompressionScope, QuantScheme};
 pub use nn::Mlp;
 pub use scaler::{LossScale, ScalerSnapshot};
 pub use train::{
-    resume_from, train, train_resumable, CheckpointSink, SyncSchedule, TrainCheckpoint,
-    TrainOutcome, TrainSetup,
+    resume_from, step_program, train, train_resumable, CheckpointSink, ScheduleHyper, SyncSchedule,
+    TrainCheckpoint, TrainOutcome, TrainSetup,
 };
 pub use transformer::TinyTransformer;

@@ -1,14 +1,28 @@
 //! Data-parallel training loops over the real data plane, under the three
 //! gradient-synchronization schedules the paper compares (§3.4, §5.4).
+//!
+//! Since the schedule-IR refactor the engine is an *interpreter*: each run
+//! lowers its schedule to the same [`StepProgram`] the simulator backend
+//! costs (see [`step_program`] and `mics-core::schedule`), and every rank
+//! walks that program each iteration, executing the ops whose group
+//! contains it with the real `mics-dataplane` communicators. The codec
+//! annotations on the ops carry the compression-scope rules, so no
+//! schedule-specific wire logic lives here — the fidelity claim is
+//! structural: the dataplane executes the exact op sequence the simulator
+//! prices.
 
 use crate::adam::Adam;
 use crate::checkpoint::TrainState;
 use crate::data::TeacherDataset;
 use crate::nn::Mlp;
 use crate::scaler::{has_overflow, LossScale, ScalerSnapshot, ScalerState};
-use mics_compress::{CompressionConfig, CompressionScope};
+use mics_cluster::Rank;
+use mics_compress::CompressionConfig;
+use mics_core::config::MicroSync;
+use mics_core::schedule::{GradSource, LayerSchedule, OpKind, Pass, ScheduleSpec, StepProgram};
 use mics_dataplane::quantized::{quantized_all_reduce, quantized_reduce_scatter};
 use mics_dataplane::{quantized_all_gather, run_ranks};
+use mics_simnet::SimTime;
 use mics_tensor::dtype::quantize_f16;
 use mics_tensor::ShardSpec;
 use std::sync::Mutex;
@@ -74,6 +88,10 @@ pub struct TrainOutcome {
     pub skipped_steps: u32,
     /// The loss scale at the end of training.
     pub final_loss_scale: f32,
+    /// The communication ops this rank executed in its first iteration, as
+    /// indices into the run's [`StepProgram`] — the cross-backend tests
+    /// compare this against the op sequence the simulator backend costs.
+    pub wire_ops: Vec<usize>,
 }
 
 /// A point-in-time snapshot of a whole training job — the unsharded
@@ -148,6 +166,54 @@ impl CheckpointSink {
             iterations_done: slots.iterations_done,
             scaler: slots.scaler.unwrap(),
         })
+    }
+}
+
+/// Lower one iteration of `schedule` on `hp.world` thread-ranks to the
+/// shared schedule IR — the exact program the training engine's interpreter
+/// walks, and the one the cross-backend tests feed to the simulator's
+/// `execute_on_sim`. The fidelity model is a single "layer" of
+/// `numel` fp32 parameters; timing fields (FLOPs, prefetch, decision
+/// overhead) are zero because the interpreter executes real arithmetic,
+/// not costs.
+pub fn step_program(hp: &ScheduleHyper, schedule: SyncSchedule, numel: usize) -> StepProgram {
+    let p = match schedule {
+        SyncSchedule::Ddp => 1,
+        _ => hp.partition_size,
+    };
+    let param_bytes = numel as u64 * 4;
+    ScheduleSpec {
+        n: hp.world,
+        // One shared-memory "node": every thread-rank sits on it.
+        k: hp.world,
+        p_params: p,
+        p_grads: p,
+        p_opt: p,
+        micro_sync: match schedule {
+            SyncSchedule::Ddp => MicroSync::LocalAccumulate,
+            SyncSchedule::PerMicroStepAllReduce => MicroSync::GlobalAllReduce,
+            SyncSchedule::TwoHop => MicroSync::PartitionReduceScatter,
+        },
+        accum_steps: hp.accum_steps,
+        hierarchical: false,
+        coalesced: false,
+        prefetch_depth: 0,
+        decision_overhead: SimTime::ZERO,
+        layers: vec![LayerSchedule { param_bytes, fwd_flops: 0.0, bwd_flops: 0.0 }],
+        bucket_bytes: param_bytes.max(1),
+        total_param_bytes: param_bytes,
+        optimizer_bytes: numel as u64 * 24 / p as u64,
+        compression: hp.comm_quant,
+        elem_bytes: 4,
+    }
+    .program()
+}
+
+fn cast_params(src: &[f32], quantize: bool) -> Vec<f32> {
+    if quantize {
+        src.iter().map(|&x| quantize_f16(x)).collect()
+    } else {
+        src.to_vec()
     }
 }
 
@@ -329,22 +395,15 @@ where
     let global_scale = 1.0 / (s as f32 * world as f32);
     let grad_fn = &grad_fn;
 
-    // Quantized-communication schemes for the two data-plane directions.
-    // Weight gathers and hop-1 reduce-scatters live inside the partition
-    // group; hop-2 (and DDP's or ZeRO-3's cluster-wide reductions when the
-    // group is smaller than the cluster) leave it and compress only under
-    // [`CompressionScope::Everywhere`].
-    // A single-rank group moves nothing over the wire, so it must not pay
-    // quantization error either — hence the `group_size > 1` guards.
-    let weight_q = setup.comm_quant.filter(|_| p > 1).filter(|c| c.weights).map(|c| c.scheme);
-    let grad_q = |group_size: usize, beyond_group: bool| {
-        setup
-            .comm_quant
-            .filter(|_| group_size > 1)
-            .filter(|c| c.grads)
-            .filter(|c| !beyond_group || c.scope == CompressionScope::Everywhere)
-            .map(|c| c.scheme)
-    };
+    // One lowering of the training step — the same IR the simulator backend
+    // costs. The emitter owns all wire decisions: which collectives exist
+    // (single-rank groups fold locally and must not pay quantization
+    // error), and which carry a codec (weight gathers and hop-1 reductions
+    // stay inside the partition group; collectives that leave it compress
+    // only under `CompressionScope::Everywhere`).
+    let prog = step_program(setup, schedule, numel);
+    let ir_p = prog.p;
+    let prog = &prog;
 
     let mut results = run_ranks(world, |mut comm| {
         let rank = comm.rank();
@@ -404,125 +463,192 @@ where
         };
 
         let mut losses = Vec::with_capacity(setup.iterations - start_iter);
+        let mut wire_log: Vec<usize> = Vec::new();
         for iter in start_iter..setup.iterations {
             capture(iter, &master_full, &master_shard, &opt, &scaler);
-            // Parameter materialization for this iteration's compute.
-            let fwd: Vec<f32> = match schedule {
-                SyncSchedule::Ddp => {
-                    if setup.quantize {
-                        master_full.iter().map(|&x| quantize_f16(x)).collect()
-                    } else {
-                        master_full.clone()
-                    }
-                }
-                _ => {
-                    // Cast the fp32 master shard down, then all-gather the
-                    // f16 shards within the partition group (what MiCS and
-                    // ZeRO-3 both do before forward).
-                    let cast: Vec<f32> = if setup.quantize {
-                        master_shard.iter().map(|&x| quantize_f16(x)).collect()
-                    } else {
-                        master_shard.clone()
-                    };
-                    let mut full = match weight_q {
-                        Some(scheme) => quantized_all_gather(&part, &cast, scheme),
-                        None => part.all_gather(&cast),
-                    };
-                    full.truncate(numel);
-                    full
-                }
-            };
-
-            let mut loss_acc = 0.0f32;
+            let log_wire = iter == start_iter;
+            let cur_scale = scaler.scale();
             let accum_len = match schedule {
                 SyncSchedule::Ddp => numel,
                 _ => spec.shard_len(),
             };
             let mut accum = vec![0.0f32; accum_len];
+            let mut loss_acc = 0.0f32;
+            // Interpreter state: the materialized forward parameters, the
+            // in-flight micro-step gradient, and the boundary-reduced total.
+            let mut fwd: Option<Vec<f32>> = None;
+            let mut grad: Option<Vec<f32>> = None;
+            let mut total: Option<Vec<f32>> = None;
 
-            let cur_scale = scaler.scale();
-            for micro in 0..s {
-                let (loss, mut grad) = grad_fn(&fwd, iter, micro, rank);
-                assert_eq!(grad.len(), numel, "grad_fn returned a wrong-sized gradient");
-                loss_acc += loss;
-                if cur_scale != 1.0 {
-                    // Backward on the scaled loss (mixed-precision practice).
-                    for g in &mut grad {
-                        *g *= cur_scale;
+            for (op_id, op) in prog.ops.iter().enumerate() {
+                match &op.kind {
+                    // Thread collectives already rendezvous; the barrier is
+                    // a timing artifact of the "alternative schedule".
+                    OpKind::MicroBarrier => {}
+                    OpKind::GatherShards { wire, .. } => {
+                        if !wire.group.contains(Rank(rank), world, ir_p) {
+                            continue;
+                        }
+                        if log_wire {
+                            wire_log.push(op_id);
+                        }
+                        // The master weights do not change within an
+                        // iteration, so one materialization serves every
+                        // gather op (forward, backward, all micro-steps) —
+                        // the interpreter's analogue of MiCS's cached
+                        // communication decisions (§4).
+                        if fwd.is_none() {
+                            // Cast the fp32 master shard down, then
+                            // all-gather the f16 shards within the partition
+                            // group (what MiCS and ZeRO-3 both do before
+                            // forward).
+                            let cast = cast_params(&master_shard, setup.quantize);
+                            let mut full = match wire.scheme {
+                                Some(scheme) => quantized_all_gather(&part, &cast, scheme),
+                                None => part.all_gather(&cast),
+                            };
+                            full.truncate(numel);
+                            fwd = Some(full);
+                        }
                     }
-                }
-                match schedule {
-                    SyncSchedule::Ddp => add_into(&mut accum, &grad),
-                    SyncSchedule::PerMicroStepAllReduce => {
-                        // Global synchronization barrier every micro-step —
-                        // the cost §3.4 calls redundant. Spans the whole
-                        // cluster, so it only compresses intra-group when
-                        // the partition group *is* the cluster.
-                        let g = match grad_q(world, p < world) {
-                            Some(scheme) => quantized_all_reduce(&comm, &grad, scheme),
-                            None => comm.all_reduce(&grad),
-                        };
-                        let mine = spec.extract_padded(&g, local);
-                        add_into(&mut accum, &mine);
+                    OpKind::Compute { pass: Pass::Forward, .. } => {
+                        if fwd.is_none() {
+                            // No gather ops in the program (DDP, or p = 1):
+                            // the parameters materialize locally.
+                            fwd = Some(match schedule {
+                                SyncSchedule::Ddp => cast_params(&master_full, setup.quantize),
+                                _ => {
+                                    let cast = cast_params(&master_shard, setup.quantize);
+                                    let mut full = part.all_gather(&cast);
+                                    full.truncate(numel);
+                                    full
+                                }
+                            });
+                        }
+                        let (loss, g) = grad_fn(fwd.as_deref().unwrap(), iter, op.micro, rank);
+                        assert_eq!(g.len(), numel, "grad_fn returned a wrong-sized gradient");
+                        loss_acc += loss;
+                        grad = Some(g);
                     }
-                    SyncSchedule::TwoHop => {
+                    OpKind::Compute { pass: Pass::Backward, .. } => {
+                        if cur_scale != 1.0 {
+                            // Backward on the scaled loss (mixed-precision
+                            // practice).
+                            for g in grad.as_mut().expect("backward before forward") {
+                                *g *= cur_scale;
+                            }
+                        }
+                    }
+                    OpKind::AccumGrads { .. } => {
+                        let g = grad.take().expect("accumulate before backward");
+                        match schedule {
+                            SyncSchedule::Ddp => add_into(&mut accum, &g),
+                            _ => add_into(&mut accum, &spec.extract_padded(&g, local)),
+                        }
+                    }
+                    OpKind::ReduceScatterGrads { source: GradSource::MicroGrad, wire, .. } => {
+                        if !wire.group.contains(Rank(rank), world, ir_p) {
+                            continue;
+                        }
+                        if log_wire {
+                            wire_log.push(op_id);
+                        }
                         // Hop 1: reduce-scatter within the partition group
                         // (the qgZ direction when quantized).
-                        let padded = pad_to(grad, spec.padded_len());
-                        let mine = match grad_q(p, false) {
+                        let g = grad.take().expect("reduce before backward");
+                        let padded = pad_to(g, spec.padded_len());
+                        let mine = match wire.scheme {
                             Some(scheme) => quantized_reduce_scatter(&part, &padded, scheme),
                             None => part.reduce_scatter(&padded),
                         };
                         add_into(&mut accum, &mine);
                     }
-                }
-            }
-
-            // Boundary synchronization.
-            let total: Vec<f32> = match schedule {
-                SyncSchedule::Ddp => match grad_q(world, true) {
-                    Some(scheme) => quantized_all_reduce(&comm, &accum, scheme),
-                    None => comm.all_reduce(&accum),
-                },
-                SyncSchedule::PerMicroStepAllReduce => accum,
-                // Hop 2: all-reduce across the replication group — beyond
-                // the partition group, so intra-group-only compression
-                // keeps it exact.
-                SyncSchedule::TwoHop => match grad_q(world / p, true) {
-                    Some(scheme) => quantized_all_reduce(&repl, &accum, scheme),
-                    None => repl.all_reduce(&accum),
-                },
-            };
-            // Overflow agreement: every rank checks its portion; a
-            // max-style all-reduce makes the decision global, so all ranks
-            // skip (or apply) the step together.
-            let local_flag = if has_overflow(&total) { 1.0 } else { 0.0 };
-            let overflowed = comm.all_reduce(&[local_flag])[0] > 0.0;
-            let apply = scaler.update(overflowed);
-            if apply {
-                let inv = global_scale / cur_scale;
-                let mut scaled: Vec<f32> = total.iter().map(|&g| g * inv).collect();
-                if let Some(max_norm) = setup.clip_grad_norm {
-                    // Global L2 norm: each full copy of the gradient is held
-                    // `copies` times across the cluster, so divide the
-                    // all-reduced sum of squares accordingly.
-                    let copies = match schedule {
-                        SyncSchedule::Ddp => world as f32,
-                        _ => (world / p) as f32,
-                    };
-                    let local_sumsq: f32 = scaled.iter().map(|g| g * g).sum();
-                    let global_sumsq = comm.all_reduce(&[local_sumsq])[0] / copies;
-                    let norm = global_sumsq.sqrt();
-                    if norm > max_norm {
-                        let coef = max_norm / (norm + 1e-6);
-                        for g in &mut scaled {
-                            *g *= coef;
+                    OpKind::ReduceScatterGrads { source: GradSource::Accum, .. } => {
+                        unreachable!("boundary reduce-scatter (ZeRO-2) is not a minidl schedule")
+                    }
+                    OpKind::AllReduceGrads { source, wire, .. } => {
+                        if log_wire {
+                            wire_log.push(op_id);
+                        }
+                        match source {
+                            GradSource::MicroGrad => {
+                                // Global synchronization barrier every
+                                // micro-step — the cost §3.4 calls
+                                // redundant.
+                                let g = grad.take().expect("reduce before backward");
+                                let g = match wire.scheme {
+                                    Some(scheme) => quantized_all_reduce(&comm, &g, scheme),
+                                    None => comm.all_reduce(&g),
+                                };
+                                add_into(&mut accum, &spec.extract_padded(&g, local));
+                            }
+                            GradSource::Accum => {
+                                // DDP's boundary all-reduce of the
+                                // accumulated gradient.
+                                total = Some(match wire.scheme {
+                                    Some(scheme) => quantized_all_reduce(&comm, &accum, scheme),
+                                    None => comm.all_reduce(&accum),
+                                });
+                            }
                         }
                     }
-                }
-                match schedule {
-                    SyncSchedule::Ddp => opt.step(&mut master_full, &scaled),
-                    _ => opt.step(&mut master_shard, &scaled),
+                    OpKind::CrossGroupAllReduce { wire, .. } => {
+                        if !wire.group.contains(Rank(rank), world, ir_p) {
+                            continue;
+                        }
+                        if log_wire {
+                            wire_log.push(op_id);
+                        }
+                        // Hop 2: all-reduce across the replication group —
+                        // the emitter's scope rules decide whether it
+                        // compresses (beyond the partition group, so
+                        // intra-group-only compression keeps it exact).
+                        total = Some(match wire.scheme {
+                            Some(scheme) => quantized_all_reduce(&repl, &accum, scheme),
+                            None => repl.all_reduce(&accum),
+                        });
+                    }
+                    OpKind::OptimizerUpdate { .. } => {
+                        // No boundary collective ran (single-rank groups):
+                        // the accumulated gradient is already the total.
+                        let total = total.take().unwrap_or_else(|| std::mem::take(&mut accum));
+                        // Overflow agreement: every rank checks its portion;
+                        // a max-style all-reduce makes the decision global,
+                        // so all ranks skip (or apply) the step together.
+                        let local_flag = if has_overflow(&total) { 1.0 } else { 0.0 };
+                        let overflowed = comm.all_reduce(&[local_flag])[0] > 0.0;
+                        let apply = scaler.update(overflowed);
+                        if apply {
+                            let inv = global_scale / cur_scale;
+                            let mut scaled: Vec<f32> = total.iter().map(|&g| g * inv).collect();
+                            if let Some(max_norm) = setup.clip_grad_norm {
+                                // Global L2 norm: each full copy of the
+                                // gradient is held `copies` times across the
+                                // cluster, so divide the all-reduced sum of
+                                // squares accordingly.
+                                let copies = match schedule {
+                                    SyncSchedule::Ddp => world as f32,
+                                    _ => (world / p) as f32,
+                                };
+                                let local_sumsq: f32 = scaled.iter().map(|g| g * g).sum();
+                                let global_sumsq = comm.all_reduce(&[local_sumsq])[0] / copies;
+                                let norm = global_sumsq.sqrt();
+                                if norm > max_norm {
+                                    let coef = max_norm / (norm + 1e-6);
+                                    for g in &mut scaled {
+                                        *g *= coef;
+                                    }
+                                }
+                            }
+                            match schedule {
+                                SyncSchedule::Ddp => opt.step(&mut master_full, &scaled),
+                                _ => opt.step(&mut master_shard, &scaled),
+                            }
+                        }
+                    }
+                    OpKind::ParamRefresh { .. } => {
+                        unreachable!("param refresh needs p_opt > p_params; minidl shards both")
+                    }
                 }
             }
 
@@ -547,6 +673,7 @@ where
             final_params,
             skipped_steps: scaler.skipped_steps(),
             final_loss_scale: scaler.scale(),
+            wire_ops: wire_log,
         }
     });
 

@@ -16,6 +16,15 @@ cargo test -q --workspace
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --workspace --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+# The schedule-IR golden dumps are load-bearing: any drift in emission
+# order, dependency edges or wire annotations must be an intentional,
+# reviewed regeneration (MICS_UPDATE_GOLDENS=1), never an accident.
+echo "==> golden schedule dumps"
+cargo test -q --test schedule_goldens
+
 # Smoke-run the extension benches: they carry their own assertions (the
 # ablation's knob deltas, the compression bench's ~4× wire claim and the
 # int8 fidelity envelope) and regenerate their results/ artifacts.

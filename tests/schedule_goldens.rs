@@ -1,0 +1,150 @@
+//! Golden snapshots of the schedule IR, plus the cross-backend contract.
+//!
+//! The IR is the single lowering of the training step: strategies emit it,
+//! and both backends consume it. Two properties pin that down here:
+//!
+//! 1. **Golden dumps** — [`StepProgram::dump`] is a stable text format; the
+//!    MiCS / ZeRO-3 / DDP programs on small geometries are snapshotted under
+//!    `tests/goldens/`. A drift in emission order, dependency edges, wire
+//!    annotations or byte counts fails the diff. Regenerate intentionally
+//!    with `MICS_UPDATE_GOLDENS=1 cargo test --test schedule_goldens`.
+//! 2. **Cross-backend agreement** — for the minidl-shaped programs, the
+//!    thread-rank interpreter must execute exactly the communication op
+//!    sequence the simulator backend costs (compared per rank, in order).
+
+use mics::cluster::{ClusterSpec, InstanceType, Rank};
+use mics::core::dp_program;
+use mics::core::ops::SimCluster;
+use mics::core::schedule::execute_on_sim;
+use mics::core::{MicsConfig, Strategy, TrainingJob, ZeroStage};
+use mics::minidl::scaler::LossScale;
+use mics::minidl::train::{step_program, train, ScheduleHyper, SyncSchedule, TrainSetup};
+use mics::minidl::Mlp;
+use mics::model::{LayerSpec, WorkloadSpec};
+use std::path::PathBuf;
+
+/// A 4-layer toy transformer-shaped workload, small enough that every
+/// strategy fits everywhere and the dumps stay readable.
+fn tiny_workload() -> WorkloadSpec {
+    let layer = LayerSpec {
+        params: 1_000_000,
+        fwd_flops: 1e9,
+        bwd_flops: 2e9,
+        recompute_flops: 1e9,
+        checkpoint_bytes: 1 << 20,
+        working_bytes: 1 << 20,
+    };
+    WorkloadSpec {
+        name: "tiny-4l".into(),
+        layers: vec![layer; 4],
+        param_dtype_bytes: 2,
+        activation_checkpointing: true,
+        micro_batch: 4,
+    }
+}
+
+fn job(nodes: usize, strategy: Strategy) -> TrainingJob {
+    TrainingJob {
+        workload: tiny_workload(),
+        cluster: ClusterSpec::new(InstanceType::p3dn_24xlarge(), nodes),
+        strategy,
+        accum_steps: 2,
+    }
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens").join(format!("{name}.txt"));
+    if std::env::var_os("MICS_UPDATE_GOLDENS").is_some() {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden {}: {e}; create it with MICS_UPDATE_GOLDENS=1", path.display())
+    });
+    assert_eq!(
+        expected, actual,
+        "schedule dump '{name}' drifted; if intended, regenerate with MICS_UPDATE_GOLDENS=1"
+    );
+}
+
+#[test]
+fn golden_mics_p8_two_nodes() {
+    // 16 GPUs, partition groups of 8 → two-hop sync with replication
+    // groups of 2 spanning the node boundary.
+    let prog = dp_program(&job(2, Strategy::Mics(MicsConfig::paper_defaults(8)))).unwrap();
+    check_golden("mics_p8_2x8", &prog.dump());
+}
+
+#[test]
+fn golden_zero3_one_node() {
+    let prog = dp_program(&job(1, Strategy::Zero(ZeroStage::Three))).unwrap();
+    check_golden("zero3_1x8", &prog.dump());
+}
+
+#[test]
+fn golden_ddp_one_node() {
+    let prog = dp_program(&job(1, Strategy::Ddp)).unwrap();
+    check_golden("ddp_1x8", &prog.dump());
+}
+
+/// The minidl interpreter and the simulator backend walk the same program;
+/// per rank, the interpreter's executed wire ops must be exactly the
+/// sim-costed wire ops whose group contains that rank, in program order.
+#[test]
+fn minidl_executes_the_op_sequence_the_sim_costs() {
+    for (schedule, world, p) in [
+        (SyncSchedule::Ddp, 4, 1),
+        (SyncSchedule::PerMicroStepAllReduce, 4, 4),
+        (SyncSchedule::TwoHop, 8, 4),
+    ] {
+        let model = Mlp::new(&[6, 12, 2]);
+        let hp = ScheduleHyper {
+            world,
+            partition_size: p,
+            accum_steps: 3,
+            iterations: 2,
+            lr: 0.02,
+            quantize: false,
+            loss_scale: LossScale::None,
+            clip_grad_norm: None,
+            comm_quant: None,
+        };
+        let prog = step_program(&hp, schedule, model.num_params());
+
+        // Sim backend: all thread-ranks sit on one shared-memory "node".
+        let mut inst = InstanceType::p3dn_24xlarge();
+        inst.gpus_per_node = world;
+        let mut sc = SimCluster::new(ClusterSpec::new(inst, 1));
+        let exec = execute_on_sim(&prog, &mut sc, 1e12);
+
+        // Real backend: thread-ranks over the actual dataplane.
+        let setup = TrainSetup {
+            model,
+            world,
+            partition_size: p,
+            micro_batch: 4,
+            accum_steps: 3,
+            iterations: 2,
+            lr: 0.02,
+            seed: 7,
+            quantize: false,
+            loss_scale: LossScale::None,
+            clip_grad_norm: None,
+            comm_quant: None,
+        };
+        let out = train(&setup, schedule);
+
+        let sim_rank0: Vec<usize> = exec
+            .wire_ops
+            .iter()
+            .copied()
+            .filter(|&id| prog.wire_of(id).unwrap().group.contains(Rank(0), world, prog.p))
+            .collect();
+        assert!(!sim_rank0.is_empty(), "{schedule:?}: no wire ops costed");
+        assert_eq!(
+            sim_rank0, out.wire_ops,
+            "{schedule:?}: interpreter executed a different op sequence than the sim costed"
+        );
+    }
+}

@@ -124,7 +124,7 @@ pub mod collection {
     use crate::{Strategy, TestRng};
 
     /// Strategy for `Vec`s: length drawn from `len`, elements from
-    /// `element`. Built by [`vec`].
+    /// `element`. Built by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S, L> {
         element: S,
