@@ -1,0 +1,158 @@
+//! Microbenchmarks of the mini-DL matrix kernels: the cache-blocked,
+//! register-unrolled implementations in `mics_minidl::kernels` against the
+//! naive `kernels::reference` versions they replaced.
+//!
+//! Besides the criterion registrations, `main` takes its own best-of-N
+//! measurements (the vendored criterion shim prints but cannot persist) and
+//! writes the blocked-vs-reference table to `results/BENCH_kernels.json`.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use mics_bench::Table;
+use mics_minidl::kernels;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Deterministic pseudo-random buffer in roughly [-1, 1].
+fn buf(len: usize, salt: u64) -> Vec<f32> {
+    let mut s = salt.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    (0..len)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 40) as f32 / (1u64 << 23) as f32 - 1.0
+        })
+        .collect()
+}
+
+/// GEMM-family shapes: a transformer-LM-sized problem (seq × model × ffn,
+/// larger than the fig15 toy so timings resolve) and a square cache-stressing
+/// one whose reduction crosses the KC tile.
+const SHAPES: &[(usize, usize, usize)] = &[(32, 64, 128), (96, 384, 96)];
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels");
+    g.sample_size(10);
+    for &(m, k, n) in SHAPES {
+        let a = buf(m * k, 1);
+        let b = buf(k * n, 2);
+        let shape = format!("{m}x{k}x{n}");
+        g.bench_with_input(BenchmarkId::new("matmul/blocked", &shape), &(), |be, ()| {
+            be.iter(|| kernels::matmul(black_box(&a), black_box(&b), m, k, n))
+        });
+        g.bench_with_input(BenchmarkId::new("matmul/reference", &shape), &(), |be, ()| {
+            be.iter(|| kernels::reference::matmul(black_box(&a), black_box(&b), m, k, n))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+/// Best-of-`samples` mean ns/iter of `f` over `iters` calls per sample.
+fn best_ns(iters: u32, samples: u32, mut f: impl FnMut()) -> u64 {
+    f(); // warmup
+    let mut best = u64::MAX;
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(start.elapsed().as_nanos() as u64 / iters as u64);
+    }
+    best.max(1)
+}
+
+fn main() {
+    // `cargo bench` runs with cwd = crates/bench; hop to the workspace root
+    // so the artifact lands in the repo-wide `results/` directory that
+    // `tests/results_schema.rs` validates.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    std::env::set_current_dir(root).expect("workspace root must exist");
+
+    benches();
+
+    let mut table = Table::new(
+        "kernel microbenchmarks: blocked vs scalar reference (best-of-7, ns/iter)",
+        &["kernel", "shape", "blocked_ns", "reference_ns", "speedup"],
+    );
+    let mut fill = |kernel: &str, shape: String, blocked: u64, reference: u64| {
+        table.row(vec![
+            kernel.to_string(),
+            shape,
+            blocked.to_string(),
+            reference.to_string(),
+            format!("{:.2}", reference as f64 / blocked as f64),
+        ]);
+    };
+
+    for &(m, k, n) in SHAPES {
+        let a = buf(m * k, 1);
+        let b = buf(k * n, 2);
+        let d = buf(m * n, 3);
+        let shape = format!("{m}x{k}x{n}");
+
+        let blocked = best_ns(20, 7, || {
+            black_box(kernels::matmul(black_box(&a), black_box(&b), m, k, n));
+        });
+        let reference = best_ns(20, 7, || {
+            black_box(kernels::reference::matmul(black_box(&a), black_box(&b), m, k, n));
+        });
+        fill("matmul", shape.clone(), blocked, reference);
+
+        let blocked = best_ns(20, 7, || {
+            black_box(kernels::matmul_bt(black_box(&d), black_box(&b), m, n, k));
+        });
+        let reference = best_ns(20, 7, || {
+            black_box(kernels::reference::matmul_bt(black_box(&d), black_box(&b), m, n, k));
+        });
+        fill("matmul_bt", shape.clone(), blocked, reference);
+
+        let mut gw = vec![0.0f32; k * n];
+        let blocked = best_ns(20, 7, || {
+            kernels::acc_matmul_at(black_box(&a), black_box(&d), m, k, n, black_box(&mut gw));
+        });
+        let mut gw = vec![0.0f32; k * n];
+        let reference = best_ns(20, 7, || {
+            kernels::reference::acc_matmul_at(
+                black_box(&a),
+                black_box(&d),
+                m,
+                k,
+                n,
+                black_box(&mut gw),
+            );
+        });
+        fill("acc_matmul_at", shape, blocked, reference);
+    }
+
+    // MLP-shaped matvec kernels.
+    let (out_dim, in_dim) = (256, 256);
+    let w = buf(out_dim * in_dim, 4);
+    let bias = buf(out_dim, 5);
+    let x = buf(in_dim, 6);
+    let dv = buf(out_dim, 7);
+    let shape = format!("{out_dim}x{in_dim}");
+    let blocked = best_ns(50, 7, || {
+        black_box(kernels::matvec_bias(black_box(&w), &bias, black_box(&x), out_dim, in_dim));
+    });
+    let reference = best_ns(50, 7, || {
+        black_box(kernels::reference::matvec_bias(
+            black_box(&w),
+            &bias,
+            black_box(&x),
+            out_dim,
+            in_dim,
+        ));
+    });
+    fill("matvec_bias", shape.clone(), blocked, reference);
+    let blocked = best_ns(50, 7, || {
+        black_box(kernels::matvec_t(black_box(&w), black_box(&dv), out_dim, in_dim));
+    });
+    let reference = best_ns(50, 7, || {
+        black_box(kernels::reference::matvec_t(black_box(&w), black_box(&dv), out_dim, in_dim));
+    });
+    fill("matvec_t", shape, blocked, reference);
+
+    table.finish("BENCH_kernels");
+}

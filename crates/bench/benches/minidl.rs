@@ -35,6 +35,7 @@ fn bench(c: &mut Criterion) {
                     loss_scale: mics_minidl::LossScale::None,
                     clip_grad_norm: None,
                     comm_quant: None,
+                    prefetch_depth: 0,
                 };
                 b.iter(|| train(&setup, schedule).losses.len())
             },

@@ -128,6 +128,7 @@ fn main() {
         loss_scale: mics_minidl::LossScale::None,
         clip_grad_norm: None,
         comm_quant: None,
+        prefetch_depth: 0,
     };
     let exact = train(&setup, SyncSchedule::TwoHop);
     let mut qsetup = setup.clone();

@@ -24,6 +24,7 @@ fn main() {
         loss_scale: mics_minidl::LossScale::Dynamic { init: 65536.0, growth_interval: 2000 },
         clip_grad_norm: Some(1.0),
         comm_quant: None,
+        prefetch_depth: 0,
     };
     println!(
         "training {} params on {} thread-ranks (p={}, s={}, mixed precision)",
@@ -90,6 +91,7 @@ fn main() {
         loss_scale: mics_minidl::LossScale::Dynamic { init: 65536.0, growth_interval: 2000 },
         clip_grad_norm: Some(1.0),
         comm_quant: None,
+        prefetch_depth: 0,
     };
     println!(
         "

@@ -26,6 +26,8 @@ pub enum Command {
     Simulate(JobArgs),
     /// Search for the best MiCS configuration.
     Tune(JobArgs),
+    /// Train the fig15-class LM on the real thread-rank backend.
+    Fidelity(FidelityArgs),
 }
 
 /// Shared job arguments.
@@ -62,6 +64,27 @@ impl Default for JobArgs {
     }
 }
 
+/// Arguments of the `fidelity` subcommand, which runs the fig15-class
+/// transformer LM on the *real* `mics-minidl` backend (8 thread ranks,
+/// MiCS 2-hop, partition groups of 2) rather than the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FidelityArgs {
+    /// Training iterations to run.
+    pub iterations: usize,
+    /// Collective look-ahead: `0` = inline interpreter, `≥ 1` = async
+    /// executor with overlapped reduces and gather prefetch.
+    pub prefetch_depth: usize,
+    /// Write a chrome-trace JSON combining the backend's *measured* lane
+    /// spans with the simulator's *charged* timeline for the same program.
+    pub trace: Option<String>,
+}
+
+impl Default for FidelityArgs {
+    fn default() -> Self {
+        FidelityArgs { iterations: 10, prefetch_depth: 2, trace: None }
+    }
+}
+
 /// CLI errors, printable as user-facing messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CliError(pub String);
@@ -89,6 +112,7 @@ USAGE:
                     [--micro-batch B]
   mics-sim simulate <model> [same options] [--accum S] [--trace out.json]
   mics-sim tune     <model> [--nodes N] [--instance ...] [--micro-batch B] [--accum S]
+  mics-sim fidelity [--iterations N] [--prefetch-depth D] [--trace out.json]
 
 MODELS: run `mics-sim models` for the list.";
 
@@ -165,6 +189,32 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let sub = it.next().ok_or_else(|| err(USAGE))?;
     if sub == "models" {
         return Ok(Command::Models);
+    }
+    if sub == "fidelity" {
+        let mut fid = FidelityArgs::default();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> Result<&String, CliError> {
+                it.next().ok_or_else(|| err(format!("{name} requires a value")))
+            };
+            match flag.as_str() {
+                "--iterations" => {
+                    fid.iterations = value("--iterations")?
+                        .parse()
+                        .map_err(|_| err("--iterations must be a positive integer"))?
+                }
+                "--prefetch-depth" => {
+                    fid.prefetch_depth = value("--prefetch-depth")?
+                        .parse()
+                        .map_err(|_| err("--prefetch-depth must be a non-negative integer"))?
+                }
+                "--trace" => fid.trace = Some(value("--trace")?.clone()),
+                other => return Err(err(format!("unknown flag '{other}'\n\n{USAGE}"))),
+            }
+        }
+        if fid.iterations == 0 {
+            return Err(err("--iterations must be a positive integer"));
+        }
+        return Ok(Command::Fidelity(fid));
     }
     if !matches!(sub.as_str(), "estimate" | "simulate" | "tune") {
         return Err(err(format!("unknown subcommand '{sub}'\n\n{USAGE}")));
@@ -292,6 +342,34 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 Err(e) => Ok(format!("{e}")),
             }
         }
+        Command::Fidelity(args) => {
+            let setup = fig15_setup(args);
+            let out = mics_minidl::train_lm(&setup, mics_minidl::SyncSchedule::TwoHop);
+            let s = &out.lane_stats;
+            let ms = |ns: u64| ns as f64 / 1e6;
+            let mut text = format!(
+                "fig15 LM on the real backend (8 ranks, mics p=2, {} iters, \
+                 prefetch depth {}): final loss {:.6}\n\
+                 wall {:.1} ms | compute {:.1} ms | gather {:.1} ms | reduce {:.1} ms | \
+                 overlap {:.0}% | {} deferred reduces | {} prefetched gathers",
+                args.iterations,
+                args.prefetch_depth,
+                out.losses.last().copied().unwrap_or(f32::NAN),
+                ms(s.wall_ns),
+                ms(s.busy_ns(mics_minidl::ExecLane::Compute)),
+                ms(s.busy_ns(mics_minidl::ExecLane::Gather)),
+                ms(s.busy_ns(mics_minidl::ExecLane::Reduce)),
+                s.overlap_fraction() * 100.0,
+                s.deferred_wire_ops.len(),
+                s.prefetched_gathers,
+            );
+            if let Some(path) = &args.trace {
+                std::fs::write(path, fidelity_trace(args, &setup, s))
+                    .map_err(|e| err(format!("cannot write trace to '{path}': {e}")))?;
+                text.push_str(&format!(" | trace written to {path}"));
+            }
+            Ok(text)
+        }
         Command::Tune(job) => {
             let (workload, cluster, _) = resolve(job)?;
             match tune(&workload, &cluster, job.accum) {
@@ -319,6 +397,77 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             }
         }
     }
+}
+
+/// The fig15 fidelity geometry: 8 ranks, partition groups of 2, micro-batch
+/// 8 × 4 accumulation steps over the tiny transformer LM.
+fn fig15_setup(args: &FidelityArgs) -> mics_minidl::LmSetup {
+    mics_minidl::LmSetup {
+        model: mics_minidl::TinyTransformer::new(9, 6, 8, 2, 16, 2),
+        world: 8,
+        partition_size: 2,
+        micro_batch: 8,
+        accum_steps: 4,
+        iterations: args.iterations,
+        lr: 0.015,
+        seed: 20220615,
+        quantize: false,
+        loss_scale: mics_minidl::LossScale::None,
+        clip_grad_norm: None,
+        comm_quant: None,
+        prefetch_depth: args.prefetch_depth,
+    }
+}
+
+/// One chrome-trace document holding two processes: pid 0 is the simulator's
+/// *charged* timeline for the fidelity program, pid 1 the real backend's
+/// *measured* lane spans — load it in Perfetto to compare them side by side.
+fn fidelity_trace(
+    args: &FidelityArgs,
+    setup: &mics_minidl::LmSetup,
+    measured: &mics_minidl::LaneStats,
+) -> String {
+    let hp = mics_minidl::ScheduleHyper {
+        world: setup.world,
+        partition_size: setup.partition_size,
+        accum_steps: setup.accum_steps,
+        iterations: setup.iterations,
+        lr: setup.lr,
+        quantize: setup.quantize,
+        loss_scale: setup.loss_scale,
+        clip_grad_norm: setup.clip_grad_norm,
+        comm_quant: setup.comm_quant,
+        prefetch_depth: args.prefetch_depth,
+    };
+    let prog = mics_minidl::step_program_with_flops(
+        &hp,
+        mics_minidl::SyncSchedule::TwoHop,
+        setup.model.num_params(),
+        4e9,
+        8e9,
+    );
+    let mut inst = InstanceType::p3dn_24xlarge();
+    inst.gpus_per_node = hp.world;
+    let mut sc = mics_core::ops::SimCluster::new(ClusterSpec::new(inst, 1));
+    sc.enable_tracing();
+    mics_core::schedule::execute_on_sim(&prog, &mut sc, 1e12);
+    let (_, _, _, sim_json) = sc.run_traced();
+    let sim_events = sim_json
+        .strip_prefix("{\"traceEvents\":[")
+        .and_then(|s| s.strip_suffix("]}"))
+        .expect("simulator trace is chrome-trace shaped");
+    let mut out = String::from(
+        "{\"traceEvents\":[{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\
+         \"args\":{\"name\":\"simulator (charged)\"}}",
+    );
+    if !sim_events.is_empty() {
+        out.push(',');
+        out.push_str(sim_events);
+    }
+    out.push(',');
+    out.push_str(&measured.chrome_trace_events(1, "real backend (measured)"));
+    out.push_str("]}");
+    out
 }
 
 fn resolve(job: &JobArgs) -> Result<(WorkloadSpec, ClusterSpec, Strategy), CliError> {
@@ -444,6 +593,45 @@ mod tests {
         assert!(out.contains("trace written to"), "{out}");
         let json = std::fs::read_to_string(&path).unwrap();
         assert!(json.contains("\"traceEvents\""), "not chrome-trace shaped: {json:.80}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_fidelity_with_flags() {
+        let cmd =
+            parse_args(&argv("fidelity --iterations 3 --prefetch-depth 1 --trace t.json")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Fidelity(FidelityArgs {
+                iterations: 3,
+                prefetch_depth: 1,
+                trace: Some("t.json".into()),
+            })
+        );
+        assert_eq!(
+            parse_args(&argv("fidelity")).unwrap(),
+            Command::Fidelity(FidelityArgs::default())
+        );
+        assert!(parse_args(&argv("fidelity --iterations 0")).is_err());
+        assert!(parse_args(&argv("fidelity --bogus")).is_err());
+    }
+
+    #[test]
+    fn fidelity_runs_real_backend_and_writes_merged_trace() {
+        let path = std::env::temp_dir().join("mics_sim_cli_fidelity_trace_test.json");
+        let path = path.to_str().unwrap().to_string();
+        let cmd = parse_args(&argv(&format!(
+            "fidelity --iterations 2 --prefetch-depth 2 --trace {path}"
+        )))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("final loss"), "{out}");
+        assert!(out.contains("trace written to"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.starts_with("{\"traceEvents\":["), "{json:.80}");
+        assert!(json.contains("simulator (charged)"), "sim process missing");
+        assert!(json.contains("real backend (measured)"), "real process missing");
+        assert!(json.contains("\"pid\":1"), "real lanes must live under their own pid");
         std::fs::remove_file(&path).ok();
     }
 

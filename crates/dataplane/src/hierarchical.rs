@@ -17,7 +17,7 @@
 //! `p/k` intra-node all-gathers *as one coalesced batch* to fill in the
 //! chunks owned by node peers.
 
-use crate::Communicator;
+use crate::{CommError, Communicator};
 use mics_collectives::HierarchicalLayout;
 
 /// Gather the partition group's `p` shards into the full buffer using the
@@ -35,6 +35,19 @@ pub fn hierarchical_all_gather(
     layout: &HierarchicalLayout,
     shard: &[f32],
 ) -> Vec<f32> {
+    try_hierarchical_all_gather(channel, node, layout, shard)
+        .unwrap_or_else(|e| panic!("collective aborted: {e}"))
+}
+
+/// Fallible [`hierarchical_all_gather`]: aborts with the failure instead of
+/// panicking when a peer dies or never arrives — the form the non-blocking
+/// engine ([`crate::nonblocking`]) runs on its progress thread.
+pub fn try_hierarchical_all_gather(
+    channel: &Communicator,
+    node: &Communicator,
+    layout: &HierarchicalLayout,
+    shard: &[f32],
+) -> Result<Vec<f32>, CommError> {
     assert_eq!(channel.world(), layout.nodes(), "channel size must equal node count");
     assert_eq!(node.world(), layout.per_node(), "node group size must equal k");
     let chunk = shard.len();
@@ -44,7 +57,7 @@ pub fn hierarchical_all_gather(
 
     // Stage 1: inter-node all-gather along the channel. Afterwards this
     // rank holds chunks [local, k + local, 2k + local, …] in node order.
-    let stage1 = channel.all_gather(shard);
+    let stage1 = channel.try_all_gather(shard)?;
     debug_assert_eq!(stage1.len(), layout.nodes() * chunk);
 
     // Stage 2: re-arrange into the final buffer. Chunk in stage-1 slot `j`
@@ -65,13 +78,13 @@ pub fn hierarchical_all_gather(
         })
         .collect();
     let part_refs: Vec<&[f32]> = parts.iter().map(|p| p.as_slice()).collect();
-    let gathered = node.all_gather_coalesced(&part_refs);
+    let gathered = node.try_all_gather_coalesced(&part_refs)?;
     for (j, span) in gathered.iter().enumerate() {
         debug_assert_eq!(span.len(), layout.per_node() * chunk);
         let base = j * layout.per_node() * chunk;
         out[base..base + span.len()].copy_from_slice(span);
     }
-    out
+    Ok(out)
 }
 
 /// The *incorrect* two-stage variant the paper warns about: gather along the
@@ -114,6 +127,17 @@ pub fn hierarchical_reduce_scatter(
     layout: &HierarchicalLayout,
     full: &[f32],
 ) -> Vec<f32> {
+    try_hierarchical_reduce_scatter(channel, node, layout, full)
+        .unwrap_or_else(|e| panic!("collective aborted: {e}"))
+}
+
+/// Fallible [`hierarchical_reduce_scatter`], for the non-blocking engine.
+pub fn try_hierarchical_reduce_scatter(
+    channel: &Communicator,
+    node: &Communicator,
+    layout: &HierarchicalLayout,
+    full: &[f32],
+) -> Result<Vec<f32>, CommError> {
     assert_eq!(channel.world(), layout.nodes(), "channel size must equal node count");
     assert_eq!(node.world(), layout.per_node(), "node group size must equal k");
     let p = layout.participants();
@@ -124,7 +148,7 @@ pub fn hierarchical_reduce_scatter(
     // Stage 1: one intra-node reduce-scatter per k-chunk span, batched.
     let spans: Vec<&[f32]> =
         (0..layout.nodes()).map(|j| &full[j * k * chunk..(j + 1) * k * chunk]).collect();
-    let partials = node.reduce_scatter_coalesced(&spans);
+    let partials = node.try_reduce_scatter_coalesced(&spans)?;
     // partials[j] = node-partial sum of chunk j·k + local — already in
     // channel (node) order; concatenate and reduce across nodes.
     let mut stage1 = Vec::with_capacity(layout.nodes() * chunk);
@@ -134,7 +158,7 @@ pub fn hierarchical_reduce_scatter(
     }
 
     // Stage 2: inter-node reduce-scatter along the channel.
-    channel.reduce_scatter(&stage1)
+    channel.try_reduce_scatter(&stage1)
 }
 
 /// Convenience: split a partition-group communicator of `p = nodes × k`

@@ -59,10 +59,16 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 pub mod hierarchical;
+pub mod nonblocking;
 pub mod quantized;
 
 pub use hierarchical::{
     hierarchical_all_gather, hierarchical_reduce_scatter, naive_two_stage_all_gather,
+    try_hierarchical_all_gather, try_hierarchical_reduce_scatter,
+};
+pub use nonblocking::{
+    start_hierarchical_all_gather, start_hierarchical_reduce_scatter, CollectiveHandle,
+    ASYNC_QUEUE_DEPTH,
 };
 pub use quantized::{
     quantized_all_gather, quantized_all_reduce, quantized_hierarchical_all_gather,
@@ -258,9 +264,25 @@ pub struct Communicator {
     split_calls: u64,
     /// Number of `remove_rank` calls made so far (same SPMD mirror).
     rebuild_epoch: u64,
+    /// Lazily-spawned progress thread for the non-blocking collectives
+    /// (see [`nonblocking`]); `None` until the first `start_*` call.
+    engine: Option<nonblocking::Engine>,
 }
 
 impl Communicator {
+    /// A second handle to the same (rank, group) — the progress thread's
+    /// identity in the [`nonblocking`] engine. Never exposed: two handles
+    /// issuing collectives concurrently would corrupt the rendezvous, so
+    /// the engine is the only caller and serializes all use.
+    pub(crate) fn sibling(of: &Communicator) -> Communicator {
+        Communicator {
+            rank: of.rank,
+            inner: Arc::clone(&of.inner),
+            split_calls: 0,
+            rebuild_epoch: 0,
+            engine: None,
+        }
+    }
     /// Create the world group: one handle per rank.
     pub fn create_world(world: usize) -> Vec<Communicator> {
         assert!(world > 0, "world must be non-empty");
@@ -271,6 +293,7 @@ impl Communicator {
                 inner: Arc::clone(&inner),
                 split_calls: 0,
                 rebuild_epoch: 0,
+                engine: None,
             })
             .collect()
     }
@@ -324,21 +347,36 @@ impl Communicator {
     /// Fallible [`Self::all_gather`]: aborts with the failure instead of
     /// completing when a peer dies or never arrives.
     pub fn try_all_gather(&self, contribution: &[f32]) -> Result<Vec<f32>, CommError> {
+        let mut out = Vec::new();
+        self.try_all_gather_into(contribution, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::try_all_gather`] into a caller-provided buffer: `out` is
+    /// cleared and filled with the `world × len` gathered elements. The
+    /// buffer's capacity is reused across calls, which is what lets a hot
+    /// training loop double-buffer its parameter gathers with zero
+    /// steady-state allocation.
+    pub fn try_all_gather_into(
+        &self,
+        contribution: &[f32],
+        out: &mut Vec<f32>,
+    ) -> Result<(), CommError> {
         self.deposit(contribution.to_vec());
         self.try_barrier()?;
-        let out = {
+        {
             let slots = lock(&self.inner.slots);
             let len0 = slots[0].as_ref().expect("missing contribution").len();
-            let mut out = Vec::with_capacity(len0 * self.inner.world);
+            out.clear();
+            out.reserve(len0 * self.inner.world);
             for (r, s) in slots.iter().enumerate() {
                 let s = s.as_ref().expect("missing contribution");
                 assert_eq!(s.len(), len0, "rank {r} contributed a different length");
                 out.extend_from_slice(s);
             }
-            out
-        };
+        }
         self.try_barrier()?;
-        Ok(out)
+        Ok(())
     }
 
     /// Gather equal-length contributions from all ranks, concatenated in
@@ -543,7 +581,13 @@ impl Communicator {
         };
         // Everyone must have fetched their child before meta is reused.
         self.try_barrier()?;
-        Ok(Communicator { rank: new_rank, inner: child_inner, split_calls: 0, rebuild_epoch: 0 })
+        Ok(Communicator {
+            rank: new_rank,
+            inner: child_inner,
+            split_calls: 0,
+            rebuild_epoch: 0,
+            engine: None,
+        })
     }
 
     /// Split the group into disjoint sub-groups, MPI `comm_split` style:
@@ -593,7 +637,13 @@ impl Communicator {
         // Rendezvous on the *new* barrier — the old one is poisoned. This is
         // also the liveness check that all survivors made it here.
         rebuilt.barrier.wait(new_world, rebuilt.timeout())?;
-        Ok(Communicator { rank: new_rank, inner: rebuilt, split_calls: 0, rebuild_epoch: 0 })
+        Ok(Communicator {
+            rank: new_rank,
+            inner: rebuilt,
+            split_calls: 0,
+            rebuild_epoch: 0,
+            engine: None,
+        })
     }
 }
 
@@ -679,6 +729,17 @@ where
 /// Run `f` on a watchdog thread and panic if it exceeds `limit`: the guard
 /// that turns an accidental rendezvous deadlock into a fast test failure
 /// instead of a hung `cargo test`. Panics from `f` propagate unchanged.
+///
+/// # Thread lifecycle
+///
+/// On the happy path (result delivered in time) and on the propagated-panic
+/// path the guard thread is **joined** before this function returns — no
+/// thread outlives the call. Only the timeout path leaks the thread, by
+/// construction: the worker is stuck in whatever deadlock tripped the
+/// deadline, a join would hang the very watchdog that exists to avoid
+/// hanging, and the process teardown reaps it. That leak is bounded to one
+/// thread per tripped deadline, and a tripped deadline is already a test
+/// failure.
 pub fn with_deadline<R, F>(limit: Duration, f: F) -> R
 where
     R: Send + 'static,

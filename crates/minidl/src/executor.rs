@@ -1,0 +1,366 @@
+//! Lane accounting and dependency analysis for the asynchronous training
+//! executor.
+//!
+//! Since the async-engine refactor, [`mod@crate::train`]'s engine is no longer a
+//! purely inline interpreter: with `prefetch_depth ≥ 1` it walks the
+//! [`StepProgram`] issuing reduce-lane collectives onto the per-communicator
+//! progress threads (`mics_dataplane::nonblocking`) and retiring them at the
+//! points the program's dependency edges demand — the WAR edge from a
+//! micro-step's reduce batch to the *next* micro-step's backward compute,
+//! the [`OpKind::MicroBarrier`] drains of the ZeRO-3 schedule, and the
+//! implicit read of the accumulated gradient by the boundary collectives
+//! and the optimizer. Between issue and retire, forward compute runs — the
+//! real-backend realization of the overlap MiCS §4 describes and the
+//! simulator backend already charges.
+//!
+//! This module holds the pieces of that executor that are observable from
+//! outside the engine:
+//!
+//! * [`LaneSpan`] / [`LaneStats`] — wall-clock spans measured per execution
+//!   lane, aggregated into per-lane busy time and a measured overlap
+//!   fraction, and carried on [`crate::train::TrainOutcome`];
+//! * [`overlappable_wire_ops`] — a *static* analysis of a [`StepProgram`]
+//!   answering "which wire ops admit compute between their issue point and
+//!   their first dependent?". The executor independently records which ops
+//!   it actually retired later than it issued them
+//!   ([`LaneStats::deferred_wire_ops`]); the cross-check tests assert the
+//!   two derivations agree, op id for op id, which is what ties the
+//!   executor's measured concurrency to the concurrency `execute_on_sim`
+//!   charges for the same program.
+
+use mics_core::schedule::{GradSource, OpKind, StepProgram};
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// Execution lanes of the real backend, mirroring the schedule IR's lane
+/// split: one compute stream plus separate gather/reduce communication
+/// lanes, and a control lane for the collectives that are not part of the
+/// costed program (overflow agreement, loss reporting, clip-norm).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecLane {
+    /// Forward/backward kernels and the optimizer step.
+    Compute,
+    /// Parameter all-gathers.
+    Gather,
+    /// Gradient reduce-scatters and all-reduces.
+    Reduce,
+    /// Control-plane collectives (not in the costed program).
+    Control,
+}
+
+/// One measured wall-clock span on a lane, in nanoseconds relative to the
+/// start of the rank's run. Spans of async collectives cover the progress
+/// thread's execution (rendezvous wait included) — the same occupancy the
+/// simulator's lane streams model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneSpan {
+    /// Which lane was busy.
+    pub lane: ExecLane,
+    /// What it was doing (stable, lowercase; used as the trace event name).
+    pub label: &'static str,
+    /// Training iteration the span belongs to.
+    pub iteration: usize,
+    /// Span start, ns since the rank's run began.
+    pub start_ns: u64,
+    /// Span end, ns since the rank's run began.
+    pub end_ns: u64,
+}
+
+/// Measured per-lane occupancy of a training run on one rank.
+///
+/// Timing is run-specific, so `TrainOutcome`'s `PartialEq` deliberately
+/// ignores this struct — two bit-identical trainings will not report
+/// bit-identical nanoseconds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LaneStats {
+    /// Every measured span, in retirement order.
+    pub spans: Vec<LaneSpan>,
+    /// Wall-clock duration of the whole run on this rank, ns.
+    pub wall_ns: u64,
+    /// Wire ops (program op ids, first logged iteration) that the executor
+    /// retired strictly later than it issued them — i.e. at least one
+    /// compute op ran while the collective was in flight. Empty under
+    /// `prefetch_depth = 0`.
+    pub deferred_wire_ops: Vec<usize>,
+    /// Cross-iteration parameter gathers issued ahead of time into the
+    /// double-buffer pool (one per iteration after the first, when enabled).
+    pub prefetched_gathers: u32,
+}
+
+impl LaneStats {
+    /// Total busy time of one lane, ns.
+    pub fn busy_ns(&self, lane: ExecLane) -> u64 {
+        self.spans.iter().filter(|s| s.lane == lane).map(|s| s.end_ns - s.start_ns).sum()
+    }
+
+    /// Busy time of the costed communication lanes (gather + reduce), ns.
+    pub fn comm_busy_ns(&self) -> u64 {
+        self.busy_ns(ExecLane::Gather) + self.busy_ns(ExecLane::Reduce)
+    }
+
+    /// Communication time that was hidden under compute: the total
+    /// intersection of gather/reduce spans with the union of compute spans.
+    pub fn overlap_ns(&self) -> u64 {
+        let mut compute: Vec<(u64, u64)> = self
+            .spans
+            .iter()
+            .filter(|s| s.lane == ExecLane::Compute)
+            .map(|s| (s.start_ns, s.end_ns))
+            .collect();
+        compute.sort_unstable();
+        // Merge into disjoint intervals.
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(compute.len());
+        for (s, e) in compute {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        let mut overlap = 0u64;
+        for span in &self.spans {
+            if !matches!(span.lane, ExecLane::Gather | ExecLane::Reduce) {
+                continue;
+            }
+            for &(s, e) in &merged {
+                if e <= span.start_ns {
+                    continue;
+                }
+                if s >= span.end_ns {
+                    break;
+                }
+                overlap += e.min(span.end_ns) - s.max(span.start_ns);
+            }
+        }
+        overlap
+    }
+
+    /// Fraction of communication time hidden under compute, in `[0, 1]`.
+    /// `0` when no costed communication was measured.
+    pub fn overlap_fraction(&self) -> f64 {
+        let comm = self.comm_busy_ns();
+        if comm == 0 {
+            0.0
+        } else {
+            self.overlap_ns() as f64 / comm as f64
+        }
+    }
+
+    /// The measured spans as Chrome Trace Event Format event objects
+    /// (comma-joined, no surrounding array) under process id `pid`, one
+    /// `tid` per lane. Emitting raw events lets callers splice the real
+    /// backend's measured timeline into the same file as the simulator's
+    /// charged one for side-by-side viewing in Perfetto.
+    pub fn chrome_trace_events(&self, pid: u32, process_name: &str) -> String {
+        let tid = |lane: ExecLane| match lane {
+            ExecLane::Compute => 0,
+            ExecLane::Gather => 1,
+            ExecLane::Reduce => 2,
+            ExecLane::Control => 3,
+        };
+        let mut out = format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            process_name.replace('\\', "\\\\").replace('"', "\\\"")
+        );
+        for (lane, name) in [
+            (ExecLane::Compute, "compute"),
+            (ExecLane::Gather, "gather"),
+            (ExecLane::Reduce, "reduce"),
+            (ExecLane::Control, "control"),
+        ] {
+            out.push_str(&format!(
+                ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{},\
+                 \"args\":{{\"name\":\"{name}\"}}}}",
+                tid(lane)
+            ));
+        }
+        for s in &self.spans {
+            let ts = s.start_ns as f64 / 1e3;
+            let dur = (s.end_ns - s.start_ns) as f64 / 1e3;
+            out.push_str(&format!(
+                ",{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{},\
+                 \"ts\":{ts},\"dur\":{dur},\"args\":{{\"iteration\":{}}}}}",
+                s.label,
+                tid(s.lane),
+                s.iteration
+            ));
+        }
+        out
+    }
+
+    /// The measured spans as a complete Chrome Trace Event Format document
+    /// (loadable at `chrome://tracing` or ui.perfetto.dev).
+    pub fn chrome_trace_json(&self) -> String {
+        format!("{{\"traceEvents\":[{}]}}", self.chrome_trace_events(0, "real backend (measured)"))
+    }
+}
+
+/// Wall-clock span recorder for one rank: a shared epoch plus an append log.
+/// The epoch `Instant` is `Copy`, so async collectives capture it into their
+/// progress-thread closures and report spans on the same clock.
+#[derive(Debug)]
+pub(crate) struct SpanRecorder {
+    epoch: Instant,
+    spans: Vec<LaneSpan>,
+}
+
+impl SpanRecorder {
+    pub(crate) fn new() -> Self {
+        SpanRecorder { epoch: Instant::now(), spans: Vec::new() }
+    }
+
+    /// The shared clock epoch, for measuring inside async closures.
+    pub(crate) fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Nanoseconds since the epoch.
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    pub(crate) fn push(
+        &mut self,
+        lane: ExecLane,
+        label: &'static str,
+        iteration: usize,
+        start_ns: u64,
+        end_ns: u64,
+    ) {
+        self.spans.push(LaneSpan { lane, label, iteration, start_ns, end_ns });
+    }
+
+    pub(crate) fn finish(
+        self,
+        deferred_wire_ops: Vec<usize>,
+        prefetched_gathers: u32,
+    ) -> LaneStats {
+        let wall_ns = self.epoch.elapsed().as_nanos() as u64;
+        LaneStats { spans: self.spans, wall_ns, deferred_wire_ops, prefetched_gathers }
+    }
+}
+
+/// Static overlap analysis of a [`StepProgram`]: the wire ops that admit at
+/// least one compute op between their position and their first blocker in
+/// program order.
+///
+/// A later op *blocks* wire op `i` when any of these hold:
+///
+/// * it lists `i` in its `deps` (this is how the emitter encodes the WAR
+///   hazard from a reduce batch to the next micro-step's backward compute);
+/// * it is a [`OpKind::MicroBarrier`] — the executor drains all in-flight
+///   work there, exactly as `execute_on_sim` makes every stream wait;
+/// * `i` folds into the accumulated gradient (a micro-step reduce) and the
+///   later op *reads* the accumulation — a boundary collective or the
+///   optimizer update. This hazard is implicit in the IR (the emitters
+///   leave e.g. `CrossGroupAllReduce.deps` empty because the sim serializes
+///   it through the reduce lane), so the analysis must model it explicitly.
+///
+/// The executor issues micro-step reduces asynchronously and drains at
+/// precisely these blockers, so the set returned here must equal the set of
+/// ops it observes retiring after intervening compute
+/// ([`LaneStats::deferred_wire_ops`], filtered to the ops whose group
+/// contains the observing rank). The cross-check test in `tests/overlap.rs`
+/// holds the two implementations to that.
+pub fn overlappable_wire_ops(prog: &StepProgram) -> BTreeSet<usize> {
+    let mut out = BTreeSet::new();
+    for (i, op) in prog.ops.iter().enumerate() {
+        let is_wire = matches!(
+            op.kind,
+            OpKind::GatherShards { .. }
+                | OpKind::ReduceScatterGrads { .. }
+                | OpKind::AllReduceGrads { .. }
+                | OpKind::CrossGroupAllReduce { .. }
+                | OpKind::ParamRefresh { .. }
+        );
+        if !is_wire {
+            continue;
+        }
+        let folds_into_accum = matches!(
+            op.kind,
+            OpKind::ReduceScatterGrads { source: GradSource::MicroGrad, .. }
+                | OpKind::AllReduceGrads { source: GradSource::MicroGrad, .. }
+        );
+        // Count compute ops strictly between `i` and its first blocker;
+        // end-of-program is as much a drain point as an explicit blocker.
+        let mut computes_between = 0usize;
+        for later in prog.ops.iter().skip(i + 1) {
+            let reads_accum = matches!(
+                later.kind,
+                OpKind::CrossGroupAllReduce { .. }
+                    | OpKind::AllReduceGrads { source: GradSource::Accum, .. }
+                    | OpKind::OptimizerUpdate { .. }
+            );
+            if later.deps.contains(&i)
+                || matches!(later.kind, OpKind::MicroBarrier)
+                || (folds_into_accum && reads_accum)
+            {
+                break;
+            }
+            if matches!(later.kind, OpKind::Compute { .. }) {
+                computes_between += 1;
+            }
+        }
+        if computes_between > 0 {
+            out.insert(i);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(spans: Vec<LaneSpan>) -> LaneStats {
+        LaneStats { spans, wall_ns: 100, deferred_wire_ops: vec![], prefetched_gathers: 0 }
+    }
+
+    fn span(lane: ExecLane, start_ns: u64, end_ns: u64) -> LaneSpan {
+        LaneSpan { lane, label: "t", iteration: 0, start_ns, end_ns }
+    }
+
+    #[test]
+    fn overlap_is_the_intersection_with_merged_compute() {
+        let s = stats(vec![
+            span(ExecLane::Compute, 0, 10),
+            span(ExecLane::Compute, 5, 20), // overlapping compute spans merge
+            span(ExecLane::Reduce, 15, 30), // 5 ns under compute
+            span(ExecLane::Gather, 18, 19), // 1 ns under compute
+            span(ExecLane::Control, 0, 50), // control never counts
+        ]);
+        assert_eq!(s.busy_ns(ExecLane::Compute), 25);
+        assert_eq!(s.comm_busy_ns(), 16);
+        assert_eq!(s.overlap_ns(), 6);
+        assert!((s.overlap_fraction() - 6.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_comm_means_zero_overlap_fraction() {
+        let s = stats(vec![span(ExecLane::Compute, 0, 10)]);
+        assert_eq!(s.overlap_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fully_serial_lanes_report_zero_overlap() {
+        let s = stats(vec![span(ExecLane::Compute, 0, 10), span(ExecLane::Reduce, 10, 20)]);
+        assert_eq!(s.overlap_ns(), 0);
+    }
+
+    #[test]
+    fn chrome_trace_json_is_trace_event_shaped() {
+        let s = stats(vec![span(ExecLane::Compute, 1_000, 3_000), span(ExecLane::Reduce, 0, 500)]);
+        let json = s.chrome_trace_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":1")); // ns → µs
+        assert!(json.contains("\"dur\":2"));
+        assert!(json.contains("\"name\":\"reduce\""), "lane thread names present");
+        // Events under a non-zero pid splice into a merged document.
+        let events = s.chrome_trace_events(7, "real \"backend\"");
+        assert!(events.contains("\"pid\":7"));
+        assert!(!events.contains("\"pid\":0"));
+        assert!(events.contains("real \\\"backend\\\""), "process name escaped");
+    }
+}

@@ -1,0 +1,441 @@
+//! Cache-blocked, register-unrolled f32 kernels for the real backend's
+//! forward/backward passes, plus the naive [`mod@reference`] implementations
+//! they are drift-bounded against.
+//!
+//! The design translates the standard GPU matmul hierarchy to CPU
+//! autovectorization:
+//!
+//! * the innermost loop is always unit-stride over contiguous rows, so the
+//!   compiler can vectorize it without gathers;
+//! * the reduction (or batch) dimension is consumed `UNROLL` rows at a
+//!   time whose partial products fuse into one accumulator stream — each
+//!   load of the shared operand is reused `UNROLL` times and the four
+//!   products form independent FMA chains;
+//! * the reduction dimension of [`matmul`] is additionally tiled by `KC` (256)
+//!   so the active panel of the right operand stays cache-resident across
+//!   output rows.
+//!
+//! Every kernel computes exactly the reference sums in a different
+//! association order: results drift only by float re-association (bounded
+//! by the `drift_*` tests below), never by dropped or duplicated terms.
+
+/// Register-block height: rows of the reduction dimension fused per pass.
+const UNROLL: usize = 4;
+/// Cache tile for the reduction dimension of [`matmul`].
+const KC: usize = 256;
+
+/// `out[m×n] = a[m×k] · b[k×n]`, row-major, k-tiled and 4-way unrolled.
+pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    let mut out = vec![0.0f32; m * n];
+    for kk in (0..k).step_by(KC) {
+        let kend = (kk + KC).min(k);
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            let mut kc = kk;
+            while kc + UNROLL <= kend {
+                let (a0, a1, a2, a3) = (arow[kc], arow[kc + 1], arow[kc + 2], arow[kc + 3]);
+                let b0 = &b[kc * n..(kc + 1) * n];
+                let b1 = &b[(kc + 1) * n..(kc + 2) * n];
+                let b2 = &b[(kc + 2) * n..(kc + 3) * n];
+                let b3 = &b[(kc + 3) * n..(kc + 4) * n];
+                for (j, o) in orow.iter_mut().enumerate() {
+                    *o += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+                }
+                kc += UNROLL;
+            }
+            while kc < kend {
+                let av = arow[kc];
+                let brow = &b[kc * n..(kc + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+                kc += 1;
+            }
+        }
+    }
+    out
+}
+
+/// `out[m×k] = d[m×n] · bᵀ[n×k]` (gradient w.r.t. the left operand):
+/// four simultaneous dot products share each load of the `d` row.
+pub fn matmul_bt(dout: &[f32], b: &[f32], m: usize, n: usize, k: usize) -> Vec<f32> {
+    debug_assert_eq!(dout.len(), m * n);
+    debug_assert_eq!(b.len(), k * n);
+    let mut out = vec![0.0f32; m * k];
+    for i in 0..m {
+        let drow = &dout[i * n..(i + 1) * n];
+        let orow = &mut out[i * k..(i + 1) * k];
+        let mut kk = 0;
+        while kk + UNROLL <= k {
+            let b0 = &b[kk * n..(kk + 1) * n];
+            let b1 = &b[(kk + 1) * n..(kk + 2) * n];
+            let b2 = &b[(kk + 2) * n..(kk + 3) * n];
+            let b3 = &b[(kk + 3) * n..(kk + 4) * n];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for (j, &dv) in drow.iter().enumerate() {
+                s0 += dv * b0[j];
+                s1 += dv * b1[j];
+                s2 += dv * b2[j];
+                s3 += dv * b3[j];
+            }
+            orow[kk] = s0;
+            orow[kk + 1] = s1;
+            orow[kk + 2] = s2;
+            orow[kk + 3] = s3;
+            kk += UNROLL;
+        }
+        while kk < k {
+            let brow = &b[kk * n..(kk + 1) * n];
+            let mut s = 0.0f32;
+            for (&dv, &bv) in drow.iter().zip(brow.iter()) {
+                s += dv * bv;
+            }
+            orow[kk] = s;
+            kk += 1;
+        }
+    }
+    out
+}
+
+/// Accumulate `aᵀ[k×m] · d[m×n]` into `gw[k×n]` (gradient w.r.t. the right
+/// operand of `a·w`): four samples fuse per pass over the gradient rows.
+pub fn acc_matmul_at(a: &[f32], dout: &[f32], m: usize, k: usize, n: usize, gw: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(dout.len(), m * n);
+    debug_assert_eq!(gw.len(), k * n);
+    let mut i = 0;
+    while i + UNROLL <= m {
+        let a0 = &a[i * k..(i + 1) * k];
+        let a1 = &a[(i + 1) * k..(i + 2) * k];
+        let a2 = &a[(i + 2) * k..(i + 3) * k];
+        let a3 = &a[(i + 3) * k..(i + 4) * k];
+        let d0 = &dout[i * n..(i + 1) * n];
+        let d1 = &dout[(i + 1) * n..(i + 2) * n];
+        let d2 = &dout[(i + 2) * n..(i + 3) * n];
+        let d3 = &dout[(i + 3) * n..(i + 4) * n];
+        for kk in 0..k {
+            let (x0, x1, x2, x3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
+            let grow = &mut gw[kk * n..(kk + 1) * n];
+            for (j, gv) in grow.iter_mut().enumerate() {
+                *gv += x0 * d0[j] + x1 * d1[j] + x2 * d2[j] + x3 * d3[j];
+            }
+        }
+        i += UNROLL;
+    }
+    while i < m {
+        let arow = &a[i * k..(i + 1) * k];
+        let drow = &dout[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let grow = &mut gw[kk * n..(kk + 1) * n];
+            for (gv, &dv) in grow.iter_mut().zip(drow.iter()) {
+                *gv += av * dv;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// `out[o] = bias[o] + Σᵢ w[o×in][o][i] · x[i]`: four rows' dot products
+/// share each load of `x`.
+pub fn matvec_bias(w: &[f32], bias: &[f32], x: &[f32], out_dim: usize, in_dim: usize) -> Vec<f32> {
+    debug_assert_eq!(w.len(), out_dim * in_dim);
+    debug_assert_eq!(bias.len(), out_dim);
+    debug_assert_eq!(x.len(), in_dim);
+    let mut out = vec![0.0f32; out_dim];
+    let mut o = 0;
+    while o + UNROLL <= out_dim {
+        let w0 = &w[o * in_dim..(o + 1) * in_dim];
+        let w1 = &w[(o + 1) * in_dim..(o + 2) * in_dim];
+        let w2 = &w[(o + 2) * in_dim..(o + 3) * in_dim];
+        let w3 = &w[(o + 3) * in_dim..(o + 4) * in_dim];
+        let (mut s0, mut s1, mut s2, mut s3) = (bias[o], bias[o + 1], bias[o + 2], bias[o + 3]);
+        for (i, &xv) in x.iter().enumerate() {
+            s0 += xv * w0[i];
+            s1 += xv * w1[i];
+            s2 += xv * w2[i];
+            s3 += xv * w3[i];
+        }
+        out[o] = s0;
+        out[o + 1] = s1;
+        out[o + 2] = s2;
+        out[o + 3] = s3;
+        o += UNROLL;
+    }
+    while o < out_dim {
+        let row = &w[o * in_dim..(o + 1) * in_dim];
+        let mut s = bias[o];
+        for (&wv, &xv) in row.iter().zip(x.iter()) {
+            s += wv * xv;
+        }
+        out[o] = s;
+        o += 1;
+    }
+    out
+}
+
+/// `out[i] = Σₒ w[o][i] · d[o]` (`wᵀ·d`, the backward input gradient):
+/// four weight rows fuse into one pass over the accumulator stream.
+pub fn matvec_t(w: &[f32], d: &[f32], out_dim: usize, in_dim: usize) -> Vec<f32> {
+    debug_assert_eq!(w.len(), out_dim * in_dim);
+    debug_assert_eq!(d.len(), out_dim);
+    let mut out = vec![0.0f32; in_dim];
+    let mut o = 0;
+    while o + UNROLL <= out_dim {
+        let (d0, d1, d2, d3) = (d[o], d[o + 1], d[o + 2], d[o + 3]);
+        let w0 = &w[o * in_dim..(o + 1) * in_dim];
+        let w1 = &w[(o + 1) * in_dim..(o + 2) * in_dim];
+        let w2 = &w[(o + 2) * in_dim..(o + 3) * in_dim];
+        let w3 = &w[(o + 3) * in_dim..(o + 4) * in_dim];
+        for (i, ov) in out.iter_mut().enumerate() {
+            *ov += d0 * w0[i] + d1 * w1[i] + d2 * w2[i] + d3 * w3[i];
+        }
+        o += UNROLL;
+    }
+    while o < out_dim {
+        let dv = d[o];
+        let row = &w[o * in_dim..(o + 1) * in_dim];
+        for (ov, &wv) in out.iter_mut().zip(row.iter()) {
+            *ov += dv * wv;
+        }
+        o += 1;
+    }
+    out
+}
+
+/// Accumulate the outer product `d ⊗ x` into `gw[out×in]`, one contiguous
+/// row saxpy per output (already unit-stride; no reassociation at all).
+pub fn acc_outer(d: &[f32], x: &[f32], gw: &mut [f32]) {
+    debug_assert_eq!(gw.len(), d.len() * x.len());
+    for (grow, &dv) in gw.chunks_exact_mut(x.len()).zip(d.iter()) {
+        for (gv, &xv) in grow.iter_mut().zip(x.iter()) {
+            *gv += dv * xv;
+        }
+    }
+}
+
+/// The scalar kernels the blocked versions replaced, kept as the numeric
+/// baseline: the drift tests bound blocked−reference divergence, and the
+/// criterion microbenches (`crates/bench/benches/kernels.rs`) measure the
+/// speedup against them.
+pub mod reference {
+    /// Naive `out[m×n] = a[m×k] · b[k×n]`, sequential saxpy over `k`.
+    pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                let av = a[i * k + kk];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..(kk + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Naive `out[m×k] = d[m×n] · bᵀ[n×k]`, one dot product per element.
+    pub fn matmul_bt(dout: &[f32], b: &[f32], m: usize, n: usize, k: usize) -> Vec<f32> {
+        debug_assert_eq!(dout.len(), m * n);
+        debug_assert_eq!(b.len(), k * n);
+        let mut out = vec![0.0f32; m * k];
+        for i in 0..m {
+            for kk in 0..k {
+                let mut s = 0.0;
+                let brow = &b[kk * n..(kk + 1) * n];
+                let drow = &dout[i * n..(i + 1) * n];
+                for (dv, bv) in drow.iter().zip(brow.iter()) {
+                    s += dv * bv;
+                }
+                out[i * k + kk] = s;
+            }
+        }
+        out
+    }
+
+    /// Naive accumulation of `aᵀ[k×m] · d[m×n]` into `gw[k×n]`.
+    pub fn acc_matmul_at(a: &[f32], dout: &[f32], m: usize, k: usize, n: usize, gw: &mut [f32]) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(dout.len(), m * n);
+        debug_assert_eq!(gw.len(), k * n);
+        for i in 0..m {
+            for kk in 0..k {
+                let av = a[i * k + kk];
+                if av == 0.0 {
+                    continue;
+                }
+                let drow = &dout[i * n..(i + 1) * n];
+                let grow = &mut gw[kk * n..(kk + 1) * n];
+                for (gv, &dv) in grow.iter_mut().zip(drow.iter()) {
+                    *gv += av * dv;
+                }
+            }
+        }
+    }
+
+    /// Naive biased matvec, one sequential dot per output.
+    pub fn matvec_bias(
+        w: &[f32],
+        bias: &[f32],
+        x: &[f32],
+        out_dim: usize,
+        in_dim: usize,
+    ) -> Vec<f32> {
+        let mut out = vec![0.0f32; out_dim];
+        for (o, ov) in out.iter_mut().enumerate() {
+            let row = &w[o * in_dim..(o + 1) * in_dim];
+            let mut s = bias[o];
+            for (&wv, &xv) in row.iter().zip(x.iter()) {
+                s += wv * xv;
+            }
+            *ov = s;
+        }
+        out
+    }
+
+    /// Naive `wᵀ·d`, sequential saxpy over weight rows.
+    pub fn matvec_t(w: &[f32], d: &[f32], out_dim: usize, in_dim: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; in_dim];
+        for o in 0..out_dim {
+            let row = &w[o * in_dim..(o + 1) * in_dim];
+            for (ov, &wv) in out.iter_mut().zip(row.iter()) {
+                *ov += d[o] * wv;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random buffer in roughly [-1, 1].
+    fn buf(len: usize, salt: u64) -> Vec<f32> {
+        let mut s = salt.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 40) as f32 / (1u64 << 23) as f32 - 1.0
+            })
+            .collect()
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32, what: &str) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!(
+                (x - y).abs() <= tol * x.abs().max(y.abs()).max(1.0),
+                "{what}[{i}]: blocked {x} vs reference {y}"
+            );
+        }
+    }
+
+    /// Shapes chosen to hit both the unrolled body and every remainder
+    /// path, plus one reduction long enough to cross the KC tile boundary.
+    const SHAPES: &[(usize, usize, usize)] =
+        &[(1, 1, 1), (3, 5, 7), (4, 8, 8), (6, 300, 5), (5, 7, 9), (8, 257, 16)];
+
+    #[test]
+    fn drift_matmul_is_bounded_reassociation() {
+        for &(m, k, n) in SHAPES {
+            let a = buf(m * k, 1);
+            let b = buf(k * n, 2);
+            assert_close(
+                &matmul(&a, &b, m, k, n),
+                &reference::matmul(&a, &b, m, k, n),
+                1e-5,
+                "matmul",
+            );
+        }
+    }
+
+    #[test]
+    fn drift_matmul_bt_is_bounded_reassociation() {
+        for &(m, n, k) in SHAPES {
+            let d = buf(m * n, 3);
+            let b = buf(k * n, 4);
+            assert_close(
+                &matmul_bt(&d, &b, m, n, k),
+                &reference::matmul_bt(&d, &b, m, n, k),
+                1e-5,
+                "matmul_bt",
+            );
+        }
+    }
+
+    #[test]
+    fn drift_acc_matmul_at_is_bounded_reassociation() {
+        for &(m, k, n) in SHAPES {
+            let a = buf(m * k, 5);
+            let d = buf(m * n, 6);
+            let mut g1 = buf(k * n, 7);
+            let mut g2 = g1.clone();
+            acc_matmul_at(&a, &d, m, k, n, &mut g1);
+            reference::acc_matmul_at(&a, &d, m, k, n, &mut g2);
+            assert_close(&g1, &g2, 1e-5, "acc_matmul_at");
+        }
+    }
+
+    #[test]
+    fn drift_matvec_kernels_are_bounded_reassociation() {
+        for &(out_dim, in_dim, _) in SHAPES {
+            let w = buf(out_dim * in_dim, 8);
+            let bias = buf(out_dim, 9);
+            let x = buf(in_dim, 10);
+            let d = buf(out_dim, 11);
+            assert_close(
+                &matvec_bias(&w, &bias, &x, out_dim, in_dim),
+                &reference::matvec_bias(&w, &bias, &x, out_dim, in_dim),
+                1e-5,
+                "matvec_bias",
+            );
+            assert_close(
+                &matvec_t(&w, &d, out_dim, in_dim),
+                &reference::matvec_t(&w, &d, out_dim, in_dim),
+                1e-5,
+                "matvec_t",
+            );
+        }
+    }
+
+    #[test]
+    fn zero_inputs_stay_exactly_zero() {
+        // The blocked kernels drop the reference's `av == 0.0` skip inside
+        // the unrolled body; adding 0·x must still leave exact zeros.
+        let (m, k, n) = (6, 9, 5);
+        let a = vec![0.0f32; m * k];
+        let b = buf(k * n, 12);
+        assert!(matmul(&a, &b, m, k, n).iter().all(|&v| v == 0.0));
+        let mut gw = vec![0.0f32; k * n];
+        acc_matmul_at(&a, &buf(m * n, 13), m, k, n, &mut gw);
+        assert!(gw.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn acc_outer_matches_manual_expansion() {
+        let d = buf(5, 14);
+        let x = buf(7, 15);
+        let mut gw = buf(35, 16);
+        let before = gw.clone();
+        acc_outer(&d, &x, &mut gw);
+        for o in 0..5 {
+            for i in 0..7 {
+                assert_eq!(gw[o * 7 + i], before[o * 7 + i] + d[o] * x[i]);
+            }
+        }
+    }
+}

@@ -27,6 +27,8 @@
 pub mod adam;
 pub mod checkpoint;
 pub mod data;
+pub mod executor;
+pub mod kernels;
 pub mod lm;
 pub mod nn;
 pub mod scaler;
@@ -35,12 +37,13 @@ pub mod transformer;
 
 pub use adam::Adam;
 pub use checkpoint::{load as load_checkpoint, save as save_checkpoint, TrainState};
+pub use executor::{overlappable_wire_ops, ExecLane, LaneSpan, LaneStats};
 pub use lm::{train_lm, LmSetup};
 pub use mics_compress::{CompressionConfig, CompressionScope, QuantScheme};
 pub use nn::Mlp;
 pub use scaler::{LossScale, ScalerSnapshot};
 pub use train::{
-    resume_from, step_program, train, train_resumable, CheckpointSink, ScheduleHyper, SyncSchedule,
-    TrainCheckpoint, TrainOutcome, TrainSetup,
+    resume_from, step_program, step_program_with_flops, train, train_resumable, CheckpointSink,
+    ScheduleHyper, SyncSchedule, TrainCheckpoint, TrainOutcome, TrainSetup,
 };
 pub use transformer::TinyTransformer;

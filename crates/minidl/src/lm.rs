@@ -40,6 +40,10 @@ pub struct LmSetup {
     pub clip_grad_norm: Option<f32>,
     /// Quantized-communication configuration (`None` = exact wire).
     pub comm_quant: Option<mics_compress::CompressionConfig>,
+    /// Collective look-ahead: `0` runs the historical inline interpreter;
+    /// `≥ 1` enables the async executor (overlapped reduces + cross-iteration
+    /// gather prefetch). Results are bit-identical either way.
+    pub prefetch_depth: usize,
 }
 
 /// Deterministic micro-batch of token sequences for
@@ -91,6 +95,7 @@ pub fn train_lm(setup: &LmSetup, schedule: SyncSchedule) -> TrainOutcome {
         loss_scale: setup.loss_scale,
         clip_grad_norm: setup.clip_grad_norm,
         comm_quant: setup.comm_quant,
+        prefetch_depth: setup.prefetch_depth,
     };
     train_generic(&hp, schedule, init, move |params, iter, micro, rank| {
         let toks = token_batch(&model, seed, iter, micro, rank, micro_batch);
@@ -116,6 +121,7 @@ mod tests {
             loss_scale: LossScale::None,
             clip_grad_norm: None,
             comm_quant: None,
+            prefetch_depth: 0,
         }
     }
 

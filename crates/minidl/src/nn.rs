@@ -4,6 +4,7 @@
 //! row-major `out × in` order, then bias), which makes ZeRO/MiCS-style flat
 //! sharding trivial and keeps every schedule numerically comparable.
 
+use crate::kernels::{acc_outer, matvec_bias, matvec_t};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -80,14 +81,11 @@ impl Mlp {
             let (w, b) = params[off..].split_at(fan_out * fan_in);
             let b = &b[..fan_out];
             let h = &acts[l];
-            let mut z = vec![0.0f32; fan_out];
-            for (o, zo) in z.iter_mut().enumerate() {
-                let row = &w[o * fan_in..(o + 1) * fan_in];
-                let mut acc = b[o];
-                for (wi, hi) in row.iter().zip(h.iter()) {
-                    acc += wi * hi;
+            let mut z = matvec_bias(w, b, h, fan_out, fan_in);
+            if l + 1 < self.num_layers() {
+                for zo in z.iter_mut() {
+                    *zo = zo.tanh();
                 }
-                *zo = if l + 1 < self.num_layers() { acc.tanh() } else { acc };
             }
             acts.push(z);
         }
@@ -121,23 +119,13 @@ impl Mlp {
             // dW = delta ⊗ h, db = delta.
             let (gw, gb) =
                 grad[off..off + fan_out * fan_in + fan_out].split_at_mut(fan_out * fan_in);
-            for o in 0..fan_out {
-                let row = &mut gw[o * fan_in..(o + 1) * fan_in];
-                for (gi, hi) in row.iter_mut().zip(h.iter()) {
-                    *gi += delta[o] * hi;
-                }
-                gb[o] += delta[o];
+            acc_outer(&delta, h, gw);
+            for (gbo, &d) in gb.iter_mut().zip(delta.iter()) {
+                *gbo += d;
             }
             // Propagate: delta_prev = Wᵀ delta.
             if l > 0 {
-                let mut prev = vec![0.0f32; fan_in];
-                for o in 0..fan_out {
-                    let row = &w[o * fan_in..(o + 1) * fan_in];
-                    for (pi, wi) in prev.iter_mut().zip(row.iter()) {
-                        *pi += wi * delta[o];
-                    }
-                }
-                delta = prev;
+                delta = matvec_t(w, &delta, fan_out, fan_in);
             }
         }
     }

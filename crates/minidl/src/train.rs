@@ -14,17 +14,22 @@
 use crate::adam::Adam;
 use crate::checkpoint::TrainState;
 use crate::data::TeacherDataset;
+use crate::executor::{ExecLane, LaneStats, SpanRecorder};
 use crate::nn::Mlp;
 use crate::scaler::{has_overflow, LossScale, ScalerSnapshot, ScalerState};
 use mics_cluster::Rank;
-use mics_compress::CompressionConfig;
+use mics_compress::{CompressionConfig, QuantScheme};
 use mics_core::config::MicroSync;
 use mics_core::schedule::{GradSource, LayerSchedule, OpKind, Pass, ScheduleSpec, StepProgram};
-use mics_dataplane::quantized::{quantized_all_reduce, quantized_reduce_scatter};
-use mics_dataplane::{quantized_all_gather, run_ranks};
+use mics_dataplane::quantized::{
+    quantized_all_reduce, quantized_reduce_scatter, try_quantized_all_gather,
+    try_quantized_all_reduce, try_quantized_reduce_scatter,
+};
+use mics_dataplane::{quantized_all_gather, run_ranks, CollectiveHandle};
 use mics_simnet::SimTime;
 use mics_tensor::dtype::quantize_f16;
-use mics_tensor::ShardSpec;
+use mics_tensor::{GatherBuffers, ShardSpec};
+use std::collections::VecDeque;
 use std::sync::Mutex;
 
 /// Which gradient-synchronization schedule to run.
@@ -75,10 +80,20 @@ pub struct TrainSetup {
     /// Control-plane collectives (overflow flag, loss, clip norm) and the
     /// final parameter gather always stay exact.
     pub comm_quant: Option<CompressionConfig>,
+    /// Comm/compute overlap depth (§4). `0` executes every collective
+    /// inline and blocking on the rank thread (the historical interpreter).
+    /// `≥ 1` turns on the asynchronous executor: micro-step gradient
+    /// reductions run on the comm-progress threads and retire at the
+    /// program's dependency edges, and the next iteration's parameter
+    /// gather is issued ahead into a double buffer. Results are
+    /// bit-identical either way — only concurrency changes. The
+    /// single-virtual-layer program caps the effective pipeline depth at 1,
+    /// so every depth `≥ 1` behaves the same.
+    pub prefetch_depth: usize,
 }
 
 /// Result of a training run (identical on every rank; returned from rank 0).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct TrainOutcome {
     /// Global mean loss per iteration.
     pub losses: Vec<f32>,
@@ -92,6 +107,23 @@ pub struct TrainOutcome {
     /// indices into the run's [`StepProgram`] — the cross-backend tests
     /// compare this against the op sequence the simulator backend costs.
     pub wire_ops: Vec<usize>,
+    /// Measured per-lane busy time, spans, and overlap accounting for
+    /// rank 0 (see [`LaneStats`]). Timing-only: excluded from `PartialEq`.
+    pub lane_stats: LaneStats,
+}
+
+/// Training results compare on *what was computed*, never on how long it
+/// took: [`TrainOutcome::lane_stats`] carries wall-clock measurements that
+/// differ between two otherwise bit-identical runs, so equality covers
+/// every field except it.
+impl PartialEq for TrainOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.losses == other.losses
+            && self.final_params == other.final_params
+            && self.skipped_steps == other.skipped_steps
+            && self.final_loss_scale == other.final_loss_scale
+            && self.wire_ops == other.wire_ops
+    }
 }
 
 /// A point-in-time snapshot of a whole training job — the unsharded
@@ -177,6 +209,22 @@ impl CheckpointSink {
 /// overhead) are zero because the interpreter executes real arithmetic,
 /// not costs.
 pub fn step_program(hp: &ScheduleHyper, schedule: SyncSchedule, numel: usize) -> StepProgram {
+    step_program_with_flops(hp, schedule, numel, 0.0, 0.0)
+}
+
+/// Like [`step_program`], but attaching per-micro-step forward/backward
+/// FLOP costs to the virtual layer. The wire structure and dependency
+/// edges are identical to [`step_program`]'s; only the simulator backend
+/// reads the FLOPs, so this is what the overlap cross-checks and the
+/// `ext_overlap` experiment feed to `execute_on_sim` to make compute
+/// occupy nonzero virtual time.
+pub fn step_program_with_flops(
+    hp: &ScheduleHyper,
+    schedule: SyncSchedule,
+    numel: usize,
+    fwd_flops: f64,
+    bwd_flops: f64,
+) -> StepProgram {
     let p = match schedule {
         SyncSchedule::Ddp => 1,
         _ => hp.partition_size,
@@ -197,9 +245,14 @@ pub fn step_program(hp: &ScheduleHyper, schedule: SyncSchedule, numel: usize) ->
         accum_steps: hp.accum_steps,
         hierarchical: false,
         coalesced: false,
-        prefetch_depth: 0,
+        // The IR records the configured overlap depth, but with a single
+        // virtual layer `apply_prefetch` has no intra-iteration edge to
+        // add, so the emitted program (and the golden dumps) is unchanged;
+        // the executor realizes the overlap across micro-steps and
+        // iterations instead.
+        prefetch_depth: hp.prefetch_depth,
         decision_overhead: SimTime::ZERO,
-        layers: vec![LayerSchedule { param_bytes, fwd_flops: 0.0, bwd_flops: 0.0 }],
+        layers: vec![LayerSchedule { param_bytes, fwd_flops, bwd_flops }],
         bucket_bytes: param_bytes.max(1),
         total_param_bytes: param_bytes,
         optimizer_bytes: numel as u64 * 24 / p as u64,
@@ -254,6 +307,7 @@ pub fn train(setup: &TrainSetup, schedule: SyncSchedule) -> TrainOutcome {
         loss_scale: setup.loss_scale,
         clip_grad_norm: setup.clip_grad_norm,
         comm_quant: setup.comm_quant,
+        prefetch_depth: setup.prefetch_depth,
     };
     train_generic(&hp, schedule, init, move |params, iter, micro, rank| {
         let (xs, ys) = dataset.micro_batch(iter, micro, rank, micro_batch);
@@ -282,6 +336,9 @@ pub struct ScheduleHyper {
     pub clip_grad_norm: Option<f32>,
     /// Quantized communication configuration (`None` = exact wire).
     pub comm_quant: Option<CompressionConfig>,
+    /// Comm/compute overlap depth: `0` = inline blocking collectives,
+    /// `≥ 1` = asynchronous executor (see [`TrainSetup::prefetch_depth`]).
+    pub prefetch_depth: usize,
 }
 
 /// The schedule engine behind [`train`] (and the language-model trainer in
@@ -338,6 +395,61 @@ where
 enum Start<'a> {
     Fresh(Vec<f32>),
     Resume(&'a TrainCheckpoint),
+}
+
+/// Payload of an async collective: the result plus the span it occupied on
+/// the progress thread (ns since the rank's [`SpanRecorder`] epoch).
+type TimedVec = (Vec<f32>, u64, u64);
+
+/// How a retired micro-step reduction folds into the gradient accumulation.
+enum FoldKind {
+    /// A reduce-scatter result: already this rank's shard.
+    Shard,
+    /// A global all-reduce result: full-length, extract this rank's shard.
+    Full,
+}
+
+/// An in-flight micro-step gradient reduction on a comm-progress thread.
+struct PendingReduce {
+    handle: CollectiveHandle<TimedVec>,
+    fold: FoldKind,
+    op_id: usize,
+    /// Compute ops executed when the collective was issued — if more have
+    /// run by retirement, the op genuinely overlapped compute.
+    computes_at_issue: u64,
+}
+
+/// Retire every in-flight reduction in issue order, folding each result
+/// into `accum` exactly where the inline interpreter would have — same
+/// summation order, bit-identical accumulation. Called at the program's
+/// drain points: the WAR edge into the next micro-step's backward compute,
+/// micro barriers, the boundary collectives and optimizer (which read the
+/// accumulation), and end of iteration.
+#[allow(clippy::too_many_arguments)]
+fn drain_reduces(
+    pending: &mut VecDeque<PendingReduce>,
+    accum: &mut [f32],
+    spec: &ShardSpec,
+    local: usize,
+    computes_done: u64,
+    mut log_deferred: Option<&mut Vec<usize>>,
+    rec: &mut SpanRecorder,
+    iter: usize,
+) {
+    while let Some(p) = pending.pop_front() {
+        let (v, start_ns, end_ns) =
+            p.handle.wait().unwrap_or_else(|e| panic!("collective aborted: {e}"));
+        rec.push(ExecLane::Reduce, "grad-reduce", iter, start_ns, end_ns);
+        if computes_done > p.computes_at_issue {
+            if let Some(d) = log_deferred.as_deref_mut() {
+                d.push(p.op_id);
+            }
+        }
+        match p.fold {
+            FoldKind::Shard => add_into(accum, &v),
+            FoldKind::Full => add_into(accum, &spec.extract_padded(&v, local)),
+        }
+    }
 }
 
 fn run_engine<F>(
@@ -405,13 +517,41 @@ where
     let ir_p = prog.p;
     let prog = &prog;
 
+    // Asynchronous-executor configuration, identical on every rank. The
+    // gather scheme is hoisted so the cross-iteration prefetch can issue
+    // without re-inspecting ops; every gather in a program shares it.
+    let async_mode = setup.prefetch_depth >= 1;
+    let sharded = !matches!(schedule, SyncSchedule::Ddp);
+    let gather_scheme: Option<QuantScheme> = prog
+        .ops
+        .iter()
+        .find_map(|op| match &op.kind {
+            OpKind::GatherShards { wire, .. } => Some(wire.scheme),
+            _ => None,
+        })
+        .flatten();
+    let has_gathers = prog.ops.iter().any(|op| matches!(op.kind, OpKind::GatherShards { .. }));
+
     let mut results = run_ranks(world, |mut comm| {
         let rank = comm.rank();
         // Partition group: p consecutive ranks. Replication group: ranks
         // with equal local group rank (Figure 2).
-        let part = comm.split((rank / p) as i64, rank as i64);
+        let mut part = comm.split((rank / p) as i64, rank as i64);
         let repl = comm.split((rank % p) as i64, rank as i64);
         let local = part.rank();
+
+        // Executor state: the wall-clock span log, the in-flight micro-step
+        // reductions (retired in issue order at the program's drain
+        // points), the double-buffer pool for gathered parameters, and the
+        // cross-iteration gather prefetch handle.
+        let mut rec = SpanRecorder::new();
+        let mut pending: VecDeque<PendingReduce> = VecDeque::new();
+        let mut pool = (async_mode && sharded && p > 1)
+            .then(|| GatherBuffers::new(spec.padded_len(), 2).expect("double-buffer reservation"));
+        let mut prefetched: Option<CollectiveHandle<TimedVec>> = None;
+        let mut deferred: Vec<usize> = Vec::new();
+        let mut prefetched_gathers: u32 = 0;
+        let mut computes_done: u64 = 0;
 
         // Per-schedule parameter/optimizer state: fresh, or rebuilt (and
         // re-sharded to this run's shape) from the checkpoint.
@@ -477,14 +617,29 @@ where
             // Interpreter state: the materialized forward parameters, the
             // in-flight micro-step gradient, and the boundary-reduced total.
             let mut fwd: Option<Vec<f32>> = None;
+            let mut fwd_from_pool = false;
             let mut grad: Option<Vec<f32>> = None;
             let mut total: Option<Vec<f32>> = None;
 
             for (op_id, op) in prog.ops.iter().enumerate() {
                 match &op.kind {
-                    // Thread collectives already rendezvous; the barrier is
-                    // a timing artifact of the "alternative schedule".
-                    OpKind::MicroBarrier => {}
+                    // Thread collectives already rendezvous, so the barrier
+                    // is purely a drain: the sim makes every lane wait
+                    // here, and the executor retires all in-flight work to
+                    // match — this is what keeps the ZeRO-3 schedule's
+                    // reductions serialized (§3.4) even in async mode.
+                    OpKind::MicroBarrier => {
+                        drain_reduces(
+                            &mut pending,
+                            &mut accum,
+                            &spec,
+                            local,
+                            computes_done,
+                            log_wire.then_some(&mut deferred),
+                            &mut rec,
+                            iter,
+                        );
+                    }
                     OpKind::GatherShards { wire, .. } => {
                         if !wire.group.contains(Rank(rank), world, ir_p) {
                             continue;
@@ -498,17 +653,46 @@ where
                         // the interpreter's analogue of MiCS's cached
                         // communication decisions (§4).
                         if fwd.is_none() {
-                            // Cast the fp32 master shard down, then
-                            // all-gather the f16 shards within the partition
-                            // group (what MiCS and ZeRO-3 both do before
-                            // forward).
-                            let cast = cast_params(&master_shard, setup.quantize);
-                            let mut full = match wire.scheme {
-                                Some(scheme) => quantized_all_gather(&part, &cast, scheme),
-                                None => part.all_gather(&cast),
-                            };
-                            full.truncate(numel);
-                            fwd = Some(full);
+                            if let Some(handle) = prefetched.take() {
+                                // Gathered ahead, right after the previous
+                                // optimizer step, into the other half of
+                                // the double buffer.
+                                let (mut full, start_ns, end_ns) = handle
+                                    .wait()
+                                    .unwrap_or_else(|e| panic!("collective aborted: {e}"));
+                                rec.push(
+                                    ExecLane::Gather,
+                                    "gather-prefetch",
+                                    iter,
+                                    start_ns,
+                                    end_ns,
+                                );
+                                full.truncate(numel);
+                                fwd = Some(full);
+                                fwd_from_pool = true;
+                            } else {
+                                // Cast the fp32 master shard down, then
+                                // all-gather the f16 shards within the
+                                // partition group (what MiCS and ZeRO-3
+                                // both do before forward).
+                                let cast = cast_params(&master_shard, setup.quantize);
+                                let start_ns = rec.now_ns();
+                                let mut full = match (wire.scheme, pool.as_mut()) {
+                                    (Some(scheme), _) => quantized_all_gather(&part, &cast, scheme),
+                                    (None, Some(pl)) => {
+                                        let mut buf = pl.checkout().expect("gather buffer");
+                                        buf.clear();
+                                        part.try_all_gather_into(&cast, &mut buf)
+                                            .unwrap_or_else(|e| panic!("collective aborted: {e}"));
+                                        fwd_from_pool = true;
+                                        buf
+                                    }
+                                    (None, None) => part.all_gather(&cast),
+                                };
+                                rec.push(ExecLane::Gather, "gather", iter, start_ns, rec.now_ns());
+                                full.truncate(numel);
+                                fwd = Some(full);
+                            }
                         }
                     }
                     OpKind::Compute { pass: Pass::Forward, .. } => {
@@ -525,12 +709,34 @@ where
                                 }
                             });
                         }
+                        let start_ns = rec.now_ns();
                         let (loss, g) = grad_fn(fwd.as_deref().unwrap(), iter, op.micro, rank);
+                        rec.push(ExecLane::Compute, "fwd", iter, start_ns, rec.now_ns());
+                        computes_done += 1;
                         assert_eq!(g.len(), numel, "grad_fn returned a wrong-sized gradient");
                         loss_acc += loss;
                         grad = Some(g);
                     }
                     OpKind::Compute { pass: Pass::Backward, .. } => {
+                        // The WAR edge the emitter draws from a micro-step's
+                        // reduce batch to the *next* micro-step's backward
+                        // compute: the in-flight reductions own the grads
+                        // buffer until here, so retire them (in issue
+                        // order — the accumulation stays bit-identical)
+                        // before producing new gradients. Everything that
+                        // ran since issue — notably this micro-step's
+                        // forward — overlapped them.
+                        drain_reduces(
+                            &mut pending,
+                            &mut accum,
+                            &spec,
+                            local,
+                            computes_done,
+                            log_wire.then_some(&mut deferred),
+                            &mut rec,
+                            iter,
+                        );
+                        let start_ns = rec.now_ns();
                         if cur_scale != 1.0 {
                             // Backward on the scaled loss (mixed-precision
                             // practice).
@@ -538,6 +744,8 @@ where
                                 *g *= cur_scale;
                             }
                         }
+                        rec.push(ExecLane::Compute, "bwd", iter, start_ns, rec.now_ns());
+                        computes_done += 1;
                     }
                     OpKind::AccumGrads { .. } => {
                         let g = grad.take().expect("accumulate before backward");
@@ -557,11 +765,36 @@ where
                         // (the qgZ direction when quantized).
                         let g = grad.take().expect("reduce before backward");
                         let padded = pad_to(g, spec.padded_len());
-                        let mine = match wire.scheme {
-                            Some(scheme) => quantized_reduce_scatter(&part, &padded, scheme),
-                            None => part.reduce_scatter(&padded),
-                        };
-                        add_into(&mut accum, &mine);
+                        if async_mode {
+                            // Issue onto the partition group's progress
+                            // thread and keep walking: the next micro-step's
+                            // forward overlaps this reduction (§4). The
+                            // result folds into `accum` at the WAR drain.
+                            let scheme = wire.scheme;
+                            let epoch = rec.epoch();
+                            let handle = part.start_collective(move |c| {
+                                let start_ns = epoch.elapsed().as_nanos() as u64;
+                                let v = match scheme {
+                                    Some(sch) => try_quantized_reduce_scatter(c, &padded, sch)?,
+                                    None => c.try_reduce_scatter(&padded)?,
+                                };
+                                Ok((v, start_ns, epoch.elapsed().as_nanos() as u64))
+                            });
+                            pending.push_back(PendingReduce {
+                                handle,
+                                fold: FoldKind::Shard,
+                                op_id,
+                                computes_at_issue: computes_done,
+                            });
+                        } else {
+                            let start_ns = rec.now_ns();
+                            let mine = match wire.scheme {
+                                Some(scheme) => quantized_reduce_scatter(&part, &padded, scheme),
+                                None => part.reduce_scatter(&padded),
+                            };
+                            rec.push(ExecLane::Reduce, "grad-reduce", iter, start_ns, rec.now_ns());
+                            add_into(&mut accum, &mine);
+                        }
                     }
                     OpKind::ReduceScatterGrads { source: GradSource::Accum, .. } => {
                         unreachable!("boundary reduce-scatter (ZeRO-2) is not a minidl schedule")
@@ -574,21 +807,72 @@ where
                             GradSource::MicroGrad => {
                                 // Global synchronization barrier every
                                 // micro-step — the cost §3.4 calls
-                                // redundant.
+                                // redundant. Async mode still issues it on
+                                // the progress thread, but the very next op
+                                // is a micro barrier (or the optimizer), so
+                                // the schedule stays serialized — exactly
+                                // what the sim charges for it.
                                 let g = grad.take().expect("reduce before backward");
-                                let g = match wire.scheme {
-                                    Some(scheme) => quantized_all_reduce(&comm, &g, scheme),
-                                    None => comm.all_reduce(&g),
-                                };
-                                add_into(&mut accum, &spec.extract_padded(&g, local));
+                                if async_mode {
+                                    let scheme = wire.scheme;
+                                    let epoch = rec.epoch();
+                                    let handle = comm.start_collective(move |c| {
+                                        let start_ns = epoch.elapsed().as_nanos() as u64;
+                                        let v = match scheme {
+                                            Some(sch) => try_quantized_all_reduce(c, &g, sch)?,
+                                            None => c.try_all_reduce(&g)?,
+                                        };
+                                        Ok((v, start_ns, epoch.elapsed().as_nanos() as u64))
+                                    });
+                                    pending.push_back(PendingReduce {
+                                        handle,
+                                        fold: FoldKind::Full,
+                                        op_id,
+                                        computes_at_issue: computes_done,
+                                    });
+                                } else {
+                                    let start_ns = rec.now_ns();
+                                    let g = match wire.scheme {
+                                        Some(scheme) => quantized_all_reduce(&comm, &g, scheme),
+                                        None => comm.all_reduce(&g),
+                                    };
+                                    rec.push(
+                                        ExecLane::Reduce,
+                                        "grad-reduce",
+                                        iter,
+                                        start_ns,
+                                        rec.now_ns(),
+                                    );
+                                    add_into(&mut accum, &spec.extract_padded(&g, local));
+                                }
                             }
                             GradSource::Accum => {
                                 // DDP's boundary all-reduce of the
-                                // accumulated gradient.
+                                // accumulated gradient. The optimizer is
+                                // the very next op, so there is nothing to
+                                // overlap — run it inline.
+                                drain_reduces(
+                                    &mut pending,
+                                    &mut accum,
+                                    &spec,
+                                    local,
+                                    computes_done,
+                                    log_wire.then_some(&mut deferred),
+                                    &mut rec,
+                                    iter,
+                                );
+                                let start_ns = rec.now_ns();
                                 total = Some(match wire.scheme {
                                     Some(scheme) => quantized_all_reduce(&comm, &accum, scheme),
                                     None => comm.all_reduce(&accum),
                                 });
+                                rec.push(
+                                    ExecLane::Reduce,
+                                    "grad-reduce",
+                                    iter,
+                                    start_ns,
+                                    rec.now_ns(),
+                                );
                             }
                         }
                     }
@@ -602,13 +886,40 @@ where
                         // Hop 2: all-reduce across the replication group —
                         // the emitter's scope rules decide whether it
                         // compresses (beyond the partition group, so
-                        // intra-group-only compression keeps it exact).
+                        // intra-group-only compression keeps it exact). It
+                        // reads the accumulation, so every in-flight
+                        // reduction retires first (the data hazard the IR
+                        // leaves implicit; see `overlappable_wire_ops`).
+                        drain_reduces(
+                            &mut pending,
+                            &mut accum,
+                            &spec,
+                            local,
+                            computes_done,
+                            log_wire.then_some(&mut deferred),
+                            &mut rec,
+                            iter,
+                        );
+                        let start_ns = rec.now_ns();
                         total = Some(match wire.scheme {
                             Some(scheme) => quantized_all_reduce(&repl, &accum, scheme),
                             None => repl.all_reduce(&accum),
                         });
+                        rec.push(ExecLane::Reduce, "hop2", iter, start_ns, rec.now_ns());
                     }
                     OpKind::OptimizerUpdate { .. } => {
+                        // The update reads the accumulation: retire every
+                        // in-flight reduction first.
+                        drain_reduces(
+                            &mut pending,
+                            &mut accum,
+                            &spec,
+                            local,
+                            computes_done,
+                            log_wire.then_some(&mut deferred),
+                            &mut rec,
+                            iter,
+                        );
                         // No boundary collective ran (single-rank groups):
                         // the accumulated gradient is already the total.
                         let total = total.take().unwrap_or_else(|| std::mem::take(&mut accum));
@@ -616,7 +927,9 @@ where
                         // a max-style all-reduce makes the decision global,
                         // so all ranks skip (or apply) the step together.
                         let local_flag = if has_overflow(&total) { 1.0 } else { 0.0 };
+                        let sync_ns = rec.now_ns();
                         let overflowed = comm.all_reduce(&[local_flag])[0] > 0.0;
+                        rec.push(ExecLane::Control, "overflow-sync", iter, sync_ns, rec.now_ns());
                         let apply = scaler.update(overflowed);
                         if apply {
                             let inv = global_scale / cur_scale;
@@ -640,10 +953,12 @@ where
                                     }
                                 }
                             }
+                            let step_ns = rec.now_ns();
                             match schedule {
                                 SyncSchedule::Ddp => opt.step(&mut master_full, &scaled),
                                 _ => opt.step(&mut master_shard, &scaled),
                             }
+                            rec.push(ExecLane::Compute, "optimizer", iter, step_ns, rec.now_ns());
                         }
                     }
                     OpKind::ParamRefresh { .. } => {
@@ -652,9 +967,48 @@ where
                 }
             }
 
+            // Cross-iteration gather prefetch — the one overlap the
+            // single-virtual-layer program cannot express as an
+            // intra-iteration edge. The next iteration's forward needs the
+            // post-update parameters, which exist the moment the optimizer
+            // ran: gather them now, on the partition group's progress
+            // thread and into the other half of the double buffer, while
+            // the loss all-reduce and iteration bookkeeping run.
+            if iter + 1 < setup.iterations && has_gathers {
+                if let Some(pl) = pool.as_mut() {
+                    let cast = cast_params(&master_shard, setup.quantize);
+                    let mut buf = pl.checkout().expect("gather buffer");
+                    let scheme = gather_scheme;
+                    let epoch = rec.epoch();
+                    let handle = part.start_collective(move |c| {
+                        let start_ns = epoch.elapsed().as_nanos() as u64;
+                        buf.clear();
+                        match scheme {
+                            Some(sch) => {
+                                let v = try_quantized_all_gather(c, &cast, sch)?;
+                                buf.extend_from_slice(&v);
+                            }
+                            None => c.try_all_gather_into(&cast, &mut buf)?,
+                        }
+                        Ok((buf, start_ns, epoch.elapsed().as_nanos() as u64))
+                    });
+                    prefetched = Some(handle);
+                    prefetched_gathers += 1;
+                }
+            }
+
             // Global mean loss for reporting.
+            let loss_ns = rec.now_ns();
             let mean = comm.all_reduce(&[loss_acc])[0] * global_scale;
+            rec.push(ExecLane::Control, "loss-sync", iter, loss_ns, rec.now_ns());
             losses.push(mean);
+
+            // Retire this iteration's forward buffer into the pool.
+            if fwd_from_pool {
+                if let (Some(pl), Some(buf)) = (pool.as_mut(), fwd.take()) {
+                    pl.checkin(buf);
+                }
+            }
         }
         // A snapshot may also be requested at the very end of the run.
         capture(setup.iterations, &master_full, &master_shard, &opt, &scaler);
@@ -668,12 +1022,17 @@ where
                 full
             }
         };
+        // Deterministic engine shutdown: join any comm-progress threads the
+        // async mode spawned before the communicators unwind.
+        part.quiesce();
+        comm.quiesce();
         TrainOutcome {
             losses,
             final_params,
             skipped_steps: scaler.skipped_steps(),
             final_loss_scale: scaler.scale(),
             wire_ops: wire_log,
+            lane_stats: rec.finish(deferred, prefetched_gathers),
         }
     });
 
@@ -703,6 +1062,7 @@ mod tests {
             loss_scale: LossScale::None,
             clip_grad_norm: None,
             comm_quant: None,
+            prefetch_depth: 0,
         }
     }
 
@@ -715,6 +1075,76 @@ mod tests {
             let first = out.losses[0];
             let last = *out.losses.last().unwrap();
             assert!(last < first * 0.7, "{schedule:?}: loss {first} → {last} did not converge");
+        }
+    }
+
+    #[test]
+    fn async_executor_is_bit_identical_to_inline() {
+        // The overlap machinery must change *when* collectives run, never
+        // what they compute: same losses, same final parameters, same wire
+        // op sequence, for every schedule.
+        for schedule in
+            [SyncSchedule::Ddp, SyncSchedule::PerMicroStepAllReduce, SyncSchedule::TwoHop]
+        {
+            let inline = train(&setup(4, 2, 3), schedule);
+            let mut cfg = setup(4, 2, 3);
+            cfg.prefetch_depth = 2;
+            let overlapped = train(&cfg, schedule);
+            assert_eq!(inline, overlapped, "{schedule:?} diverged under the async executor");
+            assert_eq!(
+                inline.losses, overlapped.losses,
+                "{schedule:?} losses must match bit-for-bit"
+            );
+        }
+    }
+
+    #[test]
+    fn async_executor_defers_only_the_overlappable_reduces() {
+        // TwoHop with s micro-steps: the reduce-scatter of micro-steps
+        // 0..s-2 retires at the next micro-step's backward (after its
+        // forward ran) — deferred. The last one is immediately consumed by
+        // hop 2. ZeRO-3's all-reduces are fenced by micro barriers and DDP
+        // has nothing in flight: neither defers anything.
+        let mut cfg = setup(4, 2, 3);
+        cfg.prefetch_depth = 1;
+        let out = train(&cfg, SyncSchedule::TwoHop);
+        assert_eq!(out.lane_stats.deferred_wire_ops.len(), cfg.accum_steps - 1);
+        for schedule in [SyncSchedule::Ddp, SyncSchedule::PerMicroStepAllReduce] {
+            let out = train(&cfg, schedule);
+            assert!(
+                out.lane_stats.deferred_wire_ops.is_empty(),
+                "{schedule:?} must not defer: {:?}",
+                out.lane_stats.deferred_wire_ops
+            );
+        }
+    }
+
+    #[test]
+    fn async_executor_prefetches_one_gather_per_remaining_iteration() {
+        let mut cfg = setup(4, 2, 2);
+        cfg.prefetch_depth = 1;
+        let out = train(&cfg, SyncSchedule::TwoHop);
+        assert_eq!(out.lane_stats.prefetched_gathers as usize, cfg.iterations - 1);
+        // Inline mode never prefetches and never defers.
+        let inline = train(&setup(4, 2, 2), SyncSchedule::TwoHop);
+        assert_eq!(inline.lane_stats.prefetched_gathers, 0);
+        assert!(inline.lane_stats.deferred_wire_ops.is_empty());
+    }
+
+    #[test]
+    fn lane_stats_cover_compute_and_comm() {
+        let mut cfg = setup(4, 2, 2);
+        cfg.prefetch_depth = 1;
+        let out = train(&cfg, SyncSchedule::TwoHop);
+        let stats = &out.lane_stats;
+        assert!(stats.busy_ns(crate::executor::ExecLane::Compute) > 0);
+        assert!(stats.busy_ns(crate::executor::ExecLane::Gather) > 0);
+        assert!(stats.busy_ns(crate::executor::ExecLane::Reduce) > 0);
+        assert!(stats.wall_ns >= stats.busy_ns(crate::executor::ExecLane::Compute));
+        // Spans are well-formed and stamped with their iteration.
+        for s in &stats.spans {
+            assert!(s.end_ns >= s.start_ns);
+            assert!(s.iteration < cfg.iterations);
         }
     }
 
@@ -925,6 +1355,7 @@ mod tests {
             loss_scale: LossScale::None,
             clip_grad_norm: None,
             comm_quant: None,
+            prefetch_depth: 0,
         };
         let micro_batch = cfg.micro_batch;
         let grad = move |params: &[f32], iter: usize, micro: usize, rank: usize| {

@@ -10,6 +10,7 @@
 //! targets. Parameters live in one flat `Vec<f32>` so the ZeRO/MiCS flat
 //! sharding applies unchanged.
 
+use crate::kernels::{acc_matmul_at, matmul, matmul_bt};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -390,67 +391,6 @@ impl TinyTransformer {
 
 /// Salt mixed into user seeds for parameter initialization.
 const INIT_SEED_SALT: u64 = 0x1b5a_92c4_77fe_3d01;
-
-/// `out[m×n] = a[m×k] · b[k×n]`, row-major.
-fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        for kk in 0..k {
-            let av = a[i * k + kk];
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b[kk * n..(kk + 1) * n];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o += av * bv;
-            }
-        }
-    }
-    out
-}
-
-/// `out[m×k] = d[m×n] · bᵀ[n×k]` (gradient w.r.t. the left operand).
-fn matmul_bt(dout: &[f32], b: &[f32], m: usize, n: usize, k: usize) -> Vec<f32> {
-    debug_assert_eq!(dout.len(), m * n);
-    debug_assert_eq!(b.len(), k * n);
-    let mut out = vec![0.0f32; m * k];
-    for i in 0..m {
-        for kk in 0..k {
-            let mut s = 0.0;
-            let brow = &b[kk * n..(kk + 1) * n];
-            let drow = &dout[i * n..(i + 1) * n];
-            for (dv, bv) in drow.iter().zip(brow.iter()) {
-                s += dv * bv;
-            }
-            out[i * k + kk] = s;
-        }
-    }
-    out
-}
-
-/// Accumulate `aᵀ[k×m] · d[m×n]` into `gw[k×n]` (gradient w.r.t. the right
-/// operand of `a·w`).
-fn acc_matmul_at(a: &[f32], dout: &[f32], m: usize, k: usize, n: usize, gw: &mut [f32]) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(dout.len(), m * n);
-    debug_assert_eq!(gw.len(), k * n);
-    for i in 0..m {
-        for kk in 0..k {
-            let av = a[i * k + kk];
-            if av == 0.0 {
-                continue;
-            }
-            let drow = &dout[i * n..(i + 1) * n];
-            let grow = &mut gw[kk * n..(kk + 1) * n];
-            for (gv, &dv) in grow.iter_mut().zip(drow.iter()) {
-                *gv += av * dv;
-            }
-        }
-    }
-}
 
 /// Split two *adjacent* parameter ranges of `g` into simultaneous mutable
 /// slices (γ immediately followed by β in the flat layout).

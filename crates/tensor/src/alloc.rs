@@ -255,6 +255,86 @@ impl ArenaAllocator {
     }
 }
 
+/// A checkout/checkin pool of fixed-capacity `f32` buffers for the gather
+/// hot loop, backed by an [`ArenaAllocator`] reservation so its footprint is
+/// visible in the same accounting as every other pool.
+///
+/// The minidl executor double-buffers gathered parameters: while compute
+/// consumes one full-parameter buffer, the comm-progress thread fills the
+/// other. Naively that reallocates a `numel`-sized `Vec` every layer of every
+/// micro-step; this pool allocates each buffer once (bump-allocated from the
+/// arena, so the count is bounded up front) and then recycles it for the rest
+/// of training. `reuses()` exposes how many allocations were avoided so tests
+/// can pin the steady-state-allocation-free property.
+#[derive(Debug)]
+pub struct GatherBuffers {
+    arena_pool: usize,
+    arena: ArenaAllocator,
+    elems: usize,
+    free: Vec<Vec<f32>>,
+    outstanding: usize,
+    allocations: u64,
+    reuses: u64,
+}
+
+impl GatherBuffers {
+    /// Build a pool of at most `count` buffers of `elems` `f32`s each. The
+    /// backing arena reservation fails like any over-reservation would on a
+    /// device ([`AllocError::OutOfMemory`]).
+    pub fn new(elems: usize, count: usize) -> Result<Self, AllocError> {
+        let bytes = (elems as u64) * 4 * (count as u64);
+        let mut arena = ArenaAllocator::new(bytes);
+        let arena_pool = arena.reserve_pool("gathered-params", bytes)?;
+        Ok(GatherBuffers {
+            arena_pool,
+            arena,
+            elems,
+            free: Vec::with_capacity(count),
+            outstanding: 0,
+            allocations: 0,
+            reuses: 0,
+        })
+    }
+
+    /// Check a buffer out. Reuses a previously checked-in buffer when one is
+    /// available; otherwise bump-allocates a fresh one from the arena, which
+    /// fails once more than `count` buffers are simultaneously outstanding.
+    pub fn checkout(&mut self) -> Result<Vec<f32>, AllocError> {
+        if let Some(buf) = self.free.pop() {
+            self.reuses += 1;
+            self.outstanding += 1;
+            return Ok(buf);
+        }
+        self.arena.alloc_from(self.arena_pool, self.elems as u64 * 4)?;
+        self.allocations += 1;
+        self.outstanding += 1;
+        Ok(Vec::with_capacity(self.elems))
+    }
+
+    /// Return a buffer to the pool. Its contents are kept (the next checkout
+    /// clears or overwrites as it sees fit); its capacity is what's recycled.
+    pub fn checkin(&mut self, buf: Vec<f32>) {
+        debug_assert!(self.outstanding > 0, "checkin without checkout");
+        self.outstanding = self.outstanding.saturating_sub(1);
+        self.free.push(buf);
+    }
+
+    /// Number of buffers handed out and not yet checked back in.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// How many checkouts were served by recycling instead of allocating.
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+
+    /// How many distinct buffers were ever allocated.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,6 +439,36 @@ mod tests {
             a.reset_pool(params);
         }
         assert_eq!(a.headroom(), 2 * KB);
+    }
+
+    #[test]
+    fn gather_buffers_recycle_instead_of_allocating() {
+        let mut pool = GatherBuffers::new(256, 2).unwrap();
+        // Double-buffer steady state: at most two outstanding at once.
+        let mut a = pool.checkout().unwrap();
+        a.resize(256, 1.0);
+        let b = pool.checkout().unwrap();
+        assert_eq!(pool.outstanding(), 2);
+        pool.checkin(a);
+        pool.checkin(b);
+        for _ in 0..50 {
+            let x = pool.checkout().unwrap();
+            let y = pool.checkout().unwrap();
+            assert!(x.capacity() >= 256);
+            pool.checkin(x);
+            pool.checkin(y);
+        }
+        assert_eq!(pool.allocations(), 2, "steady state must not allocate");
+        assert_eq!(pool.reuses(), 100);
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn gather_buffers_bound_outstanding_count() {
+        let mut pool = GatherBuffers::new(64, 2).unwrap();
+        let _a = pool.checkout().unwrap();
+        let _b = pool.checkout().unwrap();
+        assert!(matches!(pool.checkout(), Err(AllocError::OutOfMemory { .. })));
     }
 
     #[test]

@@ -23,6 +23,6 @@ mod alloc;
 pub mod dtype;
 mod shard;
 
-pub use alloc::{AllocError, AllocStats, ArenaAllocator, BlockId, DynamicAllocator};
+pub use alloc::{AllocError, AllocStats, ArenaAllocator, BlockId, DynamicAllocator, GatherBuffers};
 pub use dtype::{quantize_f16, DType};
 pub use shard::ShardSpec;

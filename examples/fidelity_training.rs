@@ -23,6 +23,7 @@ fn main() {
         loss_scale: mics::minidl::LossScale::Dynamic { init: 65536.0, growth_interval: 100 },
         clip_grad_norm: Some(1.0),
         comm_quant: None,
+        prefetch_depth: 0,
     };
     println!(
         "training a {}-parameter model on {} thread-ranks, partition groups of {}\n",

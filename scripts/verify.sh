@@ -16,6 +16,9 @@ cargo test -q --workspace
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo bench --no-run (benches must always compile)"
+cargo bench --workspace --no-run
+
 echo "==> cargo doc --workspace --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
@@ -33,5 +36,11 @@ cargo run --release -q -p mics-bench --bin ext_ablation >/dev/null
 
 echo "==> ext_compress (smoke)"
 cargo run --release -q -p mics-bench --bin ext_compress >/dev/null
+
+# The overlap bench asserts bit-identity inline vs async, a positive
+# measured overlap fraction, the structural deferral/prefetch counts, and
+# the wall-clock gate appropriate to the host's core count.
+echo "==> ext_overlap (smoke)"
+cargo run --release -q -p mics-bench --bin ext_overlap >/dev/null
 
 echo "verify: all green"

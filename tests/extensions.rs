@@ -111,6 +111,7 @@ fn transformer_lm_fidelity_end_to_end() {
         loss_scale: LossScale::Dynamic { init: 1024.0, growth_interval: 6 },
         clip_grad_norm: Some(5.0),
         comm_quant: None,
+        prefetch_depth: 0,
     };
     let mics = train_lm(&cfg, SyncSchedule::TwoHop);
     let ddp = train_lm(&cfg, SyncSchedule::Ddp);

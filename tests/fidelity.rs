@@ -26,6 +26,7 @@ fn setup(world: usize, p: usize, s: usize, iters: usize) -> TrainSetup {
         loss_scale: mics::minidl::LossScale::None,
         clip_grad_norm: None,
         comm_quant: None,
+        prefetch_depth: 0,
     }
 }
 
@@ -114,6 +115,7 @@ fn rig(world: usize, p: usize, iters: usize) -> Rig {
             loss_scale: LossScale::None,
             clip_grad_norm: None,
             comm_quant: None,
+            prefetch_depth: 0,
         },
         init: model.init_params(seed),
         dataset: TeacherDataset::new(&[10, 8, 4], seed ^ 0x51ab_0c1d_22ee_9f73),

@@ -109,6 +109,7 @@ fn minidl_executes_the_op_sequence_the_sim_costs() {
             loss_scale: LossScale::None,
             clip_grad_norm: None,
             comm_quant: None,
+            prefetch_depth: 0,
         };
         let prog = step_program(&hp, schedule, model.num_params());
 
@@ -132,6 +133,7 @@ fn minidl_executes_the_op_sequence_the_sim_costs() {
             loss_scale: LossScale::None,
             clip_grad_norm: None,
             comm_quant: None,
+            prefetch_depth: 0,
         };
         let out = train(&setup, schedule);
 
