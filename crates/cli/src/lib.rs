@@ -12,6 +12,7 @@
 use mics_cluster::{ClusterSpec, InstanceType};
 use mics_core::memory::check_memory;
 use mics_core::{simulate, simulate_dp_traced, tune, MicsConfig, Strategy, TrainingJob, ZeroStage};
+use mics_dataplane::TransportKind;
 use mics_model::{TransformerConfig, WideResNetConfig, WorkloadSpec};
 use std::fmt;
 
@@ -77,11 +78,20 @@ pub struct FidelityArgs {
     /// Write a chrome-trace JSON combining the backend's *measured* lane
     /// spans with the simulator's *charged* timeline for the same program.
     pub trace: Option<String>,
+    /// Data-plane transport the ranks collectivize over: `local` keeps the
+    /// shared-memory rendezvous, `socket` frames every collective through a
+    /// loopback hub (same bits, real wire).
+    pub transport: TransportKind,
 }
 
 impl Default for FidelityArgs {
     fn default() -> Self {
-        FidelityArgs { iterations: 10, prefetch_depth: 2, trace: None }
+        FidelityArgs {
+            iterations: 10,
+            prefetch_depth: 2,
+            trace: None,
+            transport: TransportKind::Local,
+        }
     }
 }
 
@@ -113,8 +123,10 @@ USAGE:
   mics-sim simulate <model> [same options] [--accum S] [--trace out.json]
   mics-sim tune     <model> [--nodes N] [--instance ...] [--micro-batch B] [--accum S]
   mics-sim fidelity [--iterations N] [--prefetch-depth D] [--trace out.json]
+                    [--transport local|socket]
 
-MODELS: run `mics-sim models` for the list.";
+MODELS: run `mics-sim models` for the list.
+SEE ALSO: `mics-rankd` runs the same data plane as one OS process per rank.";
 
 /// Names of the model presets `mics-sim` knows.
 pub fn model_names() -> Vec<&'static str> {
@@ -208,6 +220,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         .map_err(|_| err("--prefetch-depth must be a non-negative integer"))?
                 }
                 "--trace" => fid.trace = Some(value("--trace")?.clone()),
+                "--transport" => {
+                    fid.transport = value("--transport")?
+                        .parse()
+                        .map_err(|_| err("--transport must be 'local' or 'socket'"))?
+                }
                 other => return Err(err(format!("unknown flag '{other}'\n\n{USAGE}"))),
             }
         }
@@ -344,14 +361,16 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
         }
         Command::Fidelity(args) => {
             let setup = fig15_setup(args);
-            let out = mics_minidl::train_lm(&setup, mics_minidl::SyncSchedule::TwoHop);
+            let out =
+                mics_minidl::train_lm_on(args.transport, &setup, mics_minidl::SyncSchedule::TwoHop);
             let s = &out.lane_stats;
             let ms = |ns: u64| ns as f64 / 1e6;
             let mut text = format!(
-                "fig15 LM on the real backend (8 ranks, mics p=2, {} iters, \
+                "fig15 LM on the real backend (8 ranks, mics p=2, {} transport, {} iters, \
                  prefetch depth {}): final loss {:.6}\n\
                  wall {:.1} ms | compute {:.1} ms | gather {:.1} ms | reduce {:.1} ms | \
                  overlap {:.0}% | {} deferred reduces | {} prefetched gathers",
+                args.transport,
                 args.iterations,
                 args.prefetch_depth,
                 out.losses.last().copied().unwrap_or(f32::NAN),
@@ -598,14 +617,17 @@ mod tests {
 
     #[test]
     fn parse_fidelity_with_flags() {
-        let cmd =
-            parse_args(&argv("fidelity --iterations 3 --prefetch-depth 1 --trace t.json")).unwrap();
+        let cmd = parse_args(&argv(
+            "fidelity --iterations 3 --prefetch-depth 1 --trace t.json --transport socket",
+        ))
+        .unwrap();
         assert_eq!(
             cmd,
             Command::Fidelity(FidelityArgs {
                 iterations: 3,
                 prefetch_depth: 1,
                 trace: Some("t.json".into()),
+                transport: TransportKind::Socket,
             })
         );
         assert_eq!(
@@ -613,7 +635,23 @@ mod tests {
             Command::Fidelity(FidelityArgs::default())
         );
         assert!(parse_args(&argv("fidelity --iterations 0")).is_err());
+        assert!(parse_args(&argv("fidelity --transport carrier-pigeon")).is_err());
         assert!(parse_args(&argv("fidelity --bogus")).is_err());
+    }
+
+    #[test]
+    fn fidelity_over_sockets_matches_local() {
+        // The same fig15 run routed over the framed loopback hub must print
+        // the same final loss — the CLI face of the bit-identical claim.
+        let local = execute(&parse_args(&argv("fidelity --iterations 2")).unwrap()).unwrap();
+        let socket =
+            execute(&parse_args(&argv("fidelity --iterations 2 --transport socket")).unwrap())
+                .unwrap();
+        let loss = |s: &str| {
+            s.split("final loss ").nth(1).unwrap().split('\n').next().unwrap().to_string()
+        };
+        assert_eq!(loss(&local), loss(&socket), "local:\n{local}\nsocket:\n{socket}");
+        assert!(socket.contains("socket transport"), "{socket}");
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Process-per-rank recovery: real OS processes joined through `mics-rankd`,
+//! one of them SIGKILLed mid-all-gather. The thread harness cannot model
+//! this failure domain — a killed process takes its half-written state with
+//! it, and the survivors only learn of the death through the wire.
+
+use mics_bench::Json;
+use mics_dataplane::with_deadline;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const RANKD: &str = env!("CARGO_BIN_EXE_mics-rankd");
+
+/// A child process killed (if still alive) when the test unwinds.
+struct Reaped(Child);
+
+impl Drop for Reaped {
+    fn drop(&mut self) {
+        self.0.kill().ok();
+        self.0.wait().ok();
+    }
+}
+
+/// Spawn a hub process and read the address it bound.
+fn spawn_hub() -> (Reaped, String) {
+    let mut hub = Command::new(RANKD)
+        .args(["hub", "--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn hub");
+    let mut line = String::new();
+    BufReader::new(hub.stdout.take().expect("hub stdout"))
+        .read_line(&mut line)
+        .expect("read hub banner");
+    let addr = line.trim().strip_prefix("hub listening on ").expect("hub banner").to_string();
+    (Reaped(hub), addr)
+}
+
+#[test]
+fn separate_rank_processes_complete_a_clean_world() {
+    with_deadline(Duration::from_secs(60), || {
+        let (_hub, addr) = spawn_hub();
+        let world = 3;
+        let workers: Vec<Child> = (0..world)
+            .map(|rank| {
+                Command::new(RANKD)
+                    .args(["worker", "--addr", &addr, "--rank", &rank.to_string()])
+                    .args(["--world", &world.to_string(), "--iters", "25"])
+                    .stdout(Stdio::piped())
+                    .spawn()
+                    .expect("spawn worker")
+            })
+            .collect();
+        for (rank, worker) in workers.into_iter().enumerate() {
+            let out = worker.wait_with_output().expect("wait worker");
+            assert!(out.status.success(), "rank {rank} exited with {}", out.status);
+            let doc = Json::parse(&String::from_utf8_lossy(&out.stdout)).expect("worker report");
+            assert_eq!(doc.get("rank").and_then(Json::as_num), Some(rank as f64));
+            assert_eq!(doc.get("ok"), Some(&Json::Bool(true)), "rank {rank} not ok");
+        }
+    })
+}
+
+#[test]
+fn sigkill_mid_all_gather_is_detected_and_survivors_rebuild() {
+    with_deadline(Duration::from_secs(150), || {
+        let out_path = std::env::temp_dir().join("mics_rankd_multiproc_test.json");
+        let out_path = out_path.to_str().unwrap().to_string();
+        // `bench` spawns the hub plus 4 rank processes, SIGKILLs rank 2 mid
+        // all-gather, and asserts each survivor's report before writing the
+        // artifact — a non-zero exit means a claim failed inside.
+        let output = Command::new(RANKD)
+            .args(["bench", "--out", &out_path, "--world", "4", "--victim", "2"])
+            .output()
+            .expect("run bench");
+        assert!(
+            output.status.success(),
+            "bench failed:\n{}\n{}",
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr)
+        );
+
+        // Cross-check the claims from the artifact itself.
+        let doc = Json::parse(&std::fs::read_to_string(&out_path).expect("artifact")).unwrap();
+        let num = |k: &str| doc.get(k).and_then(Json::as_num).expect(k);
+        assert!(num("max_detect_ms") < num("detect_deadline_ms"), "detection not bounded");
+        assert_eq!(num("shrunk_world"), 3.0);
+        assert_eq!(doc.get("all_survivors_recovered"), Some(&Json::Bool(true)));
+        let gathered: Vec<f64> = doc
+            .get("post_gather")
+            .and_then(Json::as_arr)
+            .expect("post_gather")
+            .iter()
+            .map(|v| v.as_num().unwrap())
+            .collect();
+        assert_eq!(gathered, [0.0, 1.0, 3.0], "survivors must keep their world order");
+        let rows = doc
+            .get("survivors")
+            .and_then(|t| t.get("rows"))
+            .and_then(Json::as_arr)
+            .expect("survivor table");
+        assert_eq!(rows.len(), 3, "one report per survivor");
+        std::fs::remove_file(&out_path).ok();
+    })
+}

@@ -1,36 +1,57 @@
-//! An in-process, shared-memory data plane that stands in for NCCL.
+//! A data plane that stands in for NCCL, with two interchangeable
+//! transports behind one [`Communicator`] API.
 //!
-//! Each simulated device is an OS thread holding a [`Communicator`] handle.
 //! Collectives are rendezvous operations over real `f32` buffers, so the
 //! *data-layout contracts* of the paper's algorithms — most importantly the
 //! 3-stage hierarchical all-gather of §3.3 and the coalesced communication
 //! APIs of §4 — are executed and tested for real, not merely cost-modelled.
+//! Every collective lowers to one transport primitive (a sequenced
+//! exchange: deposit a batch, receive every member's batch in rank order),
+//! and the [`transport`] layer provides two implementations:
 //!
-//! Determinism: reductions fold contributions in fixed rank order, so every
-//! rank computes bit-identical results, and repeated runs are bit-identical
-//! regardless of thread scheduling. This is what lets the fidelity
-//! experiment (paper §5.4, Figure 15) compare loss curves between
-//! synchronization schedules down to floating-point equality.
+//! * **local** — each simulated device is an OS thread; the rendezvous is a
+//!   shared-memory barrier. This is [`Communicator::create_world`] /
+//!   [`run_ranks`].
+//! * **socket** — each device is a separate OS *process* holding one framed
+//!   TCP or Unix-domain connection to a [`transport::Hub`]; see
+//!   [`transport::connect_world`] and the `mics-rankd` worker binary. This
+//!   is the transport that gives fault injection real teeth: a SIGKILLed
+//!   rank is a torn connection, not a poisoned flag.
+//!
+//! Determinism: reductions fold contributions in fixed rank order *on the
+//! rank side of the transport*, so every rank computes bit-identical
+//! results on either transport, and repeated runs are bit-identical
+//! regardless of scheduling. This is what lets the fidelity experiment
+//! (paper §5.4, Figure 15) compare loss curves between synchronization
+//! schedules down to floating-point equality.
 //!
 //! # Failure semantics
 //!
 //! MiCS targets the public cloud, where ranks die mid-run. A rendezvous
-//! collective must therefore be *abortable*: when a rank fails, every peer's
-//! in-flight collective returns [`CommError::RankFailed`] within a bounded
-//! time instead of hanging. Two detection paths feed the same poison state:
+//! collective must therefore be *abortable*: when a rank fails, every
+//! peer's in-flight collective returns a [`CommError`] within a bounded
+//! time instead of hanging. The detection paths all feed the same poison
+//! state:
 //!
-//! - **Explicit failure:** a rank thread that panics (see [`try_run_ranks`])
+//! - **Explicit failure:** a rank that panics (see [`try_run_ranks`])
 //!   marks its communicator — and, transitively, every sub-communicator
 //!   created from it — as failed. Peers blocked in a rendezvous are woken
-//!   immediately.
+//!   immediately with [`CommError::RankFailed`].
 //! - **Timeout:** every rendezvous wait carries a deadline (configured with
 //!   [`Communicator::set_timeout`]). A rank that never shows up is detected
 //!   when the wait expires, which breaks the group's current epoch and
 //!   returns [`CommError::Timeout`] to all waiters.
+//! - **Transport teardown** (socket only): a dead process's connection
+//!   closes; survivors observe [`CommError::PeerDisconnected`] without
+//!   waiting for any logical deadline.
+//! - **Heartbeat** (socket only): a wedged peer — alive but silent — is
+//!   expired by per-connection heartbeats, surfacing as
+//!   [`CommError::PeerDisconnected`] (hub-detected) or [`CommError::Io`]
+//!   (rank-detected silent hub).
 //!
 //! A poisoned group never recovers; survivors rebuild a smaller group with
-//! [`Communicator::remove_rank`] and continue there (the data plane analogue
-//! of re-initializing NCCL communicators after shrink).
+//! [`Communicator::remove_rank`] and continue there (the data plane
+//! analogue of re-initializing NCCL communicators after shrink).
 //!
 //! The `try_*` collectives surface failures as `Result`; the plain methods
 //! keep the original infallible signatures and panic on abort, which in a
@@ -52,15 +73,14 @@
 
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::RecvTimeoutError;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
 
 pub mod hierarchical;
 pub mod nonblocking;
 pub mod quantized;
+pub mod transport;
 
 pub use hierarchical::{
     hierarchical_all_gather, hierarchical_reduce_scatter, naive_two_stage_all_gather,
@@ -74,6 +94,9 @@ pub use quantized::{
     quantized_all_gather, quantized_all_reduce, quantized_hierarchical_all_gather,
     quantized_hierarchical_reduce_scatter, quantized_reduce_scatter,
 };
+pub use transport::{connect_world, Hub, RetryPolicy, SocketWorldConfig, TransportKind};
+
+use transport::{Backend, ChildKey};
 
 /// Rendezvous waits detect an absent rank after this long unless
 /// [`Communicator::set_timeout`] overrides it. Generous compared to the
@@ -84,9 +107,10 @@ pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
 /// Why a collective aborted instead of completing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CommError {
-    /// A peer was reported dead (panicked rank thread). The id is the rank
-    /// as known to the communicator where the failure was first observed —
-    /// for failures propagated from a parent group, its world rank.
+    /// A peer was reported dead (panicked rank thread, or a worker process
+    /// that reported failure before exiting). The id is the rank as known
+    /// to the communicator where the failure was first observed — for
+    /// failures propagated from a parent group, its world rank.
     RankFailed {
         /// Failed rank id.
         rank: usize,
@@ -95,6 +119,20 @@ pub enum CommError {
     Timeout {
         /// How long this rank waited before giving up.
         waited: Duration,
+    },
+    /// The transport itself failed (socket error, silent hub past the
+    /// heartbeat grace). Local-transport groups never report this.
+    Io {
+        /// The underlying I/O error kind.
+        kind: std::io::ErrorKind,
+    },
+    /// A peer's connection tore down without a clean goodbye — the
+    /// SIGKILL/preemption signature on the socket transport, detected by
+    /// connection teardown or missed heartbeats rather than any logical
+    /// deadline.
+    PeerDisconnected {
+        /// World rank of the vanished peer.
+        rank: usize,
     },
 }
 
@@ -105,6 +143,10 @@ impl std::fmt::Display for CommError {
             CommError::Timeout { waited } => {
                 write!(f, "rendezvous timed out after {waited:?}")
             }
+            CommError::Io { kind } => write!(f, "transport I/O error: {kind}"),
+            CommError::PeerDisconnected { rank } => {
+                write!(f, "peer rank {rank} disconnected")
+            }
         }
     }
 }
@@ -114,138 +156,10 @@ impl std::error::Error for CommError {}
 /// Lock that survives a peer thread having panicked while holding the
 /// guard: the protected state is plain data (deposit slots, counters) that
 /// is always left consistent at the end of each statement, so the std
-/// poison flag carries no information the barrier's own poison state
+/// poison flag carries no information the group's own poison state
 /// doesn't already capture.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
-/// Sense-reversing rendezvous barrier with failure detection.
-///
-/// `generation` is the failure-detection epoch: it advances only when all
-/// `world` ranks arrive. A failure (explicit or timeout) permanently breaks
-/// the epoch: `broken` is set, every current waiter is woken, and every
-/// later wait fails fast.
-#[derive(Debug)]
-struct Barrier {
-    lock: Mutex<BarrierState>,
-    cv: Condvar,
-}
-
-#[derive(Debug)]
-struct BarrierState {
-    arrived: usize,
-    generation: u64,
-    broken: Option<CommError>,
-}
-
-impl Barrier {
-    fn new() -> Self {
-        Barrier {
-            lock: Mutex::new(BarrierState { arrived: 0, generation: 0, broken: None }),
-            cv: Condvar::new(),
-        }
-    }
-
-    fn wait(&self, world: usize, timeout: Duration) -> Result<(), CommError> {
-        let mut st = lock(&self.lock);
-        if let Some(e) = st.broken {
-            return Err(e);
-        }
-        st.arrived += 1;
-        if st.arrived == world {
-            st.arrived = 0;
-            st.generation = st.generation.wrapping_add(1);
-            self.cv.notify_all();
-            return Ok(());
-        }
-        let gen = st.generation;
-        let deadline = Instant::now() + timeout;
-        while st.generation == gen {
-            if let Some(e) = st.broken {
-                return Err(e);
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                let e = CommError::Timeout { waited: timeout };
-                st.broken = Some(e);
-                self.cv.notify_all();
-                return Err(e);
-            }
-            let (g, _) = self
-                .cv
-                .wait_timeout(st, deadline - now)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            st = g;
-        }
-        Ok(())
-    }
-
-    fn poison(&self, error: CommError) {
-        let mut st = lock(&self.lock);
-        if st.broken.is_none() {
-            st.broken = Some(error);
-        }
-        self.cv.notify_all();
-    }
-
-    fn broken(&self) -> Option<CommError> {
-        lock(&self.lock).broken
-    }
-}
-
-/// Shared state of one communicator group.
-#[derive(Debug)]
-struct Inner {
-    world: usize,
-    barrier: Barrier,
-    /// Single-buffer deposit slots, one per rank.
-    slots: Mutex<Vec<Option<Vec<f32>>>>,
-    /// Multi-buffer deposit slots for the coalesced APIs.
-    multi_slots: Mutex<Vec<Vec<Vec<f32>>>>,
-    /// Metadata slots used by `split`.
-    meta: Mutex<Vec<Option<(i64, i64)>>>,
-    /// Sub-communicators created by `split`, keyed by (call index, color).
-    children: Mutex<HashMap<(u64, i64), Arc<Inner>>>,
-    /// Shrunk groups created by `remove_rank`, keyed by (rebuild epoch,
-    /// removed rank).
-    rebuilds: Mutex<HashMap<(u64, usize), Arc<Inner>>>,
-    /// Rendezvous deadline in nanoseconds, shared by the whole group.
-    timeout_nanos: AtomicU64,
-}
-
-impl Inner {
-    fn new(world: usize, timeout: Duration) -> Self {
-        Inner {
-            world,
-            barrier: Barrier::new(),
-            slots: Mutex::new(vec![None; world]),
-            multi_slots: Mutex::new(vec![Vec::new(); world]),
-            meta: Mutex::new(vec![None; world]),
-            children: Mutex::new(HashMap::new()),
-            rebuilds: Mutex::new(HashMap::new()),
-            timeout_nanos: AtomicU64::new(timeout.as_nanos() as u64),
-        }
-    }
-
-    fn timeout(&self) -> Duration {
-        Duration::from_nanos(self.timeout_nanos.load(Ordering::Relaxed))
-    }
-
-    /// Poison this group and every descendant (splits and rebuilds) so no
-    /// surviving rank can block on a rendezvous the failed rank will never
-    /// join. `rank` is this group's id for the failed rank; descendants
-    /// report the same id (their members may not even contain it — the
-    /// poison is conservative by design).
-    fn mark_failed(&self, rank: usize) {
-        self.barrier.poison(CommError::RankFailed { rank });
-        for child in lock(&self.children).values() {
-            child.mark_failed(rank);
-        }
-        for rebuilt in lock(&self.rebuilds).values() {
-            rebuilt.mark_failed(rank);
-        }
-    }
 }
 
 /// A rank's handle to a communicator group (analogous to an MPI
@@ -255,10 +169,14 @@ impl Inner {
 /// the same program order — the usual SPMD contract. Violations of the
 /// contract surface as [`CommError::Timeout`] (a rank at a different
 /// rendezvous never arrives at this one) or panic on shape mismatch.
+///
+/// The handle is transport-agnostic: it behaves identically whether it
+/// came from [`Communicator::create_world`] (threads, shared memory) or
+/// [`transport::connect_world`] (one process per rank, sockets).
 #[derive(Debug)]
 pub struct Communicator {
     rank: usize,
-    inner: Arc<Inner>,
+    backend: Backend,
     /// Number of `split` calls made so far (local mirror of a value that is
     /// identical across ranks by the SPMD contract).
     split_calls: u64,
@@ -270,31 +188,25 @@ pub struct Communicator {
 }
 
 impl Communicator {
+    pub(crate) fn from_backend(rank: usize, backend: Backend) -> Communicator {
+        Communicator { rank, backend, split_calls: 0, rebuild_epoch: 0, engine: None }
+    }
+
     /// A second handle to the same (rank, group) — the progress thread's
     /// identity in the [`nonblocking`] engine. Never exposed: two handles
     /// issuing collectives concurrently would corrupt the rendezvous, so
     /// the engine is the only caller and serializes all use.
     pub(crate) fn sibling(of: &Communicator) -> Communicator {
-        Communicator {
-            rank: of.rank,
-            inner: Arc::clone(&of.inner),
-            split_calls: 0,
-            rebuild_epoch: 0,
-            engine: None,
-        }
+        Communicator::from_backend(of.rank, of.backend.clone())
     }
-    /// Create the world group: one handle per rank.
+
+    /// Create the world group on the local (thread) transport: one handle
+    /// per rank.
     pub fn create_world(world: usize) -> Vec<Communicator> {
         assert!(world > 0, "world must be non-empty");
-        let inner = Arc::new(Inner::new(world, DEFAULT_TIMEOUT));
+        let inner = Arc::new(transport::local::Inner::new(world, DEFAULT_TIMEOUT));
         (0..world)
-            .map(|rank| Communicator {
-                rank,
-                inner: Arc::clone(&inner),
-                split_calls: 0,
-                rebuild_epoch: 0,
-                engine: None,
-            })
+            .map(|rank| Communicator::from_backend(rank, Backend::Local(Arc::clone(&inner))))
             .collect()
     }
 
@@ -305,31 +217,47 @@ impl Communicator {
 
     /// Number of ranks in the group.
     pub fn world(&self) -> usize {
-        self.inner.world
+        self.backend.world()
     }
 
-    /// Set the failure-detection bound for rendezvous waits, group-wide
-    /// (shared state; any rank's call applies to all, and sub-groups created
-    /// afterwards inherit it).
+    /// Which transport this communicator's group runs on.
+    pub fn transport(&self) -> TransportKind {
+        transport::socket::kind_of(&self.backend)
+    }
+
+    /// Set the failure-detection bound for rendezvous waits. The bound is
+    /// shared with every other handle to the same group state in this
+    /// process (notably the non-blocking engine's progress thread), and
+    /// sub-groups created afterwards inherit it. On the local transport the
+    /// group state is process-wide, so any rank's call applies to all; on
+    /// the socket transport each rank process governs its own waits — SPMD
+    /// programs set it symmetrically anyway.
     pub fn set_timeout(&self, timeout: Duration) {
-        self.inner.timeout_nanos.store(timeout.as_nanos() as u64, Ordering::Relaxed);
+        self.backend.set_timeout(timeout);
+    }
+
+    /// The current failure-detection bound (see
+    /// [`Communicator::set_timeout`]).
+    pub fn timeout(&self) -> Duration {
+        self.backend.timeout()
     }
 
     /// The failure that poisoned this group, if any — without blocking.
     pub fn failure(&self) -> Option<CommError> {
-        self.inner.barrier.broken()
+        self.backend.failure()
     }
 
     /// Report this rank as failed to the whole group, waking every peer
     /// blocked in a rendezvous. Called automatically by [`try_run_ranks`]
-    /// when a rank thread panics.
+    /// when a rank thread panics; worker processes call it before exiting
+    /// on a panic so peers learn the failure faster than any deadline.
     pub fn mark_failed(&self) {
-        self.inner.mark_failed(self.rank);
+        self.backend.mark_failed(self.rank);
     }
 
     /// Block until every rank of the group arrives, or the group fails.
     pub fn try_barrier(&self) -> Result<(), CommError> {
-        self.inner.barrier.wait(self.inner.world, self.inner.timeout())
+        self.backend.barrier(self.rank)
     }
 
     /// Block until every rank of the group arrives.
@@ -338,10 +266,6 @@ impl Communicator {
     /// Panics if the group fails while waiting (see [`Self::try_barrier`]).
     pub fn barrier(&self) {
         self.try_barrier().unwrap_or_else(|e| panic!("collective aborted: {e}"));
-    }
-
-    fn deposit(&self, data: Vec<f32>) {
-        lock(&self.inner.slots)[self.rank] = Some(data);
     }
 
     /// Fallible [`Self::all_gather`]: aborts with the failure instead of
@@ -362,20 +286,15 @@ impl Communicator {
         contribution: &[f32],
         out: &mut Vec<f32>,
     ) -> Result<(), CommError> {
-        self.deposit(contribution.to_vec());
-        self.try_barrier()?;
-        {
-            let slots = lock(&self.inner.slots);
-            let len0 = slots[0].as_ref().expect("missing contribution").len();
-            out.clear();
-            out.reserve(len0 * self.inner.world);
-            for (r, s) in slots.iter().enumerate() {
-                let s = s.as_ref().expect("missing contribution");
-                assert_eq!(s.len(), len0, "rank {r} contributed a different length");
-                out.extend_from_slice(s);
-            }
+        let all = self.backend.exchange(self.rank, &[contribution])?;
+        let len0 = all[0].first().expect("missing contribution").len();
+        out.clear();
+        out.reserve(len0 * self.world());
+        for (r, batch) in all.iter().enumerate() {
+            let s = batch.first().expect("missing contribution");
+            assert_eq!(s.len(), len0, "rank {r} contributed a different length");
+            out.extend_from_slice(s);
         }
-        self.try_barrier()?;
         Ok(())
     }
 
@@ -387,58 +306,47 @@ impl Communicator {
 
     /// Fallible [`Self::reduce_scatter`].
     pub fn try_reduce_scatter(&self, contribution: &[f32]) -> Result<Vec<f32>, CommError> {
-        let world = self.inner.world;
+        let world = self.world();
         assert!(
             contribution.len().is_multiple_of(world),
             "reduce_scatter input length {} not divisible by world {world}",
             contribution.len()
         );
         let shard = contribution.len() / world;
-        self.deposit(contribution.to_vec());
-        self.try_barrier()?;
-        let out = {
-            let slots = lock(&self.inner.slots);
-            let mut out = vec![0.0f32; shard];
-            let base = self.rank * shard;
-            for s in slots.iter() {
-                let s = s.as_ref().expect("missing contribution");
-                assert_eq!(s.len(), contribution.len(), "mismatched lengths");
-                for i in 0..shard {
-                    out[i] += s[base + i];
-                }
+        let all = self.backend.exchange(self.rank, &[contribution])?;
+        let mut out = vec![0.0f32; shard];
+        let base = self.rank * shard;
+        for batch in &all {
+            let s = batch.first().expect("missing contribution");
+            assert_eq!(s.len(), contribution.len(), "mismatched lengths");
+            for i in 0..shard {
+                out[i] += s[base + i];
             }
-            out
-        };
-        self.try_barrier()?;
+        }
         Ok(out)
     }
 
     /// Reduce (sum) equal-length contributions of `world × shard` elements
     /// and scatter: rank `r` receives the reduced shard `r`.
     ///
-    /// The fold is in fixed rank order, so results are deterministic and
-    /// identical across ranks.
+    /// The fold is in fixed rank order on the rank side of the transport,
+    /// so results are deterministic and identical across ranks — and across
+    /// transports.
     pub fn reduce_scatter(&self, contribution: &[f32]) -> Vec<f32> {
         self.try_reduce_scatter(contribution).unwrap_or_else(|e| panic!("collective aborted: {e}"))
     }
 
     /// Fallible [`Self::all_reduce`].
     pub fn try_all_reduce(&self, contribution: &[f32]) -> Result<Vec<f32>, CommError> {
-        self.deposit(contribution.to_vec());
-        self.try_barrier()?;
-        let out = {
-            let slots = lock(&self.inner.slots);
-            let mut out = vec![0.0f32; contribution.len()];
-            for s in slots.iter() {
-                let s = s.as_ref().expect("missing contribution");
-                assert_eq!(s.len(), out.len(), "mismatched lengths");
-                for (o, x) in out.iter_mut().zip(s.iter()) {
-                    *o += *x;
-                }
+        let all = self.backend.exchange(self.rank, &[contribution])?;
+        let mut out = vec![0.0f32; contribution.len()];
+        for batch in &all {
+            let s = batch.first().expect("missing contribution");
+            assert_eq!(s.len(), out.len(), "mismatched lengths");
+            for (o, x) in out.iter_mut().zip(s.iter()) {
+                *o += *x;
             }
-            out
-        };
-        self.try_barrier()?;
+        }
         Ok(out)
     }
 
@@ -450,17 +358,11 @@ impl Communicator {
 
     /// Fallible [`Self::broadcast`].
     pub fn try_broadcast(&self, root: usize, data: &[f32]) -> Result<Vec<f32>, CommError> {
-        assert!(root < self.inner.world, "root out of range");
-        if self.rank == root {
-            self.deposit(data.to_vec());
-        }
-        self.try_barrier()?;
-        let out = {
-            let slots = lock(&self.inner.slots);
-            slots[root].as_ref().expect("root did not deposit").clone()
-        };
-        self.try_barrier()?;
-        Ok(out)
+        assert!(root < self.world(), "root out of range");
+        // Only the root's batch carries payload; the others are empty.
+        let batch: &[&[f32]] = if self.rank == root { &[data] } else { &[] };
+        let all = self.backend.exchange(self.rank, batch)?;
+        Ok(all[root].first().expect("root did not deposit").clone())
     }
 
     /// Broadcast `data` from `root` to every rank. Non-root ranks pass their
@@ -471,25 +373,19 @@ impl Communicator {
 
     /// Fallible [`Self::all_gather_coalesced`].
     pub fn try_all_gather_coalesced(&self, parts: &[&[f32]]) -> Result<Vec<Vec<f32>>, CommError> {
-        lock(&self.inner.multi_slots)[self.rank] = parts.iter().map(|p| p.to_vec()).collect();
-        self.try_barrier()?;
-        let out = {
-            let slots = lock(&self.inner.multi_slots);
-            let nparts = slots[0].len();
-            let mut out = Vec::with_capacity(nparts);
-            for part in 0..nparts {
-                let len0 = slots[0][part].len();
-                let mut buf = Vec::with_capacity(len0 * self.inner.world);
-                for (r, s) in slots.iter().enumerate() {
-                    assert_eq!(s.len(), nparts, "rank {r} batched a different number of buffers");
-                    assert_eq!(s[part].len(), len0, "rank {r} part {part} length mismatch");
-                    buf.extend_from_slice(&s[part]);
-                }
-                out.push(buf);
+        let all = self.backend.exchange(self.rank, parts)?;
+        let nparts = all[0].len();
+        let mut out = Vec::with_capacity(nparts);
+        for part in 0..nparts {
+            let len0 = all[0][part].len();
+            let mut buf = Vec::with_capacity(len0 * self.world());
+            for (r, batch) in all.iter().enumerate() {
+                assert_eq!(batch.len(), nparts, "rank {r} batched a different number of buffers");
+                assert_eq!(batch[part].len(), len0, "rank {r} part {part} length mismatch");
+                buf.extend_from_slice(&batch[part]);
             }
-            out
-        };
-        self.try_barrier()?;
+            out.push(buf);
+        }
         Ok(out)
     }
 
@@ -507,7 +403,7 @@ impl Communicator {
         &self,
         parts: &[&[f32]],
     ) -> Result<Vec<Vec<f32>>, CommError> {
-        let world = self.inner.world;
+        let world = self.world();
         for (i, p) in parts.iter().enumerate() {
             assert!(
                 p.len().is_multiple_of(world),
@@ -515,28 +411,22 @@ impl Communicator {
                 p.len()
             );
         }
-        lock(&self.inner.multi_slots)[self.rank] = parts.iter().map(|p| p.to_vec()).collect();
-        self.try_barrier()?;
-        let out = {
-            let slots = lock(&self.inner.multi_slots);
-            let nparts = slots[0].len();
-            let mut out = Vec::with_capacity(nparts);
-            for part in 0..nparts {
-                let full = slots[0][part].len();
-                let shard = full / world;
-                let base = self.rank * shard;
-                let mut buf = vec![0.0f32; shard];
-                for s in slots.iter() {
-                    assert_eq!(s[part].len(), full, "part {part} length mismatch");
-                    for i in 0..shard {
-                        buf[i] += s[part][base + i];
-                    }
+        let all = self.backend.exchange(self.rank, parts)?;
+        let nparts = all[0].len();
+        let mut out = Vec::with_capacity(nparts);
+        for part in 0..nparts {
+            let full = all[0][part].len();
+            let shard = full / world;
+            let base = self.rank * shard;
+            let mut buf = vec![0.0f32; shard];
+            for batch in &all {
+                assert_eq!(batch[part].len(), full, "part {part} length mismatch");
+                for i in 0..shard {
+                    buf[i] += batch[part][base + i];
                 }
-                out.push(buf);
             }
-            out
-        };
-        self.try_barrier()?;
+            out.push(buf);
+        }
         Ok(out)
     }
 
@@ -552,42 +442,36 @@ impl Communicator {
     pub fn try_split(&mut self, color: i64, key: i64) -> Result<Communicator, CommError> {
         let call = self.split_calls;
         self.split_calls += 1;
-        // Exchange (color, key) via the metadata slots.
-        lock(&self.inner.meta)[self.rank] = Some((color, key));
-        self.try_barrier()?;
-        let (new_rank, group_size) = {
-            let meta = lock(&self.inner.meta);
-            let mut members: Vec<(i64, usize)> = meta
-                .iter()
-                .enumerate()
-                .filter_map(|(r, m)| {
-                    let (c, k) = m.expect("missing split metadata");
-                    (c == color).then_some((k, r))
-                })
-                .collect();
-            members.sort_unstable();
-            let new_rank =
-                members.iter().position(|&(_, r)| r == self.rank).expect("rank not in own group");
-            (new_rank, members.len())
+        // Exchange (color, key) as four f32 bit-halves — exact for every
+        // i64, on every transport (the wire is bit-preserving).
+        let meta = [
+            f32::from_bits(color as u64 as u32),
+            f32::from_bits(((color as u64) >> 32) as u32),
+            f32::from_bits(key as u64 as u32),
+            f32::from_bits(((key as u64) >> 32) as u32),
+        ];
+        let all = self.backend.exchange(self.rank, &[&meta])?;
+        let decode = |batch: &Vec<Vec<f32>>| -> (i64, i64) {
+            let m = batch.first().expect("missing split metadata");
+            assert_eq!(m.len(), 4, "malformed split metadata");
+            let join = |lo: f32, hi: f32| {
+                (u64::from(lo.to_bits()) | (u64::from(hi.to_bits()) << 32)) as i64
+            };
+            (join(m[0], m[1]), join(m[2], m[3]))
         };
-        // First member to arrive creates the child group's shared state.
-        let child_inner = {
-            let mut children = lock(&self.inner.children);
-            Arc::clone(
-                children
-                    .entry((call, color))
-                    .or_insert_with(|| Arc::new(Inner::new(group_size, self.inner.timeout()))),
-            )
-        };
-        // Everyone must have fetched their child before meta is reused.
-        self.try_barrier()?;
-        Ok(Communicator {
-            rank: new_rank,
-            inner: child_inner,
-            split_calls: 0,
-            rebuild_epoch: 0,
-            engine: None,
-        })
+        let mut members: Vec<(i64, usize)> = all
+            .iter()
+            .enumerate()
+            .filter_map(|(r, batch)| {
+                let (c, k) = decode(batch);
+                (c == color).then_some((k, r))
+            })
+            .collect();
+        members.sort_unstable();
+        let new_rank =
+            members.iter().position(|&(_, r)| r == self.rank).expect("rank not in own group");
+        let child = self.backend.child(ChildKey::Split { call, color }, members.len());
+        Ok(Communicator::from_backend(new_rank, child))
     }
 
     /// Split the group into disjoint sub-groups, MPI `comm_split` style:
@@ -620,30 +504,17 @@ impl Communicator {
     /// fails with [`CommError::Timeout`] and can be retried with the next
     /// casualty removed as well.
     pub fn remove_rank(&mut self, removed: usize) -> Result<Communicator, CommError> {
-        assert!(removed < self.inner.world, "removed rank out of range");
+        assert!(removed < self.world(), "removed rank out of range");
         assert_ne!(self.rank, removed, "a removed rank cannot join the rebuilt group");
         let epoch = self.rebuild_epoch;
         self.rebuild_epoch += 1;
-        let new_world = self.inner.world - 1;
+        let new_world = self.world() - 1;
         let new_rank = self.rank - usize::from(self.rank > removed);
-        let rebuilt = {
-            let mut rebuilds = lock(&self.inner.rebuilds);
-            Arc::clone(
-                rebuilds
-                    .entry((epoch, removed))
-                    .or_insert_with(|| Arc::new(Inner::new(new_world, self.inner.timeout()))),
-            )
-        };
-        // Rendezvous on the *new* barrier — the old one is poisoned. This is
+        let rebuilt = self.backend.child(ChildKey::Rebuild { epoch, removed }, new_world);
+        // Rendezvous on the *new* group — the old one is poisoned. This is
         // also the liveness check that all survivors made it here.
-        rebuilt.barrier.wait(new_world, rebuilt.timeout())?;
-        Ok(Communicator {
-            rank: new_rank,
-            inner: rebuilt,
-            split_calls: 0,
-            rebuild_epoch: 0,
-            engine: None,
-        })
+        rebuilt.barrier(new_rank)?;
+        Ok(Communicator::from_backend(new_rank, rebuilt))
     }
 }
 
@@ -666,28 +537,40 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Like [`run_ranks`], but a panicking rank becomes an `Err` entry instead
-/// of tearing down the harness — the panic is caught, the world group (and
-/// every sub-group) is poisoned so surviving ranks abort their collectives
-/// within the configured timeout, and survivors' return values are kept.
-pub fn try_run_ranks<F, R>(world: usize, f: F) -> Vec<Result<R, RankPanic>>
+/// Like [`run_ranks_on`], but a panicking rank becomes an `Err` entry
+/// instead of tearing down the harness — the panic is caught, the world
+/// group (and every sub-group) is poisoned so surviving ranks abort their
+/// collectives within the configured timeout, and survivors' return values
+/// are kept.
+///
+/// With [`TransportKind::Socket`] the harness stands up an in-process
+/// [`Hub`] on an ephemeral loopback port and connects every rank thread
+/// through real sockets — same topology as separate worker processes, same
+/// wire, same failure paths (a panicking rank reports `Failed` before its
+/// connection drops).
+pub fn try_run_ranks_on<F, R>(kind: TransportKind, world: usize, f: F) -> Vec<Result<R, RankPanic>>
 where
     F: Fn(Communicator) -> R + Sync,
     R: Send,
 {
-    let comms = Communicator::create_world(world);
-    let world_inner = Arc::clone(&comms[0].inner);
-    std::thread::scope(|scope| {
+    let (hub, comms) = match kind {
+        TransportKind::Local => (None, Communicator::create_world(world)),
+        TransportKind::Socket => {
+            let (hub, comms) = transport::socket::create_socket_world(world);
+            (Some(hub), comms)
+        }
+    };
+    let results = std::thread::scope(|scope| {
         let handles: Vec<_> = comms
             .into_iter()
             .map(|comm| {
                 let f = &f;
-                let inner = Arc::clone(&world_inner);
+                let probe = Communicator::sibling(&comm);
                 scope.spawn(move || {
                     let rank = comm.rank();
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm))).map_err(
                         |payload| {
-                            inner.mark_failed(rank);
+                            probe.mark_failed();
                             RankPanic { rank, message: panic_message(payload.as_ref()) }
                         },
                     )
@@ -698,22 +581,33 @@ where
             .into_iter()
             .map(|h| h.join().expect("rank thread died outside catch_unwind"))
             .collect()
-    })
+    });
+    drop(hub);
+    results
 }
 
-/// Spawn `world` scoped threads, give thread `r` the rank-`r` communicator,
-/// and collect the per-rank results in rank order.
+/// [`try_run_ranks_on`] on the local (thread) transport.
+pub fn try_run_ranks<F, R>(world: usize, f: F) -> Vec<Result<R, RankPanic>>
+where
+    F: Fn(Communicator) -> R + Sync,
+    R: Send,
+{
+    try_run_ranks_on(TransportKind::Local, world, f)
+}
+
+/// Spawn `world` ranks on the chosen transport, give rank `r` the rank-`r`
+/// communicator, and collect the per-rank results in rank order.
 ///
 /// # Panics
 /// If any rank's closure panics, every rank's failure is reported with its
 /// rank id and payload (surviving ranks abort their in-flight collectives
 /// rather than hanging).
-pub fn run_ranks<F, R>(world: usize, f: F) -> Vec<R>
+pub fn run_ranks_on<F, R>(kind: TransportKind, world: usize, f: F) -> Vec<R>
 where
     F: Fn(Communicator) -> R + Sync,
     R: Send,
 {
-    let results = try_run_ranks(world, f);
+    let results = try_run_ranks_on(kind, world, f);
     let mut out = Vec::with_capacity(results.len());
     let mut failures = Vec::new();
     for r in results {
@@ -724,6 +618,15 @@ where
     }
     assert!(failures.is_empty(), "rank thread panicked — {}", failures.join("; "));
     out
+}
+
+/// [`run_ranks_on`] on the local (thread) transport.
+pub fn run_ranks<F, R>(world: usize, f: F) -> Vec<R>
+where
+    F: Fn(Communicator) -> R + Sync,
+    R: Send,
+{
+    run_ranks_on(TransportKind::Local, world, f)
 }
 
 /// Run `f` on a watchdog thread and panic if it exceeds `limit`: the guard
@@ -771,40 +674,51 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Instant;
+
+    const BOTH: [TransportKind; 2] = [TransportKind::Local, TransportKind::Socket];
 
     #[test]
     fn all_gather_concatenates_in_rank_order() {
-        let out = run_ranks(4, |c| c.all_gather(&[c.rank() as f32 * 10.0, 1.0]));
-        for r in &out {
-            assert_eq!(r, &[0.0, 1.0, 10.0, 1.0, 20.0, 1.0, 30.0, 1.0]);
+        for kind in BOTH {
+            let out = run_ranks_on(kind, 4, |c| c.all_gather(&[c.rank() as f32 * 10.0, 1.0]));
+            for r in &out {
+                assert_eq!(r, &[0.0, 1.0, 10.0, 1.0, 20.0, 1.0, 30.0, 1.0], "{kind}");
+            }
         }
     }
 
     #[test]
     fn all_gather_single_rank_is_identity() {
-        let out = run_ranks(1, |c| c.all_gather(&[1.0, 2.0]));
-        assert_eq!(out[0], vec![1.0, 2.0]);
+        for kind in BOTH {
+            let out = run_ranks_on(kind, 1, |c| c.all_gather(&[1.0, 2.0]));
+            assert_eq!(out[0], vec![1.0, 2.0], "{kind}");
+        }
     }
 
     #[test]
     fn all_reduce_sums_identically_on_every_rank() {
-        let out = run_ranks(8, |c| c.all_reduce(&[c.rank() as f32, 1.0]));
-        let expect = vec![28.0, 8.0];
-        for r in &out {
-            assert_eq!(r, &expect);
+        for kind in BOTH {
+            let out = run_ranks_on(kind, 8, |c| c.all_reduce(&[c.rank() as f32, 1.0]));
+            let expect = vec![28.0, 8.0];
+            for r in &out {
+                assert_eq!(r, &expect, "{kind}");
+            }
         }
     }
 
     #[test]
     fn reduce_scatter_gives_each_rank_its_shard() {
-        let out = run_ranks(4, |c| {
-            // Every rank contributes [r, r, r, r, r, r, r, r] (2 per shard).
-            let v = vec![c.rank() as f32; 8];
-            c.reduce_scatter(&v)
-        });
-        // Sum over ranks = 0+1+2+3 = 6 in every position.
-        for r in &out {
-            assert_eq!(r, &[6.0, 6.0]);
+        for kind in BOTH {
+            let out = run_ranks_on(kind, 4, |c| {
+                // Every rank contributes [r; 8] (2 per shard).
+                let v = vec![c.rank() as f32; 8];
+                c.reduce_scatter(&v)
+            });
+            // Sum over ranks = 0+1+2+3 = 6 in every position.
+            for r in &out {
+                assert_eq!(r, &[6.0, 6.0], "{kind}");
+            }
         }
     }
 
@@ -823,12 +737,14 @@ mod tests {
 
     #[test]
     fn broadcast_distributes_roots_buffer() {
-        let out = run_ranks(4, |c| {
-            let local = vec![c.rank() as f32; 3];
-            c.broadcast(2, &local)
-        });
-        for r in &out {
-            assert_eq!(r, &[2.0, 2.0, 2.0]);
+        for kind in BOTH {
+            let out = run_ranks_on(kind, 4, |c| {
+                let local = vec![c.rank() as f32; 3];
+                c.broadcast(2, &local)
+            });
+            for r in &out {
+                assert_eq!(r, &[2.0, 2.0, 2.0], "{kind}");
+            }
         }
     }
 
@@ -868,18 +784,20 @@ mod tests {
 
     #[test]
     fn split_partitions_ranks_by_color() {
-        // 8 ranks → partition groups of 2 consecutive ranks (Figure 2).
-        let out = run_ranks(8, |mut c| {
-            let color = (c.rank() / 2) as i64;
-            let sub = c.split(color, c.rank() as i64);
-            let gathered = sub.all_gather(&[c.rank() as f32]);
-            (sub.rank(), sub.world(), gathered)
-        });
-        for (r, (sub_rank, sub_world, gathered)) in out.iter().enumerate() {
-            assert_eq!(*sub_world, 2);
-            assert_eq!(*sub_rank, r % 2);
-            let base = (r / 2 * 2) as f32;
-            assert_eq!(gathered, &vec![base, base + 1.0]);
+        for kind in BOTH {
+            // 8 ranks → partition groups of 2 consecutive ranks (Figure 2).
+            let out = run_ranks_on(kind, 8, |mut c| {
+                let color = (c.rank() / 2) as i64;
+                let sub = c.split(color, c.rank() as i64);
+                let gathered = sub.all_gather(&[c.rank() as f32]);
+                (sub.rank(), sub.world(), gathered)
+            });
+            for (r, (sub_rank, sub_world, gathered)) in out.iter().enumerate() {
+                assert_eq!(*sub_world, 2, "{kind}");
+                assert_eq!(*sub_rank, r % 2, "{kind}");
+                let base = (r / 2 * 2) as f32;
+                assert_eq!(gathered, &vec![base, base + 1.0], "{kind}");
+            }
         }
     }
 
@@ -897,30 +815,48 @@ mod tests {
     }
 
     #[test]
-    fn consecutive_splits_are_independent() {
-        let out = run_ranks(4, |mut c| {
-            let pairs = c.split((c.rank() / 2) as i64, 0);
-            let stripes = c.split((c.rank() % 2) as i64, 0);
-            (pairs.all_gather(&[c.rank() as f32]), stripes.all_gather(&[c.rank() as f32]))
-        });
-        assert_eq!(out[0].0, vec![0.0, 1.0]);
-        assert_eq!(out[0].1, vec![0.0, 2.0]);
-        assert_eq!(out[3].0, vec![2.0, 3.0]);
-        assert_eq!(out[3].1, vec![1.0, 3.0]);
+    fn split_with_negative_colors_and_keys() {
+        // The metadata travels as i64 bit-halves; negative values must
+        // survive both transports exactly.
+        for kind in BOTH {
+            let out = run_ranks_on(kind, 4, |mut c| {
+                let color = if c.rank() < 2 { -7i64 } else { i64::MIN };
+                let sub = c.split(color, -(c.rank() as i64));
+                sub.all_gather(&[c.rank() as f32])
+            });
+            // Negative keys reverse the order within each pair.
+            assert_eq!(out[0], vec![1.0, 0.0], "{kind}");
+            assert_eq!(out[3], vec![3.0, 2.0], "{kind}");
+        }
     }
 
     #[test]
-    fn determinism_across_runs() {
-        let run = || {
-            run_ranks(8, |c| {
+    fn consecutive_splits_are_independent() {
+        for kind in BOTH {
+            let out = run_ranks_on(kind, 4, |mut c| {
+                let pairs = c.split((c.rank() / 2) as i64, 0);
+                let stripes = c.split((c.rank() % 2) as i64, 0);
+                (pairs.all_gather(&[c.rank() as f32]), stripes.all_gather(&[c.rank() as f32]))
+            });
+            assert_eq!(out[0].0, vec![0.0, 1.0], "{kind}");
+            assert_eq!(out[0].1, vec![0.0, 2.0], "{kind}");
+            assert_eq!(out[3].0, vec![2.0, 3.0], "{kind}");
+            assert_eq!(out[3].1, vec![1.0, 3.0], "{kind}");
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs_and_transports() {
+        let run = |kind| {
+            run_ranks_on(kind, 8, |c| {
                 let v: Vec<f32> = (0..64).map(|i| ((c.rank() * 997 + i) as f32).sin()).collect();
                 let r = c.all_reduce(&v);
                 let s = c.reduce_scatter(&r);
                 c.all_gather(&s)
             })
         };
-        let a = run();
-        let b = run();
+        let a = run(TransportKind::Local);
+        let b = run(TransportKind::Local);
         // Bitwise identical, every rank, every run.
         for (x, y) in a.iter().zip(b.iter()) {
             assert_eq!(x, y);
@@ -928,6 +864,10 @@ mod tests {
         for r in &a[1..] {
             assert_eq!(r, &a[0]);
         }
+        // And the socket transport computes the exact same bits: the folds
+        // run rank-side on both, the wire preserves bit patterns.
+        let s = run(TransportKind::Socket);
+        assert_eq!(a, s, "socket transport must be bit-identical to local");
     }
 
     #[test]
@@ -941,18 +881,34 @@ mod tests {
 
     #[test]
     fn repeated_collectives_reuse_slots_safely() {
-        let out = run_ranks(4, |c| {
-            let mut acc = 0.0;
-            for round in 0..50 {
-                let v = vec![(c.rank() + round) as f32];
-                acc += c.all_reduce(&v)[0];
+        for kind in BOTH {
+            let out = run_ranks_on(kind, 4, |c| {
+                let mut acc = 0.0;
+                for round in 0..50 {
+                    let v = vec![(c.rank() + round) as f32];
+                    acc += c.all_reduce(&v)[0];
+                }
+                acc
+            });
+            // Each round sums to 4*round + 6.
+            let expect: f32 = (0..50).map(|r| (4 * r + 6) as f32).sum();
+            for r in out {
+                assert_eq!(r, expect, "{kind}");
             }
-            acc
-        });
-        // Each round sums to 4*round + 6.
-        let expect: f32 = (0..50).map(|r| (4 * r + 6) as f32).sum();
-        for r in out {
-            assert_eq!(r, expect);
+        }
+    }
+
+    #[test]
+    fn transport_kind_is_observable_on_the_handle() {
+        for kind in BOTH {
+            let seen = run_ranks_on(kind, 2, |mut c| {
+                let sub = c.split(0, c.rank() as i64);
+                (c.transport(), sub.transport())
+            });
+            for (world_kind, sub_kind) in seen {
+                assert_eq!(world_kind, kind);
+                assert_eq!(sub_kind, kind, "children inherit the transport");
+            }
         }
     }
 
@@ -961,160 +917,178 @@ mod tests {
     #[test]
     fn killed_rank_aborts_every_surviving_collective() {
         // The acceptance-criteria scenario: rank 2 of 4 dies mid-collective;
-        // every survivor's all_gather returns Err(RankFailed) within the
-        // configured bound instead of hanging.
-        with_deadline(Duration::from_secs(20), || {
-            let started = Instant::now();
-            let results = try_run_ranks(4, |c| {
-                c.set_timeout(Duration::from_secs(5));
-                if c.rank() == 2 {
-                    panic!("injected fault: rank 2 dies mid-collective");
+        // every survivor's all_gather returns an abort within the configured
+        // bound instead of hanging — on both transports.
+        for kind in BOTH {
+            with_deadline(Duration::from_secs(30), move || {
+                let started = Instant::now();
+                let results = try_run_ranks_on(kind, 4, |c| {
+                    c.set_timeout(Duration::from_secs(5));
+                    if c.rank() == 2 {
+                        panic!("injected fault: rank 2 dies mid-collective");
+                    }
+                    c.try_all_gather(&[c.rank() as f32])
+                });
+                let elapsed = started.elapsed();
+                assert!(
+                    elapsed < Duration::from_secs(5),
+                    "survivors must abort well before the rendezvous timeout, took {elapsed:?}"
+                );
+                for (rank, r) in results.iter().enumerate() {
+                    match (rank, r) {
+                        (2, Err(p)) => {
+                            assert_eq!(p.rank, 2);
+                            assert!(p.message.contains("injected fault"), "{}", p.message);
+                        }
+                        (2, Ok(_)) => panic!("rank 2 must be reported as panicked"),
+                        (_, Ok(collective)) => {
+                            assert_eq!(
+                                collective,
+                                &Err(CommError::RankFailed { rank: 2 }),
+                                "survivor {rank} must observe the failure on {kind}"
+                            );
+                        }
+                        (_, Err(p)) => panic!("survivor {rank} must not panic: {}", p.message),
+                    }
                 }
-                c.try_all_gather(&[c.rank() as f32])
             });
-            let elapsed = started.elapsed();
-            assert!(
-                elapsed < Duration::from_secs(5),
-                "survivors must abort well before the rendezvous timeout, took {elapsed:?}"
-            );
-            for (rank, r) in results.iter().enumerate() {
-                match (rank, r) {
-                    (2, Err(p)) => {
-                        assert_eq!(p.rank, 2);
-                        assert!(p.message.contains("injected fault"), "{}", p.message);
-                    }
-                    (2, Ok(_)) => panic!("rank 2 must be reported as panicked"),
-                    (_, Ok(collective)) => {
-                        assert_eq!(
-                            collective,
-                            &Err(CommError::RankFailed { rank: 2 }),
-                            "survivor {rank} must observe the failure"
-                        );
-                    }
-                    (_, Err(p)) => panic!("survivor {rank} must not panic: {}", p.message),
-                }
-            }
-        });
+        }
     }
 
     #[test]
     fn absent_rank_is_detected_by_timeout() {
         // A rank that silently walks away (no panic) is caught by the
-        // rendezvous deadline instead of hanging the group.
-        with_deadline(Duration::from_secs(20), || {
-            let results = try_run_ranks(3, |c| {
-                c.set_timeout(Duration::from_millis(200));
-                if c.rank() == 1 {
-                    return Ok(Vec::new()); // never joins the collective
+        // rendezvous deadline instead of hanging the group — both
+        // transports.
+        for kind in BOTH {
+            with_deadline(Duration::from_secs(30), move || {
+                let results = try_run_ranks_on(kind, 3, |c| {
+                    c.set_timeout(Duration::from_millis(200));
+                    if c.rank() == 1 {
+                        return Ok(Vec::new()); // never joins the collective
+                    }
+                    c.try_all_reduce(&[1.0])
+                });
+                for (rank, r) in results.into_iter().enumerate() {
+                    let collective = r.expect("no thread panics in this scenario");
+                    if rank == 1 {
+                        assert_eq!(collective, Ok(Vec::new()));
+                    } else {
+                        assert!(
+                            matches!(collective, Err(CommError::Timeout { .. })),
+                            "rank {rank} must time out on {kind}, got {collective:?}"
+                        );
+                    }
                 }
-                c.try_all_reduce(&[1.0])
             });
-            for (rank, r) in results.into_iter().enumerate() {
-                let collective = r.expect("no thread panics in this scenario");
-                if rank == 1 {
-                    assert_eq!(collective, Ok(Vec::new()));
-                } else {
-                    assert!(
-                        matches!(collective, Err(CommError::Timeout { .. })),
-                        "rank {rank} must time out, got {collective:?}"
-                    );
-                }
-            }
-        });
+        }
     }
 
     #[test]
     fn poisoned_group_fails_fast_afterwards() {
-        with_deadline(Duration::from_secs(20), || {
-            let results = try_run_ranks(2, |c| {
-                c.set_timeout(Duration::from_secs(5));
-                if c.rank() == 0 {
-                    panic!("boom");
-                }
-                let first = c.try_all_gather(&[1.0]);
-                // Once poisoned, later collectives fail immediately (no new
-                // timeout wait) with the same error.
-                let started = Instant::now();
-                let second = c.try_all_gather(&[2.0]);
-                (first, second, started.elapsed())
+        for kind in BOTH {
+            with_deadline(Duration::from_secs(30), move || {
+                let results = try_run_ranks_on(kind, 2, |c| {
+                    c.set_timeout(Duration::from_secs(5));
+                    if c.rank() == 0 {
+                        panic!("boom");
+                    }
+                    let first = c.try_all_gather(&[1.0]);
+                    // Once poisoned, later collectives fail immediately (no
+                    // new timeout wait) with the same error.
+                    let started = Instant::now();
+                    let second = c.try_all_gather(&[2.0]);
+                    (first, second, started.elapsed())
+                });
+                let (first, second, elapsed) =
+                    results[1].as_ref().expect("rank 1 must not panic").clone();
+                assert_eq!(first, Err(CommError::RankFailed { rank: 0 }), "{kind}");
+                assert_eq!(second, Err(CommError::RankFailed { rank: 0 }), "{kind}");
+                assert!(elapsed < Duration::from_secs(1), "fail-fast, not a fresh wait");
             });
-            let (first, second, elapsed) =
-                results[1].as_ref().expect("rank 1 must not panic").clone();
-            assert_eq!(first, Err(CommError::RankFailed { rank: 0 }));
-            assert_eq!(second, Err(CommError::RankFailed { rank: 0 }));
-            assert!(elapsed < Duration::from_secs(1), "fail-fast, not a fresh wait");
-        });
+        }
     }
 
     #[test]
     fn failure_poisons_sub_communicators() {
         // A failure on the world group must unblock ranks waiting inside a
-        // *sub*-communicator created by split.
-        with_deadline(Duration::from_secs(20), || {
-            let results = try_run_ranks(4, |mut c| {
-                c.set_timeout(Duration::from_secs(5));
-                let pair = c.split((c.rank() / 2) as i64, c.rank() as i64);
-                if c.rank() == 3 {
-                    panic!("dies after split");
+        // *sub*-communicator created by split — both transports.
+        for kind in BOTH {
+            with_deadline(Duration::from_secs(30), move || {
+                let results = try_run_ranks_on(kind, 4, |mut c| {
+                    c.set_timeout(Duration::from_secs(5));
+                    let pair = c.split((c.rank() / 2) as i64, c.rank() as i64);
+                    if c.rank() == 3 {
+                        panic!("dies after split");
+                    }
+                    // Rank 2 is in the same pair as the casualty and would
+                    // hang forever without poison propagation; ranks 0/1
+                    // complete.
+                    pair.try_all_gather(&[c.rank() as f32])
+                });
+                match &results[2] {
+                    Ok(Err(CommError::RankFailed { rank: 3 })) => {}
+                    other => {
+                        panic!("rank 2 must observe rank 3's failure on {kind}, got {other:?}")
+                    }
                 }
-                // Ranks 2 is in the same pair as the casualty and would hang
-                // forever without poison propagation; ranks 0/1 complete.
-                pair.try_all_gather(&[c.rank() as f32])
             });
-            match &results[2] {
-                Ok(Err(CommError::RankFailed { rank: 3 })) => {}
-                other => panic!("rank 2 must observe rank 3's failure, got {other:?}"),
-            }
-        });
+        }
     }
 
     #[test]
     fn remove_rank_rebuilds_a_working_group() {
-        with_deadline(Duration::from_secs(20), || {
-            let results = try_run_ranks(4, |mut c| {
-                c.set_timeout(Duration::from_secs(5));
-                if c.rank() == 1 {
-                    panic!("casualty");
+        for kind in BOTH {
+            with_deadline(Duration::from_secs(30), move || {
+                let results = try_run_ranks_on(kind, 4, |mut c| {
+                    c.set_timeout(Duration::from_secs(5));
+                    if c.rank() == 1 {
+                        panic!("casualty");
+                    }
+                    // Survivors: observe the failure, then shrink and
+                    // continue.
+                    let err = c.try_all_reduce(&[1.0]).expect_err("must abort");
+                    let failed = match err {
+                        CommError::RankFailed { rank } => rank,
+                        CommError::PeerDisconnected { rank } => rank,
+                        other => panic!("expected a rank failure, got {other}"),
+                    };
+                    let shrunk = c.remove_rank(failed).expect("rebuild must succeed");
+                    let gathered =
+                        shrunk.try_all_gather(&[c.rank() as f32]).expect("shrunk group works");
+                    (shrunk.rank(), shrunk.world(), gathered)
+                });
+                for (rank, r) in results.into_iter().enumerate() {
+                    if rank == 1 {
+                        assert!(r.is_err());
+                        continue;
+                    }
+                    let (new_rank, new_world, gathered) = r.expect("survivors must not panic");
+                    assert_eq!(new_world, 3, "{kind}");
+                    assert_eq!(new_rank, rank - usize::from(rank > 1), "{kind}");
+                    // Old-world ranks 0, 2, 3 in order.
+                    assert_eq!(gathered, vec![0.0, 2.0, 3.0], "{kind}");
                 }
-                // Survivors: observe the failure, then shrink and continue.
-                let err = c.try_all_reduce(&[1.0]).expect_err("must abort");
-                let failed = match err {
-                    CommError::RankFailed { rank } => rank,
-                    other => panic!("expected RankFailed, got {other}"),
-                };
-                let shrunk = c.remove_rank(failed).expect("rebuild must succeed");
-                let gathered =
-                    shrunk.try_all_gather(&[c.rank() as f32]).expect("shrunk group works");
-                (shrunk.rank(), shrunk.world(), gathered)
             });
-            for (rank, r) in results.into_iter().enumerate() {
-                if rank == 1 {
-                    assert!(r.is_err());
-                    continue;
-                }
-                let (new_rank, new_world, gathered) = r.expect("survivors must not panic");
-                assert_eq!(new_world, 3);
-                assert_eq!(new_rank, rank - usize::from(rank > 1));
-                // Old-world ranks 0, 2, 3 in order.
-                assert_eq!(gathered, vec![0.0, 2.0, 3.0]);
-            }
-        });
+        }
     }
 
     #[test]
     fn remove_rank_world_of_two_leaves_singleton() {
-        with_deadline(Duration::from_secs(20), || {
-            let results = try_run_ranks(2, |mut c| {
-                c.set_timeout(Duration::from_millis(500));
-                if c.rank() == 0 {
-                    panic!("casualty");
-                }
-                let _ = c.try_all_reduce(&[1.0]).expect_err("must abort");
-                let solo = c.remove_rank(0).expect("rebuild to singleton");
-                solo.try_all_gather(&[7.0]).expect("singleton collective is local")
+        for kind in BOTH {
+            with_deadline(Duration::from_secs(30), move || {
+                let results = try_run_ranks_on(kind, 2, |mut c| {
+                    c.set_timeout(Duration::from_millis(500));
+                    if c.rank() == 0 {
+                        panic!("casualty");
+                    }
+                    let _ = c.try_all_reduce(&[1.0]).expect_err("must abort");
+                    let solo = c.remove_rank(0).expect("rebuild to singleton");
+                    solo.try_all_gather(&[7.0]).expect("singleton collective is local")
+                });
+                assert_eq!(results[1].as_ref().expect("survivor ok"), &vec![7.0], "{kind}");
             });
-            assert_eq!(results[1].as_ref().expect("survivor ok"), &vec![7.0]);
-        });
+        }
     }
 
     #[test]
@@ -1152,5 +1126,129 @@ mod tests {
         })
         .expect_err("deadline must trip");
         assert!(panic_message(err.as_ref()).contains("deadline"), "wrong panic");
+    }
+
+    // ---- socket-transport specifics ---------------------------------------
+
+    #[test]
+    fn socket_transport_works_over_unix_domain_sockets() {
+        with_deadline(Duration::from_secs(30), || {
+            let path = std::env::temp_dir().join(format!("mics-hub-{}.sock", std::process::id()));
+            let addr = format!("unix:{}", path.display());
+            let hub = Hub::spawn(&addr).expect("bind unix hub");
+            let world = 3;
+            let out = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..world)
+                    .map(|rank| {
+                        let addr = hub.addr().to_string();
+                        scope.spawn(move || {
+                            let comm = connect_world(SocketWorldConfig::new(addr, rank, world))
+                                .expect("connect over unix socket");
+                            comm.all_gather(&[rank as f32])
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+            });
+            for r in &out {
+                assert_eq!(r, &[0.0, 1.0, 2.0]);
+            }
+        });
+    }
+
+    #[test]
+    fn connect_retries_until_the_hub_appears() {
+        // The worker starts before its hub: the retry policy must carry it
+        // over the gap instead of failing on the first refused connection.
+        with_deadline(Duration::from_secs(30), || {
+            // Reserve an address, then free it so the first attempts fail.
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap().to_string();
+            drop(listener);
+            let addr2 = addr.clone();
+            let worker = std::thread::spawn(move || {
+                let mut cfg = SocketWorldConfig::new(addr2, 0, 1);
+                cfg.retry = RetryPolicy {
+                    max_attempts: 100,
+                    initial_backoff: Duration::from_millis(5),
+                    multiplier: 1.2,
+                    max_backoff: Duration::from_millis(50),
+                };
+                let comm = connect_world(cfg).expect("retry must bridge the startup gap");
+                comm.all_gather(&[42.0])
+            });
+            std::thread::sleep(Duration::from_millis(300));
+            let _hub = Hub::spawn(&addr).expect("bind the reserved address");
+            assert_eq!(worker.join().unwrap(), vec![42.0]);
+        });
+    }
+
+    #[test]
+    fn connect_gives_up_after_bounded_retries() {
+        // Nothing ever listens here: the policy must give up with Io, not
+        // spin forever.
+        let mut cfg = SocketWorldConfig::new("127.0.0.1:9", 0, 2); // discard port
+        cfg.retry = RetryPolicy {
+            max_attempts: 3,
+            initial_backoff: Duration::from_millis(1),
+            multiplier: 1.0,
+            max_backoff: Duration::from_millis(1),
+        };
+        match connect_world(cfg) {
+            Err(CommError::Io { .. }) => {}
+            other => panic!("expected Io after bounded retries, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn silent_peer_is_expired_by_hub_heartbeat() {
+        // A peer that connects and then wedges (alive, but never pings) is
+        // expired by the hub's heartbeat grace; the healthy rank's
+        // collective aborts with PeerDisconnected well before its own
+        // (much longer) rendezvous deadline.
+        with_deadline(Duration::from_secs(30), || {
+            let hub =
+                Hub::spawn_with_grace("127.0.0.1:0", Duration::from_millis(400)).expect("bind hub");
+            let addr = hub.addr().to_string();
+            // The wedged peer: says hello, then goes silent.
+            let wedged = transport::socket::Stream::connect(&addr).expect("connect raw");
+            {
+                let mut w = std::io::BufWriter::new(wedged.try_clone().unwrap());
+                transport::socket::write_frame(
+                    &mut w,
+                    &transport::socket::Frame::Hello { rank: 1, world: 2 },
+                )
+                .expect("hello");
+            }
+            let comm = connect_world(SocketWorldConfig::new(addr, 0, 2)).expect("connect rank 0");
+            comm.set_timeout(Duration::from_secs(20));
+            let started = Instant::now();
+            let got = comm.try_all_gather(&[0.0]);
+            let elapsed = started.elapsed();
+            assert_eq!(got, Err(CommError::PeerDisconnected { rank: 1 }));
+            assert!(
+                elapsed < Duration::from_secs(5),
+                "heartbeat must beat the 20s logical deadline, took {elapsed:?}"
+            );
+            drop(wedged);
+        });
+    }
+
+    #[test]
+    fn clean_goodbye_does_not_poison_survivors() {
+        // A rank that disconnects *cleanly* (dropping the handle sends a
+        // goodbye) must not trip the teardown detector on its peers.
+        with_deadline(Duration::from_secs(30), || {
+            let (hub, comms) = transport::socket::create_socket_world(2);
+            let mut it = comms.into_iter();
+            let c0 = it.next().unwrap();
+            let c1 = it.next().unwrap();
+            let t = std::thread::spawn(move || c1.all_gather(&[1.0]));
+            assert_eq!(c0.all_gather(&[0.0]), vec![0.0, 1.0]);
+            t.join().unwrap(); // c1 dropped at thread end → clean goodbye
+            std::thread::sleep(Duration::from_millis(300));
+            assert!(c0.failure().is_none(), "clean goodbye must not poison");
+            drop(hub);
+        });
     }
 }

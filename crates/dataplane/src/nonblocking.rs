@@ -40,7 +40,7 @@ use crate::quantized::{
 use crate::{CommError, Communicator};
 use mics_collectives::HierarchicalLayout;
 use mics_compress::QuantScheme;
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -114,17 +114,33 @@ impl<T> CollectiveHandle<T> {
     /// Like [`CollectiveHandle::wait`], but also reports how long the
     /// progress thread was busy executing this operation (rendezvous wait
     /// included) — the comm-lane busy time the overlap metrics aggregate.
+    ///
+    /// The wait itself is bounded by the group's
+    /// [`Communicator::set_timeout`] — scaled by the queue depth, since up
+    /// to [`ASYNC_QUEUE_DEPTH`] earlier operations may legitimately run
+    /// (each with its own rendezvous deadline) before this one. Without
+    /// this bound, a timeout configured *after* submission would never
+    /// reach an already-blocked wait, and a wedged progress thread would
+    /// hang the rank thread forever.
     pub fn wait_timed(self) -> (Result<T, CommError>, Duration) {
-        match self.rx.recv() {
+        let budget = self.probe.timeout().saturating_mul(ASYNC_QUEUE_DEPTH as u32 + 2);
+        match self.rx.recv_timeout(budget) {
             Ok(done) => done,
             // The worker died without delivering: a submitted operation
             // panicked (shape-mismatch assertions live in the collectives).
             // If the group is poisoned, deliver that; otherwise propagate
             // the programming error.
-            Err(_) => match self.probe.failure() {
+            Err(RecvTimeoutError::Disconnected) => match self.probe.failure() {
                 Some(e) => (Err(e), Duration::ZERO),
                 None => panic!("comm-progress thread died without a group failure"),
             },
+            // The progress thread outlived every deadline that could have
+            // saved it (stuck outside the rendezvous machinery): give up
+            // with the group failure if one exists, else a timeout.
+            Err(RecvTimeoutError::Timeout) => {
+                let err = self.probe.failure().unwrap_or(CommError::Timeout { waited: budget });
+                (Err(err), Duration::ZERO)
+            }
         }
     }
 }
@@ -375,6 +391,32 @@ mod tests {
                 Ok(Err(CommError::Timeout { .. })) => {}
                 other => panic!("rank 0 must time out at wait(), got {other:?}"),
             }
+        });
+    }
+
+    #[test]
+    fn set_timeout_bounds_wait_even_for_wedged_ops() {
+        // Regression: the timeout is configured *after* the operation is
+        // submitted, and the operation wedges outside the rendezvous
+        // machinery (so no rendezvous deadline will save it). wait() must
+        // still return within the scaled budget instead of blocking until
+        // the wedge clears.
+        with_deadline(Duration::from_secs(20), || {
+            run_ranks(2, |mut c| {
+                let h: CollectiveHandle<Vec<f32>> = c.start_collective(|_| {
+                    std::thread::sleep(Duration::from_secs(8));
+                    Ok(Vec::new())
+                });
+                c.set_timeout(Duration::from_millis(100));
+                let started = Instant::now();
+                let r = h.wait();
+                let elapsed = started.elapsed();
+                assert!(matches!(r, Err(CommError::Timeout { .. })), "got {r:?}");
+                assert!(
+                    elapsed < Duration::from_secs(5),
+                    "wait must honor the configured timeout, took {elapsed:?}"
+                );
+            });
         });
     }
 

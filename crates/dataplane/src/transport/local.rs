@@ -1,0 +1,168 @@
+//! The shared-memory transport: ranks are threads of one process, a group's
+//! rendezvous is a sense-reversing barrier over in-process deposit slots.
+//!
+//! This is the original data plane, refactored onto the transport
+//! contract's single primitive — the sequenced [`Inner::exchange`]. All
+//! collective semantics (concatenation order, rank-order folds, shape
+//! checks) live above the transport in [`crate::Communicator`], so this
+//! module is only the rendezvous: deposit, meet, copy out, meet again.
+
+use super::{ChildKey, Parts};
+use crate::{lock, CommError};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Sense-reversing rendezvous barrier with failure detection.
+///
+/// `generation` is the failure-detection epoch: it advances only when all
+/// `world` ranks arrive. A failure (explicit or timeout) permanently breaks
+/// the epoch: `broken` is set, every current waiter is woken, and every
+/// later wait fails fast.
+#[derive(Debug)]
+pub(crate) struct Barrier {
+    lock: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+    broken: Option<CommError>,
+}
+
+impl Barrier {
+    pub(crate) fn new() -> Self {
+        Barrier {
+            lock: Mutex::new(BarrierState { arrived: 0, generation: 0, broken: None }),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn wait(&self, world: usize, timeout: Duration) -> Result<(), CommError> {
+        let mut st = lock(&self.lock);
+        if let Some(e) = st.broken {
+            return Err(e);
+        }
+        st.arrived += 1;
+        if st.arrived == world {
+            st.arrived = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let gen = st.generation;
+        let deadline = Instant::now() + timeout;
+        while st.generation == gen {
+            if let Some(e) = st.broken {
+                return Err(e);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                let e = CommError::Timeout { waited: timeout };
+                st.broken = Some(e);
+                self.cv.notify_all();
+                return Err(e);
+            }
+            let (g, _) = self
+                .cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st = g;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn poison(&self, error: CommError) {
+        let mut st = lock(&self.lock);
+        if st.broken.is_none() {
+            st.broken = Some(error);
+        }
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn broken(&self) -> Option<CommError> {
+        lock(&self.lock).broken
+    }
+}
+
+/// Shared state of one communicator group on the local transport.
+#[derive(Debug)]
+pub(crate) struct Inner {
+    world: usize,
+    barrier: Barrier,
+    /// Deposit slots, one batch of buffers per rank (single-buffer
+    /// collectives use one-part batches).
+    slots: Mutex<Vec<Parts>>,
+    /// Sub-groups created by `split` / `remove_rank`; the map is the
+    /// cross-rank rendezvous on the child's shared state.
+    children: Mutex<HashMap<ChildKey, Arc<Inner>>>,
+    /// Rendezvous deadline in nanoseconds, shared by the whole group.
+    timeout_nanos: AtomicU64,
+}
+
+impl Inner {
+    pub(crate) fn new(world: usize, timeout: Duration) -> Self {
+        Inner {
+            world,
+            barrier: Barrier::new(),
+            slots: Mutex::new(vec![Vec::new(); world]),
+            children: Mutex::new(HashMap::new()),
+            timeout_nanos: AtomicU64::new(timeout.as_nanos() as u64),
+        }
+    }
+
+    pub(crate) fn world(&self) -> usize {
+        self.world
+    }
+
+    pub(crate) fn timeout(&self) -> Duration {
+        Duration::from_nanos(self.timeout_nanos.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn set_timeout(&self, timeout: Duration) {
+        self.timeout_nanos.store(timeout.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn failure(&self) -> Option<CommError> {
+        self.barrier.broken()
+    }
+
+    /// Poison this group and every descendant (splits and rebuilds) so no
+    /// surviving rank can block on a rendezvous the failed rank will never
+    /// join. `rank` is this group's id for the failed rank; descendants
+    /// report the same id (their members may not even contain it — the
+    /// poison is conservative by design).
+    pub(crate) fn mark_failed(&self, rank: usize) {
+        self.barrier.poison(CommError::RankFailed { rank });
+        for child in lock(&self.children).values() {
+            child.mark_failed(rank);
+        }
+    }
+
+    pub(crate) fn barrier(&self) -> Result<(), CommError> {
+        self.barrier.wait(self.world, self.timeout())
+    }
+
+    /// The sequenced exchange: deposit this rank's batch, rendezvous, copy
+    /// out every rank's batch, rendezvous again (the trailing barrier keeps
+    /// a racing next call from overwriting slots a slow peer still reads).
+    pub(crate) fn exchange(&self, rank: usize, parts: &[&[f32]]) -> Result<Vec<Parts>, CommError> {
+        lock(&self.slots)[rank] = parts.iter().map(|p| p.to_vec()).collect();
+        self.barrier()?;
+        let all = lock(&self.slots).clone();
+        self.barrier()?;
+        Ok(all)
+    }
+
+    /// First caller creates the child group's shared state; later callers
+    /// (the other member ranks) fetch the same `Arc`.
+    pub(crate) fn child(self: &Arc<Self>, key: ChildKey, world: usize) -> Arc<Inner> {
+        let mut children = lock(&self.children);
+        Arc::clone(
+            children.entry(key).or_insert_with(|| Arc::new(Inner::new(world, self.timeout()))),
+        )
+    }
+}

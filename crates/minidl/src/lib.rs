@@ -38,12 +38,12 @@ pub mod transformer;
 pub use adam::Adam;
 pub use checkpoint::{load as load_checkpoint, save as save_checkpoint, TrainState};
 pub use executor::{overlappable_wire_ops, ExecLane, LaneSpan, LaneStats};
-pub use lm::{train_lm, LmSetup};
+pub use lm::{train_lm, train_lm_on, LmSetup};
 pub use mics_compress::{CompressionConfig, CompressionScope, QuantScheme};
 pub use nn::Mlp;
 pub use scaler::{LossScale, ScalerSnapshot};
 pub use train::{
-    resume_from, step_program, step_program_with_flops, train, train_resumable, CheckpointSink,
-    ScheduleHyper, SyncSchedule, TrainCheckpoint, TrainOutcome, TrainSetup,
+    resume_from, step_program, step_program_with_flops, train, train_generic_on, train_resumable,
+    CheckpointSink, ScheduleHyper, SyncSchedule, TrainCheckpoint, TrainOutcome, TrainSetup,
 };
 pub use transformer::TinyTransformer;

@@ -10,8 +10,9 @@
 //! schedules shows up as diverging loss curves.
 
 use crate::scaler::LossScale;
-use crate::train::{train_generic, ScheduleHyper, SyncSchedule, TrainOutcome};
+use crate::train::{train_generic_on, ScheduleHyper, SyncSchedule, TrainOutcome};
 use crate::transformer::TinyTransformer;
+use mics_dataplane::TransportKind;
 
 /// Configuration of a language-model fidelity run.
 #[derive(Debug, Clone)]
@@ -81,6 +82,19 @@ pub fn token_batch(
 /// rank-identical outcome (per-iteration mean cross-entropy and final
 /// parameters).
 pub fn train_lm(setup: &LmSetup, schedule: SyncSchedule) -> TrainOutcome {
+    train_lm_on(TransportKind::Local, setup, schedule)
+}
+
+/// [`train_lm`] on an explicit data-plane transport: `Local` is the thread
+/// harness, `Socket` routes every collective of the training step through a
+/// framed rendezvous hub. Loss curves and final parameters are bit-identical
+/// between the two — the §5.4 fidelity claim extended down the stack to the
+/// wire.
+pub fn train_lm_on(
+    transport: TransportKind,
+    setup: &LmSetup,
+    schedule: SyncSchedule,
+) -> TrainOutcome {
     let model = setup.model.clone();
     let init = model.init_params(setup.seed);
     let seed = setup.seed ^ 0x00c0_ffee_1234_5678;
@@ -97,7 +111,7 @@ pub fn train_lm(setup: &LmSetup, schedule: SyncSchedule) -> TrainOutcome {
         comm_quant: setup.comm_quant,
         prefetch_depth: setup.prefetch_depth,
     };
-    train_generic(&hp, schedule, init, move |params, iter, micro, rank| {
+    train_generic_on(transport, &hp, schedule, init, move |params, iter, micro, rank| {
         let toks = token_batch(&model, seed, iter, micro, rank, micro_batch);
         model.loss_and_grad(params, &toks)
     })
@@ -179,6 +193,19 @@ mod tests {
         assert_eq!(out.skipped_steps, 0);
         assert!(out.final_loss_scale > 4096.0, "scale should have grown");
         assert!(*out.losses.last().unwrap() < out.losses[0] * 0.7);
+    }
+
+    #[test]
+    fn lm_socket_transport_is_bit_identical_to_local() {
+        // The whole training step — sharded gathers, reductions, boundary
+        // collectives, optimizer — over real sockets must reproduce the
+        // shared-memory run bit for bit.
+        let mut cfg = setup();
+        cfg.iterations = 8;
+        let local = train_lm_on(TransportKind::Local, &cfg, SyncSchedule::TwoHop);
+        let socket = train_lm_on(TransportKind::Socket, &cfg, SyncSchedule::TwoHop);
+        assert_eq!(local.losses, socket.losses);
+        assert_eq!(local.final_params, socket.final_params);
     }
 
     #[test]

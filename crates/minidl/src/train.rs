@@ -25,7 +25,7 @@ use mics_dataplane::quantized::{
     quantized_all_reduce, quantized_reduce_scatter, try_quantized_all_gather,
     try_quantized_all_reduce, try_quantized_reduce_scatter,
 };
-use mics_dataplane::{quantized_all_gather, run_ranks, CollectiveHandle};
+use mics_dataplane::{quantized_all_gather, run_ranks_on, CollectiveHandle, TransportKind};
 use mics_simnet::SimTime;
 use mics_tensor::dtype::quantize_f16;
 use mics_tensor::{GatherBuffers, ShardSpec};
@@ -353,7 +353,24 @@ pub fn train_generic<F>(
 where
     F: Fn(&[f32], usize, usize, usize) -> (f32, Vec<f32>) + Sync,
 {
-    run_engine(hp, schedule, Start::Fresh(init), grad_fn, None)
+    train_generic_on(TransportKind::Local, hp, schedule, init, grad_fn)
+}
+
+/// [`train_generic`] with an explicit data-plane transport: `Local` runs the
+/// ranks as threads over shared memory; `Socket` stands up an in-process
+/// rendezvous hub and runs every collective over real framed connections —
+/// same schedules, same arithmetic, bit-identical results.
+pub fn train_generic_on<F>(
+    transport: TransportKind,
+    hp: &ScheduleHyper,
+    schedule: SyncSchedule,
+    init: Vec<f32>,
+    grad_fn: F,
+) -> TrainOutcome
+where
+    F: Fn(&[f32], usize, usize, usize) -> (f32, Vec<f32>) + Sync,
+{
+    run_engine(transport, hp, schedule, Start::Fresh(init), grad_fn, None)
 }
 
 /// Like [`train_generic`], but deposits a [`TrainCheckpoint`] into `sink` as
@@ -371,7 +388,14 @@ pub fn train_resumable<F>(
 where
     F: Fn(&[f32], usize, usize, usize) -> (f32, Vec<f32>) + Sync,
 {
-    run_engine(hp, schedule, Start::Fresh(init), grad_fn, Some((checkpoint_at, sink)))
+    run_engine(
+        TransportKind::Local,
+        hp,
+        schedule,
+        Start::Fresh(init),
+        grad_fn,
+        Some((checkpoint_at, sink)),
+    )
 }
 
 /// Resume a run from a [`TrainCheckpoint`]: iterations
@@ -388,7 +412,7 @@ pub fn resume_from<F>(
 where
     F: Fn(&[f32], usize, usize, usize) -> (f32, Vec<f32>) + Sync,
 {
-    run_engine(hp, schedule, Start::Resume(ckpt), grad_fn, None)
+    run_engine(TransportKind::Local, hp, schedule, Start::Resume(ckpt), grad_fn, None)
 }
 
 /// Where a run begins: from scratch, or from a snapshot.
@@ -453,6 +477,7 @@ fn drain_reduces(
 }
 
 fn run_engine<F>(
+    transport: TransportKind,
     hp: &ScheduleHyper,
     schedule: SyncSchedule,
     start: Start<'_>,
@@ -532,7 +557,7 @@ where
         .flatten();
     let has_gathers = prog.ops.iter().any(|op| matches!(op.kind, OpKind::GatherShards { .. }));
 
-    let mut results = run_ranks(world, |mut comm| {
+    let mut results = run_ranks_on(transport, world, |mut comm| {
         let rank = comm.rank();
         // Partition group: p consecutive ranks. Replication group: ranks
         // with equal local group rank (Figure 2).

@@ -43,4 +43,12 @@ cargo run --release -q -p mics-bench --bin ext_compress >/dev/null
 echo "==> ext_overlap (smoke)"
 cargo run --release -q -p mics-bench --bin ext_overlap >/dev/null
 
+# The multi-process recovery bench spawns real rank processes over the
+# socket transport and SIGKILLs one mid-all-gather; survivors must detect
+# the death within the deadline and rebuild. A wedged rendezvous must
+# fail the gate, not hang it, hence the hard wall-clock cap.
+echo "==> mics-rankd bench (socket-transport smoke, capped wall clock)"
+cargo build --release -q -p mics-cli --bin mics-rankd
+timeout 150 target/release/mics-rankd bench >/dev/null
+
 echo "verify: all green"

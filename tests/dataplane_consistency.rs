@@ -1,16 +1,28 @@
 //! Cross-crate consistency: the chunk-layout math (`mics-collectives`), the
 //! real data plane (`mics-dataplane`), and the sharding arithmetic
-//! (`mics-tensor`) must agree with each other.
+//! (`mics-tensor`) must agree with each other — on **every transport**.
+//!
+//! Each scenario runs on both the shared-memory (thread) transport and the
+//! socket transport (one framed hub connection per rank). The collectives'
+//! folds are rank-side and the wire preserves `f32` bit patterns, so the two
+//! transports must be observationally identical; these tests are the
+//! enforcement of that claim.
 
 use mics::collectives::layout::flat_order;
 use mics::collectives::HierarchicalLayout;
 use mics::dataplane::hierarchical::split_hierarchical;
-use mics::dataplane::{hierarchical_all_gather, naive_two_stage_all_gather, run_ranks};
+use mics::dataplane::{
+    hierarchical_all_gather, naive_two_stage_all_gather, run_ranks_on, try_run_ranks_on,
+    with_deadline, CommError, TransportKind,
+};
 use mics::tensor::ShardSpec;
 use proptest::prelude::*;
+use std::time::{Duration, Instant};
+
+const BOTH: [TransportKind; 2] = [TransportKind::Local, TransportKind::Socket];
 
 /// The symbolic layout simulation and the real data plane must produce the
-/// same chunk order for every geometry.
+/// same chunk order for every geometry, on either transport.
 #[test]
 fn symbolic_simulation_matches_real_dataplane() {
     for (nodes, k) in [(2usize, 2usize), (2, 4), (3, 2), (4, 4), (2, 8)] {
@@ -21,19 +33,21 @@ fn symbolic_simulation_matches_real_dataplane() {
             assert_eq!(layout.simulate(rank), flat_order(p), "symbolic p={p} k={k}");
         }
         // Real buffers: rank r contributes chunk [r*2, r*2+1].
-        let out = run_ranks(p, |mut comm| {
-            let rank = comm.rank();
-            let (channel, node) = split_hierarchical(&mut comm, &layout);
-            hierarchical_all_gather(
-                &channel,
-                &node,
-                &layout,
-                &[rank as f32 * 2.0, rank as f32 * 2.0 + 1.0],
-            )
-        });
-        let expect: Vec<f32> = (0..2 * p).map(|x| x as f32).collect();
-        for (r, o) in out.iter().enumerate() {
-            assert_eq!(o, &expect, "dataplane p={p} k={k} rank={r}");
+        for kind in BOTH {
+            let out = run_ranks_on(kind, p, |mut comm| {
+                let rank = comm.rank();
+                let (channel, node) = split_hierarchical(&mut comm, &layout);
+                hierarchical_all_gather(
+                    &channel,
+                    &node,
+                    &layout,
+                    &[rank as f32 * 2.0, rank as f32 * 2.0 + 1.0],
+                )
+            });
+            let expect: Vec<f32> = (0..2 * p).map(|x| x as f32).collect();
+            for (r, o) in out.iter().enumerate() {
+                assert_eq!(o, &expect, "dataplane p={p} k={k} rank={r} transport={kind}");
+            }
         }
     }
 }
@@ -45,15 +59,17 @@ fn naive_bug_matches_symbolic_prediction() {
     for (nodes, k) in [(2usize, 2usize), (2, 4), (4, 2)] {
         let p = nodes * k;
         let layout = HierarchicalLayout::new(p, k).unwrap();
-        let out = run_ranks(p, |mut comm| {
-            let rank = comm.rank();
-            let (channel, node) = split_hierarchical(&mut comm, &layout);
-            naive_two_stage_all_gather(&channel, &node, &layout, &[rank as f32])
-        });
-        for (rank, got) in out.iter().enumerate() {
-            let predicted: Vec<f32> =
-                layout.naive_concat_order(rank).iter().map(|&c| c as f32).collect();
-            assert_eq!(got, &predicted, "p={p} k={k} rank={rank}");
+        for kind in BOTH {
+            let out = run_ranks_on(kind, p, |mut comm| {
+                let rank = comm.rank();
+                let (channel, node) = split_hierarchical(&mut comm, &layout);
+                naive_two_stage_all_gather(&channel, &node, &layout, &[rank as f32])
+            });
+            for (rank, got) in out.iter().enumerate() {
+                let predicted: Vec<f32> =
+                    layout.naive_concat_order(rank).iter().map(|&c| c as f32).collect();
+                assert_eq!(got, &predicted, "p={p} k={k} rank={rank} transport={kind}");
+            }
         }
     }
 }
@@ -66,30 +82,38 @@ fn shard_spec_matches_all_gather_layout() {
     let world = 5;
     let spec = ShardSpec::new(numel, world);
     let data: Vec<f32> = (0..numel).map(|i| (i as f32).cos()).collect();
-    let data_ref = data.clone();
-    let gathered = run_ranks(world, move |comm| {
-        let shard = spec.extract_padded(&data_ref, comm.rank());
-        comm.all_gather(&shard)
-    });
-    for g in gathered {
-        assert_eq!(&g[..numel], &data[..], "padded all-gather must reassemble the buffer");
-        assert!(g[numel..].iter().all(|&x| x == 0.0), "tail must be padding");
+    for kind in BOTH {
+        let data_ref = data.clone();
+        let gathered = run_ranks_on(kind, world, move |comm| {
+            let shard = spec.extract_padded(&data_ref, comm.rank());
+            comm.all_gather(&shard)
+        });
+        for g in gathered {
+            assert_eq!(&g[..numel], &data[..], "padded all-gather must reassemble ({kind})");
+            assert!(g[numel..].iter().all(|&x| x == 0.0), "tail must be padding ({kind})");
+        }
     }
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
-    /// reduce_scatter ∘ all_gather == all_reduce on real data, any world.
+    /// reduce_scatter ∘ all_gather == all_reduce on real data, any world,
+    /// either transport.
     #[test]
-    fn reduce_scatter_all_gather_equals_all_reduce(world in 2usize..9, len in 1usize..6) {
+    fn reduce_scatter_all_gather_equals_all_reduce(
+        world in 2usize..9,
+        len in 1usize..6,
+        kind_idx in 0usize..2,
+    ) {
+        let kind = BOTH[kind_idx];
         let n = world * len; // per-rank contribution divisible by world
-        let via_pair = run_ranks(world, move |comm| {
+        let via_pair = run_ranks_on(kind, world, move |comm| {
             let v: Vec<f32> = (0..n).map(|i| ((comm.rank() * 83 + i) as f32).sin()).collect();
             let mine = comm.reduce_scatter(&v);
             comm.all_gather(&mine)
         });
-        let via_ar = run_ranks(world, move |comm| {
+        let via_ar = run_ranks_on(kind, world, move |comm| {
             let v: Vec<f32> = (0..n).map(|i| ((comm.rank() * 83 + i) as f32).sin()).collect();
             comm.all_reduce(&v)
         });
@@ -99,17 +123,19 @@ proptest! {
     /// `split` under adversarial shapes: arbitrary color assignments
     /// (all-same, all-distinct, or anything between), worlds down to 1, and
     /// a second split nested inside the first. Membership and rank order
-    /// must match the host-side computation every time.
+    /// must match the host-side computation every time, on both transports.
     #[test]
     fn repeated_splits_agree_with_host_side_membership(
         world in 1usize..8,
         colors in prop::collection::vec(0u8..4, 8usize),
         colors2 in prop::collection::vec(0u8..3, 8usize),
+        kind_idx in 0usize..2,
     ) {
+        let kind = BOTH[kind_idx];
         let c1 = colors[..world].to_vec();
         let c2 = colors2[..world].to_vec();
         let (k1, k2) = (c1.clone(), c2.clone());
-        let out = run_ranks(world, move |mut comm| {
+        let out = run_ranks_on(kind, world, move |mut comm| {
             let rank = comm.rank();
             let mut g1 = comm.split(k1[rank] as i64, rank as i64);
             let first = g1.all_gather(&[rank as f32]);
@@ -134,19 +160,21 @@ proptest! {
     fn coalesced_all_gather_adversarial_shapes(
         world in 1usize..7,
         lens in prop::collection::vec(0usize..5, 0usize..5),
+        kind_idx in 0usize..2,
     ) {
+        let kind = BOTH[kind_idx];
         let fill = |rank: usize, p: usize, len: usize| -> Vec<f32> {
             (0..len).map(|i| (rank * 101 + p * 13 + i) as f32).collect()
         };
         let l1 = lens.clone();
-        let coalesced = run_ranks(world, move |comm| {
+        let coalesced = run_ranks_on(kind, world, move |comm| {
             let bufs: Vec<Vec<f32>> =
                 l1.iter().enumerate().map(|(p, &len)| fill(comm.rank(), p, len)).collect();
             let refs: Vec<&[f32]> = bufs.iter().map(|b| b.as_slice()).collect();
             comm.all_gather_coalesced(&refs)
         });
         let l2 = lens.clone();
-        let sequential = run_ranks(world, move |comm| {
+        let sequential = run_ranks_on(kind, world, move |comm| {
             l2.iter()
                 .enumerate()
                 .map(|(p, &len)| comm.all_gather(&fill(comm.rank(), p, len)))
@@ -162,19 +190,21 @@ proptest! {
     fn coalesced_reduce_scatter_adversarial_shapes(
         world in 1usize..7,
         ks in prop::collection::vec(0usize..4, 0usize..5),
+        kind_idx in 0usize..2,
     ) {
+        let kind = BOTH[kind_idx];
         let fill = |rank: usize, p: usize, len: usize| -> Vec<f32> {
             (0..len).map(|i| ((rank * 97 + p * 7 + i) as f32).sin()).collect()
         };
         let k1 = ks.clone();
-        let coalesced = run_ranks(world, move |comm| {
+        let coalesced = run_ranks_on(kind, world, move |comm| {
             let bufs: Vec<Vec<f32>> =
                 k1.iter().enumerate().map(|(p, &k)| fill(comm.rank(), p, k * world)).collect();
             let refs: Vec<&[f32]> = bufs.iter().map(|b| b.as_slice()).collect();
             comm.reduce_scatter_coalesced(&refs)
         });
         let k2 = ks.clone();
-        let sequential = run_ranks(world, move |comm| {
+        let sequential = run_ranks_on(kind, world, move |comm| {
             k2.iter()
                 .enumerate()
                 .map(|(p, &k)| comm.reduce_scatter(&fill(comm.rank(), p, k * world)))
@@ -186,20 +216,112 @@ proptest! {
     /// Coalesced APIs are observationally equivalent to per-buffer calls for
     /// arbitrary batch shapes.
     #[test]
-    fn coalesced_equivalence(world in 2usize..7, parts in 1usize..5, len in 1usize..5) {
-        let coalesced = run_ranks(world, move |comm| {
+    fn coalesced_equivalence(
+        world in 2usize..7,
+        parts in 1usize..5,
+        len in 1usize..5,
+        kind_idx in 0usize..2,
+    ) {
+        let kind = BOTH[kind_idx];
+        let coalesced = run_ranks_on(kind, world, move |comm| {
             let bufs: Vec<Vec<f32>> = (0..parts)
                 .map(|p| (0..len * world).map(|i| ((comm.rank() + p * 31 + i) as f32).cos()).collect())
                 .collect();
             let refs: Vec<&[f32]> = bufs.iter().map(|b| b.as_slice()).collect();
             comm.reduce_scatter_coalesced(&refs)
         });
-        let sequential = run_ranks(world, move |comm| {
+        let sequential = run_ranks_on(kind, world, move |comm| {
             let bufs: Vec<Vec<f32>> = (0..parts)
                 .map(|p| (0..len * world).map(|i| ((comm.rank() + p * 31 + i) as f32).cos()).collect())
                 .collect();
             bufs.iter().map(|b| comm.reduce_scatter(b)).collect::<Vec<_>>()
         });
         prop_assert_eq!(coalesced, sequential);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Abort path, both transports: an arbitrary rank dying mid-collective
+    /// turns every survivor's collective into an error — never a hang, never
+    /// a wrong result.
+    #[test]
+    fn prop_killed_rank_aborts_survivors(
+        world in 2usize..6,
+        killer_seed in 0usize..97,
+        kind_idx in 0usize..2,
+    ) {
+        let kind = BOTH[kind_idx];
+        let killer = killer_seed % world;
+        with_deadline(Duration::from_secs(30), move || {
+            let results = try_run_ranks_on(kind, world, move |c| {
+                c.set_timeout(Duration::from_secs(5));
+                if c.rank() == killer {
+                    panic!("injected fault");
+                }
+                c.try_all_reduce(&[c.rank() as f32; 4])
+            });
+            for (rank, r) in results.iter().enumerate() {
+                if rank == killer {
+                    assert!(r.is_err(), "killer must be reported as panicked");
+                    continue;
+                }
+                match r.as_ref().expect("survivors must not panic") {
+                    Err(CommError::RankFailed { .. }) | Err(CommError::PeerDisconnected { .. }) => {}
+                    other => panic!(
+                        "survivor {rank} must observe the fault on {kind}, got {other:?}"
+                    ),
+                }
+            }
+        });
+    }
+
+    /// Deadline path, both transports: a rank that silently never joins is
+    /// detected by the rendezvous timeout within a bounded wall-clock time,
+    /// on the world group and on a split sub-group alike.
+    #[test]
+    fn prop_absent_rank_is_detected_within_deadline(
+        world in 2usize..6,
+        absent_seed in 0usize..97,
+        split_seed in 0usize..2,
+        kind_idx in 0usize..2,
+    ) {
+        let kind = BOTH[kind_idx];
+        let split_first = split_seed == 1;
+        let absent = absent_seed % world;
+        with_deadline(Duration::from_secs(30), move || {
+            let started = Instant::now();
+            let results = try_run_ranks_on(kind, world, move |mut c| {
+                c.set_timeout(Duration::from_millis(250));
+                // The split is itself collective, so the absentee takes part
+                // in it — the same-color sub-group still contains the rank
+                // that is about to walk away, and its gather must time out.
+                let group = split_first.then(|| c.split(0, c.rank() as i64));
+                if c.rank() == absent {
+                    return None; // walks away without panicking
+                }
+                Some(match &group {
+                    Some(g) => g.try_all_gather(&[1.0]),
+                    None => c.try_all_gather(&[1.0]),
+                })
+            });
+            for (rank, r) in results.into_iter().enumerate() {
+                let r = r.expect("no panics in this scenario");
+                if rank == absent {
+                    assert!(r.is_none());
+                    continue;
+                }
+                match r.expect("present ranks return Some") {
+                    Err(CommError::Timeout { .. }) => {}
+                    other => panic!("rank {rank} must time out on {kind}, got {other:?}"),
+                }
+            }
+            let elapsed = started.elapsed();
+            assert!(
+                elapsed < Duration::from_secs(20),
+                "detection must be bounded, took {elapsed:?}"
+            );
+        });
     }
 }

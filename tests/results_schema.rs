@@ -108,6 +108,48 @@ fn ext_compress_artifact_matches_its_claims() {
     assert_eq!(exact.len() as f64, fidelity.get("iterations").and_then(Json::as_num).unwrap());
 }
 
+/// The multi-process extension's artifact backs its claims: every survivor
+/// of the SIGKILL observed the death within the detection deadline, blamed
+/// the right rank, and rebuilt a world that still gathers in order.
+#[test]
+fn ext_multiproc_artifact_matches_its_claims() {
+    let doc = parse(&results_dir().join("ext_multiproc.json"));
+    assert_eq!(doc.get("transport").and_then(Json::as_str), Some("socket"));
+
+    let world = doc.get("world").and_then(Json::as_num).unwrap();
+    let victim = doc.get("victim").and_then(Json::as_num).unwrap();
+    assert!(victim < world);
+
+    // Bounded-time failure detection, with real headroom under the deadline.
+    let detect = doc.get("max_detect_ms").and_then(Json::as_num).unwrap();
+    let deadline = doc.get("detect_deadline_ms").and_then(Json::as_num).unwrap();
+    assert!(detect < deadline, "detection {detect} ms missed the {deadline} ms deadline");
+
+    // The shrunk group kept every survivor, in world order, and gathered.
+    assert_eq!(doc.get("shrunk_world").and_then(Json::as_num), Some(world - 1.0));
+    assert_eq!(doc.get("all_survivors_recovered"), Some(&Json::Bool(true)));
+    let post: Vec<f64> = doc
+        .get("post_gather")
+        .and_then(Json::as_arr)
+        .expect("post_gather present")
+        .iter()
+        .map(|v| v.as_num().unwrap())
+        .collect();
+    let expected: Vec<f64> =
+        (0..world as usize).map(|r| r as f64).filter(|r| *r != victim).collect();
+    assert_eq!(post, expected, "rebuilt world must preserve survivor order");
+
+    // One report per survivor, each having gathered before the kill.
+    let survivors = doc.get("survivors").expect("survivor table present");
+    let rows = survivors.get("rows").and_then(Json::as_arr).unwrap();
+    assert_eq!(rows.len(), world as usize - 1);
+    for row in rows.iter().filter_map(Json::as_arr) {
+        let iters: f64 = row[1].as_str().unwrap().parse().unwrap();
+        assert!(iters >= 1.0, "a survivor never collectivized before the kill");
+        assert!(row[3].as_str().unwrap().contains(&format!("rank {victim}")), "wrong blame");
+    }
+}
+
 /// The overlap extension's artifact backs its claims: communication measured
 /// in flight under compute, bit-identical losses, the structural deferral
 /// counts, and wall-clock no worse than the single-core scheduler tax the
