@@ -1,0 +1,248 @@
+//! Extension: the planner service under load.
+//!
+//! The MiCS simulator answers "what will this job cost?" in microseconds,
+//! but capacity planning asks that question thousands of times — sweeps,
+//! tuners, dashboards, people — and mostly about configurations someone
+//! else already asked about. `mics-planner` turns the simulator into a
+//! long-running service with a single-flight memo cache; this experiment
+//! measures that service over real sockets in three phases:
+//!
+//! 1. **cold** — 120 distinct jobs split across 4 clients: every query
+//!    misses and runs the simulator;
+//! 2. **warm** — 8 clients re-query all 120 jobs: every query is served
+//!    from cache, zero new simulations;
+//! 3. **burst** — 16 clients fire the *same* fresh tune query
+//!    simultaneously (barrier-synced, 8 rounds): the single-flight cache
+//!    collapses each round to one tuner run.
+//!
+//! Enforced claims:
+//!
+//! * ≥ 1000 queries served concurrently over the socket protocol;
+//! * warm phase: cache hit rate > 0 and **no** new simulator runs;
+//! * burst phase: collapse factor (queries per underlying run) > 1, with
+//!   in-flight duplicates observed waiting on the leader;
+//! * a served response is **byte-identical** to the in-process
+//!   `mics_core::simulate` answer for the same job.
+
+use mics_bench::{write_json, Json, Table, ToJson};
+use mics_planner::{JobSpec, PlannerClient, PlannerConfig, PlannerServer};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Latency percentile out of a sorted slice of nanosecond samples.
+fn pct(sorted_ns: &[u64], p: f64) -> f64 {
+    sorted_ns[((sorted_ns.len() - 1) as f64 * p) as usize] as f64 / 1e3
+}
+
+/// One measured phase: per-query latencies plus the cache-counter deltas
+/// `(queries, hits, dedup, sim_runs)` it caused.
+struct Phase {
+    name: &'static str,
+    latencies_ns: Vec<u64>,
+    wall: Duration,
+    queries: u64,
+    hits: u64,
+    dedup: u64,
+    sim_runs: u64,
+}
+
+/// Run `threads` clients against `addr`, each executing `work(thread_id,
+/// &mut client)`, and collect every per-query latency.
+fn drive(
+    addr: &str,
+    threads: usize,
+    work: impl Fn(usize, &mut PlannerClient) -> Vec<u64> + Send + Sync + 'static,
+) -> (Vec<u64>, Duration) {
+    let work = Arc::new(work);
+    let started = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let addr = addr.to_string();
+            let work = Arc::clone(&work);
+            std::thread::spawn(move || {
+                let mut client = PlannerClient::connect(&addr).expect("client must connect");
+                work(t, &mut client)
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    for h in handles {
+        latencies.extend(h.join().expect("bench client must not panic"));
+    }
+    (latencies, started.elapsed())
+}
+
+fn main() {
+    let server = PlannerServer::start(PlannerConfig::default()).expect("server must start");
+    let addr = server.addr().to_string();
+    println!("planner serving on {addr}");
+
+    // 120 distinct jobs: micro-batch × accumulation × cluster geometry.
+    let cold_specs: Vec<JobSpec> = (1..=15usize)
+        .flat_map(|mb| {
+            [(1usize, 4usize), (1, 8), (2, 8), (2, 16)].into_iter().flat_map(move |(nodes, p)| {
+                (1..=2usize).map(move |accum| {
+                    let mut spec = JobSpec::mics("bert-1.5b", nodes, p);
+                    spec.micro_batch = mb;
+                    spec.accum = accum;
+                    spec
+                })
+            })
+        })
+        .collect();
+    assert_eq!(cold_specs.len(), 120);
+
+    let mut phases: Vec<Phase> = Vec::new();
+    let mut before = server.cache_stats();
+    let mut record = |name, latencies_ns: Vec<u64>, wall, server: &PlannerServer| {
+        let after = server.cache_stats();
+        phases.push(Phase {
+            name,
+            latencies_ns,
+            wall,
+            queries: after.0 - before.0,
+            hits: after.1 - before.1,
+            dedup: after.3 - before.3,
+            sim_runs: after.4 - before.4,
+        });
+        before = after;
+    };
+
+    // ── Phase 1: cold — 4 clients split the distinct jobs ───────────────
+    let specs = cold_specs.clone();
+    let (lat, wall) = drive(&addr, 4, move |t, client| {
+        specs
+            .iter()
+            .skip(t)
+            .step_by(4)
+            .map(|spec| {
+                let q = Instant::now();
+                client.simulate(spec, None).unwrap().expect("cold spec must fit");
+                q.elapsed().as_nanos() as u64
+            })
+            .collect()
+    });
+    record("cold", lat, wall, &server);
+
+    // ── Phase 2: warm — 8 clients re-query everything ───────────────────
+    let specs = cold_specs.clone();
+    let (lat, wall) = drive(&addr, 8, move |_, client| {
+        specs
+            .iter()
+            .map(|spec| {
+                let q = Instant::now();
+                client.simulate(spec, None).unwrap().expect("warm spec must fit");
+                q.elapsed().as_nanos() as u64
+            })
+            .collect()
+    });
+    record("warm", lat, wall, &server);
+
+    // ── Phase 3: duplicate burst — 16 clients, same fresh tune query ────
+    const BURST_CLIENTS: usize = 16;
+    const BURST_ROUNDS: usize = 8;
+    let barrier = Arc::new(Barrier::new(BURST_CLIENTS));
+    let (lat, wall) = drive(&addr, BURST_CLIENTS, move |_, client| {
+        (0..BURST_ROUNDS)
+            .map(|round| {
+                // A spec no earlier phase has seen: accum 3 is new.
+                let mut spec = JobSpec::mics("bert-1.5b", 1 + round % 2, 8);
+                spec.accum = 3;
+                spec.micro_batch = 4 + round;
+                barrier.wait();
+                let q = Instant::now();
+                client.tune(&spec, &[], None).unwrap().expect("burst spec must fit");
+                q.elapsed().as_nanos() as u64
+            })
+            .collect()
+    });
+    record("burst", lat, wall, &server);
+
+    // ── Byte-identity spot check against the in-process simulator ───────
+    let spec = &cold_specs[17];
+    let mut client = PlannerClient::connect(&addr).expect("checker must connect");
+    let served = client.simulate(spec, None).unwrap().unwrap();
+    let direct = mics_core::simulate(&mics_core::TrainingJob {
+        workload: mics_model::preset(&spec.model, spec.micro_batch).unwrap(),
+        cluster: mics_cluster::ClusterSpec::new(
+            mics_cluster::InstanceType::preset(&spec.instance).unwrap(),
+            spec.nodes,
+        ),
+        strategy: mics_core::Strategy::parse(&spec.strategy).unwrap(),
+        accum_steps: spec.accum,
+    })
+    .unwrap();
+    let byte_identical = served.to_json().emit() == direct.to_json().emit();
+    assert!(byte_identical, "served report must be byte-identical to the in-process answer");
+
+    client.shutdown_server().expect("shutdown must be acknowledged");
+    let totals = server.cache_stats();
+    server.join();
+
+    // ── Claims ──────────────────────────────────────────────────────────
+    let total_queries: u64 = phases.iter().map(|p| p.queries).sum();
+    assert!(total_queries >= 1000, "expected ≥ 1000 served queries, got {total_queries}");
+    let warm = &phases[1];
+    assert_eq!(warm.sim_runs, 0, "warm phase must be pure cache hits");
+    assert_eq!(warm.hits, warm.queries, "warm phase must hit on every query");
+    let burst = &phases[2];
+    let collapse = burst.queries as f64 / burst.sim_runs as f64;
+    assert!(collapse > 1.0, "burst must collapse duplicates: factor {collapse}");
+    assert!(
+        burst.dedup >= 1,
+        "barrier-synced duplicates must be observed waiting on the in-flight leader"
+    );
+    let hit_rate = totals.1 as f64 / totals.0 as f64;
+    assert!(hit_rate > 0.0);
+
+    // ── Report ──────────────────────────────────────────────────────────
+    let mut t = Table::new(
+        "Extension — planner service under load (simulate/tune over sockets)",
+        &["phase", "clients", "queries", "sim runs", "wall ms", "queries/s", "p50 µs", "p99 µs"],
+    );
+    let mut all_ns: Vec<u64> = Vec::new();
+    let total_wall: f64 = phases.iter().map(|p| p.wall.as_secs_f64()).sum();
+    for (phase, clients) in phases.iter().zip([4usize, 8, BURST_CLIENTS]) {
+        let mut ns = phase.latencies_ns.clone();
+        ns.sort_unstable();
+        t.row(vec![
+            phase.name.into(),
+            clients.to_string(),
+            phase.queries.to_string(),
+            phase.sim_runs.to_string(),
+            format!("{:.2}", phase.wall.as_secs_f64() * 1e3),
+            format!("{:.0}", phase.queries as f64 / phase.wall.as_secs_f64()),
+            format!("{:.1}", pct(&ns, 0.50)),
+            format!("{:.1}", pct(&ns, 0.99)),
+        ]);
+        all_ns.extend(&phase.latencies_ns);
+    }
+    t.print();
+    all_ns.sort_unstable();
+    println!(
+        "\n{total_queries} queries in {:.1} ms: hit rate {:.3}, burst collapse {collapse:.1}×, \
+         {} duplicates held in flight, responses byte-identical to in-process calls",
+        total_wall * 1e3,
+        hit_rate,
+        totals.3,
+    );
+
+    write_json(
+        "ext_serve",
+        &Json::obj([
+            ("phases", t.to_json()),
+            ("queries", Json::from(total_queries)),
+            ("distinct_jobs", Json::from(cold_specs.len())),
+            ("queries_per_sec", Json::from(total_queries as f64 / total_wall)),
+            ("cache_hits", Json::from(totals.1)),
+            ("cache_hit_rate", Json::from(hit_rate)),
+            ("sim_runs", Json::from(totals.4)),
+            ("dedup_collapsed", Json::from(totals.3)),
+            ("burst_collapse_factor", Json::from(collapse)),
+            ("warm_sim_runs", Json::from(warm.sim_runs)),
+            ("p50_us", Json::from(pct(&all_ns, 0.50))),
+            ("p99_us", Json::from(pct(&all_ns, 0.99))),
+            ("byte_identical", Json::from(byte_identical)),
+        ]),
+    );
+}

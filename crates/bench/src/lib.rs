@@ -13,8 +13,8 @@ use mics_model::WorkloadSpec;
 use std::fmt::Display;
 use std::path::PathBuf;
 
-pub mod json;
-pub use json::{Json, ToJson};
+pub use mics_core::json;
+pub use mics_core::json::{Json, ToJson};
 
 /// A printable result table.
 #[derive(Debug, Clone)]

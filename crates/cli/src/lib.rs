@@ -11,9 +11,9 @@
 
 use mics_cluster::{ClusterSpec, InstanceType};
 use mics_core::memory::check_memory;
-use mics_core::{simulate, simulate_dp_traced, tune, MicsConfig, Strategy, TrainingJob, ZeroStage};
+use mics_core::{simulate, simulate_dp_traced, tune, Strategy, TrainingJob};
 use mics_dataplane::TransportKind;
-use mics_model::{TransformerConfig, WideResNetConfig, WorkloadSpec};
+use mics_model::WorkloadSpec;
 use std::fmt;
 
 /// A parsed command line.
@@ -128,71 +128,26 @@ USAGE:
 MODELS: run `mics-sim models` for the list.
 SEE ALSO: `mics-rankd` runs the same data plane as one OS process per rank.";
 
-/// Names of the model presets `mics-sim` knows.
+/// Names of the model presets `mics-sim` knows (from `mics-model`).
 pub fn model_names() -> Vec<&'static str> {
-    vec![
-        "bert-1.5b",
-        "bert-10b",
-        "bert-15b",
-        "bert-20b",
-        "bert-50b",
-        "roberta-20b",
-        "gpt2-20b",
-        "bert-128l",
-        "52b",
-        "100b",
-        "wideresnet-3b",
-    ]
+    mics_model::preset_names().to_vec()
 }
 
 /// Resolve a model preset to its workload.
 pub fn lookup_model(name: &str, micro_batch: usize) -> Result<WorkloadSpec, CliError> {
-    let cfg = match name {
-        "bert-1.5b" => TransformerConfig::bert_1_5b(),
-        "bert-10b" => TransformerConfig::bert_10b(),
-        "bert-15b" => TransformerConfig::bert_15b(),
-        "bert-20b" => TransformerConfig::bert_20b(),
-        "bert-50b" => TransformerConfig::bert_50b(),
-        "roberta-20b" => TransformerConfig::roberta_20b(),
-        "gpt2-20b" => TransformerConfig::gpt2_20b(),
-        "bert-128l" => TransformerConfig::megatron_comparison(),
-        "52b" => TransformerConfig::proprietary_52b(),
-        "100b" => TransformerConfig::proprietary_100b(),
-        "wideresnet-3b" => return Ok(WideResNetConfig::wrn_3b().workload(micro_batch)),
-        other => {
-            return Err(err(format!("unknown model '{other}'; run `mics-sim models` for the list")))
-        }
-    };
-    Ok(cfg.workload(micro_batch))
+    mics_model::preset(name, micro_batch)
+        .ok_or_else(|| err(format!("unknown model '{name}'; run `mics-sim models` for the list")))
 }
 
 /// Resolve an instance preset.
 pub fn lookup_instance(name: &str) -> Result<InstanceType, CliError> {
-    match name {
-        "p3dn" => Ok(InstanceType::p3dn_24xlarge()),
-        "p4d" => Ok(InstanceType::p4d_24xlarge()),
-        "dgx" => Ok(InstanceType::dgx_a100()),
-        other => Err(err(format!("unknown instance '{other}' (expected p3dn, p4d, or dgx)"))),
-    }
+    InstanceType::preset(name)
+        .ok_or_else(|| err(format!("unknown instance '{name}' (expected p3dn, p4d, or dgx)")))
 }
 
-/// Parse a strategy spec.
+/// Parse a strategy spec (the shared [`Strategy::parse`] grammar).
 pub fn parse_strategy(spec: &str) -> Result<Strategy, CliError> {
-    match spec {
-        "ddp" => Ok(Strategy::Ddp),
-        "zero1" => Ok(Strategy::Zero(ZeroStage::One)),
-        "zero2" => Ok(Strategy::Zero(ZeroStage::Two)),
-        "zero3" => Ok(Strategy::Zero(ZeroStage::Three)),
-        s if s.starts_with("mics:") => {
-            let p: usize = s["mics:".len()..]
-                .parse()
-                .map_err(|_| err(format!("bad partition size in '{s}'")))?;
-            Ok(Strategy::Mics(MicsConfig::paper_defaults(p)))
-        }
-        other => Err(err(format!(
-            "unknown strategy '{other}' (expected mics:<p>, zero1, zero2, zero3, or ddp)"
-        ))),
-    }
+    Strategy::parse(spec).map_err(err)
 }
 
 /// Parse argv (excluding the program name).
@@ -512,6 +467,7 @@ fn resolve(job: &JobArgs) -> Result<(WorkloadSpec, ClusterSpec, Strategy), CliEr
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mics_core::ZeroStage;
 
     fn argv(s: &str) -> Vec<String> {
         s.split_whitespace().map(|x| x.to_string()).collect()

@@ -115,6 +115,17 @@ impl InstanceType {
         }
     }
 
+    /// Resolve a short preset name (`p3dn`, `p4d`, `dgx`) — the grammar
+    /// `mics-sim --instance` and the planner wire protocol share.
+    pub fn preset(name: &str) -> Option<Self> {
+        match name {
+            "p3dn" => Some(Self::p3dn_24xlarge()),
+            "p4d" => Some(Self::p4d_24xlarge()),
+            "dgx" => Some(Self::dgx_a100()),
+            _ => None,
+        }
+    }
+
     /// Effective FLOP/s a GEMM-heavy kernel sustains in half precision.
     pub fn sustained_fp16_flops(&self) -> f64 {
         self.peak_fp16_flops * self.gemm_efficiency

@@ -1,6 +1,7 @@
 //! Strategy configuration: MiCS knobs and the baseline zoo.
 
-use mics_compress::CompressionConfig;
+use crate::json::{Json, ToJson};
+use mics_compress::{CompressionConfig, CompressionScope, QuantScheme};
 use mics_simnet::SimTime;
 
 /// Which data-parallel system to emulate.
@@ -89,6 +90,89 @@ impl MicsConfig {
     pub fn zero3_with_impl_opts(n: usize) -> Self {
         MicsConfig { partition_size: n, hierarchical_allgather: false, ..Self::paper_defaults(n) }
     }
+
+    /// Decode the [`ToJson`] encoding (`None` on shape mismatch).
+    pub fn from_json(doc: &Json) -> Option<Self> {
+        Some(MicsConfig {
+            partition_size: doc.get("partition_size")?.as_num()? as usize,
+            hierarchical_allgather: doc.get("hierarchical_allgather")? == &Json::Bool(true),
+            two_hop_sync: doc.get("two_hop_sync")? == &Json::Bool(true),
+            fine_grained_sync: doc.get("fine_grained_sync")? == &Json::Bool(true),
+            cached_decisions: doc.get("cached_decisions")? == &Json::Bool(true),
+            coalesced_comm: doc.get("coalesced_comm")? == &Json::Bool(true),
+            arena_memory: doc.get("arena_memory")? == &Json::Bool(true),
+            compression: match doc.get("compression")? {
+                Json::Null => None,
+                c => Some(compression_from_json(c)?),
+            },
+        })
+    }
+}
+
+impl ToJson for MicsConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("partition_size", Json::Num(self.partition_size as f64)),
+            ("hierarchical_allgather", Json::Bool(self.hierarchical_allgather)),
+            ("two_hop_sync", Json::Bool(self.two_hop_sync)),
+            ("fine_grained_sync", Json::Bool(self.fine_grained_sync)),
+            ("cached_decisions", Json::Bool(self.cached_decisions)),
+            ("coalesced_comm", Json::Bool(self.coalesced_comm)),
+            ("arena_memory", Json::Bool(self.arena_memory)),
+            (
+                "compression",
+                match &self.compression {
+                    None => Json::Null,
+                    Some(c) => c.to_json(),
+                },
+            ),
+        ])
+    }
+}
+
+impl ToJson for CompressionConfig {
+    fn to_json(&self) -> Json {
+        let (scheme, block) = match self.scheme {
+            QuantScheme::F16 => ("f16", Json::Null),
+            QuantScheme::Int8 { block } => ("int8", Json::Num(block as f64)),
+            QuantScheme::Int4 { block } => ("int4", Json::Num(block as f64)),
+        };
+        Json::obj([
+            ("scheme", Json::from(scheme)),
+            ("block", block),
+            ("weights", Json::Bool(self.weights)),
+            ("grads", Json::Bool(self.grads)),
+            (
+                "scope",
+                Json::from(match self.scope {
+                    CompressionScope::IntraGroupOnly => "intra_group",
+                    CompressionScope::Everywhere => "everywhere",
+                }),
+            ),
+        ])
+    }
+}
+
+/// Decode the [`ToJson`] encoding of a [`CompressionConfig`].
+pub fn compression_from_json(doc: &Json) -> Option<CompressionConfig> {
+    let block = || doc.get("block").and_then(Json::as_num).map(|b| b as usize);
+    let scheme = match doc.get("scheme")?.as_str()? {
+        "f16" => QuantScheme::F16,
+        "int8" => QuantScheme::Int8 { block: block()? },
+        "int4" => QuantScheme::Int4 { block: block()? },
+        _ => return None,
+    };
+    let scope = match doc.get("scope")?.as_str()? {
+        "intra_group" => CompressionScope::IntraGroupOnly,
+        "everywhere" => CompressionScope::Everywhere,
+        _ => return None,
+    };
+    Some(CompressionConfig {
+        scheme,
+        weights: doc.get("weights")? == &Json::Bool(true),
+        grads: doc.get("grads")? == &Json::Bool(true),
+        scope,
+    })
 }
 
 /// Resolved execution knobs shared by every DP strategy, derived from
@@ -210,6 +294,28 @@ impl Strategy {
         }
     }
 
+    /// Parse the CLI/wire strategy grammar: `ddp`, `zero1`, `zero2`,
+    /// `zero3`, or `mics:<p>` (paper-default MiCS with partition size `p`).
+    /// Shared by `mics-sim --strategy` and the planner service so both
+    /// surfaces accept exactly the same spellings.
+    pub fn parse(spec: &str) -> Result<Strategy, String> {
+        match spec {
+            "ddp" => Ok(Strategy::Ddp),
+            "zero1" => Ok(Strategy::Zero(ZeroStage::One)),
+            "zero2" => Ok(Strategy::Zero(ZeroStage::Two)),
+            "zero3" => Ok(Strategy::Zero(ZeroStage::Three)),
+            s if s.starts_with("mics:") => {
+                let p: usize = s["mics:".len()..]
+                    .parse()
+                    .map_err(|_| format!("bad partition size in '{s}'"))?;
+                Ok(Strategy::Mics(MicsConfig::paper_defaults(p)))
+            }
+            other => Err(format!(
+                "unknown strategy '{other}' (expected mics:<p>, zero1, zero2, zero3, or ddp)"
+            )),
+        }
+    }
+
     /// Human-readable label for reports.
     pub fn label(&self) -> String {
         match self {
@@ -283,6 +389,30 @@ mod tests {
         assert_eq!(Strategy::Ddp.label(), "DDP");
         assert_eq!(Strategy::Zero(ZeroStage::Three).label(), "ZeRO-3");
         assert_eq!(Strategy::Mics(MicsConfig::paper_defaults(16)).label(), "MiCS(p=16)");
+    }
+
+    #[test]
+    fn mics_config_json_round_trips() {
+        let plain = MicsConfig::paper_defaults(8);
+        assert_eq!(MicsConfig::from_json(&plain.to_json()), Some(plain.clone()));
+        let mut quantized =
+            MicsConfig::compressed(16, CompressionConfig::both(QuantScheme::Int4 { block: 64 }));
+        quantized.two_hop_sync = false;
+        assert_eq!(MicsConfig::from_json(&quantized.to_json()), Some(quantized));
+        assert_eq!(MicsConfig::from_json(&Json::Null), None);
+    }
+
+    #[test]
+    fn parse_round_trips_the_cli_grammar() {
+        assert_eq!(Strategy::parse("ddp").unwrap(), Strategy::Ddp);
+        assert_eq!(Strategy::parse("zero1").unwrap(), Strategy::Zero(ZeroStage::One));
+        assert_eq!(Strategy::parse("zero3").unwrap(), Strategy::Zero(ZeroStage::Three));
+        assert_eq!(
+            Strategy::parse("mics:16").unwrap(),
+            Strategy::Mics(MicsConfig::paper_defaults(16))
+        );
+        assert!(Strategy::parse("mics:x").is_err());
+        assert!(Strategy::parse("zero9").is_err());
     }
 
     #[test]

@@ -30,26 +30,64 @@ use crate::ops::SimCluster;
 use crate::report::RunReport;
 use crate::schedule::{execute_on_sim, LayerSchedule, ScheduleSpec, StepProgram};
 use crate::TrainingJob;
+use mics_cluster::ClusterSpec;
+use mics_model::WorkloadSpec;
+
+/// A borrowed [`TrainingJob`]: the hot-path entry point for callers that
+/// evaluate many strategies against one workload/cluster pair (the tuner,
+/// the planner service). `Copy`, so a candidate loop costs no allocation —
+/// the owned job used to be cloned per candidate just to satisfy the
+/// signature.
+#[derive(Debug, Clone, Copy)]
+pub struct JobView<'a> {
+    /// The model, lowered for a specific micro-batch size.
+    pub workload: &'a WorkloadSpec,
+    /// The cluster to run on.
+    pub cluster: &'a ClusterSpec,
+    /// The parallelization strategy.
+    pub strategy: &'a crate::config::Strategy,
+    /// Micro-steps per iteration (gradient accumulation depth).
+    pub accum_steps: usize,
+}
+
+impl<'a> JobView<'a> {
+    /// Global samples consumed per iteration
+    /// (`devices × micro_batch × accum_steps`).
+    pub fn samples_per_iteration(&self) -> usize {
+        self.cluster.total_devices() * self.workload.micro_batch * self.accum_steps
+    }
+}
+
+impl<'a> From<&'a TrainingJob> for JobView<'a> {
+    fn from(job: &'a TrainingJob) -> Self {
+        job.view()
+    }
+}
 
 /// Simulate one iteration of a DP job (all strategies except Megatron).
 pub fn simulate_dp(job: &TrainingJob) -> Result<RunReport, OomError> {
+    simulate_dp_view(job.view())
+}
+
+/// [`simulate_dp`] over a borrowed job — no spec clones on the way in.
+pub fn simulate_dp_view(job: JobView<'_>) -> Result<RunReport, OomError> {
     simulate_dp_inner(job, false).map(|(r, _)| r)
 }
 
 /// Like [`simulate_dp`], additionally returning a chrome-trace JSON
 /// timeline of every stream (loadable in `chrome://tracing` / Perfetto).
 pub fn simulate_dp_traced(job: &TrainingJob) -> Result<(RunReport, String), OomError> {
-    simulate_dp_inner(job, true)
+    simulate_dp_inner(job.view(), true)
 }
 
 /// Build the [`ScheduleSpec`] for a DP job: the strategy's plan plus the
 /// workload's per-layer bytes/FLOPs, validated against the memory model
 /// (which also decides whether hierarchical gathers are active).
-fn dp_spec(job: &TrainingJob) -> Result<(ScheduleSpec, MemoryEstimate), OomError> {
+fn dp_spec(job: JobView<'_>) -> Result<(ScheduleSpec, MemoryEstimate), OomError> {
     let n = job.cluster.total_devices();
     let k = job.cluster.devices_per_node();
     let plan = job.strategy.plan(n);
-    let est = check_memory(&job.workload, &job.cluster, &plan, &job.strategy.label())?;
+    let est = check_memory(job.workload, job.cluster, &plan, &job.strategy.label())?;
     let dtype = job.workload.param_dtype_bytes;
     let layers = job
         .workload
@@ -91,10 +129,10 @@ fn dp_spec(job: &TrainingJob) -> Result<(ScheduleSpec, MemoryEstimate), OomError
 /// simulator backend and the minidl interpreter execute. Fails with
 /// [`OomError`] when the memory model rejects the job, like [`simulate_dp`].
 pub fn dp_program(job: &TrainingJob) -> Result<StepProgram, OomError> {
-    dp_spec(job).map(|(spec, _)| spec.program())
+    dp_spec(job.view()).map(|(spec, _)| spec.program())
 }
 
-fn simulate_dp_inner(job: &TrainingJob, trace: bool) -> Result<(RunReport, String), OomError> {
+fn simulate_dp_inner(job: JobView<'_>, trace: bool) -> Result<(RunReport, String), OomError> {
     let (spec, est) = dp_spec(job)?;
     let prog = spec.program();
     let n = spec.n;
@@ -102,6 +140,7 @@ fn simulate_dp_inner(job: &TrainingJob, trace: bool) -> Result<(RunReport, Strin
     let s = job.accum_steps;
 
     let mut sc = SimCluster::new(job.cluster.clone());
+    let samples = job.samples_per_iteration() as f64;
     if trace {
         sc.enable_tracing();
     }
@@ -113,7 +152,6 @@ fn simulate_dp_inner(job: &TrainingJob, trace: bool) -> Result<(RunReport, Strin
     let exec = execute_on_sim(&prog, &mut sc, sustained);
 
     let (iter_time, compute_busy, comm_busy, trace_json) = sc.run_traced();
-    let samples = job.samples_per_iteration() as f64;
     let secs = iter_time.as_secs_f64();
     Ok((
         RunReport {

@@ -1,9 +1,15 @@
-//! A tiny JSON document model with a pretty serializer.
+//! A tiny JSON document model with pretty and compact serializers.
 //!
 //! The bench harness used to derive `serde::Serialize` for its result
 //! tables; the offline build environment can't fetch serde, and the needs
-//! here are small (string/number/array/object, pretty-printed), so this
-//! hand-rolled writer replaces it. See `vendor/README.md`.
+//! here are small (string/number/array/object), so this hand-rolled
+//! writer replaces it. See `vendor/README.md`. It lives in `mics-core`
+//! (rather than the bench harness that originally grew it) because it is
+//! now the single encoder shared by the `results/*.json` writers *and* the
+//! planner service's wire protocol: [`Json::pretty`] for artifacts on
+//! disk, [`Json::emit`] for length-prefixed frames on a socket. One
+//! encoder means a response served from the planner's memo cache is
+//! byte-identical to one computed fresh.
 
 use std::fmt::Write as _;
 
@@ -38,11 +44,28 @@ impl Json {
     /// Pretty-print with two-space indentation.
     pub fn pretty(&self) -> String {
         let mut out = String::new();
-        self.render(&mut out, 0);
+        self.render(&mut out, Some(0));
         out
     }
 
-    fn render(&self, out: &mut String, indent: usize) {
+    /// Compact single-line serialization (no whitespace) — the wire form of
+    /// the planner protocol. Deterministic: equal documents always emit the
+    /// same bytes, which is what makes cached planner responses
+    /// byte-identical to fresh ones.
+    pub fn emit(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, None);
+        out
+    }
+
+    /// `indent` is `Some(depth)` for pretty output, `None` for compact.
+    fn render(&self, out: &mut String, indent: Option<usize>) {
+        let newline = |out: &mut String, depth: usize| {
+            if indent.is_some() {
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+            }
+        };
         match self {
             Json::Null => out.push_str("null"),
             Json::Str(s) => render_string(out, s),
@@ -70,12 +93,10 @@ impl Json {
                     if i > 0 {
                         out.push(',');
                     }
-                    out.push('\n');
-                    out.push_str(&"  ".repeat(indent + 1));
-                    v.render(out, indent + 1);
+                    newline(out, indent.unwrap_or(0) + 1);
+                    v.render(out, indent.map(|d| d + 1));
                 }
-                out.push('\n');
-                out.push_str(&"  ".repeat(indent));
+                newline(out, indent.unwrap_or(0));
                 out.push(']');
             }
             Json::Obj(pairs) => {
@@ -88,17 +109,22 @@ impl Json {
                     if i > 0 {
                         out.push(',');
                     }
-                    out.push('\n');
-                    out.push_str(&"  ".repeat(indent + 1));
+                    newline(out, indent.unwrap_or(0) + 1);
                     render_string(out, k);
-                    out.push_str(": ");
-                    v.render(out, indent + 1);
+                    out.push_str(if indent.is_some() { ": " } else { ":" });
+                    v.render(out, indent.map(|d| d + 1));
                 }
-                out.push('\n');
-                out.push_str(&"  ".repeat(indent));
+                newline(out, indent.unwrap_or(0));
                 out.push('}');
             }
         }
+    }
+}
+
+impl std::fmt::Display for Json {
+    /// `to_string()` is the compact wire encoding ([`Json::emit`]).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.emit())
     }
 }
 
@@ -454,6 +480,40 @@ mod tests {
     fn strings_are_escaped() {
         let s = Json::Str("a\"b\\c\nd".into()).pretty();
         assert_eq!(s, r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn emit_is_compact_and_parses_back() {
+        let doc = Json::obj([
+            ("title", Json::from("t")),
+            ("rows", Json::arr([1.0f64, 2.5])),
+            ("empty", Json::Arr(vec![])),
+            ("flag", Json::from(true)),
+        ]);
+        let s = doc.emit();
+        assert_eq!(s, r#"{"title":"t","rows":[1,2.5],"empty":[],"flag":true}"#);
+        assert_eq!(Json::parse(&s).unwrap(), doc);
+        // Display is the wire encoding.
+        assert_eq!(doc.to_string(), s);
+    }
+
+    #[test]
+    fn emit_and_pretty_agree_on_values() {
+        // Same serializer core: parsing either form yields the same document.
+        let doc = Json::obj([
+            ("nested", Json::obj([("a", Json::from(-2.5)), ("b", Json::Null)])),
+            ("arr", Json::arr(["x", "y"])),
+        ]);
+        assert_eq!(Json::parse(&doc.emit()).unwrap(), Json::parse(&doc.pretty()).unwrap());
+    }
+
+    #[test]
+    fn emit_is_deterministic() {
+        // Byte-identical output for equal documents — the property the
+        // planner's cached responses rely on.
+        let build =
+            || Json::obj([("k", Json::arr([1.0f64, 2.0, 3.0])), ("s", Json::from("v"))]).emit();
+        assert_eq!(build(), build());
     }
 
     #[test]

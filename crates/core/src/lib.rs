@@ -44,8 +44,10 @@
 
 #![warn(missing_docs)]
 
+pub mod canonical;
 pub mod config;
 pub mod dp;
+pub mod json;
 pub mod megatron;
 pub mod memory;
 pub mod ops;
@@ -54,8 +56,10 @@ pub mod report;
 pub mod schedule;
 pub mod tuner;
 
+pub use canonical::{Canonical, CanonicalHasher, CanonicalKey};
 pub use config::{MicsConfig, Strategy, ZeroStage};
-pub use dp::{dp_program, simulate_dp_traced};
+pub use dp::{dp_program, simulate_dp_traced, JobView};
+pub use json::{Json, ToJson};
 pub use megatron::{simulate_megatron, MegatronConfig, MegatronReport};
 pub use memory::{MemoryEstimate, OomError};
 pub use mics_compress::{CompressionConfig, CompressionScope, QuantScheme};
@@ -68,7 +72,7 @@ pub use schedule::{
     apply_prefetch, emit_step, execute_on_sim, GroupRef, OpKind, Pass, ScheduleOp, ScheduleSpec,
     StepProgram, WireOp,
 };
-pub use tuner::{tune, tune_with_compression, TuneResult};
+pub use tuner::{candidate_partition_sizes, tune, tune_with_compression, Candidate, TuneResult};
 
 use mics_cluster::ClusterSpec;
 use mics_model::WorkloadSpec;
@@ -91,6 +95,17 @@ impl TrainingJob {
     /// (`devices × micro_batch × accum_steps`).
     pub fn samples_per_iteration(&self) -> usize {
         self.cluster.total_devices() * self.workload.micro_batch * self.accum_steps
+    }
+
+    /// Borrow this job as a [`JobView`] — the allocation-free form the
+    /// tuner and planner hot paths simulate from.
+    pub fn view(&self) -> JobView<'_> {
+        JobView {
+            workload: &self.workload,
+            cluster: &self.cluster,
+            strategy: &self.strategy,
+            accum_steps: self.accum_steps,
+        }
     }
 }
 

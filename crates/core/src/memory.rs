@@ -19,6 +19,7 @@
 //!   3.5 GiB.
 
 use crate::config::DpPlan;
+use crate::json::{Json, ToJson};
 use mics_cluster::ClusterSpec;
 use mics_model::WorkloadSpec;
 use std::fmt;
@@ -56,6 +57,27 @@ impl fmt::Display for OomError {
 }
 
 impl std::error::Error for OomError {}
+
+impl ToJson for OomError {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("required", Json::Num(self.required as f64)),
+            ("available", Json::Num(self.available as f64)),
+            ("strategy", Json::from(self.strategy.as_str())),
+        ])
+    }
+}
+
+impl OomError {
+    /// Decode the [`ToJson`] encoding (`None` on shape mismatch).
+    pub fn from_json(doc: &Json) -> Option<Self> {
+        Some(OomError {
+            required: doc.get("required")?.as_num()? as u64,
+            available: doc.get("available")?.as_num()? as u64,
+            strategy: doc.get("strategy")?.as_str()?.to_string(),
+        })
+    }
+}
 
 /// Itemized per-device memory estimate for one job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,6 +126,31 @@ impl MemoryEstimate {
             transient,
             hierarchical_buffers: hierarchical_active,
         }
+    }
+
+    /// Decode the [`ToJson`] encoding (`None` on shape mismatch).
+    pub fn from_json(doc: &Json) -> Option<Self> {
+        Some(MemoryEstimate {
+            params: doc.get("params")?.as_num()? as u64,
+            grads: doc.get("grads")?.as_num()? as u64,
+            optimizer: doc.get("optimizer")?.as_num()? as u64,
+            activations: doc.get("activations")?.as_num()? as u64,
+            transient: doc.get("transient")?.as_num()? as u64,
+            hierarchical_buffers: doc.get("hierarchical_buffers")? == &Json::Bool(true),
+        })
+    }
+}
+
+impl ToJson for MemoryEstimate {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("params", Json::Num(self.params as f64)),
+            ("grads", Json::Num(self.grads as f64)),
+            ("optimizer", Json::Num(self.optimizer as f64)),
+            ("activations", Json::Num(self.activations as f64)),
+            ("transient", Json::Num(self.transient as f64)),
+            ("hierarchical_buffers", Json::Bool(self.hierarchical_buffers)),
+        ])
     }
 }
 

@@ -9,10 +9,9 @@
 //! simulations at most.
 
 use crate::config::{MicsConfig, Strategy};
-use crate::dp::simulate_dp;
+use crate::dp::{simulate_dp_view, JobView};
 use crate::memory::{check_memory, OomError};
 use crate::report::RunReport;
-use crate::TrainingJob;
 use mics_cluster::ClusterSpec;
 use mics_compress::CompressionConfig;
 use mics_model::WorkloadSpec;
@@ -114,8 +113,11 @@ pub fn tune_with_compression(
                 let mut config = MicsConfig::paper_defaults(p);
                 config.hierarchical_allgather = hierarchical;
                 config.compression = compression;
+                // The strategy is built once per candidate and borrowed from
+                // there on — no workload/cluster clones on this hot path.
+                let strategy = Strategy::Mics(config.clone());
                 // Cheap memory pre-check before paying for a simulation.
-                let plan = Strategy::Mics(config.clone()).plan(cluster.total_devices());
+                let plan = strategy.plan(cluster.total_devices());
                 if let Err(e) = check_memory(workload, cluster, &plan, "tuner") {
                     if first_oom.is_none() {
                         first_oom = Some(e.clone());
@@ -123,13 +125,12 @@ pub fn tune_with_compression(
                     explored.push(Candidate { config, outcome: Err(e) });
                     continue;
                 }
-                let job = TrainingJob {
-                    workload: workload.clone(),
-                    cluster: cluster.clone(),
-                    strategy: Strategy::Mics(config.clone()),
+                let outcome = simulate_dp_view(JobView {
+                    workload,
+                    cluster,
+                    strategy: &strategy,
                     accum_steps,
-                };
-                let outcome = simulate_dp(&job);
+                });
                 if let Ok(r) = &outcome {
                     let better =
                         best.as_ref().is_none_or(|(_, b)| r.samples_per_sec > b.samples_per_sec);

@@ -26,3 +26,55 @@ pub use flops::megatron_flops_per_sample;
 pub use transformer::TransformerConfig;
 pub use wideresnet::WideResNetConfig;
 pub use workload::{LayerSpec, WorkloadSpec};
+
+/// Names of the built-in model presets, in display order. The single source
+/// of truth shared by `mics-sim` and the planner service's wire decoder.
+pub fn preset_names() -> &'static [&'static str] {
+    &[
+        "bert-1.5b",
+        "bert-10b",
+        "bert-15b",
+        "bert-20b",
+        "bert-50b",
+        "roberta-20b",
+        "gpt2-20b",
+        "bert-128l",
+        "52b",
+        "100b",
+        "wideresnet-3b",
+    ]
+}
+
+/// Resolve a preset name to its workload, lowered for `micro_batch`
+/// (`None` for unknown names — callers own their error surface).
+pub fn preset(name: &str, micro_batch: usize) -> Option<WorkloadSpec> {
+    let cfg = match name {
+        "bert-1.5b" => TransformerConfig::bert_1_5b(),
+        "bert-10b" => TransformerConfig::bert_10b(),
+        "bert-15b" => TransformerConfig::bert_15b(),
+        "bert-20b" => TransformerConfig::bert_20b(),
+        "bert-50b" => TransformerConfig::bert_50b(),
+        "roberta-20b" => TransformerConfig::roberta_20b(),
+        "gpt2-20b" => TransformerConfig::gpt2_20b(),
+        "bert-128l" => TransformerConfig::megatron_comparison(),
+        "52b" => TransformerConfig::proprietary_52b(),
+        "100b" => TransformerConfig::proprietary_100b(),
+        "wideresnet-3b" => return Some(WideResNetConfig::wrn_3b().workload(micro_batch)),
+        _ => return None,
+    };
+    Some(cfg.workload(micro_batch))
+}
+
+#[cfg(test)]
+mod preset_tests {
+    use super::*;
+
+    #[test]
+    fn every_preset_name_resolves() {
+        for name in preset_names() {
+            let w = preset(name, 2).unwrap_or_else(|| panic!("{name} must resolve"));
+            assert!(w.total_params() > 0, "{name}");
+        }
+        assert!(preset("bert-9000b", 2).is_none());
+    }
+}

@@ -1,0 +1,303 @@
+//! Single-flight memoization: the cache that makes repeated planning
+//! queries O(1) and concurrent duplicates cost one simulation.
+//!
+//! Keys are [`CanonicalKey`]s (see `mics_core::canonical`), so two queries
+//! that *mean* the same job collide regardless of how they were spelled on
+//! the wire. Values are the fully-computed response payloads as [`Json`]
+//! documents — deterministic [`Json::emit`] then guarantees a cache-served
+//! response is byte-identical to the freshly-computed one.
+//!
+//! Concurrency is classic single-flight: the first query for a key inserts
+//! a `Running` marker and computes; duplicates arriving meanwhile block on
+//! a condvar and are all served by that one run (the *dedup collapse* the
+//! `ext_serve` bench measures). A panic in the compute closure removes the
+//! marker and wakes waiters (one of them recomputes), so a poisoned entry
+//! cannot wedge the server.
+
+use mics_core::{CanonicalKey, Json};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use crate::protocol::PlanError;
+
+/// One cache slot: a computation in flight, or its result.
+enum Slot {
+    /// Some worker is computing this key; wait on the condvar.
+    Running,
+    /// The memoized response payload.
+    Done(Arc<Json>),
+}
+
+/// Monotonic counters describing cache behaviour since server start.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Queries that went through the cache at all.
+    pub queries: AtomicU64,
+    /// Served from a completed entry.
+    pub hits: AtomicU64,
+    /// Computed fresh (includes the leader of each duplicate burst).
+    pub misses: AtomicU64,
+    /// Duplicates that waited on an in-flight run instead of computing.
+    pub dedup_collapsed: AtomicU64,
+    /// Underlying simulate/tune executions actually run.
+    pub sim_runs: AtomicU64,
+}
+
+impl CacheStats {
+    /// Snapshot as plain numbers `(queries, hits, misses, dedup, sim_runs)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.queries.load(Ordering::Relaxed),
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.dedup_collapsed.load(Ordering::Relaxed),
+            self.sim_runs.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The single-flight memo cache.
+pub struct PlanCache {
+    slots: Mutex<HashMap<CanonicalKey, Slot>>,
+    ready: Condvar,
+    /// Behaviour counters, exposed via the `stats` request.
+    pub stats: CacheStats,
+}
+
+/// Removes a `Running` marker if the compute closure unwinds, so waiters
+/// retry instead of blocking forever.
+struct RunningGuard<'a> {
+    cache: &'a PlanCache,
+    key: CanonicalKey,
+    armed: bool,
+}
+
+impl Drop for RunningGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut slots = self.cache.slots.lock().unwrap();
+            if matches!(slots.get(&self.key), Some(Slot::Running)) {
+                slots.remove(&self.key);
+            }
+            drop(slots);
+            self.cache.ready.notify_all();
+        }
+    }
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PlanCache {
+            slots: Mutex::new(HashMap::new()),
+            ready: Condvar::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Entries currently memoized (completed only).
+    pub fn len(&self) -> usize {
+        self.slots.lock().unwrap().values().filter(|s| matches!(s, Slot::Done(_))).count()
+    }
+
+    /// Whether no results are memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking lookup of a *completed* entry. A hit counts toward the
+    /// stats; a miss (including an in-flight `Running` slot) counts nothing
+    /// — the caller is expected to follow up with
+    /// [`PlanCache::get_or_compute`], which does the accounting. This is
+    /// what lets the budget layer serve memoized answers to clients whose
+    /// FLOP ledger is already exhausted: cached responses are free.
+    pub fn peek(&self, key: CanonicalKey) -> Option<Arc<Json>> {
+        let slots = self.slots.lock().unwrap();
+        match slots.get(&key) {
+            Some(Slot::Done(v)) => {
+                self.stats.queries.fetch_add(1, Ordering::Relaxed);
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(v))
+            }
+            _ => None,
+        }
+    }
+
+    /// Look up `key`, or compute it exactly once across all concurrent
+    /// callers. `deadline` bounds how long a duplicate waits for the
+    /// in-flight leader. `compute` runs *without* the cache lock held.
+    ///
+    /// Returns the payload and whether this call was served from cache
+    /// (hit or collapsed duplicate) — the budget layer charges only the
+    /// leader that actually simulated.
+    pub fn get_or_compute(
+        &self,
+        key: CanonicalKey,
+        deadline: Instant,
+        compute: impl FnOnce() -> Json,
+    ) -> Result<(Arc<Json>, bool), PlanError> {
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        let mut slots = self.slots.lock().unwrap();
+        loop {
+            match slots.get(&key) {
+                Some(Slot::Done(v)) => {
+                    self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((Arc::clone(v), true));
+                }
+                Some(Slot::Running) => {
+                    self.stats.dedup_collapsed.fetch_add(1, Ordering::Relaxed);
+                    let started = Instant::now();
+                    // Wait for the leader; re-check on every wake. A missing
+                    // entry after a wake means the leader panicked — fall
+                    // through and become the new leader.
+                    loop {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            return Err(PlanError::DeadlineExceeded {
+                                waited: now.duration_since(started),
+                            });
+                        }
+                        let (guard, timeout) =
+                            self.ready.wait_timeout(slots, deadline.duration_since(now)).unwrap();
+                        slots = guard;
+                        match slots.get(&key) {
+                            Some(Slot::Done(v)) => {
+                                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                                return Ok((Arc::clone(v), true));
+                            }
+                            Some(Slot::Running) if timeout.timed_out() => {
+                                return Err(PlanError::DeadlineExceeded {
+                                    waited: Instant::now().duration_since(started),
+                                });
+                            }
+                            Some(Slot::Running) => continue,
+                            None => break, // leader died; take over
+                        }
+                    }
+                }
+                None => {
+                    slots.insert(key, Slot::Running);
+                    drop(slots);
+                    self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                    self.stats.sim_runs.fetch_add(1, Ordering::Relaxed);
+                    let mut guard = RunningGuard { cache: self, key, armed: true };
+                    let value = Arc::new(compute());
+                    guard.armed = false;
+                    let mut slots = self.slots.lock().unwrap();
+                    slots.insert(key, Slot::Done(Arc::clone(&value)));
+                    drop(slots);
+                    self.ready.notify_all();
+                    return Ok((value, false));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    fn key(n: u64) -> CanonicalKey {
+        CanonicalKey([n, !n])
+    }
+
+    fn far() -> Instant {
+        Instant::now() + Duration::from_secs(60)
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = PlanCache::new();
+        let runs = AtomicUsize::new(0);
+        let compute = || {
+            runs.fetch_add(1, Ordering::SeqCst);
+            Json::from("v")
+        };
+        let (a, cached_a) = cache.get_or_compute(key(1), far(), compute).unwrap();
+        let (b, cached_b) = cache.get_or_compute(key(1), far(), compute).unwrap();
+        assert_eq!(runs.load(Ordering::SeqCst), 1);
+        assert_eq!(a, b);
+        assert!(!cached_a && cached_b);
+        assert_eq!(cache.stats.snapshot(), (2, 1, 1, 0, 1));
+    }
+
+    #[test]
+    fn concurrent_duplicates_collapse_to_one_run() {
+        let cache = Arc::new(PlanCache::new());
+        let runs = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let runs = Arc::clone(&runs);
+                std::thread::spawn(move || {
+                    cache
+                        .get_or_compute(key(2), far(), move || {
+                            runs.fetch_add(1, Ordering::SeqCst);
+                            // Hold the slot long enough that peers pile up.
+                            std::thread::sleep(Duration::from_millis(50));
+                            Json::from("slow")
+                        })
+                        .unwrap()
+                        .0
+                })
+            })
+            .collect();
+        let results: Vec<_> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "exactly one compute");
+        assert!(results.windows(2).all(|w| w[0] == w[1]));
+        let (queries, hits, misses, dedup, sim_runs) = cache.stats.snapshot();
+        assert_eq!(queries, 8);
+        assert_eq!(misses, 1);
+        assert_eq!(sim_runs, 1);
+        assert_eq!(hits + dedup, 7 + dedup, "waiters resolve as hits");
+        assert!(dedup >= 1, "at least one duplicate must have waited");
+    }
+
+    #[test]
+    fn waiter_deadline_expires_while_leader_runs() {
+        let cache = Arc::new(PlanCache::new());
+        let c2 = Arc::clone(&cache);
+        let leader = std::thread::spawn(move || {
+            c2.get_or_compute(key(3), far(), || {
+                std::thread::sleep(Duration::from_millis(200));
+                Json::from("late")
+            })
+            .unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(30)); // let the leader start
+        let err = cache
+            .get_or_compute(key(3), Instant::now() + Duration::from_millis(20), || {
+                unreachable!("duplicate must not compute")
+            })
+            .unwrap_err();
+        assert!(matches!(err, PlanError::DeadlineExceeded { .. }), "{err:?}");
+        leader.join().unwrap();
+    }
+
+    #[test]
+    fn panicking_leader_does_not_wedge_the_key() {
+        let cache = Arc::new(PlanCache::new());
+        let c2 = Arc::clone(&cache);
+        let crashed = std::thread::spawn(move || {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                c2.get_or_compute(key(4), far(), || panic!("boom"))
+            }));
+        });
+        crashed.join().unwrap();
+        // The key is free again: a fresh caller computes successfully.
+        let (v, cached) = cache.get_or_compute(key(4), far(), || Json::from("recovered")).unwrap();
+        assert_eq!(*v, Json::from("recovered"));
+        assert!(!cached);
+    }
+}

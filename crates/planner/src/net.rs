@@ -1,0 +1,181 @@
+//! Planner connectivity: the same two address families the dataplane
+//! speaks (`host:port` TCP with Nagle off, or `unix:<path>`), behind one
+//! stream/listener pair. The dataplane keeps its `Stream` crate-private, so
+//! the planner carries its own copy of the idiom rather than widening that
+//! API for a different subsystem.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::time::Duration;
+
+/// A connected planner byte stream of either flavor.
+#[derive(Debug)]
+pub enum PlanStream {
+    /// TCP (addresses like `127.0.0.1:7000`), Nagle disabled.
+    Tcp(TcpStream),
+    /// Unix-domain (addresses like `unix:/tmp/mics-planner.sock`).
+    Unix(UnixStream),
+}
+
+impl PlanStream {
+    /// Connect to `addr` (`unix:<path>` or a TCP `host:port`).
+    pub fn connect(addr: &str) -> std::io::Result<PlanStream> {
+        if let Some(path) = addr.strip_prefix("unix:") {
+            Ok(PlanStream::Unix(UnixStream::connect(path)?))
+        } else {
+            let s = TcpStream::connect(addr)?;
+            s.set_nodelay(true)?;
+            Ok(PlanStream::Tcp(s))
+        }
+    }
+
+    /// A second OS handle to the same socket (reader/writer split).
+    pub fn try_clone(&self) -> std::io::Result<PlanStream> {
+        Ok(match self {
+            PlanStream::Tcp(s) => PlanStream::Tcp(s.try_clone()?),
+            PlanStream::Unix(s) => PlanStream::Unix(s.try_clone()?),
+        })
+    }
+
+    /// Force both directions closed, unblocking any reader.
+    pub fn shutdown(&self) {
+        let _ = match self {
+            PlanStream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            PlanStream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+}
+
+impl Read for PlanStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            PlanStream::Tcp(s) => s.read(buf),
+            PlanStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for PlanStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            PlanStream::Tcp(s) => s.write(buf),
+            PlanStream::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            PlanStream::Tcp(s) => s.flush(),
+            PlanStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound planner listener of either flavor. Unix sockets unlink their
+/// path on drop.
+#[derive(Debug)]
+pub enum PlanListener {
+    /// Bound TCP listener.
+    Tcp(TcpListener),
+    /// Bound Unix-domain listener plus its filesystem path.
+    Unix(UnixListener, String),
+}
+
+impl PlanListener {
+    /// Bind `addr` (`unix:<path>` or TCP; `127.0.0.1:0` picks a free port).
+    /// A stale Unix socket file from a crashed server is replaced.
+    pub fn bind(addr: &str) -> std::io::Result<PlanListener> {
+        if let Some(path) = addr.strip_prefix("unix:") {
+            let _ = std::fs::remove_file(path);
+            Ok(PlanListener::Unix(UnixListener::bind(path)?, path.to_string()))
+        } else {
+            Ok(PlanListener::Tcp(TcpListener::bind(addr)?))
+        }
+    }
+
+    /// The address clients should [`PlanStream::connect`] to — the actual
+    /// bound port for TCP, `unix:<path>` for Unix.
+    pub fn local_addr(&self) -> std::io::Result<String> {
+        match self {
+            PlanListener::Tcp(l) => Ok(l.local_addr()?.to_string()),
+            PlanListener::Unix(_, path) => Ok(format!("unix:{path}")),
+        }
+    }
+
+    /// Switch the listener between blocking and polling accepts.
+    pub fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+        match self {
+            PlanListener::Tcp(l) => l.set_nonblocking(nb),
+            PlanListener::Unix(l, _) => l.set_nonblocking(nb),
+        }
+    }
+
+    /// Accept one connection (honors `set_nonblocking`: a `WouldBlock`
+    /// error means "nothing pending right now").
+    pub fn accept(&self) -> std::io::Result<PlanStream> {
+        match self {
+            PlanListener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nodelay(true)?;
+                Ok(PlanStream::Tcp(s))
+            }
+            PlanListener::Unix(l, _) => {
+                let (s, _) = l.accept()?;
+                Ok(PlanStream::Unix(s))
+            }
+        }
+    }
+}
+
+impl Drop for PlanListener {
+    fn drop(&mut self) {
+        if let PlanListener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Sleep between nonblocking accept polls — long enough to stay off the
+/// CPU, short enough that shutdown latency is invisible.
+pub const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{read_frame, write_frame};
+
+    #[test]
+    fn tcp_round_trip() {
+        let listener = PlanListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let mut server_side = listener.accept().unwrap();
+            let msg = read_frame(&mut server_side).unwrap();
+            write_frame(&mut server_side, &format!("echo {msg}")).unwrap();
+        });
+        let mut c = PlanStream::connect(&addr).unwrap();
+        write_frame(&mut c, "hi").unwrap();
+        assert_eq!(read_frame(&mut c).unwrap(), "echo hi");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn unix_round_trip_and_cleanup() {
+        let path =
+            std::env::temp_dir().join(format!("mics-planner-net-{}.sock", std::process::id()));
+        let addr = format!("unix:{}", path.display());
+        let listener = PlanListener::bind(&addr).unwrap();
+        assert_eq!(listener.local_addr().unwrap(), addr);
+        let t = std::thread::spawn(move || {
+            let mut server_side = listener.accept().unwrap();
+            let msg = read_frame(&mut server_side).unwrap();
+            write_frame(&mut server_side, &msg).unwrap();
+            // listener dropped here
+        });
+        let mut c = PlanStream::connect(&addr).unwrap();
+        write_frame(&mut c, "ping").unwrap();
+        assert_eq!(read_frame(&mut c).unwrap(), "ping");
+        t.join().unwrap();
+        assert!(!path.exists(), "unix socket file must be unlinked on drop");
+    }
+}

@@ -51,4 +51,25 @@ echo "==> mics-rankd bench (socket-transport smoke, capped wall clock)"
 cargo build --release -q -p mics-cli --bin mics-rankd
 timeout 150 target/release/mics-rankd bench >/dev/null
 
+# The planner service bench drives 1200+ socket queries through the memo
+# cache and asserts the hit-rate / dedup-collapse / byte-identity claims
+# recorded in results/ext_serve.json.
+echo "==> ext_serve (planner service smoke, capped wall clock)"
+timeout 150 cargo run --release -q -p mics-bench --bin ext_serve >/dev/null
+
+# And the daemon round-trips end to end: serve on a Unix socket, query it,
+# shut it down. A wedged server must fail the gate, not hang it.
+echo "==> mics-plannerd serve/query/shutdown round trip"
+cargo build --release -q -p mics-cli --bin mics-plannerd
+PLANNER_SOCK="$(mktemp -u /tmp/mics-plannerd.XXXXXX.sock)"
+timeout 60 target/release/mics-plannerd serve --addr "unix:${PLANNER_SOCK}" &
+PLANNER_PID=$!
+for _ in $(seq 50); do [ -S "${PLANNER_SOCK}" ] && break; sleep 0.1; done
+timeout 30 target/release/mics-plannerd query --addr "unix:${PLANNER_SOCK}" \
+    --model bert-10b --nodes 2 --strategy mics:8 | grep -q '"report"'
+timeout 30 target/release/mics-plannerd bench --addr "unix:${PLANNER_SOCK}" \
+    --clients 2 --queries 8 >/dev/null
+timeout 30 target/release/mics-plannerd stop --addr "unix:${PLANNER_SOCK}"
+wait "${PLANNER_PID}"
+
 echo "verify: all green"

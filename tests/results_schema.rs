@@ -150,6 +150,41 @@ fn ext_multiproc_artifact_matches_its_claims() {
     }
 }
 
+/// The planner-service extension's artifact backs its claims: a four-digit
+/// query count served over sockets, a warm phase that is pure cache hits,
+/// a duplicate burst collapsed by the single-flight cache, and responses
+/// byte-identical to in-process simulator calls.
+#[test]
+fn ext_serve_artifact_matches_its_claims() {
+    let doc = parse(&results_dir().join("ext_serve.json"));
+
+    let queries = doc.get("queries").and_then(Json::as_num).unwrap();
+    assert!(queries >= 1000.0, "claimed ≥ 1000 served queries, artifact says {queries}");
+    assert!(doc.get("queries_per_sec").and_then(Json::as_num).unwrap() > 0.0);
+
+    // The cache earned its keep: hits happened, the warm phase re-ran
+    // nothing, and the barrier-synced burst collapsed many-to-one.
+    let hit_rate = doc.get("cache_hit_rate").and_then(Json::as_num).unwrap();
+    assert!(hit_rate > 0.0 && hit_rate < 1.0, "hit rate out of range: {hit_rate}");
+    assert_eq!(doc.get("warm_sim_runs").and_then(Json::as_num), Some(0.0));
+    let collapse = doc.get("burst_collapse_factor").and_then(Json::as_num).unwrap();
+    assert!(collapse > 1.0, "burst collapse factor must exceed 1, got {collapse}");
+    assert!(doc.get("dedup_collapsed").and_then(Json::as_num).unwrap() >= 1.0);
+
+    // Cached or fresh, every byte matches the in-process answer.
+    assert_eq!(doc.get("byte_identical"), Some(&Json::Bool(true)));
+
+    // Latency percentiles are sane and the table covers all three phases.
+    let p50 = doc.get("p50_us").and_then(Json::as_num).unwrap();
+    let p99 = doc.get("p99_us").and_then(Json::as_num).unwrap();
+    assert!(p50 > 0.0 && p99 >= p50, "p50 {p50} µs, p99 {p99} µs");
+    let phases = doc.get("phases").expect("phase table present");
+    let rows = phases.get("rows").and_then(Json::as_arr).unwrap();
+    let names: Vec<&str> =
+        rows.iter().filter_map(Json::as_arr).map(|r| r[0].as_str().unwrap()).collect();
+    assert_eq!(names, ["cold", "warm", "burst"]);
+}
+
 /// The overlap extension's artifact backs its claims: communication measured
 /// in flight under compute, bit-identical losses, the structural deferral
 /// counts, and wall-clock no worse than the single-core scheduler tax the
