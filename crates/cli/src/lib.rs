@@ -9,11 +9,14 @@
 
 #![warn(missing_docs)]
 
+pub mod perf_diff;
+
 use mics_cluster::{ClusterSpec, InstanceType};
 use mics_core::memory::check_memory;
 use mics_core::{simulate, simulate_dp_traced, tune, Strategy, TrainingJob};
 use mics_dataplane::TransportKind;
 use mics_model::WorkloadSpec;
+pub use perf_diff::{perf_diff, PerfDiffArgs};
 use std::fmt;
 
 /// A parsed command line.
@@ -29,6 +32,8 @@ pub enum Command {
     Tune(JobArgs),
     /// Train the fig15-class LM on the real thread-rank backend.
     Fidelity(FidelityArgs),
+    /// Compare two `results/` snapshots metric-by-metric.
+    PerfDiff(PerfDiffArgs),
 }
 
 /// Shared job arguments.
@@ -124,6 +129,7 @@ USAGE:
   mics-sim tune     <model> [--nodes N] [--instance ...] [--micro-batch B] [--accum S]
   mics-sim fidelity [--iterations N] [--prefetch-depth D] [--trace out.json]
                     [--transport local|socket]
+  mics-sim perf-diff <old-dir> <new-dir> [--threshold PCT]
 
 MODELS: run `mics-sim models` for the list.
 SEE ALSO: `mics-rankd` runs the same data plane as one OS process per rank.";
@@ -187,6 +193,29 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             return Err(err("--iterations must be a positive integer"));
         }
         return Ok(Command::Fidelity(fid));
+    }
+    if sub == "perf-diff" {
+        let mut diff = PerfDiffArgs {
+            old_dir: it.next().ok_or_else(|| err("perf-diff: missing <old-dir>"))?.clone(),
+            new_dir: it.next().ok_or_else(|| err("perf-diff: missing <new-dir>"))?.clone(),
+            ..PerfDiffArgs::default()
+        };
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--threshold" => {
+                    diff.threshold_pct = it
+                        .next()
+                        .ok_or_else(|| err("--threshold requires a value"))?
+                        .parse()
+                        .map_err(|_| err("--threshold must be a number (percent)"))?;
+                }
+                other => return Err(err(format!("unknown flag '{other}'\n\n{USAGE}"))),
+            }
+        }
+        if !diff.threshold_pct.is_finite() || diff.threshold_pct < 0.0 {
+            return Err(err("--threshold must be a non-negative number"));
+        }
+        return Ok(Command::PerfDiff(diff));
     }
     if !matches!(sub.as_str(), "estimate" | "simulate" | "tune") {
         return Err(err(format!("unknown subcommand '{sub}'\n\n{USAGE}")));
@@ -315,6 +344,13 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             }
         }
         Command::Fidelity(args) => {
+            let rec = mics_trace::global();
+            if args.trace.is_some() {
+                // Drop whatever an earlier run in this process recorded, so
+                // the merged file only holds this run's wire events.
+                let _ = rec.drain();
+                rec.enable();
+            }
             let setup = fig15_setup(args);
             let out =
                 mics_minidl::train_lm_on(args.transport, &setup, mics_minidl::SyncSchedule::TwoHop);
@@ -338,12 +374,15 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 s.prefetched_gathers,
             );
             if let Some(path) = &args.trace {
-                std::fs::write(path, fidelity_trace(args, &setup, s))
+                rec.disable();
+                let live = rec.drain();
+                std::fs::write(path, fidelity_trace(args, &setup, s, live))
                     .map_err(|e| err(format!("cannot write trace to '{path}': {e}")))?;
                 text.push_str(&format!(" | trace written to {path}"));
             }
             Ok(text)
         }
+        Command::PerfDiff(args) => perf_diff(args),
         Command::Tune(job) => {
             let (workload, cluster, _) = resolve(job)?;
             match tune(&workload, &cluster, job.accum) {
@@ -393,13 +432,17 @@ fn fig15_setup(args: &FidelityArgs) -> mics_minidl::LmSetup {
     }
 }
 
-/// One chrome-trace document holding two processes: pid 0 is the simulator's
-/// *charged* timeline for the fidelity program, pid 1 the real backend's
-/// *measured* lane spans — load it in Perfetto to compare them side by side.
+/// One chrome-trace document holding the simulator's *charged* timeline
+/// for the fidelity program (pid 0), the real backend's *measured* lane
+/// spans and counter tracks (pid 1), and whatever the live recorder
+/// captured during the run — the socket dataplane's byte/queue-depth
+/// counters and fault instants (further pids). Load it in Perfetto to
+/// compare charged vs measured side by side.
 fn fidelity_trace(
     args: &FidelityArgs,
     setup: &mics_minidl::LmSetup,
     measured: &mics_minidl::LaneStats,
+    live: mics_trace::Trace,
 ) -> String {
     let hp = mics_minidl::ScheduleHyper {
         world: setup.world,
@@ -425,23 +468,10 @@ fn fidelity_trace(
     let mut sc = mics_core::ops::SimCluster::new(ClusterSpec::new(inst, 1));
     sc.enable_tracing();
     mics_core::schedule::execute_on_sim(&prog, &mut sc, 1e12);
-    let (_, _, _, sim_json) = sc.run_traced();
-    let sim_events = sim_json
-        .strip_prefix("{\"traceEvents\":[")
-        .and_then(|s| s.strip_suffix("]}"))
-        .expect("simulator trace is chrome-trace shaped");
-    let mut out = String::from(
-        "{\"traceEvents\":[{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\
-         \"args\":{\"name\":\"simulator (charged)\"}}",
-    );
-    if !sim_events.is_empty() {
-        out.push(',');
-        out.push_str(sim_events);
-    }
-    out.push(',');
-    out.push_str(&measured.chrome_trace_events(1, "real backend (measured)"));
-    out.push_str("]}");
-    out
+    let (_, _, _, mut trace) = sc.run_traced();
+    measured.trace_into(&mut trace, "real backend (measured)");
+    trace.merge(live);
+    trace.to_json()
 }
 
 fn resolve(job: &JobArgs) -> Result<(WorkloadSpec, ClusterSpec, Strategy), CliError> {
@@ -627,6 +657,26 @@ mod tests {
         assert!(json.contains("real backend (measured)"), "real process missing");
         assert!(json.contains("\"pid\":1"), "real lanes must live under their own pid");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_perf_diff_with_threshold() {
+        let cmd = parse_args(&argv("perf-diff results /tmp/new --threshold 2.5")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::PerfDiff(PerfDiffArgs {
+                old_dir: "results".into(),
+                new_dir: "/tmp/new".into(),
+                threshold_pct: 2.5,
+            })
+        );
+        match parse_args(&argv("perf-diff results results")).unwrap() {
+            Command::PerfDiff(d) => assert_eq!(d.threshold_pct, 5.0, "default threshold"),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&argv("perf-diff results")).is_err(), "missing <new-dir>");
+        assert!(parse_args(&argv("perf-diff a b --threshold -1")).is_err());
+        assert!(parse_args(&argv("perf-diff a b --bogus")).is_err());
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! `mics-sim perf-diff`: metric-by-metric comparison of two `results/`
+//! snapshots, the regression gate `scripts/verify.sh` runs.
+//!
+//! Both directories are scanned for `*.json` files; every pair with the
+//! same name is parsed ([`Json::parse`]) and walked structurally. Numeric
+//! leaves — plain numbers, and table-cell strings like `"24.4"` or
+//! `"1.72×"` — are compared under a relative threshold; everything else
+//! (labels, shapes, array lengths, missing files or keys) must match
+//! exactly. Any violation is a regression: the caller exits nonzero, so
+//! the gate fails loudly instead of letting a perf or fidelity drift slip
+//! into a refreshed snapshot.
+
+use crate::CliError;
+use mics_core::Json;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Arguments of the `perf-diff` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfDiffArgs {
+    /// Baseline snapshot directory (e.g. a pristine `results/`).
+    pub old_dir: String,
+    /// Candidate snapshot directory to gate.
+    pub new_dir: String,
+    /// Maximum tolerated relative change of a numeric leaf, in percent.
+    pub threshold_pct: f64,
+}
+
+impl Default for PerfDiffArgs {
+    fn default() -> Self {
+        PerfDiffArgs { old_dir: String::new(), new_dir: String::new(), threshold_pct: 5.0 }
+    }
+}
+
+/// Running totals and the regression list of one comparison.
+#[derive(Debug, Default)]
+struct DiffReport {
+    files: usize,
+    metrics: usize,
+    regressions: Vec<String>,
+}
+
+/// Compare two snapshot directories. `Ok(report)` when every metric is
+/// within threshold; `Err` carries the same report with the regression
+/// list so the process exits nonzero.
+pub fn perf_diff(args: &PerfDiffArgs) -> Result<String, CliError> {
+    let old_names = json_files(&args.old_dir)?;
+    let new_names = json_files(&args.new_dir)?;
+    let mut report = DiffReport::default();
+    for name in &old_names {
+        if !new_names.contains(name) {
+            report.regressions.push(format!("{name}: missing from {}", args.new_dir));
+            continue;
+        }
+        let old = parse_file(&args.old_dir, name)?;
+        let new = parse_file(&args.new_dir, name)?;
+        report.files += 1;
+        diff_value(name, &old, &new, args.threshold_pct, &mut report);
+    }
+    let added: Vec<&String> = new_names.difference(&old_names).collect();
+    let mut out = format!(
+        "perf-diff {} -> {} (threshold {}%): {} files, {} numeric metrics compared",
+        args.old_dir, args.new_dir, args.threshold_pct, report.files, report.metrics,
+    );
+    if !added.is_empty() {
+        out.push_str(&format!(
+            "\nnew files (not gated): {}",
+            added.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", ")
+        ));
+    }
+    if report.regressions.is_empty() {
+        out.push_str("\nok: no regressions");
+        Ok(out)
+    } else {
+        out.push_str(&format!("\n{} regression(s):", report.regressions.len()));
+        for r in &report.regressions {
+            out.push_str(&format!("\n  {r}"));
+        }
+        Err(CliError(out))
+    }
+}
+
+/// The sorted `*.json` file names directly inside `dir`.
+fn json_files(dir: &str) -> Result<BTreeSet<String>, CliError> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| CliError(format!("cannot read snapshot directory '{dir}': {e}")))?;
+    let mut names = BTreeSet::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| CliError(format!("cannot scan '{dir}': {e}")))?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) == Some("json") && path.is_file() {
+            if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                names.insert(name.to_string());
+            }
+        }
+    }
+    Ok(names)
+}
+
+fn parse_file(dir: &str, name: &str) -> Result<Json, CliError> {
+    let path = Path::new(dir).join(name);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| CliError(format!("cannot read '{}': {e}", path.display())))?;
+    Json::parse(&text)
+        .map_err(|e| CliError(format!("'{}' is not valid JSON: {e:?}", path.display())))
+}
+
+/// A leaf's numeric value: plain numbers, or table-cell strings holding a
+/// number (optionally suffixed `×`, the speedup notation the results
+/// tables use). Non-numeric strings return `None` and compare exactly.
+fn numeric(value: &Json) -> Option<f64> {
+    match value {
+        Json::Num(n) => Some(*n),
+        Json::Str(s) => {
+            let t = s.trim().trim_end_matches('×').trim();
+            if t.is_empty() {
+                None
+            } else {
+                t.parse::<f64>().ok()
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Structural walk: numeric leaves compare under the threshold, all other
+/// leaves and shapes must match exactly.
+fn diff_value(path: &str, old: &Json, new: &Json, threshold_pct: f64, report: &mut DiffReport) {
+    if let (Some(a), Some(b)) = (numeric(old), numeric(new)) {
+        report.metrics += 1;
+        let denom = a.abs().max(b.abs());
+        if denom > 0.0 {
+            let change_pct = (b - a).abs() / denom * 100.0;
+            if change_pct > threshold_pct {
+                report.regressions.push(format!("{path}: {a} -> {b} ({change_pct:.1}% change)"));
+            }
+        }
+        return;
+    }
+    match (old, new) {
+        (Json::Obj(a), Json::Obj(b)) => {
+            for (k, va) in a {
+                match b.iter().find(|(kb, _)| kb == k) {
+                    Some((_, vb)) => {
+                        diff_value(&format!("{path}.{k}"), va, vb, threshold_pct, report)
+                    }
+                    None => report.regressions.push(format!("{path}.{k}: key missing")),
+                }
+            }
+        }
+        (Json::Arr(a), Json::Arr(b)) => {
+            if a.len() != b.len() {
+                report.regressions.push(format!(
+                    "{path}: array length changed ({} -> {})",
+                    a.len(),
+                    b.len()
+                ));
+                return;
+            }
+            for (i, (va, vb)) in a.iter().zip(b).enumerate() {
+                diff_value(&format!("{path}[{i}]"), va, vb, threshold_pct, report);
+            }
+        }
+        (a, b) if a == b => {}
+        (a, b) => {
+            report.regressions.push(format!(
+                "{path}: value changed ({} -> {})",
+                a.emit(),
+                b.emit()
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(tag: &str, files: &[(&str, &str)]) -> String {
+        let dir = std::env::temp_dir().join(format!("mics_perf_diff_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, text) in files {
+            std::fs::write(dir.join(name), text).unwrap();
+        }
+        dir.to_str().unwrap().to_string()
+    }
+
+    fn args(old: &str, new: &str) -> PerfDiffArgs {
+        PerfDiffArgs { old_dir: old.into(), new_dir: new.into(), ..PerfDiffArgs::default() }
+    }
+
+    #[test]
+    fn identical_snapshots_pass() {
+        let doc = r#"{"rows":[["mics","24.4","1.72×"]],"samples_per_sec":24.4}"#;
+        let a = snapshot("id_a", &[("fig.json", doc)]);
+        let b = snapshot("id_b", &[("fig.json", doc)]);
+        let out = perf_diff(&args(&a, &b)).unwrap();
+        assert!(out.contains("no regressions"), "{out}");
+        std::fs::remove_dir_all(a).ok();
+        std::fs::remove_dir_all(b).ok();
+    }
+
+    #[test]
+    fn small_drift_within_threshold_passes_large_drift_fails() {
+        let a = snapshot("thr_a", &[("fig.json", r#"{"samples_per_sec":100.0}"#)]);
+        let ok = snapshot("thr_ok", &[("fig.json", r#"{"samples_per_sec":102.0}"#)]);
+        let bad = snapshot("thr_bad", &[("fig.json", r#"{"samples_per_sec":80.0}"#)]);
+        assert!(perf_diff(&args(&a, &ok)).is_ok(), "2% drift is under the 5% default");
+        let e = perf_diff(&args(&a, &bad)).unwrap_err();
+        assert!(e.0.contains("fig.json.samples_per_sec"), "{e}");
+        assert!(e.0.contains("regression"), "{e}");
+        for d in [a, ok, bad] {
+            std::fs::remove_dir_all(d).ok();
+        }
+    }
+
+    #[test]
+    fn table_cell_strings_compare_numerically() {
+        // "1.72×" vs "1.73×" is a 0.6% change: within threshold even though
+        // the strings differ byte-wise.
+        let a = snapshot("cell_a", &[("t.json", r#"{"rows":[["mics","1.72×"]]}"#)]);
+        let b = snapshot("cell_b", &[("t.json", r#"{"rows":[["mics","1.73×"]]}"#)]);
+        assert!(perf_diff(&args(&a, &b)).is_ok());
+        // A label change is a shape regression, threshold or not.
+        let c = snapshot("cell_c", &[("t.json", r#"{"rows":[["zero3","1.72×"]]}"#)]);
+        assert!(perf_diff(&args(&a, &c)).is_err());
+        for d in [a, b, c] {
+            std::fs::remove_dir_all(d).ok();
+        }
+    }
+
+    #[test]
+    fn missing_files_and_keys_are_regressions_new_files_are_not() {
+        let a = snapshot("miss_a", &[("x.json", r#"{"v":1,"w":2}"#)]);
+        let b = snapshot("miss_b", &[("y.json", r#"{"v":1}"#)]);
+        let e = perf_diff(&args(&a, &b)).unwrap_err();
+        assert!(e.0.contains("x.json: missing"), "{e}");
+        let c = snapshot("miss_c", &[("x.json", r#"{"v":1}"#), ("extra.json", "{}")]);
+        let e = perf_diff(&args(&a, &c)).unwrap_err();
+        assert!(e.0.contains("x.json.w: key missing"), "{e}");
+        assert!(e.0.contains("new files (not gated): extra.json"), "{e}");
+        for d in [a, b, c] {
+            std::fs::remove_dir_all(d).ok();
+        }
+    }
+}

@@ -151,7 +151,8 @@ fn simulate_dp_inner(job: JobView<'_>, trace: bool) -> Result<(RunReport, String
     };
     let exec = execute_on_sim(&prog, &mut sc, sustained);
 
-    let (iter_time, compute_busy, comm_busy, trace_json) = sc.run_traced();
+    let (iter_time, compute_busy, comm_busy, sim_trace) = sc.run_traced();
+    let trace_json = sim_trace.to_json();
     let secs = iter_time.as_secs_f64();
     Ok((
         RunReport {

@@ -49,6 +49,11 @@ pub struct SimCluster {
 /// clean-network rate.
 pub const NIC_TRAINING_DERATE: f64 = 0.7;
 
+/// Process name the simulator's timeline is presented under in exported
+/// traces: these are *charged* virtual-time spans, as opposed to the
+/// minidl backend's measured ones.
+pub const SIM_TRACE_PROCESS: &str = "simulator (charged)";
+
 impl SimCluster {
     /// Materialize `spec` into a fresh simulator.
     pub fn new(spec: ClusterSpec) -> Self {
@@ -223,16 +228,20 @@ impl SimCluster {
         (makespan, compute, comm)
     }
 
-    /// Like [`SimCluster::run`], but also returns the chrome-trace JSON of
-    /// the timeline (empty spans unless [`SimCluster::enable_tracing`] was
-    /// called).
-    pub fn run_traced(mut self) -> (SimTime, SimTime, SimTime, String) {
+    /// Like [`SimCluster::run`], but also returns the recorded
+    /// [`mics_trace::Trace`] of the timeline (empty unless
+    /// [`SimCluster::enable_tracing`] was called), with its process
+    /// renamed to [`SIM_TRACE_PROCESS`]. Callers render it with the shared
+    /// writer ([`mics_trace::Trace::to_json`]) or merge it with measured
+    /// timelines first.
+    pub fn run_traced(mut self) -> (SimTime, SimTime, SimTime, mics_trace::Trace) {
         let stats = self.sim.run().expect("iteration program must not deadlock");
         let compute_busy: SimTime = self.compute.iter().map(|s| stats.stream_busy[s.0]).sum();
         let comm_busy: SimTime =
             self.gather.iter().chain(self.reduce.iter()).map(|s| stats.stream_busy[s.0]).sum();
-        let json = mics_simnet::chrome_trace_json(&stats.trace, &stats.stream_names);
-        (stats.makespan, compute_busy, comm_busy, json)
+        let mut trace = stats.trace;
+        trace.rename_process(mics_simnet::SIM_PROCESS, SIM_TRACE_PROCESS);
+        (stats.makespan, compute_busy, comm_busy, trace)
     }
 }
 

@@ -94,7 +94,10 @@ pub use quantized::{
     quantized_all_gather, quantized_all_reduce, quantized_hierarchical_all_gather,
     quantized_hierarchical_reduce_scatter, quantized_reduce_scatter,
 };
-pub use transport::{connect_world, Hub, RetryPolicy, SocketWorldConfig, TransportKind};
+pub use transport::{
+    connect_world, socket_counters, Hub, RetryPolicy, SocketWorldConfig, TransportKind,
+    DATAPLANE_PROCESS,
+};
 
 use transport::{Backend, ChildKey};
 

@@ -29,7 +29,7 @@ pub(crate) mod local;
 pub mod socket;
 
 pub use hub::Hub;
-pub use socket::{connect_world, SocketWorldConfig};
+pub use socket::{connect_world, socket_counters, SocketWorldConfig, DATAPLANE_PROCESS};
 
 /// Which transport a rank harness runs its communicator groups on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -42,14 +42,28 @@
 use super::hub::Hub;
 use super::{Backend, ChildKey, Parts, RetryPolicy, TransportKind};
 use crate::{lock, CommError, Communicator, DEFAULT_TIMEOUT};
+use mics_trace::Arg;
 use std::collections::HashMap;
 use std::io::{BufWriter, Read, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, RecvTimeoutError, SyncSender};
-use std::sync::{Arc, Mutex, Weak};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::time::{Duration, Instant};
+
+/// Process name every socket-transport trace event records under.
+pub const DATAPLANE_PROCESS: &str = "dataplane";
+
+/// The process-wide registry of socket-transport counters: per-rank
+/// cumulative wire bytes (`socket.rank{N}.tx_bytes` / `.rx_bytes`) and the
+/// in-flight exchange depth gauge (`socket.rank{N}.pending`). Counters are
+/// always maintained (one atomic op per frame); trace *events* for them are
+/// only recorded while [`mics_trace::global`] is enabled.
+pub fn socket_counters() -> &'static mics_trace::Counters {
+    static COUNTERS: OnceLock<mics_trace::Counters> = OnceLock::new();
+    COUNTERS.get_or_init(mics_trace::Counters::new)
+}
 
 /// Group id of the world communicator; sub-group ids are derived hashes.
 pub(crate) const WORLD_GROUP: u64 = 0;
@@ -367,6 +381,12 @@ impl<'a> Cursor<'a> {
 /// Read one frame off `r`, blocking. An EOF at a frame boundary surfaces as
 /// `UnexpectedEof`.
 pub(crate) fn read_frame(r: &mut impl Read) -> std::io::Result<Frame> {
+    read_frame_sized(r).map(|(frame, _)| frame)
+}
+
+/// [`read_frame`] plus the wire size consumed (payload + 4-byte prefix),
+/// for the receive-byte counters.
+pub(crate) fn read_frame_sized(r: &mut impl Read) -> std::io::Result<(Frame, u64)> {
     let mut len4 = [0u8; 4];
     r.read_exact(&mut len4)?;
     let len = u32::from_le_bytes(len4) as usize;
@@ -407,7 +427,7 @@ pub(crate) fn read_frame(r: &mut impl Read) -> std::io::Result<Frame> {
     if c.pos != payload.len() {
         return Err(bad_wire("trailing bytes in frame".into()));
     }
-    Ok(frame)
+    Ok((frame, len as u64 + 4))
 }
 
 /// Write one frame to `w` and flush.
@@ -439,6 +459,12 @@ pub(crate) struct Endpoint {
     failed: Mutex<Option<CommError>>,
     last_inbound: Mutex<Instant>,
     heartbeat_grace: Duration,
+    /// Cumulative bytes written to the wire (`socket.rank{N}.tx_bytes`).
+    tx_bytes: mics_trace::Counter,
+    /// Cumulative bytes read off the wire (`socket.rank{N}.rx_bytes`).
+    rx_bytes: mics_trace::Counter,
+    /// Gauge: in-flight exchanges awaiting a hub reply.
+    pending_depth: mics_trace::Counter,
 }
 
 impl std::fmt::Debug for Endpoint {
@@ -459,13 +485,37 @@ impl Endpoint {
         if let Some(e) = self.failure() {
             return Err(e);
         }
+        let bytes = encode_frame(frame);
         let mut w = lock(&self.writer);
-        write_frame(&mut *w, frame).map_err(|e| {
-            let err = CommError::Io { kind: e.kind() };
-            drop(w);
-            self.fail_connection(err);
-            err
-        })
+        match w.write_all(&bytes).and_then(|()| w.flush()) {
+            Ok(()) => {
+                drop(w);
+                let total = self.tx_bytes.add(bytes.len() as u64);
+                let rec = mics_trace::global();
+                if rec.is_enabled() {
+                    let track = format!("rank{} tx bytes", self.world_rank);
+                    rec.counter(DATAPLANE_PROCESS, &track, &track, total as f64);
+                }
+                Ok(())
+            }
+            Err(e) => {
+                let err = CommError::Io { kind: e.kind() };
+                drop(w);
+                self.fail_connection(err);
+                Err(err)
+            }
+        }
+    }
+
+    /// Record the pending-map depth on the gauge (and, when tracing, as a
+    /// counter track) after a mutation.
+    fn note_pending_depth(&self, depth: usize) {
+        self.pending_depth.set(depth as u64);
+        let rec = mics_trace::global();
+        if rec.is_enabled() {
+            let track = format!("rank{} in-flight exchanges", self.world_rank);
+            rec.counter(DATAPLANE_PROCESS, &track, &track, depth as f64);
+        }
     }
 
     /// Terminal connection failure: record it, poison every group, resolve
@@ -478,6 +528,13 @@ impl Endpoint {
             }
             *failed = Some(err);
         }
+        mics_trace::global().instant(
+            DATAPLANE_PROCESS,
+            &format!("rank{}", self.world_rank),
+            "rank poisoned",
+            "fault",
+            vec![("error", Arg::from(format!("{err:?}")))],
+        );
         self.poison_groups(err);
         self.fail_pending(err, None);
     }
@@ -493,14 +550,21 @@ impl Endpoint {
     /// Resolve in-flight exchanges with `err` — all of them, or only one
     /// group's.
     fn fail_pending(&self, err: CommError, only_group: Option<u64>) {
-        let mut pending = lock(&self.pending);
-        let keys: Vec<(u64, u64)> =
-            pending.keys().filter(|(g, _)| only_group.is_none_or(|og| og == *g)).copied().collect();
-        for k in keys {
-            if let Some(tx) = pending.remove(&k) {
-                let _ = tx.send(Err(err));
+        let depth = {
+            let mut pending = lock(&self.pending);
+            let keys: Vec<(u64, u64)> = pending
+                .keys()
+                .filter(|(g, _)| only_group.is_none_or(|og| og == *g))
+                .copied()
+                .collect();
+            for k in keys {
+                if let Some(tx) = pending.remove(&k) {
+                    let _ = tx.send(Err(err));
+                }
             }
-        }
+            pending.len()
+        };
+        self.note_pending_depth(depth);
     }
 
     fn register_group(&self, group: &Arc<SocketGroup>) {
@@ -524,7 +588,7 @@ impl Drop for Endpoint {
 
 fn reader_loop(mut stream: Stream, ep: Weak<Endpoint>) {
     loop {
-        let frame = match read_frame(&mut stream) {
+        let (frame, nbytes) = match read_frame_sized(&mut stream) {
             Ok(f) => f,
             Err(e) => {
                 if let Some(ep) = ep.upgrade() {
@@ -535,11 +599,23 @@ fn reader_loop(mut stream: Stream, ep: Weak<Endpoint>) {
         };
         let Some(ep) = ep.upgrade() else { return };
         *lock(&ep.last_inbound) = Instant::now();
+        let total = ep.rx_bytes.add(nbytes);
+        let rec = mics_trace::global();
+        if rec.is_enabled() {
+            let track = format!("rank{} rx bytes", ep.world_rank);
+            rec.counter(DATAPLANE_PROCESS, &track, &track, total as f64);
+        }
         match frame {
             Frame::Reply { group, seq, all } => {
-                if let Some(tx) = lock(&ep.pending).remove(&(group, seq)) {
+                let (slot, depth) = {
+                    let mut pending = lock(&ep.pending);
+                    let slot = pending.remove(&(group, seq));
+                    (slot, pending.len())
+                };
+                if let Some(tx) = slot {
                     let _ = tx.send(Ok(all));
                 }
+                ep.note_pending_depth(depth);
             }
             Frame::GroupPoison { group, err } => {
                 if let Some(g) = lock(&ep.groups).get(&group).and_then(Weak::upgrade) {
@@ -573,6 +649,13 @@ fn heartbeat_loop(ep: Weak<Endpoint>) {
             return;
         }
         if lock(&ep.last_inbound).elapsed() > ep.heartbeat_grace {
+            mics_trace::global().instant(
+                DATAPLANE_PROCESS,
+                &format!("rank{}", ep.world_rank),
+                "heartbeat missed",
+                "fault",
+                vec![("grace_ms", Arg::from(ep.heartbeat_grace.as_millis() as u64))],
+            );
             ep.fail_connection(CommError::Io { kind: std::io::ErrorKind::TimedOut });
             return;
         }
@@ -664,7 +747,12 @@ impl SocketGroup {
         }
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = sync_channel(1);
-        lock(&self.ep.pending).insert((self.id, seq), tx);
+        let depth = {
+            let mut pending = lock(&self.ep.pending);
+            pending.insert((self.id, seq), tx);
+            pending.len()
+        };
+        self.ep.note_pending_depth(depth);
         let frame = Frame::Exchange {
             group: self.id,
             seq,
@@ -673,14 +761,24 @@ impl SocketGroup {
             parts: parts.iter().map(|p| p.to_vec()).collect(),
         };
         if let Err(e) = self.ep.send(&frame) {
-            lock(&self.ep.pending).remove(&(self.id, seq));
+            let depth = {
+                let mut pending = lock(&self.ep.pending);
+                pending.remove(&(self.id, seq));
+                pending.len()
+            };
+            self.ep.note_pending_depth(depth);
             return Err(e);
         }
         let timeout = self.timeout();
         match rx.recv_timeout(timeout) {
             Ok(result) => result,
             Err(RecvTimeoutError::Timeout) => {
-                lock(&self.ep.pending).remove(&(self.id, seq));
+                let depth = {
+                    let mut pending = lock(&self.ep.pending);
+                    pending.remove(&(self.id, seq));
+                    pending.len()
+                };
+                self.ep.note_pending_depth(depth);
                 let e = CommError::Timeout { waited: timeout };
                 self.poison_tree(e);
                 // Tell the hub so the peers already waiting on this group
@@ -774,6 +872,7 @@ pub fn connect_world(cfg: SocketWorldConfig) -> Result<Communicator, CommError> 
         .map_err(|e| CommError::Io { kind: e.kind() })?;
     let reader = stream.try_clone().map_err(|e| CommError::Io { kind: e.kind() })?;
     let raw = stream.try_clone().map_err(|e| CommError::Io { kind: e.kind() })?;
+    let counters = socket_counters();
     let ep = Arc::new(Endpoint {
         writer: Mutex::new(BufWriter::new(stream)),
         raw,
@@ -783,6 +882,9 @@ pub fn connect_world(cfg: SocketWorldConfig) -> Result<Communicator, CommError> 
         failed: Mutex::new(None),
         last_inbound: Mutex::new(Instant::now()),
         heartbeat_grace: cfg.heartbeat_grace,
+        tx_bytes: counters.counter(&format!("socket.rank{}.tx_bytes", cfg.rank)),
+        rx_bytes: counters.counter(&format!("socket.rank{}.rx_bytes", cfg.rank)),
+        pending_depth: counters.counter(&format!("socket.rank{}.pending", cfg.rank)),
     });
     ep.send(&Frame::Hello { rank: cfg.rank as u64, world: cfg.world as u64 })?;
     let weak = Arc::downgrade(&ep);
@@ -909,6 +1011,28 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 5, "derived ids must not collide");
+    }
+
+    #[test]
+    fn wire_counters_track_bytes_and_pending_drains_to_zero() {
+        let tx = socket_counters().counter("socket.rank0.tx_bytes");
+        let rx = socket_counters().counter("socket.rank0.rx_bytes");
+        let (tx0, rx0) = (tx.get(), rx.get());
+        let (_hub, comms) = create_socket_world(2);
+        assert!(tx.get() > tx0, "Hello frame must be counted as sent bytes");
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| std::thread::spawn(move || c.all_reduce(&[c.rank() as f32 + 1.0])))
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), vec![3.0]);
+        }
+        assert!(rx.get() > rx0, "hub replies must be counted as received bytes");
+        assert_eq!(
+            socket_counters().counter("socket.rank0.pending").get(),
+            0,
+            "no exchange may be left in flight after the collective completes"
+        );
     }
 
     #[test]

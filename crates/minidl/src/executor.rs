@@ -29,6 +29,7 @@
 //!   charges for the same program.
 
 use mics_core::schedule::{GradSource, OpKind, StepProgram};
+use mics_trace::{Arg, Trace};
 use std::collections::BTreeSet;
 use std::time::Instant;
 
@@ -66,6 +67,19 @@ pub struct LaneSpan {
     pub end_ns: u64,
 }
 
+/// One measured counter sample: the engine records cumulative
+/// deferred-reduce and prefetched-gather counts as they happen, so the
+/// exported trace shows *when* overlap was banked, not just the totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSample {
+    /// Counter series name (stable, used as the trace counter name).
+    pub name: &'static str,
+    /// Sample time, ns since the rank's run began.
+    pub ts_ns: u64,
+    /// Sampled value (cumulative counts here).
+    pub value: f64,
+}
+
 /// Measured per-lane occupancy of a training run on one rank.
 ///
 /// Timing is run-specific, so `TrainOutcome`'s `PartialEq` deliberately
@@ -75,6 +89,8 @@ pub struct LaneSpan {
 pub struct LaneStats {
     /// Every measured span, in retirement order.
     pub spans: Vec<LaneSpan>,
+    /// Counter samples recorded by the engine, in time order.
+    pub counters: Vec<CounterSample>,
     /// Wall-clock duration of the whole run on this rank, ns.
     pub wall_ns: u64,
     /// Wire ops (program op ids, first logged iteration) that the executor
@@ -145,55 +161,69 @@ impl LaneStats {
         }
     }
 
-    /// The measured spans as Chrome Trace Event Format event objects
-    /// (comma-joined, no surrounding array) under process id `pid`, one
-    /// `tid` per lane. Emitting raw events lets callers splice the real
-    /// backend's measured timeline into the same file as the simulator's
-    /// charged one for side-by-side viewing in Perfetto.
-    pub fn chrome_trace_events(&self, pid: u32, process_name: &str) -> String {
-        let tid = |lane: ExecLane| match lane {
-            ExecLane::Compute => 0,
-            ExecLane::Gather => 1,
-            ExecLane::Reduce => 2,
-            ExecLane::Control => 3,
-        };
-        let mut out = format!(
-            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\
-             \"args\":{{\"name\":\"{}\"}}}}",
-            process_name.replace('\\', "\\\\").replace('"', "\\\"")
-        );
-        for (lane, name) in [
-            (ExecLane::Compute, "compute"),
-            (ExecLane::Gather, "gather"),
-            (ExecLane::Reduce, "reduce"),
-            (ExecLane::Control, "control"),
-        ] {
-            out.push_str(&format!(
-                ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{},\
-                 \"args\":{{\"name\":\"{name}\"}}}}",
-                tid(lane)
-            ));
+    /// Append this rank's measured timeline to `trace` under process
+    /// `process`: one track per lane carrying the spans (tagged with their
+    /// iteration), a derived *lane occupancy* counter per busy lane, and
+    /// the engine's cumulative deferred/prefetched counter samples.
+    /// Recording into a caller-owned [`Trace`] is what lets the CLI splice
+    /// the backend's measured timeline into the same document as the
+    /// simulator's charged one, rendered by the single shared writer.
+    pub fn trace_into(&self, trace: &mut Trace, process: &str) {
+        // Lane occupancy counters first, in canonical lane order — this
+        // also pins the lane tracks' first-appearance (= tid) order.
+        for (lane, name) in LANE_NAMES {
+            let mut edges: Vec<(u64, i64)> = Vec::new();
+            for s in self.spans.iter().filter(|s| s.lane == lane) {
+                edges.push((s.start_ns, 1));
+                edges.push((s.end_ns, -1));
+            }
+            if edges.is_empty() {
+                continue;
+            }
+            // -1 before +1 at equal timestamps, so back-to-back spans do
+            // not read as depth 2.
+            edges.sort_unstable_by_key(|&(ts, delta)| (ts, delta));
+            let series = format!("lane occupancy ({name})");
+            let mut depth = 0i64;
+            for (ts, delta) in edges {
+                depth += delta;
+                trace.counter(process, name, &series, ts, depth as f64);
+            }
         }
         for s in &self.spans {
-            let ts = s.start_ns as f64 / 1e3;
-            let dur = (s.end_ns - s.start_ns) as f64 / 1e3;
-            out.push_str(&format!(
-                ",{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{},\
-                 \"ts\":{ts},\"dur\":{dur},\"args\":{{\"iteration\":{}}}}}",
+            let (_, track) = LANE_NAMES.iter().find(|(l, _)| *l == s.lane).unwrap();
+            trace.span(
+                process,
+                track,
                 s.label,
-                tid(s.lane),
-                s.iteration
-            ));
+                "minidl",
+                s.start_ns,
+                s.end_ns.saturating_sub(s.start_ns),
+                vec![("iteration", Arg::from(s.iteration))],
+            );
         }
-        out
+        for c in &self.counters {
+            trace.counter(process, c.name, c.name, c.ts_ns, c.value);
+        }
     }
 
-    /// The measured spans as a complete Chrome Trace Event Format document
-    /// (loadable at `chrome://tracing` or ui.perfetto.dev).
-    pub fn chrome_trace_json(&self) -> String {
-        format!("{{\"traceEvents\":[{}]}}", self.chrome_trace_events(0, "real backend (measured)"))
+    /// This rank's measured timeline as a standalone [`Trace`] (render
+    /// with [`Trace::to_json`] for `chrome://tracing` / ui.perfetto.dev).
+    pub fn trace(&self, process: &str) -> Trace {
+        let mut t = Trace::new();
+        self.trace_into(&mut t, process);
+        t
     }
 }
+
+/// Canonical lane order and display names (also the tid order of the
+/// exported tracks).
+const LANE_NAMES: [(ExecLane, &str); 4] = [
+    (ExecLane::Compute, "compute"),
+    (ExecLane::Gather, "gather"),
+    (ExecLane::Reduce, "reduce"),
+    (ExecLane::Control, "control"),
+];
 
 /// Wall-clock span recorder for one rank: a shared epoch plus an append log.
 /// The epoch `Instant` is `Copy`, so async collectives capture it into their
@@ -202,11 +232,12 @@ impl LaneStats {
 pub(crate) struct SpanRecorder {
     epoch: Instant,
     spans: Vec<LaneSpan>,
+    samples: Vec<CounterSample>,
 }
 
 impl SpanRecorder {
     pub(crate) fn new() -> Self {
-        SpanRecorder { epoch: Instant::now(), spans: Vec::new() }
+        SpanRecorder { epoch: Instant::now(), spans: Vec::new(), samples: Vec::new() }
     }
 
     /// The shared clock epoch, for measuring inside async closures.
@@ -230,13 +261,25 @@ impl SpanRecorder {
         self.spans.push(LaneSpan { lane, label, iteration, start_ns, end_ns });
     }
 
+    /// Record a cumulative counter sample stamped now.
+    pub(crate) fn sample(&mut self, name: &'static str, value: f64) {
+        let ts_ns = self.now_ns();
+        self.samples.push(CounterSample { name, ts_ns, value });
+    }
+
     pub(crate) fn finish(
         self,
         deferred_wire_ops: Vec<usize>,
         prefetched_gathers: u32,
     ) -> LaneStats {
         let wall_ns = self.epoch.elapsed().as_nanos() as u64;
-        LaneStats { spans: self.spans, wall_ns, deferred_wire_ops, prefetched_gathers }
+        LaneStats {
+            spans: self.spans,
+            counters: self.samples,
+            wall_ns,
+            deferred_wire_ops,
+            prefetched_gathers,
+        }
     }
 }
 
@@ -313,7 +356,7 @@ mod tests {
     use super::*;
 
     fn stats(spans: Vec<LaneSpan>) -> LaneStats {
-        LaneStats { spans, wall_ns: 100, deferred_wire_ops: vec![], prefetched_gathers: 0 }
+        LaneStats { spans, wall_ns: 100, ..LaneStats::default() }
     }
 
     fn span(lane: ExecLane, start_ns: u64, end_ns: u64) -> LaneSpan {
@@ -348,19 +391,51 @@ mod tests {
     }
 
     #[test]
-    fn chrome_trace_json_is_trace_event_shaped() {
-        let s = stats(vec![span(ExecLane::Compute, 1_000, 3_000), span(ExecLane::Reduce, 0, 500)]);
-        let json = s.chrome_trace_json();
+    fn trace_export_is_trace_event_shaped() {
+        let mut s =
+            stats(vec![span(ExecLane::Compute, 1_000, 3_000), span(ExecLane::Reduce, 0, 500)]);
+        s.counters.push(CounterSample { name: "deferred reduces (cum)", ts_ns: 600, value: 1.0 });
+        let json = s.trace("real \"backend\"").to_json();
         assert!(json.starts_with("{\"traceEvents\":["));
         assert!(json.ends_with("]}"));
         assert!(json.contains("\"ph\":\"X\""));
         assert!(json.contains("\"ts\":1")); // ns → µs
         assert!(json.contains("\"dur\":2"));
-        assert!(json.contains("\"name\":\"reduce\""), "lane thread names present");
-        // Events under a non-zero pid splice into a merged document.
-        let events = s.chrome_trace_events(7, "real \"backend\"");
-        assert!(events.contains("\"pid\":7"));
-        assert!(!events.contains("\"pid\":0"));
-        assert!(events.contains("real \\\"backend\\\""), "process name escaped");
+        assert!(json.contains("\"args\":{\"name\":\"reduce\"}"), "lane tracks are named");
+        assert!(json.contains("real \\\"backend\\\""), "process name escaped");
+        assert!(json.contains("lane occupancy (compute)"), "occupancy counters derived");
+        assert!(json.contains("deferred reduces (cum)"), "engine counter samples exported");
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"args\":{\"iteration\":0}"));
+    }
+
+    #[test]
+    fn merged_trace_keeps_processes_separate() {
+        // Splicing the measured timeline after a sim trace puts it under
+        // its own pid — the side-by-side fidelity view.
+        let s = stats(vec![span(ExecLane::Compute, 0, 10)]);
+        let mut merged = Trace::new();
+        merged.span("simulator (charged)", "compute[0]", "compute", "sim", 0, 10, vec![]);
+        s.trace_into(&mut merged, "real backend (measured)");
+        assert_eq!(merged.processes(), vec!["simulator (charged)", "real backend (measured)"]);
+        let json = merged.to_json();
+        assert!(json.contains("\"pid\":1"), "measured events live under their own pid: {json}");
+    }
+
+    #[test]
+    fn occupancy_counter_handles_back_to_back_spans() {
+        let s = stats(vec![span(ExecLane::Gather, 0, 10), span(ExecLane::Gather, 10, 20)]);
+        let t = s.trace("p");
+        let values: Vec<f64> = t
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                mics_trace::EventKind::Counter { value } if e.name.contains("gather") => {
+                    Some(value)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(values, vec![1.0, 0.0, 1.0, 0.0], "no spurious depth-2 sample");
     }
 }

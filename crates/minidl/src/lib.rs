@@ -37,7 +37,7 @@ pub mod transformer;
 
 pub use adam::Adam;
 pub use checkpoint::{load as load_checkpoint, save as save_checkpoint, TrainState};
-pub use executor::{overlappable_wire_ops, ExecLane, LaneSpan, LaneStats};
+pub use executor::{overlappable_wire_ops, CounterSample, ExecLane, LaneSpan, LaneStats};
 pub use lm::{train_lm, train_lm_on, LmSetup};
 pub use mics_compress::{CompressionConfig, CompressionScope, QuantScheme};
 pub use nn::Mlp;

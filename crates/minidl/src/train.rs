@@ -467,6 +467,8 @@ fn drain_reduces(
         if computes_done > p.computes_at_issue {
             if let Some(d) = log_deferred.as_deref_mut() {
                 d.push(p.op_id);
+                let total = d.len();
+                rec.sample("deferred reduces (cum)", total as f64);
             }
         }
         match p.fold {
@@ -1019,6 +1021,7 @@ where
                     });
                     prefetched = Some(handle);
                     prefetched_gathers += 1;
+                    rec.sample("prefetched gathers (cum)", prefetched_gathers as f64);
                 }
             }
 

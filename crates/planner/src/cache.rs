@@ -13,10 +13,16 @@
 //! `ext_serve` bench measures). A panic in the compute closure removes the
 //! marker and wakes waiters (one of them recomputes), so a poisoned entry
 //! cannot wedge the server.
+//!
+//! Behaviour counters live in a [`mics_trace::Counters`] registry
+//! ([`CacheStats`]), so the same cells back the `stats` request, the
+//! `cache_stats` accessor, and — when the global recorder is enabled —
+//! trace counter tracks. An optional capacity bounds the completed entries
+//! FIFO-style; evictions tick a counter and emit an instant event.
 
+use crate::PLANNER_PROCESS;
 use mics_core::{CanonicalKey, Json};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -30,38 +36,108 @@ enum Slot {
     Done(Arc<Json>),
 }
 
-/// Monotonic counters describing cache behaviour since server start.
-#[derive(Debug, Default)]
+/// How a [`PlanCache::get_or_compute`] call was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from an already-completed entry.
+    Hit,
+    /// This call ran the computation (and is the one the budget layer
+    /// bills).
+    Leader,
+    /// Collapsed onto another caller's in-flight run.
+    Waiter,
+}
+
+impl CacheOutcome {
+    /// Whether the response came from the cache rather than a fresh run —
+    /// everything but the leader.
+    pub fn served_from_cache(self) -> bool {
+        !matches!(self, CacheOutcome::Leader)
+    }
+
+    /// Stable lowercase label, used as a trace-span argument.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Leader => "leader",
+            CacheOutcome::Waiter => "waiter",
+        }
+    }
+}
+
+/// Monotonic counters describing cache behaviour since server start,
+/// backed by a [`mics_trace::Counters`] registry.
+#[derive(Debug)]
 pub struct CacheStats {
+    registry: mics_trace::Counters,
     /// Queries that went through the cache at all.
-    pub queries: AtomicU64,
-    /// Served from a completed entry.
-    pub hits: AtomicU64,
+    pub queries: mics_trace::Counter,
+    /// Served from a completed entry (includes resolved waiters).
+    pub hits: mics_trace::Counter,
     /// Computed fresh (includes the leader of each duplicate burst).
-    pub misses: AtomicU64,
+    pub misses: mics_trace::Counter,
     /// Duplicates that waited on an in-flight run instead of computing.
-    pub dedup_collapsed: AtomicU64,
+    pub dedup_collapsed: mics_trace::Counter,
     /// Underlying simulate/tune executions actually run.
-    pub sim_runs: AtomicU64,
+    pub sim_runs: mics_trace::Counter,
+    /// Completed entries dropped to stay within the capacity bound.
+    pub evictions: mics_trace::Counter,
+}
+
+impl Default for CacheStats {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl CacheStats {
+    /// A fresh registry with every counter at zero.
+    pub fn new() -> CacheStats {
+        let registry = mics_trace::Counters::new();
+        CacheStats {
+            queries: registry.counter("planner.cache.queries"),
+            hits: registry.counter("planner.cache.hits"),
+            misses: registry.counter("planner.cache.misses"),
+            dedup_collapsed: registry.counter("planner.cache.waiters"),
+            sim_runs: registry.counter("planner.sim_runs"),
+            evictions: registry.counter("planner.cache.evictions"),
+            registry,
+        }
+    }
+
+    /// The backing registry (for snapshotting every cell by name).
+    pub fn registry(&self) -> &mics_trace::Counters {
+        &self.registry
+    }
+
     /// Snapshot as plain numbers `(queries, hits, misses, dedup, sim_runs)`.
     pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
         (
-            self.queries.load(Ordering::Relaxed),
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-            self.dedup_collapsed.load(Ordering::Relaxed),
-            self.sim_runs.load(Ordering::Relaxed),
+            self.queries.get(),
+            self.hits.get(),
+            self.misses.get(),
+            self.dedup_collapsed.get(),
+            self.sim_runs.get(),
         )
     }
 }
 
+/// Slot map plus the completed-entry FIFO the capacity bound evicts from,
+/// under one lock so depth checks and insertions are atomic.
+struct Inner {
+    slots: HashMap<CanonicalKey, Slot>,
+    /// Completed keys in completion order (every `Done` key is here exactly
+    /// once; `Running` markers are not).
+    done_order: VecDeque<CanonicalKey>,
+}
+
 /// The single-flight memo cache.
 pub struct PlanCache {
-    slots: Mutex<HashMap<CanonicalKey, Slot>>,
+    inner: Mutex<Inner>,
     ready: Condvar,
+    /// Maximum completed entries kept (0 = unbounded). Oldest-first
+    /// eviction: planning workloads revisit recent configurations.
+    capacity: usize,
     /// Behaviour counters, exposed via the `stats` request.
     pub stats: CacheStats,
 }
@@ -77,11 +153,11 @@ struct RunningGuard<'a> {
 impl Drop for RunningGuard<'_> {
     fn drop(&mut self) {
         if self.armed {
-            let mut slots = self.cache.slots.lock().unwrap();
-            if matches!(slots.get(&self.key), Some(Slot::Running)) {
-                slots.remove(&self.key);
+            let mut inner = self.cache.inner.lock().unwrap();
+            if matches!(inner.slots.get(&self.key), Some(Slot::Running)) {
+                inner.slots.remove(&self.key);
             }
-            drop(slots);
+            drop(inner);
             self.cache.ready.notify_all();
         }
     }
@@ -94,18 +170,25 @@ impl Default for PlanCache {
 }
 
 impl PlanCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty cache keeping at most `capacity` completed entries
+    /// (0 = unbounded), evicting oldest-first.
+    pub fn with_capacity(capacity: usize) -> Self {
         PlanCache {
-            slots: Mutex::new(HashMap::new()),
+            inner: Mutex::new(Inner { slots: HashMap::new(), done_order: VecDeque::new() }),
             ready: Condvar::new(),
-            stats: CacheStats::default(),
+            capacity,
+            stats: CacheStats::new(),
         }
     }
 
     /// Entries currently memoized (completed only).
     pub fn len(&self) -> usize {
-        self.slots.lock().unwrap().values().filter(|s| matches!(s, Slot::Done(_))).count()
+        self.inner.lock().unwrap().done_order.len()
     }
 
     /// Whether no results are memoized yet.
@@ -120,11 +203,11 @@ impl PlanCache {
     /// what lets the budget layer serve memoized answers to clients whose
     /// FLOP ledger is already exhausted: cached responses are free.
     pub fn peek(&self, key: CanonicalKey) -> Option<Arc<Json>> {
-        let slots = self.slots.lock().unwrap();
-        match slots.get(&key) {
+        let inner = self.inner.lock().unwrap();
+        match inner.slots.get(&key) {
             Some(Slot::Done(v)) => {
-                self.stats.queries.fetch_add(1, Ordering::Relaxed);
-                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                self.stats.queries.incr();
+                self.stats.hits.incr();
                 Some(Arc::clone(v))
             }
             _ => None,
@@ -135,25 +218,24 @@ impl PlanCache {
     /// callers. `deadline` bounds how long a duplicate waits for the
     /// in-flight leader. `compute` runs *without* the cache lock held.
     ///
-    /// Returns the payload and whether this call was served from cache
-    /// (hit or collapsed duplicate) — the budget layer charges only the
-    /// leader that actually simulated.
+    /// Returns the payload and how the call was served — the budget layer
+    /// charges only the [`CacheOutcome::Leader`] that actually simulated.
     pub fn get_or_compute(
         &self,
         key: CanonicalKey,
         deadline: Instant,
         compute: impl FnOnce() -> Json,
-    ) -> Result<(Arc<Json>, bool), PlanError> {
-        self.stats.queries.fetch_add(1, Ordering::Relaxed);
-        let mut slots = self.slots.lock().unwrap();
+    ) -> Result<(Arc<Json>, CacheOutcome), PlanError> {
+        self.stats.queries.incr();
+        let mut inner = self.inner.lock().unwrap();
         loop {
-            match slots.get(&key) {
+            match inner.slots.get(&key) {
                 Some(Slot::Done(v)) => {
-                    self.stats.hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok((Arc::clone(v), true));
+                    self.stats.hits.incr();
+                    return Ok((Arc::clone(v), CacheOutcome::Hit));
                 }
                 Some(Slot::Running) => {
-                    self.stats.dedup_collapsed.fetch_add(1, Ordering::Relaxed);
+                    self.stats.dedup_collapsed.incr();
                     let started = Instant::now();
                     // Wait for the leader; re-check on every wake. A missing
                     // entry after a wake means the leader panicked — fall
@@ -166,12 +248,12 @@ impl PlanCache {
                             });
                         }
                         let (guard, timeout) =
-                            self.ready.wait_timeout(slots, deadline.duration_since(now)).unwrap();
-                        slots = guard;
-                        match slots.get(&key) {
+                            self.ready.wait_timeout(inner, deadline.duration_since(now)).unwrap();
+                        inner = guard;
+                        match inner.slots.get(&key) {
                             Some(Slot::Done(v)) => {
-                                self.stats.hits.fetch_add(1, Ordering::Relaxed);
-                                return Ok((Arc::clone(v), true));
+                                self.stats.hits.incr();
+                                return Ok((Arc::clone(v), CacheOutcome::Waiter));
                             }
                             Some(Slot::Running) if timeout.timed_out() => {
                                 return Err(PlanError::DeadlineExceeded {
@@ -184,18 +266,31 @@ impl PlanCache {
                     }
                 }
                 None => {
-                    slots.insert(key, Slot::Running);
-                    drop(slots);
-                    self.stats.misses.fetch_add(1, Ordering::Relaxed);
-                    self.stats.sim_runs.fetch_add(1, Ordering::Relaxed);
+                    inner.slots.insert(key, Slot::Running);
+                    drop(inner);
+                    self.stats.misses.incr();
+                    self.stats.sim_runs.incr();
                     let mut guard = RunningGuard { cache: self, key, armed: true };
                     let value = Arc::new(compute());
                     guard.armed = false;
-                    let mut slots = self.slots.lock().unwrap();
-                    slots.insert(key, Slot::Done(Arc::clone(&value)));
-                    drop(slots);
+                    let mut inner = self.inner.lock().unwrap();
+                    inner.slots.insert(key, Slot::Done(Arc::clone(&value)));
+                    inner.done_order.push_back(key);
+                    while self.capacity > 0 && inner.done_order.len() > self.capacity {
+                        let Some(old) = inner.done_order.pop_front() else { break };
+                        inner.slots.remove(&old);
+                        self.stats.evictions.incr();
+                        mics_trace::global().instant(
+                            PLANNER_PROCESS,
+                            "cache",
+                            "cache eviction",
+                            "cache",
+                            Vec::new(),
+                        );
+                    }
+                    drop(inner);
                     self.ready.notify_all();
-                    return Ok((value, false));
+                    return Ok((value, CacheOutcome::Leader));
                 }
             }
         }
@@ -205,7 +300,7 @@ impl PlanCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::time::Duration;
 
     fn key(n: u64) -> CanonicalKey {
@@ -224,11 +319,13 @@ mod tests {
             runs.fetch_add(1, Ordering::SeqCst);
             Json::from("v")
         };
-        let (a, cached_a) = cache.get_or_compute(key(1), far(), compute).unwrap();
-        let (b, cached_b) = cache.get_or_compute(key(1), far(), compute).unwrap();
+        let (a, outcome_a) = cache.get_or_compute(key(1), far(), compute).unwrap();
+        let (b, outcome_b) = cache.get_or_compute(key(1), far(), compute).unwrap();
         assert_eq!(runs.load(Ordering::SeqCst), 1);
         assert_eq!(a, b);
-        assert!(!cached_a && cached_b);
+        assert_eq!(outcome_a, CacheOutcome::Leader);
+        assert_eq!(outcome_b, CacheOutcome::Hit);
+        assert!(!outcome_a.served_from_cache() && outcome_b.served_from_cache());
         assert_eq!(cache.stats.snapshot(), (2, 1, 1, 0, 1));
     }
 
@@ -296,8 +393,38 @@ mod tests {
         });
         crashed.join().unwrap();
         // The key is free again: a fresh caller computes successfully.
-        let (v, cached) = cache.get_or_compute(key(4), far(), || Json::from("recovered")).unwrap();
+        let (v, outcome) = cache.get_or_compute(key(4), far(), || Json::from("recovered")).unwrap();
         assert_eq!(*v, Json::from("recovered"));
-        assert!(!cached);
+        assert_eq!(outcome, CacheOutcome::Leader);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest_completed_entry() {
+        let cache = PlanCache::with_capacity(2);
+        for n in 10..13 {
+            let (_, outcome) = cache.get_or_compute(key(n), far(), || Json::Num(n as f64)).unwrap();
+            assert_eq!(outcome, CacheOutcome::Leader);
+        }
+        assert_eq!(cache.len(), 2, "capacity bounds the completed entries");
+        assert_eq!(cache.stats.evictions.get(), 1);
+        // The oldest key was evicted and recomputes; the newest still hits.
+        assert!(cache.peek(key(10)).is_none());
+        let (_, outcome) = cache.get_or_compute(key(12), far(), || unreachable!()).unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+        let (_, outcome) = cache.get_or_compute(key(10), far(), || Json::from("again")).unwrap();
+        assert_eq!(outcome, CacheOutcome::Leader);
+        assert_eq!(cache.stats.evictions.get(), 2, "re-inserting evicts the next oldest");
+    }
+
+    #[test]
+    fn stats_cells_are_readable_through_the_registry() {
+        let cache = PlanCache::new();
+        let _ = cache.get_or_compute(key(20), far(), || Json::from("v"));
+        let _ = cache.peek(key(20));
+        let reg = cache.stats.registry();
+        assert_eq!(reg.get("planner.cache.queries"), 2);
+        assert_eq!(reg.get("planner.cache.hits"), 1);
+        assert_eq!(reg.get("planner.sim_runs"), 1);
+        assert_eq!(reg.get("planner.cache.evictions"), 0);
     }
 }

@@ -48,6 +48,8 @@ pub struct ServerStats {
     pub dedup_collapsed: u64,
     /// Simulator/tuner executions actually run.
     pub sim_runs: u64,
+    /// Completed entries evicted to honor the server's capacity bound.
+    pub cache_evictions: u64,
     /// Completed entries currently memoized.
     pub cache_entries: u64,
     /// This connection's remaining FLOP budget.
@@ -225,6 +227,7 @@ impl PlannerClient {
             cache_misses: num("cache_misses") as u64,
             dedup_collapsed: num("dedup_collapsed") as u64,
             sim_runs: num("sim_runs") as u64,
+            cache_evictions: num("cache_evictions") as u64,
             cache_entries: num("cache_entries") as u64,
             budget_remaining: num("budget_remaining"),
         })

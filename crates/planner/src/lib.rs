@@ -30,6 +30,9 @@
 
 #![warn(missing_docs)]
 
+/// Process name every planner trace event records under.
+pub const PLANNER_PROCESS: &str = "planner";
+
 pub mod budget;
 pub mod cache;
 pub mod client;
@@ -38,7 +41,7 @@ pub mod protocol;
 pub mod server;
 
 pub use budget::{simulate_cost, tune_cost, FlopLedger};
-pub use cache::{CacheStats, PlanCache};
+pub use cache::{CacheOutcome, CacheStats, PlanCache};
 pub use client::{PlannerClient, ServerStats, SweepOutcome, TuneOutcome};
 pub use net::{PlanListener, PlanStream};
 pub use protocol::{read_frame, write_frame, JobSpec, PlanError, MAX_FRAME};

@@ -26,15 +26,17 @@
 //! dataplane's `CommError::Timeout { waited }`.
 
 use crate::budget::{simulate_cost, tune_cost, FlopLedger};
-use crate::cache::PlanCache;
+use crate::cache::{CacheOutcome, PlanCache};
 use crate::net::{PlanListener, PlanStream, ACCEPT_POLL};
 use crate::protocol::{read_frame, write_frame, JobSpec, PlanError};
+use crate::PLANNER_PROCESS;
 use mics_cluster::{ClusterSpec, InstanceType};
 use mics_core::{
     simulate, tune_with_compression, CanonicalHasher, CanonicalKey, CompressionConfig, Json,
     Strategy, ToJson, TrainingJob,
 };
 use mics_model::WorkloadSpec;
+use mics_trace::Arg;
 use std::collections::VecDeque;
 use std::io::BufWriter;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -56,6 +58,9 @@ pub struct PlannerConfig {
     pub default_budget_flops: f64,
     /// Deadline applied to queries that carry no `deadline_ms`.
     pub default_deadline: Duration,
+    /// Maximum completed cache entries kept (0 = unbounded); the cache
+    /// evicts oldest-first past this and counts the evictions.
+    pub cache_capacity: usize,
 }
 
 impl Default for PlannerConfig {
@@ -66,6 +71,7 @@ impl Default for PlannerConfig {
             queue_depth: 256,
             default_budget_flops: f64::MAX,
             default_deadline: Duration::from_secs(30),
+            cache_capacity: 0,
         }
     }
 }
@@ -138,7 +144,7 @@ impl PlannerServer {
         listener.set_nonblocking(true)?;
         let shared = Arc::new(Shared {
             cfg: cfg.clone(),
-            cache: PlanCache::new(),
+            cache: PlanCache::with_capacity(cfg.cache_capacity),
             queue: Mutex::new(VecDeque::new()),
             queue_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -202,6 +208,11 @@ impl PlannerServer {
     /// Cache/throughput counters (same numbers the `stats` request reports).
     pub fn cache_stats(&self) -> (u64, u64, u64, u64, u64) {
         self.shared.cache.stats.snapshot()
+    }
+
+    /// Completed cache entries evicted to honor the capacity bound.
+    pub fn cache_evictions(&self) -> u64 {
+        self.shared.cache.stats.evictions.get()
     }
 }
 
@@ -358,17 +369,18 @@ fn handle_task(shared: &Arc<Shared>, task: &Task) -> Result<(), PlanError> {
             let options = compression_options(&task.request)?;
             let key = tune_key(&workload, &cluster, accum, &options);
             let cost = tune_cost(&workload, &cluster, accum, options.len());
-            let payload = charged(shared, task, key, cost, || {
-                match tune_with_compression(&workload, &cluster, accum, &options) {
-                    Ok(r) => Json::obj([
-                        ("type", Json::from("tuned")),
-                        ("best", r.best.to_json()),
-                        ("report", r.report.to_json()),
-                        ("explored", Json::Num(r.explored.len() as f64)),
-                    ]),
-                    Err(oom) => oom_payload(&oom),
-                }
-            })?;
+            let payload =
+                charged(shared, task, "tune", key, cost, || {
+                    match tune_with_compression(&workload, &cluster, accum, &options) {
+                        Ok(r) => Json::obj([
+                            ("type", Json::from("tuned")),
+                            ("best", r.best.to_json()),
+                            ("report", r.report.to_json()),
+                            ("explored", Json::Num(r.explored.len() as f64)),
+                        ]),
+                        Err(oom) => oom_payload(&oom),
+                    }
+                })?;
             task.conn.send(&with_id(&payload, id))
         }
         Some("sweep") => {
@@ -419,10 +431,41 @@ fn handle_task(shared: &Arc<Shared>, task: &Task) -> Result<(), PlanError> {
 fn run_simulate(shared: &Arc<Shared>, task: &Task, job: &TrainingJob) -> Result<Json, PlanError> {
     let cost = simulate_cost(&job.workload, &job.cluster, job.accum_steps);
     let key = simulate_key(job);
-    charged(shared, task, key, cost, || match simulate(job) {
+    charged(shared, task, "simulate", key, cost, || match simulate(job) {
         Ok(r) => Json::obj([("type", Json::from("report")), ("report", r.to_json())]),
         Err(oom) => oom_payload(&oom),
     })
+}
+
+/// Record the span of one planning query on the worker thread's track,
+/// tagged with how the cache served it.
+fn record_query_span(kind: &'static str, start_ns: u64, outcome: &'static str) {
+    let rec = mics_trace::global();
+    if !rec.is_enabled() {
+        return;
+    }
+    let end = rec.now_ns();
+    let thread = std::thread::current();
+    let track = thread.name().unwrap_or("mics-plan-worker").to_string();
+    rec.span(
+        PLANNER_PROCESS,
+        &track,
+        kind,
+        "planner",
+        start_ns,
+        end,
+        vec![("outcome", Arg::from(outcome))],
+    );
+}
+
+/// Record the connection's FLOP-ledger balance as a counter track after a
+/// charge or refund. Unbounded ledgers (the `f64::MAX` default grant) are
+/// skipped — a flat astronomically-large line is noise.
+fn record_ledger_balance(remaining: f64) {
+    let rec = mics_trace::global();
+    if rec.is_enabled() && remaining < f64::MAX / 2.0 {
+        rec.counter(PLANNER_PROCESS, "flop ledger", "flop ledger remaining", remaining);
+    }
 }
 
 /// The budget-aware cache path. Completed entries are served without
@@ -434,23 +477,43 @@ fn run_simulate(shared: &Arc<Shared>, task: &Task, job: &TrainingJob) -> Result<
 fn charged(
     shared: &Arc<Shared>,
     task: &Task,
+    kind: &'static str,
     key: CanonicalKey,
     cost: f64,
     compute: impl FnOnce() -> Json,
 ) -> Result<Json, PlanError> {
+    let start_ns = mics_trace::global().now_ns();
     if let Some(payload) = shared.cache.peek(key) {
+        record_query_span(kind, start_ns, CacheOutcome::Hit.label());
         return Ok((*payload).clone());
     }
-    task.conn.ledger.lock().unwrap().charge(cost)?;
+    let charge = {
+        let mut ledger = task.conn.ledger.lock().unwrap();
+        ledger.charge(cost).map(|()| ledger.remaining())
+    };
+    match charge {
+        Ok(remaining) => record_ledger_balance(remaining),
+        Err(e) => {
+            record_query_span(kind, start_ns, "rejected");
+            return Err(e);
+        }
+    }
+    let refund = || {
+        let mut ledger = task.conn.ledger.lock().unwrap();
+        ledger.refund(cost);
+        record_ledger_balance(ledger.remaining());
+    };
     match shared.cache.get_or_compute(key, task.deadline, compute) {
-        Ok((payload, cached)) => {
-            if cached {
-                task.conn.ledger.lock().unwrap().refund(cost);
+        Ok((payload, outcome)) => {
+            if outcome.served_from_cache() {
+                refund();
             }
+            record_query_span(kind, start_ns, outcome.label());
             Ok((*payload).clone())
         }
         Err(e) => {
-            task.conn.ledger.lock().unwrap().refund(cost);
+            refund();
+            record_query_span(kind, start_ns, "error");
             Err(e)
         }
     }
@@ -507,6 +570,7 @@ fn stats_response(shared: &Arc<Shared>, conn: &ConnState, id: u64) -> Json {
         ("cache_misses", Json::Num(misses as f64)),
         ("dedup_collapsed", Json::Num(dedup as f64)),
         ("sim_runs", Json::Num(sim_runs as f64)),
+        ("cache_evictions", Json::Num(shared.cache.stats.evictions.get() as f64)),
         ("cache_entries", Json::Num(shared.cache.len() as f64)),
         ("budget_remaining", Json::Num(conn.ledger.lock().unwrap().remaining())),
     ])

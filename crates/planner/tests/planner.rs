@@ -52,12 +52,45 @@ proptest! {
         prop_assert!(responses.windows(2).all(|w| w[0] == w[1]),
             "duplicate queries must return byte-identical frames");
         prop_assert!(responses[0].contains(r#""type":"report""#), "{}", responses[0]);
-        let (queries, _, _, _, sim_runs) = server.cache_stats();
+        let (queries, hits, misses, dedup, sim_runs) = server.cache_stats();
         prop_assert_eq!(sim_runs, 1, "N duplicates must cost one simulation");
         prop_assert_eq!(queries, clients as u64);
+        prop_assert_eq!(misses, 1, "exactly one leader computed");
+        prop_assert_eq!(hits, clients as u64 - 1, "every non-leader resolved as a hit");
+        prop_assert!(dedup < clients as u64, "waiters are a subset of the non-leaders");
+
+        // The same numbers, plus evictions, must surface through the wire
+        // `stats` request (the counter registry feeds both).
+        let mut c = PlannerClient::connect(&addr).unwrap();
+        let stats = c.stats().unwrap();
+        prop_assert_eq!(stats.sim_runs, 1);
+        prop_assert_eq!(stats.cache_hits, hits);
+        prop_assert_eq!(stats.dedup_collapsed, dedup);
+        prop_assert_eq!(stats.cache_evictions, 0, "unbounded default cache never evicts");
         server.shutdown();
         server.join();
     }
+}
+
+#[test]
+fn bounded_cache_reports_evictions_through_stats() {
+    let cfg = PlannerConfig { cache_capacity: 1, ..PlannerConfig::default() };
+    let server = PlannerServer::start(cfg).expect("server must start");
+    let mut client = PlannerClient::connect(server.addr()).unwrap();
+    // Three distinct jobs through a one-entry cache: two evictions.
+    for nodes in 1..=3 {
+        client.simulate(&JobSpec::mics("bert-1.5b", nodes, 8), None).unwrap().unwrap();
+    }
+    assert_eq!(server.cache_evictions(), 2);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.cache_evictions, 2);
+    assert_eq!(stats.cache_entries, 1, "capacity bounds the memoized entries");
+    // The evicted first job recomputes rather than hitting.
+    client.simulate(&JobSpec::mics("bert-1.5b", 1, 8), None).unwrap().unwrap();
+    let (_, _, _, _, sim_runs) = server.cache_stats();
+    assert_eq!(sim_runs, 4, "an evicted entry costs a fresh simulation");
+    server.shutdown();
+    server.join();
 }
 
 #[test]

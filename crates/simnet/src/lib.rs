@@ -56,7 +56,7 @@ mod time;
 pub mod trace;
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use time::SimTime;
-pub use trace::{chrome_trace_json, Span};
+pub use trace::{Trace, TraceEvent, SIM_PROCESS};
 
 /// Identifies a stream (ordered executor) inside a [`Sim`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -202,8 +202,9 @@ pub struct RunStats {
     pub stream_busy: Vec<SimTime>,
     /// Per-link total bytes moved.
     pub link_bytes: Vec<u64>,
-    /// Execution spans (only populated after [`Sim::enable_tracing`]).
-    pub trace: Vec<trace::Span>,
+    /// Execution spans (only populated after [`Sim::enable_tracing`]),
+    /// recorded on the shared `mics-trace` layer under [`SIM_PROCESS`].
+    pub trace: Trace,
     /// Stream names, parallel to stream indices (populated with tracing).
     pub stream_names: Vec<String>,
     /// Timeline of injected faults that fired, in firing order.
@@ -553,13 +554,14 @@ impl Sim {
         let s = &mut self.streams[stream.0];
         s.busy += self.now - s.op_started;
         if self.tracing {
-            let label = match &s.program[s.pc] {
-                Op::Compute { .. } => "compute",
-                Op::Transfer { .. } => "transfer",
-                _ => "op",
+            let (label, bytes) = match &s.program[s.pc] {
+                Op::Compute { .. } => ("compute", None),
+                Op::Transfer { bytes, .. } => ("transfer", Some(*bytes)),
+                _ => ("op", None),
             };
-            let span = trace::Span { stream, label, start: s.op_started, end: self.now };
-            self.stats.trace.push(span);
+            let name = s.name.clone();
+            let started = s.op_started;
+            trace::record_span(&mut self.stats.trace, &name, label, started, self.now, bytes);
         }
         let s = &mut self.streams[stream.0];
         // Extract the tag from the op if the caller did not supply one.

@@ -1,62 +1,38 @@
-//! Chrome-trace export of simulated timelines.
+//! Trace export of simulated timelines, on the shared `mics-trace` layer.
 //!
-//! With tracing enabled, [`crate::Sim::run`] records one span per executed
-//! `Compute`/`Transfer` op. [`chrome_trace_json`] renders the spans in the
-//! Trace Event Format, loadable in `chrome://tracing` / Perfetto — handy for
-//! eyeballing how well an executor overlaps gathers with compute.
+//! With tracing enabled, [`crate::Sim::run`] records one duration span per
+//! executed `Compute`/`Transfer` op into a [`mics_trace::Trace`], with the
+//! stream's name as the track and virtual nanoseconds as the time axis
+//! (transfers carry their byte count as an arg). Events land on the
+//! neutral process name [`SIM_PROCESS`]; consumers rename it for
+//! presentation ([`mics_trace::Trace::rename_process`]) and render with
+//! the single workspace writer ([`mics_trace::Trace::to_json`]) — the
+//! hand-rolled chrome-trace emitter that used to live here is gone.
 
-use crate::{SimTime, StreamId};
+use crate::SimTime;
+pub use mics_trace::{Arg, EventKind, Trace, TraceEvent};
 
-/// One executed operation's occupancy of a stream.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Span {
-    /// The stream the op ran on.
-    pub stream: StreamId,
-    /// `"compute"` or `"transfer"`.
-    pub label: &'static str,
-    /// Virtual start time.
-    pub start: SimTime,
-    /// Virtual end time.
-    pub end: SimTime,
-}
+/// Process name the simulator records under ("sim"); presentation names
+/// like "simulator (charged)" belong to consumers.
+pub const SIM_PROCESS: &str = "sim";
 
-fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
-/// Render spans as Chrome Trace Event Format JSON (complete "X" events,
-/// microsecond timestamps, one `tid` per stream). `stream_names[i]` labels
-/// stream `i`.
-pub fn chrome_trace_json(spans: &[Span], stream_names: &[String]) -> String {
-    let mut out = String::from("{\"traceEvents\":[");
-    let mut first = true;
-    // Thread-name metadata so the viewer shows stream names.
-    for (i, name) in stream_names.iter().enumerate() {
-        if !first {
-            out.push(',');
-        }
-        first = false;
-        out.push_str(&format!(
-            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\
-             \"args\":{{\"name\":\"{}\"}}}}",
-            i,
-            escape(name)
-        ));
+/// Record one executed op's occupancy of a stream as a span on the
+/// stream's own track.
+pub(crate) fn record_span(
+    trace: &mut Trace,
+    stream_name: &str,
+    label: &'static str,
+    start: SimTime,
+    end: SimTime,
+    bytes: Option<u64>,
+) {
+    let mut args: Vec<(&'static str, Arg)> = Vec::new();
+    if let Some(b) = bytes {
+        args.push(("bytes", Arg::from(b)));
     }
-    for s in spans {
-        if !first {
-            out.push(',');
-        }
-        first = false;
-        let ts = s.start.as_nanos() as f64 / 1e3;
-        let dur = (s.end.as_nanos() - s.start.as_nanos()) as f64 / 1e3;
-        out.push_str(&format!(
-            "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{ts},\"dur\":{dur}}}",
-            s.label, s.stream.0
-        ));
-    }
-    out.push_str("]}");
-    out
+    let start_ns = start.as_nanos();
+    let dur_ns = end.as_nanos().saturating_sub(start_ns);
+    trace.span(SIM_PROCESS, stream_name, label, "sim", start_ns, dur_ns, args);
 }
 
 #[cfg(test)]
@@ -75,13 +51,19 @@ mod tests {
         sim.push(b, Op::transfer(link, 1_000_000, SimTime::ZERO));
         let stats = sim.run().unwrap();
         assert_eq!(stats.trace.len(), 2);
-        let compute = stats.trace.iter().find(|s| s.label == "compute").unwrap();
-        assert_eq!(compute.stream, a);
-        assert_eq!(compute.start, SimTime::ZERO);
-        assert_eq!(compute.end, SimTime::from_millis(2));
-        let transfer = stats.trace.iter().find(|s| s.label == "transfer").unwrap();
-        assert_eq!(transfer.stream, b);
-        assert_eq!(transfer.end, SimTime::from_millis(1));
+        let compute = stats.trace.events.iter().find(|e| e.name == "compute").unwrap();
+        assert_eq!(compute.track, "compute[0]");
+        assert_eq!(compute.process, SIM_PROCESS);
+        assert_eq!(compute.ts_ns, 0);
+        assert_eq!(compute.kind, EventKind::Span { dur_ns: SimTime::from_millis(2).as_nanos() });
+        let transfer = stats.trace.events.iter().find(|e| e.name == "transfer").unwrap();
+        assert_eq!(transfer.track, "comm[0]");
+        assert_eq!(transfer.kind, EventKind::Span { dur_ns: SimTime::from_millis(1).as_nanos() });
+        assert!(
+            transfer.args.contains(&("bytes", Arg::Int(1_000_000))),
+            "transfers carry their byte count: {:?}",
+            transfer.args
+        );
     }
 
     #[test]
@@ -94,20 +76,20 @@ mod tests {
     }
 
     #[test]
-    fn json_shape() {
-        let spans = vec![Span {
-            stream: StreamId(1),
-            label: "compute",
-            start: SimTime::from_micros(5),
-            end: SimTime::from_micros(9),
-        }];
-        let json = chrome_trace_json(&spans, &["c0".into(), "c\"1".into()]);
+    fn trace_json_is_trace_event_shaped_with_named_tracks() {
+        let mut sim = Sim::new();
+        sim.enable_tracing();
+        let a = sim.add_stream("c\"0"); // hostile name exercises escaping
+        sim.push(a, Op::compute(SimTime::from_micros(4)));
+        let stats = sim.run().unwrap();
+        let json = stats.trace.to_json();
         assert!(json.starts_with("{\"traceEvents\":["));
         assert!(json.ends_with("]}"));
         assert!(json.contains("\"ph\":\"X\""));
-        assert!(json.contains("\"ts\":5"));
+        assert!(json.contains("\"ts\":0"));
         assert!(json.contains("\"dur\":4"));
-        assert!(json.contains("c\\\"1"), "names must be escaped");
+        assert!(json.contains("c\\\"0"), "names must be escaped: {json}");
+        assert!(json.contains("\"thread_name\""), "tracks must be named");
     }
 
     #[test]
@@ -123,8 +105,8 @@ mod tests {
         sim.push(b, Op::WaitEvent(e));
         sim.push(b, Op::compute(SimTime::from_millis(1)));
         let stats = sim.run().unwrap();
-        let on_b = stats.trace.iter().find(|s| s.stream == b).unwrap();
-        assert_eq!(on_b.start, SimTime::from_millis(5));
-        assert_eq!(on_b.end, SimTime::from_millis(6));
+        let on_b = stats.trace.events.iter().find(|s| s.track == "b").unwrap();
+        assert_eq!(on_b.ts_ns, SimTime::from_millis(5).as_nanos());
+        assert_eq!(on_b.kind, EventKind::Span { dur_ns: SimTime::from_millis(1).as_nanos() });
     }
 }

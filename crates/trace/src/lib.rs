@@ -1,0 +1,707 @@
+//! The structured trace/metrics layer shared by every subsystem.
+//!
+//! The repo used to emit chrome-trace JSON from three unrelated places
+//! (the simulator, the minidl executor, the CLI), each with its own span
+//! type and hand-rolled writer. This crate replaces them with one event
+//! model and one [Trace Event Format] writer:
+//!
+//! * [`TraceEvent`] — a typed event on a named *process* (top-level group
+//!   in Perfetto) and *track* (row): a duration [`EventKind::Span`], an
+//!   [`EventKind::Instant`] marker (fault injected, rank poisoned,
+//!   heartbeat missed, cache eviction), or an [`EventKind::Counter`]
+//!   sample (NIC bytes, queue depth, cache hits, ledger balance).
+//! * [`Trace`] — an ordered event log with [`Trace::merge`] for splicing
+//!   timelines from different subsystems into one document, and
+//!   [`Trace::to_json`] — the single writer that allocates stable
+//!   pids/tids (first-appearance order), emits `process_name` /
+//!   `thread_name` metadata for every id it uses, and owns the one JSON
+//!   string [`escape`] in the workspace.
+//! * [`Recorder`] — a cheap shared handle for *measured* (wall-clock)
+//!   subsystems: a no-op unless enabled, with a process-wide [`global`]
+//!   instance so deeply nested code (the socket dataplane, the planner
+//!   workers) can record without threading a handle through every API.
+//! * [`Counters`] — a registry of named monotonic/gauge counters backing
+//!   e.g. the planner's `stats` response, with cheap atomic handles.
+//!
+//! Virtual-time subsystems (the simulator) build a [`Trace`] directly
+//! with simulated nanoseconds; wall-clock subsystems stamp events with
+//! [`Recorder::now_ns`]. Both meet in the same writer, which is what lets
+//! the CLI's fidelity command put the simulator's *charged* timeline and
+//! the real backend's *measured* one side by side in a single
+//! Perfetto-loadable file.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// One argument value attached to an event (rendered under `"args"`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    /// A string argument.
+    Str(String),
+    /// An integer argument (bytes, iteration numbers, op ids).
+    Int(i64),
+    /// A floating-point argument.
+    Num(f64),
+    /// A boolean argument.
+    Bool(bool),
+}
+
+impl From<&str> for Arg {
+    fn from(v: &str) -> Self {
+        Arg::Str(v.to_string())
+    }
+}
+impl From<String> for Arg {
+    fn from(v: String) -> Self {
+        Arg::Str(v)
+    }
+}
+impl From<i64> for Arg {
+    fn from(v: i64) -> Self {
+        Arg::Int(v)
+    }
+}
+impl From<u64> for Arg {
+    fn from(v: u64) -> Self {
+        Arg::Int(v as i64)
+    }
+}
+impl From<usize> for Arg {
+    fn from(v: usize) -> Self {
+        Arg::Int(v as i64)
+    }
+}
+impl From<f64> for Arg {
+    fn from(v: f64) -> Self {
+        Arg::Num(v)
+    }
+}
+impl From<bool> for Arg {
+    fn from(v: bool) -> Self {
+        Arg::Bool(v)
+    }
+}
+
+/// What kind of event a [`TraceEvent`] is.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A duration span (`ph:"X"`): something occupied the track for
+    /// `dur_ns` nanoseconds starting at the event's `ts_ns`.
+    Span {
+        /// Span duration, nanoseconds.
+        dur_ns: u64,
+    },
+    /// A point-in-time marker (`ph:"i"`, thread-scoped).
+    Instant,
+    /// A counter sample (`ph:"C"`): the track's value at `ts_ns`.
+    Counter {
+        /// Sampled value.
+        value: f64,
+    },
+}
+
+/// One typed event. `process` and `track` are *names*; the writer maps
+/// them to stable numeric pids/tids at emission time, so producers never
+/// coordinate id allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Process-level group (e.g. `"simulator (charged)"`, `"dataplane"`).
+    pub process: String,
+    /// Track (thread row) within the process (e.g. `"gather[3]"`, `"rank0"`).
+    pub track: String,
+    /// Event name (span label, counter name, instant label).
+    pub name: String,
+    /// Category tag (`cat` field; groups events for filtering in the UI).
+    pub cat: &'static str,
+    /// Timestamp, nanoseconds (virtual or wall-clock — the producer's axis).
+    pub ts_ns: u64,
+    /// Span / instant / counter payload.
+    pub kind: EventKind,
+    /// Extra arguments rendered under `"args"`.
+    pub args: Vec<(&'static str, Arg)>,
+}
+
+/// An ordered log of [`TraceEvent`]s plus the single TEF writer.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// The events, in recording order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Append one event.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// Record a duration span.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span(
+        &mut self,
+        process: &str,
+        track: &str,
+        name: &str,
+        cat: &'static str,
+        ts_ns: u64,
+        dur_ns: u64,
+        args: Vec<(&'static str, Arg)>,
+    ) {
+        self.push(TraceEvent {
+            process: process.to_string(),
+            track: track.to_string(),
+            name: name.to_string(),
+            cat,
+            ts_ns,
+            kind: EventKind::Span { dur_ns },
+            args,
+        });
+    }
+
+    /// Record an instant marker.
+    pub fn instant(
+        &mut self,
+        process: &str,
+        track: &str,
+        name: &str,
+        cat: &'static str,
+        ts_ns: u64,
+        args: Vec<(&'static str, Arg)>,
+    ) {
+        self.push(TraceEvent {
+            process: process.to_string(),
+            track: track.to_string(),
+            name: name.to_string(),
+            cat,
+            ts_ns,
+            kind: EventKind::Instant,
+            args,
+        });
+    }
+
+    /// Record a counter sample. The `name` identifies the counter series;
+    /// Perfetto renders one plot per `(process, name)`.
+    pub fn counter(&mut self, process: &str, track: &str, name: &str, ts_ns: u64, value: f64) {
+        self.push(TraceEvent {
+            process: process.to_string(),
+            track: track.to_string(),
+            name: name.to_string(),
+            cat: "counter",
+            ts_ns,
+            kind: EventKind::Counter { value },
+            args: Vec::new(),
+        });
+    }
+
+    /// Splice another trace's events after this one's. Process/track
+    /// *names* are the identity, so merging never renumbers anything —
+    /// pid order is first appearance across the merged whole.
+    pub fn merge(&mut self, other: Trace) {
+        self.events.extend(other.events);
+    }
+
+    /// Rename every event on process `from` to process `to` (presentation
+    /// belongs to the consumer; producers use neutral names).
+    pub fn rename_process(&mut self, from: &str, to: &str) {
+        for e in &mut self.events {
+            if e.process == from {
+                e.process = to.to_string();
+            }
+        }
+    }
+
+    /// Process names in first-appearance (= pid) order.
+    pub fn processes(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for e in &self.events {
+            if !out.contains(&e.process.as_str()) {
+                out.push(&e.process);
+            }
+        }
+        out
+    }
+
+    /// Render the trace as a Trace Event Format JSON document (loadable in
+    /// `chrome://tracing` / ui.perfetto.dev).
+    ///
+    /// Pids are allocated to processes in first-appearance order, tids to
+    /// tracks in first-appearance order within their process; every
+    /// pid/tid used by an event is named by `process_name` /
+    /// `thread_name` metadata emitted up front. Timestamps are
+    /// microseconds (TEF's unit), converted from the events' nanoseconds.
+    pub fn to_json(&self) -> String {
+        // Stable id allocation by first appearance.
+        let mut pids: Vec<&str> = Vec::new();
+        let mut tids: Vec<Vec<&str>> = Vec::new();
+        for e in &self.events {
+            let pid = match pids.iter().position(|p| *p == e.process) {
+                Some(i) => i,
+                None => {
+                    pids.push(&e.process);
+                    tids.push(Vec::new());
+                    pids.len() - 1
+                }
+            };
+            if !tids[pid].contains(&e.track.as_str()) {
+                tids[pid].push(&e.track);
+            }
+        }
+        let mut parts: Vec<String> = Vec::new();
+        for (pid, pname) in pids.iter().enumerate() {
+            parts.push(format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape(pname)
+            ));
+            for (tid, tname) in tids[pid].iter().enumerate() {
+                parts.push(format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    escape(tname)
+                ));
+            }
+        }
+        for e in &self.events {
+            let pid = pids.iter().position(|p| *p == e.process).unwrap();
+            let tid = tids[pid].iter().position(|t| *t == e.track).unwrap();
+            let ts = fmt_num(e.ts_ns as f64 / 1e3);
+            let mut ev = format!("{{\"name\":\"{}\"", escape(&e.name));
+            if !e.cat.is_empty() {
+                ev.push_str(&format!(",\"cat\":\"{}\"", escape(e.cat)));
+            }
+            match &e.kind {
+                EventKind::Span { dur_ns } => {
+                    let dur = fmt_num(*dur_ns as f64 / 1e3);
+                    ev.push_str(&format!(
+                        ",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"dur\":{dur}"
+                    ));
+                    if !e.args.is_empty() {
+                        ev.push_str(&format!(",\"args\":{}", args_json(&e.args)));
+                    }
+                }
+                EventKind::Instant => {
+                    ev.push_str(&format!(
+                        ",\"ph\":\"i\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"s\":\"t\""
+                    ));
+                    if !e.args.is_empty() {
+                        ev.push_str(&format!(",\"args\":{}", args_json(&e.args)));
+                    }
+                }
+                EventKind::Counter { value } => {
+                    ev.push_str(&format!(
+                        ",\"ph\":\"C\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\
+                         \"args\":{{\"value\":{}}}",
+                        fmt_num(*value)
+                    ));
+                }
+            }
+            ev.push('}');
+            parts.push(ev);
+        }
+        format!("{{\"traceEvents\":[{}]}}", parts.join(","))
+    }
+}
+
+fn args_json(args: &[(&'static str, Arg)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":", escape(k)));
+        match v {
+            Arg::Str(s) => out.push_str(&format!("\"{}\"", escape(s))),
+            Arg::Int(n) => out.push_str(&n.to_string()),
+            Arg::Num(x) => out.push_str(&fmt_num(*x)),
+            Arg::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Escape a string for embedding in a JSON string literal. This is *the*
+/// escaper for every trace emitted by the workspace (the three hand-rolled
+/// ones it replaces each missed control characters).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Deterministic float formatting: integral values print without a
+/// fractional part (matching `mics-core`'s `Json::emit` convention).
+fn fmt_num(x: f64) -> String {
+    if x.is_finite() && x == x.trunc() && x.abs() < 9.0e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+// ---- recorder ---------------------------------------------------------------
+
+#[derive(Debug)]
+struct RecorderInner {
+    enabled: AtomicBool,
+    epoch: Instant,
+    trace: Mutex<Trace>,
+}
+
+/// A cheap shared recorder for wall-clock subsystems.
+///
+/// Disabled by default: every recording call checks one relaxed atomic and
+/// returns, so permanently-instrumented hot paths (the socket dataplane's
+/// send/receive loops) cost nothing in ordinary runs. Enable it around the
+/// region of interest, then [`Recorder::drain`] the accumulated events
+/// into a [`Trace`] for merging/writing.
+///
+/// Timestamps come from one shared epoch ([`Recorder::now_ns`]), so spans
+/// recorded by different threads land on a single consistent axis.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    inner: Arc<RecorderInner>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// A fresh, disabled recorder.
+    pub fn new() -> Self {
+        Recorder {
+            inner: Arc::new(RecorderInner {
+                enabled: AtomicBool::new(false),
+                epoch: Instant::now(),
+                trace: Mutex::new(Trace::new()),
+            }),
+        }
+    }
+
+    /// Start recording.
+    pub fn enable(&self) {
+        self.inner.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Stop recording (already-recorded events stay until drained).
+    pub fn disable(&self) {
+        self.inner.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether recording calls currently capture anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds since this recorder's epoch.
+    pub fn now_ns(&self) -> u64 {
+        self.inner.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Record a span from `start_ns` (a prior [`Recorder::now_ns`]) to now.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span(
+        &self,
+        process: &str,
+        track: &str,
+        name: &str,
+        cat: &'static str,
+        start_ns: u64,
+        end_ns: u64,
+        args: Vec<(&'static str, Arg)>,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        let dur_ns = end_ns.saturating_sub(start_ns);
+        self.inner.trace.lock().unwrap().span(process, track, name, cat, start_ns, dur_ns, args);
+    }
+
+    /// Record an instant marker stamped now.
+    pub fn instant(
+        &self,
+        process: &str,
+        track: &str,
+        name: &str,
+        cat: &'static str,
+        args: Vec<(&'static str, Arg)>,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        let ts = self.now_ns();
+        self.inner.trace.lock().unwrap().instant(process, track, name, cat, ts, args);
+    }
+
+    /// Record a counter sample stamped now.
+    pub fn counter(&self, process: &str, track: &str, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let ts = self.now_ns();
+        self.inner.trace.lock().unwrap().counter(process, track, name, ts, value);
+    }
+
+    /// Take every recorded event, leaving the recorder empty (and still in
+    /// whatever enabled state it was).
+    pub fn drain(&self) -> Trace {
+        std::mem::take(&mut *self.inner.trace.lock().unwrap())
+    }
+}
+
+/// The process-wide recorder. Disabled until someone calls
+/// [`Recorder::enable`] on it, so instrumented subsystems pay one atomic
+/// load per event in ordinary runs.
+pub fn global() -> &'static Recorder {
+    static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+    GLOBAL.get_or_init(Recorder::new)
+}
+
+// ---- counters ---------------------------------------------------------------
+
+/// A registry of named counters: monotonic tallies (bytes sent, cache
+/// hits) and gauges (queue depth, in-flight waiters). Handles are cheap
+/// atomics, shareable across threads; [`Counters::snapshot`] reads every
+/// counter in registration order for `stats`-style reporting.
+#[derive(Debug, Clone, Default)]
+pub struct Counters {
+    cells: Arc<Mutex<CounterCells>>,
+}
+
+/// Registration-ordered name → cell pairs behind [`Counters`].
+type CounterCells = Vec<(String, Arc<AtomicU64>)>;
+
+/// One counter handle (see [`Counters::counter`]).
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counters {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Get or create the counter named `name`. Handles to the same name
+    /// share one cell.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut cells = self.cells.lock().unwrap();
+        if let Some((_, cell)) = cells.iter().find(|(n, _)| n == name) {
+            return Counter(Arc::clone(cell));
+        }
+        let cell = Arc::new(AtomicU64::new(0));
+        cells.push((name.to_string(), Arc::clone(&cell)));
+        Counter(cell)
+    }
+
+    /// Current value of `name` (0 when never registered).
+    pub fn get(&self, name: &str) -> u64 {
+        let cells = self.cells.lock().unwrap();
+        cells.iter().find(|(n, _)| n == name).map(|(_, c)| c.load(Ordering::Relaxed)).unwrap_or(0)
+    }
+
+    /// Every counter's `(name, value)`, in registration order.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        let cells = self.cells.lock().unwrap();
+        cells.iter().map(|(n, c)| (n.clone(), c.load(Ordering::Relaxed))).collect()
+    }
+}
+
+impl Counter {
+    /// Add `n`, returning the new value.
+    pub fn add(&self, n: u64) -> u64 {
+        self.0.fetch_add(n, Ordering::Relaxed) + n
+    }
+
+    /// Add 1, returning the new value.
+    pub fn incr(&self) -> u64 {
+        self.add(1)
+    }
+
+    /// Subtract 1 (saturating at 0), returning the new value — for gauges.
+    pub fn dec(&self) -> u64 {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(1);
+            match self.0.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return next,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Overwrite the value — for gauges set from a computed depth.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_covers_quotes_backslashes_and_control_chars() {
+        assert_eq!(escape(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape(r"a\b"), r"a\\b");
+        assert_eq!(escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+        assert_eq!(escape("x\u{1}y"), "x\\u0001y");
+        assert_eq!(escape("plain µs"), "plain µs");
+    }
+
+    #[test]
+    fn writer_allocates_stable_pids_tids_and_names_them() {
+        let mut t = Trace::new();
+        t.span("simA", "track0", "op", "c", 1_000, 2_000, vec![]);
+        t.span("simB", "other", "op", "c", 0, 500, vec![]);
+        t.span("simA", "track1", "op", "c", 3_000, 1_000, vec![]);
+        let json = t.to_json();
+        // simA appeared first → pid 0 with tids 0/1; simB → pid 1.
+        assert!(json.contains(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"simA\"}}"
+        ));
+        assert!(json.contains(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"simB\"}}"
+        ));
+        assert!(json.contains("\"args\":{\"name\":\"track1\"}"));
+        // ns → µs, integral values print as integers.
+        assert!(json.contains("\"ts\":1,\"dur\":2"), "{json}");
+        assert!(json.contains("\"ts\":0,\"dur\":0.5"), "{json}");
+        assert_eq!(t.processes(), vec!["simA", "simB"]);
+    }
+
+    #[test]
+    fn merge_preserves_first_trace_pid_order() {
+        let mut a = Trace::new();
+        a.span("first", "t", "x", "c", 0, 1, vec![]);
+        let mut b = Trace::new();
+        b.span("second", "t", "y", "c", 0, 1, vec![]);
+        a.merge(b);
+        assert_eq!(a.processes(), vec!["first", "second"]);
+        let json = a.to_json();
+        let first = json.find("\"name\":\"first\"").unwrap();
+        let second = json.find("\"name\":\"second\"").unwrap();
+        assert!(first < second);
+    }
+
+    #[test]
+    fn rename_process_retargets_only_matching_events() {
+        let mut t = Trace::new();
+        t.span("sim", "t", "x", "c", 0, 1, vec![]);
+        t.span("other", "t", "y", "c", 0, 1, vec![]);
+        t.rename_process("sim", "simulator (charged)");
+        assert_eq!(t.processes(), vec!["simulator (charged)", "other"]);
+    }
+
+    #[test]
+    fn counter_and_instant_shapes() {
+        let mut t = Trace::new();
+        t.counter("p", "net", "tx bytes", 2_000, 4096.0);
+        t.instant("p", "net", "rank poisoned", "fault", 3_000, vec![("code", Arg::from("Kill"))]);
+        let json = t.to_json();
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"args\":{\"value\":4096}"));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"s\":\"t\""));
+        assert!(json.contains("\"args\":{\"code\":\"Kill\"}"));
+    }
+
+    #[test]
+    fn span_args_render_typed_values() {
+        let mut t = Trace::new();
+        t.span(
+            "p",
+            "t",
+            "transfer",
+            "sim",
+            0,
+            10,
+            vec![("bytes", Arg::from(123u64)), ("hit", Arg::from(true)), ("f", Arg::from(0.25))],
+        );
+        let json = t.to_json();
+        assert!(json.contains("\"args\":{\"bytes\":123,\"hit\":true,\"f\":0.25}"), "{json}");
+    }
+
+    #[test]
+    fn disabled_recorder_is_a_no_op() {
+        let rec = Recorder::new();
+        rec.span("p", "t", "x", "c", 0, rec.now_ns(), vec![]);
+        rec.counter("p", "t", "c", 1.0);
+        rec.instant("p", "t", "i", "c", vec![]);
+        assert!(rec.drain().is_empty());
+    }
+
+    #[test]
+    fn enabled_recorder_captures_and_drains() {
+        let rec = Recorder::new();
+        rec.enable();
+        let start = rec.now_ns();
+        rec.span("p", "t", "x", "c", start, rec.now_ns(), vec![]);
+        rec.counter("p", "t", "depth", 3.0);
+        let t = rec.drain();
+        assert_eq!(t.len(), 2);
+        assert!(rec.drain().is_empty(), "drain empties the log");
+        assert!(rec.is_enabled(), "drain does not flip the enable bit");
+    }
+
+    #[test]
+    fn counters_registry_shares_cells_by_name() {
+        let reg = Counters::new();
+        let a = reg.counter("hits");
+        let b = reg.counter("hits");
+        a.incr();
+        b.add(2);
+        assert_eq!(reg.get("hits"), 3);
+        let gauge = reg.counter("depth");
+        gauge.set(5);
+        gauge.dec();
+        assert_eq!(gauge.get(), 4);
+        gauge.set(0);
+        assert_eq!(gauge.dec(), 0, "gauges saturate at zero");
+        assert_eq!(reg.snapshot(), vec![("hits".to_string(), 3), ("depth".to_string(), 0)]);
+        assert_eq!(reg.get("absent"), 0);
+    }
+
+    #[test]
+    fn global_recorder_is_one_instance() {
+        let a = global();
+        let b = global();
+        assert!(std::ptr::eq(a, b));
+    }
+}

@@ -28,6 +28,34 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 echo "==> golden schedule dumps"
 cargo test -q --test schedule_goldens
 
+# Same story for the trace layer: every trace document must satisfy the
+# Trace Event Format invariants and the simulator trace is golden-pinned.
+echo "==> trace schema + golden trace"
+cargo test -q --test trace_schema
+
+# perf-diff is the snapshot regression gate; prove the gate itself works
+# before trusting it: identical snapshots must pass, a perturbed copy
+# (one snapshot dropped — always a regression) must exit nonzero.
+echo "==> perf-diff self-check"
+cargo build --release -q -p mics-cli --bin mics-sim
+target/release/mics-sim perf-diff results results >/dev/null
+PERTURBED="$(mktemp -d /tmp/mics-perfdiff.XXXXXX)"
+cp results/*.json "${PERTURBED}/"
+rm "${PERTURBED}/$(basename "$(find results -maxdepth 1 -name '*.json' | sort | head -n 1)")"
+if target/release/mics-sim perf-diff results "${PERTURBED}" >/dev/null 2>&1; then
+    echo "perf-diff FAILED to flag a perturbed snapshot" >&2
+    rm -rf "${PERTURBED}"
+    exit 1
+fi
+rm -rf "${PERTURBED}"
+
+# A traced fidelity run must still produce a loadable merged document.
+echo "==> fidelity trace smoke"
+FID_TRACE="$(mktemp -u /tmp/mics-fidelity.XXXXXX.json)"
+target/release/mics-sim fidelity --iterations 2 --trace "${FID_TRACE}" >/dev/null
+grep -q '"traceEvents"' "${FID_TRACE}"
+rm -f "${FID_TRACE}"
+
 # Smoke-run the extension benches: they carry their own assertions (the
 # ablation's knob deltas, the compression bench's ~4× wire claim and the
 # int8 fidelity envelope) and regenerate their results/ artifacts.
@@ -65,8 +93,10 @@ PLANNER_SOCK="$(mktemp -u /tmp/mics-plannerd.XXXXXX.sock)"
 timeout 60 target/release/mics-plannerd serve --addr "unix:${PLANNER_SOCK}" &
 PLANNER_PID=$!
 for _ in $(seq 50); do [ -S "${PLANNER_SOCK}" ] && break; sleep 0.1; done
+# (plain grep, not -q: -q exits at first match and the early pipe close
+# makes the query's stdout print die on EPIPE)
 timeout 30 target/release/mics-plannerd query --addr "unix:${PLANNER_SOCK}" \
-    --model bert-10b --nodes 2 --strategy mics:8 | grep -q '"report"'
+    --model bert-10b --nodes 2 --strategy mics:8 | grep '"report"' >/dev/null
 timeout 30 target/release/mics-plannerd bench --addr "unix:${PLANNER_SOCK}" \
     --clients 2 --queries 8 >/dev/null
 timeout 30 target/release/mics-plannerd stop --addr "unix:${PLANNER_SOCK}"

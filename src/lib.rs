@@ -13,6 +13,7 @@
 //!
 //! | crate | role |
 //! |---|---|
+//! | [`trace`] | typed trace/metrics layer: spans, counters, instants, Trace Event Format writer |
 //! | [`simnet`] | deterministic discrete-event simulator (streams, events, fluid-shared links) |
 //! | [`cluster`] | cloud instance types, node/device topology, partition & replication groups |
 //! | [`collectives`] | chunk-layout math, α–β cost models, effective-bandwidth estimation |
@@ -54,3 +55,4 @@ pub use mics_minidl as minidl;
 pub use mics_model as model;
 pub use mics_simnet as simnet;
 pub use mics_tensor as tensor;
+pub use mics_trace as trace;

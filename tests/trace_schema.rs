@@ -1,0 +1,276 @@
+//! Trace Event Format invariants over every trace the system produces.
+//!
+//! All trace JSON now flows through one writer (`mics_trace::Trace::to_json`),
+//! so one schema checker can gate every producer: the simulator's charged
+//! timeline, the fidelity run's merged sim + measured + dataplane document,
+//! and a raw socket-collective capture from the global recorder. The checks
+//! are the ones Perfetto actually relies on:
+//!
+//! * every `ph:"X"` complete event carries numeric `ts` and `dur`;
+//! * every `pid` used by an event is named by `process_name` metadata, and
+//!   every `(pid, tid)` by `thread_name` metadata;
+//! * counter series whose name marks them cumulative (`bytes`, `(cum)`)
+//!   are monotone non-decreasing.
+//!
+//! A golden snapshot additionally pins the simulator trace byte-for-byte —
+//! the writer's pid/tid allocation, number formatting and escaping are part
+//! of the output contract. Regenerate intentionally with
+//! `MICS_UPDATE_GOLDENS=1 cargo test --test trace_schema`.
+
+use mics::cluster::{ClusterSpec, InstanceType};
+use mics::core::{simulate_dp_traced, Json, Strategy, TrainingJob};
+use mics::dataplane::TransportKind;
+use mics::model::{LayerSpec, WorkloadSpec};
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+// ---- the schema checker -----------------------------------------------------
+
+fn events(doc: &Json) -> &[Json] {
+    doc.get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("trace document must be {\"traceEvents\": [...]}")
+}
+
+fn num(e: &Json, key: &str) -> Option<f64> {
+    e.get(key).and_then(Json::as_num)
+}
+
+fn text<'a>(e: &'a Json, key: &str) -> Option<&'a str> {
+    e.get(key).and_then(Json::as_str)
+}
+
+/// Assert every TEF invariant on a parsed trace document. Returns the
+/// counter samples as `((pid, tid, name), ts, value)` in file order so
+/// callers can run additional series-level checks.
+#[allow(clippy::type_complexity)]
+fn check_tef(doc: &Json, label: &str) -> Vec<((u64, u64, String), f64, f64)> {
+    let mut named_pids: HashSet<u64> = HashSet::new();
+    let mut named_tids: HashSet<(u64, u64)> = HashSet::new();
+    let mut used: Vec<(u64, u64, String)> = Vec::new();
+    let mut counters = Vec::new();
+    for e in events(doc) {
+        let ph = text(e, "ph").unwrap_or_else(|| panic!("{label}: event without ph: {e:?}"));
+        let pid = num(e, "pid").unwrap_or_else(|| panic!("{label}: event without pid: {e:?}"));
+        let tid = num(e, "tid").unwrap_or_else(|| panic!("{label}: event without tid: {e:?}"));
+        assert!(pid >= 0.0 && pid.fract() == 0.0, "{label}: pid must be a whole number: {e:?}");
+        assert!(tid >= 0.0 && tid.fract() == 0.0, "{label}: tid must be a whole number: {e:?}");
+        let (pid, tid) = (pid as u64, tid as u64);
+        let name = text(e, "name").unwrap_or_else(|| panic!("{label}: event without name: {e:?}"));
+        match ph {
+            "M" => {
+                let arg = e
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .unwrap_or_else(|| panic!("{label}: metadata without args.name: {e:?}"));
+                assert!(!arg.is_empty(), "{label}: empty metadata name");
+                match name {
+                    "process_name" => {
+                        named_pids.insert(pid);
+                    }
+                    "thread_name" => {
+                        named_tids.insert((pid, tid));
+                    }
+                    other => panic!("{label}: unknown metadata record '{other}'"),
+                }
+            }
+            "X" => {
+                let ts = num(e, "ts")
+                    .unwrap_or_else(|| panic!("{label}: complete event without ts: {e:?}"));
+                let dur = num(e, "dur")
+                    .unwrap_or_else(|| panic!("{label}: complete event without dur: {e:?}"));
+                assert!(ts >= 0.0 && dur >= 0.0, "{label}: negative ts/dur: {e:?}");
+                used.push((pid, tid, name.to_string()));
+            }
+            "C" => {
+                let ts =
+                    num(e, "ts").unwrap_or_else(|| panic!("{label}: counter without ts: {e:?}"));
+                let value = e
+                    .get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(Json::as_num)
+                    .unwrap_or_else(|| panic!("{label}: counter without args.value: {e:?}"));
+                used.push((pid, tid, name.to_string()));
+                counters.push(((pid, tid, name.to_string()), ts, value));
+            }
+            "i" => {
+                assert!(num(e, "ts").is_some(), "{label}: instant without ts: {e:?}");
+                assert_eq!(text(e, "s"), Some("t"), "{label}: instant without scope: {e:?}");
+                used.push((pid, tid, name.to_string()));
+            }
+            other => panic!("{label}: unexpected phase '{other}': {e:?}"),
+        }
+    }
+    assert!(!used.is_empty(), "{label}: trace has no events");
+    for (pid, tid, name) in &used {
+        assert!(named_pids.contains(pid), "{label}: pid {pid} of '{name}' has no process_name");
+        assert!(
+            named_tids.contains(&(*pid, *tid)),
+            "{label}: (pid {pid}, tid {tid}) of '{name}' has no thread_name"
+        );
+    }
+    // Cumulative series must never step backwards.
+    let mut last: std::collections::HashMap<&(u64, u64, String), (f64, f64)> =
+        std::collections::HashMap::new();
+    for (series, ts, value) in &counters {
+        if !(series.2.contains("bytes") || series.2.contains("(cum)")) {
+            continue;
+        }
+        if let Some((prev_ts, prev_value)) = last.get(series) {
+            assert!(
+                ts >= prev_ts && value >= prev_value,
+                "{label}: cumulative counter '{}' went backwards ({prev_value}@{prev_ts} -> \
+                 {value}@{ts})",
+                series.2
+            );
+        }
+        last.insert(series, (*ts, *value));
+    }
+    counters
+}
+
+fn parse(json: &str, label: &str) -> Json {
+    Json::parse(json).unwrap_or_else(|e| panic!("{label}: invalid JSON: {e:?}"))
+}
+
+fn process_names(doc: &Json) -> Vec<String> {
+    events(doc)
+        .iter()
+        .filter(|e| text(e, "ph") == Some("M") && text(e, "name") == Some("process_name"))
+        .filter_map(|e| e.get("args").and_then(|a| a.get("name")).and_then(Json::as_str))
+        .map(str::to_string)
+        .collect()
+}
+
+// ---- producers --------------------------------------------------------------
+
+/// The schedule-goldens tiny workload: 4 layers of 1M params, small enough
+/// that the traced simulation stays a few hundred events.
+fn tiny_job() -> TrainingJob {
+    let layer = LayerSpec {
+        params: 1_000_000,
+        fwd_flops: 1e9,
+        bwd_flops: 2e9,
+        recompute_flops: 1e9,
+        checkpoint_bytes: 1 << 20,
+        working_bytes: 1 << 20,
+    };
+    TrainingJob {
+        workload: WorkloadSpec {
+            name: "tiny-4l".into(),
+            layers: vec![layer; 4],
+            param_dtype_bytes: 2,
+            activation_checkpointing: true,
+            micro_batch: 4,
+        },
+        cluster: ClusterSpec::new(InstanceType::p3dn_24xlarge(), 1),
+        strategy: Strategy::parse("mics:8").unwrap(),
+        accum_steps: 2,
+    }
+}
+
+#[test]
+fn simulator_trace_satisfies_tef_invariants() {
+    let (_, json) = simulate_dp_traced(&tiny_job()).expect("tiny job must fit");
+    let doc = parse(&json, "sim");
+    check_tef(&doc, "sim");
+    let names = process_names(&doc);
+    assert_eq!(names, ["simulator (charged)"], "one charged process: {names:?}");
+}
+
+#[test]
+fn simulator_trace_is_byte_stable() {
+    let (_, json) = simulate_dp_traced(&tiny_job()).expect("tiny job must fit");
+    let (_, again) = simulate_dp_traced(&tiny_job()).expect("tiny job must fit");
+    assert_eq!(json, again, "the traced simulation must be deterministic");
+    check_golden("trace_sim_tiny", &json);
+}
+
+/// Fidelity over the socket transport produces the fully merged document —
+/// simulator (charged), minidl lanes (measured), dataplane wire counters —
+/// and a raw recorder capture of a bare socket collective must stand on its
+/// own. One test, because both halves share the process-global recorder.
+#[test]
+fn merged_fidelity_and_raw_socket_traces_satisfy_tef_invariants() {
+    let path = std::env::temp_dir().join(format!("mics_trace_schema_{}.json", std::process::id()));
+    let path_s = path.to_str().unwrap().to_string();
+    let argv: Vec<String> = format!("fidelity --iterations 2 --transport socket --trace {path_s}")
+        .split_whitespace()
+        .map(str::to_string)
+        .collect();
+    let out = mics_cli::execute(&mics_cli::parse_args(&argv).unwrap()).unwrap();
+    assert!(out.contains("trace written to"), "{out}");
+    let doc = parse(&std::fs::read_to_string(&path).unwrap(), "fidelity");
+    std::fs::remove_file(&path).ok();
+    let counters = check_tef(&doc, "fidelity");
+    let names = process_names(&doc);
+    assert!(
+        names.contains(&"simulator (charged)".to_string())
+            && names.contains(&"real backend (measured)".to_string())
+            && names.contains(&"dataplane".to_string()),
+        "merged trace must hold all three layers: {names:?}"
+    );
+    let series: HashSet<&str> = counters.iter().map(|(s, _, _)| s.2.as_str()).collect();
+    assert!(
+        series.iter().any(|s| s.contains("tx bytes")),
+        "dataplane byte counters missing: {series:?}"
+    );
+    assert!(
+        series.iter().any(|s| s.contains("lane occupancy")),
+        "minidl occupancy counters missing: {series:?}"
+    );
+
+    // Second half: a bare socket collective captured by the recorder alone.
+    let rec = mics::trace::global();
+    let _ = rec.drain();
+    rec.enable();
+    let sums = mics::dataplane::run_ranks_on(TransportKind::Socket, 2, |c| {
+        c.all_reduce(&[c.rank() as f32 + 1.0])
+    });
+    rec.disable();
+    assert!(sums.iter().all(|s| s == &[3.0]));
+    let doc = parse(&rec.drain().to_json(), "socket");
+    let counters = check_tef(&doc, "socket");
+    assert_eq!(process_names(&doc), ["dataplane"]);
+    assert!(
+        counters.iter().any(|(s, _, _)| s.2.contains("rx bytes")),
+        "wire rx counters must be captured"
+    );
+    assert!(
+        counters.iter().any(|(s, _, _)| s.2.contains("in-flight exchanges")),
+        "pending-depth gauge must be captured"
+    );
+}
+
+#[test]
+fn shipped_timeline_snapshots_satisfy_tef_invariants() {
+    for name in ["mics_timeline", "zero3_timeline"] {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("results/{name}.json"));
+        let json = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let doc = parse(&json, name);
+        check_tef(&doc, name);
+    }
+}
+
+// Same idiom as tests/schedule_goldens.rs: goldens live under
+// tests/goldens/, refreshed via MICS_UPDATE_GOLDENS=1.
+fn check_golden(name: &str, actual: &str) {
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens").join(format!("{name}.txt"));
+    if std::env::var_os("MICS_UPDATE_GOLDENS").is_some() {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden '{}' ({e}); run MICS_UPDATE_GOLDENS=1 cargo test --test trace_schema",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "golden '{name}' drifted; regenerate intentionally with MICS_UPDATE_GOLDENS=1"
+    );
+}
