@@ -7,7 +7,9 @@
 //! Megatron configuration, without any of that tuning.
 
 use mics_bench::{accum_steps, f1, run, v100, Table};
-use mics_core::{simulate_megatron, MegatronConfig, MicsConfig, Strategy};
+use mics_core::{
+    simulate_dp_pipeline, simulate_megatron, MegatronConfig, MicsConfig, Strategy, TrainingJob,
+};
 use mics_model::TransformerConfig;
 
 fn main() {
@@ -67,6 +69,25 @@ fn main() {
         f1(mics.samples_per_sec),
         "0%".into(),
         format!("{:.2}×", mics.samples_per_sec / base),
+    ]);
+    // The executable counterpoint to the analytic Megatron rows: the same
+    // 64 GPUs as a dp=32 × pp=2 1F1B MiCS program, lowered through the
+    // schedule IR and costed event-by-event on the simulator (StageSend /
+    // StageRecv boundary hops included) rather than by closed form.
+    let pp = 2;
+    let stage = TrainingJob {
+        workload: model.workload(8),
+        cluster: v100(nodes / pp),
+        strategy: Strategy::Mics(MicsConfig::paper_defaults(16)),
+        accum_steps: accum_steps(n / pp, 8, 4096),
+    };
+    let act_bytes = (8 * model.seq_len * model.hidden) as u64 * 2;
+    let pipe = simulate_dp_pipeline(&stage, pp, act_bytes).expect("DP×PP MiCS must fit");
+    t.row(vec![
+        format!("MiCS DP×PP (p=16, pp={pp}, executable)"),
+        f1(pipe.samples_per_sec),
+        format!("{:.1}% util", pipe.compute_fraction * 100.0),
+        format!("{:.2}×", pipe.samples_per_sec / base),
     ]);
     t.finish("fig10a_megatron");
 

@@ -230,6 +230,21 @@ mod tests {
     }
 
     #[test]
+    fn pure_additions_pass() {
+        // A snapshot that only *adds* result files (a new bench landing)
+        // must pass the gate — additions are reported informationally, not
+        // gated; only missing or changed metrics fail.
+        let a = snapshot("add_a", &[("x.json", r#"{"v":1}"#)]);
+        let b = snapshot("add_b", &[("x.json", r#"{"v":1}"#), ("new_bench.json", r#"{"v":9}"#)]);
+        let out = perf_diff(&args(&a, &b)).unwrap();
+        assert!(out.contains("new files (not gated): new_bench.json"), "{out}");
+        assert!(out.contains("no regressions"), "{out}");
+        for d in [a, b] {
+            std::fs::remove_dir_all(d).ok();
+        }
+    }
+
+    #[test]
     fn missing_files_and_keys_are_regressions_new_files_are_not() {
         let a = snapshot("miss_a", &[("x.json", r#"{"v":1,"w":2}"#)]);
         let b = snapshot("miss_b", &[("y.json", r#"{"v":1}"#)]);

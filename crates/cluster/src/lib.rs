@@ -230,6 +230,10 @@ impl ClusterSpec {
                 FaultKind::NicDegrade { factor } => sim.set_link_rate_at(nic, ev.at, factor),
                 FaultKind::NicRestore => sim.set_link_rate_at(nic, ev.at, 1.0),
                 FaultKind::Crash => sim.set_link_rate_at(nic, ev.at, 1e-9),
+                // Capacity return is an elastic-scheduler signal, not a
+                // fabric change: the returned slot joins a *new* world, so
+                // the old fabric's NIC stays down.
+                FaultKind::Return => {}
             }
         }
     }

@@ -58,19 +58,20 @@ pub mod tuner;
 
 pub use canonical::{Canonical, CanonicalHasher, CanonicalKey};
 pub use config::{MicsConfig, Strategy, ZeroStage};
-pub use dp::{dp_program, simulate_dp_traced, JobView};
+pub use dp::{dp_pipeline_program, dp_program, simulate_dp_pipeline, simulate_dp_traced, JobView};
 pub use json::{Json, ToJson};
 pub use megatron::{simulate_megatron, MegatronConfig, MegatronReport};
 pub use memory::{MemoryEstimate, OomError};
 pub use mics_compress::{CompressionConfig, CompressionScope, QuantScheme};
 pub use recovery::{
-    poisson_failures, policy_for, recovery_time, simulate_with_failures, RecoveryConfig,
-    RecoveryPolicy, RecoveryReport, RecoveryTime,
+    poisson_failures, policy_for, recovery_time, simulate_elastic, simulate_with_failures,
+    spot_plan, ElasticReport, RecoveryConfig, RecoveryPolicy, RecoveryReport, RecoveryTime,
+    SpotPolicy,
 };
 pub use report::RunReport;
 pub use schedule::{
-    apply_prefetch, emit_step, execute_on_sim, GroupRef, OpKind, Pass, ScheduleOp, ScheduleSpec,
-    StepProgram, WireOp,
+    apply_prefetch, emit_pipeline, emit_step, execute_on_sim, reshape, Geometry, GroupRef, OpKind,
+    Pass, PipelineSpec, ScheduleOp, ScheduleSpec, StepProgram, WireOp,
 };
 pub use tuner::{candidate_partition_sizes, tune, tune_with_compression, Candidate, TuneResult};
 

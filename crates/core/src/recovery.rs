@@ -23,8 +23,9 @@
 
 use crate::memory::OomError;
 use crate::TrainingJob;
-use mics_cluster::{NodeId, Rank};
-use mics_simnet::{FaultPlan, Op, Sim, SimTime};
+use mics_cluster::{ClusterSpec, NodeId, Rank};
+use mics_simnet::{FaultKind, FaultPlan, Op, Sim, SimTime};
+use std::collections::{BTreeSet, HashMap};
 
 /// Knobs of the failure/recovery environment (cloud-side constants, not
 /// strategy-dependent).
@@ -315,6 +316,377 @@ pub fn poisson_failures(
     FaultPlan::new(seed).with_replaced_poisson_crashes(job.cluster.nodes, mean_between, horizon)
 }
 
+/// Convenience: the capacity-fluctuation trace [`simulate_elastic`] expects
+/// — seeded spot preemptions paired with later capacity returns, sized for
+/// `job`'s cluster.
+pub fn spot_plan(
+    job: &TrainingJob,
+    seed: u64,
+    mean_between: SimTime,
+    mean_outage: SimTime,
+    horizon: SimTime,
+) -> FaultPlan {
+    FaultPlan::new(seed).with_spot_trace(job.cluster.nodes, mean_between, mean_outage, horizon)
+}
+
+/// How a job responds to spot-capacity fluctuation (preemptions paired with
+/// later capacity returns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpotPolicy {
+    /// Reshape the geometry at every capacity change: after a preemption the
+    /// job shrinks onto the largest feasible surviving world and keeps
+    /// training; when capacity returns it grows back. Each transition stalls
+    /// for a state reshard plus the interrupted iteration (grow additionally
+    /// pays instance provisioning).
+    Elastic,
+    /// The geometry is fixed at the full cluster: training stalls whenever
+    /// any slot is away, and resuming once capacity is back costs a
+    /// checkpoint reload plus the work since the last periodic write.
+    Static,
+}
+
+impl SpotPolicy {
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpotPolicy::Elastic => "elastic",
+            SpotPolicy::Static => "static",
+        }
+    }
+}
+
+/// Goodput accounting of a run over a spot capacity trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElasticReport {
+    /// Strategy label (e.g. `"MiCS(p=8)"`).
+    pub label: String,
+    /// Policy the walk was accounted under.
+    pub policy: SpotPolicy,
+    /// Preemptions within the horizon.
+    pub preemptions: usize,
+    /// Capacity returns the job re-admitted (elastic grows; for the static
+    /// policy, outage ends).
+    pub grows: usize,
+    /// Geometry transitions executed (elastic only: shrinks + grows).
+    pub reshapes: usize,
+    /// Total stall across transitions: reshard traffic, interrupted
+    /// iterations, and (on grow / static resume) provisioning and
+    /// checkpoint reads.
+    pub transition_overhead: SimTime,
+    /// Total time at zero forward progress (transitions, capacity the job
+    /// cannot fit on, static-policy outages).
+    pub stalled: SimTime,
+    /// Total time stalled writing periodic checkpoints.
+    pub checkpoint_overhead: SimTime,
+    /// Smallest node count the job actually trained on.
+    pub min_nodes: usize,
+    /// Wall-clock window the trace covers.
+    pub horizon: SimTime,
+    /// Forward progress relative to a failure-free full-cluster run:
+    /// segments at a shrunken world count at that world's fraction of full
+    /// throughput.
+    pub goodput_fraction: f64,
+    /// Failure-free full-cluster throughput × goodput fraction.
+    pub effective_samples_per_sec: f64,
+    /// Fingerprint of the capacity trace (equal seeds ⇒ equal reports).
+    pub fault_fingerprint: u64,
+}
+
+/// `job` resized to `nodes` instances of the same type.
+fn job_at(job: &TrainingJob, nodes: usize) -> TrainingJob {
+    TrainingJob {
+        workload: job.workload.clone(),
+        cluster: ClusterSpec::new(job.cluster.instance.clone(), nodes),
+        strategy: job.strategy.clone(),
+        accum_steps: job.accum_steps,
+    }
+}
+
+/// Can the strategy's geometry be emitted at `nodes` at all? (The MiCS
+/// partition size must divide the device count; memory feasibility is
+/// checked separately by `simulate`.)
+fn geometry_fits(job: &TrainingJob, nodes: usize) -> bool {
+    let devices = job.cluster.instance.gpus_per_node * nodes;
+    let p = match &job.strategy {
+        crate::Strategy::Mics(cfg) => cfg.partition_size,
+        _ => 1,
+    };
+    devices >= p && devices.is_multiple_of(p)
+}
+
+/// Simulate the all-to-all shard movement of a reshape onto a `nodes`-wide
+/// world: every node of the destination geometry ingests its share of the
+/// model states through its own NIC, concurrently — the same fabric model
+/// training and peer-copy recovery use.
+fn reshard_time(job: &TrainingJob, nodes: usize) -> SimTime {
+    let cl = ClusterSpec::new(job.cluster.instance.clone(), nodes);
+    let per_node = model_state_bytes(job) / nodes.max(1) as u64;
+    let alpha = cl.latencies().inter;
+    let mut sim = Sim::new();
+    let fabric = cl.build_fabric(&mut sim);
+    for node in 0..nodes {
+        let s = sim.add_stream(format!("reshard[{node}]"));
+        sim.push(s, Op::transfer(fabric.nic[node], per_node, alpha));
+    }
+    sim.run().expect("reshard program cannot deadlock").makespan
+}
+
+/// Throughput (and iteration time) the elastic scheduler achieves with
+/// `avail` nodes of capacity: the largest feasible world `≤ avail` that the
+/// geometry and memory model admit, or `None` when even one node cannot
+/// hold the job (progress stalls until capacity returns).
+struct SpotRates {
+    /// `avail nodes → (world used, samples/s, iter time)`.
+    cache: HashMap<usize, Option<(usize, f64, SimTime)>>,
+}
+
+impl SpotRates {
+    fn new() -> Self {
+        SpotRates { cache: HashMap::new() }
+    }
+
+    fn at(&mut self, job: &TrainingJob, avail: usize) -> Option<(usize, f64, SimTime)> {
+        if let Some(hit) = self.cache.get(&avail) {
+            return *hit;
+        }
+        let mut resolved = None;
+        for nodes in (1..=avail).rev() {
+            if !geometry_fits(job, nodes) {
+                continue;
+            }
+            if let Ok(r) = crate::simulate(&job_at(job, nodes)) {
+                resolved = Some((nodes, r.samples_per_sec, r.iter_time));
+                break;
+            }
+        }
+        self.cache.insert(avail, resolved);
+        resolved
+    }
+}
+
+/// Walk a seeded spot capacity trace ([`FaultPlan::with_spot_trace`]) and
+/// account goodput under `policy`.
+///
+/// The elastic policy reshapes at every capacity change; each transition is
+/// a full stall of `reshard_time` (shard movement onto the destination
+/// world's NICs) plus the interrupted iteration, and grows additionally pay
+/// `node_provision` (the walker charges provisioning as part of the grow
+/// stall — a deliberate, slightly pessimistic simplification that keeps the
+/// timeline single-threaded). The static policy stalls whenever any slot is
+/// away and pays a checkpoint reload (read + redone work since the last
+/// periodic write) to resume. Replication-protected elastic runs checkpoint
+/// at the dilated cadence; the static policy depends on checkpoints and
+/// pays the base cadence. Everything is deterministic in the plan's seed.
+pub fn simulate_elastic(
+    job: &TrainingJob,
+    cfg: &RecoveryConfig,
+    trace: &FaultPlan,
+    horizon: SimTime,
+    policy: SpotPolicy,
+) -> Result<ElasticReport, OomError> {
+    let full = crate::simulate(job)?;
+    let nodes = job.cluster.nodes;
+    let mut rates = SpotRates::new();
+
+    let mut away: BTreeSet<usize> = BTreeSet::new();
+    let mut now = SimTime::ZERO;
+    let mut idle_until = SimTime::ZERO;
+    let mut progress_secs = 0.0f64;
+    let mut stalled = SimTime::ZERO;
+    let mut transition_overhead = SimTime::ZERO;
+    let mut preemptions = 0usize;
+    let mut grows = 0usize;
+    let mut reshapes = 0usize;
+    let mut min_nodes = nodes;
+    // First preemption of the current static-policy outage — the phase the
+    // checkpoint reload rewinds to on resume.
+    let mut outage_began: Option<SimTime> = None;
+
+    // Rate relative to the failure-free full cluster while `away` slots are
+    // gone; also reports the world actually trained on.
+    fn rel_rate(
+        policy: SpotPolicy,
+        rates: &mut SpotRates,
+        job: &TrainingJob,
+        full_sps: f64,
+        nodes: usize,
+        away: usize,
+    ) -> (f64, usize) {
+        match policy {
+            SpotPolicy::Static => {
+                if away == 0 {
+                    (1.0, nodes)
+                } else {
+                    (0.0, nodes)
+                }
+            }
+            SpotPolicy::Elastic => match rates.at(job, nodes - away) {
+                Some((world, sps, _)) => (sps / full_sps, world),
+                None => (0.0, nodes),
+            },
+        }
+    }
+
+    // Advance the timeline cursor to `to`: drain any transition stall
+    // first, then make progress at `rate` for the remainder.
+    let advance = |to: SimTime,
+                   now: &mut SimTime,
+                   idle_until: &mut SimTime,
+                   (rate, world): (f64, usize),
+                   progress_secs: &mut f64,
+                   stalled: &mut SimTime,
+                   min_nodes: &mut usize| {
+        if *idle_until > *now {
+            let idle_end = (*idle_until).min(to);
+            *stalled += idle_end - *now;
+            *now = idle_end;
+        }
+        if to > *now {
+            let span = to - *now;
+            if rate > 0.0 {
+                *progress_secs += span.as_secs_f64() * rate;
+                *min_nodes = (*min_nodes).min(world);
+            } else {
+                *stalled += span;
+            }
+            *now = to;
+        }
+    };
+
+    for ev in trace.events() {
+        if ev.at >= horizon {
+            continue;
+        }
+        match ev.kind {
+            FaultKind::Crash => {
+                let r = rel_rate(policy, &mut rates, job, full.samples_per_sec, nodes, away.len());
+                advance(
+                    ev.at,
+                    &mut now,
+                    &mut idle_until,
+                    r,
+                    &mut progress_secs,
+                    &mut stalled,
+                    &mut min_nodes,
+                );
+                away.insert(ev.node);
+                preemptions += 1;
+                match policy {
+                    SpotPolicy::Elastic => {
+                        // Shrink onto the survivors: pay the interrupted
+                        // iteration plus the reshard onto the new world.
+                        let pre_iter = rates
+                            .at(job, nodes - (away.len() - 1))
+                            .map(|(_, _, it)| it)
+                            .unwrap_or(full.iter_time);
+                        let dest = rates.at(job, nodes - away.len());
+                        let cost = match dest {
+                            Some((world, _, _)) => pre_iter + reshard_time(job, world),
+                            // Nothing fits on the survivors: no reshape to
+                            // run, progress simply stalls until capacity
+                            // returns.
+                            None => SimTime::ZERO,
+                        };
+                        if cost > SimTime::ZERO {
+                            reshapes += 1;
+                            transition_overhead += cost;
+                            idle_until = idle_until.max(now) + cost;
+                        }
+                    }
+                    SpotPolicy::Static => {
+                        outage_began.get_or_insert(ev.at);
+                    }
+                }
+            }
+            FaultKind::Return => {
+                let r = rel_rate(policy, &mut rates, job, full.samples_per_sec, nodes, away.len());
+                advance(
+                    ev.at,
+                    &mut now,
+                    &mut idle_until,
+                    r,
+                    &mut progress_secs,
+                    &mut stalled,
+                    &mut min_nodes,
+                );
+                if !away.remove(&ev.node) {
+                    continue;
+                }
+                grows += 1;
+                match policy {
+                    SpotPolicy::Elastic => {
+                        let dest = rates.at(job, nodes - away.len());
+                        if let Some((world, _, iter)) = dest {
+                            let cost = cfg.node_provision + reshard_time(job, world) + iter;
+                            reshapes += 1;
+                            transition_overhead += cost;
+                            idle_until = idle_until.max(now) + cost;
+                        }
+                    }
+                    SpotPolicy::Static => {
+                        if away.is_empty() {
+                            // Whole cluster back: provision the rejoined
+                            // instance, reload the checkpoint everywhere,
+                            // and redo the work since the write preceding
+                            // the outage.
+                            let began = outage_began.take().unwrap_or(ev.at);
+                            let per_node = checkpoint_bytes(job) as f64 / nodes as f64;
+                            let read = SimTime::from_secs_f64(per_node / cfg.checkpoint_read_bw);
+                            let redo = SimTime::from_nanos(
+                                began.as_nanos() % cfg.checkpoint_interval.as_nanos().max(1),
+                            );
+                            let cost = cfg.node_provision + read + redo;
+                            transition_overhead += cost;
+                            idle_until = idle_until.max(now) + cost;
+                        }
+                    }
+                }
+            }
+            FaultKind::NicDegrade { .. } | FaultKind::NicRestore => {}
+        }
+    }
+    let r = rel_rate(policy, &mut rates, job, full.samples_per_sec, nodes, away.len());
+    advance(
+        horizon,
+        &mut now,
+        &mut idle_until,
+        r,
+        &mut progress_secs,
+        &mut stalled,
+        &mut min_nodes,
+    );
+
+    let interval = match policy {
+        SpotPolicy::Elastic => SimTime::from_nanos(
+            cfg.checkpoint_interval.as_nanos() * cfg.peer_copy_ckpt_dilation.max(1) as u64,
+        ),
+        SpotPolicy::Static => cfg.checkpoint_interval,
+    };
+    let write = SimTime::from_secs_f64(
+        checkpoint_bytes(job) as f64 / job.cluster.nodes as f64 / cfg.checkpoint_write_bw,
+    );
+    let writes = horizon.as_nanos() / interval.as_nanos().max(1);
+    let checkpoint_overhead = SimTime::from_nanos(write.as_nanos() * writes);
+
+    let goodput_fraction =
+        ((progress_secs - checkpoint_overhead.as_secs_f64()) / horizon.as_secs_f64()).max(0.0);
+    Ok(ElasticReport {
+        label: full.label,
+        policy,
+        preemptions,
+        grows,
+        reshapes,
+        transition_overhead,
+        stalled,
+        checkpoint_overhead,
+        min_nodes,
+        horizon,
+        goodput_fraction,
+        effective_samples_per_sec: full.samples_per_sec * goodput_fraction,
+        fault_fingerprint: trace.fingerprint(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,6 +786,82 @@ mod tests {
             simulate_with_failures(&j, &cfg, &plan, horizon).unwrap()
         };
         assert_ne!(a.fault_fingerprint, other.fault_fingerprint);
+    }
+
+    #[test]
+    fn elastic_beats_static_on_spot_capacity() {
+        // The elastic dividend: a MiCS job that keeps training on the
+        // surviving capacity out-earns one that stalls until every slot
+        // comes back — on the same seeded spot trace.
+        let j = job(4, Strategy::Mics(MicsConfig::paper_defaults(8)));
+        let cfg = RecoveryConfig::default();
+        let horizon = SimTime::from_secs(24 * 3600);
+        let plan =
+            spot_plan(&j, 11, SimTime::from_secs(2 * 3600), SimTime::from_secs(1800), horizon);
+        let el = simulate_elastic(&j, &cfg, &plan, horizon, SpotPolicy::Elastic).unwrap();
+        let st = simulate_elastic(&j, &cfg, &plan, horizon, SpotPolicy::Static).unwrap();
+        assert!(el.preemptions > 0, "24 h at 2 h MTBF should preempt");
+        assert_eq!(el.preemptions, st.preemptions, "same trace, same preemptions");
+        assert!(
+            el.goodput_fraction > st.goodput_fraction,
+            "elastic {} should beat static {}",
+            el.goodput_fraction,
+            st.goodput_fraction
+        );
+        // Elastic actually shrank: it trained below the full node count and
+        // executed reshapes in both directions.
+        assert!(el.min_nodes < 4, "elastic should have trained on survivors");
+        assert_eq!(st.min_nodes, 4, "static never changes geometry");
+        assert!(el.reshapes >= el.grows + el.preemptions.min(el.grows));
+        assert_eq!(st.reshapes, 0);
+    }
+
+    #[test]
+    fn elastic_spot_walk_is_deterministic() {
+        let j = job(2, Strategy::Mics(MicsConfig::paper_defaults(8)));
+        let cfg = RecoveryConfig::default();
+        let horizon = SimTime::from_secs(12 * 3600);
+        let run = |seed| {
+            let plan =
+                spot_plan(&j, seed, SimTime::from_secs(3600), SimTime::from_secs(600), horizon);
+            simulate_elastic(&j, &cfg, &plan, horizon, SpotPolicy::Elastic).unwrap()
+        };
+        let a = run(5);
+        assert_eq!(a, run(5));
+        assert_ne!(a.fault_fingerprint, run(6).fault_fingerprint);
+    }
+
+    #[test]
+    fn elastic_goodput_degrades_with_spot_churn() {
+        let j = job(4, Strategy::Mics(MicsConfig::paper_defaults(8)));
+        let cfg = RecoveryConfig::default();
+        let horizon = SimTime::from_secs(24 * 3600);
+        let good = |mtbf_secs: u64| {
+            let plan =
+                spot_plan(&j, 11, SimTime::from_secs(mtbf_secs), SimTime::from_secs(1800), horizon);
+            simulate_elastic(&j, &cfg, &plan, horizon, SpotPolicy::Elastic)
+                .unwrap()
+                .goodput_fraction
+        };
+        let rare = good(12 * 3600);
+        let churny = good(3600);
+        assert!(rare > churny, "{rare} vs {churny}");
+    }
+
+    #[test]
+    fn quiet_trace_gives_near_full_goodput_and_no_reshapes() {
+        let j = job(2, Strategy::Mics(MicsConfig::paper_defaults(8)));
+        let cfg = RecoveryConfig::default();
+        let horizon = SimTime::from_secs(3600);
+        let plan = FaultPlan::new(1); // no events
+        for policy in [SpotPolicy::Elastic, SpotPolicy::Static] {
+            let r = simulate_elastic(&j, &cfg, &plan, horizon, policy).unwrap();
+            assert_eq!(r.preemptions, 0);
+            assert_eq!(r.reshapes, 0);
+            assert_eq!(r.min_nodes, 2);
+            assert!(r.goodput_fraction > 0.9, "{policy:?}: {}", r.goodput_fraction);
+            assert!(r.goodput_fraction <= 1.0);
+        }
     }
 
     #[test]

@@ -44,45 +44,150 @@ pub enum Pass {
     Backward,
 }
 
+/// The execution geometry a program is emitted for: `dp` data-parallel
+/// ranks per pipeline stage × `pp` stages, with partition groups of `p`
+/// ranks inside each stage's dp-world. The world is `dp·pp`, laid out
+/// stage-major: rank = `stage·dp + d`. A geometry is an explicit, mutable
+/// value — the elastic `reshape` path re-emits the same spec at a new
+/// geometry instead of baking the world in at emit time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Data-parallel ranks per pipeline stage.
+    pub dp: usize,
+    /// Pipeline stages (1 = no pipeline dimension).
+    pub pp: usize,
+    /// Partition group size within one stage's dp-world (`p_params`).
+    pub p: usize,
+    /// Devices per node.
+    pub k: usize,
+}
+
+impl Geometry {
+    /// The classic MiCS geometry: a flat dp-world with no pipeline stages.
+    pub fn flat(n: usize, k: usize, p: usize) -> Geometry {
+        Geometry { dp: n, pp: 1, p, k }
+    }
+
+    /// Total devices (`dp · pp`).
+    pub fn world(&self) -> usize {
+        self.dp * self.pp
+    }
+
+    /// The pipeline stage a rank belongs to.
+    pub fn stage_of(&self, rank: Rank) -> usize {
+        rank.0 / self.dp
+    }
+
+    /// A rank's index within its stage's dp-world.
+    pub fn dp_index(&self, rank: Rank) -> usize {
+        rank.0 % self.dp
+    }
+
+    /// The global rank at `(stage, d)`.
+    pub fn rank(&self, stage: usize, d: usize) -> Rank {
+        Rank(stage * self.dp + d)
+    }
+
+    /// Partition groups per stage.
+    pub fn groups(&self) -> usize {
+        self.dp / self.p
+    }
+
+    /// The stage owning `layer` when `num_layers` split contiguously over
+    /// the `pp` stages (stage 0 for flat geometries).
+    pub fn stage_of_layer(&self, layer: usize, num_layers: usize) -> usize {
+        if self.pp == 1 {
+            0
+        } else {
+            layer / (num_layers / self.pp)
+        }
+    }
+
+    /// Whether the geometry is well-formed (`p` divides `dp`, nothing zero).
+    pub fn validate(&self) {
+        assert!(
+            self.dp >= 1 && self.pp >= 1 && self.p >= 1 && self.k >= 1,
+            "invalid geometry {self:?}"
+        );
+        assert!(self.dp.is_multiple_of(self.p), "p={} must divide dp={}", self.p, self.dp);
+    }
+}
+
 /// A rank group, by construction rather than by member list (§3.2's
-/// partition/replication group structure, Figure 2).
+/// partition/replication group structure, Figure 2), scoped to one
+/// pipeline stage of a [`Geometry`] (stage 0 is the whole cluster for
+/// flat geometries).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GroupRef {
-    /// Partition group `g`: the `p` consecutive ranks `g·p .. (g+1)·p`.
-    Partition(usize),
-    /// Every rank in the cluster.
-    All,
-    /// Replication group `local`: the `n/p` ranks `{g·p + local}` (stride
-    /// `p`).
-    Replication(usize),
+    /// Partition group `g` of `stage`: the `p` ranks with dp-indices
+    /// `g·p .. (g+1)·p`.
+    Partition {
+        /// Pipeline stage the group lives in.
+        stage: usize,
+        /// Partition group index within the stage.
+        g: usize,
+    },
+    /// Every rank of one pipeline stage (the whole cluster at `pp = 1`).
+    All {
+        /// Pipeline stage the group lives in.
+        stage: usize,
+    },
+    /// Replication group `local` of `stage`: the `dp/p` ranks with
+    /// dp-index `g·p + local` (stride `p`).
+    Replication {
+        /// Pipeline stage the group lives in.
+        stage: usize,
+        /// Local index within the partition group whose shard replicas
+        /// this group connects.
+        local: usize,
+    },
+    /// The two ranks exchanging one micro-batch's boundary tensor between
+    /// adjacent pipeline stages (the 1F1B p2p channel).
+    Pair {
+        /// Sending rank.
+        from: Rank,
+        /// Receiving rank.
+        to: Rank,
+    },
 }
 
 impl GroupRef {
-    /// Materialize the member ranks (ascending) on a cluster of `n` devices
-    /// with partition size `p`.
-    pub fn members(&self, n: usize, p: usize) -> Vec<Rank> {
+    /// Materialize the member ranks on `geo` — ascending for the
+    /// stage-scoped groups, `[from, to]` for pairs.
+    pub fn members(&self, geo: &Geometry) -> Vec<Rank> {
         match *self {
-            GroupRef::Partition(g) => (g * p..(g + 1) * p).map(Rank).collect(),
-            GroupRef::All => (0..n).map(Rank).collect(),
-            GroupRef::Replication(local) => (0..n / p).map(|g| Rank(g * p + local)).collect(),
+            GroupRef::Partition { stage, g } => {
+                (g * geo.p..(g + 1) * geo.p).map(|d| geo.rank(stage, d)).collect()
+            }
+            GroupRef::All { stage } => (0..geo.dp).map(|d| geo.rank(stage, d)).collect(),
+            GroupRef::Replication { stage, local } => {
+                (0..geo.dp / geo.p).map(|g| geo.rank(stage, g * geo.p + local)).collect()
+            }
+            GroupRef::Pair { from, to } => vec![from, to],
         }
     }
 
     /// This rank's index within the group's member list, or `None` if it
     /// does not participate.
-    pub fn member_index(&self, rank: Rank, n: usize, p: usize) -> Option<usize> {
+    pub fn member_index(&self, rank: Rank, geo: &Geometry) -> Option<usize> {
+        let (s, d) = (geo.stage_of(rank), geo.dp_index(rank));
         match *self {
-            GroupRef::Partition(g) => {
-                (g * p <= rank.0 && rank.0 < (g + 1) * p).then(|| rank.0 - g * p)
+            GroupRef::Partition { stage, g } => {
+                (s == stage && g * geo.p <= d && d < (g + 1) * geo.p).then(|| d - g * geo.p)
             }
-            GroupRef::All => (rank.0 < n).then_some(rank.0),
-            GroupRef::Replication(local) => (rank.0 % p == local).then(|| rank.0 / p),
+            GroupRef::All { stage } => (s == stage && rank.0 < geo.world()).then_some(d),
+            GroupRef::Replication { stage, local } => {
+                (s == stage && d % geo.p == local).then(|| d / geo.p)
+            }
+            GroupRef::Pair { from, to } => {
+                (rank == from).then_some(0).or((rank == to).then_some(1))
+            }
         }
     }
 
     /// Whether `rank` participates in this group.
-    pub fn contains(&self, rank: Rank, n: usize, p: usize) -> bool {
-        self.member_index(rank, n, p).is_some()
+    pub fn contains(&self, rank: Rank, geo: &Geometry) -> bool {
+        self.member_index(rank, geo).is_some()
     }
 }
 
@@ -196,6 +301,29 @@ pub enum OpKind {
         /// Wire annotation.
         wire: WireOp,
     },
+    /// 1F1B: ship one micro-batch's boundary tensor (forward activation or
+    /// backward gradient) to the adjacent pipeline stage. The wire group is
+    /// the [`GroupRef::Pair`] of the two ranks; the send carries the
+    /// payload bytes and is issued asynchronously by the real backend.
+    StageSend {
+        /// The receiving stage.
+        peer_stage: usize,
+        /// Forward (activation) or backward (gradient) boundary tensor.
+        pass: Pass,
+        /// Wire annotation ([`WireKind::P2p`]).
+        wire: WireOp,
+    },
+    /// 1F1B: block until the matching [`OpKind::StageSend`] from the
+    /// adjacent stage lands. Carries zero wire bytes — the send pays for
+    /// the transfer; the recv is the dependency edge's landing point.
+    StageRecv {
+        /// The sending stage.
+        peer_stage: usize,
+        /// Forward (activation) or backward (gradient) boundary tensor.
+        pass: Pass,
+        /// Wire annotation ([`WireKind::P2p`], zero bytes).
+        wire: WireOp,
+    },
 }
 
 /// One scheduled operation: kind + position + explicit dependencies.
@@ -213,15 +341,11 @@ pub struct ScheduleOp {
 }
 
 /// A fully lowered training step: the single schedule both backends
-/// consume.
+/// consume, parameterized by the geometry it was emitted for.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StepProgram {
-    /// Total devices.
-    pub n: usize,
-    /// Devices per node.
-    pub k: usize,
-    /// Partition group size (`p_params`).
-    pub p: usize,
+    /// The dp × pp × p geometry the program targets.
+    pub geo: Geometry,
     /// Number of model layers.
     pub num_layers: usize,
     /// Micro-steps per iteration.
@@ -230,6 +354,23 @@ pub struct StepProgram {
     pub decision_overhead: SimTime,
     /// The ops, in emission (and execution) order.
     pub ops: Vec<ScheduleOp>,
+}
+
+impl StepProgram {
+    /// Total devices (`dp · pp`).
+    pub fn n(&self) -> usize {
+        self.geo.world()
+    }
+
+    /// Devices per node.
+    pub fn k(&self) -> usize {
+        self.geo.k
+    }
+
+    /// Partition group size (`p_params`) within one stage's dp-world.
+    pub fn p(&self) -> usize {
+        self.geo.p
+    }
 }
 
 /// Per-layer workload numbers the emitter consumes.
@@ -357,7 +498,7 @@ pub fn emit_step(spec: &ScheduleSpec) -> StepProgram {
 
     let hier = spec.hierarchical && p > k;
     let gather_wire = |layer: usize, g: usize| WireOp {
-        group: GroupRef::Partition(g),
+        group: GroupRef::Partition { stage: 0, g },
         lane: Lane::Gather,
         wire: WireCollective {
             kind: WireKind::AllGather { hierarchical: hier, coalesced: spec.coalesced },
@@ -384,9 +525,10 @@ pub fn emit_step(spec: &ScheduleSpec) -> StepProgram {
                 source,
                 WireOp {
                     group: if matches!(spec.micro_sync, MicroSync::PartitionReduceScatter) {
-                        GroupRef::Partition(0) // placeholder; rewritten per group below
+                        // Placeholder; rewritten per group below.
+                        GroupRef::Partition { stage: 0, g: 0 }
                     } else {
-                        GroupRef::All
+                        GroupRef::All { stage: 0 }
                     },
                     lane: Lane::Reduce,
                     wire: WireCollective {
@@ -556,9 +698,9 @@ pub fn emit_step(spec: &ScheduleSpec) -> StepProgram {
             if let Some((kind, source, wire_tpl)) = bucket_sync(*bucket_bytes) {
                 let group_list: Vec<GroupRef> =
                     if spec.micro_sync == MicroSync::PartitionReduceScatter {
-                        (0..groups).map(GroupRef::Partition).collect()
+                        (0..groups).map(|g| GroupRef::Partition { stage: 0, g }).collect()
                     } else {
-                        vec![GroupRef::All]
+                        vec![GroupRef::All { stage: 0 }]
                     };
                 let mut batch: Vec<OpId> = Vec::with_capacity(group_list.len());
                 for group in group_list {
@@ -613,7 +755,7 @@ pub fn emit_step(spec: &ScheduleSpec) -> StepProgram {
                                 bucket: bi,
                                 local,
                                 wire: WireOp {
-                                    group: GroupRef::Replication(local),
+                                    group: GroupRef::Replication { stage: 0, local },
                                     lane: Lane::Reduce,
                                     wire: WireCollective {
                                         kind: WireKind::AllReduce { stride: p },
@@ -648,7 +790,7 @@ pub fn emit_step(spec: &ScheduleSpec) -> StepProgram {
             micro: s - 1,
             kind: OpKind::ParamRefresh {
                 wire: WireOp {
-                    group: GroupRef::All,
+                    group: GroupRef::All { stage: 0 },
                     lane: Lane::Gather,
                     wire: WireCollective {
                         kind: WireKind::AllGather { hierarchical: false, coalesced: false },
@@ -666,13 +808,629 @@ pub fn emit_step(spec: &ScheduleSpec) -> StepProgram {
     }
 
     StepProgram {
-        n,
-        k,
-        p,
+        geo: Geometry::flat(n, k, p),
         num_layers,
         accum_steps: s,
         decision_overhead: spec.decision_overhead,
         ops,
+    }
+}
+
+/// A pipeline wrapper around any existing strategy: `inner` describes ONE
+/// stage's dp-world (`inner.n` ranks, partition groups of `inner.p_params`)
+/// over the FULL layer list; the wrapper splits the layers contiguously
+/// over `pp` stages and emits a 1F1B (one-forward-one-backward) schedule
+/// with explicit cross-stage [`OpKind::StageSend`]/[`OpKind::StageRecv`]
+/// dependency edges. At `pp = 1` it delegates to the flat emitter, so the
+/// program (and its dump) is bit-identical to the non-pipelined one.
+#[derive(Debug, Clone)]
+pub struct PipelineSpec {
+    /// The per-stage strategy template; `inner.n` is the dp-world of one
+    /// stage, `inner.layers` the full model.
+    pub inner: ScheduleSpec,
+    /// Pipeline stages.
+    pub pp: usize,
+    /// Bytes of the boundary activation tensor per micro-batch (the
+    /// backward boundary gradient has the same shape).
+    pub act_bytes: u64,
+}
+
+impl PipelineSpec {
+    /// The geometry the emitted program targets.
+    pub fn geometry(&self) -> Geometry {
+        Geometry { dp: self.inner.n, pp: self.pp, p: self.inner.p_params, k: self.inner.k }
+    }
+
+    /// Lower to a [`StepProgram`]. `pp = 1` is exactly the flat program
+    /// (including prefetch edges); `pp ≥ 2` emits the 1F1B schedule.
+    pub fn program(&self) -> StepProgram {
+        if self.pp == 1 {
+            self.inner.program()
+        } else {
+            emit_pipeline(self)
+        }
+    }
+}
+
+/// The elastic `reshape(old, new)` transition at the IR level: assert that
+/// `spec` matches the `old` geometry, then re-emit the same strategy and
+/// model for `new`. State continuity is the checkpoint layer's job (the
+/// resharding path in `mics-minidl`); this function covers the program
+/// side — the schedule is a *function of the geometry*, not a baked-in
+/// world, so growing or shrinking is a re-emission.
+pub fn reshape(spec: &ScheduleSpec, old: &Geometry, new: &Geometry) -> StepProgram {
+    assert_eq!(
+        (old.dp * old.pp, old.p),
+        (spec.n, spec.p_params),
+        "spec was not emitted for the old geometry"
+    );
+    assert_eq!(old.pp, 1, "pipeline reshape is not supported; reshape the per-stage spec");
+    new.validate();
+    spec.retarget(new.world(), new.k, new.p).program()
+}
+
+impl ScheduleSpec {
+    /// The same strategy and model at a new flat dp-world: `n` ranks in
+    /// nodes of `k`, partition groups of `p`. A state dimension follows the
+    /// new `p` iff it was sharded over the whole old partition group
+    /// (`== p_params` — at the degenerate `p_params = 1` every dimension
+    /// counts as sharded, so growing out of a one-rank group re-shards);
+    /// dimensions replicated by choice stay replicated. Shard-proportional
+    /// quantities (the per-device optimizer traffic) rescale with the
+    /// shard count.
+    pub fn retarget(&self, n: usize, k: usize, p: usize) -> ScheduleSpec {
+        let follows = |dim: usize| if dim == self.p_params { p } else { 1 };
+        let mut s = self.clone();
+        s.n = n;
+        s.k = k;
+        s.p_params = p;
+        s.p_grads = follows(self.p_grads);
+        let new_p_opt = follows(self.p_opt);
+        s.optimizer_bytes = self.optimizer_bytes * self.p_opt as u64 / new_p_opt as u64;
+        s.p_opt = new_p_opt;
+        s
+    }
+}
+
+/// The wire annotation of one 1F1B boundary hop: a 2-rank p2p on the lane
+/// matching its direction (activations ride the gather lane, gradients the
+/// reduce lane, so boundary traffic contends with the stage's own
+/// collectives exactly as it would on a real NIC).
+fn pair_wire(geo: &Geometry, from: Rank, to: Rank, pass: Pass, bytes: u64) -> WireOp {
+    WireOp {
+        group: GroupRef::Pair { from, to },
+        lane: if pass == Pass::Forward { Lane::Gather } else { Lane::Reduce },
+        wire: WireCollective {
+            kind: WireKind::P2p { inter_node: from.0 / geo.k != to.0 / geo.k },
+            participants: 2,
+            devices_per_node: geo.k,
+            bytes,
+            codec: None,
+        },
+        scheme: None,
+        overhead: false,
+    }
+}
+
+/// Mutable emission state of the 1F1B lowering.
+struct PipeEmit<'a> {
+    spec: &'a PipelineSpec,
+    geo: Geometry,
+    ops: Vec<ScheduleOp>,
+    /// Per `(stage, micro)`: the forward activation sends (one per dp
+    /// index), once emitted.
+    sent_act: Vec<Vec<Option<Vec<OpId>>>>,
+    /// Per `(stage, micro)`: the backward gradient sends.
+    sent_grad: Vec<Vec<Option<Vec<OpId>>>>,
+    /// Write-after-read hazard per global layer (§3.4), as in the flat
+    /// emitter.
+    war: Vec<Vec<OpId>>,
+    /// Per stage: the ops the optimizer must gate on.
+    last_reduce: Vec<Vec<OpId>>,
+    /// Per stage: gradient buckets over the stage's layer slice (global
+    /// layer indices).
+    buckets: Vec<Vec<(Vec<usize>, u64)>>,
+}
+
+impl PipeEmit<'_> {
+    fn layers_per_stage(&self) -> usize {
+        self.spec.inner.layers.len() / self.spec.pp
+    }
+
+    fn gather_wire(&self, layer: usize, stage: usize, g: usize, hier: bool) -> WireOp {
+        let inner = &self.spec.inner;
+        WireOp {
+            group: GroupRef::Partition { stage, g },
+            lane: Lane::Gather,
+            wire: WireCollective {
+                kind: WireKind::AllGather { hierarchical: hier, coalesced: inner.coalesced },
+                participants: self.geo.p,
+                devices_per_node: self.geo.k,
+                bytes: inner.layers[layer].param_bytes,
+                codec: None,
+            },
+            scheme: None,
+            overhead: true,
+        }
+    }
+
+    /// One stage's forward action for micro-batch `j`: recv the activation
+    /// from the previous stage, gather + compute the stage's layers, send
+    /// the activation onward.
+    fn forward(&mut self, s: usize, j: usize) {
+        let geo = self.geo;
+        let (dp, p, per) = (geo.dp, geo.p, self.layers_per_stage());
+        let (lo, hi) = (s * per, (s + 1) * per);
+        let hier = self.spec.inner.hierarchical && p > geo.k;
+        let mut recv_ids: Vec<OpId> = Vec::new();
+        if s > 0 {
+            let sends = self.sent_act[s - 1][j].clone().expect("1F1B dep not yet emitted");
+            for (d, &send) in sends.iter().enumerate().take(dp) {
+                recv_ids.push(self.ops.len());
+                self.ops.push(ScheduleOp {
+                    micro: j,
+                    kind: OpKind::StageRecv {
+                        peer_stage: s - 1,
+                        pass: Pass::Forward,
+                        wire: pair_wire(&geo, geo.rank(s - 1, d), geo.rank(s, d), Pass::Forward, 0),
+                    },
+                    deps: vec![send],
+                });
+            }
+        }
+        let mut gathers: Vec<Vec<OpId>> = vec![Vec::new(); per];
+        for l in lo..hi {
+            if p == 1 || self.spec.inner.layers[l].param_bytes == 0 {
+                continue;
+            }
+            for g in 0..geo.groups() {
+                gathers[l - lo].push(self.ops.len());
+                self.ops.push(ScheduleOp {
+                    micro: j,
+                    kind: OpKind::GatherShards {
+                        layer: l,
+                        pass: Pass::Forward,
+                        wire: self.gather_wire(l, s, g, hier),
+                    },
+                    deps: Vec::new(),
+                });
+            }
+        }
+        let mut last = 0;
+        for l in lo..hi {
+            let mut deps = gathers[l - lo].clone();
+            if l == lo {
+                deps.extend(recv_ids.iter().copied());
+            }
+            last = self.ops.len();
+            self.ops.push(ScheduleOp {
+                micro: j,
+                kind: OpKind::Compute {
+                    layer: l,
+                    pass: Pass::Forward,
+                    flops: self.spec.inner.layers[l].fwd_flops,
+                },
+                deps,
+            });
+        }
+        if s < self.spec.pp - 1 {
+            let mut ids = Vec::with_capacity(dp);
+            for d in 0..dp {
+                ids.push(self.ops.len());
+                self.ops.push(ScheduleOp {
+                    micro: j,
+                    kind: OpKind::StageSend {
+                        peer_stage: s + 1,
+                        pass: Pass::Forward,
+                        wire: pair_wire(
+                            &geo,
+                            geo.rank(s, d),
+                            geo.rank(s + 1, d),
+                            Pass::Forward,
+                            self.spec.act_bytes,
+                        ),
+                    },
+                    deps: vec![last],
+                });
+            }
+            self.sent_act[s][j] = Some(ids);
+        }
+    }
+
+    /// One stage's backward action for micro-batch `i`: recv the boundary
+    /// gradient, re-gather + backprop the stage's layers (descending), send
+    /// the gradient to the previous stage, then the stage-scoped gradient
+    /// synchronization — the same hop-1/hop-2 structure the flat emitter
+    /// produces, with every group scoped to this stage.
+    fn backward(&mut self, s: usize, i: usize) {
+        let geo = self.geo;
+        let inner = &self.spec.inner;
+        let pp = self.spec.pp;
+        let (dp, p, per) = (geo.dp, geo.p, self.layers_per_stage());
+        let (lo, hi) = (s * per, (s + 1) * per);
+        let m = inner.accum_steps;
+        let hier = inner.hierarchical && p > geo.k;
+        let mut recv_ids: Vec<OpId> = Vec::new();
+        if s < pp - 1 {
+            let sends = self.sent_grad[s + 1][i].clone().expect("1F1B dep not yet emitted");
+            for (d, &send) in sends.iter().enumerate().take(dp) {
+                recv_ids.push(self.ops.len());
+                self.ops.push(ScheduleOp {
+                    micro: i,
+                    kind: OpKind::StageRecv {
+                        peer_stage: s + 1,
+                        pass: Pass::Backward,
+                        wire: pair_wire(
+                            &geo,
+                            geo.rank(s + 1, d),
+                            geo.rank(s, d),
+                            Pass::Backward,
+                            0,
+                        ),
+                    },
+                    deps: vec![send],
+                });
+            }
+        }
+        let mut gathers: Vec<Vec<OpId>> = vec![Vec::new(); per];
+        for idx in 0..per {
+            let l = hi - 1 - idx;
+            if p == 1 || inner.layers[l].param_bytes == 0 {
+                continue;
+            }
+            for g in 0..geo.groups() {
+                gathers[l - lo].push(self.ops.len());
+                self.ops.push(ScheduleOp {
+                    micro: i,
+                    kind: OpKind::GatherShards {
+                        layer: l,
+                        pass: Pass::Backward,
+                        wire: self.gather_wire(l, s, g, hier),
+                    },
+                    deps: Vec::new(),
+                });
+            }
+        }
+        let mut bwd_compute_of: Vec<OpId> = vec![0; per];
+        for idx in 0..per {
+            let l = hi - 1 - idx;
+            let mut deps = gathers[l - lo].clone();
+            deps.extend(self.war[l].iter().copied());
+            if l == hi - 1 {
+                deps.extend(recv_ids.iter().copied());
+            }
+            bwd_compute_of[l - lo] = self.ops.len();
+            self.ops.push(ScheduleOp {
+                micro: i,
+                kind: OpKind::Compute {
+                    layer: l,
+                    pass: Pass::Backward,
+                    flops: inner.layers[l].bwd_flops,
+                },
+                deps,
+            });
+        }
+        if s > 0 {
+            let last_bwd = bwd_compute_of[0];
+            let mut ids = Vec::with_capacity(dp);
+            for d in 0..dp {
+                ids.push(self.ops.len());
+                self.ops.push(ScheduleOp {
+                    micro: i,
+                    kind: OpKind::StageSend {
+                        peer_stage: s - 1,
+                        pass: Pass::Backward,
+                        wire: pair_wire(
+                            &geo,
+                            geo.rank(s, d),
+                            geo.rank(s - 1, d),
+                            Pass::Backward,
+                            self.spec.act_bytes,
+                        ),
+                    },
+                    deps: vec![last_bwd],
+                });
+            }
+            self.sent_grad[s][i] = Some(ids);
+        }
+
+        // ---- stage-scoped gradient synchronization ----
+        let boundary = i == m - 1;
+        let sync_this_micro = match inner.micro_sync {
+            MicroSync::LocalAccumulate => boundary,
+            _ => true,
+        };
+        let buckets = self.buckets[s].clone();
+        for (bi, (bucket_layers, bucket_bytes)) in buckets.iter().enumerate() {
+            let ready = bwd_compute_of[bucket_layers.last().unwrap() - lo];
+            if inner.micro_sync == MicroSync::LocalAccumulate {
+                self.ops.push(ScheduleOp {
+                    micro: i,
+                    kind: OpKind::AccumGrads { bucket: bi },
+                    deps: vec![ready],
+                });
+            }
+            if !sync_this_micro {
+                continue;
+            }
+            let grad_wire = |group, kind, participants, bytes| WireOp {
+                group,
+                lane: Lane::Reduce,
+                wire: WireCollective {
+                    kind,
+                    participants,
+                    devices_per_node: geo.k,
+                    bytes,
+                    codec: None,
+                },
+                scheme: None,
+                overhead: true,
+            };
+            let mut hop1_emitted = false;
+            match inner.micro_sync {
+                MicroSync::PartitionReduceScatter if p > 1 => {
+                    let mut batch = Vec::with_capacity(geo.groups());
+                    for g in 0..geo.groups() {
+                        batch.push(self.ops.len());
+                        self.ops.push(ScheduleOp {
+                            micro: i,
+                            kind: OpKind::ReduceScatterGrads {
+                                bucket: bi,
+                                source: GradSource::MicroGrad,
+                                wire: grad_wire(
+                                    GroupRef::Partition { stage: s, g },
+                                    WireKind::ReduceScatter,
+                                    p,
+                                    *bucket_bytes,
+                                ),
+                            },
+                            deps: vec![ready],
+                        });
+                    }
+                    for &l in bucket_layers {
+                        self.war[l] = batch.clone();
+                    }
+                    self.last_reduce[s] = batch;
+                    hop1_emitted = true;
+                }
+                MicroSync::GlobalAllReduce if dp > 1 => {
+                    // Within-stage ZeRO-3-style all-reduce. Pipeline
+                    // programs never emit the alternative-schedule
+                    // MicroBarrier: 1F1B's cross-stage edges already
+                    // serialize the micro-steps a stage can overlap.
+                    let id = self.ops.len();
+                    self.ops.push(ScheduleOp {
+                        micro: i,
+                        kind: OpKind::AllReduceGrads {
+                            bucket: bi,
+                            source: GradSource::MicroGrad,
+                            wire: grad_wire(
+                                GroupRef::All { stage: s },
+                                WireKind::AllReduce { stride: 1 },
+                                dp,
+                                *bucket_bytes,
+                            ),
+                        },
+                        deps: vec![ready],
+                    });
+                    for &l in bucket_layers {
+                        self.war[l] = vec![id];
+                    }
+                    self.last_reduce[s] = vec![id];
+                    hop1_emitted = true;
+                }
+                MicroSync::LocalAccumulate if dp > 1 => {
+                    let (kind, wk) = if inner.p_grads > 1 {
+                        (SyncEmit::Rs, WireKind::ReduceScatter)
+                    } else {
+                        (SyncEmit::Ar, WireKind::AllReduce { stride: 1 })
+                    };
+                    let id = self.ops.len();
+                    let wire = grad_wire(GroupRef::All { stage: s }, wk, dp, *bucket_bytes);
+                    self.ops.push(ScheduleOp {
+                        micro: i,
+                        kind: match kind {
+                            SyncEmit::Rs => OpKind::ReduceScatterGrads {
+                                bucket: bi,
+                                source: GradSource::Accum,
+                                wire,
+                            },
+                            SyncEmit::Ar => OpKind::AllReduceGrads {
+                                bucket: bi,
+                                source: GradSource::Accum,
+                                wire,
+                            },
+                        },
+                        deps: vec![ready],
+                    });
+                    self.last_reduce[s] = vec![id];
+                }
+                MicroSync::LocalAccumulate => {}
+                _ => {
+                    // Trivial synchronization group: fold locally.
+                    self.ops.push(ScheduleOp {
+                        micro: i,
+                        kind: OpKind::AccumGrads { bucket: bi },
+                        deps: vec![ready],
+                    });
+                }
+            }
+            if boundary && inner.micro_sync == MicroSync::PartitionReduceScatter && dp > p {
+                let shard_bytes = bucket_bytes / p as u64;
+                if shard_bytes > 0 {
+                    let mut ids = Vec::with_capacity(p);
+                    for local in 0..p {
+                        let deps = if hop1_emitted { Vec::new() } else { vec![ready] };
+                        ids.push(self.ops.len());
+                        self.ops.push(ScheduleOp {
+                            micro: i,
+                            kind: OpKind::CrossGroupAllReduce {
+                                bucket: bi,
+                                local,
+                                wire: WireOp {
+                                    group: GroupRef::Replication { stage: s, local },
+                                    lane: Lane::Reduce,
+                                    wire: WireCollective {
+                                        kind: WireKind::AllReduce { stride: p },
+                                        participants: dp / p,
+                                        devices_per_node: geo.k,
+                                        bytes: shard_bytes,
+                                        codec: None,
+                                    },
+                                    scheme: None,
+                                    overhead: false,
+                                },
+                            },
+                            deps,
+                        });
+                    }
+                    self.last_reduce[s] = ids;
+                }
+            }
+        }
+    }
+}
+
+/// Per-bucket sync flavor of the pipeline emitter's boundary path.
+enum SyncEmit {
+    Rs,
+    Ar,
+}
+
+/// Lower one iteration of a `pp ≥ 2` [`PipelineSpec`] to a [`StepProgram`]
+/// with the 1F1B interleave.
+///
+/// Per stage `s`, the action list is the classic warmup/steady/cooldown
+/// split — `w = min(pp−1−s, m)` forwards, then `(m−w)` one-forward-one-
+/// backward pairs, then `w` backwards — and emission round-robins over the
+/// stages, emitting a stage's next action as soon as its cross-stage
+/// dependency (the matching send) has been emitted. Dependencies therefore
+/// always point backward, and both backends can execute the ops in listed
+/// order.
+///
+/// # Panics
+/// Panics if `pp < 2`, the stages do not evenly split the layers, or the
+/// spec carries wire compression (not yet supported with pipelining).
+pub fn emit_pipeline(spec: &PipelineSpec) -> StepProgram {
+    let geo = spec.geometry();
+    geo.validate();
+    let inner = &spec.inner;
+    let pp = spec.pp;
+    assert!(pp >= 2, "emit_pipeline needs pp >= 2; pp = 1 is the flat emitter");
+    assert!(inner.compression.is_none(), "wire compression is not supported in pipeline programs");
+    let nl = inner.layers.len();
+    assert!(nl.is_multiple_of(pp), "pp={pp} must evenly split {nl} layers");
+    let per = nl / pp;
+    let m = inner.accum_steps;
+
+    #[derive(Clone, Copy)]
+    enum Act {
+        F(usize),
+        B(usize),
+    }
+    let actions: Vec<Vec<Act>> = (0..pp)
+        .map(|s| {
+            let w = (pp - 1 - s).min(m);
+            let mut v = Vec::with_capacity(2 * m);
+            for j in 0..w {
+                v.push(Act::F(j));
+            }
+            for i in 0..m - w {
+                v.push(Act::F(w + i));
+                v.push(Act::B(i));
+            }
+            for i in m - w..m {
+                v.push(Act::B(i));
+            }
+            v
+        })
+        .collect();
+
+    let buckets = (0..pp)
+        .map(|s| {
+            bucketize(&inner.layers[s * per..(s + 1) * per], inner.bucket_bytes)
+                .into_iter()
+                .map(|(ls, b)| (ls.into_iter().map(|l| l + s * per).collect::<Vec<_>>(), b))
+                .collect()
+        })
+        .collect();
+    let mut st = PipeEmit {
+        spec,
+        geo,
+        ops: Vec::new(),
+        sent_act: vec![vec![None; m]; pp],
+        sent_grad: vec![vec![None; m]; pp],
+        war: vec![Vec::new(); nl],
+        last_reduce: vec![Vec::new(); pp],
+        buckets,
+    };
+
+    let mut next = vec![0usize; pp];
+    let total: usize = actions.iter().map(Vec::len).sum();
+    let mut emitted = 0usize;
+    while emitted < total {
+        let mut progressed = false;
+        for s in 0..pp {
+            if next[s] >= actions[s].len() {
+                continue;
+            }
+            let ready = match actions[s][next[s]] {
+                Act::F(j) => s == 0 || st.sent_act[s - 1][j].is_some(),
+                Act::B(i) => s == pp - 1 || st.sent_grad[s + 1][i].is_some(),
+            };
+            if !ready {
+                continue;
+            }
+            match actions[s][next[s]] {
+                Act::F(j) => st.forward(s, j),
+                Act::B(i) => st.backward(s, i),
+            }
+            next[s] += 1;
+            emitted += 1;
+            progressed = true;
+        }
+        assert!(progressed, "1F1B emission wedged — unsatisfiable cross-stage dependency");
+    }
+
+    // ---- optimizer + per-stage ZeRO-1/2 refresh ----
+    let record = inner.p_opt > 1 && inner.p_params == 1;
+    let opt_deps: Vec<OpId> = st.last_reduce.iter().flatten().copied().collect();
+    let opt_id = st.ops.len();
+    st.ops.push(ScheduleOp {
+        micro: m - 1,
+        kind: OpKind::OptimizerUpdate { bytes: inner.optimizer_bytes / pp as u64, record },
+        deps: opt_deps,
+    });
+    if record && geo.dp > 1 {
+        for s in 0..pp {
+            st.ops.push(ScheduleOp {
+                micro: m - 1,
+                kind: OpKind::ParamRefresh {
+                    wire: WireOp {
+                        group: GroupRef::All { stage: s },
+                        lane: Lane::Gather,
+                        wire: WireCollective {
+                            kind: WireKind::AllGather { hierarchical: false, coalesced: false },
+                            participants: geo.dp,
+                            devices_per_node: geo.k,
+                            bytes: inner.total_param_bytes / pp as u64,
+                            codec: None,
+                        },
+                        scheme: None,
+                        overhead: true,
+                    },
+                },
+                deps: vec![opt_id],
+            });
+        }
+    }
+
+    StepProgram {
+        geo,
+        num_layers: nl,
+        accum_steps: m,
+        decision_overhead: inner.decision_overhead,
+        ops: st.ops,
     }
 }
 
@@ -728,8 +1486,27 @@ impl StepProgram {
             | OpKind::ReduceScatterGrads { wire, .. }
             | OpKind::AllReduceGrads { wire, .. }
             | OpKind::CrossGroupAllReduce { wire, .. }
-            | OpKind::ParamRefresh { wire } => Some(wire),
+            | OpKind::ParamRefresh { wire }
+            | OpKind::StageSend { wire, .. }
+            | OpKind::StageRecv { wire, .. } => Some(wire),
             _ => None,
+        }
+    }
+
+    /// Whether `rank` executes wire op `id` on a real backend. A pair
+    /// group *contains* both endpoints, but each side of the boundary
+    /// executes only its half: the send runs on `from`, the recv on `to`.
+    /// Every other wire op runs on each group member.
+    pub fn executes_wire(&self, id: OpId, rank: Rank) -> bool {
+        let Some(w) = self.wire_of(id) else { return false };
+        match self.ops[id].kind {
+            OpKind::StageSend { .. } => {
+                matches!(w.group, GroupRef::Pair { from, .. } if from == rank)
+            }
+            OpKind::StageRecv { .. } => {
+                matches!(w.group, GroupRef::Pair { to, .. } if to == rank)
+            }
+            _ => w.group.contains(rank, &self.geo),
         }
     }
 
@@ -746,8 +1523,7 @@ impl StepProgram {
             .iter()
             .map(|&i| {
                 let w = self.wire_of(i).unwrap();
-                w.wire.cost(net).nic_bytes()
-                    * nodes_spanned(&w.group.members(self.n, self.p), self.k)
+                w.wire.cost(net).nic_bytes() * nodes_spanned(&w.group.members(&self.geo), self.k())
             })
             .sum()
     }
@@ -757,20 +1533,41 @@ impl StepProgram {
     pub fn dump(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "schedule n={} k={} p={} layers={} accum={} overhead_us={}",
-            self.n,
-            self.k,
-            self.p,
-            self.num_layers,
-            self.accum_steps,
-            self.decision_overhead.as_secs_f64() * 1e6,
-        );
-        let group = |g: &GroupRef| match g {
-            GroupRef::Partition(i) => format!("part{i}"),
-            GroupRef::All => "all".into(),
-            GroupRef::Replication(i) => format!("repl{i}"),
+        let flat = self.geo.pp == 1;
+        if flat {
+            // Legacy single-stage header: byte-identical to the pre-geometry
+            // emitters so existing goldens stay pinned.
+            let _ = writeln!(
+                out,
+                "schedule n={} k={} p={} layers={} accum={} overhead_us={}",
+                self.n(),
+                self.k(),
+                self.p(),
+                self.num_layers,
+                self.accum_steps,
+                self.decision_overhead.as_secs_f64() * 1e6,
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "schedule dp={} pp={} k={} p={} layers={} accum={} overhead_us={}",
+                self.geo.dp,
+                self.geo.pp,
+                self.k(),
+                self.p(),
+                self.num_layers,
+                self.accum_steps,
+                self.decision_overhead.as_secs_f64() * 1e6,
+            );
+        }
+        let group = move |gr: &GroupRef| match *gr {
+            GroupRef::Partition { g, .. } if flat => format!("part{g}"),
+            GroupRef::All { .. } if flat => "all".into(),
+            GroupRef::Replication { local, .. } if flat => format!("repl{local}"),
+            GroupRef::Partition { stage, g } => format!("s{stage}:part{g}"),
+            GroupRef::All { stage } => format!("s{stage}:all"),
+            GroupRef::Replication { stage, local } => format!("s{stage}:repl{local}"),
+            GroupRef::Pair { from, to } => format!("r{}->r{}", from.0, to.0),
         };
         let wire = |w: &WireOp| {
             let alg = match w.wire.kind {
@@ -811,6 +1608,14 @@ impl StepProgram {
                     format!("optimizer {bytes}B record={record}")
                 }
                 OpKind::ParamRefresh { wire: w } => format!("param-refresh {}", wire(w)),
+                OpKind::StageSend { peer_stage, pass, wire: w } => {
+                    let p = if *pass == Pass::Forward { "fwd" } else { "bwd" };
+                    format!("send.{p} s{peer_stage} {}", wire(w))
+                }
+                OpKind::StageRecv { peer_stage, pass, wire: w } => {
+                    let p = if *pass == Pass::Forward { "fwd" } else { "bwd" };
+                    format!("recv.{p} s{peer_stage} {}", wire(w))
+                }
             };
             let _ = writeln!(out, "[{i:03}] u{} {body} deps={:?}", op.micro, op.deps);
         }
@@ -840,7 +1645,8 @@ pub fn execute_on_sim(
     sc: &mut SimCluster,
     sustained_flops: f64,
 ) -> SimExecution {
-    let (n, k, p) = (prog.n, prog.k, prog.p);
+    let geo = prog.geo;
+    let (n, k) = (geo.world(), geo.k);
     let nl = prog.num_layers;
     let memcpy_bw = sc.spec.instance.memcpy_bw;
     // Per-op completion events, parallel to `prog.ops` (wire ops: one per
@@ -866,6 +1672,12 @@ pub fn execute_on_sim(
      -> Option<EventId> {
         match &ops[dep].kind {
             OpKind::Compute { layer, pass, .. } => {
+                // Only the stage owning the layer records the event; every
+                // other rank (a pair peer, another stage) must not wait on
+                // a never-recorded slot.
+                if geo.stage_of(rank) != geo.stage_of_layer(*layer, nl) {
+                    return None;
+                }
                 let tbl = if *pass == Pass::Forward { fwd_tbl } else { bwd_tbl };
                 Some(tbl[rank.0][*layer])
             }
@@ -873,10 +1685,23 @@ pub fn execute_on_sim(
             | OpKind::ReduceScatterGrads { wire, .. }
             | OpKind::AllReduceGrads { wire, .. }
             | OpKind::CrossGroupAllReduce { wire, .. }
-            | OpKind::ParamRefresh { wire } => wire
+            | OpKind::ParamRefresh { wire }
+            | OpKind::StageSend { wire, .. } => wire
                 .group
-                .member_index(rank, n, p)
+                .member_index(rank, &geo)
                 .map(|ix| op_events[dep].as_ref().expect("dep op not yet executed")[ix]),
+            // A recv holds no event of its own: a dep on it forwards to the
+            // matching send's arrival event (the recv's only dep).
+            OpKind::StageRecv { .. } => {
+                let send = ops[dep].deps[0];
+                match &ops[send].kind {
+                    OpKind::StageSend { wire, .. } => wire
+                        .group
+                        .member_index(rank, &geo)
+                        .map(|ix| op_events[send].as_ref().expect("send op not yet executed")[ix]),
+                    _ => None,
+                }
+            }
             OpKind::OptimizerUpdate { .. } => op_events[dep].as_ref().map(|v| v[rank.0]),
             OpKind::MicroBarrier | OpKind::AccumGrads { .. } => None,
         }
@@ -906,8 +1731,12 @@ pub fn execute_on_sim(
                 }
             }
             OpKind::Compute { layer, pass, flops } => {
+                let owner = geo.stage_of_layer(*layer, nl);
                 let tbl = if *pass == Pass::Forward { &fwd_tbl } else { &bwd_tbl };
                 for (r, row) in tbl.iter().enumerate() {
+                    if geo.stage_of(Rank(r)) != owner {
+                        continue;
+                    }
                     for &d in &op.deps {
                         if let Some(e) =
                             resolve(&prog.ops, &op_events, &fwd_tbl, &bwd_tbl, d, Rank(r))
@@ -920,15 +1749,39 @@ pub fn execute_on_sim(
                 }
             }
             OpKind::AccumGrads { .. } => {} // local fold: no simulated work
+            OpKind::StageRecv { wire, .. } => {
+                // Zero-byte landing point: the matching send already paid
+                // the transfer, so the receiving endpoint only waits for
+                // the arrival event on its lane.
+                if let GroupRef::Pair { to, .. } = wire.group {
+                    for &d in &op.deps {
+                        if let Some(e) = resolve(&prog.ops, &op_events, &fwd_tbl, &bwd_tbl, d, to) {
+                            sc.lane_wait(wire.lane, to, e);
+                        }
+                    }
+                }
+                wire_log.push(i);
+            }
             OpKind::GatherShards { wire, .. }
             | OpKind::ReduceScatterGrads { wire, .. }
             | OpKind::AllReduceGrads { wire, .. }
             | OpKind::CrossGroupAllReduce { wire, .. }
-            | OpKind::ParamRefresh { wire } => {
-                let members = wire.group.members(n, p);
+            | OpKind::ParamRefresh { wire }
+            | OpKind::StageSend { wire, .. } => {
+                let members = wire.group.members(&geo);
                 for &d in &op.deps {
                     for &m in &members {
-                        if let Some(e) = resolve(&prog.ops, &op_events, &fwd_tbl, &bwd_tbl, d, m) {
+                        // A boundary send's deps live on the sender, but the
+                        // sim pushes the transfer phases on the lowest-ranked
+                        // member's stream — which is the *receiver* for a
+                        // backward pair — so every endpoint gates on them.
+                        let res_rank = match (&op.kind, wire.group) {
+                            (OpKind::StageSend { .. }, GroupRef::Pair { from, .. }) => from,
+                            _ => m,
+                        };
+                        if let Some(e) =
+                            resolve(&prog.ops, &op_events, &fwd_tbl, &bwd_tbl, d, res_rank)
+                        {
                             sc.lane_wait(wire.lane, m, e);
                         }
                     }
@@ -936,7 +1789,20 @@ pub fn execute_on_sim(
                 let cost = wire.wire.cost(&sc.net);
                 nic_total += cost.nic_bytes() * nodes_spanned(&members, k);
                 let overhead = if wire.overhead { prog.decision_overhead } else { SimTime::ZERO };
-                let evs = sc.collective(&members, wire.lane, &cost, overhead);
+                // The sim wants ascending ranks; a backward pair is
+                // [from > to], so sort for the push and permute the events
+                // back into the group's member order.
+                let evs = if members.windows(2).all(|w| w[0] < w[1]) {
+                    sc.collective(&members, wire.lane, &cost, overhead)
+                } else {
+                    let mut sorted = members.clone();
+                    sorted.sort();
+                    let by_sorted = sc.collective(&sorted, wire.lane, &cost, overhead);
+                    members
+                        .iter()
+                        .map(|m| by_sorted[sorted.iter().position(|x| x == m).unwrap()])
+                        .collect()
+                };
                 op_events[i] = Some(evs);
                 wire_log.push(i);
             }
@@ -998,18 +1864,47 @@ mod tests {
 
     #[test]
     fn group_membership_math() {
-        let (n, p) = (8, 2);
-        assert_eq!(GroupRef::Partition(1).members(n, p), vec![Rank(2), Rank(3)]);
-        assert_eq!(GroupRef::Partition(1).member_index(Rank(3), n, p), Some(1));
-        assert_eq!(GroupRef::Partition(1).member_index(Rank(4), n, p), None);
+        let geo = Geometry::flat(8, 8, 2);
+        let part = GroupRef::Partition { stage: 0, g: 1 };
+        assert_eq!(part.members(&geo), vec![Rank(2), Rank(3)]);
+        assert_eq!(part.member_index(Rank(3), &geo), Some(1));
+        assert_eq!(part.member_index(Rank(4), &geo), None);
+        let repl = GroupRef::Replication { stage: 0, local: 1 };
+        assert_eq!(repl.members(&geo), vec![Rank(1), Rank(3), Rank(5), Rank(7)]);
+        assert_eq!(repl.member_index(Rank(5), &geo), Some(2));
+        assert_eq!(GroupRef::Replication { stage: 0, local: 0 }.member_index(Rank(5), &geo), None);
+        assert_eq!(GroupRef::All { stage: 0 }.members(&geo).len(), 8);
+        assert_eq!(GroupRef::All { stage: 0 }.member_index(Rank(6), &geo), Some(6));
+    }
+
+    #[test]
+    fn staged_group_membership_math() {
+        // dp=4, pp=2, p=2: ranks 0..4 are stage 0, 4..8 stage 1
+        // (stage-major), and every group is scoped to its stage.
+        let geo = Geometry { dp: 4, pp: 2, p: 2, k: 4 };
+        assert_eq!(geo.world(), 8);
+        assert_eq!(geo.stage_of(Rank(5)), 1);
+        assert_eq!(geo.dp_index(Rank(5)), 1);
+        assert_eq!(geo.rank(1, 1), Rank(5));
+        let part = GroupRef::Partition { stage: 1, g: 1 };
+        assert_eq!(part.members(&geo), vec![Rank(6), Rank(7)]);
+        assert_eq!(part.member_index(Rank(7), &geo), Some(1));
+        assert_eq!(part.member_index(Rank(3), &geo), None, "wrong stage");
         assert_eq!(
-            GroupRef::Replication(1).members(n, p),
-            vec![Rank(1), Rank(3), Rank(5), Rank(7)]
+            GroupRef::All { stage: 1 }.members(&geo),
+            vec![Rank(4), Rank(5), Rank(6), Rank(7)]
         );
-        assert_eq!(GroupRef::Replication(1).member_index(Rank(5), n, p), Some(2));
-        assert_eq!(GroupRef::Replication(0).member_index(Rank(5), n, p), None);
-        assert_eq!(GroupRef::All.members(n, p).len(), 8);
-        assert_eq!(GroupRef::All.member_index(Rank(6), n, p), Some(6));
+        assert_eq!(
+            GroupRef::Replication { stage: 1, local: 0 }.members(&geo),
+            vec![Rank(4), Rank(6)]
+        );
+        let pair = GroupRef::Pair { from: Rank(6), to: Rank(2) };
+        assert_eq!(pair.members(&geo), vec![Rank(6), Rank(2)], "pairs keep direction order");
+        assert_eq!(pair.member_index(Rank(6), &geo), Some(0));
+        assert_eq!(pair.member_index(Rank(2), &geo), Some(1));
+        // Layer ownership: 6 layers over 2 stages.
+        assert_eq!(geo.stage_of_layer(2, 6), 0);
+        assert_eq!(geo.stage_of_layer(3, 6), 1);
     }
 
     #[test]
@@ -1120,7 +2015,7 @@ mod tests {
         let OpKind::ParamRefresh { wire } = &last.kind else {
             panic!("ZeRO-1 must end with a parameter refresh");
         };
-        assert_eq!(wire.group, GroupRef::All);
+        assert_eq!(wire.group, GroupRef::All { stage: 0 });
         assert_eq!(last.deps.len(), 1);
         assert!(matches!(
             prog.ops[last.deps[0]].kind,
@@ -1137,6 +2032,166 @@ mod tests {
         assert_eq!(d, prog.dump(), "dump must be deterministic");
         assert!(d.contains("hop2"));
         assert!(d.contains("reduce-scatter"));
+    }
+
+    /// A 4-layer spec (pp-divisible) for the pipeline tests.
+    fn spec4(n: usize, p: usize, micro_sync: MicroSync, s: usize) -> ScheduleSpec {
+        let mut sp = spec(n, p, micro_sync, s);
+        sp.layers.push(LayerSchedule { param_bytes: 4096, fwd_flops: 1e9, bwd_flops: 2e9 });
+        sp.total_param_bytes += 4096;
+        sp
+    }
+
+    #[test]
+    fn pipeline_delegates_to_flat_emitter_at_pp1() {
+        let inner = spec4(4, 2, MicroSync::PartitionReduceScatter, 2);
+        let pipe = PipelineSpec { inner: inner.clone(), pp: 1, act_bytes: 1 << 16 };
+        assert_eq!(pipe.program().dump(), inner.program().dump());
+    }
+
+    #[test]
+    fn pipeline_1f1b_shape_and_edges() {
+        // dp=2, pp=2, p=2 within each stage, 3 micro-steps.
+        let inner = spec4(2, 2, MicroSync::PartitionReduceScatter, 3);
+        let pipe = PipelineSpec { inner, pp: 2, act_bytes: 1 << 16 };
+        let prog = pipe.program();
+        prog.geo.validate();
+        assert_eq!(prog.geo, Geometry { dp: 2, pp: 2, p: 2, k: 2 });
+        assert_eq!(prog.n(), 4);
+        let sends: Vec<usize> = (0..prog.ops.len())
+            .filter(|&i| matches!(prog.ops[i].kind, OpKind::StageSend { .. }))
+            .collect();
+        let recvs: Vec<usize> = (0..prog.ops.len())
+            .filter(|&i| matches!(prog.ops[i].kind, OpKind::StageRecv { .. }))
+            .collect();
+        // One boundary, 3 micros, 2 dp pairs, both directions.
+        assert_eq!(sends.len(), 2 * 3 * 2);
+        assert_eq!(recvs.len(), 2 * 3 * 2);
+        for &r in &recvs {
+            // Every recv waits on exactly its matching send, already emitted.
+            assert_eq!(prog.ops[r].deps.len(), 1);
+            let s = prog.ops[r].deps[0];
+            assert!(s < r);
+            let (
+                OpKind::StageSend { pass: sp, wire: sw, .. },
+                OpKind::StageRecv { pass: rp, wire: rw, .. },
+            ) = (&prog.ops[s].kind, &prog.ops[r].kind)
+            else {
+                panic!("recv dep must be a send");
+            };
+            assert_eq!(sp, rp);
+            assert_eq!(sw.group, rw.group, "both ends name the same pair");
+            assert_eq!(rw.wire.bytes, 0, "the send pays the transfer");
+            let GroupRef::Pair { from, to } = sw.group else { panic!() };
+            assert_ne!(prog.geo.stage_of(from), prog.geo.stage_of(to));
+            // Each side executes only its half of the pair.
+            assert!(prog.executes_wire(s, from) && !prog.executes_wire(s, to));
+            assert!(prog.executes_wire(r, to) && !prog.executes_wire(r, from));
+        }
+        // All deps point backward: both backends can walk in listed order.
+        for (i, op) in prog.ops.iter().enumerate() {
+            for &d in &op.deps {
+                assert!(d < i, "op {i} depends forward on {d}");
+            }
+        }
+        // Gradient sync is stage-scoped: every reduce names a staged group.
+        for op in &prog.ops {
+            if let OpKind::ReduceScatterGrads { wire, .. } = &op.kind {
+                assert!(matches!(wire.group, GroupRef::Partition { .. }));
+            }
+        }
+        // The optimizer gates on every stage's final reducers.
+        let opt = prog
+            .ops
+            .iter()
+            .find(|o| matches!(o.kind, OpKind::OptimizerUpdate { .. }))
+            .expect("pipeline program ends with the optimizer");
+        let stages: std::collections::BTreeSet<usize> = opt
+            .deps
+            .iter()
+            .map(|&d| match prog.wire_of(d).unwrap().group {
+                GroupRef::Partition { stage, .. }
+                | GroupRef::All { stage }
+                | GroupRef::Replication { stage, .. } => stage,
+                GroupRef::Pair { .. } => panic!("optimizer cannot gate on a boundary hop"),
+            })
+            .collect();
+        assert_eq!(stages, [0, 1].into());
+    }
+
+    #[test]
+    fn pipeline_program_costs_on_the_sim() {
+        use mics_cluster::{ClusterSpec, InstanceType};
+        for sync in [
+            MicroSync::PartitionReduceScatter,
+            MicroSync::GlobalAllReduce,
+            MicroSync::LocalAccumulate,
+        ] {
+            let inner = spec4(4, if sync == MicroSync::LocalAccumulate { 1 } else { 2 }, sync, 3);
+            let pipe = PipelineSpec { inner, pp: 2, act_bytes: 1 << 16 };
+            let prog = pipe.program();
+            let mut inst = InstanceType::p3dn_24xlarge();
+            inst.gpus_per_node = 4;
+            let mut sc = SimCluster::new(ClusterSpec::new(inst, 2));
+            let exec = execute_on_sim(&prog, &mut sc, 1e12);
+            assert_eq!(exec.wire_ops, prog.wire_ops(), "{sync:?}");
+            assert_eq!(exec.nic_bytes_total, prog.total_nic_bytes(&sc.net), "{sync:?}");
+            let (makespan, _, _) = sc.run();
+            assert!(makespan > SimTime::ZERO, "{sync:?}: sim must converge (no deadlock)");
+        }
+    }
+
+    #[test]
+    fn pipeline_beats_more_micros_less_bubble() {
+        // The 1F1B bubble fraction shrinks with more micro-steps: per-step
+        // time at m=8 must be well under per-step time at m=1 (relative to
+        // the per-micro work), the classic (pp-1)/m scaling.
+        use mics_cluster::{ClusterSpec, InstanceType};
+        let mut inst = InstanceType::p3dn_24xlarge();
+        inst.gpus_per_node = 4;
+        let time_per_micro = |m: usize| {
+            let inner = spec4(2, 1, MicroSync::LocalAccumulate, m);
+            let pipe = PipelineSpec { inner, pp: 2, act_bytes: 1 << 10 };
+            let mut sc = SimCluster::new(ClusterSpec::new(inst.clone(), 1));
+            execute_on_sim(&pipe.program(), &mut sc, 1e12);
+            let (makespan, _, _) = sc.run();
+            makespan.as_secs_f64() / m as f64
+        };
+        let (t1, t8) = (time_per_micro(1), time_per_micro(8));
+        assert!(
+            t8 < 0.75 * t1,
+            "1F1B bubble must amortize: per-micro {t8:.6}s at m=8 vs {t1:.6}s at m=1"
+        );
+    }
+
+    #[test]
+    fn reshape_retargets_the_same_strategy() {
+        let sp = spec(8, 4, MicroSync::PartitionReduceScatter, 2);
+        let old = Geometry::flat(8, 2, 4);
+        let new = Geometry::flat(4, 2, 2);
+        let prog = reshape(&sp, &old, &new);
+        assert_eq!(prog.geo, new);
+        // Same op-kind sequence as emitting directly at the new world.
+        let direct = sp.retarget(4, 2, 2).program();
+        assert_eq!(prog.dump(), direct.dump());
+        // Optimizer traffic rescales with the shard count (p_opt 4 → 2).
+        let opt_bytes = |p: &StepProgram| {
+            p.ops
+                .iter()
+                .find_map(|o| match o.kind {
+                    OpKind::OptimizerUpdate { bytes, .. } => Some(bytes),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert_eq!(opt_bytes(&prog), opt_bytes(&sp.program()) * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "old geometry")]
+    fn reshape_rejects_a_mismatched_spec() {
+        let sp = spec(8, 4, MicroSync::PartitionReduceScatter, 2);
+        reshape(&sp, &Geometry::flat(16, 2, 4), &Geometry::flat(4, 2, 2));
     }
 
     #[test]

@@ -43,7 +43,8 @@ pub use mics_compress::{CompressionConfig, CompressionScope, QuantScheme};
 pub use nn::Mlp;
 pub use scaler::{LossScale, ScalerSnapshot};
 pub use train::{
-    resume_from, step_program, step_program_with_flops, train, train_generic_on, train_resumable,
-    CheckpointSink, ScheduleHyper, SyncSchedule, TrainCheckpoint, TrainOutcome, TrainSetup,
+    resume_from, step_program, step_program_with_flops, train, train_elastic, train_elastic_on,
+    train_generic_on, train_pipeline, train_pipeline_on, train_resumable, CheckpointSink,
+    ElasticPhase, ScheduleHyper, SyncSchedule, TrainCheckpoint, TrainOutcome, TrainSetup,
 };
 pub use transformer::TinyTransformer;

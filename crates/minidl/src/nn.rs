@@ -53,6 +53,107 @@ impl Mlp {
         self.dims[..l + 1].windows(2).map(|w| w[1] * w[0] + w[1]).sum()
     }
 
+    /// Flat parameter range of the contiguous layer slice `lo..hi` — the
+    /// piece of the network a pipeline stage owns.
+    pub fn stage_param_range(&self, lo: usize, hi: usize) -> std::ops::Range<usize> {
+        assert!(lo < hi && hi <= self.num_layers(), "bad stage slice {lo}..{hi}");
+        self.layer_offset(lo)..self.layer_offset(hi)
+    }
+
+    /// Parameter count of the layer slice `lo..hi`.
+    pub fn stage_num_params(&self, lo: usize, hi: usize) -> usize {
+        self.stage_param_range(lo, hi).len()
+    }
+
+    /// Width of the activation entering layer `l` (the tensor a pipeline
+    /// boundary at `l` carries).
+    pub fn boundary_dim(&self, l: usize) -> usize {
+        self.dims[l]
+    }
+
+    /// Forward pass of the layer slice `lo..hi` for one sample, given only
+    /// the slice's own parameters (layout of [`Mlp::stage_param_range`]).
+    /// Activation boundaries follow the *global* layer indices: `tanh`
+    /// everywhere except after the network's final layer, so stacking the
+    /// slices reproduces [`Mlp::forward`] bit-for-bit.
+    pub fn stage_forward(
+        &self,
+        stage_params: &[f32],
+        lo: usize,
+        hi: usize,
+        x: &[f32],
+    ) -> Vec<Vec<f32>> {
+        assert_eq!(stage_params.len(), self.stage_num_params(lo, hi), "stage params mismatch");
+        assert_eq!(x.len(), self.dims[lo], "stage input length mismatch");
+        let base = self.layer_offset(lo);
+        let mut acts = Vec::with_capacity(hi - lo + 1);
+        acts.push(x.to_vec());
+        for l in lo..hi {
+            let (fan_in, fan_out) = (self.dims[l], self.dims[l + 1]);
+            let off = self.layer_offset(l) - base;
+            let (w, b) = stage_params[off..].split_at(fan_out * fan_in);
+            let b = &b[..fan_out];
+            let h = &acts[l - lo];
+            let mut z = matvec_bias(w, b, h, fan_out, fan_in);
+            if l + 1 < self.num_layers() {
+                for zo in z.iter_mut() {
+                    *zo = zo.tanh();
+                }
+            }
+            acts.push(z);
+        }
+        acts
+    }
+
+    /// Backward pass of the layer slice `lo..hi` for one sample: given the
+    /// slice's forward activations and the loss gradient w.r.t. the slice
+    /// *output*, accumulate the slice's parameter gradients into `grad`
+    /// (slice layout) and return the gradient w.r.t. the slice *input* —
+    /// the tensor the pipeline sends to the previous stage (empty when
+    /// `lo == 0`; there is no upstream). Identical operation order to
+    /// [`Mlp::backward`] restricted to the slice.
+    pub fn stage_backward(
+        &self,
+        stage_params: &[f32],
+        lo: usize,
+        hi: usize,
+        acts: &[Vec<f32>],
+        dout: &[f32],
+        grad: &mut [f32],
+    ) -> Vec<f32> {
+        assert_eq!(grad.len(), self.stage_num_params(lo, hi), "stage gradient mismatch");
+        assert_eq!(dout.len(), self.dims[hi], "stage output gradient mismatch");
+        let base = self.layer_offset(lo);
+        let mut delta = dout.to_vec();
+        for l in (lo..hi).rev() {
+            let (fan_in, fan_out) = (self.dims[l], self.dims[l + 1]);
+            let off = self.layer_offset(l) - base;
+            let w = &stage_params[off..off + fan_out * fan_in];
+            let h = &acts[l - lo];
+            if l + 1 < self.num_layers() {
+                let out = &acts[l + 1 - lo];
+                for (d, o) in delta.iter_mut().zip(out.iter()) {
+                    *d *= 1.0 - o * o;
+                }
+            }
+            let (gw, gb) =
+                grad[off..off + fan_out * fan_in + fan_out].split_at_mut(fan_out * fan_in);
+            acc_outer(&delta, h, gw);
+            for (gbo, &d) in gb.iter_mut().zip(delta.iter()) {
+                *gbo += d;
+            }
+            if l > lo {
+                delta = matvec_t(w, &delta, fan_out, fan_in);
+            } else if lo > 0 {
+                // The boundary gradient the previous stage consumes.
+                delta = matvec_t(w, &delta, fan_out, fan_in);
+            } else {
+                delta = Vec::new();
+            }
+        }
+        delta
+    }
+
     /// Deterministic Xavier-style initialization.
     pub fn init_params(&self, seed: u64) -> Vec<f32> {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -242,6 +343,33 @@ mod tests {
             let mean = (g1[i] + g2[i]) / 2.0;
             assert!((gb[i] - mean).abs() < 1e-6, "index {i}");
         }
+    }
+
+    #[test]
+    fn stage_slices_compose_to_the_full_network_bit_exactly() {
+        let m = Mlp::new(&[3, 5, 4, 2]);
+        let params = m.init_params(13);
+        let x = vec![0.4, -0.2, 0.9];
+        let full = m.forward(&params, &x);
+        // Split 0..2 | 2..3 and stack the slice forwards.
+        let p0 = &params[m.stage_param_range(0, 2)];
+        let p1 = &params[m.stage_param_range(2, 3)];
+        let a0 = m.stage_forward(p0, 0, 2, &x);
+        let a1 = m.stage_forward(p1, 2, 3, a0.last().unwrap());
+        assert_eq!(a0.last().unwrap(), &full[2]);
+        assert_eq!(a1.last().unwrap(), full.last().unwrap());
+        // Backward: full gradient vs slice gradients + boundary delta.
+        let y = vec![0.1, -0.3];
+        let out = full.last().unwrap();
+        let dout: Vec<f32> = out.iter().zip(&y).map(|(o, t)| o - t).collect();
+        let mut grad = vec![0.0f32; m.num_params()];
+        m.backward(&params, &full, &dout, &mut grad);
+        let mut g1 = vec![0.0f32; p1.len()];
+        let dmid = m.stage_backward(p1, 2, 3, &a1, &dout, &mut g1);
+        let mut g0 = vec![0.0f32; p0.len()];
+        let dback = m.stage_backward(p0, 0, 2, &a0, &dmid, &mut g0);
+        assert!(dback.is_empty(), "stage 0 has no upstream");
+        assert_eq!([g0, g1].concat(), grad);
     }
 
     #[test]

@@ -20,12 +20,17 @@ use crate::scaler::{has_overflow, LossScale, ScalerSnapshot, ScalerState};
 use mics_cluster::Rank;
 use mics_compress::{CompressionConfig, QuantScheme};
 use mics_core::config::MicroSync;
-use mics_core::schedule::{GradSource, LayerSchedule, OpKind, Pass, ScheduleSpec, StepProgram};
+use mics_core::schedule::{
+    reshape, Geometry, GradSource, LayerSchedule, OpKind, Pass, PipelineSpec, ScheduleSpec,
+    StepProgram,
+};
 use mics_dataplane::quantized::{
     quantized_all_reduce, quantized_reduce_scatter, try_quantized_all_gather,
     try_quantized_all_reduce, try_quantized_reduce_scatter,
 };
-use mics_dataplane::{quantized_all_gather, run_ranks_on, CollectiveHandle, TransportKind};
+use mics_dataplane::{
+    quantized_all_gather, run_ranks_on, CollectiveHandle, Communicator, TransportKind,
+};
 use mics_simnet::SimTime;
 use mics_tensor::dtype::quantize_f16;
 use mics_tensor::{GatherBuffers, ShardSpec};
@@ -225,6 +230,20 @@ pub fn step_program_with_flops(
     fwd_flops: f64,
     bwd_flops: f64,
 ) -> StepProgram {
+    step_spec_with_flops(hp, schedule, numel, fwd_flops, bwd_flops).program()
+}
+
+/// The [`ScheduleSpec`] behind [`step_program_with_flops`], exposed so
+/// callers can transform it before lowering — [`mics_core::schedule::reshape`]
+/// re-emits a spec at a new geometry, and the elastic tests need the spec
+/// the original program was emitted from to drive that transition.
+pub fn step_spec_with_flops(
+    hp: &ScheduleHyper,
+    schedule: SyncSchedule,
+    numel: usize,
+    fwd_flops: f64,
+    bwd_flops: f64,
+) -> ScheduleSpec {
     let p = match schedule {
         SyncSchedule::Ddp => 1,
         _ => hp.partition_size,
@@ -259,7 +278,6 @@ pub fn step_program_with_flops(
         compression: hp.comm_quant,
         elem_bytes: 4,
     }
-    .program()
 }
 
 fn cast_params(src: &[f32], quantize: bool) -> Vec<f32> {
@@ -415,6 +433,158 @@ where
     run_engine(TransportKind::Local, hp, schedule, Start::Resume(ckpt), grad_fn, None)
 }
 
+/// [`resume_from`] with an explicit data-plane transport and an optional
+/// snapshot deposit at `checkpoint` — the building block of the elastic
+/// driver, which chains resumed phases at changing geometries, each phase a
+/// fresh world that ends by depositing the next phase's starting state.
+pub fn resume_resumable_on<F>(
+    transport: TransportKind,
+    hp: &ScheduleHyper,
+    schedule: SyncSchedule,
+    ckpt: &TrainCheckpoint,
+    grad_fn: F,
+    checkpoint: Option<(usize, &CheckpointSink)>,
+) -> TrainOutcome
+where
+    F: Fn(&[f32], usize, usize, usize) -> (f32, Vec<f32>) + Sync,
+{
+    run_engine(transport, hp, schedule, Start::Resume(ckpt), grad_fn, checkpoint)
+}
+
+/// [`train_resumable`] with an explicit data-plane transport.
+pub fn train_resumable_on<F>(
+    transport: TransportKind,
+    hp: &ScheduleHyper,
+    schedule: SyncSchedule,
+    init: Vec<f32>,
+    grad_fn: F,
+    checkpoint_at: usize,
+    sink: &CheckpointSink,
+) -> TrainOutcome
+where
+    F: Fn(&[f32], usize, usize, usize) -> (f32, Vec<f32>) + Sync,
+{
+    run_engine(transport, hp, schedule, Start::Fresh(init), grad_fn, Some((checkpoint_at, sink)))
+}
+
+/// One phase of an elastic run: a flat (pp = 1) geometry and how many
+/// optimizer steps to execute there. `iterations: 0` is a pure resharding
+/// hop — the world is stood up, the checkpoint re-sharded through it, and
+/// the state handed on untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElasticPhase {
+    /// Data-parallel ranks in this phase.
+    pub world: usize,
+    /// Partition group size in this phase (ignored by DDP).
+    pub partition_size: usize,
+    /// Optimizer steps to run in this phase.
+    pub iterations: usize,
+}
+
+/// Train `setup`'s job through a sequence of geometries — the elastic
+/// grow/shrink path. Each phase is a fresh `run_ranks` world at that
+/// phase's geometry; transitions go checkpoint → [`reshape`] → resume, so
+/// the schedule is re-emitted for the new geometry and the state re-sharded
+/// through the resharding-checkpoint path. Every transition asserts, at the
+/// IR level, that `reshape(old, new)` reproduces the program the resumed
+/// phase runs — the program is a function of the geometry, nothing is baked
+/// in at emit time.
+///
+/// The returned outcome spans the whole run: `losses` concatenates the
+/// phases, `final_params` is the last phase's state, `wire_ops` is the
+/// first phase's rank-0 log. `setup.world`/`partition_size`/`iterations`
+/// are superseded by `phases`.
+///
+/// Continuity contract (asserted by the tests, not here): a zero-iteration
+/// reshape round-trip `[G t | →G′ | →G | G t′]` is bit-identical to the
+/// uninterrupted `[G t+t′]` run, and a grow transition is bit-identical to
+/// a direct [`resume_from`] at the destination geometry.
+pub fn train_elastic_on(
+    transport: TransportKind,
+    setup: &TrainSetup,
+    schedule: SyncSchedule,
+    phases: &[ElasticPhase],
+) -> TrainOutcome {
+    assert!(!phases.is_empty(), "an elastic run needs at least one phase");
+    let model = setup.model.clone();
+    let dataset = TeacherDataset::new(
+        &[model.input_dim(), 8, model.output_dim()],
+        setup.seed ^ 0x51ab_0c1d_22ee_9f73,
+    );
+    let init = model.init_params(setup.seed);
+    let numel = model.num_params();
+    let micro_batch = setup.micro_batch;
+    let grad_fn = |params: &[f32], iter: usize, micro: usize, rank: usize| {
+        let (xs, ys) = dataset.micro_batch(iter, micro, rank, micro_batch);
+        model.loss_and_grad(params, &xs, &ys)
+    };
+    let hp_at = |ph: &ElasticPhase, end: usize| ScheduleHyper {
+        world: ph.world,
+        partition_size: ph.partition_size,
+        accum_steps: setup.accum_steps,
+        iterations: end,
+        lr: setup.lr,
+        quantize: setup.quantize,
+        loss_scale: setup.loss_scale,
+        clip_grad_norm: setup.clip_grad_norm,
+        comm_quant: setup.comm_quant,
+        prefetch_depth: setup.prefetch_depth,
+    };
+    // The minidl worlds are single-"node": every thread-rank shares memory.
+    let geo_of = |ph: &ElasticPhase| {
+        let p = match schedule {
+            SyncSchedule::Ddp => 1,
+            _ => ph.partition_size,
+        };
+        Geometry::flat(ph.world, ph.world, p)
+    };
+
+    let sink = CheckpointSink::new();
+    let mut done = phases[0].iterations;
+    let mut out = train_resumable_on(
+        transport,
+        &hp_at(&phases[0], done),
+        schedule,
+        init,
+        grad_fn,
+        done,
+        &sink,
+    );
+    for (prev, ph) in phases.iter().zip(&phases[1..]) {
+        let ckpt = sink.take().expect("previous phase must deposit its snapshot");
+        assert_eq!(ckpt.iterations_done, done, "phase boundary drifted");
+        // IR-level transition: re-emitting via `reshape` must produce
+        // exactly the program the resumed phase interprets.
+        let end = done + ph.iterations;
+        let old_spec = step_spec_with_flops(&hp_at(prev, done), schedule, numel, 0.0, 0.0);
+        let hp = hp_at(ph, end);
+        let reshaped = reshape(&old_spec, &geo_of(prev), &geo_of(ph));
+        assert_eq!(
+            reshaped.dump(),
+            step_program(&hp, schedule, numel).dump(),
+            "reshape must re-emit the destination phase's program"
+        );
+        let tail =
+            resume_resumable_on(transport, &hp, schedule, &ckpt, grad_fn, Some((end, &sink)));
+        out.losses.extend_from_slice(&tail.losses);
+        out.skipped_steps += tail.skipped_steps;
+        out.final_params = tail.final_params;
+        out.final_loss_scale = tail.final_loss_scale;
+        out.lane_stats = tail.lane_stats;
+        done = end;
+    }
+    out
+}
+
+/// [`train_elastic_on`] on the in-process local transport.
+pub fn train_elastic(
+    setup: &TrainSetup,
+    schedule: SyncSchedule,
+    phases: &[ElasticPhase],
+) -> TrainOutcome {
+    train_elastic_on(TransportKind::Local, setup, schedule, phases)
+}
+
 /// Where a run begins: from scratch, or from a snapshot.
 enum Start<'a> {
     Fresh(Vec<f32>),
@@ -541,7 +711,7 @@ where
     // stay inside the partition group; collectives that leave it compress
     // only under `CompressionScope::Everywhere`).
     let prog = step_program(setup, schedule, numel);
-    let ir_p = prog.p;
+    let ir_geo = prog.geo;
     let prog = &prog;
 
     // Asynchronous-executor configuration, identical on every rank. The
@@ -650,6 +820,11 @@ where
 
             for (op_id, op) in prog.ops.iter().enumerate() {
                 match &op.kind {
+                    // This engine interprets flat (pp = 1) programs; the
+                    // pipeline engine owns the cross-stage boundary ops.
+                    OpKind::StageSend { .. } | OpKind::StageRecv { .. } => {
+                        unreachable!("pipeline ops in a flat program")
+                    }
                     // Thread collectives already rendezvous, so the barrier
                     // is purely a drain: the sim makes every lane wait
                     // here, and the executor retires all in-flight work to
@@ -668,7 +843,7 @@ where
                         );
                     }
                     OpKind::GatherShards { wire, .. } => {
-                        if !wire.group.contains(Rank(rank), world, ir_p) {
+                        if !wire.group.contains(Rank(rank), &ir_geo) {
                             continue;
                         }
                         if log_wire {
@@ -782,7 +957,7 @@ where
                         }
                     }
                     OpKind::ReduceScatterGrads { source: GradSource::MicroGrad, wire, .. } => {
-                        if !wire.group.contains(Rank(rank), world, ir_p) {
+                        if !wire.group.contains(Rank(rank), &ir_geo) {
                             continue;
                         }
                         if log_wire {
@@ -904,7 +1079,7 @@ where
                         }
                     }
                     OpKind::CrossGroupAllReduce { wire, .. } => {
-                        if !wire.group.contains(Rank(rank), world, ir_p) {
+                        if !wire.group.contains(Rank(rank), &ir_geo) {
                             continue;
                         }
                         if log_wire {
@@ -1072,9 +1247,450 @@ where
     results.swap_remove(0)
 }
 
+/// Lower one iteration of a pipelined run to the schedule IR: one virtual
+/// layer per stage (each holding that stage's parameter count), `hp.world`
+/// data-parallel ranks per stage, every thread-rank on one shared-memory
+/// "node". The returned program is what [`train_pipeline`] interprets over
+/// real communicators and what the cross-backend tests feed to the
+/// simulator's `execute_on_sim` — the same lowering contract as
+/// [`step_program`], extended with the 1F1B stage dimension.
+pub fn pipeline_step_program(
+    hp: &ScheduleHyper,
+    schedule: SyncSchedule,
+    pp: usize,
+    stage_numels: &[usize],
+    act_bytes: u64,
+) -> StepProgram {
+    assert_eq!(stage_numels.len(), pp, "one virtual layer per stage");
+    let dp = hp.world;
+    let total: usize = stage_numels.iter().sum();
+    let inner = ScheduleSpec {
+        n: dp,
+        k: dp * pp,
+        // The pipeline engine keeps each stage's dp-world unsharded; the
+        // stage split itself is the model partitioning.
+        p_params: 1,
+        p_grads: 1,
+        p_opt: 1,
+        micro_sync: match schedule {
+            SyncSchedule::Ddp => MicroSync::LocalAccumulate,
+            SyncSchedule::PerMicroStepAllReduce => MicroSync::GlobalAllReduce,
+            SyncSchedule::TwoHop => {
+                panic!("pipeline stages sync with dp collectives only; TwoHop needs p > 1")
+            }
+        },
+        accum_steps: hp.accum_steps,
+        hierarchical: false,
+        coalesced: false,
+        prefetch_depth: 0,
+        decision_overhead: SimTime::ZERO,
+        layers: stage_numels
+            .iter()
+            .map(|&numel| LayerSchedule {
+                param_bytes: numel as u64 * 4,
+                fwd_flops: 0.0,
+                bwd_flops: 0.0,
+            })
+            .collect(),
+        bucket_bytes: stage_numels.iter().map(|&n| n as u64 * 4).max().unwrap_or(1).max(1),
+        total_param_bytes: total as u64 * 4,
+        optimizer_bytes: total as u64 * 24,
+        compression: None,
+        elem_bytes: 4,
+    };
+    PipelineSpec { inner, pp, act_bytes }.program()
+}
+
+/// [`train_pipeline`] with an explicit data-plane transport.
+pub fn train_pipeline_on(
+    transport: TransportKind,
+    setup: &TrainSetup,
+    pp: usize,
+    schedule: SyncSchedule,
+) -> TrainOutcome {
+    assert!(pp >= 1, "need at least one pipeline stage");
+    let model = setup.model.clone();
+    let dataset = TeacherDataset::new(
+        &[model.input_dim(), 8, model.output_dim()],
+        setup.seed ^ 0x51ab_0c1d_22ee_9f73,
+    );
+    let init = model.init_params(setup.seed);
+    let micro_batch = setup.micro_batch;
+    let hp = ScheduleHyper {
+        world: setup.world,
+        partition_size: setup.partition_size,
+        accum_steps: setup.accum_steps,
+        iterations: setup.iterations,
+        lr: setup.lr,
+        quantize: setup.quantize,
+        loss_scale: setup.loss_scale,
+        clip_grad_norm: setup.clip_grad_norm,
+        comm_quant: setup.comm_quant,
+        prefetch_depth: setup.prefetch_depth,
+    };
+    if pp == 1 {
+        // A one-stage pipeline *is* the flat program ([`PipelineSpec`]
+        // delegates to the flat emitter at pp = 1), so delegate to the flat
+        // engine — bit-exact with [`train`] by construction.
+        return train_generic_on(
+            transport,
+            &hp,
+            schedule,
+            init,
+            move |params, iter, micro, rank| {
+                let (xs, ys) = dataset.micro_batch(iter, micro, rank, micro_batch);
+                model.loss_and_grad(params, &xs, &ys)
+            },
+        );
+    }
+    assert!(
+        !setup.quantize
+            && matches!(setup.loss_scale, LossScale::None)
+            && setup.clip_grad_norm.is_none()
+            && setup.comm_quant.is_none()
+            && setup.prefetch_depth == 0,
+        "the pipeline engine runs the exact fp32 path only"
+    );
+    let dp = setup.world;
+    assert!(dp > 0 && setup.accum_steps > 0 && setup.iterations > 0);
+    let nl = model.num_layers();
+    assert!(nl.is_multiple_of(pp), "pp={pp} must evenly split the model's {nl} layers");
+    let per = nl / pp;
+    let stage_numels: Vec<usize> =
+        (0..pp).map(|s| model.stage_num_params(s * per, (s + 1) * per)).collect();
+    let act_bytes =
+        (1..pp).map(|s| model.boundary_dim(s * per)).max().unwrap() as u64 * micro_batch as u64 * 4;
+    let prog = pipeline_step_program(&hp, schedule, pp, &stage_numels, act_bytes);
+    let geo = prog.geo;
+    let world = geo.world();
+    let m = setup.accum_steps;
+    let global_scale = 1.0 / (m as f32 * dp as f32);
+    let (prog, model, dataset, init, stage_numels) =
+        (&prog, &model, &dataset, &init, &stage_numels);
+
+    let mut results = run_ranks_on(transport, world, |mut comm| {
+        let rank = comm.rank();
+        let s_idx = geo.stage_of(Rank(rank));
+        let d = geo.dp_index(Rank(rank));
+        let (lo, hi) = (s_idx * per, (s_idx + 1) * per);
+        // Stage communicator: this stage's dp ranks, keyed in d order — the
+        // realization of the IR's `All { stage }` groups.
+        let mut stage = comm.split(s_idx as i64, rank as i64);
+        // One communicator per (boundary, direction). The sender issues its
+        // broadcasts asynchronously on the comm's progress thread while the
+        // receiver blocks on the matching sequence from its rank thread;
+        // each side drives the comm from exactly one thread and both walk
+        // the program in emission order, so the SPMD ordering contract
+        // holds per communicator. Non-members split into throwaway solo
+        // groups (split is collective). The global-rank key puts the lower
+        // stage at pair rank 0: forward broadcasts root at 0, backward at 1.
+        let pair_comms = |comm: &mut Communicator| -> Vec<Option<Communicator>> {
+            (0..pp - 1)
+                .map(|lv| {
+                    let member = s_idx == lv || s_idx == lv + 1;
+                    let color = if member { d as i64 } else { -(1 + rank as i64) };
+                    let c = comm.split(color, rank as i64);
+                    member.then_some(c)
+                })
+                .collect()
+        };
+        let mut fwd_pairs = pair_comms(&mut comm);
+        let mut bwd_pairs = pair_comms(&mut comm);
+
+        let mut rec = SpanRecorder::new();
+        let mut stage_params: Vec<f32> = init[model.stage_param_range(lo, hi)].to_vec();
+        let stage_len = stage_params.len();
+        let mut opt = Adam::new(stage_len, setup.lr);
+        let mut scaler = ScalerState::new(setup.loss_scale);
+        let mut pending: Vec<CollectiveHandle<Vec<f32>>> = Vec::new();
+        let mut losses = Vec::with_capacity(setup.iterations);
+        let mut wire_log: Vec<usize> = Vec::new();
+
+        for iter in 0..setup.iterations {
+            let log_wire = iter == 0;
+            let mut accum = vec![0.0f32; stage_len];
+            let mut loss_acc = 0.0f32;
+            let mut total: Option<Vec<f32>> = None;
+            let mut grad: Option<Vec<f32>> = None;
+            // 1F1B keeps up to `pp - s_idx` micro-batches in flight, so the
+            // forward activations are stored per micro-step (per sample,
+            // per layer); the boundary buffers are single-slot because the
+            // emitter keeps each stage action's ops contiguous.
+            let mut acts_of: Vec<Option<Vec<Vec<Vec<f32>>>>> = vec![None; m];
+            let mut recv_act: Option<Vec<f32>> = None;
+            let mut recv_grad: Option<Vec<f32>> = None;
+            let mut fwd_out: Option<Vec<f32>> = None;
+            let mut bwd_out: Option<Vec<f32>> = None;
+
+            for (op_id, op) in prog.ops.iter().enumerate() {
+                match &op.kind {
+                    OpKind::StageRecv { pass, .. } => {
+                        if !prog.executes_wire(op_id, Rank(rank)) {
+                            continue;
+                        }
+                        if log_wire {
+                            wire_log.push(op_id);
+                        }
+                        let start_ns = rec.now_ns();
+                        let data = match pass {
+                            // The activation arrives over the boundary
+                            // below this stage; the gradient over the one
+                            // above. Executing ranks are never at the
+                            // pipeline's edge for the respective direction.
+                            Pass::Forward => {
+                                fwd_pairs[s_idx - 1].as_ref().unwrap().broadcast(0, &[])
+                            }
+                            Pass::Backward => bwd_pairs[s_idx].as_ref().unwrap().broadcast(1, &[]),
+                        };
+                        match pass {
+                            Pass::Forward => {
+                                rec.push(
+                                    ExecLane::Gather,
+                                    "stage-recv",
+                                    iter,
+                                    start_ns,
+                                    rec.now_ns(),
+                                );
+                                recv_act = Some(data);
+                            }
+                            Pass::Backward => {
+                                rec.push(
+                                    ExecLane::Reduce,
+                                    "stage-recv",
+                                    iter,
+                                    start_ns,
+                                    rec.now_ns(),
+                                );
+                                recv_grad = Some(data);
+                            }
+                        }
+                    }
+                    OpKind::StageSend { pass, .. } => {
+                        if !prog.executes_wire(op_id, Rank(rank)) {
+                            continue;
+                        }
+                        if log_wire {
+                            wire_log.push(op_id);
+                        }
+                        let (pair, root, payload) = match pass {
+                            Pass::Forward => (fwd_pairs[s_idx].as_mut().unwrap(), 0, &mut fwd_out),
+                            Pass::Backward => {
+                                (bwd_pairs[s_idx - 1].as_mut().unwrap(), 1, &mut bwd_out)
+                            }
+                        };
+                        let data = payload.take().expect("stage send before its compute");
+                        let handle = pair.start_collective(move |c| c.try_broadcast(root, &data));
+                        pending.push(handle);
+                    }
+                    OpKind::Compute { layer, pass: Pass::Forward, .. } => {
+                        if geo.stage_of_layer(*layer, prog.num_layers) != s_idx {
+                            continue;
+                        }
+                        let j = op.micro;
+                        let in_dim = model.boundary_dim(lo);
+                        let xs = if s_idx == 0 {
+                            dataset.micro_batch(iter, j, d, micro_batch).0
+                        } else {
+                            recv_act.take().expect("forward before boundary recv")
+                        };
+                        assert_eq!(xs.len(), micro_batch * in_dim, "boundary tensor shape");
+                        let start_ns = rec.now_ns();
+                        let mut acts = Vec::with_capacity(micro_batch);
+                        for smp in 0..micro_batch {
+                            let x = &xs[smp * in_dim..(smp + 1) * in_dim];
+                            acts.push(model.stage_forward(&stage_params, lo, hi, x));
+                        }
+                        rec.push(ExecLane::Compute, "fwd", iter, start_ns, rec.now_ns());
+                        if s_idx + 1 < pp {
+                            let out_dim = model.boundary_dim(hi);
+                            let mut out = Vec::with_capacity(micro_batch * out_dim);
+                            for a in &acts {
+                                out.extend_from_slice(a.last().unwrap());
+                            }
+                            fwd_out = Some(out);
+                        }
+                        acts_of[j] = Some(acts);
+                    }
+                    OpKind::Compute { layer, pass: Pass::Backward, .. } => {
+                        if geo.stage_of_layer(*layer, prog.num_layers) != s_idx {
+                            continue;
+                        }
+                        let i = op.micro;
+                        let acts = acts_of[i].take().expect("backward before forward");
+                        let out_dim = model.boundary_dim(hi);
+                        let start_ns = rec.now_ns();
+                        let dout = if s_idx == pp - 1 {
+                            // The loss head: same arithmetic (and float-op
+                            // order) as `Mlp::loss_and_grad`, fed by the
+                            // activations that crossed the boundaries.
+                            let (_, ys) = dataset.micro_batch(iter, i, d, micro_batch);
+                            let scale = 1.0 / (micro_batch as f32 * out_dim as f32);
+                            let mut buf = Vec::with_capacity(micro_batch * out_dim);
+                            // Fold into a per-micro subtotal first, exactly
+                            // like `loss_and_grad` — the iteration total
+                            // must sum micro subtotals to stay bit-equal.
+                            let mut micro_loss = 0.0f32;
+                            for smp in 0..micro_batch {
+                                let out = acts[smp].last().unwrap();
+                                let y = &ys[smp * out_dim..(smp + 1) * out_dim];
+                                for (&ov, &yv) in out.iter().zip(y) {
+                                    let err = ov - yv;
+                                    micro_loss += 0.5 * err * err * scale;
+                                    buf.push(err * scale);
+                                }
+                            }
+                            loss_acc += micro_loss;
+                            buf
+                        } else {
+                            recv_grad.take().expect("backward before boundary recv")
+                        };
+                        let mut g = vec![0.0f32; stage_len];
+                        let mut deltas = Vec::new();
+                        for smp in 0..micro_batch {
+                            let dsmp = &dout[smp * out_dim..(smp + 1) * out_dim];
+                            let delta = model.stage_backward(
+                                &stage_params,
+                                lo,
+                                hi,
+                                &acts[smp],
+                                dsmp,
+                                &mut g,
+                            );
+                            if lo > 0 {
+                                deltas.extend_from_slice(&delta);
+                            }
+                        }
+                        rec.push(ExecLane::Compute, "bwd", iter, start_ns, rec.now_ns());
+                        if lo > 0 {
+                            bwd_out = Some(deltas);
+                        }
+                        grad = Some(g);
+                    }
+                    OpKind::AccumGrads { .. } => {
+                        // No wire annotation: ownership follows the backward
+                        // compute this op drains.
+                        let owner = match prog.ops[op.deps[0]].kind {
+                            OpKind::Compute { layer, .. } => {
+                                geo.stage_of_layer(layer, prog.num_layers)
+                            }
+                            _ => unreachable!("accumulate must depend on a backward compute"),
+                        };
+                        if owner != s_idx {
+                            continue;
+                        }
+                        add_into(&mut accum, &grad.take().expect("accumulate before backward"));
+                    }
+                    OpKind::AllReduceGrads { source, wire, .. } => {
+                        if !wire.group.contains(Rank(rank), &geo) {
+                            continue;
+                        }
+                        if log_wire {
+                            wire_log.push(op_id);
+                        }
+                        let start_ns = rec.now_ns();
+                        match source {
+                            GradSource::MicroGrad => {
+                                let g = grad.take().expect("reduce before backward");
+                                let red = stage.all_reduce(&g);
+                                add_into(&mut accum, &red);
+                            }
+                            GradSource::Accum => {
+                                total = Some(stage.all_reduce(&accum));
+                            }
+                        }
+                        rec.push(ExecLane::Reduce, "grad-reduce", iter, start_ns, rec.now_ns());
+                    }
+                    OpKind::OptimizerUpdate { .. } => {
+                        let total = total.take().unwrap_or_else(|| std::mem::take(&mut accum));
+                        // Overflow agreement across the whole world, exactly
+                        // as the flat engine does it.
+                        let local_flag = if has_overflow(&total) { 1.0 } else { 0.0 };
+                        let sync_ns = rec.now_ns();
+                        let overflowed = comm.all_reduce(&[local_flag])[0] > 0.0;
+                        rec.push(ExecLane::Control, "overflow-sync", iter, sync_ns, rec.now_ns());
+                        if scaler.update(overflowed) {
+                            let scaled: Vec<f32> =
+                                total.iter().map(|&g| g * global_scale).collect();
+                            let step_ns = rec.now_ns();
+                            opt.step(&mut stage_params, &scaled);
+                            rec.push(ExecLane::Compute, "optimizer", iter, step_ns, rec.now_ns());
+                        }
+                    }
+                    OpKind::MicroBarrier
+                    | OpKind::GatherShards { .. }
+                    | OpKind::ReduceScatterGrads { .. }
+                    | OpKind::CrossGroupAllReduce { .. }
+                    | OpKind::ParamRefresh { .. } => {
+                        unreachable!("op not emitted for a p = 1 pipeline program")
+                    }
+                }
+            }
+
+            // Retire this iteration's boundary sends — every one was
+            // consumed by its blocking receiver, so the waits only surface
+            // errors and bound the submission queue.
+            for h in pending.drain(..) {
+                h.wait().unwrap_or_else(|e| panic!("collective aborted: {e}"));
+            }
+            debug_assert!(recv_act.is_none() && recv_grad.is_none() && grad.is_none());
+
+            // Global mean loss: the non-last stages contribute exact zeros,
+            // so the world fold reduces to the flat engine's per-rank sum.
+            let loss_ns = rec.now_ns();
+            let mean = comm.all_reduce(&[loss_acc])[0] * global_scale;
+            rec.push(ExecLane::Control, "loss-sync", iter, loss_ns, rec.now_ns());
+            losses.push(mean);
+        }
+
+        // Assemble the full parameter vector: every rank contributes its
+        // stage slice padded to the widest stage; stage s's d = 0 copy is
+        // taken (all dp copies are bit-identical after sync).
+        let max_len = stage_numels.iter().copied().max().unwrap();
+        let gathered = comm.all_gather(&pad_to(stage_params, max_len));
+        let mut final_params = Vec::with_capacity(model.num_params());
+        for (s, &numel) in stage_numels.iter().enumerate() {
+            let off = s * dp * max_len;
+            final_params.extend_from_slice(&gathered[off..off + numel]);
+        }
+
+        for c in fwd_pairs.iter_mut().chain(bwd_pairs.iter_mut()).flatten() {
+            c.quiesce();
+        }
+        stage.quiesce();
+        comm.quiesce();
+        TrainOutcome {
+            losses,
+            final_params,
+            skipped_steps: scaler.skipped_steps(),
+            final_loss_scale: scaler.scale(),
+            wire_ops: wire_log,
+            lane_stats: rec.finish(Vec::new(), 0),
+        }
+    });
+
+    let first = results[0].clone();
+    for (r, out) in results.iter().enumerate() {
+        assert_eq!(out.losses, first.losses, "rank {r} diverged");
+        assert_eq!(out.final_params, first.final_params, "rank {r} assembled different params");
+    }
+    results.swap_remove(0)
+}
+
+/// Run the configured training job as a `dp × pp` 1F1B pipeline on
+/// `setup.world · pp` thread-ranks: the model's layers split contiguously
+/// over `pp` stages (each stage a [`Mlp`] slice), activations and boundary
+/// gradients travel as real point-to-point broadcasts, and gradients
+/// synchronize per stage under `schedule`. `pp = 1` delegates to the flat
+/// engine bit-exactly; `pp ≥ 2` supports [`SyncSchedule::Ddp`] and
+/// [`SyncSchedule::PerMicroStepAllReduce`] on the exact fp32 path.
+pub fn train_pipeline(setup: &TrainSetup, pp: usize, schedule: SyncSchedule) -> TrainOutcome {
+    train_pipeline_on(TransportKind::Local, setup, pp, schedule)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn setup(world: usize, p: usize, s: usize) -> TrainSetup {
         TrainSetup {
@@ -1468,5 +2084,250 @@ mod tests {
         let ckpt = sink.take().unwrap();
         hp.iterations = 3; // shorter than the snapshot's 7 completed iterations
         let _ = resume_from(&hp, SyncSchedule::TwoHop, &ckpt, &grad);
+    }
+
+    /// A 4-layer model so the pipeline has real stage slices to split.
+    fn pipe_setup(dp: usize, s: usize) -> TrainSetup {
+        TrainSetup {
+            model: Mlp::new(&[6, 10, 8, 7, 2]),
+            world: dp,
+            partition_size: 1,
+            micro_batch: 4,
+            accum_steps: s,
+            iterations: 12,
+            lr: 0.02,
+            seed: 1234,
+            quantize: false,
+            loss_scale: LossScale::None,
+            clip_grad_norm: None,
+            comm_quant: None,
+            prefetch_depth: 0,
+        }
+    }
+
+    #[test]
+    fn pipeline_at_pp1_is_bit_identical_to_flat_training() {
+        for schedule in [SyncSchedule::Ddp, SyncSchedule::PerMicroStepAllReduce] {
+            let flat = train(&pipe_setup(2, 3), schedule);
+            let piped = train_pipeline(&pipe_setup(2, 3), 1, schedule);
+            assert_eq!(flat, piped, "{schedule:?}: pp = 1 must delegate bit-exactly");
+        }
+    }
+
+    #[test]
+    fn pipeline_matches_flat_training_bit_exactly() {
+        // The stage slices compose bit-exactly (see `nn::stage_forward`),
+        // per-stage gradient folds run in the same rank order as the flat
+        // world, and the loss all-reduce only adds exact zeros from the
+        // non-loss stages — so 1F1B over real communicators reproduces the
+        // non-pipelined run to the bit, not merely within tolerance.
+        for (pp, dp, s, schedule) in [
+            (2, 2, 3, SyncSchedule::Ddp),
+            (2, 2, 3, SyncSchedule::PerMicroStepAllReduce),
+            (4, 1, 2, SyncSchedule::Ddp),
+            (4, 2, 4, SyncSchedule::PerMicroStepAllReduce),
+        ] {
+            let flat = train(&pipe_setup(dp, s), schedule);
+            let piped = train_pipeline(&pipe_setup(dp, s), pp, schedule);
+            assert_eq!(
+                flat.losses, piped.losses,
+                "{schedule:?} pp={pp} dp={dp}: pipelined losses diverged"
+            );
+            assert_eq!(
+                flat.final_params, piped.final_params,
+                "{schedule:?} pp={pp} dp={dp}: pipelined parameters diverged"
+            );
+            assert_eq!(piped.skipped_steps, 0);
+        }
+    }
+
+    #[test]
+    fn pipeline_converges() {
+        let out = train_pipeline(&pipe_setup(2, 2), 2, SyncSchedule::Ddp);
+        let first = out.losses[0];
+        let last = *out.losses.last().unwrap();
+        assert!(last < first * 0.7, "pipeline loss {first} → {last} did not converge");
+    }
+
+    #[test]
+    fn pipeline_runs_on_the_socket_transport() {
+        // Same schedules, same arithmetic over real framed connections.
+        let local = train_pipeline(&pipe_setup(2, 2), 2, SyncSchedule::Ddp);
+        let socket =
+            train_pipeline_on(TransportKind::Socket, &pipe_setup(2, 2), 2, SyncSchedule::Ddp);
+        assert_eq!(local, socket, "socket transport must be bit-identical");
+    }
+
+    #[test]
+    fn pipeline_executes_the_programs_wire_ops_for_its_rank() {
+        // Rank 0 (stage 0, d 0) of the interpreter must execute exactly the
+        // wire ops `executes_wire` assigns it, in program order.
+        let cfg = pipe_setup(2, 3);
+        let hp = ScheduleHyper {
+            world: cfg.world,
+            partition_size: 1,
+            accum_steps: cfg.accum_steps,
+            iterations: cfg.iterations,
+            lr: cfg.lr,
+            quantize: false,
+            loss_scale: LossScale::None,
+            clip_grad_norm: None,
+            comm_quant: None,
+            prefetch_depth: 0,
+        };
+        let model = cfg.model.clone();
+        let per = model.num_layers() / 2;
+        let stage_numels =
+            [model.stage_num_params(0, per), model.stage_num_params(per, model.num_layers())];
+        let prog = pipeline_step_program(&hp, SyncSchedule::Ddp, 2, &stage_numels, 64);
+        let expected: Vec<usize> =
+            prog.wire_ops().into_iter().filter(|&id| prog.executes_wire(id, Rank(0))).collect();
+        let out = train_pipeline(&cfg, 2, SyncSchedule::Ddp);
+        assert!(!expected.is_empty());
+        assert_eq!(out.wire_ops, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "evenly split")]
+    fn pipeline_rejects_uneven_stage_split() {
+        let _ = train_pipeline(&pipe_setup(2, 2), 3, SyncSchedule::Ddp);
+    }
+
+    fn elastic_setup(world: usize, p: usize, iters: usize) -> TrainSetup {
+        TrainSetup {
+            model: Mlp::new(&[6, 10, 2]),
+            world,
+            partition_size: p,
+            micro_batch: 4,
+            accum_steps: 2,
+            iterations: iters,
+            lr: 0.02,
+            seed: 99,
+            quantize: false,
+            loss_scale: LossScale::None,
+            clip_grad_norm: None,
+            comm_quant: None,
+            prefetch_depth: 0,
+        }
+    }
+
+    #[test]
+    fn elastic_zero_iteration_round_trip_is_bit_exact() {
+        // [G t1 | →G′ | →G | G t2] ≡ [G t1+t2]: the state round-trips
+        // through the foreign geometry's sharding untouched, both growing
+        // (8 ranks) and shrinking (2 ranks).
+        let base = elastic_setup(4, 2, 10);
+        let flat = train(&base, SyncSchedule::TwoHop);
+        for (w, p) in [(8, 4), (2, 1)] {
+            let phases = [
+                ElasticPhase { world: 4, partition_size: 2, iterations: 6 },
+                ElasticPhase { world: w, partition_size: p, iterations: 0 },
+                ElasticPhase { world: 4, partition_size: 2, iterations: 4 },
+            ];
+            let el = train_elastic(&base, SyncSchedule::TwoHop, &phases);
+            assert_eq!(el.losses, flat.losses, "round trip through {w}/{p} drifted");
+            assert_eq!(el.final_params, flat.final_params);
+        }
+    }
+
+    #[test]
+    fn elastic_grow_matches_direct_resume() {
+        // The grow transition is exactly checkpoint → reshape → resume: the
+        // driver must reproduce a hand-rolled resume at the destination
+        // geometry bit for bit, losses included.
+        let base = elastic_setup(2, 1, 8);
+        let phases = [
+            ElasticPhase { world: 2, partition_size: 1, iterations: 5 },
+            ElasticPhase { world: 4, partition_size: 2, iterations: 3 },
+        ];
+        let el = train_elastic(&base, SyncSchedule::TwoHop, &phases);
+
+        let model = base.model.clone();
+        let dataset = TeacherDataset::new(
+            &[model.input_dim(), 8, model.output_dim()],
+            base.seed ^ 0x51ab_0c1d_22ee_9f73,
+        );
+        let grad = |params: &[f32], iter: usize, micro: usize, rank: usize| {
+            let (xs, ys) = dataset.micro_batch(iter, micro, rank, base.micro_batch);
+            model.loss_and_grad(params, &xs, &ys)
+        };
+        let mut hp = ScheduleHyper {
+            world: 2,
+            partition_size: 1,
+            accum_steps: base.accum_steps,
+            iterations: 5,
+            lr: base.lr,
+            quantize: false,
+            loss_scale: LossScale::None,
+            clip_grad_norm: None,
+            comm_quant: None,
+            prefetch_depth: 0,
+        };
+        let sink = CheckpointSink::new();
+        let init = base.model.init_params(base.seed);
+        let head = train_resumable(&hp, SyncSchedule::TwoHop, init, grad, 5, &sink);
+        let ckpt = sink.take().unwrap();
+        hp.world = 4;
+        hp.partition_size = 2;
+        hp.iterations = 8;
+        let tail = resume_from(&hp, SyncSchedule::TwoHop, &ckpt, grad);
+
+        assert_eq!(el.losses[..5], head.losses[..]);
+        assert_eq!(el.losses[5..], tail.losses[..]);
+        assert_eq!(el.final_params, tail.final_params);
+    }
+
+    #[test]
+    fn elastic_runs_on_the_socket_transport() {
+        let base = elastic_setup(2, 2, 6);
+        let phases = [
+            ElasticPhase { world: 2, partition_size: 2, iterations: 3 },
+            ElasticPhase { world: 4, partition_size: 2, iterations: 3 },
+        ];
+        let local = train_elastic_on(TransportKind::Local, &base, SyncSchedule::TwoHop, &phases);
+        let socket = train_elastic_on(TransportKind::Socket, &base, SyncSchedule::TwoHop, &phases);
+        assert_eq!(local, socket, "elastic run must be transport-invariant");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn elastic_rejects_an_empty_phase_list() {
+        let _ = train_elastic(&elastic_setup(2, 1, 2), SyncSchedule::Ddp, &[]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+
+        /// Reshape round-trips over random geometries — grow-then-shrink
+        /// and shrink-then-grow both land back bit-identical to the
+        /// uninterrupted run, on the local and the socket transport.
+        #[test]
+        fn elastic_reshape_round_trip_over_random_geometries(
+            base_p in 1usize..3,
+            base_groups in 1usize..3,
+            foreign_p in 1usize..3,
+            foreign_groups in 1usize..3,
+            t1 in 1usize..4,
+            t2 in 1usize..3,
+        ) {
+            let world = base_p * base_groups;
+            let foreign_world = foreign_p * foreign_groups;
+            let base = elastic_setup(world, base_p, t1 + t2);
+            let flat = train(&base, SyncSchedule::TwoHop);
+            let phases = [
+                ElasticPhase { world, partition_size: base_p, iterations: t1 },
+                ElasticPhase {
+                    world: foreign_world,
+                    partition_size: foreign_p,
+                    iterations: 0,
+                },
+                ElasticPhase { world, partition_size: base_p, iterations: t2 },
+            ];
+            for transport in [TransportKind::Local, TransportKind::Socket] {
+                let el = train_elastic_on(transport, &base, SyncSchedule::TwoHop, &phases);
+                prop_assert_eq!(&el.losses, &flat.losses);
+                prop_assert_eq!(&el.final_params, &flat.final_params);
+            }
+        }
     }
 }

@@ -39,6 +39,11 @@ pub enum FaultKind {
     },
     /// The node's NIC returns to its healthy bandwidth.
     NicRestore,
+    /// The node slot's capacity is available again after a preemption — the
+    /// spot market handed the instance type back, and an elastic job may
+    /// re-admit the slot (grow). Only meaningful after a `Crash` of the
+    /// same slot.
+    Return,
 }
 
 /// A deterministic, seeded schedule of faults. Builders may be chained; the
@@ -191,6 +196,53 @@ impl FaultPlan {
         self
     }
 
+    /// Seeded spot-market trace with capacity return: preemptions arrive as
+    /// a Poisson process with mean `mean_between` over the currently-held
+    /// slots; a preempted slot's capacity comes back (`FaultKind::Return`)
+    /// after an exponential outage of mean `mean_outage`, and can then be
+    /// preempted again. This is the elastic-training input: a `Crash` is a
+    /// shrink opportunity, a `Return` a grow opportunity.
+    pub fn with_spot_trace(
+        mut self,
+        nodes: usize,
+        mean_between: SimTime,
+        mean_outage: SimTime,
+        horizon: SimTime,
+    ) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        assert!(mean_between > SimTime::ZERO, "mean inter-arrival must be positive");
+        assert!(mean_outage > SimTime::ZERO, "mean outage must be positive");
+        // Per slot: when its capacity is next available (None = held now).
+        let mut back_at: Vec<Option<SimTime>> = vec![None; nodes];
+        let mut at = SimTime::ZERO;
+        loop {
+            let gap = -unit_open(&mut self.rng_state).ln() * mean_between.as_nanos() as f64;
+            at += SimTime::from_nanos(gap.ceil() as u64);
+            if at >= horizon {
+                break;
+            }
+            // Slots whose outage ended before this arrival have returned.
+            let held: Vec<usize> = (0..nodes)
+                .filter(|&s| match back_at[s] {
+                    None => true,
+                    Some(b) => b <= at,
+                })
+                .collect();
+            if held.is_empty() {
+                continue;
+            }
+            let victim = held[splitmix64(&mut self.rng_state) as usize % held.len()];
+            let outage = -unit_open(&mut self.rng_state).ln() * mean_outage.as_nanos() as f64;
+            let back = at + SimTime::from_nanos(outage.ceil().max(1.0) as u64);
+            self.push(FaultEvent { at, node: victim, kind: FaultKind::Crash });
+            if back < horizon {
+                self.push(FaultEvent { at: back, node: victim, kind: FaultKind::Return });
+            }
+            back_at[victim] = Some(back);
+        }
+        self
+    }
+
     /// Merge every event of `other` into this plan (time order preserved).
     /// Lets callers compose independently seeded concerns — e.g. a jitter
     /// profile and a spot-preemption trace built from different seeds.
@@ -215,6 +267,16 @@ impl FaultPlan {
             .collect()
     }
 
+    /// Capacity-return events only, as `(time, node)` pairs in schedule
+    /// order.
+    pub fn returns(&self) -> Vec<(SimTime, usize)> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::Return))
+            .map(|e| (e.at, e.node))
+            .collect()
+    }
+
     /// A stable 64-bit digest of the full timeline, for asserting that two
     /// runs produced identical fault schedules.
     pub fn fingerprint(&self) -> u64 {
@@ -233,6 +295,7 @@ impl FaultPlan {
                     mix(factor.to_bits());
                 }
                 FaultKind::NicRestore => mix(3),
+                FaultKind::Return => mix(4),
             }
         }
         h
@@ -289,7 +352,7 @@ mod tests {
                     assert!((0.4..=1.0).contains(&factor), "factor {factor}");
                 }
                 FaultKind::NicRestore => assert_eq!(e.at, SimTime::from_millis(50)),
-                FaultKind::Crash => panic!("jitter must not crash nodes"),
+                FaultKind::Crash | FaultKind::Return => panic!("jitter must not crash nodes"),
             }
         }
         assert_eq!(degrades, 5);
@@ -310,6 +373,59 @@ mod tests {
         assert_eq!(nodes.len(), crashes.len(), "no node crashes twice");
         // With mean 1 ms over 10 s, all four nodes die almost surely.
         assert_eq!(crashes.len(), 4);
+    }
+
+    #[test]
+    fn spot_trace_pairs_every_crash_with_a_later_return() {
+        let horizon = SimTime::from_secs(100);
+        let plan = FaultPlan::new(9).with_spot_trace(
+            4,
+            SimTime::from_secs(5),
+            SimTime::from_secs(3),
+            horizon,
+        );
+        let crashes = plan.crashes();
+        let returns = plan.returns();
+        assert!(!crashes.is_empty(), "100 s at 5 s MTBF must preempt");
+        // Every return follows a crash of the same slot; at most the last
+        // outage per slot may extend past the horizon unreturned.
+        assert!(returns.len() <= crashes.len());
+        assert!(crashes.len() - returns.len() <= 4);
+        for &(back, node) in &returns {
+            assert!(
+                crashes.iter().any(|&(at, n)| n == node && at < back),
+                "return of node {node} at {back:?} has no preceding crash"
+            );
+            assert!(back < horizon);
+        }
+        // A slot never crashes while its capacity is away.
+        let mut away: Vec<Option<SimTime>> = vec![None; 4];
+        for e in plan.events() {
+            match e.kind {
+                FaultKind::Crash => {
+                    if let Some(b) = away[e.node] {
+                        assert!(e.at >= b, "node {} preempted while away", e.node);
+                    }
+                    away[e.node] = Some(SimTime::from_nanos(u64::MAX));
+                }
+                FaultKind::Return => away[e.node] = Some(e.at),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn spot_trace_is_seed_deterministic() {
+        let build = |seed| {
+            FaultPlan::new(seed).with_spot_trace(
+                8,
+                SimTime::from_secs(10),
+                SimTime::from_secs(4),
+                SimTime::from_secs(500),
+            )
+        };
+        assert_eq!(build(3), build(3));
+        assert_ne!(build(3).fingerprint(), build(4).fingerprint());
     }
 
     #[test]

@@ -1035,6 +1035,7 @@ mod tests {
                     FaultKind::Crash => sim.kill_stream_at(streams[ev.node + 1], ev.at),
                     FaultKind::NicDegrade { factor } => sim.set_link_rate_at(l, ev.at, factor),
                     FaultKind::NicRestore => sim.set_link_rate_at(l, ev.at, 1.0),
+                    FaultKind::Return => {}
                 }
             }
             sim.run().unwrap()

@@ -48,6 +48,14 @@ if target/release/mics-sim perf-diff results "${PERTURBED}" >/dev/null 2>&1; the
     exit 1
 fi
 rm -rf "${PERTURBED}"
+# ...and the addition case: a snapshot that only gains files (a new bench
+# landing) is informational, never a regression.
+AUGMENTED="$(mktemp -d /tmp/mics-perfdiff.XXXXXX)"
+cp results/*.json "${AUGMENTED}/"
+echo '{"v":1}' > "${AUGMENTED}/zz_addition_selfcheck.json"
+target/release/mics-sim perf-diff results "${AUGMENTED}" \
+    | grep -q 'new files (not gated): zz_addition_selfcheck.json'
+rm -rf "${AUGMENTED}"
 
 # A traced fidelity run must still produce a loadable merged document.
 echo "==> fidelity trace smoke"
@@ -70,6 +78,12 @@ cargo run --release -q -p mics-bench --bin ext_compress >/dev/null
 # the wall-clock gate appropriate to the host's core count.
 echo "==> ext_overlap (smoke)"
 cargo run --release -q -p mics-bench --bin ext_overlap >/dev/null
+
+# The elastic bench asserts the spot-trace goodput claims (elastic ≥ static
+# on the identical seeded timeline, monotone degradation with churn) and
+# the real-backend bit-exact shrink/grow continuity, on both transports.
+echo "==> ext_elastic (smoke)"
+cargo run --release -q -p mics-bench --bin ext_elastic >/dev/null
 
 # The multi-process recovery bench spawns real rank processes over the
 # socket transport and SIGKILLs one mid-all-gather; survivors must detect

@@ -76,7 +76,7 @@ fn executor_defers_exactly_the_statically_overlappable_ops() {
         let prog = step_program(&hyper(world, p, 2), schedule, model.num_params());
         let structural: BTreeSet<usize> = overlappable_wire_ops(&prog)
             .into_iter()
-            .filter(|&id| prog.wire_of(id).unwrap().group.contains(Rank(0), world, prog.p))
+            .filter(|&id| prog.executes_wire(id, Rank(0)))
             .collect();
         let out = train(&setup(world, p, 2), schedule);
         let runtime: BTreeSet<usize> = out.lane_stats.deferred_wire_ops.iter().copied().collect();

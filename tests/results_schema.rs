@@ -148,6 +148,65 @@ fn ext_multiproc_artifact_matches_its_claims() {
         assert!(iters >= 1.0, "a survivor never collectivized before the kill");
         assert!(row[3].as_str().unwrap().contains(&format!("rank {victim}")), "wrong blame");
     }
+
+    // And the elastic loop closed: a replacement process was admitted back
+    // into the victim's slot and the world grew to its original size.
+    assert_eq!(doc.get("grow"), Some(&Json::Bool(true)));
+    assert_eq!(doc.get("grown_world").and_then(Json::as_num), Some(world));
+    assert_eq!(doc.get("replacement_admitted"), Some(&Json::Bool(true)));
+}
+
+/// The elastic extension's artifact backs its claims: elastic never trails
+/// static on the same seeded capacity trace and strictly beats it under
+/// churn, capacity returns are exercised (grows), and the real-backend
+/// continuity checks — shrink/grow bounce and mid-run grow — were exact.
+#[test]
+fn ext_elastic_artifact_matches_its_claims() {
+    let doc = parse(&results_dir().join("ext_elastic.json"));
+
+    let sweep = doc.get("sweep").expect("sim sweep present");
+    let headers = sweep.get("headers").and_then(Json::as_arr).unwrap();
+    let col = |name: &str| {
+        headers
+            .iter()
+            .position(|h| h.as_str() == Some(name))
+            .unwrap_or_else(|| panic!("column '{name}' present"))
+    };
+    let (c_pre, c_grow) = (col("preemptions"), col("grows"));
+    let (c_el, c_st) = (col("elastic goodput"), col("static goodput"));
+    let pct =
+        |cell: &Json| -> f64 { cell.as_str().unwrap().trim_end_matches('%').parse().unwrap() };
+    let rows = sweep.get("rows").and_then(Json::as_arr).unwrap();
+    assert!(rows.len() >= 3, "sweep must cover several preemption rates");
+    let mut preempted = 0.0;
+    let mut strictly_better = 0;
+    for row in rows.iter().filter_map(Json::as_arr) {
+        let el = pct(&row[c_el]);
+        let st = pct(&row[c_st]);
+        assert!(el >= st, "elastic {el}% trails static {st}%");
+        if el > st {
+            strictly_better += 1;
+        }
+        let pre: f64 = row[c_pre].as_str().unwrap().parse().unwrap();
+        let grows: f64 = row[c_grow].as_str().unwrap().parse().unwrap();
+        assert!(grows <= pre, "cannot grow more often than capacity left");
+        preempted += pre;
+        if pre > 0.0 {
+            assert!(grows > 0.0, "capacity-return traces must exercise grows");
+        }
+    }
+    assert!(preempted > 0.0, "the sweep never exercised a preemption");
+    assert!(strictly_better > 0, "elastic must strictly beat static somewhere");
+
+    // Real-backend continuity: bounce round-trip and mid-run grow, exact.
+    let real = doc.get("real_backend").expect("real-backend record present");
+    assert_eq!(real.get("bounce_bit_exact"), Some(&Json::Bool(true)));
+    assert_eq!(real.get("grow_prefix_bit_exact"), Some(&Json::Bool(true)));
+    let checks = real.get("bounce_checks").and_then(Json::as_num).unwrap();
+    assert!(checks >= 4.0, "both bounce geometries on both transports");
+    let first = real.get("first_loss").and_then(Json::as_num).unwrap();
+    let last = real.get("final_loss").and_then(Json::as_num).unwrap();
+    assert!(last < first, "the grown world must have kept training");
 }
 
 /// The planner-service extension's artifact backs its claims: a four-digit

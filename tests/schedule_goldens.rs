@@ -13,12 +13,15 @@
 //!    sequence the simulator backend costs (compared per rank, in order).
 
 use mics::cluster::{ClusterSpec, InstanceType, Rank};
-use mics::core::dp_program;
 use mics::core::ops::SimCluster;
-use mics::core::schedule::execute_on_sim;
+use mics::core::schedule::{execute_on_sim, reshape, Geometry};
+use mics::core::{dp_pipeline_program, dp_program};
 use mics::core::{MicsConfig, Strategy, TrainingJob, ZeroStage};
 use mics::minidl::scaler::LossScale;
-use mics::minidl::train::{step_program, train, ScheduleHyper, SyncSchedule, TrainSetup};
+use mics::minidl::train::{
+    pipeline_step_program, step_program, step_spec_with_flops, train, train_pipeline,
+    ScheduleHyper, SyncSchedule, TrainSetup,
+};
 use mics::minidl::Mlp;
 use mics::model::{LayerSpec, WorkloadSpec};
 use std::path::PathBuf;
@@ -88,6 +91,48 @@ fn golden_ddp_one_node() {
     check_golden("ddp_1x8", &prog.dump());
 }
 
+#[test]
+fn golden_mics_p8_pp2() {
+    // The same two-node MiCS job as `golden_mics_p8_2x8`, but as one stage
+    // of a 2-stage 1F1B pipeline: geometry dp=16 × pp=2, with explicit
+    // StageSend/StageRecv boundary hops between the stage replicas.
+    let prog =
+        dp_pipeline_program(&job(2, Strategy::Mics(MicsConfig::paper_defaults(8))), 2, 1 << 20)
+            .unwrap();
+    check_golden("mics_p8_pp2_2x16", &prog.dump());
+}
+
+#[test]
+fn golden_reshape_twohop_shrink() {
+    // Elastic shrink at the IR level: the MiCS two-hop minidl program
+    // emitted at world=8 p=4, re-emitted by `reshape` for world=4 p=2.
+    // The dump must equal a fresh emission at the destination geometry —
+    // the schedule is a function of the geometry, nothing is baked in.
+    let hp = ScheduleHyper {
+        world: 8,
+        partition_size: 4,
+        accum_steps: 3,
+        iterations: 2,
+        lr: 0.02,
+        quantize: false,
+        loss_scale: LossScale::None,
+        clip_grad_norm: None,
+        comm_quant: None,
+        prefetch_depth: 0,
+    };
+    let spec = step_spec_with_flops(&hp, SyncSchedule::TwoHop, 2_000, 0.0, 0.0);
+    let old = Geometry::flat(8, 8, 4);
+    let new = Geometry::flat(4, 4, 2);
+    let prog = reshape(&spec, &old, &new);
+    check_golden("reshape_twohop_8p4_to_4p2", &prog.dump());
+
+    let mut fresh_hp = hp;
+    fresh_hp.world = 4;
+    fresh_hp.partition_size = 2;
+    let fresh = step_program(&fresh_hp, SyncSchedule::TwoHop, 2_000);
+    assert_eq!(prog.dump(), fresh.dump(), "reshape must equal a fresh emission");
+}
+
 /// The minidl interpreter and the simulator backend walk the same program;
 /// per rank, the interpreter's executed wire ops must be exactly the
 /// sim-costed wire ops whose group contains that rank, in program order.
@@ -137,16 +182,69 @@ fn minidl_executes_the_op_sequence_the_sim_costs() {
         };
         let out = train(&setup, schedule);
 
-        let sim_rank0: Vec<usize> = exec
-            .wire_ops
-            .iter()
-            .copied()
-            .filter(|&id| prog.wire_of(id).unwrap().group.contains(Rank(0), world, prog.p))
-            .collect();
+        let sim_rank0: Vec<usize> =
+            exec.wire_ops.iter().copied().filter(|&id| prog.executes_wire(id, Rank(0))).collect();
         assert!(!sim_rank0.is_empty(), "{schedule:?}: no wire ops costed");
         assert_eq!(
             sim_rank0, out.wire_ops,
             "{schedule:?}: interpreter executed a different op sequence than the sim costed"
         );
     }
+}
+
+/// The same contract for the DP×PP 1F1B program: the simulator costs the
+/// pipeline's StageSend/StageRecv hops and dp collectives through the same
+/// `WireCollective` dispatch, and the pipeline engine must execute exactly
+/// the rank-0 slice of that sequence.
+#[test]
+fn pipeline_minidl_executes_the_op_sequence_the_sim_costs() {
+    let (dp, pp, accum) = (2, 2, 3);
+    let model = Mlp::new(&[6, 10, 8, 7, 2]);
+    let hp = ScheduleHyper {
+        world: dp,
+        partition_size: 1,
+        accum_steps: accum,
+        iterations: 2,
+        lr: 0.02,
+        quantize: false,
+        loss_scale: LossScale::None,
+        clip_grad_norm: None,
+        comm_quant: None,
+        prefetch_depth: 0,
+    };
+    let per = model.num_layers() / pp;
+    let stage_numels: Vec<usize> =
+        (0..pp).map(|s| model.stage_num_params(s * per, (s + 1) * per)).collect();
+    let act_bytes = (1..pp).map(|s| model.boundary_dim(s * per)).max().unwrap() as u64 * 4 * 4;
+    let prog = pipeline_step_program(&hp, SyncSchedule::Ddp, pp, &stage_numels, act_bytes);
+
+    let mut inst = InstanceType::p3dn_24xlarge();
+    inst.gpus_per_node = dp * pp;
+    let mut sc = SimCluster::new(ClusterSpec::new(inst, 1));
+    let exec = execute_on_sim(&prog, &mut sc, 1e12);
+
+    let setup = TrainSetup {
+        model,
+        world: dp,
+        partition_size: 1,
+        micro_batch: 4,
+        accum_steps: accum,
+        iterations: 2,
+        lr: 0.02,
+        seed: 7,
+        quantize: false,
+        loss_scale: LossScale::None,
+        clip_grad_norm: None,
+        comm_quant: None,
+        prefetch_depth: 0,
+    };
+    let out = train_pipeline(&setup, pp, SyncSchedule::Ddp);
+
+    let sim_rank0: Vec<usize> =
+        exec.wire_ops.iter().copied().filter(|&id| prog.executes_wire(id, Rank(0))).collect();
+    assert!(!sim_rank0.is_empty(), "no pipeline wire ops costed");
+    assert_eq!(
+        sim_rank0, out.wire_ops,
+        "pipeline interpreter executed a different op sequence than the sim costed"
+    );
 }
