@@ -1,10 +1,14 @@
-//! Microbenchmarks of the mini-DL matrix kernels: the cache-blocked,
-//! register-unrolled implementations in `mics_minidl::kernels` against the
-//! naive `kernels::reference` versions they replaced.
+//! Microbenchmarks of the mini-DL matrix kernels across the three
+//! generations that coexist in `mics_minidl::kernels`: the naive scalar
+//! `reference`, the cache-blocked autovectorized v1 (`blocked`, PR 5), and
+//! the v2 SIMD dispatch (AVX2+FMA lanes, single-threaded and with the
+//! worker pool at the host's parallelism).
 //!
 //! Besides the criterion registrations, `main` takes its own best-of-N
-//! measurements (the vendored criterion shim prints but cannot persist) and
-//! writes the blocked-vs-reference table to `results/BENCH_kernels.json`.
+//! measurements (the vendored criterion shim prints but cannot persist),
+//! writes the four-way table to `results/BENCH_kernels.json`, and
+//! *asserts* the Kernels-v2 acceptance claim inline: SIMD ≥ 2× over the
+//! blocked kernels on matmul and matmul_bt at both bench shapes.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use mics_bench::Table;
@@ -37,8 +41,11 @@ fn bench(c: &mut Criterion) {
         let a = buf(m * k, 1);
         let b = buf(k * n, 2);
         let shape = format!("{m}x{k}x{n}");
-        g.bench_with_input(BenchmarkId::new("matmul/blocked", &shape), &(), |be, ()| {
+        g.bench_with_input(BenchmarkId::new("matmul/simd", &shape), &(), |be, ()| {
             be.iter(|| kernels::matmul(black_box(&a), black_box(&b), m, k, n))
+        });
+        g.bench_with_input(BenchmarkId::new("matmul/blocked", &shape), &(), |be, ()| {
+            be.iter(|| kernels::blocked::matmul(black_box(&a), black_box(&b), m, k, n))
         });
         g.bench_with_input(BenchmarkId::new("matmul/reference", &shape), &(), |be, ()| {
             be.iter(|| kernels::reference::matmul(black_box(&a), black_box(&b), m, k, n))
@@ -63,6 +70,31 @@ fn best_ns(iters: u32, samples: u32, mut f: impl FnMut()) -> u64 {
     best.max(1)
 }
 
+/// The four timing variants of one kernel at one shape. The `dispatch`
+/// closure runs the public v2 entry point, measured twice: pinned to one
+/// thread (`simd_ns`) and at the host's parallelism (`simd_mt_ns`).
+struct Variants {
+    reference_ns: u64,
+    blocked_ns: u64,
+    simd_ns: u64,
+    simd_mt_ns: u64,
+}
+
+fn measure(
+    iters: u32,
+    mut reference: impl FnMut(),
+    mut blocked: impl FnMut(),
+    mut dispatch: impl FnMut(),
+) -> Variants {
+    let reference_ns = best_ns(iters, 7, &mut reference);
+    let blocked_ns = best_ns(iters, 7, &mut blocked);
+    kernels::set_kernel_threads(Some(1));
+    let simd_ns = best_ns(iters, 7, &mut dispatch);
+    kernels::set_kernel_threads(None);
+    let simd_mt_ns = best_ns(iters, 7, &mut dispatch);
+    Variants { reference_ns, blocked_ns, simd_ns, simd_mt_ns }
+}
+
 fn main() {
     // `cargo bench` runs with cwd = crates/bench; hop to the workspace root
     // so the artifact lands in the repo-wide `results/` directory that
@@ -72,17 +104,43 @@ fn main() {
 
     benches();
 
-    let mut table = Table::new(
-        "kernel microbenchmarks: blocked vs scalar reference (best-of-7, ns/iter)",
-        &["kernel", "shape", "blocked_ns", "reference_ns", "speedup"],
+    kernels::init();
+    assert!(
+        kernels::simd_active() || !kernels::simd_available(),
+        "autodetection must engage the SIMD path on capable hosts"
     );
-    let mut fill = |kernel: &str, shape: String, blocked: u64, reference: u64| {
+
+    let mut table = Table::new(
+        "kernel microbenchmarks: scalar reference vs blocked (v1) vs SIMD dispatch \
+         (v2, 1 thread and host parallelism), best-of-7 ns/iter",
+        &[
+            "kernel",
+            "shape",
+            "reference_ns",
+            "blocked_ns",
+            "simd_ns",
+            "simd_mt_ns",
+            "speedup_simd_vs_blocked",
+            "speedup_simd_vs_reference",
+        ],
+    );
+    // The acceptance gate: (kernel, shape, simd-vs-blocked) triples checked
+    // after the table fills.
+    let mut gated: Vec<(String, String, f64)> = Vec::new();
+    let mut fill = |table: &mut Table, kernel: &str, shape: String, v: Variants| {
+        let best_simd = v.simd_ns.min(v.simd_mt_ns);
+        let vs_blocked = v.blocked_ns as f64 / best_simd as f64;
+        let vs_reference = v.reference_ns as f64 / best_simd as f64;
+        gated.push((kernel.to_string(), shape.clone(), vs_blocked));
         table.row(vec![
             kernel.to_string(),
             shape,
-            blocked.to_string(),
-            reference.to_string(),
-            format!("{:.2}", reference as f64 / blocked as f64),
+            v.reference_ns.to_string(),
+            v.blocked_ns.to_string(),
+            v.simd_ns.to_string(),
+            v.simd_mt_ns.to_string(),
+            format!("{vs_blocked:.2}"),
+            format!("{vs_reference:.2}"),
         ]);
     };
 
@@ -92,67 +150,147 @@ fn main() {
         let d = buf(m * n, 3);
         let shape = format!("{m}x{k}x{n}");
 
-        let blocked = best_ns(20, 7, || {
-            black_box(kernels::matmul(black_box(&a), black_box(&b), m, k, n));
-        });
-        let reference = best_ns(20, 7, || {
-            black_box(kernels::reference::matmul(black_box(&a), black_box(&b), m, k, n));
-        });
-        fill("matmul", shape.clone(), blocked, reference);
+        let v = measure(
+            20,
+            || {
+                black_box(kernels::reference::matmul(black_box(&a), black_box(&b), m, k, n));
+            },
+            || {
+                black_box(kernels::blocked::matmul(black_box(&a), black_box(&b), m, k, n));
+            },
+            || {
+                black_box(kernels::matmul(black_box(&a), black_box(&b), m, k, n));
+            },
+        );
+        fill(&mut table, "matmul", shape.clone(), v);
 
-        let blocked = best_ns(20, 7, || {
-            black_box(kernels::matmul_bt(black_box(&d), black_box(&b), m, n, k));
-        });
-        let reference = best_ns(20, 7, || {
-            black_box(kernels::reference::matmul_bt(black_box(&d), black_box(&b), m, n, k));
-        });
-        fill("matmul_bt", shape.clone(), blocked, reference);
+        let v = measure(
+            20,
+            || {
+                black_box(kernels::reference::matmul_bt(black_box(&d), black_box(&b), m, n, k));
+            },
+            || {
+                black_box(kernels::blocked::matmul_bt(black_box(&d), black_box(&b), m, n, k));
+            },
+            || {
+                black_box(kernels::matmul_bt(black_box(&d), black_box(&b), m, n, k));
+            },
+        );
+        fill(&mut table, "matmul_bt", shape.clone(), v);
 
-        let mut gw = vec![0.0f32; k * n];
-        let blocked = best_ns(20, 7, || {
-            kernels::acc_matmul_at(black_box(&a), black_box(&d), m, k, n, black_box(&mut gw));
-        });
-        let mut gw = vec![0.0f32; k * n];
-        let reference = best_ns(20, 7, || {
-            kernels::reference::acc_matmul_at(
-                black_box(&a),
-                black_box(&d),
-                m,
-                k,
-                n,
-                black_box(&mut gw),
-            );
-        });
-        fill("acc_matmul_at", shape, blocked, reference);
+        let mut g1 = vec![0.0f32; k * n];
+        let mut g2 = vec![0.0f32; k * n];
+        let mut g3 = vec![0.0f32; k * n];
+        let v = measure(
+            20,
+            || {
+                kernels::reference::acc_matmul_at(
+                    black_box(&a),
+                    black_box(&d),
+                    m,
+                    k,
+                    n,
+                    black_box(&mut g1),
+                );
+            },
+            || {
+                kernels::blocked::acc_matmul_at(
+                    black_box(&a),
+                    black_box(&d),
+                    m,
+                    k,
+                    n,
+                    black_box(&mut g2),
+                );
+            },
+            || {
+                kernels::acc_matmul_at(black_box(&a), black_box(&d), m, k, n, black_box(&mut g3));
+            },
+        );
+        fill(&mut table, "acc_matmul_at", shape, v);
     }
 
-    // MLP-shaped matvec kernels.
+    // MLP-shaped matvec/outer kernels.
     let (out_dim, in_dim) = (256, 256);
     let w = buf(out_dim * in_dim, 4);
     let bias = buf(out_dim, 5);
     let x = buf(in_dim, 6);
     let dv = buf(out_dim, 7);
     let shape = format!("{out_dim}x{in_dim}");
-    let blocked = best_ns(50, 7, || {
-        black_box(kernels::matvec_bias(black_box(&w), &bias, black_box(&x), out_dim, in_dim));
-    });
-    let reference = best_ns(50, 7, || {
-        black_box(kernels::reference::matvec_bias(
-            black_box(&w),
-            &bias,
-            black_box(&x),
-            out_dim,
-            in_dim,
-        ));
-    });
-    fill("matvec_bias", shape.clone(), blocked, reference);
-    let blocked = best_ns(50, 7, || {
-        black_box(kernels::matvec_t(black_box(&w), black_box(&dv), out_dim, in_dim));
-    });
-    let reference = best_ns(50, 7, || {
-        black_box(kernels::reference::matvec_t(black_box(&w), black_box(&dv), out_dim, in_dim));
-    });
-    fill("matvec_t", shape, blocked, reference);
+
+    let v = measure(
+        50,
+        || {
+            black_box(kernels::reference::matvec_bias(
+                black_box(&w),
+                &bias,
+                black_box(&x),
+                out_dim,
+                in_dim,
+            ));
+        },
+        || {
+            black_box(kernels::blocked::matvec_bias(
+                black_box(&w),
+                &bias,
+                black_box(&x),
+                out_dim,
+                in_dim,
+            ));
+        },
+        || {
+            black_box(kernels::matvec_bias(black_box(&w), &bias, black_box(&x), out_dim, in_dim));
+        },
+    );
+    fill(&mut table, "matvec_bias", shape.clone(), v);
+
+    let v = measure(
+        50,
+        || {
+            black_box(kernels::reference::matvec_t(black_box(&w), black_box(&dv), out_dim, in_dim));
+        },
+        || {
+            black_box(kernels::blocked::matvec_t(black_box(&w), black_box(&dv), out_dim, in_dim));
+        },
+        || {
+            black_box(kernels::matvec_t(black_box(&w), black_box(&dv), out_dim, in_dim));
+        },
+    );
+    fill(&mut table, "matvec_t", shape.clone(), v);
+
+    let mut g1 = buf(out_dim * in_dim, 8);
+    let mut g2 = g1.clone();
+    let mut g3 = g1.clone();
+    let v = measure(
+        50,
+        || {
+            kernels::reference::acc_outer(black_box(&dv), black_box(&x), black_box(&mut g1));
+        },
+        || {
+            kernels::blocked::acc_outer(black_box(&dv), black_box(&x), black_box(&mut g2));
+        },
+        || {
+            kernels::acc_outer(black_box(&dv), black_box(&x), black_box(&mut g3));
+        },
+    );
+    fill(&mut table, "acc_outer", shape, v);
 
     table.finish("BENCH_kernels");
+
+    // Kernels-v2 acceptance claim (also re-checked from the committed JSON
+    // by tests/results_schema.rs): on SIMD hosts the dispatch beats the v1
+    // blocked kernels ≥ 2× on both GEMM-shaped matmul kernels.
+    if kernels::simd_available() {
+        for (kernel, shape, vs_blocked) in &gated {
+            if kernel == "matmul" || kernel == "matmul_bt" {
+                assert!(
+                    *vs_blocked >= 2.0,
+                    "{kernel}@{shape}: SIMD vs blocked {vs_blocked:.2}x < 2x"
+                );
+            }
+        }
+    }
+    let stats = kernels::kernel_stats();
+    let flops = stats.iter().find(|(n, _)| n == "kernel.flops").map(|(_, v)| *v).unwrap_or(0);
+    println!("kernels bench: total FLOPs accounted {flops}");
 }

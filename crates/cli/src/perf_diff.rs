@@ -9,6 +9,17 @@
 //! exactly. Any violation is a regression: the caller exits nonzero, so
 //! the gate fails loudly instead of letting a perf or fidelity drift slip
 //! into a refreshed snapshot.
+//!
+//! The comparison is **direction-aware**: a metric's name decides which
+//! way "worse" points. Names ending `_ns`/`_us`/`_ms` (latencies) only
+//! regress when they grow; names containing `speedup`, `per_sec`,
+//! `flops` or `goodput` (throughputs) only regress when they shrink;
+//! everything else is symmetric, as fidelity-style metrics must be.
+//! Over-threshold changes in the *good* direction are reported
+//! informationally, never fatally — a faster kernel bench must not fail
+//! the gate. Table cells resolve their metric name through the sibling
+//! `headers` array, so `"blocked_ns"` columns inside `rows` get
+//! lower-is-better treatment too.
 
 use crate::CliError;
 use mics_core::Json;
@@ -38,6 +49,37 @@ struct DiffReport {
     files: usize,
     metrics: usize,
     regressions: Vec<String>,
+    /// Over-threshold moves in a metric's *good* direction — reported,
+    /// never fatal.
+    improvements: Vec<String>,
+}
+
+/// Which way "worse" points for a metric, inferred from its name.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Direction {
+    /// Latency-style: regression = grew.
+    LowerIsBetter,
+    /// Throughput-style: regression = shrank.
+    HigherIsBetter,
+    /// Fidelity-style: any over-threshold move is a regression.
+    Symmetric,
+}
+
+/// Infer a metric's direction from its name (a JSON key or a table
+/// column header).
+fn direction(name: &str) -> Direction {
+    let n = name.to_ascii_lowercase();
+    if n.ends_with("_ns") || n.ends_with("_us") || n.ends_with("_ms") {
+        Direction::LowerIsBetter
+    } else if n.contains("speedup")
+        || n.contains("per_sec")
+        || n.contains("flops")
+        || n.contains("goodput")
+    {
+        Direction::HigherIsBetter
+    } else {
+        Direction::Symmetric
+    }
 }
 
 /// Compare two snapshot directories. `Ok(report)` when every metric is
@@ -55,7 +97,7 @@ pub fn perf_diff(args: &PerfDiffArgs) -> Result<String, CliError> {
         let old = parse_file(&args.old_dir, name)?;
         let new = parse_file(&args.new_dir, name)?;
         report.files += 1;
-        diff_value(name, &old, &new, args.threshold_pct, &mut report);
+        diff_value(name, "", &old, &new, args.threshold_pct, &mut report);
     }
     let added: Vec<&String> = new_names.difference(&old_names).collect();
     let mut out = format!(
@@ -67,6 +109,12 @@ pub fn perf_diff(args: &PerfDiffArgs) -> Result<String, CliError> {
             "\nnew files (not gated): {}",
             added.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", ")
         ));
+    }
+    if !report.improvements.is_empty() {
+        out.push_str(&format!("\n{} improvement(s) (not gated):", report.improvements.len()));
+        for imp in &report.improvements {
+            out.push_str(&format!("\n  {imp}"));
+        }
     }
     if report.regressions.is_empty() {
         out.push_str("\nok: no regressions");
@@ -123,28 +171,69 @@ fn numeric(value: &Json) -> Option<f64> {
     }
 }
 
-/// Structural walk: numeric leaves compare under the threshold, all other
-/// leaves and shapes must match exactly.
-fn diff_value(path: &str, old: &Json, new: &Json, threshold_pct: f64, report: &mut DiffReport) {
+/// Structural walk: numeric leaves compare under the threshold with the
+/// direction implied by `metric` (the nearest enclosing key or column
+/// header), all other leaves and shapes must match exactly.
+fn diff_value(
+    path: &str,
+    metric: &str,
+    old: &Json,
+    new: &Json,
+    threshold_pct: f64,
+    report: &mut DiffReport,
+) {
     if let (Some(a), Some(b)) = (numeric(old), numeric(new)) {
         report.metrics += 1;
         let denom = a.abs().max(b.abs());
         if denom > 0.0 {
             let change_pct = (b - a).abs() / denom * 100.0;
             if change_pct > threshold_pct {
-                report.regressions.push(format!("{path}: {a} -> {b} ({change_pct:.1}% change)"));
+                let improved = match direction(metric) {
+                    Direction::LowerIsBetter => b < a,
+                    Direction::HigherIsBetter => b > a,
+                    Direction::Symmetric => false,
+                };
+                if improved {
+                    report
+                        .improvements
+                        .push(format!("{path}: {a} -> {b} ({change_pct:.1}% better)"));
+                } else {
+                    report
+                        .regressions
+                        .push(format!("{path}: {a} -> {b} ({change_pct:.1}% change)"));
+                }
             }
         }
         return;
     }
     match (old, new) {
         (Json::Obj(a), Json::Obj(b)) => {
+            // A `headers` array names the columns of a sibling `rows`
+            // array-of-arrays (the mics-bench table shape); resolve each
+            // cell's metric through it so latency/throughput columns get
+            // direction-aware treatment.
+            let headers: Option<Vec<&str>> =
+                a.iter().find(|(k, _)| k == "headers").and_then(|(_, v)| match v {
+                    Json::Arr(hs) => hs
+                        .iter()
+                        .map(|h| match h {
+                            Json::Str(s) => Some(s.as_str()),
+                            _ => None,
+                        })
+                        .collect(),
+                    _ => None,
+                });
             for (k, va) in a {
-                match b.iter().find(|(kb, _)| kb == k) {
-                    Some((_, vb)) => {
-                        diff_value(&format!("{path}.{k}"), va, vb, threshold_pct, report)
+                let Some((_, vb)) = b.iter().find(|(kb, _)| kb == k) else {
+                    report.regressions.push(format!("{path}.{k}: key missing"));
+                    continue;
+                };
+                let sub = format!("{path}.{k}");
+                match (k.as_str(), &headers, va, vb) {
+                    ("rows", Some(cols), Json::Arr(ra), Json::Arr(rb)) => {
+                        diff_rows(&sub, cols, ra, rb, threshold_pct, report)
                     }
-                    None => report.regressions.push(format!("{path}.{k}: key missing")),
+                    _ => diff_value(&sub, k, va, vb, threshold_pct, report),
                 }
             }
         }
@@ -158,7 +247,7 @@ fn diff_value(path: &str, old: &Json, new: &Json, threshold_pct: f64, report: &m
                 return;
             }
             for (i, (va, vb)) in a.iter().zip(b).enumerate() {
-                diff_value(&format!("{path}[{i}]"), va, vb, threshold_pct, report);
+                diff_value(&format!("{path}[{i}]"), metric, va, vb, threshold_pct, report);
             }
         }
         (a, b) if a == b => {}
@@ -168,6 +257,45 @@ fn diff_value(path: &str, old: &Json, new: &Json, threshold_pct: f64, report: &m
                 a.emit(),
                 b.emit()
             ));
+        }
+    }
+}
+
+/// Walk a table's `rows`, naming each cell's metric after its column
+/// header.
+fn diff_rows(
+    path: &str,
+    cols: &[&str],
+    old: &[Json],
+    new: &[Json],
+    threshold_pct: f64,
+    report: &mut DiffReport,
+) {
+    if old.len() != new.len() {
+        report.regressions.push(format!(
+            "{path}: row count changed ({} -> {})",
+            old.len(),
+            new.len()
+        ));
+        return;
+    }
+    for (i, (ra, rb)) in old.iter().zip(new).enumerate() {
+        match (ra, rb) {
+            (Json::Arr(ca), Json::Arr(cb)) => {
+                if ca.len() != cb.len() {
+                    report.regressions.push(format!(
+                        "{path}[{i}]: row width changed ({} -> {})",
+                        ca.len(),
+                        cb.len()
+                    ));
+                    continue;
+                }
+                for (j, (va, vb)) in ca.iter().zip(cb).enumerate() {
+                    let metric = cols.get(j).copied().unwrap_or("");
+                    diff_value(&format!("{path}[{i}][{j}]"), metric, va, vb, threshold_pct, report);
+                }
+            }
+            _ => diff_value(&format!("{path}[{i}]"), "", ra, rb, threshold_pct, report),
         }
     }
 }
@@ -225,6 +353,60 @@ mod tests {
         let c = snapshot("cell_c", &[("t.json", r#"{"rows":[["zero3","1.72×"]]}"#)]);
         assert!(perf_diff(&args(&a, &c)).is_err());
         for d in [a, b, c] {
+            std::fs::remove_dir_all(d).ok();
+        }
+    }
+
+    #[test]
+    fn latency_keys_only_regress_upward() {
+        // `_ns` names are lower-is-better: a big drop is an improvement
+        // (reported, not fatal); a big rise is a regression.
+        let a = snapshot("dir_a", &[("b.json", r#"{"matmul_ns":1000}"#)]);
+        let faster = snapshot("dir_fast", &[("b.json", r#"{"matmul_ns":400}"#)]);
+        let slower = snapshot("dir_slow", &[("b.json", r#"{"matmul_ns":2500}"#)]);
+        let out = perf_diff(&args(&a, &faster)).unwrap();
+        assert!(out.contains("improvement(s) (not gated)"), "{out}");
+        assert!(out.contains("no regressions"), "{out}");
+        let e = perf_diff(&args(&a, &slower)).unwrap_err();
+        assert!(e.0.contains("b.json.matmul_ns"), "{e}");
+        for d in [a, faster, slower] {
+            std::fs::remove_dir_all(d).ok();
+        }
+    }
+
+    #[test]
+    fn throughput_keys_only_regress_downward() {
+        let a = snapshot("thru_a", &[("b.json", r#"{"gflops":10.0,"speedup":"2.0×"}"#)]);
+        let up = snapshot("thru_up", &[("b.json", r#"{"gflops":30.0,"speedup":"4.0×"}"#)]);
+        let down = snapshot("thru_dn", &[("b.json", r#"{"gflops":3.0,"speedup":"0.9×"}"#)]);
+        assert!(perf_diff(&args(&a, &up)).is_ok(), "faster must pass the gate");
+        let e = perf_diff(&args(&a, &down)).unwrap_err();
+        assert!(e.0.contains("gflops"), "{e}");
+        assert!(e.0.contains("speedup"), "{e}");
+        for d in [a, up, down] {
+            std::fs::remove_dir_all(d).ok();
+        }
+    }
+
+    #[test]
+    fn table_cells_resolve_direction_through_headers() {
+        // A `blocked_ns` column inside `rows` is lower-is-better: halving
+        // passes, tripling fails. The label column still compares exactly.
+        let doc = |ns: u64| {
+            format!(r#"{{"headers":["kernel","blocked_ns"],"rows":[["matmul","{ns}"]]}}"#)
+        };
+        let a = snapshot("hdr_a", &[("t.json", &doc(1000))]);
+        let faster = snapshot("hdr_fast", &[("t.json", &doc(500))]);
+        let slower = snapshot("hdr_slow", &[("t.json", &doc(3000))]);
+        assert!(perf_diff(&args(&a, &faster)).is_ok(), "faster cells must pass");
+        let e = perf_diff(&args(&a, &slower)).unwrap_err();
+        assert!(e.0.contains("rows[0][1]"), "{e}");
+        // Fidelity-style numbers stay symmetric: a loss that *drops* more
+        // than the threshold still fails (drift is drift).
+        let f1 = snapshot("sym_a", &[("f.json", r#"{"final_loss":1.0}"#)]);
+        let f2 = snapshot("sym_b", &[("f.json", r#"{"final_loss":0.5}"#)]);
+        assert!(perf_diff(&args(&f1, &f2)).is_err(), "symmetric metrics gate both ways");
+        for d in [a, faster, slower, f1, f2] {
             std::fs::remove_dir_all(d).ok();
         }
     }

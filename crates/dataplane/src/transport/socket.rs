@@ -489,13 +489,17 @@ impl Endpoint {
         let mut w = lock(&self.writer);
         match w.write_all(&bytes).and_then(|()| w.flush()) {
             Ok(()) => {
-                drop(w);
+                // Sample and record while still holding the writer lock:
+                // otherwise two senders can emit the cumulative tx series
+                // out of order (higher total first), which violates the
+                // trace's monotone-counter invariant.
                 let total = self.tx_bytes.add(bytes.len() as u64);
                 let rec = mics_trace::global();
                 if rec.is_enabled() {
                     let track = format!("rank{} tx bytes", self.world_rank);
                     rec.counter(DATAPLANE_PROCESS, &track, &track, total as f64);
                 }
+                drop(w);
                 Ok(())
             }
             Err(e) => {

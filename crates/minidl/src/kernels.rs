@@ -1,228 +1,1528 @@
-//! Cache-blocked, register-unrolled f32 kernels for the real backend's
-//! forward/backward passes, plus the naive [`mod@reference`] implementations
-//! they are drift-bounded against.
+//! SIMD + multicore f32 kernels for the real backend's forward/backward
+//! passes (Kernels v2), plus the cache-blocked v1 kernels ([`mod@blocked`])
+//! and the naive [`mod@reference`] implementations both are drift-bounded
+//! against.
 //!
-//! The design translates the standard GPU matmul hierarchy to CPU
-//! autovectorization:
+//! # Lane discipline (bit-identity by construction)
 //!
-//! * the innermost loop is always unit-stride over contiguous rows, so the
-//!   compiler can vectorize it without gathers;
-//! * the reduction (or batch) dimension is consumed `UNROLL` rows at a
-//!   time whose partial products fuse into one accumulator stream — each
-//!   load of the shared operand is reused `UNROLL` times and the four
-//!   products form independent FMA chains;
-//! * the reduction dimension of [`matmul`] is additionally tiled by `KC` (256)
-//!   so the active panel of the right operand stays cache-resident across
-//!   output rows.
+//! Every kernel is written **once**, generically over a private `Lanes`
+//! backend of width 8, and instantiated twice:
 //!
-//! Every kernel computes exactly the reference sums in a different
-//! association order: results drift only by float re-association (bounded
-//! by the `drift_*` tests below), never by dropped or duplicated terms.
+//! * `AvxLanes` — AVX2 + FMA intrinsics (`__m256`, `_mm256_fmadd_ps`),
+//!   compiled under `#[target_feature(enable = "avx2,fma")]` and selected
+//!   only after `is_x86_feature_detected!` confirms the host;
+//! * `ScalarLanes` — `[f32; 8]` virtual vectors whose per-lane
+//!   `f32::mul_add` is the same correctly-rounded fused operation as
+//!   `vfmaddps`, and whose horizontal sum replays the AVX reduction tree
+//!   `((q0+q2)+(q1+q3))` with `q_l = v_l + v_{l+4}` node for node.
+//!
+//! Because both backends run the *same* generic body — same 8-wide strip
+//! mining, same scalar tail, same reduction tree — the SIMD path and the
+//! scalar fallback produce **byte-identical** outputs, not merely close
+//! ones. `tests/kernels_v2.rs` asserts this across the whole config
+//! matrix.
+//!
+//! # Deterministic multithreading
+//!
+//! Kernels fan out over a persistent worker pool (the private `pool`
+//! module) using the
+//! per-rank progress-thread idiom from `mics-dataplane`: workers park on a
+//! condvar and are handed `(items, parts)` jobs by epoch. The partition
+//! splits **output** rows/columns only — never a reduction axis — so every
+//! output element is computed by exactly one thread in exactly the
+//! program order a single thread would use. Results are therefore
+//! bit-stable at any thread count (`MICS_KERNEL_THREADS`, or
+//! [`set_kernel_threads`]).
+//!
+//! # Observability
+//!
+//! Always-on [`mics_trace::Counters`] cells tally calls, FLOPs and which
+//! path (SIMD vs fallback) ran ([`kernel_stats`]); when the global
+//! [`mics_trace::Recorder`] is enabled each kernel also emits a span, a
+//! `kernel GFLOP/s` counter track and a `tile queue depth` gauge into the
+//! same merged Perfetto timeline as the executor's lanes and wires.
+
+use mics_trace::{Arg, Counter, Counters};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Register-block height: rows of the reduction dimension fused per pass.
 const UNROLL: usize = 4;
 /// Cache tile for the reduction dimension of [`matmul`].
 const KC: usize = 256;
+/// Virtual vector width shared by both lane backends.
+const LANES: usize = 8;
 
-/// `out[m×n] = a[m×k] · b[k×n]`, row-major, k-tiled and 4-way unrolled.
+// ---- configuration ---------------------------------------------------------
+
+/// Runtime knobs. `threads == 0` / `simd == 0` mean "unset, consult the
+/// environment"; the setters below override both env and autodetection.
+struct Knobs {
+    threads: AtomicUsize,
+    simd: AtomicU8,
+}
+
+static KNOBS: Knobs = Knobs { threads: AtomicUsize::new(0), simd: AtomicU8::new(0) };
+
+/// `MICS_KERNEL_THREADS`, parsed once (0 = unset).
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("MICS_KERNEL_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0)
+    })
+}
+
+/// The host's available parallelism, read once.
+fn host_threads() -> usize {
+    static HOST: OnceLock<usize> = OnceLock::new();
+    *HOST.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Whether this host can run the AVX2+FMA path at all (detected once).
+pub fn simd_available() -> bool {
+    static AVAIL: OnceLock<bool> = OnceLock::new();
+    *AVAIL.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    })
+}
+
+/// Force the SIMD path on/off (`Some`), or restore autodetection (`None`).
+/// Forcing *on* still requires [`simd_available`]; on hosts without
+/// AVX2+FMA the fallback always runs. Outputs are byte-identical either
+/// way — this knob exists for tests and benchmarking, not correctness.
+pub fn set_simd(on: Option<bool>) {
+    let v = match on {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    KNOBS.simd.store(v, Ordering::Relaxed);
+}
+
+/// Whether the next kernel dispatch will take the SIMD path.
+pub fn simd_active() -> bool {
+    match KNOBS.simd.load(Ordering::Relaxed) {
+        1 => false,
+        _ => simd_available(),
+    }
+}
+
+/// Override the kernel thread count (`Some(n)`), or restore the
+/// `MICS_KERNEL_THREADS` / `available_parallelism` default (`None` or
+/// `Some(0)`). The partition is over output elements only, so any value
+/// produces bit-identical results.
+pub fn set_kernel_threads(n: Option<usize>) {
+    KNOBS.threads.store(n.unwrap_or(0).min(MAX_THREADS), Ordering::Relaxed);
+}
+
+/// Hard cap on pool width — a guard against absurd env values, far above
+/// any host this stack targets.
+const MAX_THREADS: usize = 64;
+
+/// The resolved kernel thread count: override > `MICS_KERNEL_THREADS` >
+/// `available_parallelism()`, clamped to `1..=64`.
+pub fn kernel_threads() -> usize {
+    let o = KNOBS.threads.load(Ordering::Relaxed);
+    let t = if o != 0 {
+        o
+    } else if env_threads() != 0 {
+        env_threads()
+    } else {
+        host_threads()
+    };
+    t.clamp(1, MAX_THREADS)
+}
+
+/// Resolve every lazy knob (env, feature detection, counter cells) and
+/// warm the worker pool, so the first hot-path kernel call pays no
+/// first-use cost. Called by the training engine before ranks spawn;
+/// idempotent.
+pub fn init() {
+    let _ = (env_threads(), host_threads(), simd_available());
+    let _ = cells();
+    pool::warm(kernel_threads());
+}
+
+// ---- counters + trace ------------------------------------------------------
+
+/// Always-on counter cells (cheap relaxed atomics; see [`kernel_stats`]).
+struct Cells {
+    registry: Counters,
+    calls: Counter,
+    flops: Counter,
+    simd_calls: Counter,
+    fallback_calls: Counter,
+    pool_dispatches: Counter,
+}
+
+fn cells() -> &'static Cells {
+    static CELLS: OnceLock<Cells> = OnceLock::new();
+    CELLS.get_or_init(|| {
+        let registry = Counters::new();
+        Cells {
+            calls: registry.counter("kernel.calls"),
+            flops: registry.counter("kernel.flops"),
+            simd_calls: registry.counter("kernel.simd_calls"),
+            fallback_calls: registry.counter("kernel.fallback_calls"),
+            pool_dispatches: registry.counter("kernel.pool_dispatches"),
+            registry,
+        }
+    })
+}
+
+/// Snapshot of the always-on kernel counters, in registration order:
+/// `kernel.calls`, `kernel.flops` (2·m·k·n-style accounting),
+/// `kernel.simd_calls`, `kernel.fallback_calls`, `kernel.pool_dispatches`.
+pub fn kernel_stats() -> Vec<(String, u64)> {
+    cells().registry.snapshot()
+}
+
+/// Total FLOPs executed by the kernels in this process so far.
+pub fn flops_total() -> u64 {
+    cells().flops.get()
+}
+
+/// Count the call, attribute its path and FLOPs, and — when the global
+/// recorder is on — wrap it in a span plus a `kernel GFLOP/s` sample.
+#[inline]
+fn record<R>(name: &'static str, flops: u64, simd: bool, f: impl FnOnce() -> R) -> R {
+    let c = cells();
+    c.calls.incr();
+    c.flops.add(flops);
+    if simd {
+        c.simd_calls.incr();
+    } else {
+        c.fallback_calls.incr();
+    }
+    let rec = mics_trace::global();
+    if !rec.is_enabled() {
+        return f();
+    }
+    let t0 = rec.now_ns();
+    let r = f();
+    let t1 = rec.now_ns();
+    rec.span("kernels", "compute", name, "kernel", t0, t1, vec![("flops", Arg::Int(flops as i64))]);
+    rec.counter("kernels", "compute", "kernel GFLOP/s", flops as f64 / (t1 - t0).max(1) as f64);
+    r
+}
+
+// ---- lane backends ---------------------------------------------------------
+
+/// An 8-wide f32 vector backend. Both implementations perform the same
+/// per-lane operations (fused multiply-add, single rounding) and the same
+/// horizontal reduction tree, which is what makes the SIMD and fallback
+/// paths byte-identical.
+trait Lanes {
+    /// The 8-lane vector type.
+    type V: Copy;
+    /// Broadcast.
+    fn splat(x: f32) -> Self::V;
+    /// All-zero vector.
+    fn zero() -> Self::V {
+        Self::splat(0.0)
+    }
+    /// Load `s[at..at + 8]`.
+    fn ld(s: &[f32], at: usize) -> Self::V;
+    /// Store into `s[at..at + 8]`.
+    fn st(s: &mut [f32], at: usize, v: Self::V);
+    /// Per-lane fused `a·b + c` (single rounding).
+    fn fma(a: Self::V, b: Self::V, c: Self::V) -> Self::V;
+    /// Per-lane `a + b`.
+    fn add(a: Self::V, b: Self::V) -> Self::V;
+    /// Horizontal sum via the fixed tree `(q0+q2) + (q1+q3)` over
+    /// `q_l = v_l + v_{l+4}`.
+    fn hsum(v: Self::V) -> f32;
+}
+
+/// Portable backend: `[f32; 8]` with per-lane `mul_add`. This is the
+/// *fallback*, not a vaguely-similar rewrite: every arithmetic step
+/// mirrors `AvxLanes` lane for lane.
+struct ScalarLanes;
+
+impl Lanes for ScalarLanes {
+    type V = [f32; 8];
+
+    #[inline(always)]
+    fn splat(x: f32) -> [f32; 8] {
+        [x; 8]
+    }
+
+    #[inline(always)]
+    fn ld(s: &[f32], at: usize) -> [f32; 8] {
+        let mut v = [0.0f32; 8];
+        v.copy_from_slice(&s[at..at + 8]);
+        v
+    }
+
+    #[inline(always)]
+    fn st(s: &mut [f32], at: usize, v: [f32; 8]) {
+        s[at..at + 8].copy_from_slice(&v);
+    }
+
+    #[inline(always)]
+    fn fma(a: [f32; 8], b: [f32; 8], c: [f32; 8]) -> [f32; 8] {
+        let mut o = [0.0f32; 8];
+        for l in 0..8 {
+            o[l] = a[l].mul_add(b[l], c[l]);
+        }
+        o
+    }
+
+    #[inline(always)]
+    fn add(a: [f32; 8], b: [f32; 8]) -> [f32; 8] {
+        let mut o = [0.0f32; 8];
+        for l in 0..8 {
+            o[l] = a[l] + b[l];
+        }
+        o
+    }
+
+    #[inline(always)]
+    fn hsum(v: [f32; 8]) -> f32 {
+        let q0 = v[0] + v[4];
+        let q1 = v[1] + v[5];
+        let q2 = v[2] + v[6];
+        let q3 = v[3] + v[7];
+        (q0 + q2) + (q1 + q3)
+    }
+}
+
+/// AVX2 + FMA backend. Only instantiated inside
+/// `#[target_feature(enable = "avx2,fma")]` functions that are reached
+/// exclusively after runtime detection ([`simd_active`]).
+#[cfg(target_arch = "x86_64")]
+mod avx {
+    use super::{body, Lanes, Range};
+    use std::arch::x86_64::*;
+
+    pub(super) struct AvxLanes;
+
+    impl Lanes for AvxLanes {
+        type V = __m256;
+
+        #[inline(always)]
+        fn splat(x: f32) -> __m256 {
+            // SAFETY: callers are gated on runtime AVX2+FMA detection.
+            unsafe { _mm256_set1_ps(x) }
+        }
+
+        #[inline(always)]
+        fn ld(s: &[f32], at: usize) -> __m256 {
+            debug_assert!(at + 8 <= s.len());
+            // SAFETY: bounds asserted above; unaligned load is allowed.
+            unsafe { _mm256_loadu_ps(s.as_ptr().add(at)) }
+        }
+
+        #[inline(always)]
+        fn st(s: &mut [f32], at: usize, v: __m256) {
+            debug_assert!(at + 8 <= s.len());
+            // SAFETY: bounds asserted above; unaligned store is allowed.
+            unsafe { _mm256_storeu_ps(s.as_mut_ptr().add(at), v) }
+        }
+
+        #[inline(always)]
+        fn fma(a: __m256, b: __m256, c: __m256) -> __m256 {
+            // SAFETY: callers are gated on runtime AVX2+FMA detection.
+            unsafe { _mm256_fmadd_ps(a, b, c) }
+        }
+
+        #[inline(always)]
+        fn add(a: __m256, b: __m256) -> __m256 {
+            // SAFETY: callers are gated on runtime AVX2+FMA detection.
+            unsafe { _mm256_add_ps(a, b) }
+        }
+
+        #[inline(always)]
+        fn hsum(v: __m256) -> f32 {
+            // SAFETY: callers are gated on runtime AVX2+FMA detection.
+            unsafe {
+                let lo = _mm256_castps256_ps128(v);
+                let hi = _mm256_extractf128_ps(v, 1);
+                let q = _mm_add_ps(lo, hi); // q_l = v_l + v_{l+4}
+                let r = _mm_movehl_ps(q, q); // (q2, q3, q2, q3)
+                let h = _mm_add_ps(q, r); // (q0+q2, q1+q3, ..)
+                let s = _mm_add_ss(h, _mm_shuffle_ps(h, h, 0b01));
+                _mm_cvtss_f32(s)
+            }
+        }
+    }
+
+    // One `#[target_feature]` wrapper per generic body so the whole
+    // inlined kernel is compiled with AVX2+FMA enabled.
+
+    /// # Safety
+    /// The host must support AVX2 and FMA (checked by [`super::simd_active`]).
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn matmul_rows(
+        a: &[f32],
+        b: &[f32],
+        k: usize,
+        n: usize,
+        rows: Range<usize>,
+        out: &mut [f32],
+    ) {
+        body::matmul_rows::<AvxLanes>(a, b, k, n, rows, out)
+    }
+
+    /// # Safety
+    /// The host must support AVX2 and FMA (checked by [`super::simd_active`]).
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn matmul_bt_rows(
+        dout: &[f32],
+        b: &[f32],
+        n: usize,
+        k: usize,
+        rows: Range<usize>,
+        out: &mut [f32],
+    ) {
+        body::matmul_bt_rows::<AvxLanes>(dout, b, n, k, rows, out)
+    }
+
+    /// # Safety
+    /// The host must support AVX2 and FMA (checked by [`super::simd_active`]).
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn acc_matmul_at_rows(
+        a: &[f32],
+        dout: &[f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        kks: Range<usize>,
+        gw: &mut [f32],
+    ) {
+        body::acc_matmul_at_rows::<AvxLanes>(a, dout, m, k, n, kks, gw)
+    }
+
+    /// # Safety
+    /// The host must support AVX2 and FMA (checked by [`super::simd_active`]).
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn matvec_bias_rows(
+        w: &[f32],
+        bias: &[f32],
+        x: &[f32],
+        in_dim: usize,
+        os: Range<usize>,
+        out: &mut [f32],
+    ) {
+        body::matvec_bias_rows::<AvxLanes>(w, bias, x, in_dim, os, out)
+    }
+
+    /// # Safety
+    /// The host must support AVX2 and FMA (checked by [`super::simd_active`]).
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn matvec_t_cols(
+        w: &[f32],
+        d: &[f32],
+        out_dim: usize,
+        in_dim: usize,
+        cols: Range<usize>,
+        out: &mut [f32],
+    ) {
+        body::matvec_t_cols::<AvxLanes>(w, d, out_dim, in_dim, cols, out)
+    }
+
+    /// # Safety
+    /// The host must support AVX2 and FMA (checked by [`super::simd_active`]).
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn acc_outer_rows(d: &[f32], x: &[f32], rows: Range<usize>, gw: &mut [f32]) {
+        body::acc_outer_rows::<AvxLanes>(d, x, rows, gw)
+    }
+
+    /// # Safety
+    /// The host must support AVX2 and FMA (checked by [`super::simd_active`]).
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn add_bias_chunk(
+        bias: &[f32],
+        n: usize,
+        rows: Range<usize>,
+        xs: &mut [f32],
+    ) {
+        body::add_bias_chunk::<AvxLanes>(bias, n, rows, xs)
+    }
+}
+
+// ---- generic kernel bodies -------------------------------------------------
+
+/// The single source of truth for every kernel's arithmetic, generic over
+/// the lane backend. Each body operates on a *chunk*: a range of output
+/// rows (or columns) plus the output subslice covering exactly that
+/// range, so the pool can hand disjoint chunks to different threads.
+mod body {
+    use super::{Lanes, Range, KC, LANES, UNROLL};
+
+    /// `out = a[rows] · b`: register-tiled micro-kernel. Output tiles of
+    /// `UNROLL` rows × two vectors (4×16) live in accumulators across the
+    /// whole k-tile with `k` innermost and ascending, so each element is
+    /// one fused chain in `k` order — the same per-element association as
+    /// any strip width or row grouping, hence bit-stable under both the
+    /// thread partition and the tail paths. `out` covers `rows`
+    /// (`rows.len() × n`).
+    #[inline(always)]
+    pub(super) fn matmul_rows<L: Lanes>(
+        a: &[f32],
+        b: &[f32],
+        k: usize,
+        n: usize,
+        rows: Range<usize>,
+        out: &mut [f32],
+    ) {
+        debug_assert_eq!(out.len(), rows.len() * n);
+        for kk in (0..k).step_by(KC) {
+            let kend = (kk + KC).min(k);
+            // 4-row blocks share every b load across 8 accumulators.
+            let mut ri = 0;
+            while ri + UNROLL <= rows.len() {
+                let i = rows.start + ri;
+                let a0 = &a[i * k..(i + 1) * k];
+                let a1 = &a[(i + 1) * k..(i + 2) * k];
+                let a2 = &a[(i + 2) * k..(i + 3) * k];
+                let a3 = &a[(i + 3) * k..(i + 4) * k];
+                let (o01, o23) = out[ri * n..(ri + 4) * n].split_at_mut(2 * n);
+                let (o0, o1) = o01.split_at_mut(n);
+                let (o2, o3) = o23.split_at_mut(n);
+                let mut j = 0;
+                while j + 2 * LANES <= n {
+                    let jh = j + LANES;
+                    let mut c00 = L::ld(o0, j);
+                    let mut c01 = L::ld(o0, jh);
+                    let mut c10 = L::ld(o1, j);
+                    let mut c11 = L::ld(o1, jh);
+                    let mut c20 = L::ld(o2, j);
+                    let mut c21 = L::ld(o2, jh);
+                    let mut c30 = L::ld(o3, j);
+                    let mut c31 = L::ld(o3, jh);
+                    for kc in kk..kend {
+                        let brow = &b[kc * n..(kc + 1) * n];
+                        let vb0 = L::ld(brow, j);
+                        let vb1 = L::ld(brow, jh);
+                        let va = L::splat(a0[kc]);
+                        c00 = L::fma(va, vb0, c00);
+                        c01 = L::fma(va, vb1, c01);
+                        let va = L::splat(a1[kc]);
+                        c10 = L::fma(va, vb0, c10);
+                        c11 = L::fma(va, vb1, c11);
+                        let va = L::splat(a2[kc]);
+                        c20 = L::fma(va, vb0, c20);
+                        c21 = L::fma(va, vb1, c21);
+                        let va = L::splat(a3[kc]);
+                        c30 = L::fma(va, vb0, c30);
+                        c31 = L::fma(va, vb1, c31);
+                    }
+                    L::st(o0, j, c00);
+                    L::st(o0, jh, c01);
+                    L::st(o1, j, c10);
+                    L::st(o1, jh, c11);
+                    L::st(o2, j, c20);
+                    L::st(o2, jh, c21);
+                    L::st(o3, j, c30);
+                    L::st(o3, jh, c31);
+                    j += 2 * LANES;
+                }
+                while j + LANES <= n {
+                    let mut c0 = L::ld(o0, j);
+                    let mut c1 = L::ld(o1, j);
+                    let mut c2 = L::ld(o2, j);
+                    let mut c3 = L::ld(o3, j);
+                    for kc in kk..kend {
+                        let vb = L::ld(&b[kc * n..(kc + 1) * n], j);
+                        c0 = L::fma(L::splat(a0[kc]), vb, c0);
+                        c1 = L::fma(L::splat(a1[kc]), vb, c1);
+                        c2 = L::fma(L::splat(a2[kc]), vb, c2);
+                        c3 = L::fma(L::splat(a3[kc]), vb, c3);
+                    }
+                    L::st(o0, j, c0);
+                    L::st(o1, j, c1);
+                    L::st(o2, j, c2);
+                    L::st(o3, j, c3);
+                    j += LANES;
+                }
+                while j < n {
+                    let (mut s0, mut s1, mut s2, mut s3) = (o0[j], o1[j], o2[j], o3[j]);
+                    for kc in kk..kend {
+                        let bv = b[kc * n + j];
+                        s0 = a0[kc].mul_add(bv, s0);
+                        s1 = a1[kc].mul_add(bv, s1);
+                        s2 = a2[kc].mul_add(bv, s2);
+                        s3 = a3[kc].mul_add(bv, s3);
+                    }
+                    o0[j] = s0;
+                    o1[j] = s1;
+                    o2[j] = s2;
+                    o3[j] = s3;
+                    j += 1;
+                }
+                ri += UNROLL;
+            }
+            // Row tail: one row at a time, same strip widths.
+            while ri < rows.len() {
+                let i = rows.start + ri;
+                let arow = &a[i * k..(i + 1) * k];
+                let orow = &mut out[ri * n..(ri + 1) * n];
+                let mut j = 0;
+                while j + 2 * LANES <= n {
+                    let jh = j + LANES;
+                    let mut c0 = L::ld(orow, j);
+                    let mut c1 = L::ld(orow, jh);
+                    for kc in kk..kend {
+                        let brow = &b[kc * n..(kc + 1) * n];
+                        let va = L::splat(arow[kc]);
+                        c0 = L::fma(va, L::ld(brow, j), c0);
+                        c1 = L::fma(va, L::ld(brow, jh), c1);
+                    }
+                    L::st(orow, j, c0);
+                    L::st(orow, jh, c1);
+                    j += 2 * LANES;
+                }
+                while j + LANES <= n {
+                    let mut c = L::ld(orow, j);
+                    for kc in kk..kend {
+                        c = L::fma(L::splat(arow[kc]), L::ld(&b[kc * n..(kc + 1) * n], j), c);
+                    }
+                    L::st(orow, j, c);
+                    j += LANES;
+                }
+                while j < n {
+                    let mut s = orow[j];
+                    for kc in kk..kend {
+                        s = arow[kc].mul_add(b[kc * n + j], s);
+                    }
+                    orow[j] = s;
+                    j += 1;
+                }
+                ri += 1;
+            }
+        }
+    }
+
+    /// `out = d[rows] · bᵀ`: four simultaneous 8-wide dot products per
+    /// pass, reduced by the fixed [`Lanes::hsum`] tree, scalar tail
+    /// folded in *after* the tree. `out` covers `rows` (`rows.len() × k`).
+    #[inline(always)]
+    pub(super) fn matmul_bt_rows<L: Lanes>(
+        dout: &[f32],
+        b: &[f32],
+        n: usize,
+        k: usize,
+        rows: Range<usize>,
+        out: &mut [f32],
+    ) {
+        debug_assert_eq!(out.len(), rows.len() * k);
+        for (ri, i) in rows.clone().enumerate() {
+            let drow = &dout[i * n..(i + 1) * n];
+            let orow = &mut out[ri * k..(ri + 1) * k];
+            let mut kk = 0;
+            while kk + UNROLL <= k {
+                let b0 = &b[kk * n..(kk + 1) * n];
+                let b1 = &b[(kk + 1) * n..(kk + 2) * n];
+                let b2 = &b[(kk + 2) * n..(kk + 3) * n];
+                let b3 = &b[(kk + 3) * n..(kk + 4) * n];
+                let (mut v0, mut v1, mut v2, mut v3) = (L::zero(), L::zero(), L::zero(), L::zero());
+                let mut j = 0;
+                while j + LANES <= n {
+                    let vd = L::ld(drow, j);
+                    v0 = L::fma(vd, L::ld(b0, j), v0);
+                    v1 = L::fma(vd, L::ld(b1, j), v1);
+                    v2 = L::fma(vd, L::ld(b2, j), v2);
+                    v3 = L::fma(vd, L::ld(b3, j), v3);
+                    j += LANES;
+                }
+                let (mut s0, mut s1, mut s2, mut s3) =
+                    (L::hsum(v0), L::hsum(v1), L::hsum(v2), L::hsum(v3));
+                while j < n {
+                    let dv = drow[j];
+                    s0 = dv.mul_add(b0[j], s0);
+                    s1 = dv.mul_add(b1[j], s1);
+                    s2 = dv.mul_add(b2[j], s2);
+                    s3 = dv.mul_add(b3[j], s3);
+                    j += 1;
+                }
+                orow[kk] = s0;
+                orow[kk + 1] = s1;
+                orow[kk + 2] = s2;
+                orow[kk + 3] = s3;
+                kk += UNROLL;
+            }
+            while kk < k {
+                let brow = &b[kk * n..(kk + 1) * n];
+                let mut v = L::zero();
+                let mut j = 0;
+                while j + LANES <= n {
+                    v = L::fma(L::ld(drow, j), L::ld(brow, j), v);
+                    j += LANES;
+                }
+                let mut s = L::hsum(v);
+                while j < n {
+                    s = drow[j].mul_add(brow[j], s);
+                    j += 1;
+                }
+                orow[kk] = s;
+                kk += 1;
+            }
+        }
+    }
+
+    /// Accumulate `aᵀ·d` into the `kks` rows of `gw`: four samples fuse
+    /// per pass over the gradient rows. `gw` covers `kks`
+    /// (`kks.len() × n`). The batch loop order is fixed, so any `kks`
+    /// partition yields the same per-element accumulation order.
+    #[inline(always)]
+    pub(super) fn acc_matmul_at_rows<L: Lanes>(
+        a: &[f32],
+        dout: &[f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        kks: Range<usize>,
+        gw: &mut [f32],
+    ) {
+        debug_assert_eq!(gw.len(), kks.len() * n);
+        let mut i = 0;
+        while i + UNROLL <= m {
+            let a0 = &a[i * k..(i + 1) * k];
+            let a1 = &a[(i + 1) * k..(i + 2) * k];
+            let a2 = &a[(i + 2) * k..(i + 3) * k];
+            let a3 = &a[(i + 3) * k..(i + 4) * k];
+            let d0 = &dout[i * n..(i + 1) * n];
+            let d1 = &dout[(i + 1) * n..(i + 2) * n];
+            let d2 = &dout[(i + 2) * n..(i + 3) * n];
+            let d3 = &dout[(i + 3) * n..(i + 4) * n];
+            for (rk, kk) in kks.clone().enumerate() {
+                let (x0, x1, x2, x3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
+                let (vx0, vx1, vx2, vx3) = (L::splat(x0), L::splat(x1), L::splat(x2), L::splat(x3));
+                let grow = &mut gw[rk * n..(rk + 1) * n];
+                let mut j = 0;
+                while j + LANES <= n {
+                    let mut acc = L::ld(grow, j);
+                    acc = L::fma(vx0, L::ld(d0, j), acc);
+                    acc = L::fma(vx1, L::ld(d1, j), acc);
+                    acc = L::fma(vx2, L::ld(d2, j), acc);
+                    acc = L::fma(vx3, L::ld(d3, j), acc);
+                    L::st(grow, j, acc);
+                    j += LANES;
+                }
+                while j < n {
+                    let mut g = grow[j];
+                    g = x0.mul_add(d0[j], g);
+                    g = x1.mul_add(d1[j], g);
+                    g = x2.mul_add(d2[j], g);
+                    g = x3.mul_add(d3[j], g);
+                    grow[j] = g;
+                    j += 1;
+                }
+            }
+            i += UNROLL;
+        }
+        while i < m {
+            let arow = &a[i * k..(i + 1) * k];
+            let drow = &dout[i * n..(i + 1) * n];
+            for (rk, kk) in kks.clone().enumerate() {
+                let x = arow[kk];
+                let vx = L::splat(x);
+                let grow = &mut gw[rk * n..(rk + 1) * n];
+                let mut j = 0;
+                while j + LANES <= n {
+                    L::st(grow, j, L::fma(vx, L::ld(drow, j), L::ld(grow, j)));
+                    j += LANES;
+                }
+                while j < n {
+                    grow[j] = x.mul_add(drow[j], grow[j]);
+                    j += 1;
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// `out[o] = bias[o] + w[o]·x` for `o ∈ os`: four rows' 8-wide dot
+    /// products share each load of `x`; bias joins the tree sum, the
+    /// scalar tail folds in after. Each row's chain is independent, so
+    /// the 4-row grouping never changes bits. `out` covers `os`.
+    #[inline(always)]
+    pub(super) fn matvec_bias_rows<L: Lanes>(
+        w: &[f32],
+        bias: &[f32],
+        x: &[f32],
+        in_dim: usize,
+        os: Range<usize>,
+        out: &mut [f32],
+    ) {
+        debug_assert_eq!(out.len(), os.len());
+        let mut o = os.start;
+        while o + UNROLL <= os.end {
+            let w0 = &w[o * in_dim..(o + 1) * in_dim];
+            let w1 = &w[(o + 1) * in_dim..(o + 2) * in_dim];
+            let w2 = &w[(o + 2) * in_dim..(o + 3) * in_dim];
+            let w3 = &w[(o + 3) * in_dim..(o + 4) * in_dim];
+            let (mut v0, mut v1, mut v2, mut v3) = (L::zero(), L::zero(), L::zero(), L::zero());
+            let mut j = 0;
+            while j + LANES <= in_dim {
+                let vx = L::ld(x, j);
+                v0 = L::fma(vx, L::ld(w0, j), v0);
+                v1 = L::fma(vx, L::ld(w1, j), v1);
+                v2 = L::fma(vx, L::ld(w2, j), v2);
+                v3 = L::fma(vx, L::ld(w3, j), v3);
+                j += LANES;
+            }
+            let (mut s0, mut s1, mut s2, mut s3) = (
+                bias[o] + L::hsum(v0),
+                bias[o + 1] + L::hsum(v1),
+                bias[o + 2] + L::hsum(v2),
+                bias[o + 3] + L::hsum(v3),
+            );
+            while j < in_dim {
+                let xv = x[j];
+                s0 = xv.mul_add(w0[j], s0);
+                s1 = xv.mul_add(w1[j], s1);
+                s2 = xv.mul_add(w2[j], s2);
+                s3 = xv.mul_add(w3[j], s3);
+                j += 1;
+            }
+            out[o - os.start] = s0;
+            out[o - os.start + 1] = s1;
+            out[o - os.start + 2] = s2;
+            out[o - os.start + 3] = s3;
+            o += UNROLL;
+        }
+        while o < os.end {
+            let row = &w[o * in_dim..(o + 1) * in_dim];
+            let mut v = L::zero();
+            let mut j = 0;
+            while j + LANES <= in_dim {
+                v = L::fma(L::ld(x, j), L::ld(row, j), v);
+                j += LANES;
+            }
+            let mut s = bias[o] + L::hsum(v);
+            while j < in_dim {
+                s = x[j].mul_add(row[j], s);
+                j += 1;
+            }
+            out[o - os.start] = s;
+            o += 1;
+        }
+    }
+
+    /// `out[i] = Σₒ w[o][i]·d[o]` for `i ∈ cols`: four weight rows fuse
+    /// into one pass over the accumulator stream, restricted to the
+    /// `cols` slice of the output. `out` covers `cols` and is pre-zeroed.
+    #[inline(always)]
+    pub(super) fn matvec_t_cols<L: Lanes>(
+        w: &[f32],
+        d: &[f32],
+        out_dim: usize,
+        in_dim: usize,
+        cols: Range<usize>,
+        out: &mut [f32],
+    ) {
+        debug_assert_eq!(out.len(), cols.len());
+        let width = cols.len();
+        let mut o = 0;
+        while o + UNROLL <= out_dim {
+            let (vd0, vd1, vd2, vd3) =
+                (L::splat(d[o]), L::splat(d[o + 1]), L::splat(d[o + 2]), L::splat(d[o + 3]));
+            let w0 = &w[o * in_dim + cols.start..o * in_dim + cols.end];
+            let w1 = &w[(o + 1) * in_dim + cols.start..(o + 1) * in_dim + cols.end];
+            let w2 = &w[(o + 2) * in_dim + cols.start..(o + 2) * in_dim + cols.end];
+            let w3 = &w[(o + 3) * in_dim + cols.start..(o + 3) * in_dim + cols.end];
+            let mut j = 0;
+            while j + LANES <= width {
+                let mut acc = L::ld(out, j);
+                acc = L::fma(vd0, L::ld(w0, j), acc);
+                acc = L::fma(vd1, L::ld(w1, j), acc);
+                acc = L::fma(vd2, L::ld(w2, j), acc);
+                acc = L::fma(vd3, L::ld(w3, j), acc);
+                L::st(out, j, acc);
+                j += LANES;
+            }
+            while j < width {
+                let mut ov = out[j];
+                ov = d[o].mul_add(w0[j], ov);
+                ov = d[o + 1].mul_add(w1[j], ov);
+                ov = d[o + 2].mul_add(w2[j], ov);
+                ov = d[o + 3].mul_add(w3[j], ov);
+                out[j] = ov;
+                j += 1;
+            }
+            o += UNROLL;
+        }
+        while o < out_dim {
+            let dv = d[o];
+            let vd = L::splat(dv);
+            let row = &w[o * in_dim + cols.start..o * in_dim + cols.end];
+            let mut j = 0;
+            while j + LANES <= width {
+                L::st(out, j, L::fma(vd, L::ld(row, j), L::ld(out, j)));
+                j += LANES;
+            }
+            while j < width {
+                out[j] = dv.mul_add(row[j], out[j]);
+                j += 1;
+            }
+            o += 1;
+        }
+    }
+
+    /// Accumulate `d[rows] ⊗ x` into the `rows` slice of `gw`: one
+    /// 8-wide saxpy per output row. `gw` covers `rows`
+    /// (`rows.len() × x.len()`).
+    #[inline(always)]
+    pub(super) fn acc_outer_rows<L: Lanes>(
+        d: &[f32],
+        x: &[f32],
+        rows: Range<usize>,
+        gw: &mut [f32],
+    ) {
+        let n = x.len();
+        debug_assert_eq!(gw.len(), rows.len() * n);
+        for (ri, o) in rows.clone().enumerate() {
+            let dv = d[o];
+            let vd = L::splat(dv);
+            let grow = &mut gw[ri * n..(ri + 1) * n];
+            let mut j = 0;
+            while j + LANES <= n {
+                L::st(grow, j, L::fma(vd, L::ld(x, j), L::ld(grow, j)));
+                j += LANES;
+            }
+            while j < n {
+                grow[j] = dv.mul_add(x[j], grow[j]);
+                j += 1;
+            }
+        }
+    }
+
+    /// `xs[r] += bias` for each row `r ∈ rows`: 8-wide adds plus scalar
+    /// tail. `xs` covers `rows` (`rows.len() × n`).
+    #[inline(always)]
+    pub(super) fn add_bias_chunk<L: Lanes>(
+        bias: &[f32],
+        n: usize,
+        rows: Range<usize>,
+        xs: &mut [f32],
+    ) {
+        debug_assert_eq!(bias.len(), n);
+        debug_assert_eq!(xs.len(), rows.len() * n);
+        for ri in 0..rows.len() {
+            let row = &mut xs[ri * n..(ri + 1) * n];
+            let mut j = 0;
+            while j + LANES <= n {
+                L::st(row, j, L::add(L::ld(row, j), L::ld(bias, j)));
+                j += LANES;
+            }
+            while j < n {
+                row[j] += bias[j];
+                j += 1;
+            }
+        }
+    }
+}
+
+// ---- persistent worker pool ------------------------------------------------
+
+/// Persistent worker pool for intra-op parallelism, built on the same
+/// park-on-a-condvar progress-thread idiom as `mics-dataplane`'s
+/// nonblocking engine. Workers are spawned lazily, keyed by a fixed id,
+/// and handed `(items, parts)` jobs by epoch; worker `w` always runs
+/// chunk `w` of the deterministic `chunk()` partition, the dispatching
+/// thread runs chunk 0, and the dispatch blocks until every chunk
+/// reports done. Concurrent dispatches (e.g. several rank threads) do
+/// not queue: whoever loses the `try_lock` simply runs its kernel
+/// inline, which is both deadlock-free and faster than serializing.
+mod pool {
+    use std::ops::Range;
+    use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+    /// Below this much work (FLOPs) per chunk, fan-out costs more than it
+    /// saves and the kernel runs inline.
+    const MIN_FLOPS_PER_CHUNK: usize = 16 * 1024;
+
+    /// One published job. The erased closure pointer is only dereferenced
+    /// between publication and the `pending == 0` barrier, both of which
+    /// happen inside the caller's borrow of the original closure.
+    #[derive(Clone, Copy)]
+    struct Job {
+        body: *const (dyn Fn(Range<usize>) + Sync),
+        items: usize,
+        parts: usize,
+    }
+
+    // SAFETY: see `Job` — the pointee outlives every dereference because
+    // `dispatch` does not return until all participating workers have
+    // decremented `pending`.
+    unsafe impl Send for Job {}
+
+    struct State {
+        epoch: u64,
+        job: Option<Job>,
+        pending: usize,
+    }
+
+    struct Shared {
+        state: Mutex<State>,
+        work: Condvar,
+        done: Condvar,
+    }
+
+    struct Pool {
+        shared: Arc<Shared>,
+        workers: usize,
+    }
+
+    static POOL: OnceLock<Mutex<Pool>> = OnceLock::new();
+
+    /// The deterministic partition: chunk `w` of `parts` over `items`,
+    /// remainder spread over the leading chunks. Depends only on the
+    /// arguments, so a given `(items, parts)` always maps the same output
+    /// rows to the same worker.
+    fn chunk(items: usize, parts: usize, w: usize) -> Range<usize> {
+        let base = items / parts;
+        let rem = items % parts;
+        let start = w * base + w.min(rem);
+        let len = base + usize::from(w < rem);
+        start..start + len
+    }
+
+    /// Ensure `threads - 1` workers exist so the first hot kernel call
+    /// doesn't pay thread spawn cost.
+    pub(super) fn warm(threads: usize) {
+        if threads <= 1 {
+            return;
+        }
+        let pool = POOL.get_or_init(|| Mutex::new(Pool::new()));
+        if let Ok(mut pool) = pool.lock() {
+            pool.ensure_workers(threads - 1);
+        }
+    }
+
+    /// Run `body` over `0..items`, split into at most
+    /// [`super::kernel_threads`] chunks when the total work justifies it.
+    /// Chunks are ranges of *output* elements, so any split is
+    /// bit-identical to the single-threaded order.
+    pub(super) fn run(items: usize, flops_per_item: usize, body: &(dyn Fn(Range<usize>) + Sync)) {
+        let mut parts = super::kernel_threads().min(items);
+        if parts > 1 {
+            let quanta = items.saturating_mul(flops_per_item.max(1)) / MIN_FLOPS_PER_CHUNK;
+            parts = parts.min(quanta.max(1));
+        }
+        if parts <= 1 {
+            body(0..items);
+            return;
+        }
+        let pool = POOL.get_or_init(|| Mutex::new(Pool::new()));
+        match pool.try_lock() {
+            Ok(mut pool) => pool.dispatch(items, parts, body),
+            // Another thread owns the pool: run inline rather than queue.
+            Err(_) => body(0..items),
+        }
+    }
+
+    impl Pool {
+        fn new() -> Pool {
+            Pool {
+                shared: Arc::new(Shared {
+                    state: Mutex::new(State { epoch: 0, job: None, pending: 0 }),
+                    work: Condvar::new(),
+                    done: Condvar::new(),
+                }),
+                workers: 0,
+            }
+        }
+
+        fn ensure_workers(&mut self, want: usize) {
+            while self.workers < want {
+                let id = self.workers + 1; // worker ids 1.. (0 = the caller)
+                let shared = Arc::clone(&self.shared);
+                std::thread::Builder::new()
+                    .name(format!("mics-kernel-{id}"))
+                    .spawn(move || worker_loop(shared, id))
+                    .expect("spawn kernel pool worker");
+                self.workers += 1;
+            }
+        }
+
+        fn dispatch(&mut self, items: usize, parts: usize, body: &(dyn Fn(Range<usize>) + Sync)) {
+            super::cells().pool_dispatches.incr();
+            self.ensure_workers(parts - 1);
+            // SAFETY: lifetime erasure only — the pointer is dereferenced
+            // exclusively between the publication below and the
+            // `pending == 0` barrier, and `dispatch` (which holds the
+            // real `&body` borrow) does not return until that barrier.
+            let erased: *const (dyn Fn(Range<usize>) + Sync) = unsafe { std::mem::transmute(body) };
+            {
+                let mut st = self.shared.state.lock().unwrap();
+                st.job = Some(Job { body: erased, items, parts });
+                st.pending = parts - 1;
+                st.epoch += 1;
+            }
+            self.shared.work.notify_all();
+            let rec = mics_trace::global();
+            if rec.is_enabled() {
+                rec.counter("kernels", "pool", "tile queue depth", parts as f64);
+            }
+            body(chunk(items, parts, 0));
+            let mut st = self.shared.state.lock().unwrap();
+            while st.pending > 0 {
+                st = self.shared.done.wait(st).unwrap();
+            }
+            st.job = None;
+            drop(st);
+            if rec.is_enabled() {
+                rec.counter("kernels", "pool", "tile queue depth", 0.0);
+            }
+        }
+    }
+
+    fn worker_loop(shared: Arc<Shared>, id: usize) {
+        let mut seen = 0u64;
+        loop {
+            let job = {
+                let mut st = shared.state.lock().unwrap();
+                loop {
+                    if st.epoch != seen {
+                        seen = st.epoch;
+                        // Workers beyond `parts` sit this epoch out (and
+                        // a worker spawned mid-life skips the epochs it
+                        // was not counted into).
+                        if let Some(job) = st.job {
+                            if id < job.parts && st.pending > 0 {
+                                break job;
+                            }
+                        }
+                    }
+                    st = shared.work.wait(st).unwrap();
+                }
+            };
+            // SAFETY: the dispatcher blocks on `pending` until after this
+            // worker's decrement below, so the closure is still live.
+            let body = unsafe { &*job.body };
+            body(chunk(job.items, job.parts, id));
+            let left = {
+                let mut st = shared.state.lock().unwrap();
+                st.pending -= 1;
+                if st.pending == 0 {
+                    shared.done.notify_all();
+                }
+                st.pending
+            };
+            let rec = mics_trace::global();
+            if rec.is_enabled() {
+                rec.counter("kernels", "pool", "tile queue depth", (left + 1) as f64);
+            }
+        }
+    }
+}
+
+// ---- public kernels --------------------------------------------------------
+
+/// Raw output pointer smuggled into the pool closure. Each chunk writes a
+/// disjoint row range, so aliasing is impossible.
+#[derive(Clone, Copy)]
+struct OutPtr(*mut f32);
+
+// SAFETY: chunks index disjoint ranges of the allocation; the allocation
+// outlives the dispatch (the caller owns it across the blocking `run`).
+unsafe impl Send for OutPtr {}
+unsafe impl Sync for OutPtr {}
+
+impl OutPtr {
+    /// The chunk's disjoint window `[off, off + len)` of the output.
+    ///
+    /// # Safety
+    /// The allocation must be live for the duration of the dispatch and
+    /// no two concurrent chunks may request overlapping windows.
+    unsafe fn window<'a>(self, off: usize, len: usize) -> &'a mut [f32] {
+        std::slice::from_raw_parts_mut(self.0.add(off), len)
+    }
+}
+
+/// `out[m×n] = a[m×k] · b[k×n]`, row-major: k-tiled, 4-way unrolled,
+/// 8-wide FMA lanes, parallel over output rows.
 pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     let mut out = vec![0.0f32; m * n];
-    for kk in (0..k).step_by(KC) {
-        let kend = (kk + KC).min(k);
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            let mut kc = kk;
-            while kc + UNROLL <= kend {
-                let (a0, a1, a2, a3) = (arow[kc], arow[kc + 1], arow[kc + 2], arow[kc + 3]);
-                let b0 = &b[kc * n..(kc + 1) * n];
-                let b1 = &b[(kc + 1) * n..(kc + 2) * n];
-                let b2 = &b[(kc + 2) * n..(kc + 3) * n];
-                let b3 = &b[(kc + 3) * n..(kc + 4) * n];
-                for (j, o) in orow.iter_mut().enumerate() {
-                    *o += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-                }
-                kc += UNROLL;
+    let simd = simd_active();
+    let base = OutPtr(out.as_mut_ptr());
+    record("matmul", 2 * (m * k * n) as u64, simd, || {
+        pool::run(m, 2 * k * n, &move |rows: Range<usize>| {
+            // SAFETY: disjoint row ranges of a live allocation.
+            let o = unsafe { base.window(rows.start * n, rows.len() * n) };
+            #[cfg(target_arch = "x86_64")]
+            if simd {
+                // SAFETY: `simd_active` verified AVX2+FMA on this host.
+                unsafe { avx::matmul_rows(a, b, k, n, rows, o) };
+                return;
             }
-            while kc < kend {
-                let av = arow[kc];
-                let brow = &b[kc * n..(kc + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                    *o += av * bv;
-                }
-                kc += 1;
-            }
-        }
-    }
+            body::matmul_rows::<ScalarLanes>(a, b, k, n, rows, o);
+        });
+    });
     out
 }
 
 /// `out[m×k] = d[m×n] · bᵀ[n×k]` (gradient w.r.t. the left operand):
-/// four simultaneous dot products share each load of the `d` row.
+/// four simultaneous 8-wide dot products per pass, parallel over rows.
 pub fn matmul_bt(dout: &[f32], b: &[f32], m: usize, n: usize, k: usize) -> Vec<f32> {
     debug_assert_eq!(dout.len(), m * n);
     debug_assert_eq!(b.len(), k * n);
     let mut out = vec![0.0f32; m * k];
-    for i in 0..m {
-        let drow = &dout[i * n..(i + 1) * n];
-        let orow = &mut out[i * k..(i + 1) * k];
-        let mut kk = 0;
-        while kk + UNROLL <= k {
-            let b0 = &b[kk * n..(kk + 1) * n];
-            let b1 = &b[(kk + 1) * n..(kk + 2) * n];
-            let b2 = &b[(kk + 2) * n..(kk + 3) * n];
-            let b3 = &b[(kk + 3) * n..(kk + 4) * n];
-            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-            for (j, &dv) in drow.iter().enumerate() {
-                s0 += dv * b0[j];
-                s1 += dv * b1[j];
-                s2 += dv * b2[j];
-                s3 += dv * b3[j];
+    let simd = simd_active();
+    let base = OutPtr(out.as_mut_ptr());
+    record("matmul_bt", 2 * (m * n * k) as u64, simd, || {
+        pool::run(m, 2 * n * k, &move |rows: Range<usize>| {
+            // SAFETY: disjoint row ranges of a live allocation.
+            let o = unsafe { base.window(rows.start * k, rows.len() * k) };
+            #[cfg(target_arch = "x86_64")]
+            if simd {
+                // SAFETY: `simd_active` verified AVX2+FMA on this host.
+                unsafe { avx::matmul_bt_rows(dout, b, n, k, rows, o) };
+                return;
             }
-            orow[kk] = s0;
-            orow[kk + 1] = s1;
-            orow[kk + 2] = s2;
-            orow[kk + 3] = s3;
-            kk += UNROLL;
-        }
-        while kk < k {
-            let brow = &b[kk * n..(kk + 1) * n];
-            let mut s = 0.0f32;
-            for (&dv, &bv) in drow.iter().zip(brow.iter()) {
-                s += dv * bv;
-            }
-            orow[kk] = s;
-            kk += 1;
-        }
-    }
+            body::matmul_bt_rows::<ScalarLanes>(dout, b, n, k, rows, o);
+        });
+    });
     out
 }
 
-/// Accumulate `aᵀ[k×m] · d[m×n]` into `gw[k×n]` (gradient w.r.t. the right
-/// operand of `a·w`): four samples fuse per pass over the gradient rows.
+/// Accumulate `aᵀ[k×m] · d[m×n]` into `gw[k×n]` (gradient w.r.t. the
+/// right operand of `a·w`): four samples fuse per pass, parallel over the
+/// `k` rows of `gw` — the batch reduction order inside each row is fixed.
 pub fn acc_matmul_at(a: &[f32], dout: &[f32], m: usize, k: usize, n: usize, gw: &mut [f32]) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(dout.len(), m * n);
     debug_assert_eq!(gw.len(), k * n);
-    let mut i = 0;
-    while i + UNROLL <= m {
-        let a0 = &a[i * k..(i + 1) * k];
-        let a1 = &a[(i + 1) * k..(i + 2) * k];
-        let a2 = &a[(i + 2) * k..(i + 3) * k];
-        let a3 = &a[(i + 3) * k..(i + 4) * k];
-        let d0 = &dout[i * n..(i + 1) * n];
-        let d1 = &dout[(i + 1) * n..(i + 2) * n];
-        let d2 = &dout[(i + 2) * n..(i + 3) * n];
-        let d3 = &dout[(i + 3) * n..(i + 4) * n];
-        for kk in 0..k {
-            let (x0, x1, x2, x3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
-            let grow = &mut gw[kk * n..(kk + 1) * n];
-            for (j, gv) in grow.iter_mut().enumerate() {
-                *gv += x0 * d0[j] + x1 * d1[j] + x2 * d2[j] + x3 * d3[j];
+    let simd = simd_active();
+    let base = OutPtr(gw.as_mut_ptr());
+    record("acc_matmul_at", 2 * (m * k * n) as u64, simd, || {
+        pool::run(k, 2 * m * n, &move |kks: Range<usize>| {
+            // SAFETY: disjoint row ranges of a live allocation.
+            let g = unsafe { base.window(kks.start * n, kks.len() * n) };
+            #[cfg(target_arch = "x86_64")]
+            if simd {
+                // SAFETY: `simd_active` verified AVX2+FMA on this host.
+                unsafe { avx::acc_matmul_at_rows(a, dout, m, k, n, kks, g) };
+                return;
             }
-        }
-        i += UNROLL;
-    }
-    while i < m {
-        let arow = &a[i * k..(i + 1) * k];
-        let drow = &dout[i * n..(i + 1) * n];
-        for (kk, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let grow = &mut gw[kk * n..(kk + 1) * n];
-            for (gv, &dv) in grow.iter_mut().zip(drow.iter()) {
-                *gv += av * dv;
-            }
-        }
-        i += 1;
-    }
+            body::acc_matmul_at_rows::<ScalarLanes>(a, dout, m, k, n, kks, g);
+        });
+    });
 }
 
-/// `out[o] = bias[o] + Σᵢ w[o×in][o][i] · x[i]`: four rows' dot products
-/// share each load of `x`.
+/// `out[o] = bias[o] + Σᵢ w[o×in][o][i] · x[i]`: one 8-wide dot product
+/// per output row, parallel over output rows.
 pub fn matvec_bias(w: &[f32], bias: &[f32], x: &[f32], out_dim: usize, in_dim: usize) -> Vec<f32> {
     debug_assert_eq!(w.len(), out_dim * in_dim);
     debug_assert_eq!(bias.len(), out_dim);
     debug_assert_eq!(x.len(), in_dim);
     let mut out = vec![0.0f32; out_dim];
-    let mut o = 0;
-    while o + UNROLL <= out_dim {
-        let w0 = &w[o * in_dim..(o + 1) * in_dim];
-        let w1 = &w[(o + 1) * in_dim..(o + 2) * in_dim];
-        let w2 = &w[(o + 2) * in_dim..(o + 3) * in_dim];
-        let w3 = &w[(o + 3) * in_dim..(o + 4) * in_dim];
-        let (mut s0, mut s1, mut s2, mut s3) = (bias[o], bias[o + 1], bias[o + 2], bias[o + 3]);
-        for (i, &xv) in x.iter().enumerate() {
-            s0 += xv * w0[i];
-            s1 += xv * w1[i];
-            s2 += xv * w2[i];
-            s3 += xv * w3[i];
-        }
-        out[o] = s0;
-        out[o + 1] = s1;
-        out[o + 2] = s2;
-        out[o + 3] = s3;
-        o += UNROLL;
-    }
-    while o < out_dim {
-        let row = &w[o * in_dim..(o + 1) * in_dim];
-        let mut s = bias[o];
-        for (&wv, &xv) in row.iter().zip(x.iter()) {
-            s += wv * xv;
-        }
-        out[o] = s;
-        o += 1;
-    }
+    let simd = simd_active();
+    let base = OutPtr(out.as_mut_ptr());
+    record("matvec_bias", 2 * (out_dim * in_dim) as u64, simd, || {
+        pool::run(out_dim, 2 * in_dim, &move |os: Range<usize>| {
+            // SAFETY: disjoint ranges of a live allocation.
+            let o = unsafe { base.window(os.start, os.len()) };
+            #[cfg(target_arch = "x86_64")]
+            if simd {
+                // SAFETY: `simd_active` verified AVX2+FMA on this host.
+                unsafe { avx::matvec_bias_rows(w, bias, x, in_dim, os, o) };
+                return;
+            }
+            body::matvec_bias_rows::<ScalarLanes>(w, bias, x, in_dim, os, o);
+        });
+    });
     out
 }
 
 /// `out[i] = Σₒ w[o][i] · d[o]` (`wᵀ·d`, the backward input gradient):
-/// four weight rows fuse into one pass over the accumulator stream.
+/// four weight rows fuse into one pass, parallel over output *columns*
+/// (the reduction over `o` stays whole per element).
 pub fn matvec_t(w: &[f32], d: &[f32], out_dim: usize, in_dim: usize) -> Vec<f32> {
     debug_assert_eq!(w.len(), out_dim * in_dim);
     debug_assert_eq!(d.len(), out_dim);
     let mut out = vec![0.0f32; in_dim];
-    let mut o = 0;
-    while o + UNROLL <= out_dim {
-        let (d0, d1, d2, d3) = (d[o], d[o + 1], d[o + 2], d[o + 3]);
-        let w0 = &w[o * in_dim..(o + 1) * in_dim];
-        let w1 = &w[(o + 1) * in_dim..(o + 2) * in_dim];
-        let w2 = &w[(o + 2) * in_dim..(o + 3) * in_dim];
-        let w3 = &w[(o + 3) * in_dim..(o + 4) * in_dim];
-        for (i, ov) in out.iter_mut().enumerate() {
-            *ov += d0 * w0[i] + d1 * w1[i] + d2 * w2[i] + d3 * w3[i];
-        }
-        o += UNROLL;
-    }
-    while o < out_dim {
-        let dv = d[o];
-        let row = &w[o * in_dim..(o + 1) * in_dim];
-        for (ov, &wv) in out.iter_mut().zip(row.iter()) {
-            *ov += dv * wv;
-        }
-        o += 1;
-    }
+    let simd = simd_active();
+    let base = OutPtr(out.as_mut_ptr());
+    record("matvec_t", 2 * (out_dim * in_dim) as u64, simd, || {
+        pool::run(in_dim, 2 * out_dim, &move |cols: Range<usize>| {
+            // SAFETY: disjoint ranges of a live allocation.
+            let o = unsafe { base.window(cols.start, cols.len()) };
+            #[cfg(target_arch = "x86_64")]
+            if simd {
+                // SAFETY: `simd_active` verified AVX2+FMA on this host.
+                unsafe { avx::matvec_t_cols(w, d, out_dim, in_dim, cols, o) };
+                return;
+            }
+            body::matvec_t_cols::<ScalarLanes>(w, d, out_dim, in_dim, cols, o);
+        });
+    });
     out
 }
 
-/// Accumulate the outer product `d ⊗ x` into `gw[out×in]`, one contiguous
-/// row saxpy per output (already unit-stride; no reassociation at all).
+/// Accumulate the outer product `d ⊗ x` into `gw[out×in]`: one 8-wide
+/// row saxpy per output, parallel over output rows.
 pub fn acc_outer(d: &[f32], x: &[f32], gw: &mut [f32]) {
     debug_assert_eq!(gw.len(), d.len() * x.len());
-    for (grow, &dv) in gw.chunks_exact_mut(x.len()).zip(d.iter()) {
-        for (gv, &xv) in grow.iter_mut().zip(x.iter()) {
-            *gv += dv * xv;
+    let n = x.len();
+    let simd = simd_active();
+    let base = OutPtr(gw.as_mut_ptr());
+    record("acc_outer", 2 * (d.len() * n) as u64, simd, || {
+        pool::run(d.len(), 2 * n, &move |rows: Range<usize>| {
+            // SAFETY: disjoint row ranges of a live allocation.
+            let g = unsafe { base.window(rows.start * n, rows.len() * n) };
+            #[cfg(target_arch = "x86_64")]
+            if simd {
+                // SAFETY: `simd_active` verified AVX2+FMA on this host.
+                unsafe { avx::acc_outer_rows(d, x, rows, g) };
+                return;
+            }
+            body::acc_outer_rows::<ScalarLanes>(d, x, rows, g);
+        });
+    });
+}
+
+/// `xs[r·n..][..n] += bias` for every row `r < m`: the broadcast bias add
+/// the transformer previously did with scalar double loops, parallel
+/// over rows. Pure per-lane adds, so it is trivially bit-stable.
+pub fn add_bias_rows(xs: &mut [f32], bias: &[f32], m: usize, n: usize) {
+    debug_assert_eq!(xs.len(), m * n);
+    debug_assert_eq!(bias.len(), n);
+    let simd = simd_active();
+    let base = OutPtr(xs.as_mut_ptr());
+    record("add_bias_rows", (m * n) as u64, simd, || {
+        pool::run(m, n, &move |rows: Range<usize>| {
+            // SAFETY: disjoint row ranges of a live allocation.
+            let x = unsafe { base.window(rows.start * n, rows.len() * n) };
+            #[cfg(target_arch = "x86_64")]
+            if simd {
+                // SAFETY: `simd_active` verified AVX2+FMA on this host.
+                unsafe { avx::add_bias_chunk(bias, n, rows, x) };
+                return;
+            }
+            body::add_bias_chunk::<ScalarLanes>(bias, n, rows, x);
+        });
+    });
+}
+
+/// The cache-blocked, register-unrolled v1 kernels (PR 5), kept verbatim
+/// as the autovectorization baseline the v2 SIMD kernels are benchmarked
+/// against (`results/BENCH_kernels.json`'s `blocked_ns` column).
+pub mod blocked {
+    use super::{KC, UNROLL};
+
+    /// Blocked `out[m×n] = a[m×k] · b[k×n]`, k-tiled and 4-way unrolled.
+    pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        let mut out = vec![0.0f32; m * n];
+        for kk in (0..k).step_by(KC) {
+            let kend = (kk + KC).min(k);
+            for i in 0..m {
+                let arow = &a[i * k..(i + 1) * k];
+                let orow = &mut out[i * n..(i + 1) * n];
+                let mut kc = kk;
+                while kc + UNROLL <= kend {
+                    let (a0, a1, a2, a3) = (arow[kc], arow[kc + 1], arow[kc + 2], arow[kc + 3]);
+                    let b0 = &b[kc * n..(kc + 1) * n];
+                    let b1 = &b[(kc + 1) * n..(kc + 2) * n];
+                    let b2 = &b[(kc + 2) * n..(kc + 3) * n];
+                    let b3 = &b[(kc + 3) * n..(kc + 4) * n];
+                    for (j, o) in orow.iter_mut().enumerate() {
+                        *o += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+                    }
+                    kc += UNROLL;
+                }
+                while kc < kend {
+                    let av = arow[kc];
+                    let brow = &b[kc * n..(kc + 1) * n];
+                    for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                        *o += av * bv;
+                    }
+                    kc += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Blocked `out[m×k] = d[m×n] · bᵀ[n×k]`: four simultaneous dot
+    /// products share each load of the `d` row.
+    pub fn matmul_bt(dout: &[f32], b: &[f32], m: usize, n: usize, k: usize) -> Vec<f32> {
+        debug_assert_eq!(dout.len(), m * n);
+        debug_assert_eq!(b.len(), k * n);
+        let mut out = vec![0.0f32; m * k];
+        for i in 0..m {
+            let drow = &dout[i * n..(i + 1) * n];
+            let orow = &mut out[i * k..(i + 1) * k];
+            let mut kk = 0;
+            while kk + UNROLL <= k {
+                let b0 = &b[kk * n..(kk + 1) * n];
+                let b1 = &b[(kk + 1) * n..(kk + 2) * n];
+                let b2 = &b[(kk + 2) * n..(kk + 3) * n];
+                let b3 = &b[(kk + 3) * n..(kk + 4) * n];
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for (j, &dv) in drow.iter().enumerate() {
+                    s0 += dv * b0[j];
+                    s1 += dv * b1[j];
+                    s2 += dv * b2[j];
+                    s3 += dv * b3[j];
+                }
+                orow[kk] = s0;
+                orow[kk + 1] = s1;
+                orow[kk + 2] = s2;
+                orow[kk + 3] = s3;
+                kk += UNROLL;
+            }
+            while kk < k {
+                let brow = &b[kk * n..(kk + 1) * n];
+                let mut s = 0.0f32;
+                for (&dv, &bv) in drow.iter().zip(brow.iter()) {
+                    s += dv * bv;
+                }
+                orow[kk] = s;
+                kk += 1;
+            }
+        }
+        out
+    }
+
+    /// Blocked accumulation of `aᵀ[k×m] · d[m×n]` into `gw[k×n]`: four
+    /// samples fuse per pass over the gradient rows.
+    pub fn acc_matmul_at(a: &[f32], dout: &[f32], m: usize, k: usize, n: usize, gw: &mut [f32]) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(dout.len(), m * n);
+        debug_assert_eq!(gw.len(), k * n);
+        let mut i = 0;
+        while i + UNROLL <= m {
+            let a0 = &a[i * k..(i + 1) * k];
+            let a1 = &a[(i + 1) * k..(i + 2) * k];
+            let a2 = &a[(i + 2) * k..(i + 3) * k];
+            let a3 = &a[(i + 3) * k..(i + 4) * k];
+            let d0 = &dout[i * n..(i + 1) * n];
+            let d1 = &dout[(i + 1) * n..(i + 2) * n];
+            let d2 = &dout[(i + 2) * n..(i + 3) * n];
+            let d3 = &dout[(i + 3) * n..(i + 4) * n];
+            for kk in 0..k {
+                let (x0, x1, x2, x3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
+                let grow = &mut gw[kk * n..(kk + 1) * n];
+                for (j, gv) in grow.iter_mut().enumerate() {
+                    *gv += x0 * d0[j] + x1 * d1[j] + x2 * d2[j] + x3 * d3[j];
+                }
+            }
+            i += UNROLL;
+        }
+        while i < m {
+            let arow = &a[i * k..(i + 1) * k];
+            let drow = &dout[i * n..(i + 1) * n];
+            for (kk, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let grow = &mut gw[kk * n..(kk + 1) * n];
+                for (gv, &dv) in grow.iter_mut().zip(drow.iter()) {
+                    *gv += av * dv;
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Blocked biased matvec: four rows' dot products share each load of
+    /// `x`.
+    pub fn matvec_bias(
+        w: &[f32],
+        bias: &[f32],
+        x: &[f32],
+        out_dim: usize,
+        in_dim: usize,
+    ) -> Vec<f32> {
+        debug_assert_eq!(w.len(), out_dim * in_dim);
+        debug_assert_eq!(bias.len(), out_dim);
+        debug_assert_eq!(x.len(), in_dim);
+        let mut out = vec![0.0f32; out_dim];
+        let mut o = 0;
+        while o + UNROLL <= out_dim {
+            let w0 = &w[o * in_dim..(o + 1) * in_dim];
+            let w1 = &w[(o + 1) * in_dim..(o + 2) * in_dim];
+            let w2 = &w[(o + 2) * in_dim..(o + 3) * in_dim];
+            let w3 = &w[(o + 3) * in_dim..(o + 4) * in_dim];
+            let (mut s0, mut s1, mut s2, mut s3) = (bias[o], bias[o + 1], bias[o + 2], bias[o + 3]);
+            for (i, &xv) in x.iter().enumerate() {
+                s0 += xv * w0[i];
+                s1 += xv * w1[i];
+                s2 += xv * w2[i];
+                s3 += xv * w3[i];
+            }
+            out[o] = s0;
+            out[o + 1] = s1;
+            out[o + 2] = s2;
+            out[o + 3] = s3;
+            o += UNROLL;
+        }
+        while o < out_dim {
+            let row = &w[o * in_dim..(o + 1) * in_dim];
+            let mut s = bias[o];
+            for (&wv, &xv) in row.iter().zip(x.iter()) {
+                s += wv * xv;
+            }
+            out[o] = s;
+            o += 1;
+        }
+        out
+    }
+
+    /// Blocked `wᵀ·d`: four weight rows fuse into one pass over the
+    /// accumulator stream.
+    pub fn matvec_t(w: &[f32], d: &[f32], out_dim: usize, in_dim: usize) -> Vec<f32> {
+        debug_assert_eq!(w.len(), out_dim * in_dim);
+        debug_assert_eq!(d.len(), out_dim);
+        let mut out = vec![0.0f32; in_dim];
+        let mut o = 0;
+        while o + UNROLL <= out_dim {
+            let (d0, d1, d2, d3) = (d[o], d[o + 1], d[o + 2], d[o + 3]);
+            let w0 = &w[o * in_dim..(o + 1) * in_dim];
+            let w1 = &w[(o + 1) * in_dim..(o + 2) * in_dim];
+            let w2 = &w[(o + 2) * in_dim..(o + 3) * in_dim];
+            let w3 = &w[(o + 3) * in_dim..(o + 4) * in_dim];
+            for (i, ov) in out.iter_mut().enumerate() {
+                *ov += d0 * w0[i] + d1 * w1[i] + d2 * w2[i] + d3 * w3[i];
+            }
+            o += UNROLL;
+        }
+        while o < out_dim {
+            let dv = d[o];
+            let row = &w[o * in_dim..(o + 1) * in_dim];
+            for (ov, &wv) in out.iter_mut().zip(row.iter()) {
+                *ov += dv * wv;
+            }
+            o += 1;
+        }
+        out
+    }
+
+    /// Blocked outer-product accumulation (already unit-stride).
+    pub fn acc_outer(d: &[f32], x: &[f32], gw: &mut [f32]) {
+        debug_assert_eq!(gw.len(), d.len() * x.len());
+        for (grow, &dv) in gw.chunks_exact_mut(x.len()).zip(d.iter()) {
+            for (gv, &xv) in grow.iter_mut().zip(x.iter()) {
+                *gv += dv * xv;
+            }
         }
     }
 }
 
-/// The scalar kernels the blocked versions replaced, kept as the numeric
-/// baseline: the drift tests bound blocked−reference divergence, and the
-/// criterion microbenches (`crates/bench/benches/kernels.rs`) measure the
-/// speedup against them.
+/// The scalar kernels both the blocked and SIMD versions are measured
+/// against, kept as the numeric drift oracle: the drift tests bound
+/// divergence from these exact sums, and the microbenches
+/// (`crates/bench/benches/kernels.rs`) measure speedups against them.
 pub mod reference {
     /// Naive `out[m×n] = a[m×k] · b[k×n]`, sequential saxpy over `k`.
     pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
@@ -315,6 +1615,27 @@ pub mod reference {
         }
         out
     }
+
+    /// Naive outer-product accumulation into `gw[out×in]`.
+    pub fn acc_outer(d: &[f32], x: &[f32], gw: &mut [f32]) {
+        debug_assert_eq!(gw.len(), d.len() * x.len());
+        for (o, &dv) in d.iter().enumerate() {
+            for (i, &xv) in x.iter().enumerate() {
+                gw[o * x.len() + i] += dv * xv;
+            }
+        }
+    }
+
+    /// Naive broadcast bias add over rows.
+    pub fn add_bias_rows(xs: &mut [f32], bias: &[f32], m: usize, n: usize) {
+        debug_assert_eq!(xs.len(), m * n);
+        debug_assert_eq!(bias.len(), n);
+        for r in 0..m {
+            for j in 0..n {
+                xs[r * n + j] += bias[j];
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -339,7 +1660,7 @@ mod tests {
         for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
             assert!(
                 (x - y).abs() <= tol * x.abs().max(y.abs()).max(1.0),
-                "{what}[{i}]: blocked {x} vs reference {y}"
+                "{what}[{i}]: kernel {x} vs reference {y}"
             );
         }
     }
@@ -360,6 +1681,12 @@ mod tests {
                 1e-5,
                 "matmul",
             );
+            assert_close(
+                &blocked::matmul(&a, &b, m, k, n),
+                &reference::matmul(&a, &b, m, k, n),
+                1e-5,
+                "blocked::matmul",
+            );
         }
     }
 
@@ -373,6 +1700,12 @@ mod tests {
                 &reference::matmul_bt(&d, &b, m, n, k),
                 1e-5,
                 "matmul_bt",
+            );
+            assert_close(
+                &blocked::matmul_bt(&d, &b, m, n, k),
+                &reference::matmul_bt(&d, &b, m, n, k),
+                1e-5,
+                "blocked::matmul_bt",
             );
         }
     }
@@ -414,8 +1747,9 @@ mod tests {
 
     #[test]
     fn zero_inputs_stay_exactly_zero() {
-        // The blocked kernels drop the reference's `av == 0.0` skip inside
-        // the unrolled body; adding 0·x must still leave exact zeros.
+        // 0·x fused into a zero accumulator is still exactly ±0 for
+        // finite x, and IEEE (+0) + (−0) = +0, so zero inputs yield
+        // exact zeros on both the SIMD and fallback paths.
         let (m, k, n) = (6, 9, 5);
         let a = vec![0.0f32; m * k];
         let b = buf(k * n, 12);
@@ -427,6 +1761,8 @@ mod tests {
 
     #[test]
     fn acc_outer_matches_manual_expansion() {
+        // v2 accumulates with fused mul_add, so the expected value uses
+        // the same single-rounding operation.
         let d = buf(5, 14);
         let x = buf(7, 15);
         let mut gw = buf(35, 16);
@@ -434,8 +1770,19 @@ mod tests {
         acc_outer(&d, &x, &mut gw);
         for o in 0..5 {
             for i in 0..7 {
-                assert_eq!(gw[o * 7 + i], before[o * 7 + i] + d[o] * x[i]);
+                assert_eq!(gw[o * 7 + i], d[o].mul_add(x[i], before[o * 7 + i]));
             }
         }
+    }
+
+    #[test]
+    fn add_bias_rows_matches_reference() {
+        let (m, n) = (5, 11);
+        let bias = buf(n, 17);
+        let mut a = buf(m * n, 18);
+        let mut b = a.clone();
+        add_bias_rows(&mut a, &bias, m, n);
+        reference::add_bias_rows(&mut b, &bias, m, n);
+        assert_eq!(a, b, "bias add is pure per-lane addition: exactly equal");
     }
 }

@@ -38,6 +38,10 @@ pub mod transformer;
 pub use adam::Adam;
 pub use checkpoint::{load as load_checkpoint, save as save_checkpoint, TrainState};
 pub use executor::{overlappable_wire_ops, CounterSample, ExecLane, LaneSpan, LaneStats};
+pub use kernels::{
+    flops_total, kernel_stats, kernel_threads, set_kernel_threads, set_simd, simd_active,
+    simd_available,
+};
 pub use lm::{train_lm, train_lm_on, LmSetup};
 pub use mics_compress::{CompressionConfig, CompressionScope, QuantScheme};
 pub use nn::Mlp;

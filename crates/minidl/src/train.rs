@@ -661,6 +661,11 @@ where
 {
     let setup = hp;
     assert!(setup.world > 0 && setup.accum_steps > 0);
+    // Resolve the kernel knobs (env, SIMD detection) and warm the worker
+    // pool before rank threads spawn: rank threads contend for the pool
+    // via try-lock and fall back to inline execution, so the pool must
+    // not be lazily constructed mid-step under a rank's foot.
+    crate::kernels::init();
     let (init, start_iter, resume): (Vec<f32>, usize, Option<&TrainCheckpoint>) = match start {
         Start::Fresh(init) => (init, 0, None),
         Start::Resume(ckpt) => {

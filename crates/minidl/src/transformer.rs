@@ -10,7 +10,7 @@
 //! targets. Parameters live in one flat `Vec<f32>` so the ZeRO/MiCS flat
 //! sharding applies unchanged.
 
-use crate::kernels::{acc_matmul_at, matmul, matmul_bt};
+use crate::kernels::{acc_matmul_at, add_bias_rows, matmul, matmul_bt};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -238,18 +238,10 @@ impl TinyTransformer {
             add_into(&mut x_mid, &attn_out);
             let ln2 = layer_norm(&x_mid, &p[g2.clone()], &p[b2l.clone()], t, d);
             let mut z1 = matmul(&ln2.y, &p[w1.clone()], t, d, f);
-            for pos in 0..t {
-                for j in 0..f {
-                    z1[pos * f + j] += p[bb1.clone()][j];
-                }
-            }
+            add_bias_rows(&mut z1, &p[bb1.clone()], t, f);
             let a1: Vec<f32> = z1.iter().map(|&z| z.max(0.0)).collect();
             let mut ffn_out = matmul(&a1, &p[w2.clone()], t, f, d);
-            for pos in 0..t {
-                for j in 0..d {
-                    ffn_out[pos * d + j] += p[bb2.clone()][j];
-                }
-            }
+            add_bias_rows(&mut ffn_out, &p[bb2.clone()], t, d);
             let mut x_out = x_mid.clone();
             add_into(&mut x_out, &ffn_out);
             caches.push(LayerCache { x_in, ln1, q, k, vv, att, ctx, x_mid, ln2, z1, a1 });
@@ -257,11 +249,7 @@ impl TinyTransformer {
         }
         let lnf = layer_norm(&x, &p[r_lnf_g.clone()], &p[r_lnf_b.clone()], t, d);
         let mut logits = matmul(&lnf.y, &p[r_head.clone()], t, d, v);
-        for pos in 0..t {
-            for j in 0..v {
-                logits[pos * v + j] += p[r_head_b.clone()][j];
-            }
-        }
+        add_bias_rows(&mut logits, &p[r_head_b.clone()], t, v);
 
         // Cross-entropy + dlogits.
         let mut loss = 0.0f32;

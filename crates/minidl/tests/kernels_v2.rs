@@ -1,0 +1,303 @@
+//! Kernels-v2 contract tests: the SIMD dispatch layer must (a) stay within
+//! float tolerance of the scalar `kernels::reference` drift oracle, (b) be
+//! **bit-identical** across every knob configuration — SIMD on/off/auto ×
+//! any worker-pool thread count — on adversarial shapes, (c) keep whole
+//! LM training runs byte-stable across those knobs, and (d) actually
+//! exercise both the SIMD and the scalar-fallback paths at runtime.
+//!
+//! The bit-identity claims are structural (one generic lane body per
+//! kernel, fused multiply-add in both instantiations, reduction axes never
+//! split across threads); these tests are the empirical check that the
+//! structure holds on real shapes, including lane tails, unit and empty
+//! dimensions, and reductions straddling the KC cache tile.
+
+use mics_minidl::kernels::{self, reference};
+use mics_minidl::{train_lm, LmSetup, LossScale, SyncSchedule, TinyTransformer, TrainOutcome};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// The knob matrix exercised by every bit-identity check: SIMD forced off,
+/// forced on (a no-op downgrade on hosts without AVX2+FMA), and
+/// autodetected, each at 1, 2, and 5 worker threads.
+const CONFIGS: &[(Option<bool>, usize)] = &[
+    (Some(false), 1),
+    (Some(false), 2),
+    (Some(false), 5),
+    (Some(true), 1),
+    (Some(true), 2),
+    (Some(true), 5),
+    (None, 1),
+    (None, 5),
+];
+
+/// Serializes every test that touches the process-global kernel knobs and
+/// restores autodetection when dropped.
+struct Knobs(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+fn configure(simd: Option<bool>, threads: Option<usize>) -> Knobs {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard =
+        LOCK.get_or_init(Default::default).lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    kernels::set_simd(simd);
+    kernels::set_kernel_threads(threads);
+    Knobs(guard)
+}
+
+impl Drop for Knobs {
+    fn drop(&mut self) {
+        kernels::set_simd(None);
+        kernels::set_kernel_threads(None);
+    }
+}
+
+/// Deterministic pseudo-random buffer in roughly [-1, 1].
+fn buf(len: usize, salt: u64) -> Vec<f32> {
+    let mut s = salt.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    (0..len)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 40) as f32 / (1u64 << 23) as f32 - 1.0
+        })
+        .collect()
+}
+
+/// Shapes chosen to hit every special case in the kernels: empty and unit
+/// dimensions, sub-lane tails, exact lane/unroll multiples, and reductions
+/// that straddle (and exactly fill) the KC = 256 cache tile.
+fn shapes() -> Vec<(usize, usize, usize)> {
+    let mut shapes = vec![
+        (0, 3, 4),
+        (3, 0, 4),
+        (3, 4, 0),
+        (1, 1, 1),
+        (1, 257, 1),
+        (4, 256, 8),
+        (5, 257, 9),
+        (2, 512, 3),
+        (7, 9, 33),
+        (12, 64, 20),
+        (1, 8, 16),
+        (9, 300, 2),
+        (33, 31, 17),
+    ];
+    // A seeded sweep of small random shapes, with the reduction axis pushed
+    // around the KC boundary every few draws.
+    let mut s = 0x5eed_u64;
+    let mut next = |lim: u64| {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (s >> 33) % lim
+    };
+    for i in 0..30 {
+        let k = if i % 5 == 0 { 250 + next(14) as usize } else { 1 + next(40) as usize };
+        shapes.push((1 + next(24) as usize, k, 1 + next(40) as usize));
+    }
+    shapes
+}
+
+/// All seven public kernels evaluated at one shape, concatenated in a fixed
+/// order so one `Vec` captures the whole dispatch surface for comparison.
+/// `m×k` weights/`m`-vectors reuse the matmul operands where shapes align.
+fn dispatch_all(m: usize, k: usize, n: usize) -> Vec<f32> {
+    let a = buf(m * k, 1);
+    let b = buf(k * n, 2);
+    let dout = buf(m * n, 3);
+    let x = buf(k, 4);
+    let bias_k = buf(k, 5);
+    let dvec = buf(m, 6);
+    let bias_n = buf(n, 7);
+
+    let mut out = kernels::matmul(&a, &b, m, k, n);
+    out.extend(kernels::matmul_bt(&dout, &b, m, n, k));
+    let mut gw = buf(k * n, 8);
+    kernels::acc_matmul_at(&a, &dout, m, k, n, &mut gw);
+    out.extend(gw);
+    out.extend(kernels::matvec_bias(&a, &dvec, &x, m, k));
+    out.extend(kernels::matvec_t(&a, &dvec, m, k));
+    let mut go = buf(m * k, 9);
+    kernels::acc_outer(&dvec, &x, &mut go);
+    out.extend(go);
+    let mut rows = buf(m * n, 10);
+    kernels::add_bias_rows(&mut rows, &bias_n, m, n);
+    out.extend(rows);
+    out.extend(bias_k); // keep operand coverage honest if signatures change
+    out
+}
+
+/// The same surface through the scalar drift oracle.
+fn reference_all(m: usize, k: usize, n: usize) -> Vec<f32> {
+    let a = buf(m * k, 1);
+    let b = buf(k * n, 2);
+    let dout = buf(m * n, 3);
+    let x = buf(k, 4);
+    let bias_k = buf(k, 5);
+    let dvec = buf(m, 6);
+    let bias_n = buf(n, 7);
+
+    let mut out = reference::matmul(&a, &b, m, k, n);
+    out.extend(reference::matmul_bt(&dout, &b, m, n, k));
+    let mut gw = buf(k * n, 8);
+    reference::acc_matmul_at(&a, &dout, m, k, n, &mut gw);
+    out.extend(gw);
+    out.extend(reference::matvec_bias(&a, &dvec, &x, m, k));
+    out.extend(reference::matvec_t(&a, &dvec, m, k));
+    let mut go = buf(m * k, 9);
+    reference::acc_outer(&dvec, &x, &mut go);
+    out.extend(go);
+    let mut rows = buf(m * n, 10);
+    reference::add_bias_rows(&mut rows, &bias_n, m, n);
+    out.extend(rows);
+    out.extend(bias_k);
+    out
+}
+
+fn bits(xs: &[f32]) -> Vec<u32> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+/// (a) + (b): every shape, every knob configuration — tolerance against the
+/// scalar reference, exact bits against the canonical (scalar, 1-thread)
+/// dispatch. FMA legitimately shifts low bits vs the unfused reference, so
+/// the oracle check is a tolerance, never an equality.
+#[test]
+fn dispatch_matches_reference_and_is_bit_stable_across_knobs() {
+    let _knobs = configure(Some(false), Some(1));
+    for (m, k, n) in shapes() {
+        let canonical = dispatch_all(m, k, n);
+        let oracle = reference_all(m, k, n);
+        assert_eq!(canonical.len(), oracle.len());
+        for (i, (got, want)) in canonical.iter().zip(&oracle).enumerate() {
+            let tol = 1e-4 + 1e-3 * want.abs();
+            assert!(
+                (got - want).abs() <= tol,
+                "{m}x{k}x{n} element {i}: dispatch {got} vs reference {want}"
+            );
+        }
+        for &(simd, threads) in CONFIGS {
+            kernels::set_simd(simd);
+            kernels::set_kernel_threads(Some(threads));
+            let got = dispatch_all(m, k, n);
+            assert_eq!(
+                bits(&got),
+                bits(&canonical),
+                "{m}x{k}x{n}: simd={simd:?} threads={threads} drifted from the \
+                 scalar single-threaded bits"
+            );
+            kernels::set_simd(Some(false));
+            kernels::set_kernel_threads(Some(1));
+        }
+    }
+}
+
+/// The v1 blocked kernels stay on the same drift oracle (they are the
+/// perf-diff baseline, so they must remain correct, not just fast).
+#[test]
+fn blocked_kernels_stay_on_the_drift_oracle() {
+    let _knobs = configure(Some(false), Some(1));
+    for (m, k, n) in [(5usize, 257usize, 9usize), (12, 64, 20), (1, 1, 1)] {
+        let a = buf(m * k, 1);
+        let b = buf(k * n, 2);
+        let got = kernels::blocked::matmul(&a, &b, m, k, n);
+        let want = reference::matmul(&a, &b, m, k, n);
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert!(
+                (g - w).abs() <= 1e-4 + 1e-3 * w.abs(),
+                "blocked matmul {m}x{k}x{n} element {i}: {g} vs {w}"
+            );
+        }
+    }
+}
+
+fn lm_run() -> TrainOutcome {
+    let cfg = LmSetup {
+        model: TinyTransformer::new(7, 5, 8, 2, 12, 1),
+        world: 2,
+        partition_size: 2,
+        micro_batch: 4,
+        accum_steps: 2,
+        iterations: 6,
+        lr: 0.02,
+        seed: 424242,
+        quantize: false,
+        loss_scale: LossScale::None,
+        clip_grad_norm: None,
+        comm_quant: None,
+        prefetch_depth: 0,
+    };
+    train_lm(&cfg, SyncSchedule::TwoHop)
+}
+
+/// (c) The fig15-style LM training run — transformer forward/backward,
+/// gradient synchronization, Adam — is **byte-identical** whether the
+/// kernels run scalar or SIMD, on one thread or several. This is the
+/// end-to-end version of the per-kernel bit checks: if any kernel's
+/// reduction order depended on a knob, six optimizer steps would amplify
+/// the drift into visibly different losses.
+#[test]
+fn lm_training_is_byte_identical_across_simd_and_thread_knobs() {
+    let _knobs = configure(Some(false), Some(1));
+    let base = lm_run();
+    for (simd, threads) in [(Some(false), 4), (None, 1), (None, 3), (Some(true), 2)] {
+        kernels::set_simd(simd);
+        kernels::set_kernel_threads(Some(threads));
+        let got = lm_run();
+        assert_eq!(
+            bits(&got.losses),
+            bits(&base.losses),
+            "losses drifted at simd={simd:?} threads={threads}"
+        );
+        assert_eq!(
+            bits(&got.final_params),
+            bits(&base.final_params),
+            "final parameters drifted at simd={simd:?} threads={threads}"
+        );
+    }
+}
+
+/// (d) Runtime feature detection: autodetection engages the SIMD path on
+/// capable hosts, the `MICS_KERNEL_SIMD`-style override forces the scalar
+/// fallback *on the same host*, and the two paths produce the same bits.
+/// The counters prove each path actually executed — on a SIMD host this
+/// test exercises the fallback, which is exactly the coverage a
+/// SIMD-capable CI box would otherwise never get.
+#[test]
+fn runtime_detection_engages_simd_and_fallback_paths() {
+    let _knobs = configure(None, Some(1));
+    kernels::init();
+    let stat = |name: &str| {
+        kernels::kernel_stats()
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("missing counter {name}"))
+    };
+    let a = buf(64 * 64, 1);
+    let b = buf(64 * 64, 2);
+
+    let (simd_before, fallback_before) = (stat("kernel.simd_calls"), stat("kernel.fallback_calls"));
+    let auto = kernels::matmul(&a, &b, 64, 64, 64);
+    if kernels::simd_available() {
+        assert!(kernels::simd_active(), "autodetection must engage SIMD where available");
+        assert!(stat("kernel.simd_calls") > simd_before, "SIMD path did not run");
+    } else {
+        assert!(!kernels::simd_active());
+        assert!(stat("kernel.fallback_calls") > fallback_before, "fallback path did not run");
+    }
+
+    kernels::set_simd(Some(false));
+    let fallback_before = stat("kernel.fallback_calls");
+    let forced = kernels::matmul(&a, &b, 64, 64, 64);
+    assert!(!kernels::simd_active(), "forced-off must win over detection");
+    assert!(stat("kernel.fallback_calls") > fallback_before, "forced fallback did not run");
+    assert_eq!(bits(&auto), bits(&forced), "SIMD and fallback paths disagree");
+
+    // The worker pool dispatches when the thread override asks for
+    // parallelism and the kernel is large enough to amortize it.
+    kernels::set_kernel_threads(Some(5));
+    let dispatches_before = stat("kernel.pool_dispatches");
+    let _ = kernels::matmul(&a, &b, 64, 64, 64);
+    assert!(
+        stat("kernel.pool_dispatches") > dispatches_before,
+        "5-thread override on a 64³ matmul must use the pool"
+    );
+}

@@ -461,8 +461,11 @@ impl Recorder {
         if !self.is_enabled() {
             return;
         }
+        // Stamp under the trace lock so emission order and timestamp order
+        // agree even when multiple threads record concurrently.
+        let mut trace = self.inner.trace.lock().unwrap();
         let ts = self.now_ns();
-        self.inner.trace.lock().unwrap().instant(process, track, name, cat, ts, args);
+        trace.instant(process, track, name, cat, ts, args);
     }
 
     /// Record a counter sample stamped now.
@@ -470,8 +473,11 @@ impl Recorder {
         if !self.is_enabled() {
             return;
         }
+        // Stamp under the trace lock so emission order and timestamp order
+        // agree even when multiple threads record concurrently.
+        let mut trace = self.inner.trace.lock().unwrap();
         let ts = self.now_ns();
-        self.inner.trace.lock().unwrap().counter(process, track, name, ts, value);
+        trace.counter(process, track, name, ts, value);
     }
 
     /// Take every recorded event, leaving the recorder empty (and still in

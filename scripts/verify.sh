@@ -53,9 +53,23 @@ rm -rf "${PERTURBED}"
 AUGMENTED="$(mktemp -d /tmp/mics-perfdiff.XXXXXX)"
 cp results/*.json "${AUGMENTED}/"
 echo '{"v":1}' > "${AUGMENTED}/zz_addition_selfcheck.json"
-target/release/mics-sim perf-diff results "${AUGMENTED}" \
-    | grep -q 'new files (not gated): zz_addition_selfcheck.json'
+# Capture, then grep: `| grep -q` closes the pipe at first match and the
+# still-printing writer dies on SIGPIPE.
+ADDITION_OUT="$(target/release/mics-sim perf-diff results "${AUGMENTED}")"
+grep -q 'new files (not gated): zz_addition_selfcheck.json' <<< "${ADDITION_OUT}"
 rm -rf "${AUGMENTED}"
+
+# Kernels-v2 perf gate: re-run the kernel microbenchmarks (the bench itself
+# asserts the ≥ 2× SIMD-vs-blocked claim inline and regenerates the
+# artifact) and hold the fresh timings against the committed snapshot with
+# the direction-aware perf-diff — getting faster is informational, any
+# timing >40% slower than committed fails the gate.
+echo "==> kernels bench + perf-diff timing gate"
+KERNELS_BASELINE="$(mktemp -d /tmp/mics-kernels.XXXXXX)"
+cp results/BENCH_kernels.json "${KERNELS_BASELINE}/"
+cargo bench -q -p mics-bench --bench kernels >/dev/null
+target/release/mics-sim perf-diff "${KERNELS_BASELINE}" results --threshold 40 >/dev/null
+rm -rf "${KERNELS_BASELINE}"
 
 # A traced fidelity run must still produce a loadable merged document.
 echo "==> fidelity trace smoke"
@@ -84,6 +98,13 @@ cargo run --release -q -p mics-bench --bin ext_overlap >/dev/null
 # the real-backend bit-exact shrink/grow continuity, on both transports.
 echo "==> ext_elastic (smoke)"
 cargo run --release -q -p mics-bench --bin ext_elastic >/dev/null
+
+# The isoFLOP sweep in miniature: --smoke walks the same code path (budget
+# honoring through the kernel FLOP counters, all three schedules with the
+# agreement assertion) at a toy budget and never touches the committed
+# artifact. A wedged rank thread must fail the gate, not hang it.
+echo "==> ext_sweep (smoke, capped wall clock)"
+timeout 120 cargo run --release -q -p mics-bench --bin ext_sweep -- --smoke >/dev/null
 
 # The multi-process recovery bench spawns real rank processes over the
 # socket transport and SIGKILLs one mid-all-gather; survivors must detect
